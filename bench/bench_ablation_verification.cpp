@@ -1,0 +1,62 @@
+// Ablation: the verification pipeline's stages (§5.3.3). Join cost with the
+// full pipeline, without MBR coverage filtering, without the cell-based
+// bound, and with neither (plain double-direction DP), on a city workload
+// (short trips — cells cheap) and an OSM-like workload (long traces — cells
+// expensive). Shows each filter's contribution and where it stops paying.
+
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+void Run(const Args& args) {
+  struct Panel {
+    const char* name;
+    Dataset data;
+    double cell_size;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Beijing", GenerateBeijingLike(args.scale * 2.0, 42), 0.005});
+  {
+    auto osm = GenerateOsmLike(args.scale * 0.5, 44).Sample(1.0, 1);
+    DITA_CHECK(osm.ok());
+    panels.push_back({"OSM", std::move(*osm), 0.02});
+  }
+  const double tau = 0.003;
+
+  for (const auto& panel : panels) {
+    PrintHeader(StrFormat("verification ablation on %s (tau=%.3f)", panel.name,
+                          tau),
+                {"join_s", "cand_pairs", "result_pairs"});
+    for (int mask = 0; mask < 4; ++mask) {
+      const bool mbr_on = (mask & 1) == 0;
+      const bool cell_on = (mask & 2) == 0;
+      DitaConfig config = DefaultConfig();
+      config.cell_size = panel.cell_size;
+      config.enable_mbr_verification = mbr_on;
+      config.enable_cell_verification = cell_on;
+      auto cluster = MakeCluster(args.workers);
+      DitaEngine engine(cluster, config);
+      DITA_CHECK(engine.BuildIndex(panel.data).ok());
+      DitaEngine::JoinStats stats;
+      DITA_CHECK(engine.Join(engine, tau, &stats).ok());
+      PrintRow(StrFormat("mbr=%d cell=%d", mbr_on, cell_on),
+               {stats.makespan_seconds, double(stats.candidate_pairs),
+                double(stats.result_pairs)},
+               "%12.4f");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Ablation: verification pipeline stages (DTW joins)\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::bench::Run(args);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 8: trajectory similarity search on Chengdu(-like) data with DTW.
+// Panels (a)-(d); series Naive / Simba / DFT / DITA; per-query cost-model
+// milliseconds (the paper's unit).
+
+#include "bench/search_figure.h"
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Figure 8 reproduction: search on Chengdu-like data (DTW)\n");
+  std::printf("scale=%.2f queries=%zu workers=%zu\n", args.scale, args.queries,
+              args.workers);
+  dita::Dataset full = dita::GenerateChengduLike(args.scale * 4.0, 43);
+  dita::bench::RunSearchFigure(args, full, "Chengdu", dita::DistanceType::kDTW);
+  return 0;
+}

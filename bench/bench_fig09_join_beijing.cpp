@@ -1,0 +1,15 @@
+// Figure 9: trajectory similarity join on Beijing(-like) data with DTW.
+// Panels (a)-(d); series Simba / DITA (the paper drops Naive and DFT:
+// Naive never completes and DFT's bitmaps need terabytes, §7.2.2);
+// values in cost-model seconds.
+
+#include "bench/join_figure.h"
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Figure 9 reproduction: join on Beijing-like data (DTW)\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::Dataset full = dita::GenerateBeijingLike(args.scale * 2.0, 42);
+  dita::bench::RunJoinFigure(args, full, "Beijing");
+  return 0;
+}

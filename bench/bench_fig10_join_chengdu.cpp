@@ -1,0 +1,13 @@
+// Figure 10: trajectory similarity join on Chengdu(-like) data with DTW.
+// Panels (a)-(d); series Simba / DITA; values in cost-model seconds.
+
+#include "bench/join_figure.h"
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Figure 10 reproduction: join on Chengdu-like data (DTW)\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::Dataset full = dita::GenerateChengduLike(args.scale * 2.0, 43);
+  dita::bench::RunJoinFigure(args, full, "Chengdu");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 12: pivot selection ablations (Appendix B).
+// (a)-(b) pivot selection strategy (Inflection / Neighbor / First-Last),
+// join seconds vs tau on Beijing- and Chengdu-like data;
+// (c)-(d) pivot size K sweep, join seconds vs tau.
+
+#include "bench/bench_common.h"
+#include "index/pivot.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+double JoinSeconds(const Dataset& data, size_t workers, double tau,
+                   const DitaConfig& config) {
+  auto cluster = MakeCluster(workers);
+  DitaEngine engine(cluster, config);
+  DITA_CHECK(engine.BuildIndex(data).ok());
+  DitaEngine::JoinStats stats;
+  DITA_CHECK(engine.Join(engine, tau, &stats).ok());
+  return stats.makespan_seconds;
+}
+
+void Run(const Args& args) {
+  const auto taus = PaperTaus();
+  std::vector<std::string> cols;
+  for (double tau : taus) cols.push_back(StrFormat("%.3f", tau));
+
+  struct Panel {
+    const char* name;
+    Dataset data;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Beijing", GenerateBeijingLike(args.scale, 42)});
+  panels.push_back({"Chengdu", GenerateChengduLike(args.scale, 43)});
+
+  for (const auto& panel : panels) {
+    PrintHeader(
+        StrFormat("pivot selection strategy on %s, join seconds", panel.name),
+        cols);
+    for (PivotStrategy strategy :
+         {PivotStrategy::kInflectionPoint, PivotStrategy::kNeighborDistance,
+          PivotStrategy::kFirstLastDistance}) {
+      DitaConfig config = DefaultConfig();
+      config.trie.strategy = strategy;
+      std::vector<double> row;
+      for (double tau : taus) {
+        row.push_back(JoinSeconds(panel.data, args.workers, tau, config));
+      }
+      PrintRow(PivotStrategyName(strategy), row, "%12.4f");
+    }
+  }
+
+  for (const auto& panel : panels) {
+    PrintHeader(StrFormat("pivot size K on %s, join seconds", panel.name), cols);
+    for (size_t k : {2u, 3u, 4u, 5u, 6u}) {
+      DitaConfig config = DefaultConfig();
+      config.trie.num_pivots = k;
+      std::vector<double> row;
+      for (double tau : taus) {
+        row.push_back(JoinSeconds(panel.data, args.workers, tau, config));
+      }
+      PrintRow(StrFormat("K=%zu", k), row, "%12.4f");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Figure 12 reproduction: pivot strategy and pivot size (DTW)\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::bench::Run(args);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 13 (Appendix B "Partitioning Scheme"): DITA's first/last STR
+// partitioning vs random partitioning, join seconds vs tau, on Beijing- and
+// Chengdu-like data. Also reports shipped bytes, the mechanism behind the
+// gap (§B: random ships everything everywhere).
+
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+void Run(const Args& args) {
+  const auto taus = PaperTaus();
+  std::vector<std::string> cols;
+  for (double tau : taus) cols.push_back(StrFormat("%.3f", tau));
+
+  struct Panel {
+    const char* name;
+    Dataset data;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Beijing", GenerateBeijingLike(args.scale, 42)});
+  panels.push_back({"Chengdu", GenerateChengduLike(args.scale, 43)});
+
+  for (const auto& panel : panels) {
+    PrintHeader(
+        StrFormat("partitioning scheme on %s, join seconds", panel.name), cols);
+    for (bool random : {false, true}) {
+      DitaConfig config = DefaultConfig();
+      config.random_partitioning = random;
+      std::vector<double> row;
+      std::vector<double> mb;
+      for (double tau : taus) {
+        auto cluster = MakeCluster(args.workers);
+        DitaEngine engine(cluster, config);
+        DITA_CHECK(engine.BuildIndex(panel.data).ok());
+        DitaEngine::JoinStats stats;
+        DITA_CHECK(engine.Join(engine, tau, &stats).ok());
+        row.push_back(stats.makespan_seconds);
+        mb.push_back(double(stats.bytes_shipped) / (1024.0 * 1024.0));
+      }
+      PrintRow(random ? "Random" : "DITA", row, "%12.4f");
+      PrintRow(random ? "Random shipped MB" : "DITA shipped MB", mb, "%12.2f");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Figure 13 reproduction: partitioning scheme ablation (DTW)\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::bench::Run(args);
+  return 0;
+}

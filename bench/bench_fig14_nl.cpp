@@ -1,0 +1,57 @@
+// Figure 14 (Appendix B "Varying N_L"): local-index fanout sweep, join
+// seconds vs tau, on Beijing- and Chengdu-like data. The paper sweeps
+// {16, 32, 64} at 10M+ trajectories; partitions here are smaller, so the
+// equivalent knee sits at smaller fanouts — we sweep both ranges and the
+// U-shape (too little separation vs too many nodes) is the reproduced
+// observation.
+
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+void Run(const Args& args) {
+  const auto taus = PaperTaus();
+  std::vector<std::string> cols;
+  for (double tau : taus) cols.push_back(StrFormat("%.3f", tau));
+
+  struct Panel {
+    const char* name;
+    Dataset data;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Beijing", GenerateBeijingLike(args.scale, 42)});
+  panels.push_back({"Chengdu", GenerateChengduLike(args.scale, 43)});
+
+  for (const auto& panel : panels) {
+    PrintHeader(StrFormat("varying N_L on %s, join seconds", panel.name), cols);
+    for (size_t nl : {4u, 8u, 16u, 32u, 64u}) {
+      DitaConfig config = DefaultConfig();
+      config.trie.align_fanout = nl;
+      config.trie.pivot_fanout = std::max<size_t>(2, nl / 2);
+      std::vector<double> row;
+      for (double tau : taus) {
+        auto cluster = MakeCluster(args.workers);
+        DitaEngine engine(cluster, config);
+        DITA_CHECK(engine.BuildIndex(panel.data).ok());
+        DitaEngine::JoinStats stats;
+        DITA_CHECK(engine.Join(engine, tau, &stats).ok());
+        row.push_back(stats.makespan_seconds);
+      }
+      PrintRow(StrFormat("N_L=%zu", nl), row, "%12.4f");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Figure 14 reproduction: local index fanout N_L (DTW)\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::bench::Run(args);
+  return 0;
+}

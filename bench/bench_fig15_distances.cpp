@@ -1,0 +1,84 @@
+// Figure 15: DITA with other distance functions.
+// (a) DTW and Frechet join seconds vs tau in {0.001..0.005} on Beijing- and
+// Chengdu-like data; (b) EDR and LCSS join seconds vs tau in {1..5}
+// (epsilon = 0.0001, delta = 3, the paper's parameters).
+
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+double JoinSeconds(const Dataset& data, size_t workers, DistanceType distance,
+                   double tau) {
+  auto cluster = MakeCluster(workers);
+  DitaConfig config = DefaultConfig();
+  config.distance = distance;
+  config.distance_params.epsilon = 0.0001;
+  config.distance_params.delta = 3;
+  DitaEngine engine(cluster, config);
+  DITA_CHECK(engine.BuildIndex(data).ok());
+  DitaEngine::JoinStats stats;
+  DITA_CHECK(engine.Join(engine, tau, &stats).ok());
+  return stats.makespan_seconds;
+}
+
+void Run(const Args& args) {
+  struct Panel {
+    const char* name;
+    Dataset data;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Beijing", GenerateBeijingLike(args.scale, 42)});
+  panels.push_back({"Chengdu", GenerateChengduLike(args.scale, 43)});
+
+  {
+    const auto taus = PaperTaus();
+    std::vector<std::string> cols;
+    for (double tau : taus) cols.push_back(StrFormat("%.3f", tau));
+    PrintHeader("(a) DTW and Frechet join seconds", cols);
+    for (const auto& panel : panels) {
+      for (DistanceType d : {DistanceType::kDTW, DistanceType::kFrechet}) {
+        std::vector<double> row;
+        for (double tau : taus) {
+          row.push_back(JoinSeconds(panel.data, args.workers, d, tau));
+        }
+        PrintRow(StrFormat("%s(%s)", DistanceTypeName(d), panel.name), row,
+                 "%12.4f");
+      }
+    }
+  }
+
+  {
+    const std::vector<double> taus = {1, 2, 3, 4, 5};
+    std::vector<std::string> cols;
+    for (double tau : taus) cols.push_back(StrFormat("%.0f", tau));
+    PrintHeader("(b) EDR and LCSS join seconds (eps=0.0001, delta=3)", cols);
+    for (const auto& panel : panels) {
+      // Edit-distance joins prune far less (an edit budget of up to 5 over
+      // only K+2 trie levels), so this panel runs on a half sample.
+      auto sampled = panel.data.Sample(0.5, 7);
+      DITA_CHECK(sampled.ok());
+      for (DistanceType d : {DistanceType::kEDR, DistanceType::kLCSS}) {
+        std::vector<double> row;
+        for (double tau : taus) {
+          row.push_back(JoinSeconds(*sampled, args.workers, d, tau));
+        }
+        PrintRow(StrFormat("%s(%s)", DistanceTypeName(d), panel.name), row,
+                 "%12.4f");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Figure 15 reproduction: other distance functions\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::bench::Run(args);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 16: load balancing evaluation. "DITA" = graph orientation +
+// division-based balancing on; "Naive" = both off. Panels: per-dataset load
+// ratio (busiest / least busy worker) and total join time vs tau. The
+// workload uses Zipf route popularity so some partitions are inherently hot
+// (the straggler scenario of §6.3).
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+void Run(const Args& args) {
+  const auto taus = PaperTaus();
+  std::vector<std::string> cols;
+  for (double tau : taus) cols.push_back(StrFormat("%.3f", tau));
+
+  struct Panel {
+    const char* name;
+    Dataset data;
+  };
+  std::vector<Panel> panels;
+  {
+    // Beijing-like with Zipf route popularity: hot partitions emerge.
+    GeneratorConfig cfg;
+    cfg.cardinality = static_cast<size_t>(12000 * args.scale);
+    cfg.route_skew = 1.1;
+    cfg.seed = 49;
+    cfg.region = MBR(Point{116.0, 39.6}, Point{116.8, 40.2});
+    cfg.avg_len = 22.0;
+    cfg.min_len = 7;
+    cfg.max_len = 112;
+    panels.push_back({"Beijing", GenerateTaxiDataset(cfg)});
+  }
+  {
+    GeneratorConfig cfg;
+    cfg.cardinality = static_cast<size_t>(16000 * args.scale);
+    cfg.route_skew = 1.1;
+    cfg.seed = 50;
+    cfg.region = MBR(Point{103.9, 30.5}, Point{104.3, 30.9});
+    cfg.avg_len = 37.0;
+    cfg.min_len = 10;
+    cfg.max_len = 209;
+    panels.push_back({"Chengdu", GenerateTaxiDataset(cfg)});
+  }
+
+  for (const auto& panel : panels) {
+    PrintHeader(StrFormat("load ratio on %s (skewed routes)", panel.name), cols);
+    std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+        rows;  // name -> (ratios, seconds)
+    for (bool balanced : {true, false}) {
+      DitaConfig config = DefaultConfig();
+      // More partitions than workers so orientation/division have room to
+      // redistribute work (the paper runs 4096 partitions on 256 cores).
+      config.ng = 8;
+      config.enable_graph_orientation = balanced;
+      config.enable_division_balancing = balanced;
+      const char* name = balanced ? "DITA" : "Naive";
+      for (double tau : taus) {
+        auto cluster = MakeCluster(args.workers);
+        DitaEngine engine(cluster, config);
+        DITA_CHECK(engine.BuildIndex(panel.data).ok());
+        DitaEngine::JoinStats stats;
+        DITA_CHECK(engine.Join(engine, tau, &stats).ok());
+        rows[name].first.push_back(stats.load_ratio);
+        rows[name].second.push_back(stats.makespan_seconds);
+      }
+    }
+    PrintRow("DITA ratio", rows["DITA"].first, "%12.2f");
+    PrintRow("Naive ratio", rows["Naive"].first, "%12.2f");
+    PrintRow("DITA time(s)", rows["DITA"].second, "%12.4f");
+    PrintRow("Naive time(s)", rows["Naive"].second, "%12.4f");
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Figure 16 reproduction: load balancing (DTW)\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::bench::Run(args);
+  return 0;
+}

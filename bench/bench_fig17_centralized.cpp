@@ -1,0 +1,107 @@
+// Figure 17 (Appendix C): centralized comparison on a Chengdu(tiny)-like
+// dataset. (a) candidates per query and (b) query time for MBE vs DITA under
+// DTW; (c) candidates and (d) time for MBE, VP-tree, DITA under Frechet.
+// "Candidates" = trajectories surviving each method's filter (distance
+// evaluations for the VP-tree, which has no filter/verify split).
+
+#include "baselines/centralized_dita.h"
+#include "baselines/mbe.h"
+#include "baselines/vptree.h"
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dita::bench {
+namespace {
+
+void Run(const Args& args) {
+  GeneratorConfig cfg;
+  cfg.cardinality = static_cast<size_t>(6000 * args.scale);
+  cfg.seed = 61;
+  cfg.region = MBR(Point{103.9, 30.5}, Point{104.3, 30.9});
+  cfg.avg_len = 38.0;
+  cfg.min_len = 6;
+  cfg.max_len = 205;
+  const Dataset data = GenerateTaxiDataset(cfg);
+  const auto queries = data.SampleQueries(args.queries, 1001);
+  const auto taus = PaperTaus();
+  std::vector<std::string> cols;
+  for (double tau : taus) cols.push_back(StrFormat("%.3f", tau));
+
+  DitaConfig dita_config = DefaultConfig();
+
+  for (DistanceType distance : {DistanceType::kDTW, DistanceType::kFrechet}) {
+    const char* dname = DistanceTypeName(distance);
+    dita_config.distance = distance;
+
+    CentralizedDita dita;
+    DITA_CHECK(dita.Build(data, dita_config).ok());
+    MbeIndex mbe;
+    DITA_CHECK(mbe.Build(data, distance).ok());
+    VpTree vptree;
+    const bool with_vptree = distance == DistanceType::kFrechet;
+    if (with_vptree) DITA_CHECK(vptree.Build(data, distance).ok());
+
+    std::vector<double> mbe_cands, dita_cands, vp_cands;
+    std::vector<double> mbe_ms, dita_ms, vp_ms;
+    for (double tau : taus) {
+      double mc = 0, dc = 0, vc = 0, mt = 0, dt = 0, vt = 0;
+      for (const auto& q : queries) {
+        {
+          WallTimer timer;
+          MbeIndex::SearchStats stats;
+          DITA_CHECK(mbe.Search(q, tau, &stats).ok());
+          mt += timer.Millis();
+          mc += double(stats.candidates);
+        }
+        {
+          WallTimer timer;
+          CentralizedDita::SearchStats stats;
+          DITA_CHECK(dita.Search(q, tau, &stats).ok());
+          dt += timer.Millis();
+          dc += double(stats.candidates);
+        }
+        if (with_vptree) {
+          WallTimer timer;
+          VpTree::SearchStats stats;
+          DITA_CHECK(vptree.Search(q, tau, &stats).ok());
+          vt += timer.Millis();
+          vc += double(stats.distance_evals);
+        }
+      }
+      const double n = double(queries.size());
+      mbe_cands.push_back(mc / n);
+      dita_cands.push_back(dc / n);
+      mbe_ms.push_back(mt / n);
+      dita_ms.push_back(dt / n);
+      if (with_vptree) {
+        vp_cands.push_back(vc / n);
+        vp_ms.push_back(vt / n);
+      }
+    }
+
+    PrintHeader(StrFormat("candidates per query (%s)", dname), cols);
+    PrintRow("MBE", mbe_cands, "%12.1f");
+    if (with_vptree) PrintRow("VP-Tree", vp_cands, "%12.1f");
+    PrintRow("DITA", dita_cands, "%12.1f");
+
+    PrintHeader(StrFormat("query time ms (%s), real wall clock", dname), cols);
+    PrintRow("MBE", mbe_ms, "%12.3f");
+    if (with_vptree) PrintRow("VP-Tree", vp_ms, "%12.3f");
+    PrintRow("DITA", dita_ms, "%12.3f");
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  if (args.queries == 50) args.queries = 30;
+  std::printf(
+      "Figure 17 reproduction: centralized baselines on Chengdu(tiny)-like\n");
+  std::printf("scale=%.2f queries=%zu\n", args.scale, args.queries);
+  dita::bench::Run(args);
+  return 0;
+}

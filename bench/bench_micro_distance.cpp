@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the distance kernels and the
+// filtering primitives: the building blocks whose constants determine every
+// experiment above. Run: ./build/bench/bench_micro_distance
+
+#include <benchmark/benchmark.h>
+
+#include "distance/distance.h"
+#include "distance/dtw.h"
+#include "index/cell.h"
+#include "index/pivot.h"
+#include "index/trie_index.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+Dataset MicroDataset(size_t n = 512, double avg_len = 40) {
+  GeneratorConfig cfg;
+  cfg.cardinality = n;
+  cfg.avg_len = avg_len;
+  cfg.min_len = 8;
+  cfg.max_len = static_cast<size_t>(avg_len * 4);
+  cfg.seed = 71;
+  return GenerateTaxiDataset(cfg);
+}
+
+void BM_DistanceCompute(benchmark::State& state, DistanceType type) {
+  Dataset ds = MicroDataset();
+  auto dist = *MakeDistance(type);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = ds[i % ds.size()];
+    const auto& b = ds[(i * 7 + 1) % ds.size()];
+    benchmark::DoNotOptimize(dist->Compute(a, b));
+    ++i;
+  }
+}
+BENCHMARK_CAPTURE(BM_DistanceCompute, DTW, DistanceType::kDTW);
+BENCHMARK_CAPTURE(BM_DistanceCompute, Frechet, DistanceType::kFrechet);
+BENCHMARK_CAPTURE(BM_DistanceCompute, EDR, DistanceType::kEDR);
+BENCHMARK_CAPTURE(BM_DistanceCompute, LCSS, DistanceType::kLCSS);
+BENCHMARK_CAPTURE(BM_DistanceCompute, ERP, DistanceType::kERP);
+
+void BM_DtwWithinThreshold(benchmark::State& state) {
+  Dataset ds = MicroDataset();
+  Dtw dtw;
+  const double tau = state.range(0) / 1000.0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = ds[i % ds.size()];
+    const auto& b = ds[(i * 7 + 1) % ds.size()];
+    benchmark::DoNotOptimize(dtw.WithinThreshold(a, b, tau));
+    ++i;
+  }
+}
+BENCHMARK(BM_DtwWithinThreshold)->Arg(1)->Arg(5)->Arg(50);
+
+void BM_Pamd(benchmark::State& state) {
+  Dataset ds = MicroDataset();
+  std::vector<IndexingSequence> seqs;
+  for (const auto& t : ds.trajectories()) {
+    seqs.push_back(BuildIndexingSequence(t, 4, PivotStrategy::kNeighborDistance));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Pamd(seqs[i % seqs.size()], ds[(i * 7 + 1) % ds.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Pamd);
+
+void BM_CellLowerBound(benchmark::State& state) {
+  Dataset ds = MicroDataset();
+  std::vector<CellSummary> cells;
+  for (const auto& t : ds.trajectories()) cells.push_back(CompressToCells(t, 0.005));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CellLowerBoundDtw(cells[i % cells.size()],
+                                               cells[(i * 7 + 1) % cells.size()],
+                                               0.003));
+    ++i;
+  }
+}
+BENCHMARK(BM_CellLowerBound);
+
+void BM_TrieProbe(benchmark::State& state) {
+  Dataset ds = MicroDataset(2048);
+  TrieIndex trie;
+  TrieIndex::Options opts;
+  opts.num_pivots = 4;
+  opts.align_fanout = 8;
+  opts.pivot_fanout = 4;
+  opts.leaf_capacity = 4;
+  if (!trie.Build(ds.trajectories(), opts).ok()) {
+    state.SkipWithError("trie build failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    TrieIndex::SearchSpec spec;
+    const Trajectory& q = ds[i % ds.size()];
+    spec.query = &q;
+    spec.tau = 0.003;
+    spec.mode = PruneMode::kAccumulate;
+    std::vector<uint32_t> out;
+    trie.CollectCandidates(spec, &out);
+    benchmark::DoNotOptimize(out.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_TrieProbe);
+
+}  // namespace
+}  // namespace dita
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Tables 2 and 6: dataset statistics. Prints the same columns as the paper
+// (cardinality, average / min / max trajectory length, raw size) for the
+// synthetic Beijing-, Chengdu-, OSM(search)-, OSM(join)- and Chengdu(tiny)-
+// like datasets used throughout the benchmark harness.
+
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+void PrintStats(const char* name, const Dataset& ds) {
+  const auto s = ds.ComputeStats();
+  std::printf("%-16s %12zu %10.1f %8zu %8zu %12s\n", name, s.cardinality,
+              s.avg_len, s.min_len, s.max_len,
+              HumanBytes(double(s.bytes)).c_str());
+}
+
+void Run(const Args& args) {
+  std::printf("%-16s %12s %10s %8s %8s %12s\n", "dataset", "cardinality",
+              "avg_len", "min_len", "max_len", "size");
+  PrintStats("Beijing", GenerateBeijingLike(args.scale, 42));
+  PrintStats("Chengdu", GenerateChengduLike(args.scale, 43));
+  const Dataset osm = GenerateOsmLike(args.scale, 44);
+  PrintStats("OSM(search)", osm);
+  auto osm_join = osm.Sample(0.5, 3);
+  DITA_CHECK(osm_join.ok());
+  PrintStats("OSM(join)", *osm_join);
+
+  GeneratorConfig tiny;
+  tiny.cardinality = static_cast<size_t>(6000 * args.scale);
+  tiny.seed = 61;
+  tiny.region = MBR(Point{103.9, 30.5}, Point{104.3, 30.9});
+  tiny.avg_len = 38.0;
+  tiny.min_len = 6;
+  tiny.max_len = 205;
+  PrintStats("Chengdu(tiny)", GenerateTaxiDataset(tiny));
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Tables 2 and 6 reproduction: dataset statistics (scale=%.2f)\n",
+              args.scale);
+  dita::bench::Run(args);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 4 (Appendix B): varying the number of partitions N_G. Search ms and
+// join seconds for Beijing- and Chengdu-like data; total partitions =
+// N_G * N_G. The paper's knee is at N_G = 64/128 for 10M+ trajectories; the
+// reproduced observation is the U-shape (too few partitions = no
+// parallelism, too many = transfer/probing overhead).
+
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+void Run(const Args& args) {
+  struct Panel {
+    const char* name;
+    Dataset data;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Beijing", GenerateBeijingLike(args.scale, 42)});
+  panels.push_back({"Chengdu", GenerateChengduLike(args.scale, 43)});
+  const double tau = 0.003;
+
+  for (const auto& panel : panels) {
+    const auto queries = panel.data.SampleQueries(args.queries, 1001);
+    PrintHeader(StrFormat("Table 4 on %s (tau=%.3f)", panel.name, tau),
+                {"search_ms", "join_s"});
+    for (size_t ng : {2u, 4u, 8u, 16u}) {
+      DitaConfig config = DefaultConfig();
+      config.ng = ng;
+      auto cluster = MakeCluster(args.workers);
+      DitaEngine engine(cluster, config);
+      DITA_CHECK(engine.BuildIndex(panel.data).ok());
+
+      double search_ms = 0;
+      for (const auto& q : queries) {
+        DitaEngine::QueryStats stats;
+        DITA_CHECK(engine.Search(q, tau, &stats).ok());
+        search_ms += stats.makespan_seconds * 1e3;
+      }
+      search_ms /= double(queries.size());
+
+      DitaEngine::JoinStats jstats;
+      DITA_CHECK(engine.Join(engine, tau, &jstats).ok());
+      PrintRow(StrFormat("N_G=%zu (%zu parts)", ng,
+                         engine.index_stats().num_partitions),
+               {search_ms, jstats.makespan_seconds}, "%12.4f");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Table 4 reproduction: varying number of partitions (DTW)\n");
+  std::printf("scale=%.2f queries=%zu workers=%zu\n", args.scale, args.queries,
+              args.workers);
+  dita::bench::Run(args);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 5 (Appendix B): index construction time and global/local index sizes
+// while varying the dataset sample rate, for DITA on Beijing- and
+// Chengdu-like data, plus the DFT comparison rows at full size. Reproduced
+// observations: build time and local size grow ~linearly with data; global
+// size depends only on the partition count; DFT's segment index dwarfs
+// DITA's local index.
+
+#include "baselines/dft.h"
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dita::bench {
+namespace {
+
+void Run(const Args& args) {
+  struct Panel {
+    const char* name;
+    Dataset data;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Beijing", GenerateBeijingLike(args.scale, 42)});
+  panels.push_back({"Chengdu", GenerateChengduLike(args.scale, 43)});
+
+  PrintHeader("Table 5: indexing time and size",
+              {"time_s", "global_KB", "local_KB"});
+  for (const auto& panel : panels) {
+    for (double rate : {0.25, 0.5, 0.75, 1.0}) {
+      auto sampled = panel.data.Sample(rate, 7);
+      DITA_CHECK(sampled.ok());
+      auto cluster = MakeCluster(args.workers);
+      DitaEngine engine(cluster, DefaultConfig());
+      DITA_CHECK(engine.BuildIndex(*sampled).ok());
+      const auto& s = engine.index_stats();
+      PrintRow(StrFormat("DITA(%s) %.2f", panel.name, rate),
+               {s.build_seconds, double(s.global_index_bytes) / 1024.0,
+                double(s.local_index_bytes) / 1024.0},
+               "%12.3f");
+    }
+  }
+  for (const auto& panel : panels) {
+    auto cluster = MakeCluster(args.workers);
+    DftEngine dft(cluster, DistanceType::kDTW);
+    WallTimer timer;
+    DITA_CHECK(dft.BuildIndex(panel.data).ok());
+    PrintRow(StrFormat("DFT(%s) 1.00", panel.name),
+             {timer.Seconds(), 0.0, double(dft.index_bytes()) / 1024.0},
+             "%12.3f");
+  }
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Table 5 reproduction: indexing time and size\n");
+  std::printf("scale=%.2f workers=%zu\n", args.scale, args.workers);
+  dita::bench::Run(args);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 7 (Appendix C): centralized index build time and size for DITA, MBE
+// and VP-tree on the Chengdu(tiny)-like dataset. Reproduced observation:
+// the VP-tree's O(n log n) *distance computations* during construction make
+// it far slower to build than DITA's coordinate-only trie; MBE sits between.
+
+#include "baselines/centralized_dita.h"
+#include "baselines/mbe.h"
+#include "baselines/vptree.h"
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+namespace {
+
+void Run(const Args& args) {
+  GeneratorConfig cfg;
+  cfg.cardinality = static_cast<size_t>(6000 * args.scale);
+  cfg.seed = 61;
+  cfg.region = MBR(Point{103.9, 30.5}, Point{104.3, 30.9});
+  cfg.avg_len = 38.0;
+  cfg.min_len = 6;
+  cfg.max_len = 205;
+  const Dataset data = GenerateTaxiDataset(cfg);
+  std::printf("dataset: %zu trajectories, %zu points\n", data.size(),
+              data.TotalPoints());
+
+  PrintHeader("Table 7: centralized index build", {"time_s", "size_MB"});
+
+  CentralizedDita dita;
+  DITA_CHECK(dita.Build(data, DefaultConfig()).ok());
+  PrintRow("DITA", {dita.build_seconds(),
+                    double(dita.ByteSize()) / (1024.0 * 1024.0)},
+           "%12.3f");
+
+  MbeIndex mbe;
+  DITA_CHECK(mbe.Build(data, DistanceType::kFrechet).ok());
+  PrintRow("MBE", {mbe.build_seconds(),
+                   double(mbe.ByteSize()) / (1024.0 * 1024.0)},
+           "%12.3f");
+
+  VpTree vptree;
+  DITA_CHECK(vptree.Build(data, DistanceType::kFrechet).ok());
+  PrintRow("VP-Tree", {vptree.build_seconds(),
+                       double(vptree.ByteSize()) / (1024.0 * 1024.0)},
+           "%12.3f");
+}
+
+}  // namespace
+}  // namespace dita::bench
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Table 7 reproduction: centralized indexing\n");
+  std::printf("scale=%.2f\n", args.scale);
+  dita::bench::Run(args);
+  return 0;
+}

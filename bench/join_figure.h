@@ -1,0 +1,118 @@
+#ifndef DITA_BENCH_JOIN_FIGURE_H_
+#define DITA_BENCH_JOIN_FIGURE_H_
+
+// Shared driver for the Figure 9 / Figure 10 join comparisons: four panels
+// (vary tau, scalability, scale-up, scale-out), Simba vs DITA self-joins,
+// values in cost-model seconds (the paper's unit).
+
+#include <map>
+
+#include "baselines/simba.h"
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+
+inline double SimbaJoinSeconds(const Dataset& data, size_t workers, double tau) {
+  auto cluster = MakeCluster(workers);
+  SimbaEngine simba(cluster, DistanceType::kDTW);
+  DITA_CHECK(simba.BuildIndex(data).ok());
+  DitaEngine::JoinStats stats;
+  auto r = simba.SelfJoin(tau, &stats);
+  DITA_CHECK(r.ok());
+  return stats.makespan_seconds;
+}
+
+inline double DitaJoinSeconds(const Dataset& data, size_t workers, double tau,
+                              DitaEngine::JoinStats* stats_out = nullptr) {
+  auto cluster = MakeCluster(workers);
+  DitaEngine engine(cluster, DefaultConfig());
+  DITA_CHECK(engine.BuildIndex(data).ok());
+  DitaEngine::JoinStats stats;
+  auto r = engine.Join(engine, tau, &stats);
+  DITA_CHECK(r.ok());
+  if (stats_out != nullptr) *stats_out = stats;
+  return stats.makespan_seconds;
+}
+
+inline void RunJoinFigure(const Args& args, const Dataset& full,
+                          const char* dataset_name) {
+  const auto taus = PaperTaus();
+  const double default_tau = 0.003;
+
+  // (a) varying tau.
+  {
+    std::vector<std::string> cols;
+    for (double tau : taus) cols.push_back(StrFormat("%.3f", tau));
+    PrintHeader(StrFormat("(a) vary tau on %s, join seconds", dataset_name),
+                cols);
+    std::vector<double> simba_row, dita_row;
+    for (double tau : taus) {
+      simba_row.push_back(SimbaJoinSeconds(full, args.workers, tau));
+      dita_row.push_back(DitaJoinSeconds(full, args.workers, tau));
+    }
+    PrintRow("Simba", simba_row, "%12.4f");
+    PrintRow("DITA", dita_row, "%12.4f");
+  }
+
+  // (b) scalability over sample rate.
+  {
+    const std::vector<double> rates = {0.25, 0.5, 0.75, 1.0};
+    std::vector<std::string> cols;
+    for (double r : rates) cols.push_back(StrFormat("%.2f", r));
+    PrintHeader(StrFormat("(b) scalability on %s (tau=%.3f), join seconds",
+                          dataset_name, default_tau),
+                cols);
+    std::vector<double> simba_row, dita_row;
+    for (double rate : rates) {
+      auto sampled = full.Sample(rate, 7);
+      DITA_CHECK(sampled.ok());
+      simba_row.push_back(SimbaJoinSeconds(*sampled, args.workers, default_tau));
+      dita_row.push_back(DitaJoinSeconds(*sampled, args.workers, default_tau));
+    }
+    PrintRow("Simba", simba_row, "%12.4f");
+    PrintRow("DITA", dita_row, "%12.4f");
+  }
+
+  // (c) scale-up over cores.
+  {
+    const std::vector<size_t> cores = {4, 8, 12, 16};
+    std::vector<std::string> cols;
+    for (size_t c : cores) cols.push_back(StrFormat("%zuc", c));
+    PrintHeader(StrFormat("(c) scale-up on %s (tau=%.3f), join seconds",
+                          dataset_name, default_tau),
+                cols);
+    std::vector<double> simba_row, dita_row;
+    for (size_t c : cores) {
+      simba_row.push_back(SimbaJoinSeconds(full, c, default_tau));
+      dita_row.push_back(DitaJoinSeconds(full, c, default_tau));
+    }
+    PrintRow("Simba", simba_row, "%12.4f");
+    PrintRow("DITA", dita_row, "%12.4f");
+  }
+
+  // (d) scale-out.
+  {
+    const std::vector<std::pair<double, size_t>> scales = {
+        {0.25, 4}, {0.5, 8}, {0.75, 12}, {1.0, 16}};
+    std::vector<std::string> cols;
+    for (auto& [r, c] : scales) cols.push_back(StrFormat("%.2f,%zuc", r, c));
+    PrintHeader(StrFormat("(d) scale-out on %s (tau=%.3f), join seconds",
+                          dataset_name, default_tau),
+                cols);
+    std::vector<double> simba_row, dita_row;
+    for (auto& [rate, c] : scales) {
+      auto sampled = full.Sample(rate, 7);
+      DITA_CHECK(sampled.ok());
+      simba_row.push_back(SimbaJoinSeconds(*sampled, c, default_tau));
+      dita_row.push_back(DitaJoinSeconds(*sampled, c, default_tau));
+    }
+    PrintRow("Simba", simba_row, "%12.4f");
+    PrintRow("DITA", dita_row, "%12.4f");
+  }
+}
+
+}  // namespace dita::bench
+
+#endif  // DITA_BENCH_JOIN_FIGURE_H_

@@ -1,0 +1,149 @@
+#ifndef DITA_BENCH_SEARCH_FIGURE_H_
+#define DITA_BENCH_SEARCH_FIGURE_H_
+
+// Shared driver for the Figure 7 / Figure 8 search comparisons: four panels
+// (vary tau, scalability, scale-up, scale-out), four engines (Naive, Simba,
+// DFT, DITA), values in per-query cost-model milliseconds.
+
+#include <map>
+
+#include "baselines/dft.h"
+#include "baselines/naive.h"
+#include "baselines/simba.h"
+#include "bench/bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dita::bench {
+
+struct SearchEngines {
+  std::unique_ptr<NaiveEngine> naive;
+  std::unique_ptr<SimbaEngine> simba;
+  std::unique_ptr<DftEngine> dft;
+  std::unique_ptr<DitaEngine> dita;
+
+  std::vector<std::pair<std::string, SearchFn>> Fns() {
+    return {
+        {"Naive",
+         [this](const Trajectory& q, double tau, DitaEngine::QueryStats* s) {
+           return naive->Search(q, tau, s);
+         }},
+        {"Simba",
+         [this](const Trajectory& q, double tau, DitaEngine::QueryStats* s) {
+           return simba->Search(q, tau, s);
+         }},
+        {"DFT",
+         [this](const Trajectory& q, double tau, DitaEngine::QueryStats* s) {
+           return dft->Search(q, tau, s);
+         }},
+        {"DITA",
+         [this](const Trajectory& q, double tau, DitaEngine::QueryStats* s) {
+           return dita->Search(q, tau, s);
+         }},
+    };
+  }
+};
+
+inline SearchEngines BuildSearchEngines(const Dataset& data, size_t workers,
+                                        DistanceType distance,
+                                        const DitaConfig& dita_config) {
+  SearchEngines e;
+  auto cluster = MakeCluster(workers);
+  e.naive = std::make_unique<NaiveEngine>(cluster, distance);
+  e.simba = std::make_unique<SimbaEngine>(cluster, distance);
+  e.dft = std::make_unique<DftEngine>(cluster, distance);
+  DitaConfig config = dita_config;
+  config.distance = distance;
+  e.dita = std::make_unique<DitaEngine>(cluster, config);
+  DITA_CHECK(e.naive->BuildIndex(data).ok());
+  DITA_CHECK(e.simba->BuildIndex(data).ok());
+  DITA_CHECK(e.dft->BuildIndex(data).ok());
+  DITA_CHECK(e.dita->BuildIndex(data).ok());
+  return e;
+}
+
+inline void RunSearchFigure(const Args& args, const Dataset& full,
+                            const char* dataset_name, DistanceType distance) {
+  const auto queries = full.SampleQueries(args.queries, 1001);
+  const auto taus = PaperTaus();
+  const double default_tau = 0.003;
+  const DitaConfig config = DefaultConfig();
+  const std::vector<const char*> order = {"Naive", "Simba", "DFT", "DITA"};
+
+  // (a) varying tau at full size, default workers.
+  {
+    std::vector<std::string> cols;
+    for (double tau : taus) cols.push_back(StrFormat("%.3f", tau));
+    PrintHeader(StrFormat("(a) vary tau on %s, search ms", dataset_name), cols);
+    SearchEngines e = BuildSearchEngines(full, args.workers, distance, config);
+    for (auto& [name, fn] : e.Fns()) {
+      std::vector<double> row;
+      for (double tau : taus) row.push_back(AvgSearchMs(fn, queries, tau));
+      PrintRow(name, row);
+    }
+  }
+
+  // (b) scalability: dataset sample-rate sweep.
+  {
+    const std::vector<double> rates = {0.25, 0.5, 0.75, 1.0};
+    std::vector<std::string> cols;
+    for (double r : rates) cols.push_back(StrFormat("%.2f", r));
+    PrintHeader(StrFormat("(b) scalability on %s (tau=%.3f), search ms",
+                          dataset_name, default_tau),
+                cols);
+    std::map<std::string, std::vector<double>> rows;
+    for (double rate : rates) {
+      auto sampled = full.Sample(rate, 7);
+      DITA_CHECK(sampled.ok());
+      SearchEngines e =
+          BuildSearchEngines(*sampled, args.workers, distance, config);
+      for (auto& [name, fn] : e.Fns()) {
+        rows[name].push_back(AvgSearchMs(fn, queries, default_tau));
+      }
+    }
+    for (const char* name : order) PrintRow(name, rows[name]);
+  }
+
+  // (c) scale-up: worker sweep at full size.
+  {
+    const std::vector<size_t> cores = {4, 8, 12, 16};
+    std::vector<std::string> cols;
+    for (size_t c : cores) cols.push_back(StrFormat("%zuc", c));
+    PrintHeader(StrFormat("(c) scale-up on %s (tau=%.3f), search ms",
+                          dataset_name, default_tau),
+                cols);
+    std::map<std::string, std::vector<double>> rows;
+    for (size_t c : cores) {
+      SearchEngines e = BuildSearchEngines(full, c, distance, config);
+      for (auto& [name, fn] : e.Fns()) {
+        rows[name].push_back(AvgSearchMs(fn, queries, default_tau));
+      }
+    }
+    for (const char* name : order) PrintRow(name, rows[name]);
+  }
+
+  // (d) scale-out: rate and cores grow together.
+  {
+    const std::vector<std::pair<double, size_t>> scales = {
+        {0.25, 4}, {0.5, 8}, {0.75, 12}, {1.0, 16}};
+    std::vector<std::string> cols;
+    for (auto& [r, c] : scales) cols.push_back(StrFormat("%.2f,%zuc", r, c));
+    PrintHeader(StrFormat("(d) scale-out on %s (tau=%.3f), search ms",
+                          dataset_name, default_tau),
+                cols);
+    std::map<std::string, std::vector<double>> rows;
+    for (auto& [rate, c] : scales) {
+      auto sampled = full.Sample(rate, 7);
+      DITA_CHECK(sampled.ok());
+      SearchEngines e = BuildSearchEngines(*sampled, c, distance, config);
+      for (auto& [name, fn] : e.Fns()) {
+        rows[name].push_back(AvgSearchMs(fn, queries, default_tau));
+      }
+    }
+    for (const char* name : order) PrintRow(name, rows[name]);
+  }
+}
+
+}  // namespace dita::bench
+
+#endif  // DITA_BENCH_SEARCH_FIGURE_H_

@@ -1,0 +1,159 @@
+// Command-line utility around the library: generate datasets, convert
+// between CSV and the compact binary format, print statistics, and run
+// ad-hoc searches — the small ops tool a deployment would keep around.
+//
+//   dita_tool generate --out=trips.dita [--preset=beijing|chengdu|osm] [--scale=0.1]
+//   dita_tool convert --in=trips.csv --out=trips.dita      (and vice versa)
+//   dita_tool stats   --in=trips.dita
+//   dita_tool search  --in=trips.dita --query-id=42 --tau=0.003 [--fn=dtw]
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/engine.h"
+#include "util/string_util.h"
+#include "workload/binary_io.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace dita;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg.substr(2)] = "true";
+    } else {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+Result<Dataset> LoadAny(const std::string& path) {
+  if (EndsWith(path, ".csv")) return Dataset::ReadCsv(path);
+  return ReadBinary(path);
+}
+
+Status SaveAny(const Dataset& ds, const std::string& path) {
+  if (EndsWith(path, ".csv")) return ds.WriteCsv(path);
+  return WriteBinary(ds, path);
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("out");
+  if (it == flags.end()) return Fail(Status::InvalidArgument("--out required"));
+  const std::string preset =
+      flags.count("preset") ? flags.at("preset") : "beijing";
+  const double scale =
+      flags.count("scale") ? std::atof(flags.at("scale").c_str()) : 0.1;
+  Dataset ds;
+  if (preset == "beijing") {
+    ds = GenerateBeijingLike(scale);
+  } else if (preset == "chengdu") {
+    ds = GenerateChengduLike(scale);
+  } else if (preset == "osm") {
+    ds = GenerateOsmLike(scale);
+  } else {
+    return Fail(Status::InvalidArgument("unknown preset: " + preset));
+  }
+  if (Status st = SaveAny(ds, it->second); !st.ok()) return Fail(st);
+  std::printf("wrote %zu trajectories to %s\n", ds.size(), it->second.c_str());
+  return 0;
+}
+
+int CmdConvert(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("in") || !flags.count("out")) {
+    return Fail(Status::InvalidArgument("--in and --out required"));
+  }
+  auto ds = LoadAny(flags.at("in"));
+  if (!ds.ok()) return Fail(ds.status());
+  if (Status st = SaveAny(*ds, flags.at("out")); !st.ok()) return Fail(st);
+  std::printf("converted %zu trajectories: %s -> %s\n", ds->size(),
+              flags.at("in").c_str(), flags.at("out").c_str());
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("in")) return Fail(Status::InvalidArgument("--in required"));
+  auto ds = LoadAny(flags.at("in"));
+  if (!ds.ok()) return Fail(ds.status());
+  const auto s = ds->ComputeStats();
+  std::printf("cardinality: %zu\navg_len: %.1f\nmin_len: %zu\nmax_len: %zu\n"
+              "raw size: %s\n",
+              s.cardinality, s.avg_len, s.min_len, s.max_len,
+              HumanBytes(double(s.bytes)).c_str());
+  return 0;
+}
+
+int CmdSearch(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("in") || !flags.count("query-id") || !flags.count("tau")) {
+    return Fail(
+        Status::InvalidArgument("--in, --query-id and --tau required"));
+  }
+  auto ds = LoadAny(flags.at("in"));
+  if (!ds.ok()) return Fail(ds.status());
+  const TrajectoryId qid = std::atoll(flags.at("query-id").c_str());
+  const double tau = std::atof(flags.at("tau").c_str());
+  const Trajectory* query = nullptr;
+  for (const auto& t : ds->trajectories()) {
+    if (t.id() == qid) query = &t;
+  }
+  if (query == nullptr) {
+    return Fail(Status::NotFound("no trajectory with --query-id"));
+  }
+
+  ClusterConfig ccfg;
+  ccfg.num_workers = 16;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+  DitaConfig config;
+  if (flags.count("fn")) {
+    auto type = ParseDistanceType(flags.at("fn"));
+    if (!type.ok()) return Fail(type.status());
+    config.distance = *type;
+  }
+  DitaEngine engine(cluster, config);
+  if (Status st = engine.BuildIndex(*ds); !st.ok()) return Fail(st);
+  DitaEngine::QueryStats stats;
+  auto hits = engine.Search(*query, tau, &stats);
+  if (!hits.ok()) return Fail(hits.status());
+  std::printf("%zu similar trajectories (%.3f ms cost-model):", hits->size(),
+              stats.makespan_seconds * 1e3);
+  for (TrajectoryId id : *hits) std::printf(" %lld", static_cast<long long>(id));
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dita_tool <generate|convert|stats|search> [--flags]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "convert") return CmdConvert(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "search") return CmdSearch(flags);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

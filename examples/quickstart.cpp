@@ -1,0 +1,72 @@
+// Quickstart: build a DITA engine over a synthetic taxi dataset, run a
+// threshold similarity search and a self-join, and print what happened.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace dita;
+
+  // 1. A simulated 16-worker cluster (see src/cluster/cluster.h: tasks run
+  //    for real; latency is reported under the paper's cost model).
+  ClusterConfig cluster_config;
+  cluster_config.num_workers = 16;
+  auto cluster = std::make_shared<Cluster>(cluster_config);
+
+  // 2. A Beijing-like taxi workload (Table 2 shapes, laptop scale).
+  Dataset taxis = GenerateBeijingLike(/*scale=*/0.25);
+  auto stats = taxis.ComputeStats();
+  std::printf("dataset: %zu trajectories, avg len %.1f, %s\n", stats.cardinality,
+              stats.avg_len, HumanBytes(double(stats.bytes)).c_str());
+
+  // 3. Index: STR first/last partitioning + global R-trees + per-partition
+  //    pivot tries (CREATE INDEX TrieIndex ON taxis USE TRIE).
+  DitaConfig config;
+  config.ng = 6;
+  config.trie.num_pivots = 4;
+  DitaEngine engine(cluster, config);
+  if (Status st = engine.BuildIndex(taxis); !st.ok()) {
+    std::fprintf(stderr, "BuildIndex: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("index: %zu partitions, global %s, local %s, built in %.2fs\n",
+              engine.index_stats().num_partitions,
+              HumanBytes(double(engine.index_stats().global_index_bytes)).c_str(),
+              HumanBytes(double(engine.index_stats().local_index_bytes)).c_str(),
+              engine.index_stats().build_seconds);
+
+  // 4. Similarity search: everything within DTW distance 0.002 (~222m
+  //    accumulated) of a sample trip.
+  const Trajectory& query = taxis[42];
+  DitaEngine::QueryStats qstats;
+  auto hits = engine.Search(query, 0.003, &qstats);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "Search: %s\n", hits.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "search: %zu similar trips (probed %zu partitions, %zu candidates, "
+      "%.3f ms cost-model latency)\n",
+      hits->size(), qstats.partitions_probed, qstats.candidates,
+      qstats.makespan_seconds * 1e3);
+
+  // 5. Similarity self-join: all trip pairs within DTW distance 0.001.
+  DitaEngine::JoinStats jstats;
+  auto pairs = engine.Join(engine, 0.001, &jstats);
+  if (!pairs.ok()) {
+    std::fprintf(stderr, "Join: %s\n", pairs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "join: %zu pairs (bi-graph %zu edges, %s shipped, load ratio %.2f, "
+      "%.2f s cost-model time)\n",
+      pairs->size(), jstats.graph_edges,
+      HumanBytes(double(jstats.bytes_shipped)).c_str(), jstats.load_ratio,
+      jstats.makespan_seconds);
+  return 0;
+}

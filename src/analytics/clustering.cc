@@ -1,0 +1,48 @@
+#include "analytics/clustering.h"
+
+#include <algorithm>
+
+namespace dita {
+
+Result<ClusteringResult> ClusterTrajectories(const DitaEngine& engine,
+                                             const ClusteringParams& params) {
+  if (params.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be positive");
+  }
+  auto graph = SimilarityGraph::FromSelfJoin(engine, params.tau);
+  DITA_RETURN_IF_ERROR(graph.status());
+  return ClusterGraph(*graph, params.min_pts);
+}
+
+ClusteringResult ClusterGraph(const SimilarityGraph& graph, size_t min_pts) {
+  ClusteringResult result;
+  auto is_core = [&](TrajectoryId id) {
+    return graph.DegreeOf(id) + 1 >= min_pts;  // neighbourhood includes self
+  };
+
+  // Expand clusters from unlabelled core points (classic DBSCAN on a
+  // precomputed epsilon-neighbourhood graph).
+  for (TrajectoryId seed : graph.nodes()) {
+    if (!is_core(seed) || result.labels.count(seed)) continue;
+    const int cluster = result.num_clusters++;
+    std::vector<TrajectoryId> stack = {seed};
+    result.labels[seed] = cluster;
+    while (!stack.empty()) {
+      const TrajectoryId id = stack.back();
+      stack.pop_back();
+      if (!is_core(id)) continue;  // border point: labelled but not expanded
+      for (TrajectoryId nb : graph.NeighborsOf(id)) {
+        auto [it, inserted] = result.labels.try_emplace(nb, cluster);
+        if (inserted) stack.push_back(nb);
+      }
+    }
+  }
+
+  for (TrajectoryId id : graph.nodes()) {
+    if (!result.labels.count(id)) result.noise.push_back(id);
+  }
+  std::sort(result.noise.begin(), result.noise.end());
+  return result;
+}
+
+}  // namespace dita

@@ -1,0 +1,43 @@
+#ifndef DITA_ANALYTICS_CLUSTERING_H_
+#define DITA_ANALYTICS_CLUSTERING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "analytics/similarity_graph.h"
+
+namespace dita {
+
+/// Density-based trajectory clustering (DBSCAN over the similarity graph —
+/// the trajectory-clustering application of [20, 24] built on DITA's join).
+struct ClusteringParams {
+  /// Similarity threshold defining the neighbourhood (join tau).
+  double tau = 0.001;
+  /// Minimum neighbourhood size (including the trajectory itself) for a
+  /// trajectory to be a core point.
+  size_t min_pts = 4;
+};
+
+struct ClusteringResult {
+  /// Cluster id per trajectory; kNoise for trajectories in no cluster.
+  static constexpr int kNoise = -1;
+  std::unordered_map<TrajectoryId, int> labels;
+  int num_clusters = 0;
+  std::vector<TrajectoryId> noise;
+
+  int LabelOf(TrajectoryId id) const {
+    auto it = labels.find(id);
+    return it == labels.end() ? kNoise : it->second;
+  }
+};
+
+/// Runs the distributed self-join at params.tau and clusters its graph.
+Result<ClusteringResult> ClusterTrajectories(const DitaEngine& engine,
+                                             const ClusteringParams& params);
+
+/// Clusters a pre-built similarity graph (no join executed).
+ClusteringResult ClusterGraph(const SimilarityGraph& graph, size_t min_pts);
+
+}  // namespace dita
+
+#endif  // DITA_ANALYTICS_CLUSTERING_H_

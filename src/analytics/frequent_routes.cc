@@ -1,0 +1,38 @@
+#include "analytics/frequent_routes.h"
+
+#include <algorithm>
+
+namespace dita {
+
+Result<std::vector<FrequentRoute>> MineFrequentRoutes(const DitaEngine& engine,
+                                                      double tau,
+                                                      size_t min_support) {
+  if (min_support == 0) {
+    return Status::InvalidArgument("min_support must be positive");
+  }
+  auto graph = SimilarityGraph::FromSelfJoin(engine, tau);
+  DITA_RETURN_IF_ERROR(graph.status());
+  return MineFrequentRoutesInGraph(*graph, min_support);
+}
+
+std::vector<FrequentRoute> MineFrequentRoutesInGraph(
+    const SimilarityGraph& graph, size_t min_support) {
+  std::vector<FrequentRoute> routes;
+  for (auto& component : graph.ConnectedComponents()) {
+    if (component.size() < min_support) continue;
+    FrequentRoute route;
+    route.support = component.size();
+    route.members = std::move(component);
+    route.representative = route.members.front();
+    for (TrajectoryId id : route.members) {
+      if (graph.DegreeOf(id) > graph.DegreeOf(route.representative)) {
+        route.representative = id;
+      }
+    }
+    routes.push_back(std::move(route));
+  }
+  // ConnectedComponents is already largest-first; keep that order.
+  return routes;
+}
+
+}  // namespace dita

@@ -1,0 +1,32 @@
+#ifndef DITA_ANALYTICS_FREQUENT_ROUTES_H_
+#define DITA_ANALYTICS_FREQUENT_ROUTES_H_
+
+#include <vector>
+
+#include "analytics/similarity_graph.h"
+
+namespace dita {
+
+/// A frequently travelled route: a dense group of mutually similar trips
+/// (the frequent-trajectory navigation application of §1).
+struct FrequentRoute {
+  /// The member with the most similar neighbours — the route's medoid-like
+  /// representative a navigation system would suggest.
+  TrajectoryId representative = -1;
+  /// Number of trips on the route.
+  size_t support = 0;
+  std::vector<TrajectoryId> members;
+};
+
+/// Mines routes with at least `min_support` trips, most popular first.
+/// Routes are the connected components of the tau-similarity graph.
+Result<std::vector<FrequentRoute>> MineFrequentRoutes(const DitaEngine& engine,
+                                                      double tau,
+                                                      size_t min_support);
+
+std::vector<FrequentRoute> MineFrequentRoutesInGraph(
+    const SimilarityGraph& graph, size_t min_support);
+
+}  // namespace dita
+
+#endif  // DITA_ANALYTICS_FREQUENT_ROUTES_H_

@@ -1,0 +1,24 @@
+#include "analytics/outliers.h"
+
+#include <algorithm>
+
+namespace dita {
+
+Result<std::vector<TrajectoryId>> FindOutliers(const DitaEngine& engine,
+                                               const OutlierParams& params) {
+  auto graph = SimilarityGraph::FromSelfJoin(engine, params.tau);
+  DITA_RETURN_IF_ERROR(graph.status());
+  return FindOutliersInGraph(*graph, params.min_neighbors);
+}
+
+std::vector<TrajectoryId> FindOutliersInGraph(const SimilarityGraph& graph,
+                                              size_t min_neighbors) {
+  std::vector<TrajectoryId> outliers;
+  for (TrajectoryId id : graph.nodes()) {
+    if (graph.DegreeOf(id) < min_neighbors) outliers.push_back(id);
+  }
+  std::sort(outliers.begin(), outliers.end());
+  return outliers;
+}
+
+}  // namespace dita

@@ -1,0 +1,28 @@
+#ifndef DITA_ANALYTICS_OUTLIERS_H_
+#define DITA_ANALYTICS_OUTLIERS_H_
+
+#include <vector>
+
+#include "analytics/similarity_graph.h"
+
+namespace dita {
+
+/// Distance-based trajectory outlier detection (the application of [22, 27]
+/// built on DITA's join): a trajectory is an outlier if fewer than
+/// `min_neighbors` other trajectories lie within `tau` of it.
+struct OutlierParams {
+  double tau = 0.001;
+  size_t min_neighbors = 2;
+};
+
+/// Runs the distributed self-join and returns outlier ids, ascending.
+Result<std::vector<TrajectoryId>> FindOutliers(const DitaEngine& engine,
+                                               const OutlierParams& params);
+
+/// Same decision on a pre-built graph.
+std::vector<TrajectoryId> FindOutliersInGraph(const SimilarityGraph& graph,
+                                              size_t min_neighbors);
+
+}  // namespace dita
+
+#endif  // DITA_ANALYTICS_OUTLIERS_H_

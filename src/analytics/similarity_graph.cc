@@ -1,0 +1,79 @@
+#include "analytics/similarity_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dita {
+
+Result<SimilarityGraph> SimilarityGraph::FromSelfJoin(const DitaEngine& engine,
+                                                      double tau) {
+  auto pairs = engine.Join(engine, tau);
+  DITA_RETURN_IF_ERROR(pairs.status());
+  // The universe is recoverable from the self-join (every trajectory pairs
+  // with itself at any non-negative threshold).
+  std::set<TrajectoryId> universe;
+  for (const auto& [a, b] : *pairs) {
+    universe.insert(a);
+    universe.insert(b);
+  }
+  return SimilarityGraph(
+      std::vector<TrajectoryId>(universe.begin(), universe.end()), *pairs);
+}
+
+SimilarityGraph::SimilarityGraph(
+    std::vector<TrajectoryId> nodes,
+    const std::vector<std::pair<TrajectoryId, TrajectoryId>>& pairs)
+    : nodes_(std::move(nodes)) {
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  for (TrajectoryId id : nodes_) adjacency_[id];  // materialize every node
+  std::set<std::pair<TrajectoryId, TrajectoryId>> seen;
+  for (const auto& [a, b] : pairs) {
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (!seen.insert({key.first, key.second}).second) continue;
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    ++num_edges_;
+  }
+  for (auto& [_, neighbors] : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+}
+
+const std::vector<TrajectoryId>& SimilarityGraph::NeighborsOf(
+    TrajectoryId id) const {
+  static const std::vector<TrajectoryId> kEmpty;
+  auto it = adjacency_.find(id);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::vector<TrajectoryId>> SimilarityGraph::ConnectedComponents()
+    const {
+  std::vector<std::vector<TrajectoryId>> components;
+  std::set<TrajectoryId> visited;
+  for (TrajectoryId start : nodes_) {
+    if (visited.count(start)) continue;
+    std::vector<TrajectoryId> component;
+    std::vector<TrajectoryId> stack = {start};
+    visited.insert(start);
+    while (!stack.empty()) {
+      const TrajectoryId id = stack.back();
+      stack.pop_back();
+      component.push_back(id);
+      for (TrajectoryId nb : NeighborsOf(id)) {
+        if (visited.insert(nb).second) stack.push_back(nb);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  return components;
+}
+
+}  // namespace dita

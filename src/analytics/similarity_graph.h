@@ -1,0 +1,50 @@
+#ifndef DITA_ANALYTICS_SIMILARITY_GRAPH_H_
+#define DITA_ANALYTICS_SIMILARITY_GRAPH_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace dita {
+
+/// The neighbourhood structure induced by a similarity self-join: nodes are
+/// trajectory ids, edges connect pairs within the join threshold. The
+/// analytics layer (clustering, outliers, frequent routes — the applications
+/// of the paper's §1) is built on top of this graph.
+class SimilarityGraph {
+ public:
+  /// Builds the graph from an indexed engine by running a distributed
+  /// self-join at threshold `tau` (self-pairs are dropped).
+  static Result<SimilarityGraph> FromSelfJoin(const DitaEngine& engine,
+                                              double tau);
+
+  /// Builds from an explicit universe and (possibly asymmetric) pair list;
+  /// edges are stored symmetrically, self-pairs and duplicates ignored.
+  SimilarityGraph(std::vector<TrajectoryId> nodes,
+                  const std::vector<std::pair<TrajectoryId, TrajectoryId>>& pairs);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  const std::vector<TrajectoryId>& nodes() const { return nodes_; }
+
+  /// Neighbours of `id` (empty for unknown ids).
+  const std::vector<TrajectoryId>& NeighborsOf(TrajectoryId id) const;
+
+  /// Degree of `id` (0 for unknown ids).
+  size_t DegreeOf(TrajectoryId id) const { return NeighborsOf(id).size(); }
+
+  /// Connected components, largest first; singleton components included.
+  std::vector<std::vector<TrajectoryId>> ConnectedComponents() const;
+
+ private:
+  std::vector<TrajectoryId> nodes_;
+  std::unordered_map<TrajectoryId, std::vector<TrajectoryId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace dita
+
+#endif  // DITA_ANALYTICS_SIMILARITY_GRAPH_H_

@@ -1,0 +1,70 @@
+#include "baselines/centralized_dita.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace dita {
+
+Status CentralizedDita::Build(const Dataset& data, const DitaConfig& config) {
+  config_ = config;
+  auto dist = MakeDistance(config.distance, config.distance_params);
+  DITA_RETURN_IF_ERROR(dist.status());
+  distance_ = *dist;
+  verifier_ = std::make_unique<Verifier>(distance_, config_);
+
+  WallTimer timer;
+  DITA_RETURN_IF_ERROR(trie_.Build(data.trajectories(), config.trie));
+  precomp_.clear();
+  precomp_.reserve(trie_.size());
+  for (const Trajectory& t : trie_.trajectories()) {
+    precomp_.push_back(VerifyPrecomp::For(t, config.cell_size));
+  }
+  build_seconds_ = timer.Seconds();
+  return Status::OK();
+}
+
+Result<std::vector<TrajectoryId>> CentralizedDita::Search(
+    const Trajectory& q, double tau, SearchStats* stats) const {
+  if (verifier_ == nullptr) return Status::Internal("Search before Build");
+  if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
+
+  TrieIndex::SearchSpec spec;
+  spec.query = &q;
+  spec.tau = tau;
+  spec.mode = distance_->prune_mode();
+  spec.epsilon = distance_->matching_epsilon();
+  if (config_.distance == DistanceType::kLCSS) {
+    spec.lcss_delta = config_.distance_params.delta;
+  }
+  if (config_.distance == DistanceType::kERP) {
+    spec.erp_gap = &config_.distance_params.erp_gap;
+  }
+
+  std::vector<uint32_t> candidates;
+  trie_.CollectCandidates(spec, &candidates);
+  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
+
+  SearchStats local;
+  local.candidates = candidates.size();
+  std::vector<TrajectoryId> out;
+  for (uint32_t pos : candidates) {
+    const Trajectory& t = trie_.trajectory(pos);
+    if (verifier_->Verify(t, precomp_[pos], q, qp, tau, &local.verify)) {
+      out.push_back(t.id());
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t CentralizedDita::ByteSize() const {
+  size_t bytes = trie_.ByteSize();
+  for (const VerifyPrecomp& vp : precomp_) {
+    bytes += sizeof(MBR) + vp.cells.cells.size() * sizeof(CellSummary::Cell);
+  }
+  return bytes;
+}
+
+}  // namespace dita

@@ -1,0 +1,44 @@
+#ifndef DITA_BASELINES_CENTRALIZED_DITA_H_
+#define DITA_BASELINES_CENTRALIZED_DITA_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/verifier.h"
+#include "index/trie_index.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// The "centralized implementation of DITA" used in the Appendix C
+/// comparison against VP-tree and MBE: one trie index over the whole dataset
+/// plus the full verification pipeline, no cluster.
+class CentralizedDita {
+ public:
+  struct SearchStats {
+    /// Trajectories surviving the trie filter (Fig. 17's candidate count).
+    size_t candidates = 0;
+    VerifyStats verify;
+  };
+
+  Status Build(const Dataset& data, const DitaConfig& config);
+
+  Result<std::vector<TrajectoryId>> Search(const Trajectory& q, double tau,
+                                           SearchStats* stats = nullptr) const;
+
+  double build_seconds() const { return build_seconds_; }
+  size_t ByteSize() const;
+
+ private:
+  DitaConfig config_;
+  std::shared_ptr<TrajectoryDistance> distance_;
+  std::unique_ptr<Verifier> verifier_;
+  TrieIndex trie_;
+  std::vector<VerifyPrecomp> precomp_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace dita
+
+#endif  // DITA_BASELINES_CENTRALIZED_DITA_H_

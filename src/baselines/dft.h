@@ -1,0 +1,57 @@
+#ifndef DITA_BASELINES_DFT_H_
+#define DITA_BASELINES_DFT_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/engine.h"
+#include "distance/distance.h"
+#include "index/rtree.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// The DFT-derived baseline: the distributed trajectory search system of Xie
+/// et al. [46], extended to threshold search on DTW as the paper describes.
+/// Its distinguishing (and, per §2.3/§7.2.1, performance-limiting)
+/// properties modelled here:
+///  - a *segment-based, non-clustered* index: local R-trees over per-segment
+///    MBRs, mapping back to trajectory ids;
+///  - a *bitmap barrier*: every worker reports a bitmap of pruned/candidate
+///    trajectory ids to the driver, which merges them sequentially and
+///    redistributes the merged bitmap before verification can start;
+///  - no verification optimizations (plain thresholded DP only).
+///
+/// Join is intentionally unsupported: the paper shows the bitmap approach
+/// needs ~terabytes of memory for join workloads (§7.2.2).
+class DftEngine {
+ public:
+  DftEngine(std::shared_ptr<Cluster> cluster, DistanceType distance,
+            const DistanceParams& params = DistanceParams());
+
+  Status BuildIndex(const Dataset& data);
+
+  Result<std::vector<TrajectoryId>> Search(
+      const Trajectory& q, double tau,
+      DitaEngine::QueryStats* stats = nullptr) const;
+
+  size_t index_bytes() const;
+
+ private:
+  struct Partition {
+    std::vector<Trajectory> trajectories;
+    RTree segments;  // entry value = position in `trajectories`
+    size_t bytes = 0;
+  };
+
+  std::shared_ptr<Cluster> cluster_;
+  std::shared_ptr<TrajectoryDistance> distance_;
+  std::vector<Partition> partitions_;
+  size_t total_trajectories_ = 0;
+  bool indexed_ = false;
+};
+
+}  // namespace dita
+
+#endif  // DITA_BASELINES_DFT_H_

@@ -1,0 +1,99 @@
+#include "baselines/mbe.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace dita {
+
+Status MbeIndex::Build(const Dataset& data, DistanceType distance,
+                       size_t envelope_width, const DistanceParams& params) {
+  if (distance != DistanceType::kDTW && distance != DistanceType::kFrechet) {
+    return Status::NotSupported("MBE supports DTW and Frechet");
+  }
+  if (envelope_width == 0) {
+    return Status::InvalidArgument("envelope width must be positive");
+  }
+  auto dist = MakeDistance(distance, params);
+  DITA_RETURN_IF_ERROR(dist.status());
+  distance_ = *dist;
+
+  WallTimer timer;
+  items_ = data.trajectories();
+  envelopes_.clear();
+  envelopes_.resize(items_.size());
+  std::vector<RTree::Entry> entries;
+  for (uint32_t pos = 0; pos < items_.size(); ++pos) {
+    const auto& pts = items_[pos].points();
+    for (size_t s = 0; s < pts.size(); s += envelope_width) {
+      MBR run;
+      for (size_t i = s; i < std::min(pts.size(), s + envelope_width); ++i) {
+        run.Expand(pts[i]);
+      }
+      envelopes_[pos].push_back(run);
+      entries.push_back({run, pos});
+    }
+  }
+  envelope_tree_.Build(std::move(entries));
+  build_seconds_ = timer.Seconds();
+  return Status::OK();
+}
+
+double MbeIndex::LowerBound(const Trajectory& q, uint32_t pos) const {
+  // Every point of the query aligns to some point of the trajectory, which
+  // lies inside one of the envelope MBRs. Summing per-point minima bounds
+  // DTW from below; taking the max bounds Frechet.
+  const auto& env = envelopes_[pos];
+  const bool is_max = distance_->prune_mode() == PruneMode::kMax;
+  double agg = 0.0;
+  for (const Point& p : q.points()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const MBR& mbr : env) best = std::min(best, mbr.MinDist(p));
+    if (is_max) {
+      agg = std::max(agg, best);
+    } else {
+      agg += best;
+    }
+  }
+  return agg;
+}
+
+Result<std::vector<TrajectoryId>> MbeIndex::Search(const Trajectory& q,
+                                                   double tau,
+                                                   SearchStats* stats) const {
+  if (distance_ == nullptr) return Status::Internal("Search before Build");
+  if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
+  if (q.empty()) return Status::InvalidArgument("empty query");
+
+  // R-tree prefilter: a similar trajectory must have an envelope MBR within
+  // tau of the query's first point (its first point aligns with q1 for both
+  // DTW and Frechet).
+  std::vector<uint32_t> hits;
+  envelope_tree_.SearchWithinDistance(q.front(), tau, &hits);
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+
+  SearchStats local;
+  local.prefilter_survivors = hits.size();
+  std::vector<TrajectoryId> out;
+  for (uint32_t pos : hits) {
+    if (LowerBound(q, pos) > tau) continue;
+    ++local.candidates;
+    if (distance_->WithinThreshold(items_[pos], q, tau)) {
+      out.push_back(items_[pos].id());
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t MbeIndex::ByteSize() const {
+  size_t bytes = envelope_tree_.ByteSize();
+  for (const auto& env : envelopes_) bytes += env.size() * sizeof(MBR);
+  for (const Trajectory& t : items_) bytes += t.ByteSize();
+  return bytes;
+}
+
+}  // namespace dita

@@ -1,0 +1,51 @@
+#ifndef DITA_BASELINES_MBE_H_
+#define DITA_BASELINES_MBE_H_
+
+#include <memory>
+#include <vector>
+
+#include "distance/distance.h"
+#include "index/rtree.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// Centralized Minimum Bounding Envelope baseline (Appendix C; Vlachos et
+/// al. [42]): each trajectory is covered by a sequence of MBRs over runs of
+/// `envelope_width` consecutive points, all envelope MBRs live in one
+/// R-tree, and a sum/max lower bound over the envelope prunes dissimilar
+/// trajectories before the exact DP verification. Supports DTW (sum bound)
+/// and Frechet (max bound).
+class MbeIndex {
+ public:
+  struct SearchStats {
+    /// Trajectories surviving the envelope lower bound (Fig. 17's
+    /// candidate count).
+    size_t candidates = 0;
+    size_t prefilter_survivors = 0;
+  };
+
+  Status Build(const Dataset& data, DistanceType distance,
+               size_t envelope_width = 8,
+               const DistanceParams& params = DistanceParams());
+
+  Result<std::vector<TrajectoryId>> Search(const Trajectory& q, double tau,
+                                           SearchStats* stats = nullptr) const;
+
+  double build_seconds() const { return build_seconds_; }
+  size_t ByteSize() const;
+
+ private:
+  /// Lower bound of the distance between q and trajectory `pos`'s envelope.
+  double LowerBound(const Trajectory& q, uint32_t pos) const;
+
+  std::shared_ptr<TrajectoryDistance> distance_;
+  std::vector<Trajectory> items_;
+  std::vector<std::vector<MBR>> envelopes_;  // parallel to items_
+  RTree envelope_tree_;                      // all MBRs, value = item pos
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace dita
+
+#endif  // DITA_BASELINES_MBE_H_

@@ -1,0 +1,122 @@
+#include "baselines/naive.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/partitioner.h"
+#include "util/logging.h"
+
+namespace dita {
+
+NaiveEngine::NaiveEngine(std::shared_ptr<Cluster> cluster, DistanceType distance,
+                         const DistanceParams& params)
+    : cluster_(std::move(cluster)) {
+  DITA_CHECK(cluster_ != nullptr);
+  auto dist = MakeDistance(distance, params);
+  DITA_CHECK(dist.ok());
+  distance_ = *dist;
+}
+
+Status NaiveEngine::BuildIndex(const Dataset& data) {
+  auto parts = PartitionRandomly(data.trajectories(), cluster_->num_workers());
+  DITA_RETURN_IF_ERROR(parts.status());
+  partitions_ = std::move(*parts);
+  partition_bytes_.clear();
+  for (const auto& p : partitions_) {
+    size_t bytes = 0;
+    for (const auto& t : p) bytes += t.ByteSize();
+    partition_bytes_.push_back(bytes);
+  }
+  indexed_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<TrajectoryId>> NaiveEngine::Search(
+    const Trajectory& q, double tau, DitaEngine::QueryStats* stats) const {
+  if (!indexed_) return Status::Internal("Search before BuildIndex");
+  if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
+  const Cluster::CostSnapshot snap = cluster_->Snapshot();
+
+  std::mutex mu;
+  std::vector<TrajectoryId> results;
+  size_t scanned = 0;
+  std::vector<Cluster::Task> tasks;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const std::vector<Trajectory>* part = &partitions_[p];
+    tasks.push_back({cluster_->WorkerOf(p), [&, part] {
+                       std::vector<TrajectoryId> local;
+                       for (const Trajectory& t : *part) {
+                         if (distance_->WithinThreshold(t, q, tau)) {
+                           local.push_back(t.id());
+                         }
+                       }
+                       std::lock_guard<std::mutex> lock(mu);
+                       results.insert(results.end(), local.begin(), local.end());
+                       scanned += part->size();
+                     }});
+  }
+  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
+
+  if (stats != nullptr) {
+    stats->makespan_seconds = cluster_->MakespanSince(snap);
+    stats->partitions_probed = partitions_.size();
+    stats->candidates = scanned;  // no filtering: every trajectory verified
+    stats->results = results.size();
+  }
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> NaiveEngine::SelfJoin(
+    double tau, DitaEngine::JoinStats* stats) const {
+  if (!indexed_) return Status::Internal("Join before BuildIndex");
+  const Cluster::CostSnapshot snap = cluster_->Snapshot();
+  const uint64_t bytes_before = cluster_->total_bytes_sent();
+
+  // Every partition is broadcast to every other partition's worker.
+  for (size_t src = 0; src < partitions_.size(); ++src) {
+    for (size_t dst = 0; dst < partitions_.size(); ++dst) {
+      if (src == dst) continue;
+      cluster_->RecordTransfer(cluster_->WorkerOf(src), cluster_->WorkerOf(dst),
+                               partition_bytes_[src]);
+    }
+  }
+
+  std::mutex mu;
+  std::vector<std::pair<TrajectoryId, TrajectoryId>> results;
+  size_t pairs = 0;
+  std::vector<Cluster::Task> tasks;
+  for (size_t dst = 0; dst < partitions_.size(); ++dst) {
+    const std::vector<Trajectory>* right_part = &partitions_[dst];
+    tasks.push_back({cluster_->WorkerOf(dst), [&, right_part] {
+      std::vector<std::pair<TrajectoryId, TrajectoryId>> local;
+      size_t local_pairs = 0;
+      for (const auto& src_part : partitions_) {
+        for (const Trajectory& a : src_part) {
+          for (const Trajectory& b : *right_part) {
+            ++local_pairs;
+            if (distance_->WithinThreshold(b, a, tau)) {
+              local.emplace_back(a.id(), b.id());
+            }
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      results.insert(results.end(), local.begin(), local.end());
+      pairs += local_pairs;
+    }});
+  }
+  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
+
+  if (stats != nullptr) {
+    stats->makespan_seconds = cluster_->MakespanSince(snap);
+    stats->load_ratio = cluster_->LoadRatioSince(snap);
+    stats->bytes_shipped = cluster_->total_bytes_sent() - bytes_before;
+    stats->candidate_pairs = pairs;
+    stats->result_pairs = results.size();
+  }
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+}  // namespace dita

@@ -1,0 +1,45 @@
+#ifndef DITA_BASELINES_NAIVE_H_
+#define DITA_BASELINES_NAIVE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/engine.h"
+#include "distance/distance.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// The paper's Naive baseline (§7.1): no index at all. Data is randomly
+/// partitioned; every query scans every partition with the thresholded
+/// (double-direction) distance; joins ship every partition to every other.
+class NaiveEngine {
+ public:
+  NaiveEngine(std::shared_ptr<Cluster> cluster, DistanceType distance,
+              const DistanceParams& params = DistanceParams());
+
+  /// Randomly spreads the data over one partition per worker.
+  Status BuildIndex(const Dataset& data);
+
+  Result<std::vector<TrajectoryId>> Search(
+      const Trajectory& q, double tau,
+      DitaEngine::QueryStats* stats = nullptr) const;
+
+  /// Self-join via full partition broadcast; quadratic — the paper could not
+  /// finish it on real datasets, and neither should you on large inputs.
+  Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> SelfJoin(
+      double tau, DitaEngine::JoinStats* stats = nullptr) const;
+
+ private:
+  std::shared_ptr<Cluster> cluster_;
+  std::shared_ptr<TrajectoryDistance> distance_;
+  std::vector<std::vector<Trajectory>> partitions_;
+  std::vector<size_t> partition_bytes_;
+  bool indexed_ = false;
+};
+
+}  // namespace dita
+
+#endif  // DITA_BASELINES_NAIVE_H_

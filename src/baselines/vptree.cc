@@ -1,0 +1,88 @@
+#include "baselines/vptree.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace dita {
+
+Status VpTree::Build(const Dataset& data, DistanceType distance,
+                     const DistanceParams& params) {
+  auto dist = MakeDistance(distance, params);
+  DITA_RETURN_IF_ERROR(dist.status());
+  if (!(*dist)->is_metric()) {
+    return Status::InvalidArgument(
+        "VP-tree requires a metric distance (Frechet or ERP)");
+  }
+  distance_ = *dist;
+  items_ = data.trajectories();
+  nodes_.clear();
+  WallTimer timer;
+  std::vector<uint32_t> order(items_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  root_ = BuildNode(order.begin(), order.end());
+  build_seconds_ = timer.Seconds();
+  return Status::OK();
+}
+
+int32_t VpTree::BuildNode(std::vector<uint32_t>::iterator begin,
+                          std::vector<uint32_t>::iterator end) {
+  if (begin == end) return -1;
+  Node node;
+  node.item = *begin;
+  ++begin;
+  if (begin != end) {
+    // Median-split the rest by distance to the vantage point.
+    const auto mid = begin + (end - begin) / 2;
+    std::nth_element(begin, mid, end, [&](uint32_t a, uint32_t b) {
+      return distance_->Compute(items_[a], items_[node.item]) <
+             distance_->Compute(items_[b], items_[node.item]);
+    });
+    node.radius = distance_->Compute(items_[*mid], items_[node.item]);
+    const int32_t self = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(node);
+    const int32_t inside = BuildNode(begin, mid);
+    const int32_t outside = BuildNode(mid, end);
+    nodes_[self].inside = inside;
+    nodes_[self].outside = outside;
+    return self;
+  }
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+Result<std::vector<TrajectoryId>> VpTree::Search(const Trajectory& q,
+                                                 double tau,
+                                                 SearchStats* stats) const {
+  if (distance_ == nullptr) return Status::Internal("Search before Build");
+  if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
+  std::vector<TrajectoryId> out;
+  SearchStats local;
+  SearchNode(root_, q, tau, &out, &local);
+  if (stats != nullptr) *stats = local;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void VpTree::SearchNode(int32_t node_idx, const Trajectory& q, double tau,
+                        std::vector<TrajectoryId>* out,
+                        SearchStats* stats) const {
+  if (node_idx < 0) return;
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  ++stats->distance_evals;
+  const double d = distance_->Compute(q, items_[node.item]);
+  if (d <= tau) out->push_back(items_[node.item].id());
+  // Triangle inequality: the inside subtree holds items within radius of the
+  // vantage point, so it can contain answers only if d - tau <= radius;
+  // the outside subtree only if d + tau >= radius.
+  if (d - tau <= node.radius) SearchNode(node.inside, q, tau, out, stats);
+  if (d + tau >= node.radius) SearchNode(node.outside, q, tau, out, stats);
+}
+
+size_t VpTree::ByteSize() const {
+  size_t bytes = nodes_.size() * sizeof(Node);
+  for (const Trajectory& t : items_) bytes += t.ByteSize();
+  return bytes;
+}
+
+}  // namespace dita

@@ -1,0 +1,56 @@
+#ifndef DITA_BASELINES_VPTREE_H_
+#define DITA_BASELINES_VPTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "distance/distance.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// Centralized vantage-point tree baseline (Appendix C; [19, 40, 49]).
+/// Requires a *metric* distance (Frechet, ERP): pruning relies on the
+/// triangle inequality |d(q,v) - d(v,t)| <= d(q,t).
+class VpTree {
+ public:
+  struct SearchStats {
+    /// Number of full distance computations — the VP-tree's "candidates"
+    /// for the Fig. 17 comparison (every visited node costs one DP).
+    size_t distance_evals = 0;
+  };
+
+  /// Builds the tree; O(n log n) distance computations.
+  Status Build(const Dataset& data, DistanceType distance,
+               const DistanceParams& params = DistanceParams());
+
+  /// Exact threshold search via triangle-inequality pruning.
+  Result<std::vector<TrajectoryId>> Search(const Trajectory& q, double tau,
+                                           SearchStats* stats = nullptr) const;
+
+  double build_seconds() const { return build_seconds_; }
+  size_t ByteSize() const;
+
+ private:
+  struct Node {
+    uint32_t item = 0;          // index into items_
+    double radius = 0.0;        // median distance to the inside subtree
+    int32_t inside = -1;        // child node indices; -1 = none
+    int32_t outside = -1;
+  };
+
+  int32_t BuildNode(std::vector<uint32_t>::iterator begin,
+                    std::vector<uint32_t>::iterator end);
+  void SearchNode(int32_t node, const Trajectory& q, double tau,
+                  std::vector<TrajectoryId>* out, SearchStats* stats) const;
+
+  std::shared_ptr<TrajectoryDistance> distance_;
+  std::vector<Trajectory> items_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace dita
+
+#endif  // DITA_BASELINES_VPTREE_H_

@@ -1,0 +1,143 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dita {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  DITA_CHECK(config_.num_workers > 0);
+  DITA_CHECK(config_.bandwidth_bytes_per_sec > 0);
+  stats_.resize(config_.num_workers);
+}
+
+Status Cluster::RunStage(std::vector<Task> tasks) {
+  for (const Task& t : tasks) {
+    if (t.worker >= config_.num_workers) {
+      return Status::InvalidArgument("task bound to nonexistent worker");
+    }
+    if (!t.fn) return Status::InvalidArgument("task without a function");
+  }
+  const size_t threads =
+      config_.execution_threads == 0 ? 1 : config_.execution_threads;
+  if (threads == 1) {
+    // Fast path: run inline, no pool overhead.
+    for (Task& t : tasks) {
+      CpuTimer timer;
+      t.fn();
+      const double secs = timer.Seconds();
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_[t.worker].compute_seconds += secs;
+    }
+    return Status::OK();
+  }
+  ThreadPool pool(threads);
+  for (Task& t : tasks) {
+    pool.Submit([this, &t] {
+      CpuTimer timer;
+      t.fn();
+      const double secs = timer.Seconds();
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_[t.worker].compute_seconds += secs;
+    });
+  }
+  pool.Wait();
+  return Status::OK();
+}
+
+void Cluster::RecordTransfer(size_t from, size_t to, uint64_t bytes) {
+  DITA_CHECK(from < config_.num_workers && to < config_.num_workers);
+  if (from == to) return;  // local, in-memory
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_[from].bytes_sent += bytes;
+  stats_[from].network_seconds +=
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+}
+
+void Cluster::RecordDriverCompute(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  driver_seconds_ += seconds;
+}
+
+void Cluster::RecordDriverTransfer(size_t worker, uint64_t bytes) {
+  DITA_CHECK(worker < config_.num_workers);
+  std::lock_guard<std::mutex> lock(mu_);
+  const double secs =
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  stats_[worker].bytes_sent += bytes;
+  stats_[worker].network_seconds += secs;
+  driver_seconds_ += secs;
+}
+
+double Cluster::MakespanSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double worst = 0.0;
+  for (const WorkerStats& w : stats_) worst = std::max(worst, w.TotalSeconds());
+  return driver_seconds_ + worst;
+}
+
+double Cluster::LoadRatio() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double worst = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (const WorkerStats& w : stats_) {
+    const double t = w.TotalSeconds();
+    worst = std::max(worst, t);
+    if (t > 0.0) best = std::min(best, t);
+  }
+  if (worst == 0.0) return 1.0;
+  if (!std::isfinite(best)) return 1.0;
+  return worst / best;
+}
+
+uint64_t Cluster::total_bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const WorkerStats& w : stats_) total += w.bytes_sent;
+  return total;
+}
+
+Cluster::CostSnapshot Cluster::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CostSnapshot snap;
+  snap.worker_totals.reserve(stats_.size());
+  for (const WorkerStats& w : stats_) snap.worker_totals.push_back(w.TotalSeconds());
+  snap.driver_seconds = driver_seconds_;
+  return snap;
+}
+
+double Cluster::MakespanSince(const CostSnapshot& snap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DITA_CHECK(snap.worker_totals.size() == stats_.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    worst = std::max(worst, stats_[i].TotalSeconds() - snap.worker_totals[i]);
+  }
+  return (driver_seconds_ - snap.driver_seconds) + worst;
+}
+
+double Cluster::LoadRatioSince(const CostSnapshot& snap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DITA_CHECK(snap.worker_totals.size() == stats_.size());
+  double worst = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    const double delta = stats_[i].TotalSeconds() - snap.worker_totals[i];
+    worst = std::max(worst, delta);
+    if (delta > 0.0) best = std::min(best, delta);
+  }
+  if (worst == 0.0 || !std::isfinite(best)) return 1.0;
+  return worst / best;
+}
+
+void Cluster::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (WorkerStats& w : stats_) w = WorkerStats{};
+  driver_seconds_ = 0.0;
+}
+
+}  // namespace dita

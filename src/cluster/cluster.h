@@ -1,0 +1,128 @@
+#ifndef DITA_CLUSTER_CLUSTER_H_
+#define DITA_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dita {
+
+/// Virtual time accumulated by one simulated worker.
+struct WorkerStats {
+  /// Measured CPU seconds of tasks executed on this worker.
+  double compute_seconds = 0.0;
+  /// Bytes this worker shipped to other workers.
+  uint64_t bytes_sent = 0;
+  /// Simulated transmission time (bytes_sent / bandwidth).
+  double network_seconds = 0.0;
+
+  double TotalSeconds() const { return compute_seconds + network_seconds; }
+};
+
+/// Configuration of the simulated cluster.
+struct ClusterConfig {
+  /// Number of workers ("cores" in the paper's scale-up plots: each Spark
+  /// core executes one partition task at a time, which is exactly what a
+  /// worker models here).
+  size_t num_workers = 16;
+  /// Simulated network bandwidth per worker, bytes/second. The default
+  /// models the paper's Gigabit Ethernet (~125 MB/s).
+  double bandwidth_bytes_per_sec = 125e6;
+  /// Real execution threads used to run tasks; accounting is independent of
+  /// this. 0 means one thread (the host here is single-core anyway).
+  size_t execution_threads = 0;
+};
+
+/// A deterministic in-process substitute for the paper's Spark cluster.
+///
+/// Tasks are executed for real; each task's measured CPU time is charged to
+/// the worker that owns it, and every cross-worker byte is charged as
+/// simulated network time. Experiment latency is then reported as the
+/// *makespan* under the paper's own cost model (§6.2):
+///     time = driver_seconds + max_w (compute_w + network_w)
+/// which preserves scale-up / scale-out / load-balance behaviour without
+/// real parallel hardware.
+class Cluster {
+ public:
+  /// A unit of work bound to a worker, mirroring a Spark partition task.
+  struct Task {
+    size_t worker = 0;
+    std::function<void()> fn;
+  };
+
+  explicit Cluster(const ClusterConfig& config);
+
+  size_t num_workers() const { return config_.num_workers; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Round-robin home worker for partition `partition_id`.
+  size_t WorkerOf(size_t partition_id) const {
+    return partition_id % config_.num_workers;
+  }
+
+  /// Executes all tasks (possibly concurrently), charging each task's CPU
+  /// time to its worker. Returns after every task completes. Tasks must not
+  /// touch shared mutable state without their own synchronization.
+  Status RunStage(std::vector<Task> tasks);
+
+  /// Charges `bytes` of traffic from `from` to `to`. Same-worker transfers
+  /// are free (in-memory). Thread-safe.
+  void RecordTransfer(size_t from, size_t to, uint64_t bytes);
+
+  /// Charges sequential driver-side work (global index probing, planning,
+  /// collecting results).
+  void RecordDriverCompute(double seconds);
+
+  /// Charges a transfer between a worker and the driver (e.g. DFT's bitmap
+  /// collection barrier). Both the worker's send time and the driver's
+  /// sequential receive time are charged, making the barrier visible in the
+  /// makespan.
+  void RecordDriverTransfer(size_t worker, uint64_t bytes);
+
+  /// Makespan under the cost model: driver + slowest worker.
+  double MakespanSeconds() const;
+
+  /// Ratio of the busiest to the least-busy worker's total virtual time
+  /// (the paper's "un-balanced ratio", Fig. 16). Workers with no recorded
+  /// time count as idle; if any worker is fully idle the ratio is computed
+  /// against the smallest non-zero load.
+  double LoadRatio() const;
+
+  double driver_seconds() const { return driver_seconds_; }
+  uint64_t total_bytes_sent() const;
+  const std::vector<WorkerStats>& worker_stats() const { return stats_; }
+
+  /// Point-in-time copy of per-worker virtual totals, for measuring the
+  /// incremental cost of one operation (a query, a join) on a shared
+  /// cluster.
+  struct CostSnapshot {
+    std::vector<double> worker_totals;
+    double driver_seconds = 0.0;
+  };
+  CostSnapshot Snapshot() const;
+
+  /// Makespan of the work recorded since `snap`: driver delta plus the
+  /// largest per-worker delta.
+  double MakespanSince(const CostSnapshot& snap) const;
+
+  /// Load ratio (busiest / least-busy non-idle worker) of the work recorded
+  /// since `snap`.
+  double LoadRatioSince(const CostSnapshot& snap) const;
+
+  /// Clears all accumulated accounting (stats only, not configuration).
+  void ResetStats();
+
+ private:
+  ClusterConfig config_;
+  std::vector<WorkerStats> stats_;
+  double driver_seconds_ = 0.0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_CLUSTER_CLUSTER_H_

@@ -1,0 +1,53 @@
+#ifndef DITA_CORE_CONFIG_H_
+#define DITA_CORE_CONFIG_H_
+
+#include <cstddef>
+
+#include "distance/distance.h"
+#include "index/trie_index.h"
+
+namespace dita {
+
+/// All tuning knobs of a DITA engine instance. Defaults follow the paper's
+/// defaults (Table 3) scaled to this repository's laptop-size datasets.
+struct DitaConfig {
+  /// N_G: trajectories are grouped into N_G buckets by first point and each
+  /// bucket into N_G sub-buckets by last point, giving up to N_G^2
+  /// partitions (§4.2.1). The paper uses 32-256 at 10M+ trajectories; at
+  /// our scale the equivalent sweet spot is single digits.
+  size_t ng = 8;
+
+  /// Local index parameters: K (pivots), N_L (fanouts), leaf capacity,
+  /// pivot selection strategy.
+  TrieIndex::Options trie;
+
+  /// Similarity function and its parameters.
+  DistanceType distance = DistanceType::kDTW;
+  DistanceParams distance_params;
+
+  /// Cell side D for the cell-compression verification filter (§5.3.3).
+  double cell_size = 0.01;
+
+  /// Sample rate used to estimate the join bi-graph's trans/comp edge
+  /// weights (§6.2 "DITA samples T and Q").
+  double join_sample_rate = 0.1;
+
+  /// Partitions whose total cost exceeds this quantile of the per-partition
+  /// cost distribution are divided (replicated) for load balancing (§6.3).
+  double division_quantile = 0.98;
+
+  /// Ablation toggles (defaults on; Fig. 13/16 turn some off).
+  /// Replaces first/last STR partitioning with random placement (the
+  /// Appendix B partitioning-scheme ablation, Fig. 13). Global pruning
+  /// still works — the per-partition first/last MBRs are simply huge, so
+  /// nearly everything is relevant, reproducing the ablation's penalty.
+  bool random_partitioning = false;
+  bool enable_graph_orientation = true;
+  bool enable_division_balancing = true;
+  bool enable_mbr_verification = true;
+  bool enable_cell_verification = true;
+};
+
+}  // namespace dita
+
+#endif  // DITA_CORE_CONFIG_H_

@@ -1,0 +1,343 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/join_planner.h"
+#include "core/partitioner.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dita {
+
+DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& config)
+    : cluster_(std::move(cluster)), config_(config) {
+  DITA_CHECK(cluster_ != nullptr);
+  auto dist = MakeDistance(config_.distance, config_.distance_params);
+  DITA_CHECK(dist.ok());
+  distance_ = *dist;
+  verifier_ = std::make_unique<Verifier>(distance_, config_);
+}
+
+Status DitaEngine::BuildIndex(const Dataset& data) {
+  if (config_.ng == 0) return Status::InvalidArgument("ng must be positive");
+  if (config_.trie.align_fanout < 2 || config_.trie.pivot_fanout < 2) {
+    return Status::InvalidArgument("trie fanouts must be at least 2");
+  }
+  if (config_.trie.leaf_capacity < 1) {
+    return Status::InvalidArgument("trie leaf capacity must be at least 1");
+  }
+  for (const Trajectory& t : data.trajectories()) {
+    if (t.size() < 2) {
+      return Status::InvalidArgument(
+          "DITA requires trajectories with at least 2 points");
+    }
+  }
+  WallTimer build_timer;
+
+  auto parts = config_.random_partitioning
+                   ? PartitionRandomly(data.trajectories(),
+                                       config_.ng * config_.ng)
+                   : PartitionByFirstLast(data.trajectories(), config_.ng);
+  DITA_RETURN_IF_ERROR(parts.status());
+
+  partitions_.clear();
+  partitions_.resize(parts->size());
+  std::vector<GlobalIndex::PartitionSummary> summaries(parts->size());
+
+  // Build local indexes as one cluster stage: each partition's trie is
+  // constructed on its home worker.
+  std::vector<Cluster::Task> tasks;
+  for (size_t p = 0; p < parts->size(); ++p) {
+    Partition& partition = partitions_[p];
+    partition.home_worker = cluster_->WorkerOf(p);
+    std::vector<Trajectory>* source = &(*parts)[p];
+    GlobalIndex::PartitionSummary* summary = &summaries[p];
+    tasks.push_back(
+        {partition.home_worker, [this, &partition, source, summary] {
+           for (const Trajectory& t : *source) {
+             summary->mbr_first.Expand(t.front());
+             summary->mbr_last.Expand(t.back());
+             partition.data_bytes += t.ByteSize();
+           }
+           // Inputs were validated above, so Build cannot fail here.
+           DITA_CHECK(partition.trie.Build(std::move(*source), config_.trie).ok());
+           partition.precomp.reserve(partition.trie.size());
+           for (const Trajectory& t : partition.trie.trajectories()) {
+             partition.precomp.push_back(
+                 VerifyPrecomp::For(t, config_.cell_size));
+           }
+         }});
+  }
+  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
+
+  // Driver builds the global index over the partition summaries.
+  CpuTimer driver_timer;
+  global_.Build(std::move(summaries));
+  cluster_->RecordDriverCompute(driver_timer.Seconds());
+
+  index_stats_ = IndexStats{};
+  index_stats_.build_seconds = build_timer.Seconds();
+  index_stats_.num_partitions = partitions_.size();
+  index_stats_.num_trajectories = data.size();
+  index_stats_.global_index_bytes = global_.ByteSize();
+  for (const Partition& p : partitions_) {
+    index_stats_.local_index_bytes += p.trie.ByteSize();
+    for (const VerifyPrecomp& vp : p.precomp) {
+      index_stats_.local_index_bytes +=
+          vp.cells.cells.size() * sizeof(CellSummary::Cell) + sizeof(MBR);
+    }
+  }
+  indexed_ = true;
+  return Status::OK();
+}
+
+TrieIndex::SearchSpec DitaEngine::MakeSpec(const Trajectory& q, double tau) const {
+  TrieIndex::SearchSpec spec;
+  spec.query = &q;
+  spec.tau = tau;
+  spec.mode = distance_->prune_mode();
+  spec.epsilon = distance_->matching_epsilon();
+  if (config_.distance == DistanceType::kLCSS) {
+    spec.lcss_delta = config_.distance_params.delta;
+  }
+  if (config_.distance == DistanceType::kERP) {
+    spec.erp_gap = &config_.distance_params.erp_gap;
+  }
+  return spec;
+}
+
+bool DitaEngine::TrajectoryRelevantTo(const Trajectory& t,
+                                      const GlobalIndex::PartitionSummary& s,
+                                      double tau) const {
+  const double df = s.mbr_first.MinDist(t.front());
+  const double dl = s.mbr_last.MinDist(t.back());
+  switch (distance_->prune_mode()) {
+    case PruneMode::kAccumulate:
+      if (config_.distance == DistanceType::kERP) return true;  // gap matching
+      return df + dl <= tau;
+    case PruneMode::kMax:
+      return df <= tau && dl <= tau;
+    case PruneMode::kEditCount: {
+      double edits = 0.0;
+      const double eps = distance_->matching_epsilon();
+      // Only rectangle-level information is available here; a first/last MBR
+      // farther than epsilon from *every* point of t forces an edit.
+      double best_f = s.mbr_first.MinDist(t.front());
+      double best_l = s.mbr_last.MinDist(t.back());
+      for (const Point& p : t.points()) {
+        best_f = std::min(best_f, s.mbr_first.MinDist(p));
+        best_l = std::min(best_l, s.mbr_last.MinDist(p));
+      }
+      if (best_f > eps) edits += 1.0;
+      if (best_l > eps) edits += 1.0;
+      return edits <= std::floor(tau);
+    }
+  }
+  return true;
+}
+
+size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
+                               const VerifyPrecomp& qp, double tau,
+                               std::vector<TrajectoryId>* results,
+                               VerifyStats* vstats) const {
+  TrieIndex::SearchSpec spec = MakeSpec(q, tau);
+  std::vector<uint32_t> candidates;
+  p.trie.CollectCandidates(spec, &candidates);
+  for (uint32_t pos : candidates) {
+    const Trajectory& t = p.trie.trajectory(pos);
+    if (verifier_->Verify(t, p.precomp[pos], q, qp, tau, vstats)) {
+      results->push_back(t.id());
+    }
+  }
+  return candidates.size();
+}
+
+Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
+                                                     double tau,
+                                                     QueryStats* stats) const {
+  if (!indexed_) return Status::Internal("Search before BuildIndex");
+  if (q.size() < 2) {
+    return Status::InvalidArgument("query needs at least 2 points");
+  }
+  if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
+
+  const Cluster::CostSnapshot snap = cluster_->Snapshot();
+
+  // Driver: probe the global index for relevant partitions.
+  CpuTimer driver_timer;
+  const Point* erp_gap = config_.distance == DistanceType::kERP
+                             ? &config_.distance_params.erp_gap
+                             : nullptr;
+  std::vector<uint32_t> relevant = global_.RelevantPartitions(
+      q, tau, distance_->prune_mode(), distance_->matching_epsilon(), erp_gap);
+  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
+  cluster_->RecordDriverCompute(driver_timer.Seconds());
+
+  // Workers: local filter + verify per relevant partition.
+  std::mutex mu;
+  std::vector<TrajectoryId> results;
+  size_t total_candidates = 0;
+  VerifyStats vstats;
+  std::vector<Cluster::Task> tasks;
+  tasks.reserve(relevant.size());
+  for (uint32_t pid : relevant) {
+    const Partition* part = &partitions_[pid];
+    tasks.push_back({part->home_worker, [&, part] {
+                       std::vector<TrajectoryId> local;
+                       VerifyStats local_stats;
+                       const size_t cands =
+                           LocalSearch(*part, q, qp, tau, &local, &local_stats);
+                       std::lock_guard<std::mutex> lock(mu);
+                       results.insert(results.end(), local.begin(), local.end());
+                       total_candidates += cands;
+                       vstats.Merge(local_stats);
+                     }});
+  }
+  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
+
+  if (stats != nullptr) {
+    stats->makespan_seconds = cluster_->MakespanSince(snap);
+    stats->partitions_probed = relevant.size();
+    stats->candidates = total_candidates;
+    stats->verify = vstats;
+    stats->results = results.size();
+  }
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
+    const Trajectory& q, size_t k, double initial_tau,
+    QueryStats* stats) const {
+  if (!indexed_) return Status::Internal("KnnSearch before BuildIndex");
+  if (q.size() < 2) {
+    return Status::InvalidArgument("query needs at least 2 points");
+  }
+  if (k == 0) return std::vector<std::pair<TrajectoryId, double>>{};
+  if (k > index_stats_.num_trajectories) {
+    return Status::InvalidArgument("k exceeds the table cardinality");
+  }
+
+  const Cluster::CostSnapshot snap = cluster_->Snapshot();
+  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
+
+  // Seed the expansion with a data-derived radius: the spread of the query
+  // itself is a reasonable unit of distance for its neighbourhood.
+  double tau = initial_tau;
+  if (tau <= 0.0) {
+    const MBR qmbr = q.ComputeMBR();
+    tau = std::max(1e-9, 0.01 * PointDistance(qmbr.lo(), qmbr.hi()));
+  }
+
+  // Iterative threshold expansion: collect candidates at radius tau, keep
+  // exact distances, and stop once k answers lie within tau (then no
+  // trajectory outside radius tau can belong to the kNN set, because every
+  // result within tau beats it).
+  std::vector<std::pair<TrajectoryId, double>> scored;
+  size_t total_candidates = 0;
+  size_t probed = 0;
+  for (int round = 0; round < 64; ++round) {
+    scored.clear();
+    const Point* erp_gap = config_.distance == DistanceType::kERP
+                               ? &config_.distance_params.erp_gap
+                               : nullptr;
+    CpuTimer driver_timer;
+    std::vector<uint32_t> relevant = global_.RelevantPartitions(
+        q, tau, distance_->prune_mode(), distance_->matching_epsilon(), erp_gap);
+    cluster_->RecordDriverCompute(driver_timer.Seconds());
+
+    std::mutex mu;
+    std::vector<Cluster::Task> tasks;
+    for (uint32_t pid : relevant) {
+      const Partition* part = &partitions_[pid];
+      tasks.push_back({part->home_worker, [&, part] {
+        TrieIndex::SearchSpec spec = MakeSpec(q, tau);
+        std::vector<uint32_t> candidates;
+        part->trie.CollectCandidates(spec, &candidates);
+        std::vector<std::pair<TrajectoryId, double>> local;
+        for (uint32_t pos : candidates) {
+          const Trajectory& t = part->trie.trajectory(pos);
+          // Exact distance needed for ranking; WithinThreshold's boolean
+          // answer is not enough here.
+          const double d = distance_->Compute(t, q);
+          if (d <= tau) local.emplace_back(t.id(), d);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        total_candidates += candidates.size();
+        scored.insert(scored.end(), local.begin(), local.end());
+      }});
+    }
+    probed += relevant.size();
+    DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
+    if (scored.size() >= k) break;
+    tau *= 2.0;
+  }
+  if (scored.size() < k) {
+    return Status::Internal("kNN expansion failed to find k results");
+  }
+
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  scored.resize(k);
+  if (stats != nullptr) {
+    stats->makespan_seconds = cluster_->MakespanSince(snap);
+    stats->partitions_probed = probed;
+    stats->candidates = total_candidates;
+    stats->results = scored.size();
+  }
+  return scored;
+}
+
+Result<std::vector<DitaEngine::KnnJoinRow>> DitaEngine::KnnJoin(
+    const DitaEngine& right, size_t k) const {
+  if (!indexed_ || !right.indexed_) {
+    return Status::Internal("KnnJoin before BuildIndex");
+  }
+  if (cluster_.get() != right.cluster_.get()) {
+    return Status::InvalidArgument("joined tables must share a cluster");
+  }
+  if (k == 0) return std::vector<KnnJoinRow>{};
+  if (k > right.index_stats_.num_trajectories) {
+    return Status::InvalidArgument("k exceeds the right table cardinality");
+  }
+
+  // Per-left-trajectory threshold expansion against the right index. Left
+  // trajectories are visited partition by partition, reusing each query's
+  // previous radius as the seed for its partition neighbours (similar trips
+  // colocate, so radii are strongly correlated).
+  std::vector<KnnJoinRow> rows;
+  for (const Partition& part : partitions_) {
+    double seed_tau = 0.0;
+    for (uint32_t pos = 0; pos < part.trie.size(); ++pos) {
+      const Trajectory& t = part.trie.trajectory(pos);
+      auto knn = right.KnnSearch(t, k, seed_tau);
+      DITA_RETURN_IF_ERROR(knn.status());
+      if (!knn->empty()) seed_tau = knn->back().second;
+      for (const auto& [id, d] : *knn) {
+        rows.push_back(KnnJoinRow{t.id(), id, d});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const KnnJoinRow& a, const KnnJoinRow& b) {
+    if (a.left != b.left) return a.left < b.left;
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.right < b.right;
+  });
+  return rows;
+}
+
+Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DitaEngine::Join(
+    const DitaEngine& right, double tau, JoinStats* stats) const {
+  if (!indexed_ || !right.indexed_) {
+    return Status::Internal("Join before BuildIndex");
+  }
+  if (cluster_.get() != right.cluster_.get()) {
+    return Status::InvalidArgument("joined tables must share a cluster");
+  }
+  if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
+  JoinPlanner planner(*this, right, tau);
+  return planner.Run(stats);
+}
+
+}  // namespace dita

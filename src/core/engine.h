@@ -1,0 +1,145 @@
+#ifndef DITA_CORE_ENGINE_H_
+#define DITA_CORE_ENGINE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/config.h"
+#include "core/global_index.h"
+#include "core/verifier.h"
+#include "distance/distance.h"
+#include "index/trie_index.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// The DITA engine: one indexed trajectory table living on a (simulated)
+/// cluster. Mirrors the system of §3-§6: STR first/last partitioning, global
+/// R-tree index on the driver, per-partition trie local indexes co-located
+/// with the data, filter-verification search, and cost-model-driven
+/// distributed join.
+class DitaEngine {
+ public:
+  /// Statistics captured while building the index (Table 5 rows).
+  struct IndexStats {
+    double build_seconds = 0.0;
+    size_t num_partitions = 0;
+    size_t num_trajectories = 0;
+    size_t global_index_bytes = 0;
+    size_t local_index_bytes = 0;
+  };
+
+  /// Per-query observability (Figs. 7-8, 17).
+  struct QueryStats {
+    double makespan_seconds = 0.0;
+    size_t partitions_probed = 0;
+    size_t candidates = 0;
+    VerifyStats verify;
+    size_t results = 0;
+  };
+
+  /// Per-join observability (Figs. 9-11, 16).
+  struct JoinStats {
+    double makespan_seconds = 0.0;
+    double load_ratio = 1.0;
+    uint64_t bytes_shipped = 0;
+    size_t graph_edges = 0;
+    size_t divided_partitions = 0;
+    size_t candidate_pairs = 0;
+    size_t result_pairs = 0;
+  };
+
+  DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& config);
+
+  /// Partitions `data`, builds the global index and each partition's local
+  /// trie (charged to the owning workers), and precomputes verification
+  /// summaries. Requires every trajectory to have at least 2 points.
+  Status BuildIndex(const Dataset& data);
+
+  bool indexed() const { return indexed_; }
+  const IndexStats& index_stats() const { return index_stats_; }
+  const DitaConfig& config() const { return config_; }
+  const Cluster& cluster() const { return *cluster_; }
+
+  /// Threshold similarity search (Definition 2.4, §5): all trajectory ids T
+  /// with f(T, q) <= tau. Cost is charged to the shared cluster; per-query
+  /// latency lands in `stats` if provided.
+  Result<std::vector<TrajectoryId>> Search(const Trajectory& q, double tau,
+                                           QueryStats* stats = nullptr) const;
+
+  /// Threshold similarity join against `right` (Definition 2.5, §6):
+  /// returns (left_id, right_id) pairs with f(T, Q) <= tau. `right` may be
+  /// this engine itself (self-join). Both engines must share the cluster.
+  Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> Join(
+      const DitaEngine& right, double tau, JoinStats* stats = nullptr) const;
+
+  /// kNN similarity search (the paper's §8 future work): the k trajectories
+  /// closest to `q` under the engine's distance, as (id, distance) pairs
+  /// sorted by distance. Implemented by iterative threshold expansion over
+  /// the threshold search machinery: double tau until at least k verified
+  /// answers exist, then rank candidates by exact distance. Exact for
+  /// kAccumulate/kMax distances; `initial_tau` seeds the expansion (0 picks
+  /// a data-derived default).
+  Result<std::vector<std::pair<TrajectoryId, double>>> KnnSearch(
+      const Trajectory& q, size_t k, double initial_tau = 0.0,
+      QueryStats* stats = nullptr) const;
+
+  /// One kNN-join result row: a left trajectory and one of its k nearest
+  /// right trajectories.
+  struct KnnJoinRow {
+    TrajectoryId left = -1;
+    TrajectoryId right = -1;
+    double distance = 0.0;
+
+    friend bool operator==(const KnnJoinRow&, const KnnJoinRow&) = default;
+  };
+
+  /// kNN similarity join (§8 future work): for every trajectory of this
+  /// table, its k nearest trajectories in `right`, via per-trajectory
+  /// threshold expansion against the right table's index. Rows are grouped
+  /// by left id (ascending), each group sorted by distance.
+  Result<std::vector<KnnJoinRow>> KnnJoin(const DitaEngine& right,
+                                          size_t k) const;
+
+ private:
+  friend class JoinPlanner;
+
+  /// One data partition: clustered trie index plus verification precomp.
+  struct Partition {
+    size_t home_worker = 0;
+    TrieIndex trie;
+    std::vector<VerifyPrecomp> precomp;  // parallel to trie.trajectories()
+    size_t data_bytes = 0;
+  };
+
+  TrieIndex::SearchSpec MakeSpec(const Trajectory& q, double tau) const;
+
+  /// Per-trajectory global relevance test against a partition summary —
+  /// the "has candidates in Qj" check of §6.2's trans estimation.
+  bool TrajectoryRelevantTo(const Trajectory& t,
+                            const GlobalIndex::PartitionSummary& s,
+                            double tau) const;
+
+  /// Local filter+verify of `q` against partition `p`; appends matching
+  /// trajectory ids. Returns the number of candidates that reached
+  /// verification.
+  size_t LocalSearch(const Partition& p, const Trajectory& q,
+                     const VerifyPrecomp& qp, double tau,
+                     std::vector<TrajectoryId>* results,
+                     VerifyStats* vstats) const;
+
+  std::shared_ptr<Cluster> cluster_;
+  DitaConfig config_;
+  std::shared_ptr<TrajectoryDistance> distance_;
+  std::unique_ptr<Verifier> verifier_;
+  GlobalIndex global_;
+  std::vector<Partition> partitions_;
+  IndexStats index_stats_;
+  bool indexed_ = false;
+};
+
+}  // namespace dita
+
+#endif  // DITA_CORE_ENGINE_H_

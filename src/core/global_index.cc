@@ -1,0 +1,124 @@
+#include "core/global_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dita {
+
+void GlobalIndex::Build(std::vector<PartitionSummary> partitions,
+                        size_t rtree_fanout) {
+  partitions_ = std::move(partitions);
+  std::vector<RTree::Entry> first_entries;
+  std::vector<RTree::Entry> last_entries;
+  first_entries.reserve(partitions_.size());
+  last_entries.reserve(partitions_.size());
+  for (uint32_t i = 0; i < partitions_.size(); ++i) {
+    first_entries.push_back({partitions_[i].mbr_first, i});
+    last_entries.push_back({partitions_[i].mbr_last, i});
+  }
+  first_tree_.Build(std::move(first_entries), rtree_fanout);
+  last_tree_.Build(std::move(last_entries), rtree_fanout);
+}
+
+namespace {
+
+/// Minimum distance from any point of `q` to `mbr`.
+double MinDistAnyPoint(const Trajectory& q, const MBR& mbr) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Point& p : q.points()) {
+    best = std::min(best, mbr.MinDist(p));
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<uint32_t> GlobalIndex::RelevantPartitions(const Trajectory& q,
+                                                      double tau,
+                                                      PruneMode mode,
+                                                      double epsilon,
+                                                      const Point* erp_gap) const {
+  std::vector<uint32_t> out;
+  if (partitions_.empty() || q.empty()) return out;
+
+  if (erp_gap != nullptr) {
+    for (uint32_t i = 0; i < partitions_.size(); ++i) {
+      const double df = std::min(MinDistAnyPoint(q, partitions_[i].mbr_first),
+                                 partitions_[i].mbr_first.MinDist(*erp_gap));
+      const double dl = std::min(MinDistAnyPoint(q, partitions_[i].mbr_last),
+                                 partitions_[i].mbr_last.MinDist(*erp_gap));
+      if (df + dl <= tau) out.push_back(i);
+    }
+    return out;
+  }
+
+  if (mode == PruneMode::kEditCount) {
+    // Edit distances: endpoints of indexed trajectories may be edited away,
+    // so the aligned-endpoint argument does not apply. A partition needs at
+    // least one edit per alignment MBR that is farther than epsilon from
+    // every query point; prune when that already exceeds the budget.
+    const double budget = std::floor(tau);
+    for (uint32_t i = 0; i < partitions_.size(); ++i) {
+      double edits = 0.0;
+      if (MinDistAnyPoint(q, partitions_[i].mbr_first) > epsilon) edits += 1.0;
+      if (MinDistAnyPoint(q, partitions_[i].mbr_last) > epsilon) edits += 1.0;
+      if (edits <= budget) out.push_back(i);
+    }
+    return out;
+  }
+
+  // Cf: partitions whose first-point MBR is within tau of q1; Cl: same for
+  // the last point. Intersect, then apply the combined test.
+  std::vector<uint32_t> cf;
+  std::vector<uint32_t> cl;
+  first_tree_.SearchWithinDistance(q.front(), tau, &cf);
+  last_tree_.SearchWithinDistance(q.back(), tau, &cl);
+  std::sort(cf.begin(), cf.end());
+  std::sort(cl.begin(), cl.end());
+  std::vector<uint32_t> both;
+  std::set_intersection(cf.begin(), cf.end(), cl.begin(), cl.end(),
+                        std::back_inserter(both));
+  for (uint32_t i : both) {
+    const double df = partitions_[i].mbr_first.MinDist(q.front());
+    const double dl = partitions_[i].mbr_last.MinDist(q.back());
+    const bool keep =
+        mode == PruneMode::kAccumulate ? (df + dl <= tau) : (df <= tau && dl <= tau);
+    if (keep) out.push_back(i);
+  }
+  return out;
+}
+
+bool GlobalIndex::PartitionsMayJoin(uint32_t partition, const MBR& other_first,
+                                    const MBR& other_last, double tau,
+                                    PruneMode mode, double epsilon,
+                                    const Point* erp_gap) const {
+  if (erp_gap != nullptr) return true;
+  const PartitionSummary& s = partitions_[partition];
+  const double df = s.mbr_first.MinDist(other_first);
+  const double dl = s.mbr_last.MinDist(other_last);
+  switch (mode) {
+    case PruneMode::kAccumulate:
+      return df + dl <= tau;
+    case PruneMode::kMax:
+      return df <= tau && dl <= tau;
+    case PruneMode::kEditCount: {
+      // Rectangle-level distances cannot see individual query points, so
+      // only the trivially safe check applies: if both alignment MBRs are
+      // farther than epsilon apart, two edits are needed.
+      double edits = 0.0;
+      if (df > epsilon) edits += 1.0;
+      if (dl > epsilon) edits += 1.0;
+      return edits <= std::floor(tau);
+    }
+  }
+  return true;
+}
+
+size_t GlobalIndex::ByteSize() const {
+  return partitions_.size() * sizeof(PartitionSummary) + first_tree_.ByteSize() +
+         last_tree_.ByteSize();
+}
+
+}  // namespace dita

@@ -1,0 +1,62 @@
+#ifndef DITA_CORE_GLOBAL_INDEX_H_
+#define DITA_CORE_GLOBAL_INDEX_H_
+
+#include <vector>
+
+#include "distance/distance.h"
+#include "geom/trajectory.h"
+#include "index/rtree.h"
+
+namespace dita {
+
+/// DITA's global index (§4.2.2): per partition, the MBR of all first points
+/// (MBR_f) and of all last points (MBR_l), organized in two R-trees. The
+/// driver probes it to find the partitions that can possibly contain
+/// trajectories similar to a query.
+class GlobalIndex {
+ public:
+  struct PartitionSummary {
+    MBR mbr_first;
+    MBR mbr_last;
+  };
+
+  GlobalIndex() = default;
+
+  void Build(std::vector<PartitionSummary> partitions, size_t rtree_fanout = 16);
+
+  /// Relevant partitions for `q` under threshold `tau` (§5.2):
+  ///  - kAccumulate: MinDist(q1, MBR_f) + MinDist(qn, MBR_l) <= tau;
+  ///  - kMax: both MinDist values <= tau (Frechet keeps tau un-split);
+  ///  - kEditCount: a partition is pruned only when the number of alignment
+  ///    levels that cannot match within `epsilon` exceeds the edit budget;
+  ///    both checks use the minimum over every query point because edit
+  ///    distances may delete endpoints.
+  ///  - ERP (kAccumulate with `erp_gap` set): each alignment MBR contributes
+  ///    min over all query points and the gap point, since rows may be
+  ///    gap-matched.
+  std::vector<uint32_t> RelevantPartitions(const Trajectory& q, double tau,
+                                           PruneMode mode, double epsilon = 0.0,
+                                           const Point* erp_gap = nullptr) const;
+
+  /// Like RelevantPartitions but for a *set* summarized by its own first/last
+  /// MBRs — used by the join's partition-pair graph construction (§6.1).
+  /// `erp_gap` disables rectangle-level pruning entirely: with gap matching
+  /// allowed, the other partition's points can sit anywhere, so no sound
+  /// partition-pair bound exists.
+  bool PartitionsMayJoin(uint32_t partition, const MBR& other_first,
+                         const MBR& other_last, double tau, PruneMode mode,
+                         double epsilon = 0.0, const Point* erp_gap = nullptr) const;
+
+  size_t num_partitions() const { return partitions_.size(); }
+  const PartitionSummary& summary(uint32_t i) const { return partitions_[i]; }
+  size_t ByteSize() const;
+
+ private:
+  std::vector<PartitionSummary> partitions_;
+  RTree first_tree_;
+  RTree last_tree_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_CORE_GLOBAL_INDEX_H_

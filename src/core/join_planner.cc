@@ -1,0 +1,357 @@
+#include "core/join_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dita {
+
+JoinPlanner::JoinPlanner(const DitaEngine& left, const DitaEngine& right,
+                         double tau)
+    : left_(left), right_(right), tau_(tau), cluster_(*left.cluster_) {}
+
+size_t JoinPlanner::NodeIndex(bool is_left, uint32_t part) const {
+  return is_left ? part : left_.partitions_.size() + part;
+}
+
+void JoinPlanner::BuildGraph() {
+  const Point* erp_gap = left_.config_.distance == DistanceType::kERP
+                             ? &left_.config_.distance_params.erp_gap
+                             : nullptr;
+  const PruneMode mode = left_.distance_->prune_mode();
+  const double eps = left_.distance_->matching_epsilon();
+  for (uint32_t i = 0; i < left_.partitions_.size(); ++i) {
+    for (uint32_t j = 0; j < right_.partitions_.size(); ++j) {
+      const auto& rs = right_.global_.summary(j);
+      if (left_.global_.PartitionsMayJoin(i, rs.mbr_first, rs.mbr_last, tau_,
+                                          mode, eps, erp_gap)) {
+        Edge e;
+        e.left_part = i;
+        e.right_part = j;
+        edges_.push_back(e);
+      }
+    }
+  }
+}
+
+void JoinPlanner::EstimateWeights() {
+  // Sample trajectories of each partition once; reuse across its edges.
+  const double rate = left_.config_.join_sample_rate;
+  auto sample_positions = [&](size_t partition_size) {
+    size_t want = static_cast<size_t>(std::ceil(rate * double(partition_size)));
+    want = std::clamp<size_t>(want, 1, 16);
+    std::vector<uint32_t> out;
+    const size_t stride = std::max<size_t>(1, partition_size / want);
+    for (size_t pos = 0; pos < partition_size && out.size() < want; pos += stride) {
+      out.push_back(static_cast<uint32_t>(pos));
+    }
+    return out;
+  };
+
+  CpuTimer sampling_timer;
+  size_t probed_candidates = 0;
+
+  // Estimates one direction: ship from `src` partition of `src_side` to
+  // `dst` partition of the other side; returns {trans_bytes, comp_pairs}.
+  auto estimate = [&](const DitaEngine& src_side, uint32_t src,
+                      const DitaEngine& dst_side, uint32_t dst,
+                      double* trans_bytes, double* comp_pairs) {
+    const auto& sp = src_side.partitions_[src];
+    const auto& dst_summary = dst_side.global_.summary(dst);
+    const auto sampled = sample_positions(sp.trie.size());
+    if (sampled.empty()) {
+      *trans_bytes = 0;
+      *comp_pairs = 0;
+      return;
+    }
+    size_t relevant = 0;
+    size_t candidates = 0;
+    for (uint32_t pos : sampled) {
+      const Trajectory& t = sp.trie.trajectory(pos);
+      if (!dst_side.TrajectoryRelevantTo(t, dst_summary, tau_)) continue;
+      ++relevant;
+      TrieIndex::SearchSpec spec = dst_side.MakeSpec(t, tau_);
+      std::vector<uint32_t> cands;
+      dst_side.partitions_[dst].trie.CollectCandidates(spec, &cands);
+      candidates += cands.size();
+    }
+    probed_candidates += candidates;
+    const double frac = double(relevant) / double(sampled.size());
+    *trans_bytes = frac * double(sp.data_bytes);
+    *comp_pairs = double(candidates) / double(sampled.size()) *
+                  double(sp.trie.size());
+  };
+
+  for (Edge& e : edges_) {
+    double bytes_lr, pairs_lr, bytes_rl, pairs_rl;
+    estimate(left_, e.left_part, right_, e.right_part, &bytes_lr, &pairs_lr);
+    estimate(right_, e.right_part, left_, e.left_part, &bytes_rl, &pairs_rl);
+    const double bandwidth = cluster_.config().bandwidth_bytes_per_sec;
+    e.trans_lr = bytes_lr / bandwidth;
+    e.trans_rl = bytes_rl / bandwidth;
+    // comp converted to seconds below, once seconds_per_pair_ is known; stash
+    // pair counts for now.
+    e.comp_lr = pairs_lr;
+    e.comp_rl = pairs_rl;
+  }
+
+  // Delta: measured sampling CPU divided by the candidates it produced.
+  const double sampling_seconds = sampling_timer.Seconds();
+  if (probed_candidates > 0) {
+    seconds_per_pair_ = sampling_seconds / double(probed_candidates);
+  }
+  for (Edge& e : edges_) {
+    e.comp_lr *= seconds_per_pair_;
+    e.comp_rl *= seconds_per_pair_;
+  }
+  cluster_.RecordDriverCompute(sampling_seconds);
+}
+
+std::vector<double> JoinPlanner::NodeCosts() const {
+  std::vector<double> tc(left_.partitions_.size() + right_.partitions_.size(),
+                         0.0);
+  for (const Edge& e : edges_) {
+    const size_t l = NodeIndex(true, e.left_part);
+    const size_t r = NodeIndex(false, e.right_part);
+    if (e.left_to_right) {
+      tc[l] += e.trans_lr;  // network cost borne by the sender
+      tc[r] += e.comp_lr;   // computation borne by the receiver
+    } else {
+      tc[r] += e.trans_rl;
+      tc[l] += e.comp_rl;
+    }
+  }
+  return tc;
+}
+
+void JoinPlanner::OrientGreedily() {
+  // Initial orientation: cheaper direction per edge (§6.2 greedy step 1).
+  for (Edge& e : edges_) {
+    e.left_to_right = (e.trans_lr + e.comp_lr) <= (e.trans_rl + e.comp_rl);
+  }
+  if (!left_.config_.enable_graph_orientation) return;
+
+  // Iterative improvement: flip the edge of the maximum-cost node that
+  // lowers the global maximum the most; stop at a fixpoint.
+  const size_t max_iters = 4 * edges_.size() + 8;
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> tc = NodeCosts();
+    const size_t hottest = static_cast<size_t>(
+        std::max_element(tc.begin(), tc.end()) - tc.begin());
+    const double current_max = tc[hottest];
+
+    double best_max = current_max;
+    Edge* best_edge = nullptr;
+    for (Edge& e : edges_) {
+      const size_t l = NodeIndex(true, e.left_part);
+      const size_t r = NodeIndex(false, e.right_part);
+      if (l != hottest && r != hottest) continue;
+      // Evaluate the flip's effect on the two incident nodes only; other
+      // nodes are unaffected, so the new global max is the max of the two
+      // updated nodes and the old max over the rest (approximated by
+      // current_max of non-incident nodes).
+      double nl = tc[l];
+      double nr = tc[r];
+      if (e.left_to_right) {
+        nl += e.comp_rl - e.trans_lr;
+        nr += e.trans_rl - e.comp_lr;
+      } else {
+        nl += e.trans_lr - e.comp_rl;
+        nr += e.comp_lr - e.trans_rl;
+      }
+      double rest = 0.0;
+      for (size_t n = 0; n < tc.size(); ++n) {
+        if (n != l && n != r) rest = std::max(rest, tc[n]);
+      }
+      const double new_max = std::max({rest, nl, nr});
+      if (new_max < best_max - 1e-15) {
+        best_max = new_max;
+        best_edge = &e;
+      }
+    }
+    if (best_edge == nullptr) break;
+    best_edge->left_to_right = !best_edge->left_to_right;
+  }
+}
+
+void JoinPlanner::PlanDivisions() {
+  const size_t num_nodes = left_.partitions_.size() + right_.partitions_.size();
+  node_workers_.assign(num_nodes, {});
+  for (uint32_t p = 0; p < left_.partitions_.size(); ++p) {
+    node_workers_[NodeIndex(true, p)] = {left_.partitions_[p].home_worker};
+  }
+  for (uint32_t p = 0; p < right_.partitions_.size(); ++p) {
+    node_workers_[NodeIndex(false, p)] = {right_.partitions_[p].home_worker};
+  }
+  divided_partitions_ = 0;
+  if (!left_.config_.enable_division_balancing) return;
+
+  std::vector<double> tc = NodeCosts();
+  std::vector<double> sorted = tc;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t q_idx = static_cast<size_t>(
+      std::min<double>(double(sorted.size() - 1),
+                       std::floor(left_.config_.division_quantile *
+                                  double(sorted.size()))));
+  const double threshold = sorted[q_idx];
+  if (threshold <= 0.0) return;
+
+  for (size_t n = 0; n < num_nodes; ++n) {
+    if (tc[n] <= threshold) continue;
+    size_t replicas = static_cast<size_t>(std::ceil(tc[n] / threshold));
+    replicas = std::min(replicas, cluster_.num_workers());
+    if (replicas <= 1) continue;
+    ++divided_partitions_;
+    const size_t home = node_workers_[n][0];
+    const bool is_left = n < left_.partitions_.size();
+    const uint32_t part =
+        static_cast<uint32_t>(is_left ? n : n - left_.partitions_.size());
+    const auto& partition = Side(is_left).partitions_[part];
+    const uint64_t replica_bytes =
+        partition.data_bytes + partition.trie.ByteSize();
+    for (size_t k = 1; k < replicas; ++k) {
+      const size_t worker = (home + k) % cluster_.num_workers();
+      node_workers_[n].push_back(worker);
+      // Shipping the partition's data and index to the replica.
+      cluster_.RecordTransfer(home, worker, replica_bytes);
+    }
+  }
+}
+
+Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinPlanner::Run(
+    DitaEngine::JoinStats* stats) {
+  const Cluster::CostSnapshot snap = cluster_.Snapshot();
+  const uint64_t bytes_before = cluster_.total_bytes_sent();
+
+  CpuTimer planning_timer;
+  BuildGraph();
+  cluster_.RecordDriverCompute(planning_timer.Seconds());
+
+  EstimateWeights();
+
+  CpuTimer orientation_timer;
+  OrientGreedily();
+  PlanDivisions();
+  cluster_.RecordDriverCompute(orientation_timer.Seconds());
+
+  auto result = Execute(stats);
+  if (result.ok() && stats != nullptr) {
+    stats->makespan_seconds = cluster_.MakespanSince(snap);
+    stats->load_ratio = cluster_.LoadRatioSince(snap);
+    stats->bytes_shipped = cluster_.total_bytes_sent() - bytes_before;
+    stats->graph_edges = edges_.size();
+    stats->divided_partitions = divided_partitions_;
+    stats->result_pairs = result.value().size();
+  }
+  return result;
+}
+
+Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>>
+JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
+  // Each oriented edge becomes a ship task on a source replica worker and a
+  // probe task on a target replica worker. Replicas take edges round-robin.
+  struct EdgePlan {
+    const Edge* edge;
+    size_t src_worker;
+    size_t dst_worker;
+    std::vector<uint32_t> shipped;  // filled by the ship stage
+  };
+  std::vector<EdgePlan> plans;
+  plans.reserve(edges_.size());
+  std::vector<size_t> next_replica(node_workers_.size(), 0);
+  auto pick_worker = [&](size_t node) {
+    const auto& workers = node_workers_[node];
+    const size_t w = workers[next_replica[node] % workers.size()];
+    ++next_replica[node];
+    return w;
+  };
+  for (const Edge& e : edges_) {
+    EdgePlan plan;
+    plan.edge = &e;
+    const size_t l = NodeIndex(true, e.left_part);
+    const size_t r = NodeIndex(false, e.right_part);
+    plan.src_worker = pick_worker(e.left_to_right ? l : r);
+    plan.dst_worker = pick_worker(e.left_to_right ? r : l);
+    plans.push_back(std::move(plan));
+  }
+
+  // Stage 1: source-side filtering ("send only trajectories that have
+  // candidates in the target", §6.2) + transfer accounting.
+  std::vector<Cluster::Task> ship_tasks;
+  ship_tasks.reserve(plans.size());
+  for (EdgePlan& plan : plans) {
+    ship_tasks.push_back({plan.src_worker, [this, &plan] {
+      const Edge& e = *plan.edge;
+      const DitaEngine& src_side = e.left_to_right ? left_ : right_;
+      const DitaEngine& dst_side = e.left_to_right ? right_ : left_;
+      const uint32_t src = e.left_to_right ? e.left_part : e.right_part;
+      const uint32_t dst = e.left_to_right ? e.right_part : e.left_part;
+      const auto& sp = src_side.partitions_[src];
+      const auto& dst_summary = dst_side.global_.summary(dst);
+      uint64_t bytes = 0;
+      for (uint32_t pos = 0; pos < sp.trie.size(); ++pos) {
+        const Trajectory& t = sp.trie.trajectory(pos);
+        if (dst_side.TrajectoryRelevantTo(t, dst_summary, tau_)) {
+          plan.shipped.push_back(pos);
+          bytes += t.ByteSize();
+        }
+      }
+      cluster_.RecordTransfer(plan.src_worker, plan.dst_worker, bytes);
+    }});
+  }
+  DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(ship_tasks)));
+
+  // Stage 2: target-side local joins.
+  std::mutex mu;
+  std::vector<std::pair<TrajectoryId, TrajectoryId>> results;
+  size_t candidate_pairs = 0;
+  std::vector<Cluster::Task> probe_tasks;
+  probe_tasks.reserve(plans.size());
+  for (EdgePlan& plan : plans) {
+    probe_tasks.push_back({plan.dst_worker, [this, &plan, &mu, &results,
+                                             &candidate_pairs] {
+      const Edge& e = *plan.edge;
+      const DitaEngine& src_side = e.left_to_right ? left_ : right_;
+      const DitaEngine& dst_side = e.left_to_right ? right_ : left_;
+      const uint32_t src = e.left_to_right ? e.left_part : e.right_part;
+      const uint32_t dst = e.left_to_right ? e.right_part : e.left_part;
+      const auto& sp = src_side.partitions_[src];
+      const auto& dp = dst_side.partitions_[dst];
+
+      std::vector<std::pair<TrajectoryId, TrajectoryId>> local;
+      size_t local_candidates = 0;
+      for (uint32_t pos : plan.shipped) {
+        const Trajectory& q = sp.trie.trajectory(pos);
+        const VerifyPrecomp& qp = sp.precomp[pos];
+        TrieIndex::SearchSpec spec = dst_side.MakeSpec(q, tau_);
+        std::vector<uint32_t> cands;
+        dp.trie.CollectCandidates(spec, &cands);
+        local_candidates += cands.size();
+        for (uint32_t cpos : cands) {
+          const Trajectory& t = dp.trie.trajectory(cpos);
+          if (dst_side.verifier_->Verify(t, dp.precomp[cpos], q, qp, tau_,
+                                         nullptr)) {
+            if (e.left_to_right) {
+              local.emplace_back(q.id(), t.id());
+            } else {
+              local.emplace_back(t.id(), q.id());
+            }
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      results.insert(results.end(), local.begin(), local.end());
+      candidate_pairs += local_candidates;
+    }});
+  }
+  DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(probe_tasks)));
+
+  if (stats != nullptr) stats->candidate_pairs = candidate_pairs;
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+}  // namespace dita

@@ -1,0 +1,82 @@
+#ifndef DITA_CORE_JOIN_PLANNER_H_
+#define DITA_CORE_JOIN_PLANNER_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace dita {
+
+/// Plans and executes one distributed trajectory similarity join (§6).
+///
+/// Pipeline:
+///  1. Build the partition-partition bi-graph: an edge per partition pair
+///     that may contain similar trajectories (global-index test).
+///  2. Estimate each edge's `trans` (bytes to ship) and `comp` (candidate
+///     pairs to verify) weights by sampling, and convert both to seconds
+///     using the measured per-pair verification time and the cluster
+///     bandwidth (the paper's lambda = 1/(Delta*B), §6.2).
+///  3. Orient each edge greedily to minimize the maximum per-partition total
+///     cost TC = NC + CC (the graph-orientation approximation; the exact
+///     problem is NP-hard [6]).
+///  4. Division-based load balancing (§6.3): partitions whose TC exceeds the
+///     configured quantile are replicated and their edges spread over the
+///     replicas (replication traffic is charged).
+///  5. Execute: per edge, the source worker filters which of its
+///     trajectories have candidates in the target partition and ships only
+///     those; the target worker probes its trie and verifies.
+class JoinPlanner {
+ public:
+  JoinPlanner(const DitaEngine& left, const DitaEngine& right, double tau);
+
+  Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> Run(
+      DitaEngine::JoinStats* stats);
+
+ private:
+  /// Bi-graph node: a partition of either side. Left partitions come first.
+  struct NodeRef {
+    bool is_left;
+    uint32_t partition;
+  };
+
+  struct Edge {
+    uint32_t left_part = 0;
+    uint32_t right_part = 0;
+    /// Estimated cost in seconds for each orientation.
+    double trans_lr = 0.0, comp_lr = 0.0;
+    double trans_rl = 0.0, comp_rl = 0.0;
+    bool left_to_right = true;
+  };
+
+  size_t NodeIndex(bool is_left, uint32_t part) const;
+  const DitaEngine& Side(bool is_left) const { return is_left ? left_ : right_; }
+
+  void BuildGraph();
+  void EstimateWeights();
+  void OrientGreedily();
+  void PlanDivisions();
+
+  /// Per-node total cost under the current orientation.
+  std::vector<double> NodeCosts() const;
+
+  Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> Execute(
+      DitaEngine::JoinStats* stats);
+
+  const DitaEngine& left_;
+  const DitaEngine& right_;
+  const double tau_;
+  Cluster& cluster_;
+
+  std::vector<Edge> edges_;
+  /// Worker assignments per node: [0] is the home worker; extra entries are
+  /// division replicas.
+  std::vector<std::vector<size_t>> node_workers_;
+  size_t divided_partitions_ = 0;
+  /// Measured seconds per verified candidate pair (Delta in §6.2).
+  double seconds_per_pair_ = 1e-6;
+};
+
+}  // namespace dita
+
+#endif  // DITA_CORE_JOIN_PLANNER_H_

@@ -1,0 +1,58 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "index/str_tile.h"
+#include "util/rng.h"
+
+namespace dita {
+
+Result<std::vector<std::vector<Trajectory>>> PartitionByFirstLast(
+    const std::vector<Trajectory>& trajectories, size_t ng) {
+  if (ng == 0) return Status::InvalidArgument("ng must be positive");
+  for (const Trajectory& t : trajectories) {
+    if (t.empty()) return Status::InvalidArgument("empty trajectory");
+  }
+  std::vector<std::vector<Trajectory>> partitions;
+  if (trajectories.empty()) return partitions;
+
+  std::vector<uint32_t> all(trajectories.size());
+  std::iota(all.begin(), all.end(), 0);
+  auto by_first = [&](uint32_t i) { return trajectories[i].front(); };
+  auto by_last = [&](uint32_t i) { return trajectories[i].back(); };
+
+  for (auto& bucket : StrTile(std::move(all), by_first, ng)) {
+    for (auto& sub : StrTile(std::move(bucket), by_last, ng)) {
+      std::vector<Trajectory> part;
+      part.reserve(sub.size());
+      for (uint32_t i : sub) part.push_back(trajectories[i]);
+      partitions.push_back(std::move(part));
+    }
+  }
+  return partitions;
+}
+
+Result<std::vector<std::vector<Trajectory>>> PartitionRandomly(
+    const std::vector<Trajectory>& trajectories, size_t num_partitions,
+    uint64_t seed) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  for (const Trajectory& t : trajectories) {
+    if (t.empty()) return Status::InvalidArgument("empty trajectory");
+  }
+  std::vector<uint32_t> order(trajectories.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  const size_t used = std::min(num_partitions, std::max<size_t>(1, order.size()));
+  std::vector<std::vector<Trajectory>> partitions(used);
+  for (size_t i = 0; i < order.size(); ++i) {
+    partitions[i % used].push_back(trajectories[order[i]]);
+  }
+  return partitions;
+}
+
+}  // namespace dita

@@ -1,0 +1,27 @@
+#ifndef DITA_CORE_PARTITIONER_H_
+#define DITA_CORE_PARTITIONER_H_
+
+#include <vector>
+
+#include "util/status.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// Two-level STR partitioning (§4.2.1, Algorithm 1 lines 1-3): trajectories
+/// are grouped into `ng` buckets by first point, then each bucket into `ng`
+/// sub-buckets by last point. Every sub-bucket becomes one partition; all
+/// partitions hold roughly the same number of trajectories even under skew.
+Result<std::vector<std::vector<Trajectory>>> PartitionByFirstLast(
+    const std::vector<Trajectory>& trajectories, size_t ng);
+
+/// Random partitioning into `num_partitions` equal-size groups — the
+/// baseline scheme of the Appendix B "Partitioning Scheme" ablation
+/// (Fig. 13). Deterministic given `seed`.
+Result<std::vector<std::vector<Trajectory>>> PartitionRandomly(
+    const std::vector<Trajectory>& trajectories, size_t num_partitions,
+    uint64_t seed = 13);
+
+}  // namespace dita
+
+#endif  // DITA_CORE_PARTITIONER_H_

@@ -1,0 +1,49 @@
+#include "core/verifier.h"
+
+namespace dita {
+
+bool Verifier::Verify(const Trajectory& t, const VerifyPrecomp& tp,
+                      const Trajectory& q, const VerifyPrecomp& qp, double tau,
+                      VerifyStats* stats) const {
+  if (stats != nullptr) ++stats->pairs;
+  const PruneMode mode = distance_->prune_mode();
+  // DTW and Frechet align every point of T within tau of some point of Q,
+  // which is what the MBR/cell bounds encode. Edit distances may delete
+  // points and ERP may match the gap point, so neither bound applies there.
+  const bool geometric = distance_->type() == DistanceType::kDTW ||
+                         distance_->type() == DistanceType::kFrechet;
+
+  if (geometric && mbr_enabled_) {
+    // Lemma 5.4: if similar, EMBR_{T,tau} covers MBR_Q and vice versa. Both
+    // DTW and Frechet align every point of one trajectory to within tau of
+    // a point of the other, so the lemma applies to both.
+    if (!tp.mbr.Extended(tau).Covers(qp.mbr) ||
+        !qp.mbr.Extended(tau).Covers(tp.mbr)) {
+      if (stats != nullptr) ++stats->pruned_by_mbr;
+      return false;
+    }
+  }
+
+  if (geometric && cell_enabled_) {
+    const bool is_max = mode == PruneMode::kMax;
+    const double lb_tq = is_max ? CellLowerBoundFrechet(tp.cells, qp.cells)
+                                : CellLowerBoundDtw(tp.cells, qp.cells, tau);
+    if (lb_tq > tau) {
+      if (stats != nullptr) ++stats->pruned_by_cell;
+      return false;
+    }
+    const double lb_qt = is_max ? CellLowerBoundFrechet(qp.cells, tp.cells)
+                                : CellLowerBoundDtw(qp.cells, tp.cells, tau);
+    if (lb_qt > tau) {
+      if (stats != nullptr) ++stats->pruned_by_cell;
+      return false;
+    }
+  }
+
+  if (stats != nullptr) ++stats->dp_computed;
+  const bool within = distance_->WithinThreshold(t, q, tau);
+  if (within && stats != nullptr) ++stats->accepted;
+  return within;
+}
+
+}  // namespace dita

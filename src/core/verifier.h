@@ -1,0 +1,71 @@
+#ifndef DITA_CORE_VERIFIER_H_
+#define DITA_CORE_VERIFIER_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "distance/distance.h"
+#include "geom/trajectory.h"
+#include "index/cell.h"
+
+namespace dita {
+
+/// Per-trajectory data precomputed at index-build time so verification can
+/// run its cheap filters without touching the raw points (§5.3.3:
+/// "Computing MBRs and cells is pre-processed during creating the index").
+struct VerifyPrecomp {
+  MBR mbr;
+  CellSummary cells;
+
+  static VerifyPrecomp For(const Trajectory& t, double cell_size) {
+    return VerifyPrecomp{t.ComputeMBR(), CompressToCells(t, cell_size)};
+  }
+};
+
+/// Counters describing where candidate pairs were resolved; feeds Fig. 17's
+/// candidate counts and the verification ablation.
+struct VerifyStats {
+  size_t pairs = 0;
+  size_t pruned_by_mbr = 0;
+  size_t pruned_by_cell = 0;
+  size_t dp_computed = 0;
+  size_t accepted = 0;
+
+  void Merge(const VerifyStats& o) {
+    pairs += o.pairs;
+    pruned_by_mbr += o.pruned_by_mbr;
+    pruned_by_cell += o.pruned_by_cell;
+    dp_computed += o.dp_computed;
+    accepted += o.accepted;
+  }
+};
+
+/// The verification pipeline of §5.3.3, ordered cheapest first:
+///  (1) MBR coverage filtering via extended MBRs (Lemma 5.4);
+///  (2) cell-compression lower bound (Lemma 5.6);
+///  (3) double-direction threshold-aware dynamic program.
+/// Steps (1)-(2) only apply to distances whose semantics support them (DTW,
+/// Frechet — every point must align within tau); edit distances go straight
+/// to their thresholded DP, which embeds the length filter.
+class Verifier {
+ public:
+  Verifier(std::shared_ptr<TrajectoryDistance> distance, const DitaConfig& config)
+      : distance_(std::move(distance)),
+        mbr_enabled_(config.enable_mbr_verification),
+        cell_enabled_(config.enable_cell_verification) {}
+
+  /// Returns true iff distance(t, q) <= tau. Never rejects a true answer.
+  bool Verify(const Trajectory& t, const VerifyPrecomp& tp, const Trajectory& q,
+              const VerifyPrecomp& qp, double tau, VerifyStats* stats) const;
+
+  const TrajectoryDistance& distance() const { return *distance_; }
+
+ private:
+  std::shared_ptr<TrajectoryDistance> distance_;
+  bool mbr_enabled_;
+  bool cell_enabled_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_CORE_VERIFIER_H_

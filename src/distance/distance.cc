@@ -1,0 +1,71 @@
+#include "distance/distance.h"
+
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/frechet.h"
+#include "distance/lcss.h"
+#include "util/string_util.h"
+
+namespace dita {
+
+bool TrajectoryDistance::WithinThreshold(const Trajectory& t,
+                                         const Trajectory& q,
+                                         double tau) const {
+  return Compute(t, q) <= tau;
+}
+
+Result<std::shared_ptr<TrajectoryDistance>> MakeDistance(
+    DistanceType type, const DistanceParams& params) {
+  switch (type) {
+    case DistanceType::kDTW:
+      return std::shared_ptr<TrajectoryDistance>(std::make_shared<Dtw>());
+    case DistanceType::kFrechet:
+      return std::shared_ptr<TrajectoryDistance>(std::make_shared<Frechet>());
+    case DistanceType::kEDR:
+      if (params.epsilon < 0) {
+        return Status::InvalidArgument("EDR epsilon must be non-negative");
+      }
+      return std::shared_ptr<TrajectoryDistance>(
+          std::make_shared<Edr>(params.epsilon));
+    case DistanceType::kLCSS:
+      if (params.epsilon < 0 || params.delta < 0) {
+        return Status::InvalidArgument(
+            "LCSS epsilon and delta must be non-negative");
+      }
+      return std::shared_ptr<TrajectoryDistance>(
+          std::make_shared<Lcss>(params.epsilon, params.delta));
+    case DistanceType::kERP:
+      return std::shared_ptr<TrajectoryDistance>(
+          std::make_shared<Erp>(params.erp_gap));
+  }
+  return Status::InvalidArgument("unknown distance type");
+}
+
+Result<DistanceType> ParseDistanceType(const std::string& name) {
+  const std::string upper = StrToUpper(name);
+  if (upper == "DTW") return DistanceType::kDTW;
+  if (upper == "FRECHET") return DistanceType::kFrechet;
+  if (upper == "EDR") return DistanceType::kEDR;
+  if (upper == "LCSS") return DistanceType::kLCSS;
+  if (upper == "ERP") return DistanceType::kERP;
+  return Status::InvalidArgument("unknown distance function: " + name);
+}
+
+const char* DistanceTypeName(DistanceType type) {
+  switch (type) {
+    case DistanceType::kDTW:
+      return "DTW";
+    case DistanceType::kFrechet:
+      return "Frechet";
+    case DistanceType::kEDR:
+      return "EDR";
+    case DistanceType::kLCSS:
+      return "LCSS";
+    case DistanceType::kERP:
+      return "ERP";
+  }
+  return "Unknown";
+}
+
+}  // namespace dita

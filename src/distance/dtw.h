@@ -1,0 +1,31 @@
+#ifndef DITA_DISTANCE_DTW_H_
+#define DITA_DISTANCE_DTW_H_
+
+#include "distance/distance.h"
+
+namespace dita {
+
+/// Dynamic Time Warping (Definition 2.2), the paper's default distance.
+/// WithinThreshold runs the double-direction, early-abandoning dynamic
+/// program of §5.3.3: forward DP over the first half of T, backward DP over
+/// the second half, then an exact join across the split row; each direction
+/// abandons as soon as its frontier minimum exceeds tau.
+class Dtw : public TrajectoryDistance {
+ public:
+  DistanceType type() const override { return DistanceType::kDTW; }
+  std::string name() const override { return "DTW"; }
+  bool is_metric() const override { return false; }
+  PruneMode prune_mode() const override { return PruneMode::kAccumulate; }
+
+  double Compute(const Trajectory& t, const Trajectory& q) const override;
+  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
+                       double tau) const override;
+
+  /// Accumulated minimum distance AMD (Lemma 4.1): an O(mn) lower bound on
+  /// DTW. Exposed for tests and ablations.
+  static double AccumulatedMinDistance(const Trajectory& t, const Trajectory& q);
+};
+
+}  // namespace dita
+
+#endif  // DITA_DISTANCE_DTW_H_

@@ -1,0 +1,34 @@
+#ifndef DITA_DISTANCE_EDR_H_
+#define DITA_DISTANCE_EDR_H_
+
+#include "distance/distance.h"
+
+namespace dita {
+
+/// Edit Distance on Real sequence (Definition A.2): the minimum number of
+/// edit operations (insert / delete / substitute) that make the trajectories
+/// match, where two points match when their distance is within epsilon.
+class Edr : public TrajectoryDistance {
+ public:
+  explicit Edr(double epsilon) : epsilon_(epsilon) {}
+
+  DistanceType type() const override { return DistanceType::kEDR; }
+  std::string name() const override { return "EDR"; }
+  bool is_metric() const override { return false; }
+  PruneMode prune_mode() const override { return PruneMode::kEditCount; }
+  double matching_epsilon() const override { return epsilon_; }
+
+  double Compute(const Trajectory& t, const Trajectory& q) const override;
+
+  /// Applies the length filter |m - n| > tau (Appendix A) and a banded DP of
+  /// half-width tau — any path leaving the band costs more than tau edits.
+  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
+                       double tau) const override;
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_DISTANCE_EDR_H_

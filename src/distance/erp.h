@@ -1,0 +1,31 @@
+#ifndef DITA_DISTANCE_ERP_H_
+#define DITA_DISTANCE_ERP_H_
+
+#include "distance/distance.h"
+
+namespace dita {
+
+/// Edit distance with Real Penalty (Chen & Ng, VLDB'04; cited as [9]).
+/// Matching a pair costs their distance; a gap costs the distance to a fixed
+/// reference point g. ERP is a metric and accumulates like DTW, so it shares
+/// the kAccumulate prune mode.
+class Erp : public TrajectoryDistance {
+ public:
+  explicit Erp(const Point& gap) : gap_(gap) {}
+
+  DistanceType type() const override { return DistanceType::kERP; }
+  std::string name() const override { return "ERP"; }
+  bool is_metric() const override { return true; }
+  PruneMode prune_mode() const override { return PruneMode::kAccumulate; }
+
+  double Compute(const Trajectory& t, const Trajectory& q) const override;
+  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
+                       double tau) const override;
+
+ private:
+  Point gap_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_DISTANCE_ERP_H_

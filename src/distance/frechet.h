@@ -1,0 +1,25 @@
+#ifndef DITA_DISTANCE_FRECHET_H_
+#define DITA_DISTANCE_FRECHET_H_
+
+#include "distance/distance.h"
+
+namespace dita {
+
+/// Discrete Frechet distance (Definition A.1) — the metric similarity
+/// function DITA supports. The recurrence mirrors DTW's with (max, min)
+/// replacing (+, min).
+class Frechet : public TrajectoryDistance {
+ public:
+  DistanceType type() const override { return DistanceType::kFrechet; }
+  std::string name() const override { return "Frechet"; }
+  bool is_metric() const override { return true; }
+  PruneMode prune_mode() const override { return PruneMode::kMax; }
+
+  double Compute(const Trajectory& t, const Trajectory& q) const override;
+  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
+                       double tau) const override;
+};
+
+}  // namespace dita
+
+#endif  // DITA_DISTANCE_FRECHET_H_

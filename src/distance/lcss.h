@@ -1,0 +1,40 @@
+#ifndef DITA_DISTANCE_LCSS_H_
+#define DITA_DISTANCE_LCSS_H_
+
+#include "distance/distance.h"
+
+namespace dita {
+
+/// Longest Common SubSequence distance (Definition A.3). Two points match
+/// when their distance is within epsilon and their indices differ by at most
+/// delta. We report the distance form
+///     LCSS_dist(T, Q) = min(m, n) - lcss(T, Q)
+/// which matches the paper's worked example (T1, T3, delta=1, epsilon=1 -> 2):
+/// the number of points of the shorter trajectory left unmatched.
+class Lcss : public TrajectoryDistance {
+ public:
+  Lcss(double epsilon, int delta) : epsilon_(epsilon), delta_(delta) {}
+
+  DistanceType type() const override { return DistanceType::kLCSS; }
+  std::string name() const override { return "LCSS"; }
+  bool is_metric() const override { return false; }
+  PruneMode prune_mode() const override { return PruneMode::kEditCount; }
+  double matching_epsilon() const override { return epsilon_; }
+
+  double Compute(const Trajectory& t, const Trajectory& q) const override;
+  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
+                       double tau) const override;
+
+  /// The raw similarity (number of matched point pairs); exposed for tests.
+  size_t Similarity(const Trajectory& t, const Trajectory& q) const;
+
+  int delta() const { return delta_; }
+
+ private:
+  double epsilon_;
+  int delta_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_DISTANCE_LCSS_H_

@@ -1,0 +1,77 @@
+#include "geom/mbr.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dita {
+
+void MBR::Expand(const Point& p) {
+  lo_.x = std::min(lo_.x, p.x);
+  lo_.y = std::min(lo_.y, p.y);
+  hi_.x = std::max(hi_.x, p.x);
+  hi_.y = std::max(hi_.y, p.y);
+  empty_ = false;
+}
+
+void MBR::Expand(const MBR& other) {
+  if (other.empty_) return;
+  Expand(other.lo_);
+  Expand(other.hi_);
+}
+
+MBR MBR::Extended(double delta) const {
+  if (empty_) return MBR();
+  return MBR(Point{lo_.x - delta, lo_.y - delta},
+             Point{hi_.x + delta, hi_.y + delta});
+}
+
+bool MBR::Contains(const Point& p) const {
+  if (empty_) return false;
+  return p.x >= lo_.x && p.x <= hi_.x && p.y >= lo_.y && p.y <= hi_.y;
+}
+
+bool MBR::Covers(const MBR& other) const {
+  if (empty_ || other.empty_) return false;
+  return other.lo_.x >= lo_.x && other.hi_.x <= hi_.x && other.lo_.y >= lo_.y &&
+         other.hi_.y <= hi_.y;
+}
+
+bool MBR::Intersects(const MBR& other) const {
+  if (empty_ || other.empty_) return false;
+  return !(other.lo_.x > hi_.x || other.hi_.x < lo_.x || other.lo_.y > hi_.y ||
+           other.hi_.y < lo_.y);
+}
+
+double MBR::MinDist(const Point& p) const {
+  if (empty_) return std::numeric_limits<double>::infinity();
+  const double dx = std::max({lo_.x - p.x, 0.0, p.x - hi_.x});
+  const double dy = std::max({lo_.y - p.y, 0.0, p.y - hi_.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MBR::MinDist(const MBR& other) const {
+  if (empty_ || other.empty_) return std::numeric_limits<double>::infinity();
+  const double dx = std::max({lo_.x - other.hi_.x, 0.0, other.lo_.x - hi_.x});
+  const double dy = std::max({lo_.y - other.hi_.y, 0.0, other.lo_.y - hi_.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MBR::MaxDist(const Point& p) const {
+  if (empty_) return std::numeric_limits<double>::infinity();
+  const double dx = std::max(std::abs(p.x - lo_.x), std::abs(p.x - hi_.x));
+  const double dy = std::max(std::abs(p.y - lo_.y), std::abs(p.y - hi_.y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MBR::Area() const {
+  if (empty_) return 0.0;
+  return (hi_.x - lo_.x) * (hi_.y - lo_.y);
+}
+
+std::string MBR::DebugString() const {
+  if (empty_) return "[empty]";
+  return StrFormat("[(%g,%g),(%g,%g)]", lo_.x, lo_.y, hi_.x, hi_.y);
+}
+
+}  // namespace dita

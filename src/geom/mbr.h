@@ -1,0 +1,78 @@
+#ifndef DITA_GEOM_MBR_H_
+#define DITA_GEOM_MBR_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geom/point.h"
+
+namespace dita {
+
+/// Minimum bounding rectangle. Default-constructed MBRs are empty and can be
+/// grown with Expand(); empty MBRs report infinite MinDist.
+class MBR {
+ public:
+  MBR() = default;
+  MBR(const Point& lo, const Point& hi) : lo_(lo), hi_(hi), empty_(false) {}
+
+  /// MBR covering a single point.
+  static MBR FromPoint(const Point& p) { return MBR(p, p); }
+
+  bool empty() const { return empty_; }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  /// Grows to cover `p`.
+  void Expand(const Point& p);
+
+  /// Grows to cover `other` entirely.
+  void Expand(const MBR& other);
+
+  /// Returns a copy with every border pushed outward by `delta` (the paper's
+  /// EMBR_{Q,tau} used by MBR coverage filtering, Lemma 5.4).
+  MBR Extended(double delta) const;
+
+  /// True iff `p` lies inside (borders inclusive).
+  bool Contains(const Point& p) const;
+
+  /// True iff `other` lies entirely inside this rectangle.
+  bool Covers(const MBR& other) const;
+
+  /// True iff the two rectangles overlap (borders inclusive).
+  bool Intersects(const MBR& other) const;
+
+  /// Minimal Euclidean distance from `p` to this rectangle; 0 if inside.
+  double MinDist(const Point& p) const;
+
+  /// Minimal Euclidean distance between two rectangles; 0 if they intersect.
+  double MinDist(const MBR& other) const;
+
+  /// Maximal Euclidean distance from `p` to any point of this rectangle.
+  /// Used for upper-bound reasoning in tests.
+  double MaxDist(const Point& p) const;
+
+  double Area() const;
+
+  /// Center point; undefined for empty MBRs.
+  Point Center() const { return Point{(lo_.x + hi_.x) / 2, (lo_.y + hi_.y) / 2}; }
+
+  std::string DebugString() const;
+
+  friend bool operator==(const MBR& a, const MBR& b) {
+    if (a.empty_ != b.empty_) return false;
+    if (a.empty_) return true;
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  Point lo_{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  Point hi_{-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+  bool empty_ = true;
+};
+
+}  // namespace dita
+
+#endif  // DITA_GEOM_MBR_H_

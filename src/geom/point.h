@@ -1,0 +1,36 @@
+#ifndef DITA_GEOM_POINT_H_
+#define DITA_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace dita {
+
+/// A 2-dimensional point. The paper represents each trajectory point as a
+/// (latitude, longitude) tuple; we store them as (x, y) doubles. Extension to
+/// d >= 3 is orthogonal to the algorithms (the paper, §2.1).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points (the paper's point-to-point dist).
+inline double PointDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance; avoids the sqrt on hot filter paths.
+inline double PointDistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace dita
+
+#endif  // DITA_GEOM_POINT_H_

@@ -1,0 +1,70 @@
+#include "geom/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dita {
+
+double SegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  if (len2 == 0.0) return PointDistance(p, a);
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return PointDistance(p, Point{a.x + t * abx, a.y + t * aby});
+}
+
+namespace {
+
+void DouglasPeuckerRecurse(const std::vector<Point>& pts, size_t lo, size_t hi,
+                           double tolerance, std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  size_t worst_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = SegmentDistance(pts[i], pts[lo], pts[hi]);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > tolerance) {
+    (*keep)[worst_idx] = true;
+    DouglasPeuckerRecurse(pts, lo, worst_idx, tolerance, keep);
+    DouglasPeuckerRecurse(pts, worst_idx, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+Trajectory SimplifyDouglasPeucker(const Trajectory& t, double tolerance) {
+  const auto& pts = t.points();
+  if (pts.size() <= 2) return t;
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeuckerRecurse(pts, 0, pts.size() - 1, tolerance, &keep);
+  Trajectory out;
+  out.set_id(t.id());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.mutable_points().push_back(pts[i]);
+  }
+  return out;
+}
+
+Trajectory DownsampleUniform(const Trajectory& t, size_t max_points) {
+  const auto& pts = t.points();
+  if (max_points < 2) max_points = 2;
+  if (pts.size() <= max_points) return t;
+  Trajectory out;
+  out.set_id(t.id());
+  out.mutable_points().reserve(max_points);
+  for (size_t k = 0; k < max_points; ++k) {
+    const size_t idx = k * (pts.size() - 1) / (max_points - 1);
+    out.mutable_points().push_back(pts[idx]);
+  }
+  return out;
+}
+
+}  // namespace dita

@@ -1,0 +1,27 @@
+#ifndef DITA_GEOM_SIMPLIFY_H_
+#define DITA_GEOM_SIMPLIFY_H_
+
+#include "geom/trajectory.h"
+
+namespace dita {
+
+/// Trajectory simplification (the preprocessing family of [28-30]): reduce
+/// point counts before indexing while bounding the spatial error. Both
+/// functions keep the first and last point (DITA's alignment anchors).
+
+/// Douglas-Peucker: drops points whose perpendicular deviation from the
+/// kept polyline is at most `tolerance`. Guarantees every dropped point
+/// lies within `tolerance` of the simplified curve.
+Trajectory SimplifyDouglasPeucker(const Trajectory& t, double tolerance);
+
+/// Uniform downsampling to at most `max_points` points (>= 2), keeping the
+/// endpoints and evenly spaced interior points.
+Trajectory DownsampleUniform(const Trajectory& t, size_t max_points);
+
+/// Perpendicular distance from `p` to the segment (a, b); falls back to the
+/// distance to the nearer endpoint for degenerate segments.
+double SegmentDistance(const Point& p, const Point& a, const Point& b);
+
+}  // namespace dita
+
+#endif  // DITA_GEOM_SIMPLIFY_H_

@@ -1,0 +1,23 @@
+#include "geom/trajectory.h"
+
+#include "util/string_util.h"
+
+namespace dita {
+
+MBR Trajectory::ComputeMBR() const {
+  MBR mbr;
+  for (const Point& p : points_) mbr.Expand(p);
+  return mbr;
+}
+
+std::string Trajectory::DebugString() const {
+  std::string out = StrFormat("T%lld[", static_cast<long long>(id_));
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("(%g,%g)", points_[i].x, points_[i].y);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dita

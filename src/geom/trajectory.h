@@ -1,0 +1,51 @@
+#ifndef DITA_GEOM_TRAJECTORY_H_
+#define DITA_GEOM_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/mbr.h"
+#include "geom/point.h"
+
+namespace dita {
+
+using TrajectoryId = int64_t;
+
+/// A trajectory: an id plus a sequence of 2-d points (Definition 2.1).
+class Trajectory {
+ public:
+  Trajectory() = default;
+  Trajectory(TrajectoryId id, std::vector<Point> points)
+      : id_(id), points_(std::move(points)) {}
+
+  TrajectoryId id() const { return id_; }
+  void set_id(TrajectoryId id) { id_ = id; }
+
+  const std::vector<Point>& points() const { return points_; }
+  std::vector<Point>& mutable_points() { return points_; }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const Point& operator[](size_t i) const { return points_[i]; }
+  const Point& front() const { return points_.front(); }
+  const Point& back() const { return points_.back(); }
+
+  /// Minimum bounding rectangle of every point (computed on demand).
+  MBR ComputeMBR() const;
+
+  /// Approximate in-memory/on-wire size in bytes; used by the cluster
+  /// simulator to charge network transmission for shipped trajectories.
+  size_t ByteSize() const { return sizeof(TrajectoryId) + points_.size() * sizeof(Point); }
+
+  std::string DebugString() const;
+
+ private:
+  TrajectoryId id_ = -1;
+  std::vector<Point> points_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_GEOM_TRAJECTORY_H_

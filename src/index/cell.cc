@@ -1,0 +1,68 @@
+#include "index/cell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dita {
+
+CellSummary CompressToCells(const Trajectory& t, double side) {
+  CellSummary summary;
+  summary.side = side;
+  const double half = side / 2.0;
+  for (const Point& p : t.points()) {
+    bool placed = false;
+    for (auto& cell : summary.cells) {
+      if (std::abs(p.x - cell.center.x) <= half &&
+          std::abs(p.y - cell.center.y) <= half) {
+        ++cell.count;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) summary.cells.push_back({p, 1});
+  }
+  return summary;
+}
+
+double CellDistance(const CellSummary::Cell& a, double side_a,
+                    const CellSummary::Cell& b, double side_b) {
+  const double reach = side_a / 2.0 + side_b / 2.0;
+  const double dx = std::max(0.0, std::abs(a.center.x - b.center.x) - reach);
+  const double dy = std::max(0.0, std::abs(a.center.y - b.center.y) - reach);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+namespace {
+
+double MinDistToCells(const CellSummary::Cell& c, double side,
+                      const CellSummary& other) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& o : other.cells) {
+    best = std::min(best, CellDistance(c, side, o, other.side));
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+double CellLowerBoundDtw(const CellSummary& t, const CellSummary& q,
+                         double abandon_above) {
+  double sum = 0.0;
+  for (const auto& c : t.cells) {
+    sum += MinDistToCells(c, t.side, q) * c.count;
+    if (sum > abandon_above) return sum;
+  }
+  return sum;
+}
+
+double CellLowerBoundFrechet(const CellSummary& t, const CellSummary& q) {
+  double worst = 0.0;
+  for (const auto& c : t.cells) {
+    worst = std::max(worst, MinDistToCells(c, t.side, q));
+  }
+  return worst;
+}
+
+}  // namespace dita

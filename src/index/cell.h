@@ -1,0 +1,54 @@
+#ifndef DITA_INDEX_CELL_H_
+#define DITA_INDEX_CELL_H_
+
+#include <limits>
+#include <vector>
+
+#include "geom/trajectory.h"
+
+namespace dita {
+
+/// Cell-based trajectory compression (§5.3.3 (2), Lemma 5.6): a trajectory is
+/// greedily covered by axis-aligned square cells of side `side`; each cell
+/// remembers how many points fell into it. The summaries provide a cheap
+/// lower bound for DTW that verification applies before the full DP.
+struct CellSummary {
+  struct Cell {
+    Point center;
+    int count = 0;
+  };
+  std::vector<Cell> cells;
+  double side = 0.0;
+
+  size_t TotalPoints() const {
+    size_t n = 0;
+    for (const auto& c : cells) n += static_cast<size_t>(c.count);
+    return n;
+  }
+};
+
+/// Scans the trajectory in order; a point joins the first existing cell that
+/// contains it, otherwise it opens a new cell centred on itself (the paper's
+/// construction).
+CellSummary CompressToCells(const Trajectory& t, double side);
+
+/// Minimum distance between two square cells (0 when they overlap).
+double CellDistance(const CellSummary::Cell& a, double side_a,
+                    const CellSummary::Cell& b, double side_b);
+
+/// Lemma 5.6: Cell(T, Q) = sum over T's cells of (min distance to any Q cell)
+/// * count. DTW(T, Q) >= Cell(T, Q) and >= Cell(Q, T). When `abandon_above`
+/// is finite the scan stops as soon as the partial sum exceeds it and
+/// returns that partial sum (still a valid lower bound).
+double CellLowerBoundDtw(const CellSummary& t, const CellSummary& q,
+                         double abandon_above =
+                             std::numeric_limits<double>::infinity());
+
+/// Frechet analogue: the max over T's cells of the min distance to Q's cells
+/// lower-bounds Frechet(T, Q) (every point of T must align within the
+/// threshold to some point of Q).
+double CellLowerBoundFrechet(const CellSummary& t, const CellSummary& q);
+
+}  // namespace dita
+
+#endif  // DITA_INDEX_CELL_H_

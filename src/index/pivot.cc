@@ -1,0 +1,177 @@
+#include "index/pivot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace dita {
+
+Result<PivotStrategy> ParsePivotStrategy(const std::string& name) {
+  const std::string upper = StrToUpper(name);
+  if (upper == "INFLECTION" || upper == "INFLECTIONPOINT") {
+    return PivotStrategy::kInflectionPoint;
+  }
+  if (upper == "NEIGHBOR" || upper == "NEIGHBORDISTANCE") {
+    return PivotStrategy::kNeighborDistance;
+  }
+  if (upper == "FIRSTLAST" || upper == "FIRST/LAST" ||
+      upper == "FIRSTLASTDISTANCE") {
+    return PivotStrategy::kFirstLastDistance;
+  }
+  return Status::InvalidArgument("unknown pivot strategy: " + name);
+}
+
+const char* PivotStrategyName(PivotStrategy s) {
+  switch (s) {
+    case PivotStrategy::kInflectionPoint:
+      return "Inflection";
+    case PivotStrategy::kNeighborDistance:
+      return "Neighbor";
+    case PivotStrategy::kFirstLastDistance:
+      return "First/Last";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+/// Angle at vertex b of the triangle a-b-c, in radians [0, pi]. Degenerate
+/// (zero-length) edges yield pi, giving zero inflection weight.
+double AngleAt(const Point& a, const Point& b, const Point& c) {
+  const double ux = a.x - b.x, uy = a.y - b.y;
+  const double vx = c.x - b.x, vy = c.y - b.y;
+  const double nu = std::sqrt(ux * ux + uy * uy);
+  const double nv = std::sqrt(vx * vx + vy * vy);
+  if (nu == 0.0 || nv == 0.0) return M_PI;
+  double cosine = (ux * vx + uy * vy) / (nu * nv);
+  cosine = std::clamp(cosine, -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+std::vector<double> ComputeWeights(const Trajectory& t, PivotStrategy strategy) {
+  const auto& p = t.points();
+  const size_t m = p.size();
+  // weights[i] corresponds to interior point index i+1.
+  std::vector<double> weights(m >= 2 ? m - 2 : 0, 0.0);
+  for (size_t i = 1; i + 1 < m; ++i) {
+    switch (strategy) {
+      case PivotStrategy::kInflectionPoint:
+        weights[i - 1] = M_PI - AngleAt(p[i - 1], p[i], p[i + 1]);
+        break;
+      case PivotStrategy::kNeighborDistance:
+        weights[i - 1] = PointDistance(p[i - 1], p[i]);
+        break;
+      case PivotStrategy::kFirstLastDistance:
+        weights[i - 1] =
+            std::max(PointDistance(p[i], p[0]), PointDistance(p[i], p[m - 1]));
+        break;
+    }
+  }
+  return weights;
+}
+
+}  // namespace
+
+std::vector<size_t> SelectPivotIndices(const Trajectory& t, size_t k,
+                                       PivotStrategy strategy) {
+  const size_t m = t.size();
+  if (m <= 2 || k == 0) return {};
+  const std::vector<double> weights = ComputeWeights(t, strategy);
+
+  std::vector<size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;  // tie-break toward the lower index (paper examples)
+  });
+
+  const size_t take = std::min(k, order.size());
+  std::vector<size_t> picked(order.begin(),
+                             order.begin() + static_cast<long>(take));
+  for (size_t& idx : picked) idx += 1;  // interior offset
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+IndexingSequence BuildIndexingSequence(const Trajectory& t, size_t k,
+                                       PivotStrategy strategy) {
+  IndexingSequence seq;
+  if (t.empty()) return seq;
+  const size_t m = t.size();
+  seq.points.reserve(k + 2);
+  seq.source_indices.reserve(k + 2);
+  seq.points.push_back(t.front());
+  seq.source_indices.push_back(0);
+  seq.points.push_back(t.back());
+  seq.source_indices.push_back(m - 1);
+
+  std::vector<size_t> pivots = SelectPivotIndices(t, k, strategy);
+  for (size_t idx : pivots) {
+    seq.points.push_back(t[idx]);
+    seq.source_indices.push_back(idx);
+  }
+  // Pad to exactly k pivots (§4.1.2 fixes K for every trajectory).
+  while (seq.points.size() < k + 2) {
+    const size_t last = seq.source_indices.size() > 2
+                            ? seq.source_indices.back()
+                            : m - 1;
+    seq.points.push_back(t[last]);
+    seq.source_indices.push_back(last);
+  }
+  seq.chargeable.resize(seq.source_indices.size());
+  for (size_t l = 0; l < seq.source_indices.size(); ++l) {
+    bool fresh = true;
+    for (size_t prev = 0; prev < l; ++prev) {
+      if (seq.source_indices[prev] == seq.source_indices[l]) {
+        fresh = false;
+        break;
+      }
+    }
+    seq.chargeable[l] = fresh;
+  }
+  return seq;
+}
+
+double Pamd(const IndexingSequence& ti, const Trajectory& q) {
+  if (ti.points.empty() || q.empty()) return 0.0;
+  const auto& pts = q.points();
+  double sum = PointDistance(ti.points[0], pts.front());
+  if (ti.chargeable[1]) sum += PointDistance(ti.points[1], pts.back());
+  for (size_t p = 2; p < ti.points.size(); ++p) {
+    if (!ti.chargeable[p]) continue;
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point& qj : pts) {
+      best = std::min(best, PointDistance(ti.points[p], qj));
+    }
+    sum += best;
+  }
+  return sum;
+}
+
+double Opamd(const IndexingSequence& ti, const Trajectory& q, double tau) {
+  if (ti.points.empty() || q.empty()) return 0.0;
+  const auto& pts = q.points();
+  double sum = PointDistance(ti.points[0], pts.front());
+  if (ti.chargeable[1]) sum += PointDistance(ti.points[1], pts.back());
+  size_t suffix = 0;
+  for (size_t p = 2; p < ti.points.size(); ++p) {
+    if (!ti.chargeable[p]) continue;
+    const double remaining = tau - sum;
+    double best = std::numeric_limits<double>::infinity();
+    size_t first_within = pts.size();
+    for (size_t j = suffix; j < pts.size(); ++j) {
+      const double d = PointDistance(ti.points[p], pts[j]);
+      best = std::min(best, d);
+      if (d <= remaining && first_within == pts.size()) first_within = j;
+    }
+    if (first_within < pts.size()) suffix = first_within;
+    sum += best;
+    if (sum > tau) break;  // already disproven; callers only test vs tau
+  }
+  return sum;
+}
+
+}  // namespace dita

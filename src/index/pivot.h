@@ -1,0 +1,72 @@
+#ifndef DITA_INDEX_PIVOT_H_
+#define DITA_INDEX_PIVOT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/trajectory.h"
+#include "util/status.h"
+
+namespace dita {
+
+/// Pivot point selection strategies (§4.1.2). Each interior point receives a
+/// weight; the K highest-weight points become pivots.
+enum class PivotStrategy {
+  /// pi - angle(a, b, c) for consecutive points a, b, c: sharp turns win.
+  kInflectionPoint,
+  /// dist(a, b) for consecutive points: long hops win. The paper's best
+  /// performer and our default.
+  kNeighborDistance,
+  /// max(dist(b, t1), dist(b, tm)): points far from both endpoints win.
+  kFirstLastDistance,
+};
+
+Result<PivotStrategy> ParsePivotStrategy(const std::string& name);
+const char* PivotStrategyName(PivotStrategy s);
+
+/// Selects up to `k` pivot indices from T's interior points {1..m-2} (0-based;
+/// the endpoints are excluded per Definition 4.2), returned in increasing
+/// index order. Ties break toward the lower index, matching the paper's
+/// worked examples. When the trajectory has fewer than k interior points,
+/// all interior indices are returned (shorter than k).
+std::vector<size_t> SelectPivotIndices(const Trajectory& t, size_t k,
+                                       PivotStrategy strategy);
+
+/// A trajectory's indexing sequence TI = (t_1, t_m, t_P1, ..., t_PK) plus the
+/// source index of each entry (§4.2.3). Levels are:
+///   entry 0 -> first point, entry 1 -> last point, entry 2+i -> pivot i.
+/// When the trajectory is shorter than k+2 points, trailing pivot slots
+/// repeat the last available pivot (or the last point for 2-point
+/// trajectories) so every trajectory has exactly k+2 indexing points; the
+/// repeats are harmless for correctness since the bound only accumulates
+/// nearest distances.
+struct IndexingSequence {
+  std::vector<Point> points;
+  std::vector<size_t> source_indices;
+  /// chargeable[l] is true iff entry l references a source point distinct
+  /// from every earlier entry. Padded (repeated) entries are not chargeable:
+  /// accumulating their per-level minimum distance would count the same DTW
+  /// row twice and break the lower-bound property, so PAMD/OPAMD and the
+  /// trie's accumulate/edit modes skip non-chargeable levels.
+  std::vector<bool> chargeable;
+};
+
+IndexingSequence BuildIndexingSequence(const Trajectory& t, size_t k,
+                                       PivotStrategy strategy);
+
+/// Pivot accumulated minimum distance (Definition 4.2, Lemma 4.3):
+///   PAMD(T, Q) = dist(t1, q1) + dist(tm, qn) + sum_p min_j dist(p, q_j)
+/// computed from T's indexing sequence `ti`. A lower bound of DTW(T, Q):
+/// PAMD > tau implies the pair cannot be similar. O(nK) per pair.
+double Pamd(const IndexingSequence& ti, const Trajectory& q);
+
+/// Ordered PAMD (Lemma 5.1): like PAMD but each pivot's minimum is taken
+/// over the query suffix remaining after earlier pivots trimmed their
+/// unreachable prefix under threshold `tau`. Tighter than PAMD; still a
+/// valid DTW lower bound whenever OPAMD <= tau is used as the filter test.
+double Opamd(const IndexingSequence& ti, const Trajectory& q, double tau);
+
+}  // namespace dita
+
+#endif  // DITA_INDEX_PIVOT_H_

@@ -1,0 +1,117 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dita {
+
+void RTree::Build(std::vector<Entry> entries, size_t fanout) {
+  DITA_CHECK(fanout >= 2);
+  entries_ = std::move(entries);
+  nodes_.clear();
+  num_entries_ = entries_.size();
+  if (entries_.empty()) {
+    root_ = 0;
+    nodes_.push_back(Node{});  // empty leaf root
+    return;
+  }
+
+  std::vector<uint32_t> level(entries_.size());
+  for (uint32_t i = 0; i < entries_.size(); ++i) level[i] = i;
+  std::vector<uint32_t> parents = PackLevel(level, /*items_are_entries=*/true, fanout);
+  while (parents.size() > 1) {
+    parents = PackLevel(parents, /*items_are_entries=*/false, fanout);
+  }
+  root_ = parents[0];
+}
+
+std::vector<uint32_t> RTree::PackLevel(const std::vector<uint32_t>& items,
+                                       bool items_are_entries, size_t fanout) {
+  // STR: sort by center x, cut into vertical slices of ~sqrt(P) runs, sort
+  // each slice by center y, emit runs of `fanout` items per node.
+  const size_t num_nodes =
+      (items.size() + fanout - 1) / fanout;  // ceil(P / fanout)
+  const size_t num_slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+  const size_t slice_len =
+      num_slices == 0 ? items.size()
+                      : (items.size() + num_slices - 1) / num_slices;
+
+  auto center = [&](uint32_t idx) {
+    const MBR& m = items_are_entries ? entries_[idx].mbr : nodes_[idx].mbr;
+    return m.Center();
+  };
+
+  std::vector<uint32_t> sorted = items;
+  std::sort(sorted.begin(), sorted.end(), [&](uint32_t a, uint32_t b) {
+    return center(a).x < center(b).x;
+  });
+
+  std::vector<uint32_t> out;
+  out.reserve(num_nodes);
+  for (size_t s = 0; s * slice_len < sorted.size(); ++s) {
+    const size_t begin = s * slice_len;
+    const size_t end = std::min(sorted.size(), begin + slice_len);
+    std::sort(sorted.begin() + static_cast<long>(begin),
+              sorted.begin() + static_cast<long>(end),
+              [&](uint32_t a, uint32_t b) { return center(a).y < center(b).y; });
+    for (size_t i = begin; i < end; i += fanout) {
+      Node node;
+      node.is_leaf = items_are_entries;
+      const size_t stop = std::min(end, i + fanout);
+      for (size_t j = i; j < stop; ++j) {
+        node.children.push_back(sorted[j]);
+        node.mbr.Expand(items_are_entries ? entries_[sorted[j]].mbr
+                                          : nodes_[sorted[j]].mbr);
+      }
+      nodes_.push_back(std::move(node));
+      out.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+    }
+  }
+  return out;
+}
+
+void RTree::SearchWithinDistance(const Point& p, double tau,
+                                 std::vector<uint32_t>* out) const {
+  if (num_entries_ == 0) return;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.mbr.MinDist(p) > tau) continue;
+    if (node.is_leaf) {
+      for (uint32_t e : node.children) {
+        if (entries_[e].mbr.MinDist(p) <= tau) out->push_back(entries_[e].value);
+      }
+    } else {
+      for (uint32_t c : node.children) stack.push_back(c);
+    }
+  }
+}
+
+void RTree::SearchIntersecting(const MBR& range, std::vector<uint32_t>* out) const {
+  if (num_entries_ == 0) return;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.mbr.Intersects(range)) continue;
+    if (node.is_leaf) {
+      for (uint32_t e : node.children) {
+        if (entries_[e].mbr.Intersects(range)) out->push_back(entries_[e].value);
+      }
+    } else {
+      for (uint32_t c : node.children) stack.push_back(c);
+    }
+  }
+}
+
+size_t RTree::ByteSize() const {
+  size_t bytes = entries_.size() * sizeof(Entry) + nodes_.size() * sizeof(Node);
+  for (const Node& n : nodes_) bytes += n.children.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace dita

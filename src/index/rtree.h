@@ -1,0 +1,63 @@
+#ifndef DITA_INDEX_RTREE_H_
+#define DITA_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/mbr.h"
+
+namespace dita {
+
+/// A static R-tree bulk-loaded with Sort-Tile-Recursive packing (Leutenegger
+/// et al., cited as [25]). DITA uses it for the global index: one tree over
+/// the per-partition first-point MBRs and one over the last-point MBRs.
+///
+/// Entries are (MBR, opaque uint32 value); the tree is immutable once built.
+class RTree {
+ public:
+  struct Entry {
+    MBR mbr;
+    uint32_t value = 0;
+  };
+
+  RTree() = default;
+
+  /// Builds the tree from `entries` with the given node fanout.
+  void Build(std::vector<Entry> entries, size_t fanout = 16);
+
+  /// Appends to `out` the value of every entry whose MBR lies within
+  /// distance `tau` of `p` (MinDist(p, mbr) <= tau).
+  void SearchWithinDistance(const Point& p, double tau,
+                            std::vector<uint32_t>* out) const;
+
+  /// Appends every entry value whose MBR intersects `range`.
+  void SearchIntersecting(const MBR& range, std::vector<uint32_t>* out) const;
+
+  size_t size() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// Approximate memory footprint in bytes (for Table 5 / Table 7 rows).
+  size_t ByteSize() const;
+
+ private:
+  struct Node {
+    MBR mbr;
+    bool is_leaf = true;
+    /// Children node indices (internal) or entry indices (leaf).
+    std::vector<uint32_t> children;
+  };
+
+  /// Packs `items` (indices into nodes_ or entries_) into parent nodes by
+  /// STR; returns indices of created parents.
+  std::vector<uint32_t> PackLevel(const std::vector<uint32_t>& items,
+                                  bool items_are_entries, size_t fanout);
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace dita
+
+#endif  // DITA_INDEX_RTREE_H_

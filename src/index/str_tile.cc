@@ -1,0 +1,44 @@
+#include "index/str_tile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dita {
+
+std::vector<std::vector<uint32_t>> StrTile(
+    std::vector<uint32_t> items,
+    const std::function<Point(uint32_t)>& key_of, size_t num_groups) {
+  std::vector<std::vector<uint32_t>> groups;
+  if (items.empty() || num_groups == 0) return groups;
+  if (num_groups == 1) {
+    groups.push_back(std::move(items));
+    return groups;
+  }
+
+  std::sort(items.begin(), items.end(), [&](uint32_t a, uint32_t b) {
+    return key_of(a).x < key_of(b).x;
+  });
+  const size_t num_slabs = std::max<size_t>(
+      1,
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_groups)))));
+  const size_t groups_per_slab = (num_groups + num_slabs - 1) / num_slabs;
+  const size_t slab_len = (items.size() + num_slabs - 1) / num_slabs;
+
+  for (size_t s = 0; s * slab_len < items.size(); ++s) {
+    const size_t begin = s * slab_len;
+    const size_t end = std::min(items.size(), begin + slab_len);
+    std::sort(items.begin() + static_cast<long>(begin),
+              items.begin() + static_cast<long>(end),
+              [&](uint32_t a, uint32_t b) { return key_of(a).y < key_of(b).y; });
+    const size_t group_len =
+        std::max<size_t>(1, (end - begin + groups_per_slab - 1) / groups_per_slab);
+    for (size_t g = begin; g < end; g += group_len) {
+      const size_t stop = std::min(end, g + group_len);
+      groups.emplace_back(items.begin() + static_cast<long>(g),
+                          items.begin() + static_cast<long>(stop));
+    }
+  }
+  return groups;
+}
+
+}  // namespace dita

@@ -1,0 +1,23 @@
+#ifndef DITA_INDEX_STR_TILE_H_
+#define DITA_INDEX_STR_TILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace dita {
+
+/// Sort-Tile-Recursive grouping (Leutenegger et al. [25]): splits `items`
+/// into at most `num_groups` groups of roughly equal size by sorting on the
+/// key point's x into ~sqrt(num_groups) slabs, then sorting each slab on y
+/// and cutting it into equal-count runs. Groups are spatially coherent and
+/// balanced even on highly skewed data — the property §4.2.1 relies on.
+std::vector<std::vector<uint32_t>> StrTile(
+    std::vector<uint32_t> items,
+    const std::function<Point(uint32_t)>& key_of, size_t num_groups);
+
+}  // namespace dita
+
+#endif  // DITA_INDEX_STR_TILE_H_

@@ -1,0 +1,218 @@
+#include "index/trie_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "index/str_tile.h"
+#include "util/logging.h"
+
+namespace dita {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Status TrieIndex::Build(std::vector<Trajectory> trajectories,
+                        const Options& options) {
+  if (options.align_fanout < 2 || options.pivot_fanout < 2) {
+    return Status::InvalidArgument("trie fanouts must be at least 2");
+  }
+  if (options.leaf_capacity < 1) {
+    return Status::InvalidArgument("leaf capacity must be at least 1");
+  }
+  for (const Trajectory& t : trajectories) {
+    if (t.empty()) return Status::InvalidArgument("empty trajectory in build set");
+  }
+  options_ = options;
+  trajectories_ = std::move(trajectories);
+  sequences_.clear();
+  sequences_.reserve(trajectories_.size());
+  for (const Trajectory& t : trajectories_) {
+    sequences_.push_back(
+        BuildIndexingSequence(t, options_.num_pivots, options_.strategy));
+  }
+
+  nodes_.clear();
+  nodes_.push_back(Node{});  // root, level -1
+  root_ = 0;
+  std::vector<uint32_t> all(trajectories_.size());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  BuildNode(root_, std::move(all), /*level=*/-1);
+  return Status::OK();
+}
+
+void TrieIndex::BuildNode(uint32_t node_idx, std::vector<uint32_t> members,
+                          int level) {
+  const int num_levels = static_cast<int>(options_.num_pivots) + 2;
+  const int child_level = level + 1;
+  // Leaf when all indexing levels are consumed or the population is small.
+  if (child_level >= num_levels || members.size() <= options_.leaf_capacity) {
+    nodes_[node_idx].items = std::move(members);
+    return;
+  }
+
+  const size_t fanout =
+      child_level < 2 ? options_.align_fanout : options_.pivot_fanout;
+  auto level_point = [&](uint32_t traj_pos) -> Point {
+    return sequences_[traj_pos].points[static_cast<size_t>(child_level)];
+  };
+
+  for (auto& child_members : StrTile(std::move(members), level_point, fanout)) {
+    Node child;
+    child.level = child_level;
+    child.src_lo = std::numeric_limits<size_t>::max();
+    child.src_hi = 0;
+    for (uint32_t pos : child_members) {
+      child.mbr.Expand(level_point(pos));
+      const size_t src =
+          sequences_[pos].source_indices[static_cast<size_t>(child_level)];
+      child.src_lo = std::min(child.src_lo, src);
+      child.src_hi = std::max(child.src_hi, src);
+      if (!sequences_[pos].chargeable[static_cast<size_t>(child_level)]) {
+        child.chargeable = false;
+      }
+    }
+    nodes_.push_back(std::move(child));
+    const uint32_t child_idx = static_cast<uint32_t>(nodes_.size() - 1);
+    nodes_[node_idx].children.push_back(child_idx);
+    BuildNode(child_idx, std::move(child_members), child_level);
+  }
+}
+
+double TrieIndex::SuffixMinDist(const Trajectory& q, size_t suffix_start,
+                                const MBR& mbr, double limit,
+                                size_t* next_suffix_start) const {
+  const auto& pts = q.points();
+  double best = kInf;
+  size_t first_within = pts.size();
+  for (size_t j = suffix_start; j < pts.size(); ++j) {
+    const double d = mbr.MinDist(pts[j]);
+    best = std::min(best, d);
+    if (d <= limit && first_within == pts.size()) first_within = j;
+    if (best == 0.0 && first_within != pts.size()) break;  // cannot improve
+  }
+  // Lemma 5.1: query points before the first one within `limit` of this
+  // pivot MBR cannot align to this pivot nor to any later one.
+  if (next_suffix_start != nullptr) {
+    *next_suffix_start = first_within == pts.size() ? suffix_start : first_within;
+  }
+  return best;
+}
+
+void TrieIndex::CollectCandidates(const SearchSpec& spec,
+                                  std::vector<uint32_t>* out) const {
+  DITA_CHECK(spec.query != nullptr);
+  if (trajectories_.empty() || spec.query->empty()) return;
+  double budget = spec.tau;
+  if (spec.mode == PruneMode::kEditCount) budget = std::floor(spec.tau);
+  // suffix_mbrs[j] covers query points [j, n).
+  const auto& pts = spec.query->points();
+  std::vector<MBR> suffix_mbrs(pts.size() + 1);
+  for (size_t j = pts.size(); j-- > 0;) {
+    suffix_mbrs[j] = suffix_mbrs[j + 1];
+    suffix_mbrs[j].Expand(pts[j]);
+  }
+  SearchNode(root_, spec, suffix_mbrs, budget, /*suffix_start=*/0, out);
+}
+
+void TrieIndex::SearchNode(uint32_t node_idx, const SearchSpec& spec,
+                           const std::vector<MBR>& suffix_mbrs, double budget,
+                           size_t suffix_start,
+                           std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_idx];
+  const Trajectory& q = *spec.query;
+
+  if (node.level >= 0) {
+    switch (spec.mode) {
+      case PruneMode::kAccumulate: {
+        // Non-chargeable levels (padded repeats of an earlier source point)
+        // must not contribute to the accumulated bound.
+        if (!node.chargeable) break;
+        if (spec.erp_gap != nullptr) {
+          // ERP: a row may match the gap point; no alignment, no trimming.
+          double d = node.mbr.MinDist(*spec.erp_gap);
+          for (const Point& p : q.points()) {
+            if (d == 0.0) break;
+            d = std::min(d, node.mbr.MinDist(p));
+          }
+          if (d > budget) return;
+          budget -= d;
+          break;
+        }
+        double d;
+        if (node.level == 0) {
+          d = node.mbr.MinDist(q.front());
+        } else if (node.level == 1) {
+          d = node.mbr.MinDist(q.back());
+        } else {
+          // O(1) pre-test before the O(n) suffix scan.
+          if (node.mbr.MinDist(suffix_mbrs[suffix_start]) > budget) return;
+          size_t next = suffix_start;
+          d = SuffixMinDist(q, suffix_start, node.mbr, budget, &next);
+          suffix_start = next;
+        }
+        if (d > budget) return;
+        budget -= d;
+        break;
+      }
+      case PruneMode::kMax: {
+        double d;
+        if (node.level == 0) {
+          d = node.mbr.MinDist(q.front());
+        } else if (node.level == 1) {
+          d = node.mbr.MinDist(q.back());
+        } else {
+          if (node.mbr.MinDist(suffix_mbrs[suffix_start]) > budget) return;
+          size_t next = suffix_start;
+          d = SuffixMinDist(q, suffix_start, node.mbr, budget, &next);
+          suffix_start = next;
+        }
+        if (d > budget) return;  // budget stays tau for max-style distances
+        break;
+      }
+      case PruneMode::kEditCount: {
+        // A level whose indexing point cannot match any (eligible) query
+        // point within epsilon forces at least one edit (Appendix A).
+        double d = kInf;
+        size_t j_lo = 0;
+        size_t j_hi = q.size();
+        if (node.level >= 2 && spec.lcss_delta >= 0) {
+          // LCSS index constraint: pivot at source index s may only match
+          // query indices within delta of it.
+          const size_t delta = static_cast<size_t>(spec.lcss_delta);
+          j_lo = node.src_lo > delta ? node.src_lo - delta : 0;
+          j_hi = std::min(q.size(), node.src_hi + delta + 1);
+        }
+        for (size_t j = j_lo; j < j_hi; ++j) {
+          d = std::min(d, node.mbr.MinDist(q[j]));
+          if (d == 0.0) break;
+        }
+        if (d > spec.epsilon && node.chargeable) budget -= 1.0;
+        if (budget < 0.0) return;
+        break;
+      }
+    }
+  }
+
+  if (node.children.empty()) {
+    out->insert(out->end(), node.items.begin(), node.items.end());
+    return;
+  }
+  for (uint32_t child : node.children) {
+    SearchNode(child, spec, suffix_mbrs, budget, suffix_start, out);
+  }
+}
+
+size_t TrieIndex::ByteSize() const {
+  size_t bytes = nodes_.size() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.children.size() * sizeof(uint32_t) + n.items.size() * sizeof(uint32_t);
+  }
+  for (const IndexingSequence& s : sequences_) {
+    bytes += s.points.size() * sizeof(Point) + s.source_indices.size() * sizeof(size_t);
+  }
+  return bytes;
+}
+
+}  // namespace dita

@@ -1,0 +1,113 @@
+#ifndef DITA_INDEX_TRIE_INDEX_H_
+#define DITA_INDEX_TRIE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/distance.h"
+#include "geom/trajectory.h"
+#include "index/pivot.h"
+#include "util/status.h"
+
+namespace dita {
+
+/// DITA's local index (§4.2.3): a (K+2)-level trie of MBRs over each
+/// trajectory's indexing sequence (first point, last point, K pivots). The
+/// index is clustered — trajectories are stored inside it, aligned with the
+/// leaves — so candidates are verified without an extra lookup (a point the
+/// paper stresses against DFT's non-clustered design).
+class TrieIndex {
+ public:
+  struct Options {
+    /// K, the number of pivot points per trajectory.
+    size_t num_pivots = 4;
+    /// N_L for the two align levels (first/last point).
+    size_t align_fanout = 32;
+    /// N_L for the K pivot levels; the paper uses a smaller fanout at the
+    /// bottom where fewer trajectories remain.
+    size_t pivot_fanout = 16;
+    /// Stop splitting a node with at most this many trajectories
+    /// (Appendix B: "too few trajectories (by default 16)").
+    size_t leaf_capacity = 16;
+    PivotStrategy strategy = PivotStrategy::kNeighborDistance;
+  };
+
+  /// Filtering request. `tau` is interpreted per `mode`:
+  /// kAccumulate — remaining distance budget, reduced level by level;
+  /// kMax — fixed per-level bound; kEditCount — edit budget, where a level
+  /// farther than `epsilon` from the query costs one edit. `lcss_delta >= 0`
+  /// additionally restricts pivot levels to the query index window allowed
+  /// by LCSS's |i - j| <= delta constraint.
+  struct SearchSpec {
+    const Trajectory* query = nullptr;
+    double tau = 0.0;
+    PruneMode mode = PruneMode::kAccumulate;
+    double epsilon = 0.0;
+    int lcss_delta = -1;
+    /// ERP only: the gap point g. When set, every level's bound becomes
+    /// min(MinDist(Q, MBR), MinDist(g, MBR)) — a row of T may match the gap
+    /// instead of a query point — and endpoint alignment and suffix
+    /// trimming are disabled (gap matches consume no query points).
+    const Point* erp_gap = nullptr;
+  };
+
+  TrieIndex() = default;
+
+  /// Builds the trie over `trajectories`, which the index takes ownership of.
+  Status Build(std::vector<Trajectory> trajectories, const Options& options);
+
+  /// Appends the positions (into trajectories()) of every trajectory that
+  /// survives the trie filter. Never drops a true answer (Lemmas 4.3 / 5.1).
+  void CollectCandidates(const SearchSpec& spec, std::vector<uint32_t>* out) const;
+
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+  const Trajectory& trajectory(uint32_t pos) const { return trajectories_[pos]; }
+  size_t size() const { return trajectories_.size(); }
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t ByteSize() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Node {
+    MBR mbr;
+    /// Level of this node's MBR: 0 = first point, 1 = last point,
+    /// 2 + i = pivot i. The root is level -1 with an empty MBR.
+    int level = -1;
+    /// Source-index range of the grouped indexing points (pivot levels only;
+    /// used by the LCSS delta-window restriction).
+    size_t src_lo = 0;
+    size_t src_hi = 0;
+    /// True iff every member's indexing entry at this level references a
+    /// source point not already used by an earlier level (padding repeats
+    /// points for short trajectories). Accumulate/edit modes only charge
+    /// chargeable levels to preserve the lower-bound property.
+    bool chargeable = true;
+    std::vector<uint32_t> children;  // node indices; empty for leaves
+    std::vector<uint32_t> items;     // trajectory positions; leaves only
+  };
+
+  void BuildNode(uint32_t node_idx, std::vector<uint32_t> members, int level);
+
+  /// `suffix_mbrs[j]` bounds query points [j, n): MinDist(node MBR, suffix
+  /// MBR) lower-bounds the per-point suffix minimum in O(1), letting most
+  /// pruned pivot nodes skip the O(n) scan entirely.
+  void SearchNode(uint32_t node_idx, const SearchSpec& spec,
+                  const std::vector<MBR>& suffix_mbrs, double budget,
+                  size_t suffix_start, std::vector<uint32_t>* out) const;
+
+  /// MinDist from the query's suffix [suffix_start, n) to `mbr`; also
+  /// computes the next suffix start per Lemma 5.1 under threshold `limit`.
+  double SuffixMinDist(const Trajectory& q, size_t suffix_start, const MBR& mbr,
+                       double limit, size_t* next_suffix_start) const;
+
+  Options options_;
+  std::vector<Trajectory> trajectories_;
+  std::vector<IndexingSequence> sequences_;  // parallel to trajectories_
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace dita
+
+#endif  // DITA_INDEX_TRIE_INDEX_H_

@@ -1,0 +1,101 @@
+#include "roadnet/map_matching.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dita {
+
+Result<MatchedTrajectory> MatchTrajectory(const RoadNetwork& network,
+                                          const Trajectory& t,
+                                          const MapMatchOptions& options) {
+  if (t.empty()) return Status::InvalidArgument("empty trajectory");
+  if (network.NumEdges() == 0) return Status::InvalidArgument("empty network");
+  if (options.candidates_per_point == 0) {
+    return Status::InvalidArgument("need at least one candidate per point");
+  }
+
+  // Per-point candidate sets.
+  std::vector<std::vector<RoadNetwork::Snap>> candidates(t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    candidates[i] = network.NearestEdges(t[i], options.candidates_per_point);
+    if (candidates[i].empty()) {
+      return Status::Internal("no candidate edges near a GPS point");
+    }
+  }
+
+  // Viterbi: cost[i][c] = best total cost ending at candidate c of point i.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> cost(t.size());
+  std::vector<std::vector<size_t>> back(t.size());
+  cost[0].resize(candidates[0].size());
+  back[0].assign(candidates[0].size(), 0);
+  for (size_t c = 0; c < candidates[0].size(); ++c) {
+    cost[0][c] = candidates[0][c].distance;
+  }
+  for (size_t i = 1; i < t.size(); ++i) {
+    cost[i].assign(candidates[i].size(), kInf);
+    back[i].assign(candidates[i].size(), 0);
+    for (size_t c = 0; c < candidates[i].size(); ++c) {
+      const auto& cur = candidates[i][c];
+      for (size_t p = 0; p < candidates[i - 1].size(); ++p) {
+        const auto& prev = candidates[i - 1][p];
+        double transition = 0.0;
+        if (!network.EdgesAdjacent(prev.edge, cur.edge)) {
+          transition = options.jump_penalty *
+                       PointDistance(prev.position, cur.position);
+        }
+        const double total = cost[i - 1][p] + cur.distance + transition;
+        if (total < cost[i][c]) {
+          cost[i][c] = total;
+          back[i][c] = p;
+        }
+      }
+    }
+  }
+
+  // Backtrack the best final state.
+  MatchedTrajectory out;
+  out.edges.resize(t.size());
+  out.snapped.set_id(t.id());
+  out.snapped.mutable_points().resize(t.size());
+  size_t best = 0;
+  for (size_t c = 1; c < cost.back().size(); ++c) {
+    if (cost.back()[c] < cost.back()[best]) best = c;
+  }
+  double snap_sum = 0.0;
+  for (size_t i = t.size(); i-- > 0;) {
+    const auto& snap = candidates[i][best];
+    out.edges[i] = snap.edge;
+    out.snapped.mutable_points()[i] = snap.position;
+    snap_sum += snap.distance;
+    best = back[i][best];
+  }
+  out.mean_snap_distance = snap_sum / double(t.size());
+
+  out.route.reserve(out.edges.size());
+  for (EdgeId e : out.edges) {
+    if (out.route.empty() || out.route.back() != e) out.route.push_back(e);
+  }
+  return out;
+}
+
+double RouteOverlap(const std::vector<EdgeId>& a, const std::vector<EdgeId>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  // Classic LCS DP over segment ids.
+  std::vector<size_t> prev(b.size() + 1, 0);
+  std::vector<size_t> row(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        row[j] = prev[j - 1] + 1;
+      } else {
+        row[j] = std::max(prev[j], row[j - 1]);
+      }
+    }
+    std::swap(prev, row);
+  }
+  const size_t lcs = prev[b.size()];
+  return double(lcs) / double(std::min(a.size(), b.size()));
+}
+
+}  // namespace dita

@@ -1,0 +1,52 @@
+#ifndef DITA_ROADNET_MAP_MATCHING_H_
+#define DITA_ROADNET_MAP_MATCHING_H_
+
+#include <vector>
+
+#include "geom/trajectory.h"
+#include "roadnet/road_network.h"
+
+namespace dita {
+
+/// Map matching: snap a noisy GPS trajectory onto the road network as a
+/// sequence of road-segment ids. A lightweight Viterbi over per-point
+/// candidate edges: emission cost = snap distance; transition cost = 0 for
+/// staying on the same or an adjacent edge and a jump penalty scaled by the
+/// snapped displacement otherwise (full HMM map matching computes network
+/// distances between candidates; the adjacency approximation is accurate on
+/// dense urban grids and keeps matching O(n * k^2)).
+struct MapMatchOptions {
+  /// Candidate edges per GPS point.
+  size_t candidates_per_point = 4;
+  /// Cost multiplier for transitions between non-adjacent edges.
+  double jump_penalty = 3.0;
+};
+
+struct MatchedTrajectory {
+  /// One matched edge per GPS point.
+  std::vector<EdgeId> edges;
+  /// Snapped positions (on the matched edges), parallel to `edges`.
+  Trajectory snapped;
+  /// The deduplicated road sequence (consecutive repeats collapsed) — the
+  /// trip's route, the unit network-aware similarity compares.
+  std::vector<EdgeId> route;
+  /// Mean snap distance, a match-quality indicator.
+  double mean_snap_distance = 0.0;
+};
+
+/// Matches `t` onto `network`; InvalidArgument for empty inputs.
+Result<MatchedTrajectory> MatchTrajectory(const RoadNetwork& network,
+                                          const Trajectory& t,
+                                          const MapMatchOptions& options =
+                                              MapMatchOptions());
+
+/// Network-aware route similarity: the fraction of the shorter route covered
+/// by the longest common subsequence of road segments, in [0, 1]. 1 = one
+/// route contains the other's segment sequence; 0 = no shared segments in
+/// order. (The segment-sequence analogue of LCSS, as road-network trajectory
+/// similarity is usually defined.)
+double RouteOverlap(const std::vector<EdgeId>& a, const std::vector<EdgeId>& b);
+
+}  // namespace dita
+
+#endif  // DITA_ROADNET_MAP_MATCHING_H_

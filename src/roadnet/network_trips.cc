@@ -1,0 +1,64 @@
+#include "roadnet/network_trips.h"
+
+#include <cmath>
+
+namespace dita {
+
+Result<NetworkTrips> GenerateNetworkTrips(const RoadNetwork& network,
+                                          const NetworkTripOptions& options) {
+  if (network.NumNodes() < 2) {
+    return Status::InvalidArgument("network needs at least two nodes");
+  }
+  if (options.sample_spacing <= 0) {
+    return Status::InvalidArgument("sample spacing must be positive");
+  }
+  Rng rng(options.seed);
+  NetworkTrips out;
+  const int64_t max_node = static_cast<int64_t>(network.NumNodes()) - 1;
+  size_t produced = 0;
+  size_t attempts = 0;
+  while (produced < options.num_trips && attempts < options.num_trips * 50) {
+    ++attempts;
+    const NodeId from = static_cast<NodeId>(rng.UniformInt(0, max_node));
+    const NodeId to = static_cast<NodeId>(rng.UniformInt(0, max_node));
+    if (from == to) continue;
+    auto path = network.ShortestPath(from, to);
+    if (!path.ok() || path->size() < options.min_hops + 1) continue;
+
+    // Walk the node path emitting samples every `sample_spacing`.
+    Trajectory t;
+    t.set_id(static_cast<TrajectoryId>(produced));
+    auto emit = [&](const Point& p) {
+      t.mutable_points().push_back(
+          Point{p.x + rng.Gaussian(0, options.gps_noise),
+                p.y + rng.Gaussian(0, options.gps_noise)});
+    };
+    emit(network.node((*path)[0]));
+    double carried = 0.0;
+    for (size_t i = 0; i + 1 < path->size(); ++i) {
+      const Point& a = network.node((*path)[i]);
+      const Point& b = network.node((*path)[i + 1]);
+      const double seg_len = PointDistance(a, b);
+      if (seg_len == 0.0) continue;
+      double offset = options.sample_spacing - carried;
+      while (offset < seg_len) {
+        const double frac = offset / seg_len;
+        emit(Point{a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)});
+        offset += options.sample_spacing;
+      }
+      carried = seg_len - (offset - options.sample_spacing);
+    }
+    emit(network.node(path->back()));
+    if (t.size() < 2) continue;
+
+    out.trips.Add(std::move(t));
+    out.truth_paths.push_back(std::move(*path));
+    ++produced;
+  }
+  if (produced < options.num_trips) {
+    return Status::Internal("could not generate enough connected trips");
+  }
+  return out;
+}
+
+}  // namespace dita

@@ -1,0 +1,35 @@
+#ifndef DITA_ROADNET_NETWORK_TRIPS_H_
+#define DITA_ROADNET_NETWORK_TRIPS_H_
+
+#include "roadnet/road_network.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// Generates trips that actually drive the road network: each trip is the
+/// shortest path between two random intersections, sampled along the road at
+/// roughly `sample_spacing`, with GPS noise. The ground-truth node path is
+/// returned alongside, so map-matching accuracy is measurable.
+struct NetworkTripOptions {
+  size_t num_trips = 100;
+  /// Distance between consecutive GPS samples along the route.
+  double sample_spacing = 0.002;
+  /// Per-point GPS noise (std dev).
+  double gps_noise = 0.00005;
+  /// Minimum network hops between trip endpoints.
+  size_t min_hops = 3;
+  uint64_t seed = 3;
+};
+
+struct NetworkTrips {
+  Dataset trips;
+  /// Ground-truth node path per trip, parallel to `trips`.
+  std::vector<std::vector<NodeId>> truth_paths;
+};
+
+Result<NetworkTrips> GenerateNetworkTrips(const RoadNetwork& network,
+                                          const NetworkTripOptions& options);
+
+}  // namespace dita
+
+#endif  // DITA_ROADNET_NETWORK_TRIPS_H_

@@ -1,0 +1,192 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "geom/simplify.h"
+#include "util/logging.h"
+
+namespace dita {
+
+NodeId RoadNetwork::AddNode(const Point& location) {
+  nodes_.push_back(location);
+  incident_.emplace_back();
+  finalized_ = false;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Result<EdgeId> RoadNetwork::AddEdge(NodeId a, NodeId b) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  if (a == b) return Status::InvalidArgument("self-loop edges not allowed");
+  Edge e;
+  e.a = a;
+  e.b = b;
+  e.length = PointDistance(nodes_[a], nodes_[b]);
+  edges_.push_back(e);
+  const EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+  incident_[a].push_back(id);
+  incident_[b].push_back(id);
+  finalized_ = false;
+  return id;
+}
+
+void RoadNetwork::Finalize() {
+  std::vector<RTree::Entry> entries;
+  entries.reserve(edges_.size());
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    MBR mbr;
+    mbr.Expand(nodes_[edges_[id].a]);
+    mbr.Expand(nodes_[edges_[id].b]);
+    entries.push_back({mbr, id});
+  }
+  edge_tree_.Build(std::move(entries));
+  finalized_ = true;
+}
+
+namespace {
+
+/// Projection of `p` onto segment (a, b).
+Point ProjectOntoSegment(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  if (len2 == 0.0) return a;
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Point{a.x + t * abx, a.y + t * aby};
+}
+
+}  // namespace
+
+Result<RoadNetwork::Snap> RoadNetwork::NearestEdge(const Point& p) const {
+  auto snaps = NearestEdges(p, 1);
+  if (snaps.empty()) return Status::NotFound("empty road network");
+  return snaps.front();
+}
+
+std::vector<RoadNetwork::Snap> RoadNetwork::NearestEdges(const Point& p,
+                                                         size_t k) const {
+  DITA_CHECK(finalized_);
+  std::vector<Snap> snaps;
+  if (edges_.empty() || k == 0) return snaps;
+
+  // Expanding-radius R-tree probe; fall back to doubling until k hits (or
+  // the whole network has been scanned).
+  double radius = 1e-6;
+  std::vector<uint32_t> hits;
+  for (int rounds = 0; rounds < 64; ++rounds) {
+    hits.clear();
+    edge_tree_.SearchWithinDistance(p, radius, &hits);
+    if (hits.size() >= k || hits.size() == edges_.size()) break;
+    radius *= 4.0;
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+
+  snaps.reserve(hits.size());
+  for (EdgeId id : hits) {
+    Snap s;
+    s.edge = id;
+    s.position = ProjectOntoSegment(p, nodes_[edges_[id].a], nodes_[edges_[id].b]);
+    s.distance = PointDistance(p, s.position);
+    snaps.push_back(s);
+  }
+  std::sort(snaps.begin(), snaps.end(),
+            [](const Snap& x, const Snap& y) { return x.distance < y.distance; });
+  if (snaps.size() > k) snaps.resize(k);
+  return snaps;
+}
+
+Result<std::vector<NodeId>> RoadNetwork::ShortestPath(NodeId from,
+                                                      NodeId to) const {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("unknown node");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<NodeId> parent(nodes_.size(), from);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.push({0.0, from});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (EdgeId eid : incident_[u]) {
+      const Edge& e = edges_[eid];
+      const NodeId v = e.a == u ? e.b : e.a;
+      const double nd = d + e.length;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent[v] = u;
+        queue.push({nd, v});
+      }
+    }
+  }
+  if (dist[to] == kInf) return Status::NotFound("nodes are disconnected");
+  std::vector<NodeId> path;
+  for (NodeId u = to; u != from; u = parent[u]) path.push_back(u);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double RoadNetwork::NetworkDistance(NodeId from, NodeId to) const {
+  auto path = ShortestPath(from, to);
+  if (!path.ok()) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < path->size(); ++i) {
+    total += PointDistance(nodes_[(*path)[i]], nodes_[(*path)[i + 1]]);
+  }
+  return total;
+}
+
+bool RoadNetwork::EdgesAdjacent(EdgeId x, EdgeId y) const {
+  if (x == y) return true;
+  const Edge& ex = edges_[x];
+  const Edge& ey = edges_[y];
+  return ex.a == ey.a || ex.a == ey.b || ex.b == ey.a || ex.b == ey.b;
+}
+
+RoadNetwork MakeGridNetwork(size_t rows, size_t cols, double spacing,
+                            const Point& origin, double removal_prob,
+                            uint64_t seed) {
+  DITA_CHECK(rows >= 2 && cols >= 2);
+  RoadNetwork net;
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      net.AddNode(Point{origin.x + double(c) * spacing,
+                        origin.y + double(r) * spacing});
+    }
+  }
+  auto node_at = [&](size_t r, size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const bool boundary_row = r == 0 || r == rows - 1;
+      const bool boundary_col = c == 0 || c == cols - 1;
+      if (c + 1 < cols) {
+        // Horizontal street segment; interior ones may be removed.
+        if (boundary_row || !rng.Chance(removal_prob)) {
+          DITA_CHECK(net.AddEdge(node_at(r, c), node_at(r, c + 1)).ok());
+        }
+      }
+      if (r + 1 < rows) {
+        if (boundary_col || !rng.Chance(removal_prob)) {
+          DITA_CHECK(net.AddEdge(node_at(r, c), node_at(r + 1, c)).ok());
+        }
+      }
+    }
+  }
+  net.Finalize();
+  return net;
+}
+
+}  // namespace dita

@@ -1,0 +1,95 @@
+#ifndef DITA_ROADNET_ROAD_NETWORK_H_
+#define DITA_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "index/rtree.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dita {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+/// A road network: intersections (nodes) connected by bidirectional road
+/// segments (edges). This is the substrate for the paper's §8 future-work
+/// direction ("an extension of DITA by considering road networks"):
+/// map matching snaps GPS trajectories onto it, and route-overlap similarity
+/// compares trips by shared road segments.
+class RoadNetwork {
+ public:
+  struct Edge {
+    NodeId a = 0;
+    NodeId b = 0;
+    double length = 0.0;
+  };
+
+  RoadNetwork() = default;
+
+  /// Adds an intersection; returns its id.
+  NodeId AddNode(const Point& location);
+
+  /// Adds a bidirectional segment between existing nodes; returns its id or
+  /// InvalidArgument for unknown/identical endpoints.
+  Result<EdgeId> AddEdge(NodeId a, NodeId b);
+
+  /// Must be called after the last AddEdge and before spatial queries;
+  /// builds the edge R-tree.
+  void Finalize();
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+  const Point& node(NodeId id) const { return nodes_[id]; }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// Edges incident to `node`.
+  const std::vector<EdgeId>& EdgesAt(NodeId node) const {
+    return incident_[node];
+  }
+
+  /// The edge nearest to `p` plus the snapped (projected) position; returns
+  /// NotFound on an empty network. Requires Finalize().
+  struct Snap {
+    EdgeId edge = 0;
+    Point position;
+    double distance = 0.0;
+  };
+  Result<Snap> NearestEdge(const Point& p) const;
+
+  /// Up to `k` nearest edges by snap distance (for map-matching candidate
+  /// sets). Requires Finalize().
+  std::vector<Snap> NearestEdges(const Point& p, size_t k) const;
+
+  /// Dijkstra shortest path; returns the node sequence from `from` to `to`
+  /// (inclusive) or NotFound if disconnected.
+  Result<std::vector<NodeId>> ShortestPath(NodeId from, NodeId to) const;
+
+  /// Network distance of the shortest path; infinity if disconnected.
+  double NetworkDistance(NodeId from, NodeId to) const;
+
+  /// True iff the two edges share an endpoint (or are the same edge).
+  bool EdgesAdjacent(EdgeId x, EdgeId y) const;
+
+ private:
+  std::vector<Point> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+  RTree edge_tree_;
+  bool finalized_ = false;
+};
+
+/// Generates a rows x cols Manhattan grid network with `spacing` between
+/// intersections, anchored at `origin`. Every street exists; a small
+/// fraction (`removal_prob`) of interior segments is removed to create
+/// detours, while grid connectivity is preserved by keeping the boundary
+/// ring intact.
+RoadNetwork MakeGridNetwork(size_t rows, size_t cols, double spacing,
+                            const Point& origin, double removal_prob = 0.0,
+                            uint64_t seed = 1);
+
+}  // namespace dita
+
+#endif  // DITA_ROADNET_ROAD_NETWORK_H_

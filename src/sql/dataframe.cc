@@ -1,0 +1,67 @@
+#include "sql/dataframe.h"
+
+#include "util/logging.h"
+
+namespace dita {
+
+DataFrame DataFrameContext::CreateDataFrame(Dataset data) {
+  auto state = std::make_shared<DataFrame::State>();
+  state->context = this;
+  state->data = std::move(data);
+  return DataFrame(std::move(state));
+}
+
+Result<std::shared_ptr<DitaEngine>> DataFrame::EngineFor(
+    const std::string& function) {
+  DistanceType type = state_->context->config().distance;
+  if (!function.empty()) {
+    auto parsed = ParseDistanceType(function);
+    DITA_RETURN_IF_ERROR(parsed.status());
+    type = *parsed;
+  }
+  auto it = state_->engines.find(type);
+  if (it != state_->engines.end()) return it->second;
+  DitaConfig config = state_->context->config();
+  config.distance = type;
+  auto engine =
+      std::make_shared<DitaEngine>(state_->context->cluster(), config);
+  DITA_RETURN_IF_ERROR(engine->BuildIndex(state_->data));
+  state_->engines[type] = engine;
+  return engine;
+}
+
+DataFrame& DataFrame::CreateTrieIndex(const std::string& function) {
+  auto engine = EngineFor(function);
+  if (!engine.ok()) {
+    DITA_LOG(kError) << "CreateTrieIndex failed: "
+                     << engine.status().ToString();
+  }
+  return *this;
+}
+
+Result<std::vector<TrajectoryId>> DataFrame::SimilaritySearch(
+    const Trajectory& query, const std::string& function, double tau,
+    DitaEngine::QueryStats* stats) {
+  auto engine = EngineFor(function);
+  DITA_RETURN_IF_ERROR(engine.status());
+  return (*engine)->Search(query, tau, stats);
+}
+
+Result<std::vector<std::pair<TrajectoryId, double>>> DataFrame::KnnSearch(
+    const Trajectory& query, const std::string& function, size_t k) {
+  auto engine = EngineFor(function);
+  DITA_RETURN_IF_ERROR(engine.status());
+  return (*engine)->KnnSearch(query, k);
+}
+
+Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DataFrame::TraJoin(
+    DataFrame& other, const std::string& function, double tau,
+    DitaEngine::JoinStats* stats) {
+  auto left = EngineFor(function);
+  DITA_RETURN_IF_ERROR(left.status());
+  auto right = other.EngineFor(function);
+  DITA_RETURN_IF_ERROR(right.status());
+  return (*left)->Join(**right, tau, stats);
+}
+
+}  // namespace dita

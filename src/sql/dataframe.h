@@ -1,0 +1,84 @@
+#ifndef DITA_SQL_DATAFRAME_H_
+#define DITA_SQL_DATAFRAME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/engine.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// The procedural counterpart of the SQL interface (§3 "DataFrame"): a
+/// trajectory collection with chainable analytics methods, in the spirit of
+/// Spark's DataFrame API.
+///
+///   DataFrameContext ctx(cluster, config);
+///   DataFrame taxis = ctx.CreateDataFrame(dataset).CreateTrieIndex();
+///   auto hits  = taxis.SimilaritySearch(q, "dtw", 0.005);
+///   auto pairs = taxis.TraJoin(taxis, "dtw", 0.005);
+class DataFrame;
+
+class DataFrameContext {
+ public:
+  DataFrameContext(std::shared_ptr<Cluster> cluster, const DitaConfig& config)
+      : cluster_(std::move(cluster)), config_(config) {}
+
+  DataFrame CreateDataFrame(Dataset data);
+
+  const std::shared_ptr<Cluster>& cluster() const { return cluster_; }
+  const DitaConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<Cluster> cluster_;
+  DitaConfig config_;
+};
+
+class DataFrame {
+ public:
+  /// Eagerly builds the trie index for `function` (default: the context's
+  /// configured distance). Without this call, analytics methods build the
+  /// index lazily on first use.
+  DataFrame& CreateTrieIndex(const std::string& function = "");
+
+  /// All trajectory ids within `tau` of `query` under `function`.
+  Result<std::vector<TrajectoryId>> SimilaritySearch(
+      const Trajectory& query, const std::string& function, double tau,
+      DitaEngine::QueryStats* stats = nullptr);
+
+  /// Similarity join against `other` (may be *this).
+  Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> TraJoin(
+      DataFrame& other, const std::string& function, double tau,
+      DitaEngine::JoinStats* stats = nullptr);
+
+  /// The k nearest trajectories to `query` as (id, distance) pairs.
+  Result<std::vector<std::pair<TrajectoryId, double>>> KnnSearch(
+      const Trajectory& query, const std::string& function, size_t k);
+
+  size_t size() const { return state_->data.size(); }
+  const Dataset& dataset() const { return state_->data; }
+
+ private:
+  friend class DataFrameContext;
+
+  /// Shared so DataFrame stays cheap to copy, like Spark's handle semantics.
+  struct State {
+    DataFrameContext* context = nullptr;
+    Dataset data;
+    std::map<DistanceType, std::shared_ptr<DitaEngine>> engines;
+  };
+
+  explicit DataFrame(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  Result<std::shared_ptr<DitaEngine>> EngineFor(const std::string& function);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_SQL_DATAFRAME_H_

@@ -1,0 +1,65 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dita {
+
+Result<std::vector<Token>> LexSql(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      tok.kind = Token::Kind::kIdent;
+      tok.text = sql.substr(i, j - i);
+      tok.upper = StrToUpper(tok.text);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+               (c == '-' && i + 1 < n &&
+                (std::isdigit(static_cast<unsigned char>(sql[i + 1])) ||
+                 sql[i + 1] == '.'))) {
+      char* end = nullptr;
+      tok.kind = Token::Kind::kNumber;
+      tok.number = std::strtod(sql.c_str() + i, &end);
+      const size_t len = static_cast<size_t>(end - (sql.c_str() + i));
+      if (len == 0) {
+        return Status::InvalidArgument(
+            StrFormat("bad number at offset %zu", i));
+      }
+      tok.text = sql.substr(i, len);
+      tok.upper = tok.text;
+      i += len;
+    } else if (std::string("()[],*=<>@-;").find(c) != std::string::npos) {
+      tok.kind = Token::Kind::kPunct;
+      tok.text = std::string(1, c);
+      tok.upper = tok.text;
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace dita

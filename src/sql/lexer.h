@@ -1,0 +1,33 @@
+#ifndef DITA_SQL_LEXER_H_
+#define DITA_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dita {
+
+/// A token of the extended-SQL dialect (§3).
+struct Token {
+  enum class Kind {
+    kIdent,    // table / function / index names; keywords are upper-cased idents
+    kNumber,   // double literal, optionally signed
+    kPunct,    // ( ) [ ] , * = < > @ - ;
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;   // original text (idents preserve case in `text`)
+  std::string upper;  // upper-cased text for keyword comparison
+  double number = 0.0;
+  size_t offset = 0;  // byte offset in the statement, for error messages
+};
+
+/// Tokenizes one SQL statement. `-` directly followed by a digit starts a
+/// negative number; otherwise it is punctuation (so `TRA-JOIN` lexes as
+/// three tokens the parser reassembles).
+Result<std::vector<Token>> LexSql(const std::string& sql);
+
+}  // namespace dita
+
+#endif  // DITA_SQL_LEXER_H_

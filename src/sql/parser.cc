@@ -1,0 +1,242 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace dita {
+
+namespace {
+
+/// Recursive-descent cursor over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> Parse() {
+    if (PeekKeyword("SELECT")) return ParseSelect();
+    if (PeekKeyword("CREATE")) return ParseCreateIndex();
+    if (PeekKeyword("SHOW")) return ParseShowTables();
+    return Err("expected SELECT, CREATE, or SHOW");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  void Advance() { if (pos_ + 1 < tokens_.size()) ++pos_; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == Token::Kind::kIdent && Peek().upper == kw;
+  }
+  bool PeekPunct(const char* p) const {
+    return Peek().kind == Token::Kind::kPunct && Peek().text == p;
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %zu: %s (near '%s')", Peek().offset,
+                  what.c_str(), Peek().text.c_str()));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return Err(StrFormat("expected %s", kw));
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectPunct(const char* p) {
+    if (!PeekPunct(p)) return Err(StrFormat("expected '%s'", p));
+    Advance();
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != Token::Kind::kIdent) return Err("expected identifier");
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+  Result<double> ExpectNumber() {
+    if (Peek().kind != Token::Kind::kNumber) return Err("expected a number");
+    const double v = Peek().number;
+    Advance();
+    return v;
+  }
+
+  Status ExpectStatementEnd() {
+    if (PeekPunct(";")) Advance();
+    if (Peek().kind != Token::Kind::kEnd) return Err("trailing input");
+    return Status::OK();
+  }
+
+  /// `<=` (two punct tokens).
+  Status ExpectLessEqual() {
+    DITA_RETURN_IF_ERROR(ExpectPunct("<"));
+    return ExpectPunct("=");
+  }
+
+  /// `[(x,y),(x,y),...]`
+  Result<TrajectoryLiteral> ParseTrajectoryLiteral() {
+    TrajectoryLiteral lit;
+    DITA_RETURN_IF_ERROR(ExpectPunct("["));
+    while (true) {
+      DITA_RETURN_IF_ERROR(ExpectPunct("("));
+      auto x = ExpectNumber();
+      DITA_RETURN_IF_ERROR(x.status());
+      DITA_RETURN_IF_ERROR(ExpectPunct(","));
+      auto y = ExpectNumber();
+      DITA_RETURN_IF_ERROR(y.status());
+      DITA_RETURN_IF_ERROR(ExpectPunct(")"));
+      lit.points.push_back(Point{*x, *y});
+      if (PeekPunct(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    DITA_RETURN_IF_ERROR(ExpectPunct("]"));
+    if (lit.points.size() < 2) {
+      return Err("trajectory literal needs at least 2 points");
+    }
+    return lit;
+  }
+
+  Result<Statement> ParseSelect() {
+    DITA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    DITA_RETURN_IF_ERROR(ExpectPunct("*"));
+    DITA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto table = ExpectIdent();
+    DITA_RETURN_IF_ERROR(table.status());
+
+    // TRA-JOIN lexes as TRA '-' JOIN.
+    if (PeekKeyword("TRA") && Peek(1).text == "-" &&
+        Peek(2).kind == Token::Kind::kIdent && Peek(2).upper == "JOIN") {
+      Advance();
+      Advance();
+      Advance();
+      JoinStatement join;
+      join.left_table = *table;
+      auto right = ExpectIdent();
+      DITA_RETURN_IF_ERROR(right.status());
+      join.right_table = *right;
+      DITA_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      auto func = ExpectIdent();
+      DITA_RETURN_IF_ERROR(func.status());
+      join.function = *func;
+      DITA_RETURN_IF_ERROR(ExpectPunct("("));
+      auto l = ExpectIdent();
+      DITA_RETURN_IF_ERROR(l.status());
+      DITA_RETURN_IF_ERROR(ExpectPunct(","));
+      auto r = ExpectIdent();
+      DITA_RETURN_IF_ERROR(r.status());
+      DITA_RETURN_IF_ERROR(ExpectPunct(")"));
+      if (StrToUpper(*l) != StrToUpper(join.left_table) ||
+          StrToUpper(*r) != StrToUpper(join.right_table)) {
+        return Err("TRA-JOIN predicate must reference the joined tables");
+      }
+      DITA_RETURN_IF_ERROR(ExpectLessEqual());
+      auto tau = ExpectNumber();
+      DITA_RETURN_IF_ERROR(tau.status());
+      join.threshold = *tau;
+      DITA_RETURN_IF_ERROR(ExpectStatementEnd());
+      return Statement(join);
+    }
+
+    // SELECT * FROM t ORDER BY f(t, q) LIMIT k — kNN.
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      DITA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      KnnStatement knn;
+      knn.table = *table;
+      DITA_RETURN_IF_ERROR(ParsePredicateHead(knn.table, &knn.function,
+                                              &knn.query));
+      DITA_RETURN_IF_ERROR(ExpectKeyword("LIMIT"));
+      auto k = ExpectNumber();
+      DITA_RETURN_IF_ERROR(k.status());
+      if (*k < 1 || *k != static_cast<double>(static_cast<size_t>(*k))) {
+        return Err("LIMIT must be a positive integer");
+      }
+      knn.k = static_cast<size_t>(*k);
+      DITA_RETURN_IF_ERROR(ExpectStatementEnd());
+      return Statement(knn);
+    }
+
+    DITA_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    SearchStatement search;
+    search.table = *table;
+    DITA_RETURN_IF_ERROR(ParsePredicateHead(search.table, &search.function,
+                                            &search.query));
+    DITA_RETURN_IF_ERROR(ExpectLessEqual());
+    auto tau = ExpectNumber();
+    DITA_RETURN_IF_ERROR(tau.status());
+    search.threshold = *tau;
+    DITA_RETURN_IF_ERROR(ExpectStatementEnd());
+    return Statement(search);
+  }
+
+  /// Parses `f(table, <literal or @param>)`, validating the table reference.
+  Status ParsePredicateHead(
+      const std::string& table, std::string* function,
+      std::variant<TrajectoryLiteral, TrajectoryParam>* query) {
+    auto func = ExpectIdent();
+    DITA_RETURN_IF_ERROR(func.status());
+    *function = *func;
+    DITA_RETURN_IF_ERROR(ExpectPunct("("));
+    auto t = ExpectIdent();
+    DITA_RETURN_IF_ERROR(t.status());
+    if (StrToUpper(*t) != StrToUpper(table)) {
+      return Err("predicate must reference the selected table");
+    }
+    DITA_RETURN_IF_ERROR(ExpectPunct(","));
+    if (PeekPunct("@")) {
+      Advance();
+      auto name = ExpectIdent();
+      DITA_RETURN_IF_ERROR(name.status());
+      *query = TrajectoryParam{*name};
+    } else {
+      auto lit = ParseTrajectoryLiteral();
+      DITA_RETURN_IF_ERROR(lit.status());
+      *query = *lit;
+    }
+    return ExpectPunct(")");
+  }
+
+  Result<Statement> ParseCreateIndex() {
+    DITA_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    DITA_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    CreateIndexStatement stmt;
+    auto name = ExpectIdent();
+    DITA_RETURN_IF_ERROR(name.status());
+    stmt.index_name = *name;
+    DITA_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    auto table = ExpectIdent();
+    DITA_RETURN_IF_ERROR(table.status());
+    stmt.table = *table;
+    DITA_RETURN_IF_ERROR(ExpectKeyword("USE"));
+    DITA_RETURN_IF_ERROR(ExpectKeyword("TRIE"));
+    DITA_RETURN_IF_ERROR(ExpectStatementEnd());
+    return Statement(stmt);
+  }
+
+  Result<Statement> ParseShowTables() {
+    DITA_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
+    DITA_RETURN_IF_ERROR(ExpectKeyword("TABLES"));
+    DITA_RETURN_IF_ERROR(ExpectStatementEnd());
+    return Statement(ShowTablesStatement{});
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseSql(const std::string& sql) {
+  auto tokens = LexSql(sql);
+  DITA_RETURN_IF_ERROR(tokens.status());
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace dita

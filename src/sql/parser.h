@@ -1,0 +1,70 @@
+#ifndef DITA_SQL_PARSER_H_
+#define DITA_SQL_PARSER_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "geom/trajectory.h"
+#include "util/status.h"
+
+namespace dita {
+
+/// AST of DITA's extended SQL (§3). The dialect covers exactly the paper's
+/// statements plus a trajectory literal / named-parameter syntax for search
+/// queries:
+///
+///   SELECT * FROM T WHERE DTW(T, [(1,1),(2,2)]) <= 0.005
+///   SELECT * FROM T WHERE FRECHET(T, @q) <= 0.005
+///   SELECT * FROM T ORDER BY DTW(T, @q) LIMIT 5          -- kNN
+///   SELECT * FROM T TRA-JOIN Q ON DTW(T, Q) <= 0.005
+///   CREATE INDEX TrieIndex ON T USE TRIE
+///   SHOW TABLES
+
+struct TrajectoryLiteral {
+  std::vector<Point> points;
+};
+
+/// A named query-trajectory parameter, bound via SqlEngine::BindTrajectory.
+struct TrajectoryParam {
+  std::string name;
+};
+
+struct SearchStatement {
+  std::string table;
+  std::string function;  // distance name, e.g. "DTW"
+  std::variant<TrajectoryLiteral, TrajectoryParam> query;
+  double threshold = 0.0;
+};
+
+/// SELECT * FROM T ORDER BY f(T, @q) LIMIT k — kNN search.
+struct KnnStatement {
+  std::string table;
+  std::string function;
+  std::variant<TrajectoryLiteral, TrajectoryParam> query;
+  size_t k = 0;
+};
+
+struct JoinStatement {
+  std::string left_table;
+  std::string right_table;
+  std::string function;
+  double threshold = 0.0;
+};
+
+struct CreateIndexStatement {
+  std::string index_name;
+  std::string table;
+};
+
+struct ShowTablesStatement {};
+
+using Statement = std::variant<SearchStatement, KnnStatement, JoinStatement,
+                               CreateIndexStatement, ShowTablesStatement>;
+
+/// Parses a single statement (an optional trailing ';' is allowed).
+Result<Statement> ParseSql(const std::string& sql);
+
+}  // namespace dita
+
+#endif  // DITA_SQL_PARSER_H_

@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <mutex>
+
+namespace dita {
+namespace log_internal {
+
+LogLevel& MinLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  static std::mutex mu;
+  const char* tag = "I";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kWarn:
+      tag = "W";
+      break;
+    case LogLevel::kError:
+      tag = "E";
+      break;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", tag, file, line, msg.c_str());
+}
+
+}  // namespace log_internal
+
+void SetLogLevel(LogLevel level) { log_internal::MinLevel() = level; }
+
+}  // namespace dita

@@ -1,0 +1,62 @@
+#ifndef DITA_UTIL_LOGGING_H_
+#define DITA_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dita {
+
+/// Log severity for the lightweight logging macros below.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace log_internal {
+
+/// Process-wide minimum severity; messages below it are dropped.
+LogLevel& MinLevel();
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Accumulates one log statement's stream and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+/// Sets the process-wide minimum log level (default kInfo).
+void SetLogLevel(LogLevel level);
+
+}  // namespace dita
+
+#define DITA_LOG(level)                                                       \
+  if (::dita::LogLevel::level < ::dita::log_internal::MinLevel()) {           \
+  } else                                                                      \
+    ::dita::log_internal::LogMessage(::dita::LogLevel::level, __FILE__,       \
+                                     __LINE__)                                \
+        .stream()
+
+/// Fatal check; aborts with a message when the condition fails. Used for
+/// programmer errors (broken invariants), never for user input.
+#define DITA_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "DITA_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // DITA_UTIL_LOGGING_H_

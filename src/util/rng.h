@@ -1,0 +1,44 @@
+#ifndef DITA_UTIL_RNG_H_
+#define DITA_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace dita {
+
+/// Deterministic seeded random number generator used across workload
+/// generation, sampling, and tests so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return Uniform(0.0, 1.0) < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_UTIL_RNG_H_

@@ -1,0 +1,97 @@
+#ifndef DITA_UTIL_STATUS_H_
+#define DITA_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dita {
+
+/// RocksDB-style status object used by all fallible DITA APIs in place of
+/// exceptions. A default-constructed Status is OK; error statuses carry a code
+/// and a human-readable message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: threshold must be non-negative".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Mirrors absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error status keeps call sites
+  /// terse: `return value;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}             // NOLINT
+  Result(Status status) : value_(std::move(status)) {}      // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace dita
+
+/// Propagates a non-OK status to the caller.
+#define DITA_RETURN_IF_ERROR(expr)               \
+  do {                                           \
+    ::dita::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // DITA_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef DITA_UTIL_STRING_UTIL_H_
+#define DITA_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace dita {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string StrTrim(const std::string& s);
+
+/// ASCII upper-casing (used by the SQL tokenizer for keywords).
+std::string StrToUpper(const std::string& s);
+
+/// Renders a byte count as a human-readable string, e.g. "1.4 MB".
+std::string HumanBytes(double bytes);
+
+}  // namespace dita
+
+#endif  // DITA_UTIL_STRING_UTIL_H_

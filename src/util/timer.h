@@ -1,0 +1,51 @@
+#ifndef DITA_UTIL_TIMER_H_
+#define DITA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace dita {
+
+/// Measures wall-clock time in seconds with steady_clock resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Measures per-thread CPU time in seconds. Used by the cluster simulator to
+/// charge task compute cost independently of scheduling noise.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double Seconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_UTIL_TIMER_H_

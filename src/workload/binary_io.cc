@@ -1,0 +1,148 @@
+#include "workload/binary_io.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace dita {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'I', 'T', 'A'};
+constexpr uint32_t kVersion = 1;
+
+void AppendVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+uint64_t ZigZag(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t UnZigZag(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+/// Reads a varint from `data` advancing `pos`; false on truncation.
+bool ReadVarint(const std::string& data, size_t* pos, uint64_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+int64_t Quantize(double v, double precision) {
+  return static_cast<int64_t>(std::llround(v / precision));
+}
+
+}  // namespace
+
+Status WriteBinary(const Dataset& dataset, const std::string& path,
+                   const BinaryIoOptions& options) {
+  if (options.precision <= 0) {
+    return Status::InvalidArgument("precision must be positive");
+  }
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  buf.append(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  buf.append(reinterpret_cast<const char*>(&options.precision),
+             sizeof(options.precision));
+  AppendVarint(dataset.size(), &buf);
+  for (const Trajectory& t : dataset.trajectories()) {
+    AppendVarint(ZigZag(t.id()), &buf);
+    AppendVarint(t.size(), &buf);
+    int64_t prev_x = 0;
+    int64_t prev_y = 0;
+    for (const Point& p : t.points()) {
+      const int64_t qx = Quantize(p.x, options.precision);
+      const int64_t qy = Quantize(p.y, options.precision);
+      AppendVarint(ZigZag(qx - prev_x), &buf);
+      AppendVarint(ZigZag(qy - prev_y), &buf);
+      prev_x = qx;
+      prev_y = qy;
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  const size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (written != buf.size()) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  std::string buf;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) buf.append(chunk, n);
+  std::fclose(f);
+
+  size_t pos = 0;
+  if (buf.size() < sizeof(kMagic) + sizeof(kVersion) + sizeof(double) ||
+      std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("not a DITA binary dataset: " + path);
+  }
+  pos += sizeof(kMagic);
+  uint32_t version;
+  std::memcpy(&version, buf.data() + pos, sizeof(version));
+  pos += sizeof(version);
+  if (version != kVersion) {
+    return Status::NotSupported(
+        StrFormat("unsupported binary version %u", version));
+  }
+  double precision;
+  std::memcpy(&precision, buf.data() + pos, sizeof(precision));
+  pos += sizeof(precision);
+  if (!(precision > 0)) return Status::IOError("corrupt precision header");
+
+  uint64_t count;
+  if (!ReadVarint(buf, &pos, &count)) return Status::IOError("truncated count");
+  Dataset ds;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id_zz, len;
+    if (!ReadVarint(buf, &pos, &id_zz) || !ReadVarint(buf, &pos, &len)) {
+      return Status::IOError("truncated trajectory header");
+    }
+    Trajectory t;
+    t.set_id(UnZigZag(id_zz));
+    t.mutable_points().reserve(len);
+    int64_t qx = 0;
+    int64_t qy = 0;
+    for (uint64_t k = 0; k < len; ++k) {
+      uint64_t dx_zz, dy_zz;
+      if (!ReadVarint(buf, &pos, &dx_zz) || !ReadVarint(buf, &pos, &dy_zz)) {
+        return Status::IOError("truncated point data");
+      }
+      qx += UnZigZag(dx_zz);
+      qy += UnZigZag(dy_zz);
+      t.mutable_points().push_back(
+          Point{double(qx) * precision, double(qy) * precision});
+    }
+    ds.Add(std::move(t));
+  }
+  if (pos != buf.size()) return Status::IOError("trailing bytes in " + path);
+  return ds;
+}
+
+}  // namespace dita

@@ -1,0 +1,107 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace dita {
+
+size_t Dataset::TotalPoints() const {
+  size_t total = 0;
+  for (const auto& t : trajectories_) total += t.size();
+  return total;
+}
+
+size_t Dataset::ByteSize() const {
+  size_t total = 0;
+  for (const auto& t : trajectories_) total += t.ByteSize();
+  return total;
+}
+
+Result<Dataset> Dataset::Sample(double rate, uint64_t seed) const {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("sample rate must be in (0, 1]");
+  }
+  if (rate == 1.0) return Dataset(trajectories_);
+  const size_t want = static_cast<size_t>(rate * static_cast<double>(size()) + 0.5);
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  std::vector<Trajectory> out;
+  out.reserve(want);
+  for (size_t i = 0; i < want && i < order.size(); ++i) {
+    out.push_back(trajectories_[order[i]]);
+  }
+  return Dataset(std::move(out));
+}
+
+std::vector<Trajectory> Dataset::SampleQueries(size_t count, uint64_t seed) const {
+  std::vector<Trajectory> out;
+  if (empty()) return out;
+  Rng rng(seed);
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(trajectories_[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(size()) - 1))]);
+  }
+  return out;
+}
+
+Status Dataset::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  for (const auto& t : trajectories_) {
+    std::fprintf(f, "%lld", static_cast<long long>(t.id()));
+    for (const Point& p : t.points()) std::fprintf(f, ",%.9g,%.9g", p.x, p.y);
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::ReadCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  Dataset ds;
+  std::string line;
+  char buf[1 << 16];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    line = StrTrim(buf);
+    if (line.empty()) continue;
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() < 3 || fields.size() % 2 == 0) {
+      std::fclose(f);
+      return Status::IOError("malformed CSV line: " + line);
+    }
+    Trajectory t;
+    t.set_id(std::strtoll(fields[0].c_str(), nullptr, 10));
+    for (size_t i = 1; i + 1 < fields.size(); i += 2) {
+      t.mutable_points().push_back(Point{std::strtod(fields[i].c_str(), nullptr),
+                                         std::strtod(fields[i + 1].c_str(), nullptr)});
+    }
+    ds.Add(std::move(t));
+  }
+  std::fclose(f);
+  return ds;
+}
+
+Dataset::Stats Dataset::ComputeStats() const {
+  Stats s;
+  s.cardinality = size();
+  s.min_len = std::numeric_limits<size_t>::max();
+  for (const auto& t : trajectories_) {
+    s.avg_len += static_cast<double>(t.size());
+    s.min_len = std::min(s.min_len, t.size());
+    s.max_len = std::max(s.max_len, t.size());
+  }
+  if (!empty()) s.avg_len /= static_cast<double>(size());
+  if (empty()) s.min_len = 0;
+  s.bytes = ByteSize();
+  return s;
+}
+
+}  // namespace dita

@@ -1,0 +1,64 @@
+#ifndef DITA_WORKLOAD_DATASET_H_
+#define DITA_WORKLOAD_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/trajectory.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dita {
+
+/// An in-memory collection of trajectories, the unit the engine indexes and
+/// queries. Provides deterministic sampling and simple CSV/binary IO.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Trajectory> trajectories)
+      : trajectories_(std::move(trajectories)) {}
+
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+  std::vector<Trajectory>& mutable_trajectories() { return trajectories_; }
+
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+  const Trajectory& operator[](size_t i) const { return trajectories_[i]; }
+
+  void Add(Trajectory t) { trajectories_.push_back(std::move(t)); }
+
+  /// Total number of points across all trajectories.
+  size_t TotalPoints() const;
+
+  /// Approximate byte size (used for reporting and cluster accounting).
+  size_t ByteSize() const;
+
+  /// Returns a dataset with ceil(rate * size()) trajectories sampled without
+  /// replacement; `rate` must lie in (0, 1]. Deterministic given `seed`.
+  Result<Dataset> Sample(double rate, uint64_t seed = 7) const;
+
+  /// Uniformly samples `count` query trajectories (with replacement if count
+  /// exceeds the dataset size). Deterministic given `seed`.
+  std::vector<Trajectory> SampleQueries(size_t count, uint64_t seed = 11) const;
+
+  /// Writes/reads a simple CSV: one line per trajectory, "id,x1,y1,x2,y2,...".
+  Status WriteCsv(const std::string& path) const;
+  static Result<Dataset> ReadCsv(const std::string& path);
+
+  /// Summary stats matching the paper's Table 2 columns.
+  struct Stats {
+    size_t cardinality = 0;
+    double avg_len = 0.0;
+    size_t min_len = 0;
+    size_t max_len = 0;
+    size_t bytes = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_WORKLOAD_DATASET_H_

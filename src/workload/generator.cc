@@ -1,0 +1,212 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dita {
+
+namespace {
+
+/// Samples a trajectory length from a log-normal clamped to the configured
+/// range, with the log-mean placed so the mean lands near avg_len.
+size_t SampleLength(const GeneratorConfig& cfg, Rng& rng) {
+  const double sigma = 0.6;
+  const double mu = std::log(std::max(1.0, cfg.avg_len)) - sigma * sigma / 2;
+  const double raw = std::exp(rng.Gaussian(mu, sigma));
+  const double clamped = std::clamp(raw, static_cast<double>(cfg.min_len),
+                                    static_cast<double>(cfg.max_len));
+  return static_cast<size_t>(clamped + 0.5);
+}
+
+Point ClampToRegion(Point p, const MBR& region) {
+  p.x = std::clamp(p.x, region.lo().x, region.hi().x);
+  p.y = std::clamp(p.y, region.lo().y, region.hi().y);
+  return p;
+}
+
+}  // namespace
+
+namespace {
+
+/// One endpoint of a route: near a hub (taxi queue, ~a city block of
+/// clustering) or uniform in the region.
+Point SampleEndpoint(const GeneratorConfig& cfg, const std::vector<Point>& hubs,
+                     Rng& rng) {
+  if (!hubs.empty() && rng.Chance(cfg.hub_fraction)) {
+    const Point& hub = hubs[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(hubs.size()) - 1))];
+    return ClampToRegion(Point{hub.x + rng.Gaussian(0, cfg.step),
+                               hub.y + rng.Gaussian(0, cfg.step)},
+                         cfg.region);
+  }
+  return Point{rng.Uniform(cfg.region.lo().x, cfg.region.hi().x),
+               rng.Uniform(cfg.region.lo().y, cfg.region.hi().y)};
+}
+
+/// One canonical route: an origin-destination path with a route-specific
+/// detour. Hub endpoints make many routes share their origin *and*
+/// destination while the middles diverge by several city blocks — the
+/// taxi-data pattern that defeats endpoint-only indexes (Simba's first-point
+/// R-tree, anchor-distance rejection) and motivates DITA's pivot points.
+std::vector<Point> GenerateRoute(const GeneratorConfig& cfg,
+                                 const std::vector<Point>& hubs, Rng& rng) {
+  const size_t len = SampleLength(cfg, rng);
+  const Point origin = SampleEndpoint(cfg, hubs, rng);
+  const Point dest = SampleEndpoint(cfg, hubs, rng);
+
+  // Route-specific lateral detour: amplitude of a few blocks, 1-3 lobes.
+  const double amp =
+      cfg.step * rng.Uniform(2.0, 8.0) * (rng.Chance(0.5) ? 1.0 : -1.0);
+  const int lobes = static_cast<int>(rng.UniformInt(1, 3));
+  double px = -(dest.y - origin.y);
+  double py = dest.x - origin.x;
+  const double norm = std::sqrt(px * px + py * py);
+  if (norm > 0) {
+    px /= norm;
+    py /= norm;
+  }
+
+  std::vector<Point> pts;
+  pts.reserve(len);
+  for (size_t k = 0; k < len; ++k) {
+    const double t = len > 1 ? double(k) / double(len - 1) : 0.0;
+    const double off = amp * std::sin(lobes * M_PI * t) *
+                       rng.Uniform(0.9, 1.1);
+    const double jitter_x = rng.Gaussian(0, cfg.step * 0.15);
+    const double jitter_y = rng.Gaussian(0, cfg.step * 0.15);
+    Point p{origin.x + t * (dest.x - origin.x) + px * off + jitter_x,
+            origin.y + t * (dest.y - origin.y) + py * off + jitter_y};
+    pts.push_back(ClampToRegion(p, cfg.region));
+  }
+  return pts;
+}
+
+/// A trip over a canonical route: GPS noise on every point plus occasional
+/// dropped interior samples (device sampling jitter).
+Trajectory SampleTrip(const GeneratorConfig& cfg, const std::vector<Point>& route,
+                      TrajectoryId id, Rng& rng) {
+  Trajectory t;
+  t.set_id(id);
+  auto& pts = t.mutable_points();
+  pts.reserve(route.size());
+  const size_t min_keep = std::max<size_t>(cfg.min_len, 2);
+  size_t droppable = route.size() > min_keep ? route.size() - min_keep : 0;
+  for (size_t k = 0; k < route.size(); ++k) {
+    const bool interior = k > 0 && k + 1 < route.size();
+    if (interior && droppable > 0 && rng.Chance(cfg.point_drop_prob)) {
+      --droppable;
+      continue;
+    }
+    pts.push_back(ClampToRegion(Point{route[k].x + rng.Gaussian(0, cfg.gps_noise),
+                                      route[k].y + rng.Gaussian(0, cfg.gps_noise)},
+                                cfg.region));
+  }
+  return t;
+}
+
+}  // namespace
+
+Dataset GenerateTaxiDataset(const GeneratorConfig& cfg) {
+  DITA_CHECK(cfg.min_len >= 2);
+  DITA_CHECK(cfg.max_len >= cfg.min_len);
+  Rng rng(cfg.seed);
+  const MBR& region = cfg.region;
+
+  // Popular origins (airports, stations, malls).
+  std::vector<Point> hubs;
+  hubs.reserve(cfg.hubs);
+  for (size_t h = 0; h < cfg.hubs; ++h) {
+    hubs.push_back(Point{rng.Uniform(region.lo().x, region.hi().x),
+                         rng.Uniform(region.lo().y, region.hi().y)});
+  }
+
+  // Canonical routes, then Zipf-popular noisy trips over them.
+  const size_t num_routes = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(cfg.cardinality) /
+                             std::max(1.0, cfg.trips_per_route)));
+  std::vector<std::vector<Point>> routes;
+  routes.reserve(num_routes);
+  for (size_t r = 0; r < num_routes; ++r) {
+    routes.push_back(GenerateRoute(cfg, hubs, rng));
+  }
+
+  // Route popularity: cumulative Zipf weights w_k = 1/(k+1)^s.
+  std::vector<double> cumulative(num_routes);
+  double total = 0.0;
+  for (size_t r = 0; r < num_routes; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -cfg.route_skew);
+    cumulative[r] = total;
+  }
+
+  Dataset ds;
+  for (size_t i = 0; i < cfg.cardinality; ++i) {
+    const double u = rng.Uniform(0.0, total);
+    const size_t route_idx = static_cast<size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    ds.Add(SampleTrip(cfg, routes[std::min(route_idx, num_routes - 1)],
+                      static_cast<TrajectoryId>(i), rng));
+  }
+  return ds;
+}
+
+Dataset GenerateBeijingLike(double scale, uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.cardinality = static_cast<size_t>(12000 * scale);
+  cfg.region = MBR(Point{116.0, 39.6}, Point{116.8, 40.2});
+  cfg.avg_len = 22.0;
+  cfg.min_len = 7;
+  cfg.max_len = 112;
+  cfg.seed = seed;
+  return GenerateTaxiDataset(cfg);
+}
+
+Dataset GenerateChengduLike(double scale, uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.cardinality = static_cast<size_t>(16000 * scale);
+  cfg.region = MBR(Point{103.9, 30.5}, Point{104.3, 30.9});
+  cfg.avg_len = 37.0;
+  cfg.min_len = 10;
+  cfg.max_len = 209;
+  cfg.seed = seed;
+  return GenerateTaxiDataset(cfg);
+}
+
+Dataset GenerateOsmLike(double scale, uint64_t seed) {
+  // Worldwide traces: a handful of regional hotspots, each a local taxi-like
+  // generator, with longer trajectories and larger steps (inter-city GPS
+  // traces of various objects).
+  Rng rng(seed);
+  const size_t total = static_cast<size_t>(20000 * scale);
+  const size_t kRegions = 12;
+  Dataset out;
+  TrajectoryId next_id = 0;
+  for (size_t r = 0; r < kRegions; ++r) {
+    GeneratorConfig cfg;
+    cfg.cardinality = total / kRegions;
+    const double cx = rng.Uniform(-160, 160);
+    const double cy = rng.Uniform(-70, 70);
+    const double extent = rng.Uniform(0.5, 3.0);
+    cfg.region = MBR(Point{cx - extent, cy - extent}, Point{cx + extent, cy + extent});
+    cfg.avg_len = 90.0;
+    cfg.min_len = 9;
+    cfg.max_len = 600;
+    cfg.step = 0.004;
+    // OSM traces come from heterogeneous consumer devices: coarser noise
+    // than taxi fleets. Same-route trips land far above the paper's tau
+    // band, matching its observation that OSM joins return few results.
+    cfg.gps_noise = 0.0003;
+    cfg.hubs = 8;
+    cfg.seed = seed + 1000 + r;
+    Dataset region_ds = GenerateTaxiDataset(cfg);
+    for (auto& t : region_ds.mutable_trajectories()) {
+      t.set_id(next_id++);
+      out.Add(std::move(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace dita

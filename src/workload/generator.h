@@ -1,0 +1,74 @@
+#ifndef DITA_WORKLOAD_GENERATOR_H_
+#define DITA_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// Configuration for the synthetic taxi-trajectory generator. The defaults
+/// for named presets below track the length distributions in the paper's
+/// Table 2 (Beijing: avg 22.2, [7, 112]; Chengdu: avg 37.4, [10, 209];
+/// OSM: avg ~115, [9, 3000]) at laptop-scale cardinalities.
+struct GeneratorConfig {
+  /// Number of trajectories to generate.
+  size_t cardinality = 10000;
+  /// Bounding box of the city / region, in degrees.
+  MBR region{Point{116.0, 39.6}, Point{116.8, 40.2}};
+  /// Trajectory length distribution: lengths are sampled from a clamped
+  /// log-normal shaped to match `avg_len` within [min_len, max_len].
+  double avg_len = 22.0;
+  size_t min_len = 7;
+  size_t max_len = 112;
+  /// Per-step displacement in degrees (~GPS reports every 10s of driving);
+  /// also scales endpoint clustering and detour amplitudes.
+  double step = 0.002;
+  /// Legacy knob of the grid-walk generator; kept for config compatibility.
+  double turn_probability = 0.25;
+  /// Number of popular "hub" locations route endpoints cluster at (airports,
+  /// stations). Few hubs => many routes share origin AND destination while
+  /// their middles diverge, the pattern that motivates pivot points.
+  /// 0 disables hubs.
+  size_t hubs = 12;
+  /// Fraction of route endpoints placed near a hub (rest uniform).
+  double hub_fraction = 0.6;
+  /// Average number of trips sharing one canonical route. Real taxi fleets
+  /// repeat the same street sequences constantly; each emitted trip is a
+  /// noisy resampling of a shared route, which is what makes trips fall
+  /// within the paper's DTW thresholds of each other. Set to 1 for fully
+  /// unique trips.
+  double trips_per_route = 8.0;
+  /// Per-point GPS noise (degrees, std dev); the 5e-5 default is roughly
+  /// 5 m, placing same-route trip pairs inside the paper's DTW threshold
+  /// band (0.001-0.005) for city-length trips.
+  double gps_noise = 0.00005;
+  /// Probability of dropping an interior route point in a trip (sampling
+  /// jitter between devices); never drops below min_len points.
+  double point_drop_prob = 0.05;
+  /// Zipf exponent of route popularity (0 = uniform, the default: every
+  /// route has ~trips_per_route noisy repeats, keeping per-query answer
+  /// counts realistic). The load-balancing experiments (Fig. 16) opt into
+  /// skew > 0 to create straggler partitions.
+  double route_skew = 0.0;
+  /// RNG seed; generation is fully deterministic.
+  uint64_t seed = 42;
+};
+
+/// Generates a city-scale taxi-like dataset: trajectories are grid-road
+/// random walks with hub-skewed origins inside `config.region`.
+Dataset GenerateTaxiDataset(const GeneratorConfig& config);
+
+/// Named presets mirroring the paper's datasets, scaled down; `scale`
+/// multiplies the preset cardinality (1.0 = repo default size, which is far
+/// below the paper's but exercises identical code paths).
+Dataset GenerateBeijingLike(double scale = 1.0, uint64_t seed = 42);
+Dataset GenerateChengduLike(double scale = 1.0, uint64_t seed = 43);
+
+/// Worldwide OSM-like traces: a mixture of dense regional hotspots with long
+/// trajectories, modelling the paper's OpenStreetMap-derived datasets.
+Dataset GenerateOsmLike(double scale = 1.0, uint64_t seed = 44);
+
+}  // namespace dita
+
+#endif  // DITA_WORKLOAD_GENERATOR_H_

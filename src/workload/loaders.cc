@@ -1,0 +1,104 @@
+#include "workload/loaders.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dita {
+
+namespace {
+
+/// Reads all lines of a text file.
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open: " + path);
+  std::vector<std::string> lines;
+  char buf[1 << 14];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    lines.push_back(StrTrim(buf));
+  }
+  std::fclose(f);
+  return lines;
+}
+
+/// Strict double parse; false if the field is not fully numeric.
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Result<Trajectory> LoadGeoLifePlt(const std::string& path, TrajectoryId id) {
+  auto lines = ReadLines(path);
+  DITA_RETURN_IF_ERROR(lines.status());
+  if (lines->size() < 7) {
+    return Status::IOError("not a GeoLife .plt file (too short): " + path);
+  }
+  Trajectory t;
+  t.set_id(id);
+  // Six header lines, then data rows: lat,lon,0,alt,days,date,time.
+  for (size_t i = 6; i < lines->size(); ++i) {
+    const std::string& line = (*lines)[i];
+    if (line.empty()) continue;
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() < 2) {
+      return Status::IOError(
+          StrFormat("malformed .plt row %zu in %s", i + 1, path.c_str()));
+    }
+    double lat, lon;
+    if (!ParseDouble(StrTrim(fields[0]), &lat) ||
+        !ParseDouble(StrTrim(fields[1]), &lon)) {
+      return Status::IOError(
+          StrFormat("non-numeric coordinates at row %zu in %s", i + 1,
+                    path.c_str()));
+    }
+    t.mutable_points().push_back(Point{lon, lat});
+  }
+  if (t.size() < 2) {
+    return Status::IOError("fewer than 2 points in " + path);
+  }
+  return t;
+}
+
+Result<Dataset> LoadTDriveFile(const std::string& path, TrajectoryId first_id,
+                               size_t max_points) {
+  auto lines = ReadLines(path);
+  DITA_RETURN_IF_ERROR(lines.status());
+  Dataset ds;
+  Trajectory current;
+  TrajectoryId next_id = first_id;
+  auto flush = [&]() {
+    if (current.size() >= 2) {
+      current.set_id(next_id++);
+      ds.Add(std::move(current));
+    }
+    current = Trajectory();
+  };
+  for (size_t i = 0; i < lines->size(); ++i) {
+    const std::string& line = (*lines)[i];
+    if (line.empty()) continue;
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() != 4) {
+      return Status::IOError(
+          StrFormat("malformed T-Drive row %zu in %s", i + 1, path.c_str()));
+    }
+    double lon, lat;
+    if (!ParseDouble(StrTrim(fields[2]), &lon) ||
+        !ParseDouble(StrTrim(fields[3]), &lat)) {
+      return Status::IOError(
+          StrFormat("non-numeric coordinates at row %zu in %s", i + 1,
+                    path.c_str()));
+    }
+    current.mutable_points().push_back(Point{lon, lat});
+    if (max_points > 0 && current.size() >= max_points) flush();
+  }
+  flush();
+  if (ds.empty()) return Status::IOError("no usable fixes in " + path);
+  return ds;
+}
+
+}  // namespace dita

@@ -1,0 +1,32 @@
+#ifndef DITA_WORKLOAD_LOADERS_H_
+#define DITA_WORKLOAD_LOADERS_H_
+
+#include <string>
+
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// Loaders for the public trajectory formats a user of this library is most
+/// likely to have on disk. Both return points as (x, y) = (longitude,
+/// latitude), matching the generators and the paper's coordinate handling.
+
+/// GeoLife .plt: six header lines, then
+///   lat,lon,0,altitude,days,date,time
+/// One file per trajectory; `id` names the loaded trajectory. Points with
+/// unparseable coordinates are rejected (IOError), matching the strictness
+/// of the CSV loader.
+Result<Trajectory> LoadGeoLifePlt(const std::string& path, TrajectoryId id);
+
+/// T-Drive release format: one CSV per taxi with rows
+///   taxi_id,YYYY-MM-DD HH:MM:SS,longitude,latitude
+/// Consecutive fixes more than `split_gap_points` apart in sequence are NOT
+/// split (the release has no trip boundaries); instead the caller passes
+/// `max_points` to chunk a day of fixes into trajectories of bounded length
+/// (0 = one trajectory per file). Ids are assigned from `first_id` upward.
+Result<Dataset> LoadTDriveFile(const std::string& path, TrajectoryId first_id,
+                               size_t max_points = 0);
+
+}  // namespace dita
+
+#endif  // DITA_WORKLOAD_LOADERS_H_

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "analytics/clustering.h"
+#include "analytics/frequent_routes.h"
+#include "analytics/outliers.h"
+#include "analytics/similarity_graph.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+using Pairs = std::vector<std::pair<TrajectoryId, TrajectoryId>>;
+
+TEST(SimilarityGraphTest, BuildsSymmetricDedupedGraph) {
+  // Pairs contain self-loops, duplicates and both orientations.
+  Pairs pairs = {{1, 1}, {1, 2}, {2, 1}, {2, 3}, {2, 3}, {4, 4}};
+  SimilarityGraph g({1, 2, 3, 4}, pairs);
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.NeighborsOf(2), (std::vector<TrajectoryId>{1, 3}));
+  EXPECT_EQ(g.DegreeOf(4), 0u);
+  EXPECT_EQ(g.DegreeOf(99), 0u);  // unknown id
+}
+
+TEST(SimilarityGraphTest, ConnectedComponentsLargestFirst) {
+  Pairs pairs = {{1, 2}, {2, 3}, {5, 6}};
+  SimilarityGraph g({1, 2, 3, 4, 5, 6}, pairs);
+  auto components = g.ConnectedComponents();
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<TrajectoryId>{1, 2, 3}));
+  EXPECT_EQ(components[1], (std::vector<TrajectoryId>{5, 6}));
+  EXPECT_EQ(components[2], (std::vector<TrajectoryId>{4}));
+}
+
+TEST(ClusteringTest, DbscanOnSyntheticGraph) {
+  // Two dense triangles joined by a chain through a sparse node.
+  Pairs pairs = {{1, 2}, {2, 3}, {1, 3},          // triangle A
+                 {10, 11}, {11, 12}, {10, 12},    // triangle B
+                 {3, 7}, {7, 10}};                // chain via 7
+  SimilarityGraph g({1, 2, 3, 7, 10, 11, 12, 20}, pairs);
+  // min_pts = 3: triangle members have degree 2 (+self = 3) -> cores.
+  // Node 7 has degree 2... also core. With the chain everything merges.
+  ClusteringResult merged = ClusterGraph(g, 3);
+  EXPECT_EQ(merged.num_clusters, 1);
+  EXPECT_EQ(merged.noise, (std::vector<TrajectoryId>{20}));
+
+  // min_pts = 4: only node 3 and node 10 have degree 3 (+self = 4).
+  ClusteringResult split = ClusterGraph(g, 4);
+  EXPECT_EQ(split.num_clusters, 2);
+  EXPECT_NE(split.LabelOf(1), split.LabelOf(11));
+  // Border points take their core's cluster.
+  EXPECT_EQ(split.LabelOf(1), split.LabelOf(3));
+  EXPECT_EQ(split.LabelOf(11), split.LabelOf(10));
+  EXPECT_EQ(split.LabelOf(20), ClusteringResult::kNoise);
+}
+
+TEST(OutlierTest, LowDegreeNodesFlagged) {
+  Pairs pairs = {{1, 2}, {1, 3}, {2, 3}};
+  SimilarityGraph g({1, 2, 3, 9}, pairs);
+  EXPECT_EQ(FindOutliersInGraph(g, 1), (std::vector<TrajectoryId>{9}));
+  EXPECT_EQ(FindOutliersInGraph(g, 3), (std::vector<TrajectoryId>{1, 2, 3, 9}));
+}
+
+TEST(FrequentRoutesTest, RepresentativeHasMaxDegree) {
+  Pairs pairs = {{1, 2}, {1, 3}, {1, 4}, {2, 3}, {8, 9}};
+  SimilarityGraph g({1, 2, 3, 4, 8, 9}, pairs);
+  auto routes = MineFrequentRoutesInGraph(g, 2);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0].support, 4u);
+  EXPECT_EQ(routes[0].representative, 1);  // degree 3
+  EXPECT_EQ(routes[1].support, 2u);
+  // min_support filters small components.
+  EXPECT_EQ(MineFrequentRoutesInGraph(g, 3).size(), 1u);
+}
+
+class AnalyticsEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig ccfg;
+    ccfg.num_workers = 4;
+    cluster_ = std::make_shared<Cluster>(ccfg);
+    DitaConfig config;
+    config.ng = 3;
+    config.trie.leaf_capacity = 4;
+    engine_ = std::make_unique<DitaEngine>(cluster_, config);
+
+    GeneratorConfig gcfg;
+    gcfg.cardinality = 200;
+    gcfg.region = MBR(Point{0, 0}, Point{1, 1});
+    gcfg.step = 0.01;
+    gcfg.trips_per_route = 10;   // dense route groups
+    gcfg.point_drop_prob = 0.0;  // keep sibling DTW ~ len * noise << tau
+    gcfg.seed = 101;
+    data_ = GenerateTaxiDataset(gcfg);
+    ASSERT_TRUE(engine_->BuildIndex(data_).ok());
+  }
+
+  std::shared_ptr<Cluster> cluster_;
+  std::unique_ptr<DitaEngine> engine_;
+  Dataset data_;
+};
+
+TEST_F(AnalyticsEndToEnd, GraphFromSelfJoinCoversAllTrajectories) {
+  auto graph = SimilarityGraph::FromSelfJoin(*engine_, 0.01);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->NumNodes(), data_.size());
+}
+
+TEST_F(AnalyticsEndToEnd, ClusteringFindsRouteGroups) {
+  ClusteringParams params;
+  params.tau = 0.005;
+  params.min_pts = 4;
+  auto result = ClusterTrajectories(*engine_, params);
+  ASSERT_TRUE(result.ok());
+  // ~20 canonical routes with ~10 trips each: many clusters, few noise.
+  EXPECT_GT(result->num_clusters, 5);
+  EXPECT_LT(result->noise.size(), data_.size() / 2);
+}
+
+TEST_F(AnalyticsEndToEnd, FrequentRoutesAndOutliersAreConsistent) {
+  auto routes = MineFrequentRoutes(*engine_, 0.005, 5);
+  ASSERT_TRUE(routes.ok());
+  EXPECT_FALSE(routes->empty());
+  for (size_t i = 1; i < routes->size(); ++i) {
+    EXPECT_GE((*routes)[i - 1].support, (*routes)[i].support);
+  }
+  OutlierParams oparams;
+  oparams.tau = 0.005;
+  oparams.min_neighbors = 1;
+  auto outliers = FindOutliers(*engine_, oparams);
+  ASSERT_TRUE(outliers.ok());
+  // An outlier (no neighbours) can never sit on a frequent route (>= 5).
+  for (TrajectoryId out : *outliers) {
+    for (const auto& route : *routes) {
+      EXPECT_FALSE(std::binary_search(route.members.begin(),
+                                      route.members.end(), out));
+    }
+  }
+}
+
+TEST(AnalyticsValidationTest, RejectsBadParams) {
+  ClusterConfig ccfg;
+  ccfg.num_workers = 2;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+  DitaConfig config;
+  DitaEngine engine(cluster, config);
+  GeneratorConfig gcfg;
+  gcfg.cardinality = 20;
+  ASSERT_TRUE(engine.BuildIndex(GenerateTaxiDataset(gcfg)).ok());
+  ClusteringParams params;
+  params.min_pts = 0;
+  EXPECT_FALSE(ClusterTrajectories(engine, params).ok());
+  EXPECT_FALSE(MineFrequentRoutes(engine, 0.01, 0).ok());
+}
+
+}  // namespace
+}  // namespace dita

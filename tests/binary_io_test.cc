@@ -1,0 +1,109 @@
+#include "workload/binary_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTripWithinPrecision) {
+  GeneratorConfig cfg;
+  cfg.cardinality = 200;
+  cfg.seed = 77;
+  Dataset ds = GenerateTaxiDataset(cfg);
+  const std::string path = TempPath("roundtrip.dita");
+  BinaryIoOptions opts;
+  opts.precision = 1e-6;
+  ASSERT_TRUE(WriteBinary(ds, path, opts).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id(), ds[i].id());
+    ASSERT_EQ((*loaded)[i].size(), ds[i].size());
+    for (size_t j = 0; j < ds[i].size(); ++j) {
+      EXPECT_NEAR((*loaded)[i][j].x, ds[i][j].x, opts.precision);
+      EXPECT_NEAR((*loaded)[i][j].y, ds[i][j].y, opts.precision);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, CompressesRelativeToRaw) {
+  GeneratorConfig cfg;
+  cfg.cardinality = 500;
+  cfg.seed = 78;
+  Dataset ds = GenerateTaxiDataset(cfg);
+  const std::string path = TempPath("compression.dita");
+  ASSERT_TRUE(WriteBinary(ds, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long file_bytes = std::ftell(f);
+  std::fclose(f);
+  // Delta varints of ~200m steps at 1e-6 precision fit in 3 bytes/coord:
+  // well under half of the 16-byte raw point.
+  EXPECT_LT(static_cast<size_t>(file_bytes), ds.ByteSize() / 2);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, NegativeCoordinatesAndIds) {
+  Dataset ds;
+  ds.Add(Trajectory(-5, {{-100.5, -3.25}, {-100.4999, -3.2501}}));
+  ds.Add(Trajectory(7, {{179.999, -89.999}, {-179.999, 89.999}}));
+  const std::string path = TempPath("negative.dita");
+  ASSERT_TRUE(WriteBinary(ds, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)[0].id(), -5);
+  EXPECT_NEAR((*loaded)[1][1].x, -179.999, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, EmptyDatasetRoundTrips) {
+  const std::string path = TempPath("empty.dita");
+  ASSERT_TRUE(WriteBinary(Dataset(), path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsBadInput) {
+  Dataset ds;
+  BinaryIoOptions opts;
+  opts.precision = 0;
+  EXPECT_FALSE(WriteBinary(ds, TempPath("x.dita"), opts).ok());
+  EXPECT_FALSE(ReadBinary("/nonexistent/nope.dita").ok());
+
+  // Corrupt magic.
+  const std::string path = TempPath("corrupt.dita");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("NOPE garbage", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadBinary(path).ok());
+
+  // Truncated payload: write a good file and chop it.
+  GeneratorConfig cfg;
+  cfg.cardinality = 10;
+  ASSERT_TRUE(WriteBinary(GenerateTaxiDataset(cfg), path).ok());
+  f = std::fopen(path.c_str(), "rb");
+  char buf[64];
+  const size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(buf, 1, n / 2, f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,106 @@
+#include "index/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/dtw.h"
+#include "distance/frechet.h"
+#include "util/rng.h"
+
+namespace dita {
+namespace {
+
+TEST(CellTest, PaperExample57Compression) {
+  // Example 5.7: T1 with cell size D = 2 compresses to [t1,2; t3,1; t4,3].
+  Trajectory t1(1, {{1, 1}, {1, 2}, {3, 2}, {4, 4}, {4, 5}, {5, 5}});
+  CellSummary s = CompressToCells(t1, 2.0);
+  ASSERT_EQ(s.cells.size(), 3u);
+  EXPECT_EQ(s.cells[0].center, (Point{1, 1}));
+  EXPECT_EQ(s.cells[0].count, 2);
+  EXPECT_EQ(s.cells[1].center, (Point{3, 2}));
+  EXPECT_EQ(s.cells[1].count, 1);
+  EXPECT_EQ(s.cells[2].center, (Point{4, 4}));
+  EXPECT_EQ(s.cells[2].count, 3);
+  EXPECT_EQ(s.TotalPoints(), t1.size());
+}
+
+TEST(CellTest, PaperExample57LowerBound) {
+  // Example 5.7: Cell(Q, T1) = 4 > tau = 3, so (T1, Q) is pruned.
+  Trajectory t1(1, {{1, 1}, {1, 2}, {3, 2}, {4, 4}, {4, 5}, {5, 5}});
+  Trajectory q(9, {{1, 1}, {1, 5}, {1, 4}, {2, 4}, {2, 5}, {4, 4}, {5, 6}, {5, 5}});
+  CellSummary ct = CompressToCells(t1, 2.0);
+  CellSummary cq = CompressToCells(q, 2.0);
+  EXPECT_DOUBLE_EQ(CellLowerBoundDtw(cq, ct), 4.0);
+  Dtw dtw;
+  EXPECT_LE(CellLowerBoundDtw(cq, ct), dtw.Compute(t1, q) + 1e-9);
+}
+
+TEST(CellTest, CellDistanceOverlapIsZero) {
+  CellSummary::Cell a{{0, 0}, 1};
+  CellSummary::Cell b{{1, 0}, 1};
+  EXPECT_DOUBLE_EQ(CellDistance(a, 2.0, b, 2.0), 0.0);   // touching/overlap
+  EXPECT_DOUBLE_EQ(CellDistance(a, 1.0, b, 1.0), 0.0);   // adjacent edges touch
+  CellSummary::Cell c{{5, 0}, 1};
+  EXPECT_DOUBLE_EQ(CellDistance(a, 2.0, c, 2.0), 3.0);
+}
+
+TEST(CellTest, EveryPointLandsInSomeCell) {
+  Rng rng(5);
+  for (int iter = 0; iter < 50; ++iter) {
+    Trajectory t;
+    const size_t len = static_cast<size_t>(rng.UniformInt(1, 60));
+    for (size_t i = 0; i < len; ++i) {
+      t.mutable_points().push_back(Point{rng.Uniform(0, 3), rng.Uniform(0, 3)});
+    }
+    CellSummary s = CompressToCells(t, 0.5);
+    EXPECT_EQ(s.TotalPoints(), len);
+    // Every point is within half a side of its covering cell's center.
+    for (const Point& p : t.points()) {
+      bool covered = false;
+      for (const auto& c : s.cells) {
+        if (std::abs(p.x - c.center.x) <= 0.25 + 1e-12 &&
+            std::abs(p.y - c.center.y) <= 0.25 + 1e-12) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+/// Lemma 5.6 as a property: the cell bound never exceeds the true DTW, in
+/// both argument orders, for random data and cell sizes.
+class CellBoundProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CellBoundProperty, LowerBoundsDtwBothWays) {
+  const double side = GetParam();
+  Dtw dtw;
+  Rng rng(static_cast<uint64_t>(side * 100) + 7);
+  for (int iter = 0; iter < 80; ++iter) {
+    Trajectory a, b;
+    const size_t la = static_cast<size_t>(rng.UniformInt(2, 25));
+    const size_t lb = static_cast<size_t>(rng.UniformInt(2, 25));
+    for (size_t i = 0; i < la; ++i) {
+      a.mutable_points().push_back(Point{rng.Uniform(0, 4), rng.Uniform(0, 4)});
+    }
+    for (size_t i = 0; i < lb; ++i) {
+      b.mutable_points().push_back(Point{rng.Uniform(0, 4), rng.Uniform(0, 4)});
+    }
+    const double d = dtw.Compute(a, b);
+    CellSummary ca = CompressToCells(a, side);
+    CellSummary cb = CompressToCells(b, side);
+    EXPECT_LE(CellLowerBoundDtw(ca, cb), d + 1e-9);
+    EXPECT_LE(CellLowerBoundDtw(cb, ca), d + 1e-9);
+
+    Frechet fr;
+    const double f = fr.Compute(a, b);
+    EXPECT_LE(CellLowerBoundFrechet(ca, cb), f + 1e-9);
+    EXPECT_LE(CellLowerBoundFrechet(cb, ca), f + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, CellBoundProperty,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace dita

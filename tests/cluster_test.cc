@@ -1,0 +1,175 @@
+#include "cluster/cluster.h"
+
+#include <atomic>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/timer.h"
+
+namespace dita {
+namespace {
+
+double SpinFor(double target_cpu_seconds) {
+  // Burn CPU deterministically; returns a value to defeat optimization.
+  volatile double acc = 0.0;
+  CpuTimer timer;
+  while (timer.Seconds() < target_cpu_seconds) {
+    for (int i = 0; i < 1000; ++i) acc = acc + std::sin(i);
+  }
+  return acc;
+}
+
+TEST(ClusterTest, RejectsBadConfigs) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  Cluster::Task bad_worker{5, [] {}};
+  EXPECT_FALSE(cluster.RunStage({bad_worker}).ok());
+  Cluster::Task no_fn;
+  no_fn.worker = 0;
+  EXPECT_FALSE(cluster.RunStage({no_fn}).ok());
+}
+
+TEST(ClusterTest, RunsTasksAndChargesWorkers) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  std::atomic<int> ran{0};
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [&] { ran++; SpinFor(0.01); }});
+  tasks.push_back({1, [&] { ran++; SpinFor(0.02); }});
+  ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_GT(cluster.worker_stats()[0].compute_seconds, 0.005);
+  EXPECT_GT(cluster.worker_stats()[1].compute_seconds,
+            cluster.worker_stats()[0].compute_seconds);
+}
+
+TEST(ClusterTest, MakespanIsDriverPlusSlowestWorker) {
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [] { SpinFor(0.01); }});
+  tasks.push_back({2, [] { SpinFor(0.03); }});
+  ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+  cluster.RecordDriverCompute(0.5);
+  const double slowest = cluster.worker_stats()[2].TotalSeconds();
+  EXPECT_NEAR(cluster.MakespanSeconds(), 0.5 + slowest, 1e-9);
+}
+
+TEST(ClusterTest, TransfersChargeSenderOnly) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.bandwidth_bytes_per_sec = 1000.0;
+  Cluster cluster(cfg);
+  cluster.RecordTransfer(0, 1, 500);
+  EXPECT_EQ(cluster.worker_stats()[0].bytes_sent, 500u);
+  EXPECT_NEAR(cluster.worker_stats()[0].network_seconds, 0.5, 1e-12);
+  EXPECT_EQ(cluster.worker_stats()[1].bytes_sent, 0u);
+  EXPECT_EQ(cluster.total_bytes_sent(), 500u);
+}
+
+TEST(ClusterTest, SameWorkerTransferIsFree) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  cluster.RecordTransfer(1, 1, 1 << 20);
+  EXPECT_EQ(cluster.total_bytes_sent(), 0u);
+  EXPECT_DOUBLE_EQ(cluster.MakespanSeconds(), 0.0);
+}
+
+TEST(ClusterTest, LoadRatioReflectsImbalance) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.bandwidth_bytes_per_sec = 1.0;  // 1 byte/sec for easy math
+  Cluster cluster(cfg);
+  EXPECT_DOUBLE_EQ(cluster.LoadRatio(), 1.0);  // all idle
+  cluster.RecordTransfer(0, 1, 9);
+  cluster.RecordTransfer(1, 0, 3);
+  EXPECT_NEAR(cluster.LoadRatio(), 3.0, 1e-9);
+}
+
+TEST(ClusterTest, ResetStatsClearsEverything) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  cluster.RecordTransfer(0, 1, 100);
+  cluster.RecordDriverCompute(1.0);
+  cluster.ResetStats();
+  EXPECT_DOUBLE_EQ(cluster.MakespanSeconds(), 0.0);
+  EXPECT_EQ(cluster.total_bytes_sent(), 0u);
+}
+
+TEST(ClusterTest, DriverTransferChargesWorkerAndDriver) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.bandwidth_bytes_per_sec = 100.0;
+  Cluster cluster(cfg);
+  cluster.RecordDriverTransfer(1, 50);  // 0.5s each way
+  EXPECT_NEAR(cluster.worker_stats()[1].network_seconds, 0.5, 1e-12);
+  EXPECT_NEAR(cluster.driver_seconds(), 0.5, 1e-12);
+  EXPECT_NEAR(cluster.MakespanSeconds(), 1.0, 1e-12);
+}
+
+TEST(ClusterTest, SnapshotDeltasIsolateOperations) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.bandwidth_bytes_per_sec = 1.0;
+  Cluster cluster(cfg);
+  cluster.RecordTransfer(0, 1, 10);  // pre-existing load: 10s on worker 0
+  auto snap = cluster.Snapshot();
+  cluster.RecordTransfer(1, 0, 4);
+  cluster.RecordDriverCompute(1.0);
+  EXPECT_NEAR(cluster.MakespanSince(snap), 1.0 + 4.0, 1e-12);
+  EXPECT_NEAR(cluster.LoadRatioSince(snap), 1.0, 1e-12);  // one active worker
+  cluster.RecordTransfer(0, 1, 8);
+  EXPECT_NEAR(cluster.LoadRatioSince(snap), 2.0, 1e-12);  // 8s vs 4s
+}
+
+TEST(ClusterTest, WorkerOfRoundRobin) {
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  Cluster cluster(cfg);
+  EXPECT_EQ(cluster.WorkerOf(0), 0u);
+  EXPECT_EQ(cluster.WorkerOf(5), 1u);
+  EXPECT_EQ(cluster.WorkerOf(11), 3u);
+}
+
+/// Makespan shrinks (weakly) as the same fixed task set spreads over more
+/// workers — the shape behind the paper's scale-up plots.
+TEST(ClusterPropertyTest, MakespanMonotoneInWorkers) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    ClusterConfig cfg;
+    cfg.num_workers = workers;
+    Cluster cluster(cfg);
+    std::vector<Cluster::Task> tasks;
+    for (size_t p = 0; p < 8; ++p) {
+      tasks.push_back({cluster.WorkerOf(p), [] { SpinFor(0.004); }});
+    }
+    ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+    const double makespan = cluster.MakespanSeconds();
+    // Allow 30% measurement noise; the trend (8x spread) dominates it.
+    EXPECT_LT(makespan, prev * 1.3) << "workers=" << workers;
+    prev = makespan;
+  }
+}
+
+TEST(ClusterTest, MultiThreadedExecutionAccountsSameTotals) {
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.execution_threads = 4;
+  Cluster cluster(cfg);
+  std::vector<Cluster::Task> tasks;
+  std::atomic<int> ran{0};
+  for (size_t p = 0; p < 16; ++p) {
+    tasks.push_back({p % 4, [&] { ran++; }});
+  }
+  ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+  EXPECT_EQ(ran.load(), 16);
+}
+
+}  // namespace
+}  // namespace dita

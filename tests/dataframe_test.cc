@@ -1,0 +1,107 @@
+#include "sql/dataframe.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/distance.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+class DataFrameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig ccfg;
+    ccfg.num_workers = 4;
+    cluster_ = std::make_shared<Cluster>(ccfg);
+    DitaConfig config;
+    config.ng = 3;
+    config.trie.num_pivots = 3;
+    config.trie.leaf_capacity = 4;
+    context_ = std::make_unique<DataFrameContext>(cluster_, config);
+
+    GeneratorConfig gcfg;
+    gcfg.cardinality = 120;
+    gcfg.region = MBR(Point{0, 0}, Point{1, 1});
+    gcfg.step = 0.01;
+    gcfg.seed = 95;
+    data_ = GenerateTaxiDataset(gcfg);
+  }
+
+  std::shared_ptr<Cluster> cluster_;
+  std::unique_ptr<DataFrameContext> context_;
+  Dataset data_;
+};
+
+TEST_F(DataFrameTest, SearchMatchesBruteForce) {
+  DataFrame df = context_->CreateDataFrame(data_).CreateTrieIndex();
+  auto dist = *MakeDistance(DistanceType::kDTW);
+  const Trajectory& q = data_[7];
+  const double tau = 0.02;
+  auto got = df.SimilaritySearch(q, "dtw", tau);
+  ASSERT_TRUE(got.ok());
+  std::vector<TrajectoryId> expected;
+  for (const auto& t : data_.trajectories()) {
+    if (dist->Compute(t, q) <= tau) expected.push_back(t.id());
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(*got, expected);
+}
+
+TEST_F(DataFrameTest, SelfJoinIncludesDiagonal) {
+  DataFrame df = context_->CreateDataFrame(data_);
+  auto pairs = df.TraJoin(df, "dtw", 0.001);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_GE(pairs->size(), data_.size());
+}
+
+TEST_F(DataFrameTest, MultipleDistanceFunctionsOnOneFrame) {
+  DataFrame df = context_->CreateDataFrame(data_);
+  const Trajectory& q = data_[2];
+  EXPECT_TRUE(df.SimilaritySearch(q, "dtw", 0.01).ok());
+  EXPECT_TRUE(df.SimilaritySearch(q, "frechet", 0.01).ok());
+  EXPECT_TRUE(df.SimilaritySearch(q, "edr", 2.0).ok());
+}
+
+TEST_F(DataFrameTest, UnknownFunctionFails) {
+  DataFrame df = context_->CreateDataFrame(data_);
+  EXPECT_FALSE(df.SimilaritySearch(data_[0], "hausdorff", 1.0).ok());
+}
+
+TEST_F(DataFrameTest, CopiesShareIndexState) {
+  DataFrame df = context_->CreateDataFrame(data_);
+  DataFrame copy = df;
+  ASSERT_TRUE(copy.SimilaritySearch(data_[0], "dtw", 0.01).ok());
+  // The copy's lazily-built engine is visible through the original handle.
+  DitaEngine::QueryStats stats;
+  ASSERT_TRUE(df.SimilaritySearch(data_[0], "dtw", 0.01, &stats).ok());
+  EXPECT_GT(stats.partitions_probed, 0u);
+}
+
+TEST_F(DataFrameTest, KnnSearchReturnsOrderedNeighbours) {
+  DataFrame df = context_->CreateDataFrame(data_);
+  auto knn = df.KnnSearch(data_[4], "dtw", 5);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 5u);
+  EXPECT_DOUBLE_EQ((*knn)[0].second, 0.0);  // the query itself is in the table
+  for (size_t i = 1; i < knn->size(); ++i) {
+    EXPECT_LE((*knn)[i - 1].second, (*knn)[i].second);
+  }
+}
+
+TEST_F(DataFrameTest, TwoFrameJoin) {
+  GeneratorConfig gcfg;
+  gcfg.cardinality = 60;
+  gcfg.region = MBR(Point{0, 0}, Point{1, 1});
+  gcfg.step = 0.01;
+  gcfg.seed = 96;
+  DataFrame left = context_->CreateDataFrame(data_);
+  DataFrame right = context_->CreateDataFrame(GenerateTaxiDataset(gcfg));
+  DitaEngine::JoinStats stats;
+  auto pairs = left.TraJoin(right, "dtw", 0.05, &stats);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_GT(stats.graph_edges, 0u);
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,96 @@
+#include "workload/dataset.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dita {
+namespace {
+
+Dataset MakeDataset(size_t n) {
+  Dataset ds;
+  for (size_t i = 0; i < n; ++i) {
+    ds.Add(Trajectory(static_cast<TrajectoryId>(i),
+                      {{double(i), 0.0}, {double(i), 1.0}, {double(i), 2.0}}));
+  }
+  return ds;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset ds = MakeDataset(5);
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.TotalPoints(), 15u);
+  EXPECT_EQ(ds[2].id(), 2);
+  EXPECT_FALSE(ds.empty());
+}
+
+TEST(DatasetTest, SampleRates) {
+  Dataset ds = MakeDataset(100);
+  auto half = ds.Sample(0.5);
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(half->size(), 50u);
+  auto full = ds.Sample(1.0);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), 100u);
+  EXPECT_FALSE(ds.Sample(0.0).ok());
+  EXPECT_FALSE(ds.Sample(1.5).ok());
+}
+
+TEST(DatasetTest, SampleIsDeterministicAndWithoutReplacement) {
+  Dataset ds = MakeDataset(100);
+  auto a = ds.Sample(0.3, 5);
+  auto b = ds.Sample(0.3, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  std::set<TrajectoryId> ids;
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].id(), (*b)[i].id());
+    ids.insert((*a)[i].id());
+  }
+  EXPECT_EQ(ids.size(), a->size());  // no duplicates
+}
+
+TEST(DatasetTest, SampleQueriesDeterministic) {
+  Dataset ds = MakeDataset(20);
+  auto q1 = ds.SampleQueries(10, 3);
+  auto q2 = ds.SampleQueries(10, 3);
+  ASSERT_EQ(q1.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(q1[i].id(), q2[i].id());
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset ds = MakeDataset(7);
+  const std::string path = ::testing::TempDir() + "/dita_dataset_test.csv";
+  ASSERT_TRUE(ds.WriteCsv(path).ok());
+  auto loaded = Dataset::ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id(), ds[i].id());
+    ASSERT_EQ((*loaded)[i].size(), ds[i].size());
+    for (size_t j = 0; j < ds[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ((*loaded)[i][j].x, ds[i][j].x);
+      EXPECT_DOUBLE_EQ((*loaded)[i][j].y, ds[i][j].y);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, ReadCsvErrors) {
+  EXPECT_FALSE(Dataset::ReadCsv("/nonexistent/really/no.csv").ok());
+}
+
+TEST(DatasetTest, ComputeStats) {
+  Dataset ds;
+  ds.Add(Trajectory(0, {{0, 0}, {1, 1}}));
+  ds.Add(Trajectory(1, {{0, 0}, {1, 1}, {2, 2}, {3, 3}}));
+  auto s = ds.ComputeStats();
+  EXPECT_EQ(s.cardinality, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_len, 3.0);
+  EXPECT_EQ(s.min_len, 2u);
+  EXPECT_EQ(s.max_len, 4u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "distance/distance.h"
+#include "distance/dtw.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+/// Cross-distance invariants exercised on realistic generated trajectories
+/// rather than the synthetic random walks used in the per-distance tests.
+class GeneratedDataProperty
+    : public ::testing::TestWithParam<DistanceType> {
+ protected:
+  static Dataset SmallDataset() {
+    GeneratorConfig cfg;
+    cfg.cardinality = 60;
+    cfg.avg_len = 14;
+    cfg.min_len = 4;
+    cfg.max_len = 40;
+    cfg.seed = 7;
+    return GenerateTaxiDataset(cfg);
+  }
+};
+
+TEST_P(GeneratedDataProperty, WithinThresholdAgreesWithCompute) {
+  DistanceParams params;
+  params.epsilon = 0.004;
+  params.delta = 3;
+  auto dist = *MakeDistance(GetParam(), params);
+  Dataset ds = SmallDataset();
+  for (size_t i = 0; i < 25; ++i) {
+    for (size_t j = i; j < 25; ++j) {
+      const double d = dist->Compute(ds[i], ds[j]);
+      for (double factor : {0.5, 0.95, 1.0, 1.05, 2.0}) {
+        const double tau = d * factor + (GetParam() == DistanceType::kEDR ||
+                                                 GetParam() == DistanceType::kLCSS
+                                             ? (factor - 1.0)
+                                             : 0.0);
+        if (tau < 0) continue;
+        // Exact ties are sensitive to float summation order; skip them.
+        if (std::abs(d - tau) <= 1e-9 * (1.0 + d)) continue;
+        EXPECT_EQ(dist->WithinThreshold(ds[i], ds[j], tau), d <= tau)
+            << dist->name() << " i=" << i << " j=" << j << " d=" << d
+            << " tau=" << tau;
+      }
+    }
+  }
+}
+
+TEST_P(GeneratedDataProperty, SelfDistanceIsZero) {
+  DistanceParams params;
+  params.epsilon = 0.004;
+  auto dist = *MakeDistance(GetParam(), params);
+  Dataset ds = SmallDataset();
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(dist->Compute(ds[i], ds[i]), 0.0) << dist->name();
+    EXPECT_TRUE(dist->WithinThreshold(ds[i], ds[i], 0.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistances, GeneratedDataProperty,
+                         ::testing::Values(DistanceType::kDTW,
+                                           DistanceType::kFrechet,
+                                           DistanceType::kEDR,
+                                           DistanceType::kLCSS,
+                                           DistanceType::kERP),
+                         [](const auto& info) {
+                           return DistanceTypeName(info.param);
+                         });
+
+TEST(AmdOnGeneratedData, LowerBoundsHoldEverywhere) {
+  Dtw dtw;
+  GeneratorConfig cfg;
+  cfg.cardinality = 40;
+  cfg.seed = 9;
+  Dataset ds = GenerateTaxiDataset(cfg);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (size_t j = i + 1; j < std::min(ds.size(), i + 6); ++j) {
+      EXPECT_LE(Dtw::AccumulatedMinDistance(ds[i], ds[j]),
+                dtw.Compute(ds[i], ds[j]) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dita

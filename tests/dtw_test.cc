@@ -1,0 +1,132 @@
+#include "distance/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dita {
+namespace {
+
+/// The paper's running example (Figure 1 / Table 1).
+Trajectory PaperT1() {
+  return Trajectory(1, {{1, 1}, {1, 2}, {3, 2}, {4, 4}, {4, 5}, {5, 5}});
+}
+Trajectory PaperT3() {
+  return Trajectory(3, {{1, 1}, {4, 1}, {4, 3}, {4, 5}, {4, 6}, {5, 6}});
+}
+
+TEST(DtwTest, PaperTable1WorkedExample) {
+  // Table 1: DTW(T1, T3) = w11 + w21 + w32 + w43 + w54 + w55 + w66 = 5.41.
+  Dtw dtw;
+  const double expected = 0 + 1 + std::sqrt(2.0) + 1 + 0 + 1 + 1;
+  EXPECT_NEAR(dtw.Compute(PaperT1(), PaperT3()), expected, 1e-9);
+  EXPECT_NEAR(dtw.Compute(PaperT1(), PaperT3()), 5.41, 0.01);
+}
+
+TEST(DtwTest, IdenticalTrajectoriesHaveZeroDistance) {
+  Dtw dtw;
+  EXPECT_DOUBLE_EQ(dtw.Compute(PaperT1(), PaperT1()), 0.0);
+}
+
+TEST(DtwTest, SymmetricForEqualLengths) {
+  Dtw dtw;
+  EXPECT_DOUBLE_EQ(dtw.Compute(PaperT1(), PaperT3()),
+                   dtw.Compute(PaperT3(), PaperT1()));
+}
+
+TEST(DtwTest, SinglePointCases) {
+  Dtw dtw;
+  Trajectory single(0, {{0, 0}});
+  Trajectory line(1, {{0, 0}, {3, 4}});
+  // n = 1: sum of distances from every t_i to q_1.
+  EXPECT_DOUBLE_EQ(dtw.Compute(line, single), 0.0 + 5.0);
+  EXPECT_DOUBLE_EQ(dtw.Compute(single, line), 0.0 + 5.0);
+  EXPECT_DOUBLE_EQ(dtw.Compute(single, single), 0.0);
+}
+
+TEST(DtwTest, WithinThresholdMatchesPaperExample26) {
+  // Example 2.6: with Q = T1 and tau = 3, similar set = {T1, T2}.
+  Dtw dtw;
+  Trajectory t2(2, {{0, 1}, {0, 2}, {4, 2}, {4, 4}, {4, 5}, {5, 5}});
+  EXPECT_TRUE(dtw.WithinThreshold(PaperT1(), PaperT1(), 3.0));
+  EXPECT_TRUE(dtw.WithinThreshold(t2, PaperT1(), 3.0));
+  EXPECT_FALSE(dtw.WithinThreshold(PaperT3(), PaperT1(), 3.0));
+}
+
+TEST(DtwTest, AmdLowerBoundOnPaperExample) {
+  // Lemma 4.1: AMD <= DTW.
+  const double amd = Dtw::AccumulatedMinDistance(PaperT1(), PaperT3());
+  Dtw dtw;
+  EXPECT_LE(amd, dtw.Compute(PaperT1(), PaperT3()) + 1e-12);
+}
+
+Trajectory RandomTrajectory(Rng& rng, size_t min_len = 2, size_t max_len = 24) {
+  const size_t len =
+      static_cast<size_t>(rng.UniformInt(static_cast<int64_t>(min_len),
+                                         static_cast<int64_t>(max_len)));
+  Trajectory t;
+  Point pos{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+  for (size_t i = 0; i < len; ++i) {
+    pos.x += rng.Gaussian(0, 0.5);
+    pos.y += rng.Gaussian(0, 0.5);
+    t.mutable_points().push_back(pos);
+  }
+  return t;
+}
+
+/// Property sweep: the double-direction thresholded DTW agrees exactly with
+/// the full dynamic program for thresholds around the true distance.
+class DtwThresholdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DtwThresholdProperty, WithinThresholdAgreesWithCompute) {
+  const double tau_factor = GetParam();
+  Dtw dtw;
+  Rng rng(static_cast<uint64_t>(tau_factor * 1000) + 5);
+  for (int iter = 0; iter < 150; ++iter) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    const double d = dtw.Compute(a, b);
+    const double tau = d * tau_factor;
+    // Skip ties within float reordering noise: the double-direction DP sums
+    // the same terms in a different order, so exact equality at tau == d is
+    // not required of the implementation.
+    if (std::abs(d - tau) <= 1e-9 * (1.0 + d)) continue;
+    EXPECT_EQ(dtw.WithinThreshold(a, b, tau), d <= tau)
+        << "d=" << d << " tau=" << tau << " a=" << a.DebugString()
+        << " b=" << b.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, DtwThresholdProperty,
+                         ::testing::Values(0.25, 0.5, 0.9, 0.999, 1.0, 1.001,
+                                           1.5, 4.0));
+
+/// Property: AMD is a lower bound of DTW on random inputs (Lemma 4.1).
+TEST(DtwPropertyTest, AmdIsLowerBound) {
+  Dtw dtw;
+  Rng rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    EXPECT_LE(Dtw::AccumulatedMinDistance(a, b), dtw.Compute(a, b) + 1e-9);
+  }
+}
+
+TEST(DtwPropertyTest, TriangleInequalityCanFail) {
+  // DTW is famously non-metric; document one concrete violation so nobody
+  // plugs DTW into the VP-tree (which requires a metric; see §2.3 / §C).
+  Dtw dtw;
+  Trajectory a(0, {{0, 0}});
+  Trajectory b(1, {{1, 0}, {2, 0}, {3, 0}});
+  Trajectory c(2, {{2, 0}});
+  const double ab = dtw.Compute(a, b);  // 1 + 2 + 3 = 6
+  const double ac = dtw.Compute(a, c);  // 2
+  const double cb = dtw.Compute(c, b);  // 1 + 0 + 1 = 2
+  EXPECT_DOUBLE_EQ(ab, 6.0);
+  EXPECT_DOUBLE_EQ(ac, 2.0);
+  EXPECT_DOUBLE_EQ(cb, 2.0);
+  EXPECT_GT(ab, ac + cb);  // the violation
+}
+
+}  // namespace
+}  // namespace dita

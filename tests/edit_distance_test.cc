@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "distance/distance.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/lcss.h"
+#include "util/rng.h"
+
+namespace dita {
+namespace {
+
+Trajectory PaperT1() {
+  return Trajectory(1, {{1, 1}, {1, 2}, {3, 2}, {4, 4}, {4, 5}, {5, 5}});
+}
+Trajectory PaperT3() {
+  return Trajectory(3, {{1, 1}, {4, 1}, {4, 3}, {4, 5}, {4, 6}, {5, 6}});
+}
+
+TEST(EdrTest, PaperAppendixExample) {
+  // Appendix A: with epsilon = 1, EDR(T1, T3) = 2.
+  Edr edr(1.0);
+  EXPECT_DOUBLE_EQ(edr.Compute(PaperT1(), PaperT3()), 2.0);
+}
+
+TEST(EdrTest, IdenticalIsZeroAndEmptyCases) {
+  Edr edr(0.5);
+  EXPECT_DOUBLE_EQ(edr.Compute(PaperT1(), PaperT1()), 0.0);
+  Trajectory empty;
+  EXPECT_DOUBLE_EQ(edr.Compute(empty, PaperT1()), 6.0);
+  EXPECT_DOUBLE_EQ(edr.Compute(PaperT1(), empty), 6.0);
+  EXPECT_DOUBLE_EQ(edr.Compute(empty, empty), 0.0);
+}
+
+TEST(EdrTest, LengthFilterPrunes) {
+  // |m - n| > tau can never be similar (Appendix A length filtering).
+  Edr edr(10.0);  // epsilon so large all points match
+  Trajectory a(0, {{0, 0}, {0, 0}, {0, 0}, {0, 0}, {0, 0}});
+  Trajectory b(1, {{0, 0}});
+  EXPECT_FALSE(edr.WithinThreshold(a, b, 3.0));
+  EXPECT_TRUE(edr.WithinThreshold(a, b, 4.0));
+}
+
+TEST(LcssTest, PaperAppendixExample) {
+  // Appendix A: with delta = 1, epsilon = 1, LCSS distance of (T1, T3) = 2.
+  Lcss lcss(1.0, 1);
+  EXPECT_DOUBLE_EQ(lcss.Compute(PaperT1(), PaperT3()), 2.0);
+}
+
+TEST(LcssTest, IdenticalIsZero) {
+  Lcss lcss(0.1, 3);
+  EXPECT_DOUBLE_EQ(lcss.Compute(PaperT1(), PaperT1()), 0.0);
+  EXPECT_EQ(lcss.Similarity(PaperT1(), PaperT1()), PaperT1().size());
+}
+
+TEST(LcssTest, DeltaConstraintLimitsMatching) {
+  // Identical sequences shifted in index: with delta = 0 only the diagonal
+  // can match.
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  std::vector<Point> shifted = {{9, 9}, {0, 0}, {1, 0}, {2, 0}};
+  Lcss strict(0.01, 0);
+  Lcss loose(0.01, 1);
+  EXPECT_EQ(strict.Similarity(Trajectory(0, pts), Trajectory(1, shifted)), 0u);
+  EXPECT_EQ(loose.Similarity(Trajectory(0, pts), Trajectory(1, shifted)), 3u);
+}
+
+/// Reference full-matrix LCSS similarity, used to validate the banded DP.
+size_t ReferenceLcssSimilarity(const Trajectory& t, const Trajectory& q,
+                               double epsilon, int delta) {
+  const auto& a = t.points();
+  const auto& b = q.points();
+  std::vector<std::vector<size_t>> dp(a.size() + 1,
+                                      std::vector<size_t>(b.size() + 1, 0));
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const bool index_ok =
+          std::llabs(static_cast<long long>(i) - static_cast<long long>(j)) <=
+          delta;
+      if (index_ok && PointDistance(a[i - 1], b[j - 1]) <= epsilon) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+  }
+  return dp[a.size()][b.size()];
+}
+
+TEST(LcssPropertyTest, BandedSimilarityMatchesFullMatrix) {
+  Rng rng(771);
+  auto random_traj = [&rng]() {
+    const size_t len = static_cast<size_t>(rng.UniformInt(1, 18));
+    Trajectory t;
+    for (size_t i = 0; i < len; ++i) {
+      t.mutable_points().push_back(Point{rng.Uniform(0, 3), rng.Uniform(0, 3)});
+    }
+    return t;
+  };
+  for (int delta : {0, 1, 2, 5}) {
+    Lcss lcss(0.6, delta);
+    for (int iter = 0; iter < 150; ++iter) {
+      Trajectory a = random_traj();
+      Trajectory b = random_traj();
+      EXPECT_EQ(lcss.Similarity(a, b),
+                ReferenceLcssSimilarity(a, b, 0.6, delta))
+          << "delta=" << delta;
+    }
+  }
+}
+
+TEST(ErpTest, IdenticalIsZeroAndGapCost) {
+  Erp erp(Point{0, 0});
+  EXPECT_DOUBLE_EQ(erp.Compute(PaperT1(), PaperT1()), 0.0);
+  // Against the empty trajectory, ERP charges each point's distance to the
+  // gap point.
+  Trajectory empty;
+  Trajectory t(0, {{3, 4}, {0, 5}});
+  EXPECT_DOUBLE_EQ(erp.Compute(t, empty), 5.0 + 5.0);
+}
+
+Trajectory RandomTrajectory(Rng& rng, size_t max_len = 16) {
+  const size_t len = static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(max_len)));
+  Trajectory t;
+  for (size_t i = 0; i < len; ++i) {
+    t.mutable_points().push_back(Point{rng.Uniform(0, 4), rng.Uniform(0, 4)});
+  }
+  return t;
+}
+
+class EdrThresholdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(EdrThresholdProperty, BandedThresholdAgreesWithFullDp) {
+  Edr edr(0.7);
+  Rng rng(static_cast<uint64_t>(GetParam() * 31) + 1);
+  for (int iter = 0; iter < 200; ++iter) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    const double d = edr.Compute(a, b);
+    const double tau = GetParam();
+    EXPECT_EQ(edr.WithinThreshold(a, b, tau), d <= tau)
+        << "d=" << d << " tau=" << tau;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, EdrThresholdProperty,
+                         ::testing::Values(0.0, 1.0, 2.0, 3.0, 5.0, 8.0));
+
+TEST(LcssPropertyTest, WithinThresholdAgreesWithCompute) {
+  Lcss lcss(0.7, 2);
+  Rng rng(73);
+  for (int iter = 0; iter < 300; ++iter) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    const double d = lcss.Compute(a, b);
+    for (double tau : {0.0, 1.0, 2.0, 4.0}) {
+      EXPECT_EQ(lcss.WithinThreshold(a, b, tau), d <= tau);
+    }
+  }
+}
+
+TEST(ErpPropertyTest, MetricAxiomsOnSamples) {
+  Erp erp(Point{2, 2});
+  Rng rng(74);
+  for (int iter = 0; iter < 100; ++iter) {
+    Trajectory a = RandomTrajectory(rng, 10);
+    Trajectory b = RandomTrajectory(rng, 10);
+    Trajectory c = RandomTrajectory(rng, 10);
+    const double ab = erp.Compute(a, b);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_DOUBLE_EQ(ab, erp.Compute(b, a));
+    EXPECT_LE(ab, erp.Compute(a, c) + erp.Compute(c, b) + 1e-9);
+  }
+}
+
+TEST(ErpPropertyTest, WithinThresholdAgreesWithCompute) {
+  Erp erp(Point{0, 0});
+  Rng rng(75);
+  for (int iter = 0; iter < 200; ++iter) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    const double d = erp.Compute(a, b);
+    for (double factor : {0.5, 1.0, 1.5}) {
+      const double tau = d * factor;
+      EXPECT_EQ(erp.WithinThreshold(a, b, tau), d <= tau);
+    }
+  }
+}
+
+TEST(DistanceFactoryTest, CreatesEveryType) {
+  for (DistanceType type :
+       {DistanceType::kDTW, DistanceType::kFrechet, DistanceType::kEDR,
+        DistanceType::kLCSS, DistanceType::kERP}) {
+    auto r = MakeDistance(type);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->type(), type);
+  }
+}
+
+TEST(DistanceFactoryTest, RejectsBadParams) {
+  DistanceParams params;
+  params.epsilon = -1;
+  EXPECT_FALSE(MakeDistance(DistanceType::kEDR, params).ok());
+  EXPECT_FALSE(MakeDistance(DistanceType::kLCSS, params).ok());
+}
+
+TEST(DistanceFactoryTest, ParsesNames) {
+  EXPECT_EQ(*ParseDistanceType("dtw"), DistanceType::kDTW);
+  EXPECT_EQ(*ParseDistanceType("Frechet"), DistanceType::kFrechet);
+  EXPECT_EQ(*ParseDistanceType("EDR"), DistanceType::kEDR);
+  EXPECT_EQ(*ParseDistanceType("lcss"), DistanceType::kLCSS);
+  EXPECT_EQ(*ParseDistanceType("erp"), DistanceType::kERP);
+  EXPECT_FALSE(ParseDistanceType("hausdorff").ok());
+}
+
+TEST(DistanceMetaTest, PruneModesMatchAppendixA) {
+  EXPECT_EQ((*MakeDistance(DistanceType::kDTW))->prune_mode(),
+            PruneMode::kAccumulate);
+  EXPECT_EQ((*MakeDistance(DistanceType::kFrechet))->prune_mode(),
+            PruneMode::kMax);
+  EXPECT_EQ((*MakeDistance(DistanceType::kEDR))->prune_mode(),
+            PruneMode::kEditCount);
+  EXPECT_EQ((*MakeDistance(DistanceType::kLCSS))->prune_mode(),
+            PruneMode::kEditCount);
+  EXPECT_EQ((*MakeDistance(DistanceType::kERP))->prune_mode(),
+            PruneMode::kAccumulate);
+}
+
+TEST(DistanceMetaTest, MetricFlags) {
+  EXPECT_FALSE((*MakeDistance(DistanceType::kDTW))->is_metric());
+  EXPECT_TRUE((*MakeDistance(DistanceType::kFrechet))->is_metric());
+  EXPECT_FALSE((*MakeDistance(DistanceType::kEDR))->is_metric());
+  EXPECT_FALSE((*MakeDistance(DistanceType::kLCSS))->is_metric());
+  EXPECT_TRUE((*MakeDistance(DistanceType::kERP))->is_metric());
+}
+
+}  // namespace
+}  // namespace dita

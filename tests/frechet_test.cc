@@ -1,0 +1,108 @@
+#include "distance/frechet.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/dtw.h"
+
+#include "util/rng.h"
+
+namespace dita {
+namespace {
+
+Trajectory PaperT1() {
+  return Trajectory(1, {{1, 1}, {1, 2}, {3, 2}, {4, 4}, {4, 5}, {5, 5}});
+}
+Trajectory PaperT3() {
+  return Trajectory(3, {{1, 1}, {4, 1}, {4, 3}, {4, 5}, {4, 6}, {5, 6}});
+}
+
+TEST(FrechetTest, PaperAppendixExample) {
+  // Appendix A: Frechet(T1, T3) = 1.41.
+  Frechet f;
+  EXPECT_NEAR(f.Compute(PaperT1(), PaperT3()), std::sqrt(2.0), 1e-9);
+}
+
+TEST(FrechetTest, IdenticalIsZero) {
+  Frechet f;
+  EXPECT_DOUBLE_EQ(f.Compute(PaperT1(), PaperT1()), 0.0);
+}
+
+TEST(FrechetTest, SinglePointCases) {
+  Frechet f;
+  Trajectory single(0, {{0, 0}});
+  Trajectory line(1, {{0, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(f.Compute(line, single), 5.0);   // max over points
+  EXPECT_DOUBLE_EQ(f.Compute(single, line), 5.0);
+}
+
+Trajectory RandomTrajectory(Rng& rng, size_t max_len = 20) {
+  const size_t len = static_cast<size_t>(rng.UniformInt(2, static_cast<int64_t>(max_len)));
+  Trajectory t;
+  Point pos{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+  for (size_t i = 0; i < len; ++i) {
+    pos.x += rng.Gaussian(0, 0.5);
+    pos.y += rng.Gaussian(0, 0.5);
+    t.mutable_points().push_back(pos);
+  }
+  return t;
+}
+
+TEST(FrechetPropertyTest, SymmetricAndNonNegative) {
+  Frechet f;
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    const double ab = f.Compute(a, b);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_DOUBLE_EQ(ab, f.Compute(b, a));
+  }
+}
+
+/// Frechet is a metric (on curves); the discrete variant satisfies the
+/// triangle inequality in practice for our use (VP-tree soundness check).
+TEST(FrechetPropertyTest, TriangleInequalityOnSamples) {
+  Frechet f;
+  Rng rng(18);
+  for (int i = 0; i < 150; ++i) {
+    Trajectory a = RandomTrajectory(rng, 12);
+    Trajectory b = RandomTrajectory(rng, 12);
+    Trajectory c = RandomTrajectory(rng, 12);
+    EXPECT_LE(f.Compute(a, b), f.Compute(a, c) + f.Compute(c, b) + 1e-9);
+  }
+}
+
+TEST(FrechetPropertyTest, FrechetLowerBoundsDtw) {
+  // The DTW-optimal warping path has cost sum >= max over its cells, and the
+  // min-max over all paths (Frechet) can only be smaller, so Frechet <= DTW.
+  // This is the fact behind the paper's observation that "DTW was tighter
+  // than Frechet with the same threshold" (§7.3, observation 4).
+  Frechet f;
+  Dtw dtw;
+  Rng rng(19);
+  for (int i = 0; i < 150; ++i) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    EXPECT_LE(f.Compute(a, b), dtw.Compute(a, b) + 1e-9);
+  }
+}
+
+class FrechetThresholdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrechetThresholdProperty, WithinThresholdAgreesWithCompute) {
+  Frechet f;
+  Rng rng(static_cast<uint64_t>(GetParam() * 977) + 3);
+  for (int iter = 0; iter < 150; ++iter) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    const double d = f.Compute(a, b);
+    const double tau = d * GetParam();
+    EXPECT_EQ(f.WithinThreshold(a, b, tau), d <= tau) << "d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, FrechetThresholdProperty,
+                         ::testing::Values(0.3, 0.8, 1.0, 1.2, 3.0));
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,103 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace dita {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedCardinality) {
+  GeneratorConfig cfg;
+  cfg.cardinality = 500;
+  Dataset ds = GenerateTaxiDataset(cfg);
+  EXPECT_EQ(ds.size(), 500u);
+}
+
+TEST(GeneratorTest, LengthsWithinBounds) {
+  GeneratorConfig cfg;
+  cfg.cardinality = 400;
+  cfg.min_len = 7;
+  cfg.max_len = 112;
+  Dataset ds = GenerateTaxiDataset(cfg);
+  auto s = ds.ComputeStats();
+  EXPECT_GE(s.min_len, cfg.min_len);
+  EXPECT_LE(s.max_len, cfg.max_len);
+  // Mean should land in the neighbourhood of avg_len (log-normal clamp).
+  EXPECT_GT(s.avg_len, cfg.avg_len * 0.5);
+  EXPECT_LT(s.avg_len, cfg.avg_len * 2.0);
+}
+
+TEST(GeneratorTest, PointsStayInRegion) {
+  GeneratorConfig cfg;
+  cfg.cardinality = 100;
+  Dataset ds = GenerateTaxiDataset(cfg);
+  for (const auto& t : ds.trajectories()) {
+    for (const auto& p : t.points()) {
+      EXPECT_TRUE(cfg.region.Contains(p)) << "(" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorConfig cfg;
+  cfg.cardinality = 50;
+  Dataset a = GenerateTaxiDataset(cfg);
+  Dataset b = GenerateTaxiDataset(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) EXPECT_EQ(a[i][j], b[i][j]);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig cfg;
+  cfg.cardinality = 10;
+  cfg.seed = 1;
+  Dataset a = GenerateTaxiDataset(cfg);
+  cfg.seed = 2;
+  Dataset b = GenerateTaxiDataset(cfg);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    if (a[i].size() != b[i].size() || !(a[i][0] == b[i][0])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, PresetsMatchPaperShapes) {
+  Dataset beijing = GenerateBeijingLike(0.02);
+  Dataset chengdu = GenerateChengduLike(0.02);
+  Dataset osm = GenerateOsmLike(0.02);
+  EXPECT_GT(beijing.size(), 0u);
+  EXPECT_GT(chengdu.size(), 0u);
+  EXPECT_GT(osm.size(), 0u);
+  // Chengdu trajectories are longer than Beijing's on average (Table 2).
+  EXPECT_GT(chengdu.ComputeStats().avg_len, beijing.ComputeStats().avg_len);
+  // OSM is the longest of all.
+  EXPECT_GT(osm.ComputeStats().avg_len, chengdu.ComputeStats().avg_len);
+}
+
+TEST(GeneratorTest, HubSkewCreatesSpatialClustering) {
+  // With hubs, many trajectories should start close to one another; measure
+  // the fraction of start points with a close neighbour start.
+  GeneratorConfig cfg;
+  cfg.cardinality = 300;
+  cfg.hub_fraction = 0.9;
+  cfg.hubs = 4;
+  Dataset skewed = GenerateTaxiDataset(cfg);
+  cfg.hub_fraction = 0.0;
+  Dataset uniform = GenerateTaxiDataset(cfg);
+
+  auto close_pairs = [](const Dataset& ds) {
+    size_t count = 0;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      for (size_t j = i + 1; j < ds.size(); ++j) {
+        if (PointDistance(ds[i].front(), ds[j].front()) < 0.01) ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_GT(close_pairs(skewed), close_pairs(uniform));
+}
+
+}  // namespace
+}  // namespace dita

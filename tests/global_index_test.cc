@@ -1,0 +1,136 @@
+#include "core/global_index.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "distance/distance.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+struct Built {
+  GlobalIndex index;
+  std::vector<std::vector<Trajectory>> partitions;
+};
+
+Built BuildFromDataset(const Dataset& ds, size_t ng) {
+  Built b;
+  auto parts = PartitionByFirstLast(ds.trajectories(), ng);
+  EXPECT_TRUE(parts.ok());
+  b.partitions = std::move(*parts);
+  std::vector<GlobalIndex::PartitionSummary> summaries(b.partitions.size());
+  for (size_t p = 0; p < b.partitions.size(); ++p) {
+    for (const auto& t : b.partitions[p]) {
+      summaries[p].mbr_first.Expand(t.front());
+      summaries[p].mbr_last.Expand(t.back());
+    }
+  }
+  b.index.Build(std::move(summaries));
+  return b;
+}
+
+Dataset SmallDataset() {
+  GeneratorConfig cfg;
+  cfg.cardinality = 600;
+  cfg.region = MBR(Point{0, 0}, Point{1, 1});
+  cfg.step = 0.01;
+  cfg.seed = 41;
+  return GenerateTaxiDataset(cfg);
+}
+
+/// The global filter must keep every partition that contains a true answer
+/// (for every distance mode), since local search only runs on relevant
+/// partitions.
+class GlobalIndexProperty : public ::testing::TestWithParam<DistanceType> {};
+
+TEST_P(GlobalIndexProperty, NeverPrunesAnswerPartitions) {
+  Dataset ds = SmallDataset();
+  Built b = BuildFromDataset(ds, 4);
+  DistanceParams params;
+  params.epsilon = 0.01;
+  params.delta = 4;
+  auto dist = *MakeDistance(GetParam(), params);
+  const Point* erp_gap =
+      GetParam() == DistanceType::kERP ? &params.erp_gap : nullptr;
+
+  auto queries = ds.SampleQueries(10, 9);
+  const double tau = GetParam() == DistanceType::kEDR ||
+                             GetParam() == DistanceType::kLCSS
+                         ? 3.0
+                         : 0.05;
+  for (const auto& q : queries) {
+    auto relevant = b.index.RelevantPartitions(
+        q, tau, dist->prune_mode(), dist->matching_epsilon(), erp_gap);
+    std::set<uint32_t> relevant_set(relevant.begin(), relevant.end());
+    for (uint32_t p = 0; p < b.partitions.size(); ++p) {
+      bool has_answer = false;
+      for (const auto& t : b.partitions[p]) {
+        if (dist->Compute(t, q) <= tau) {
+          has_answer = true;
+          break;
+        }
+      }
+      if (has_answer) {
+        EXPECT_TRUE(relevant_set.count(p))
+            << dist->name() << ": partition " << p << " pruned but has answers";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistances, GlobalIndexProperty,
+                         ::testing::Values(DistanceType::kDTW,
+                                           DistanceType::kFrechet,
+                                           DistanceType::kEDR,
+                                           DistanceType::kLCSS,
+                                           DistanceType::kERP),
+                         [](const auto& info) {
+                           return DistanceTypeName(info.param);
+                         });
+
+TEST(GlobalIndexTest, PrunesFarPartitionsForDtw) {
+  Dataset ds = SmallDataset();
+  Built b = BuildFromDataset(ds, 4);
+  // A query in one corner with a small threshold cannot touch partitions in
+  // the opposite corner.
+  Trajectory q(0, {{0.01, 0.01}, {0.02, 0.02}});
+  auto relevant =
+      b.index.RelevantPartitions(q, 0.01, PruneMode::kAccumulate, 0.0);
+  EXPECT_LT(relevant.size(), b.partitions.size());
+}
+
+TEST(GlobalIndexTest, PartitionsMayJoinSymmetricLogic) {
+  Dataset ds = SmallDataset();
+  Built b = BuildFromDataset(ds, 4);
+  // A partition always may-join itself (zero rectangle distance).
+  for (uint32_t p = 0; p < b.index.num_partitions(); ++p) {
+    const auto& s = b.index.summary(p);
+    EXPECT_TRUE(b.index.PartitionsMayJoin(p, s.mbr_first, s.mbr_last, 0.0,
+                                          PruneMode::kAccumulate));
+  }
+  // ERP disables rectangle pruning.
+  Point gap{0, 0};
+  MBR far_away(Point{100, 100}, Point{101, 101});
+  EXPECT_TRUE(b.index.PartitionsMayJoin(0, far_away, far_away, 0.0,
+                                        PruneMode::kAccumulate, 0.0, &gap));
+}
+
+TEST(GlobalIndexTest, ByteSizeIndependentOfDataSize) {
+  // Appendix B: global index size depends on the number of partitions only.
+  Dataset big = SmallDataset();
+  auto half = big.Sample(0.5, 3);
+  ASSERT_TRUE(half.ok());
+  Built b1 = BuildFromDataset(big, 4);
+  Built b2 = BuildFromDataset(*half, 4);
+  // Equal partition counts imply equal summary storage (R-tree node counts
+  // may differ by a node or two; allow slack).
+  EXPECT_NEAR(static_cast<double>(b1.index.ByteSize()),
+              static_cast<double>(b2.index.ByteSize()),
+              0.25 * static_cast<double>(b1.index.ByteSize()));
+}
+
+}  // namespace
+}  // namespace dita

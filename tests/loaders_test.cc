@@ -1,0 +1,87 @@
+#include "workload/loaders.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace dita {
+namespace {
+
+std::string WriteTemp(const char* name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(GeoLifeLoaderTest, ParsesFixtureFile) {
+  const std::string plt =
+      "Geolife trajectory\n"
+      "WGS 84\n"
+      "Altitude is in Feet\n"
+      "Reserved 3\n"
+      "0,2,255,My Track,0,0,2,8421376\n"
+      "0\n"
+      "39.906631,116.385564,0,492,39925.44,2009-04-22,10:34:31\n"
+      "39.906554,116.385625,0,492,39925.44,2009-04-22,10:34:36\n"
+      "39.906436,116.385684,0,492,39925.44,2009-04-22,10:34:41\n";
+  const std::string path = WriteTemp("fixture.plt", plt);
+  auto t = LoadGeoLifePlt(path, 7);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->id(), 7);
+  ASSERT_EQ(t->size(), 3u);
+  // Points are (lon, lat).
+  EXPECT_DOUBLE_EQ((*t)[0].x, 116.385564);
+  EXPECT_DOUBLE_EQ((*t)[0].y, 39.906631);
+  std::remove(path.c_str());
+}
+
+TEST(GeoLifeLoaderTest, RejectsGarbage) {
+  EXPECT_FALSE(LoadGeoLifePlt("/nonexistent.plt", 0).ok());
+  const std::string path = WriteTemp("short.plt", "only\nthree\nlines\n");
+  EXPECT_FALSE(LoadGeoLifePlt(path, 0).ok());
+  std::remove(path.c_str());
+  const std::string bad = WriteTemp(
+      "bad.plt", "h\nh\nh\nh\nh\nh\nnot_a_number,116.3,0,0,0,d,t\n1,2,0,0,0,d,t\n");
+  EXPECT_FALSE(LoadGeoLifePlt(bad, 0).ok());
+  std::remove(bad.c_str());
+}
+
+TEST(TDriveLoaderTest, ParsesAndChunks) {
+  std::string rows;
+  for (int i = 0; i < 10; ++i) {
+    rows += StrFormat("368,2008-02-02 13:3%d:44,116.4%d,39.9%d\n", i, i, i);
+  }
+  const std::string path = WriteTemp("taxi368.txt", rows);
+  auto whole = LoadTDriveFile(path, 100, 0);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_EQ(whole->size(), 1u);
+  EXPECT_EQ((*whole)[0].id(), 100);
+  EXPECT_EQ((*whole)[0].size(), 10u);
+  EXPECT_DOUBLE_EQ((*whole)[0][3].x, 116.43);
+
+  auto chunked = LoadTDriveFile(path, 0, 4);
+  ASSERT_TRUE(chunked.ok());
+  // 10 fixes in chunks of 4: 4 + 4 + 2.
+  ASSERT_EQ(chunked->size(), 3u);
+  EXPECT_EQ((*chunked)[2].size(), 2u);
+  EXPECT_EQ((*chunked)[2].id(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(TDriveLoaderTest, RejectsMalformedRows) {
+  const std::string path =
+      WriteTemp("badtaxi.txt", "368,2008-02-02 13:30:44,116.4\n");
+  EXPECT_FALSE(LoadTDriveFile(path, 0).ok());
+  std::remove(path.c_str());
+  const std::string nan =
+      WriteTemp("nantaxi.txt", "368,2008-02-02 13:30:44,abc,39.9\n");
+  EXPECT_FALSE(LoadTDriveFile(nan, 0).ok());
+  std::remove(nan.c_str());
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,123 @@
+#include "geom/mbr.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dita {
+namespace {
+
+TEST(MbrTest, EmptyBehaviour) {
+  MBR m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.Contains(Point{0, 0}));
+  EXPECT_TRUE(std::isinf(m.MinDist(Point{0, 0})));
+  EXPECT_EQ(m.Area(), 0.0);
+}
+
+TEST(MbrTest, ExpandPoint) {
+  MBR m;
+  m.Expand(Point{1, 2});
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.lo(), (Point{1, 2}));
+  EXPECT_EQ(m.hi(), (Point{1, 2}));
+  m.Expand(Point{-1, 5});
+  EXPECT_EQ(m.lo(), (Point{-1, 2}));
+  EXPECT_EQ(m.hi(), (Point{1, 5}));
+  EXPECT_DOUBLE_EQ(m.Area(), 2.0 * 3.0);
+}
+
+TEST(MbrTest, ExpandMbr) {
+  MBR a(Point{0, 0}, Point{1, 1});
+  MBR b(Point{2, -1}, Point{3, 0.5});
+  a.Expand(b);
+  EXPECT_EQ(a.lo(), (Point{0, -1}));
+  EXPECT_EQ(a.hi(), (Point{3, 1}));
+  MBR empty;
+  a.Expand(empty);  // no-op
+  EXPECT_EQ(a.hi(), (Point{3, 1}));
+}
+
+TEST(MbrTest, ContainsAndCovers) {
+  MBR m(Point{0, 0}, Point{4, 4});
+  EXPECT_TRUE(m.Contains(Point{0, 0}));
+  EXPECT_TRUE(m.Contains(Point{4, 4}));
+  EXPECT_TRUE(m.Contains(Point{2, 3}));
+  EXPECT_FALSE(m.Contains(Point{4.0001, 2}));
+  EXPECT_TRUE(m.Covers(MBR(Point{1, 1}, Point{3, 3})));
+  EXPECT_TRUE(m.Covers(m));
+  EXPECT_FALSE(m.Covers(MBR(Point{1, 1}, Point{5, 3})));
+}
+
+TEST(MbrTest, MinDistPoint) {
+  MBR m(Point{0, 0}, Point{2, 2});
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{1, 1}), 0.0);    // inside
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{3, 1}), 1.0);    // right side
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{1, -2}), 2.0);   // below
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{3, 3}), std::sqrt(2.0));  // corner
+}
+
+TEST(MbrTest, MinDistMbr) {
+  MBR a(Point{0, 0}, Point{1, 1});
+  EXPECT_DOUBLE_EQ(a.MinDist(MBR(Point{0.5, 0.5}, Point{2, 2})), 0.0);
+  EXPECT_DOUBLE_EQ(a.MinDist(MBR(Point{3, 0}, Point{4, 1})), 2.0);
+  EXPECT_DOUBLE_EQ(a.MinDist(MBR(Point{2, 2}, Point{3, 3})), std::sqrt(2.0));
+}
+
+TEST(MbrTest, Extended) {
+  MBR m(Point{0, 0}, Point{1, 1});
+  MBR e = m.Extended(0.5);
+  EXPECT_EQ(e.lo(), (Point{-0.5, -0.5}));
+  EXPECT_EQ(e.hi(), (Point{1.5, 1.5}));
+  EXPECT_TRUE(e.Covers(m));
+}
+
+TEST(MbrTest, IntersectsSymmetry) {
+  MBR a(Point{0, 0}, Point{2, 2});
+  MBR b(Point{1, 1}, Point{3, 3});
+  MBR c(Point{5, 5}, Point{6, 6});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.Intersects(a));
+}
+
+/// Property: MinDist(q, MBR) lower-bounds the distance from q to any point
+/// inside the MBR (the inequality DITA's filtering relies on).
+TEST(MbrPropertyTest, MinDistIsLowerBoundForContainedPoints) {
+  Rng rng(123);
+  for (int iter = 0; iter < 200; ++iter) {
+    Point a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    Point b{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    MBR m;
+    m.Expand(a);
+    m.Expand(b);
+    Point q{rng.Uniform(-15, 15), rng.Uniform(-15, 15)};
+    // Sample points inside the MBR.
+    for (int k = 0; k < 10; ++k) {
+      Point p{rng.Uniform(m.lo().x, m.hi().x), rng.Uniform(m.lo().y, m.hi().y)};
+      EXPECT_LE(m.MinDist(q) - 1e-12, PointDistance(q, p));
+      EXPECT_GE(m.MaxDist(q) + 1e-12, PointDistance(q, p));
+    }
+  }
+}
+
+/// Property: rect-rect MinDist lower-bounds point pair distances.
+TEST(MbrPropertyTest, RectRectMinDistLowerBound) {
+  Rng rng(321);
+  for (int iter = 0; iter < 200; ++iter) {
+    MBR a, b;
+    a.Expand(Point{rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+    a.Expand(Point{rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+    b.Expand(Point{rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+    b.Expand(Point{rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+    for (int k = 0; k < 10; ++k) {
+      Point p{rng.Uniform(a.lo().x, a.hi().x), rng.Uniform(a.lo().y, a.hi().y)};
+      Point q{rng.Uniform(b.lo().x, b.hi().x), rng.Uniform(b.lo().y, b.hi().y)};
+      EXPECT_LE(a.MinDist(b) - 1e-12, PointDistance(p, q));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dita

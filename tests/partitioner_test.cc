@@ -1,0 +1,123 @@
+#include "core/partitioner.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+Dataset SmallDataset(size_t n = 500) {
+  GeneratorConfig cfg;
+  cfg.cardinality = n;
+  cfg.seed = 31;
+  return GenerateTaxiDataset(cfg);
+}
+
+TEST(PartitionerTest, RejectsBadInput) {
+  Dataset ds = SmallDataset(10);
+  EXPECT_FALSE(PartitionByFirstLast(ds.trajectories(), 0).ok());
+  EXPECT_FALSE(PartitionRandomly(ds.trajectories(), 0).ok());
+  std::vector<Trajectory> with_empty = ds.trajectories();
+  with_empty.push_back(Trajectory());
+  EXPECT_FALSE(PartitionByFirstLast(with_empty, 4).ok());
+}
+
+TEST(PartitionerTest, EveryTrajectoryAssignedExactlyOnce) {
+  Dataset ds = SmallDataset();
+  auto parts = PartitionByFirstLast(ds.trajectories(), 4);
+  ASSERT_TRUE(parts.ok());
+  std::multiset<TrajectoryId> seen;
+  for (const auto& p : *parts) {
+    for (const auto& t : p) seen.insert(t.id());
+  }
+  EXPECT_EQ(seen.size(), ds.size());
+  std::set<TrajectoryId> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), ds.size());
+}
+
+TEST(PartitionerTest, ProducesAtMostNgSquaredBalancedPartitions) {
+  Dataset ds = SmallDataset(1000);
+  for (size_t ng : {2u, 4u, 8u}) {
+    auto parts = PartitionByFirstLast(ds.trajectories(), ng);
+    ASSERT_TRUE(parts.ok());
+    EXPECT_LE(parts->size(), (ng + 1) * (ng + 1));  // STR may round up a slab
+    size_t max_size = 0, min_size = ds.size();
+    for (const auto& p : *parts) {
+      max_size = std::max(max_size, p.size());
+      min_size = std::min(min_size, p.size());
+    }
+    // Roughly equal-size partitions even for skewed (hub-heavy) data.
+    EXPECT_LE(max_size, 4 * std::max<size_t>(1, ds.size() / (ng * ng)))
+        << "ng=" << ng;
+    EXPECT_GE(min_size, 1u);
+  }
+}
+
+TEST(PartitionerTest, BalancedUnderExtremeSkew) {
+  // All trajectories share the same first point: the first-level STR must
+  // still split them (by count), and the second level separates last points.
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 256; ++i) {
+    trajs.push_back(Trajectory(
+        i, {{0, 0}, {double(i % 16), double(i / 16)}}));
+  }
+  auto parts = PartitionByFirstLast(trajs, 4);
+  ASSERT_TRUE(parts.ok());
+  size_t max_size = 0;
+  for (const auto& p : *parts) max_size = std::max(max_size, p.size());
+  EXPECT_LE(max_size, 256u / parts->size() * 4);
+}
+
+TEST(PartitionerTest, SimilarTrajectoriesColocate) {
+  // Clones of one trajectory (plus noise elsewhere) should land together.
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 8; ++i) {
+    trajs.push_back(Trajectory(i, {{0.5, 0.5}, {0.6, 0.6}}));
+  }
+  for (int i = 8; i < 64; ++i) {
+    const double x = double(i) / 64;
+    trajs.push_back(Trajectory(i, {{x, 0.0}, {x, 1.0}}));
+  }
+  auto spread = [](const std::vector<std::vector<Trajectory>>& parts) {
+    size_t partitions_with_clones = 0;
+    for (const auto& p : parts) {
+      for (const auto& t : p) {
+        if (t.id() < 8) {
+          ++partitions_with_clones;
+          break;
+        }
+      }
+    }
+    return partitions_with_clones;
+  };
+  auto spatial = PartitionByFirstLast(trajs, 4);
+  ASSERT_TRUE(spatial.ok());
+  auto random = PartitionRandomly(trajs, spatial->size(), 3);
+  ASSERT_TRUE(random.ok());
+  // §4.2.1: "similar trajectories are more likely to be in the same
+  // partition" — equal-count STR may split ties across adjacent buckets,
+  // but the clones must stay far more concentrated than under random
+  // placement, and never fully scatter.
+  EXPECT_LT(spread(*spatial), spread(*random));
+  EXPECT_LE(spread(*spatial), 4u);
+}
+
+TEST(PartitionerTest, RandomPartitioningIsBalancedAndComplete) {
+  Dataset ds = SmallDataset(333);
+  auto parts = PartitionRandomly(ds.trajectories(), 10, 3);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 10u);
+  size_t total = 0;
+  for (const auto& p : *parts) {
+    total += p.size();
+    EXPECT_GE(p.size(), 33u - 1);
+    EXPECT_LE(p.size(), 34u);
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,185 @@
+#include "index/pivot.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/dtw.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+Trajectory PaperT1() {
+  return Trajectory(1, {{1, 1}, {1, 2}, {3, 2}, {4, 4}, {4, 5}, {5, 5}});
+}
+Trajectory PaperT3() {
+  return Trajectory(3, {{1, 1}, {4, 1}, {4, 3}, {4, 5}, {4, 6}, {5, 6}});
+}
+
+std::vector<Point> PivotPoints(const Trajectory& t, size_t k, PivotStrategy s) {
+  std::vector<Point> out;
+  for (size_t idx : SelectPivotIndices(t, k, s)) out.push_back(t[idx]);
+  return out;
+}
+
+TEST(PivotTest, PaperSection412Examples) {
+  // §4.1.2: for T1 with K = 2 —
+  //   Inflection Point  -> [(1,2), (4,5)]
+  //   Neighbor Distance -> [(3,2), (4,4)]
+  //   First/Last        -> [(1,2), (4,5)]
+  const Trajectory t1 = PaperT1();
+  EXPECT_EQ(PivotPoints(t1, 2, PivotStrategy::kInflectionPoint),
+            (std::vector<Point>{{1, 2}, {4, 5}}));
+  EXPECT_EQ(PivotPoints(t1, 2, PivotStrategy::kNeighborDistance),
+            (std::vector<Point>{{3, 2}, {4, 4}}));
+  EXPECT_EQ(PivotPoints(t1, 2, PivotStrategy::kFirstLastDistance),
+            (std::vector<Point>{{1, 2}, {4, 5}}));
+}
+
+TEST(PivotTest, PaperFigure1PivotTable) {
+  // Figure 1 lists every trajectory's pivots under Neighbor Distance, K = 2.
+  struct Case {
+    Trajectory t;
+    std::vector<Point> pivots;
+  };
+  const std::vector<Case> cases = {
+      {Trajectory(2, {{0, 1}, {0, 2}, {4, 2}, {4, 4}, {4, 5}, {5, 5}}),
+       {{4, 2}, {4, 4}}},
+      {PaperT3(), {{4, 1}, {4, 3}}},
+      {Trajectory(4, {{0, 4}, {0, 5}, {3, 3}, {3, 7}, {7, 5}}), {{3, 3}, {3, 7}}},
+      {Trajectory(5, {{0, 4}, {0, 5}, {3, 7}, {3, 3}, {7, 5}}), {{3, 7}, {3, 3}}},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(PivotPoints(c.t, 2, PivotStrategy::kNeighborDistance), c.pivots)
+        << c.t.DebugString();
+  }
+}
+
+TEST(PivotTest, IndicesAreInteriorAndSorted) {
+  Rng rng(3);
+  for (int iter = 0; iter < 100; ++iter) {
+    Trajectory t;
+    const size_t len = static_cast<size_t>(rng.UniformInt(2, 30));
+    for (size_t i = 0; i < len; ++i) {
+      t.mutable_points().push_back(Point{rng.Uniform(0, 5), rng.Uniform(0, 5)});
+    }
+    for (auto s : {PivotStrategy::kInflectionPoint,
+                   PivotStrategy::kNeighborDistance,
+                   PivotStrategy::kFirstLastDistance}) {
+      auto idx = SelectPivotIndices(t, 4, s);
+      EXPECT_LE(idx.size(), std::min<size_t>(4, len >= 2 ? len - 2 : 0));
+      for (size_t i = 0; i < idx.size(); ++i) {
+        EXPECT_GT(idx[i], 0u);
+        EXPECT_LT(idx[i], len - 1);
+        if (i > 0) {
+          EXPECT_LT(idx[i - 1], idx[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(PivotTest, IndexingSequenceAlwaysHasKPlus2Points) {
+  for (size_t len : {1u, 2u, 3u, 5u, 20u}) {
+    Trajectory t;
+    for (size_t i = 0; i < len; ++i) {
+      t.mutable_points().push_back(Point{double(i), 0.0});
+    }
+    auto seq = BuildIndexingSequence(t, 4, PivotStrategy::kNeighborDistance);
+    EXPECT_EQ(seq.points.size(), 6u) << "len=" << len;
+    EXPECT_EQ(seq.source_indices.size(), 6u);
+    EXPECT_EQ(seq.points[0], t.front());
+    EXPECT_EQ(seq.points[1], t.back());
+  }
+}
+
+TEST(PivotTest, PamdPaperExample44) {
+  // Example 4.4: PAMD(T1, T3) = 0 + 1 + 1.41 + 1 = 3.41 > tau = 3.
+  auto seq = BuildIndexingSequence(PaperT1(), 2, PivotStrategy::kNeighborDistance);
+  const double pamd = Pamd(seq, PaperT3());
+  EXPECT_NEAR(pamd, 0 + 1 + std::sqrt(2.0) + 1, 1e-9);
+  EXPECT_GT(pamd, 3.0);
+}
+
+TEST(PivotTest, PaddedSequenceStillLowerBoundsDtw) {
+  // A 3-point trajectory with K = 4 pads three pivot slots with repeats of
+  // the single interior point; PAMD must not count the repeat (it would
+  // break the lower-bound property for short trajectories).
+  Dtw dtw;
+  Trajectory shorty(0, {{0, 0}, {5, 5}, {10, 0}});
+  Trajectory q(1, {{0, 1}, {10, 1}});
+  auto seq = BuildIndexingSequence(shorty, 4, PivotStrategy::kNeighborDistance);
+  EXPECT_EQ(seq.points.size(), 6u);
+  EXPECT_TRUE(seq.chargeable[0]);
+  EXPECT_TRUE(seq.chargeable[1]);
+  EXPECT_TRUE(seq.chargeable[2]);   // the real pivot
+  EXPECT_FALSE(seq.chargeable[3]);  // padding
+  EXPECT_FALSE(seq.chargeable[4]);
+  EXPECT_FALSE(seq.chargeable[5]);
+  EXPECT_LE(Pamd(seq, q), dtw.Compute(shorty, q) + 1e-9);
+}
+
+TEST(PivotTest, SinglePointTrajectorySequence) {
+  Trajectory dot(0, {{2, 3}});
+  auto seq = BuildIndexingSequence(dot, 2, PivotStrategy::kNeighborDistance);
+  EXPECT_EQ(seq.points.size(), 4u);
+  EXPECT_TRUE(seq.chargeable[0]);
+  EXPECT_FALSE(seq.chargeable[1]);  // last == first point
+  Dtw dtw;
+  Trajectory q(1, {{0, 0}, {1, 1}});
+  EXPECT_LE(Pamd(seq, q), dtw.Compute(dot, q) + 1e-9);
+}
+
+TEST(PivotTest, ParseAndNames) {
+  EXPECT_EQ(*ParsePivotStrategy("neighbor"), PivotStrategy::kNeighborDistance);
+  EXPECT_EQ(*ParsePivotStrategy("Inflection"), PivotStrategy::kInflectionPoint);
+  EXPECT_EQ(*ParsePivotStrategy("first/last"), PivotStrategy::kFirstLastDistance);
+  EXPECT_FALSE(ParsePivotStrategy("bogus").ok());
+  EXPECT_STREQ(PivotStrategyName(PivotStrategy::kNeighborDistance), "Neighbor");
+}
+
+/// Lemma 4.3 / Lemma 5.1 as properties: PAMD and OPAMD lower-bound DTW, and
+/// OPAMD dominates PAMD whenever it is used as a filter against tau.
+class PivotBoundProperty : public ::testing::TestWithParam<PivotStrategy> {};
+
+TEST_P(PivotBoundProperty, PamdAndOpamdLowerBoundDtw) {
+  Dtw dtw;
+  GeneratorConfig cfg;
+  cfg.cardinality = 50;
+  cfg.seed = 21;
+  Dataset ds = GenerateTaxiDataset(cfg);
+  for (size_t i = 0; i < 20; ++i) {
+    auto seq = BuildIndexingSequence(ds[i], 4, GetParam());
+    for (size_t j = 0; j < 20; ++j) {
+      const double d = dtw.Compute(ds[i], ds[j]);
+      const double pamd = Pamd(seq, ds[j]);
+      EXPECT_LE(pamd, d + 1e-9);
+      for (double tau : {d * 0.5, d, d * 2}) {
+        const double opamd = Opamd(seq, ds[j], tau);
+        // Soundness of the filter: opamd > tau must imply d > tau.
+        if (opamd > tau) {
+          EXPECT_GT(d, tau - 1e-9);
+        } else {
+          // OPAMD is at least as tight as PAMD when it does not early-break.
+          EXPECT_GE(opamd, pamd - 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PivotBoundProperty,
+                         ::testing::Values(PivotStrategy::kInflectionPoint,
+                                           PivotStrategy::kNeighborDistance,
+                                           PivotStrategy::kFirstLastDistance),
+                         [](const auto& info) {
+                           return info.param == PivotStrategy::kInflectionPoint
+                                      ? "Inflection"
+                                      : info.param ==
+                                                PivotStrategy::kNeighborDistance
+                                            ? "Neighbor"
+                                            : "FirstLast";
+                         });
+
+}  // namespace
+}  // namespace dita

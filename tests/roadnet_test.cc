@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "roadnet/map_matching.h"
+#include "roadnet/network_trips.h"
+#include "roadnet/road_network.h"
+
+namespace dita {
+namespace {
+
+TEST(RoadNetworkTest, BuildValidation) {
+  RoadNetwork net;
+  const NodeId a = net.AddNode({0, 0});
+  const NodeId b = net.AddNode({1, 0});
+  EXPECT_FALSE(net.AddEdge(a, a).ok());
+  EXPECT_FALSE(net.AddEdge(a, 99).ok());
+  auto e = net.AddEdge(a, b);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(net.edge(*e).length, 1.0);
+  EXPECT_EQ(net.EdgesAt(a).size(), 1u);
+}
+
+TEST(RoadNetworkTest, GridHasExpectedShape) {
+  RoadNetwork net = MakeGridNetwork(4, 5, 1.0, {0, 0});
+  EXPECT_EQ(net.NumNodes(), 20u);
+  // Full grid: 4*(5-1) horizontal + 5*(4-1) vertical = 16 + 15.
+  EXPECT_EQ(net.NumEdges(), 31u);
+}
+
+TEST(RoadNetworkTest, NearestEdgeSnapsToSegment) {
+  RoadNetwork net = MakeGridNetwork(3, 3, 1.0, {0, 0});
+  auto snap = net.NearestEdge({0.5, 0.1});
+  ASSERT_TRUE(snap.ok());
+  // Nearest street is the bottom horizontal segment y = 0.
+  EXPECT_NEAR(snap->position.y, 0.0, 1e-12);
+  EXPECT_NEAR(snap->position.x, 0.5, 1e-12);
+  EXPECT_NEAR(snap->distance, 0.1, 1e-12);
+}
+
+TEST(RoadNetworkTest, NearestEdgesOrderedAndBounded) {
+  RoadNetwork net = MakeGridNetwork(4, 4, 1.0, {0, 0});
+  auto snaps = net.NearestEdges({1.5, 1.5}, 4);
+  ASSERT_EQ(snaps.size(), 4u);
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_GE(snaps[i].distance, snaps[i - 1].distance);
+  }
+}
+
+TEST(RoadNetworkTest, ShortestPathOnGridIsManhattan) {
+  RoadNetwork net = MakeGridNetwork(5, 5, 1.0, {0, 0});
+  // Corner to corner: network distance = 8 (4 right + 4 up).
+  EXPECT_DOUBLE_EQ(net.NetworkDistance(0, 24), 8.0);
+  auto path = net.ShortestPath(0, 24);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 24u);
+  EXPECT_EQ(path->size(), 9u);
+}
+
+TEST(RoadNetworkTest, DisconnectedReportsNotFound) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  net.AddNode({5, 5});
+  net.AddNode({6, 5});
+  ASSERT_TRUE(net.AddEdge(0, 1).ok());
+  ASSERT_TRUE(net.AddEdge(2, 3).ok());
+  net.Finalize();
+  EXPECT_FALSE(net.ShortestPath(0, 2).ok());
+  EXPECT_TRUE(std::isinf(net.NetworkDistance(0, 2)));
+}
+
+TEST(RoadNetworkTest, RemovalKeepsBoundaryConnected) {
+  RoadNetwork net = MakeGridNetwork(6, 6, 1.0, {0, 0}, 0.3, 9);
+  // The boundary ring is never removed, so the grid stays connected.
+  for (NodeId n = 1; n < net.NumNodes(); ++n) {
+    EXPECT_TRUE(net.ShortestPath(0, n).ok()) << "node " << n;
+  }
+}
+
+TEST(MapMatchingTest, ValidatesInput) {
+  RoadNetwork net = MakeGridNetwork(3, 3, 1.0, {0, 0});
+  EXPECT_FALSE(MatchTrajectory(net, Trajectory()).ok());
+  RoadNetwork empty;
+  empty.Finalize();
+  EXPECT_FALSE(MatchTrajectory(empty, Trajectory(0, {{0, 0}, {1, 1}})).ok());
+}
+
+TEST(MapMatchingTest, CleanTraceMatchesItsStreet) {
+  RoadNetwork net = MakeGridNetwork(3, 3, 1.0, {0, 0});
+  // Drive along y = 1 from (0,1) to (2,1) with slight noise.
+  Trajectory t(0, {{0.02, 1.01}, {0.5, 0.99}, {1.1, 1.02}, {1.6, 1.0}, {1.95, 0.98}});
+  auto match = MatchTrajectory(net, t);
+  ASSERT_TRUE(match.ok());
+  EXPECT_LT(match->mean_snap_distance, 0.03);
+  // Every snapped point lies on the y = 1 row of streets.
+  for (const Point& p : match->snapped.points()) {
+    EXPECT_NEAR(p.y, 1.0, 0.001);
+  }
+  // The deduplicated route covers the two segments of that street.
+  EXPECT_EQ(match->route.size(), 2u);
+}
+
+TEST(MapMatchingTest, ViterbiPrefersContinuityOverGreedySnap) {
+  // A point midway between two parallel streets should follow its
+  // neighbours' street rather than jumping across.
+  RoadNetwork net = MakeGridNetwork(2, 4, 1.0, {0, 0});
+  Trajectory t(0, {{0.1, 0.02}, {1.0, 0.35}, {1.9, 0.02}, {2.9, 0.01}});
+  auto match = MatchTrajectory(net, t);
+  ASSERT_TRUE(match.ok());
+  // The ambiguous middle point may snap to the y=0 street or a vertical
+  // cross street, but never commit to the far y=1 street.
+  for (const Point& p : match->snapped.points()) {
+    EXPECT_LT(p.y, 0.6) << "jumped to the y=1 street";
+  }
+  EXPECT_NEAR(match->snapped.points().front().y, 0.0, 1e-9);
+  EXPECT_NEAR(match->snapped.points().back().y, 0.0, 1e-9);
+}
+
+TEST(RouteOverlapTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(RouteOverlap({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(RouteOverlap({1, 2, 3, 4}, {2, 3}), 1.0);  // containment
+  EXPECT_DOUBLE_EQ(RouteOverlap({1, 2, 3, 4}, {5, 6, 7}), 0.0);
+  EXPECT_DOUBLE_EQ(RouteOverlap({1, 2, 3, 4}, {1, 9, 3, 8}), 0.5);
+  EXPECT_DOUBLE_EQ(RouteOverlap({}, {1}), 0.0);
+  // Order matters: reversed routes share only single-element subsequences.
+  EXPECT_NEAR(RouteOverlap({1, 2, 3, 4}, {4, 3, 2, 1}), 0.25, 1e-12);
+}
+
+TEST(NetworkTripsTest, GeneratesSampledPathsWithTruth) {
+  RoadNetwork net = MakeGridNetwork(8, 8, 0.01, {116.3, 39.9});
+  NetworkTripOptions opts;
+  opts.num_trips = 30;
+  opts.sample_spacing = 0.004;
+  opts.gps_noise = 0.0002;
+  auto trips = GenerateNetworkTrips(net, opts);
+  ASSERT_TRUE(trips.ok());
+  EXPECT_EQ(trips->trips.size(), 30u);
+  ASSERT_EQ(trips->truth_paths.size(), 30u);
+  for (size_t i = 0; i < trips->trips.size(); ++i) {
+    EXPECT_GE(trips->trips[i].size(), 2u);
+    EXPECT_GE(trips->truth_paths[i].size(), opts.min_hops + 1);
+  }
+}
+
+TEST(NetworkTripsTest, MapMatchingRecoversTruthSegments) {
+  RoadNetwork net = MakeGridNetwork(8, 8, 0.01, {0, 0});
+  NetworkTripOptions opts;
+  opts.num_trips = 20;
+  opts.sample_spacing = 0.003;
+  opts.gps_noise = 0.0005;  // well under half the 0.01 street spacing
+  opts.seed = 12;
+  auto trips = GenerateNetworkTrips(net, opts);
+  ASSERT_TRUE(trips.ok());
+
+  size_t matched_points = 0;
+  size_t correct_points = 0;
+  for (size_t i = 0; i < trips->trips.size(); ++i) {
+    auto match = MatchTrajectory(net, trips->trips[i]);
+    ASSERT_TRUE(match.ok());
+    // Build the truth edge set from the truth node path.
+    std::set<std::pair<NodeId, NodeId>> truth_segments;
+    const auto& path = trips->truth_paths[i];
+    for (size_t s = 0; s + 1 < path.size(); ++s) {
+      truth_segments.insert(std::minmax(path[s], path[s + 1]));
+    }
+    for (EdgeId e : match->edges) {
+      const auto& edge = net.edge(e);
+      ++matched_points;
+      if (truth_segments.count(std::minmax(edge.a, edge.b))) ++correct_points;
+    }
+  }
+  // The matcher should put the large majority of points on the true road
+  // sequence at this noise level (points at intersections legitimately
+  // match crossing streets).
+  EXPECT_GT(double(correct_points) / double(matched_points), 0.85);
+}
+
+TEST(NetworkTripsTest, SameRouteTripsHaveHighOverlap) {
+  RoadNetwork net = MakeGridNetwork(8, 8, 0.01, {0, 0});
+  NetworkTripOptions opts;
+  opts.num_trips = 5;
+  opts.seed = 13;
+  auto a = GenerateNetworkTrips(net, opts);
+  auto b = GenerateNetworkTrips(net, opts);  // same seed -> same routes
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->trips.size(); ++i) {
+    auto ma = MatchTrajectory(net, a->trips[i]);
+    auto mb = MatchTrajectory(net, b->trips[i]);
+    ASSERT_TRUE(ma.ok() && mb.ok());
+    EXPECT_GT(RouteOverlap(ma->route, mb->route), 0.8) << "trip " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,93 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dita {
+namespace {
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  tree.Build({});
+  EXPECT_TRUE(tree.empty());
+  std::vector<uint32_t> out;
+  tree.SearchWithinDistance(Point{0, 0}, 100.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Build({{MBR(Point{0, 0}, Point{1, 1}), 42}});
+  std::vector<uint32_t> out;
+  tree.SearchWithinDistance(Point{2, 0.5}, 1.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  out.clear();
+  tree.SearchWithinDistance(Point{3, 0.5}, 1.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, IntersectionQuery) {
+  RTree tree;
+  std::vector<RTree::Entry> entries;
+  for (uint32_t i = 0; i < 10; ++i) {
+    const double x = i * 2.0;
+    entries.push_back({MBR(Point{x, 0}, Point{x + 1, 1}), i});
+  }
+  tree.Build(std::move(entries));
+  std::vector<uint32_t> out;
+  tree.SearchIntersecting(MBR(Point{2.5, 0.2}, Point{6.5, 0.8}), &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+/// Property: R-tree distance queries return exactly the brute-force set, for
+/// many random configurations and fanouts.
+class RTreeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeProperty, MatchesBruteForce) {
+  const size_t fanout = GetParam();
+  Rng rng(fanout * 7 + 1);
+  for (int round = 0; round < 10; ++round) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 300));
+    std::vector<RTree::Entry> entries;
+    entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Point a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+      Point b{a.x + rng.Uniform(0, 2), a.y + rng.Uniform(0, 2)};
+      entries.push_back({MBR(a, b), i});
+    }
+    RTree tree;
+    tree.Build(entries, fanout);
+    EXPECT_EQ(tree.size(), n);
+
+    for (int q = 0; q < 20; ++q) {
+      Point p{rng.Uniform(-12, 12), rng.Uniform(-12, 12)};
+      const double tau = rng.Uniform(0, 3);
+      std::set<uint32_t> expected;
+      for (const auto& e : entries) {
+        if (e.mbr.MinDist(p) <= tau) expected.insert(e.value);
+      }
+      std::vector<uint32_t> got;
+      tree.SearchWithinDistance(p, tau, &got);
+      EXPECT_EQ(std::set<uint32_t>(got.begin(), got.end()), expected)
+          << "fanout=" << fanout << " n=" << n;
+      EXPECT_EQ(got.size(), expected.size());  // no duplicates
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeProperty, ::testing::Values(2, 4, 16, 64));
+
+TEST(RTreeTest, ByteSizeIsPositive) {
+  RTree tree;
+  tree.Build({{MBR(Point{0, 0}, Point{1, 1}), 0}});
+  EXPECT_GT(tree.ByteSize(), 0u);
+}
+
+}  // namespace
+}  // namespace dita

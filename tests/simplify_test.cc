@@ -1,0 +1,101 @@
+#include "geom/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/dtw.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+TEST(SegmentDistanceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(SegmentDistance({0, 1}, {-1, 0}, {1, 0}), 1.0);  // above mid
+  EXPECT_DOUBLE_EQ(SegmentDistance({2, 0}, {-1, 0}, {1, 0}), 1.0);  // beyond end
+  EXPECT_DOUBLE_EQ(SegmentDistance({0, 0}, {0, 0}, {0, 0}), 0.0);   // degenerate
+  EXPECT_DOUBLE_EQ(SegmentDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(DouglasPeuckerTest, CollinearCollapsesToEndpoints) {
+  Trajectory line(0, {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  Trajectory simple = SimplifyDouglasPeucker(line, 0.01);
+  ASSERT_EQ(simple.size(), 2u);
+  EXPECT_EQ(simple.front(), (Point{0, 0}));
+  EXPECT_EQ(simple.back(), (Point{4, 0}));
+  EXPECT_EQ(simple.id(), 0);
+}
+
+TEST(DouglasPeuckerTest, KeepsSignificantCorner) {
+  Trajectory corner(1, {{0, 0}, {1, 0}, {2, 0}, {2, 2}});
+  Trajectory simple = SimplifyDouglasPeucker(corner, 0.1);
+  ASSERT_EQ(simple.size(), 3u);
+  EXPECT_EQ(simple[1], (Point{2, 0}));
+}
+
+TEST(DouglasPeuckerTest, ToleranceZeroKeepsNonCollinear) {
+  Trajectory zig(2, {{0, 0}, {1, 1}, {2, 0}});
+  EXPECT_EQ(SimplifyDouglasPeucker(zig, 0.0).size(), 3u);
+  Trajectory tiny(3, {{0, 0}, {5, 5}});
+  EXPECT_EQ(SimplifyDouglasPeucker(tiny, 0.0).size(), 2u);
+}
+
+/// The error guarantee: every original point lies within tolerance of the
+/// simplified polyline.
+TEST(DouglasPeuckerTest, ErrorBoundHolds) {
+  Rng rng(9);
+  for (int iter = 0; iter < 50; ++iter) {
+    Trajectory t;
+    Point pos{0, 0};
+    const size_t len = static_cast<size_t>(rng.UniformInt(3, 60));
+    for (size_t i = 0; i < len; ++i) {
+      pos.x += rng.Uniform(0, 1);
+      pos.y += rng.Gaussian(0, 0.5);
+      t.mutable_points().push_back(pos);
+    }
+    const double tolerance = rng.Uniform(0.05, 1.0);
+    Trajectory simple = SimplifyDouglasPeucker(t, tolerance);
+    ASSERT_GE(simple.size(), 2u);
+    for (const Point& p : t.points()) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t s = 0; s + 1 < simple.size(); ++s) {
+        best = std::min(best, SegmentDistance(p, simple[s], simple[s + 1]));
+      }
+      EXPECT_LE(best, tolerance + 1e-12);
+    }
+  }
+}
+
+TEST(DownsampleTest, KeepsEndpointsAndBounds) {
+  Trajectory t;
+  for (int i = 0; i < 100; ++i) t.mutable_points().push_back({double(i), 0});
+  Trajectory down = DownsampleUniform(t, 10);
+  ASSERT_EQ(down.size(), 10u);
+  EXPECT_EQ(down.front(), t.front());
+  EXPECT_EQ(down.back(), t.back());
+  // Short trajectories pass through untouched.
+  EXPECT_EQ(DownsampleUniform(down, 50).size(), 10u);
+  // max_points below 2 clamps to 2.
+  EXPECT_EQ(DownsampleUniform(t, 1).size(), 2u);
+}
+
+TEST(SimplifyIntegrationTest, SimplifiedDataStillIndexable) {
+  GeneratorConfig cfg;
+  cfg.cardinality = 100;
+  cfg.seed = 11;
+  Dataset ds = GenerateTaxiDataset(cfg);
+  Dataset simplified;
+  for (const auto& t : ds.trajectories()) {
+    simplified.Add(SimplifyDouglasPeucker(t, 0.0005));
+  }
+  EXPECT_LT(simplified.TotalPoints(), ds.TotalPoints());
+  // Endpoints survive simplification (DITA's alignment anchors), so the
+  // simplified dataset indexes and searches normally.
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(simplified[i].front(), ds[i].front());
+    EXPECT_EQ(simplified[i].back(), ds[i].back());
+    EXPECT_GE(simplified[i].size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace dita

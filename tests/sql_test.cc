@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "sql/engine.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+TEST(LexerTest, TokenizesStatement) {
+  auto tokens = LexSql("SELECT * FROM t WHERE dtw(t, [(1,1),(2,-2.5)]) <= 0.05");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().upper, "SELECT");
+  EXPECT_EQ(tokens->back().kind, Token::Kind::kEnd);
+  // -2.5 lexes as a single negative number.
+  bool found = false;
+  for (const auto& t : *tokens) {
+    if (t.kind == Token::Kind::kNumber && t.number == -2.5) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, RejectsBadCharacters) {
+  EXPECT_FALSE(LexSql("SELECT # FROM t").ok());
+}
+
+TEST(ParserTest, ParsesSearchWithLiteral) {
+  auto stmt = ParseSql(
+      "SELECT * FROM taxis WHERE DTW(taxis, [(1,1),(2,2),(3,3)]) <= 0.004;");
+  ASSERT_TRUE(stmt.ok());
+  const auto* search = std::get_if<SearchStatement>(&*stmt);
+  ASSERT_NE(search, nullptr);
+  EXPECT_EQ(search->table, "taxis");
+  EXPECT_EQ(search->function, "DTW");
+  EXPECT_DOUBLE_EQ(search->threshold, 0.004);
+  const auto* lit = std::get_if<TrajectoryLiteral>(&search->query);
+  ASSERT_NE(lit, nullptr);
+  EXPECT_EQ(lit->points.size(), 3u);
+  EXPECT_EQ(lit->points[1], (Point{2, 2}));
+}
+
+TEST(ParserTest, ParsesSearchWithParam) {
+  auto stmt = ParseSql("SELECT * FROM t WHERE frechet(t, @myquery) <= 1.5");
+  ASSERT_TRUE(stmt.ok());
+  const auto* search = std::get_if<SearchStatement>(&*stmt);
+  ASSERT_NE(search, nullptr);
+  const auto* param = std::get_if<TrajectoryParam>(&search->query);
+  ASSERT_NE(param, nullptr);
+  EXPECT_EQ(param->name, "myquery");
+}
+
+TEST(ParserTest, ParsesKnnOrderByLimit) {
+  auto stmt = ParseSql("SELECT * FROM t ORDER BY DTW(t, @q) LIMIT 5");
+  ASSERT_TRUE(stmt.ok());
+  const auto* knn = std::get_if<KnnStatement>(&*stmt);
+  ASSERT_NE(knn, nullptr);
+  EXPECT_EQ(knn->table, "t");
+  EXPECT_EQ(knn->function, "DTW");
+  EXPECT_EQ(knn->k, 5u);
+  EXPECT_FALSE(ParseSql("SELECT * FROM t ORDER BY DTW(t, @q) LIMIT 0").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t ORDER BY DTW(t, @q) LIMIT 2.5").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t ORDER BY DTW(u, @q) LIMIT 5").ok());
+}
+
+TEST(ParserTest, ParsesTraJoin) {
+  auto stmt = ParseSql("SELECT * FROM a TRA-JOIN b ON LCSS(a, b) <= 3");
+  ASSERT_TRUE(stmt.ok());
+  const auto* join = std::get_if<JoinStatement>(&*stmt);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->left_table, "a");
+  EXPECT_EQ(join->right_table, "b");
+  EXPECT_EQ(join->function, "LCSS");
+  EXPECT_DOUBLE_EQ(join->threshold, 3.0);
+}
+
+TEST(ParserTest, ParsesCreateIndexAndShowTables) {
+  auto create = ParseSql("CREATE INDEX TrieIndex ON T USE TRIE");
+  ASSERT_TRUE(create.ok());
+  const auto* c = std::get_if<CreateIndexStatement>(&*create);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->index_name, "TrieIndex");
+  EXPECT_EQ(c->table, "T");
+
+  auto show = ParseSql("SHOW TABLES");
+  ASSERT_TRUE(show.ok());
+  EXPECT_TRUE(std::holds_alternative<ShowTablesStatement>(*show));
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE DTW(u, @q) <= 1").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM a TRA-JOIN b ON DTW(a, c) <= 1").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE DTW(t, [(1,1)]) <= 1").ok());
+  EXPECT_FALSE(ParseSql("CREATE INDEX foo ON t USE HASH").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE DTW(t, @q) <= 1 garbage").ok());
+  EXPECT_FALSE(ParseSql("").ok());
+}
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig ccfg;
+    ccfg.num_workers = 4;
+    auto cluster = std::make_shared<Cluster>(ccfg);
+    DitaConfig config;
+    config.ng = 3;
+    config.trie.num_pivots = 3;
+    config.trie.leaf_capacity = 4;
+    engine_ = std::make_unique<SqlEngine>(cluster, config);
+
+    GeneratorConfig gcfg;
+    gcfg.cardinality = 150;
+    gcfg.region = MBR(Point{0, 0}, Point{1, 1});
+    gcfg.step = 0.01;
+    gcfg.seed = 91;
+    data_ = GenerateTaxiDataset(gcfg);
+    ASSERT_TRUE(engine_->RegisterTable("taxis", data_).ok());
+  }
+
+  std::unique_ptr<SqlEngine> engine_;
+  Dataset data_;
+};
+
+TEST_F(SqlEngineTest, ShowTables) {
+  auto result = engine_->Execute("SHOW TABLES");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "TAXIS");
+}
+
+TEST_F(SqlEngineTest, CreateIndexReportsStats) {
+  auto result = engine_->Execute("CREATE INDEX TrieIndex ON taxis USE TRIE");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_NE(result->rows[0][0].find("partitions"), std::string::npos);
+}
+
+TEST_F(SqlEngineTest, SearchWithBoundParam) {
+  ASSERT_TRUE(engine_->BindTrajectory("q", data_[3]).ok());
+  auto result =
+      engine_->Execute("SELECT * FROM taxis WHERE DTW(taxis, @q) <= 0.01");
+  ASSERT_TRUE(result.ok());
+  // The query trajectory itself is in the table.
+  bool found_self = false;
+  for (const auto& row : result->rows) {
+    if (row[0] == std::to_string(data_[3].id())) found_self = true;
+  }
+  EXPECT_TRUE(found_self);
+}
+
+TEST_F(SqlEngineTest, SearchWithLiteralMatchesEngine) {
+  const Trajectory& q = data_[5];
+  std::string lit = "[";
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (i > 0) lit += ",";
+    lit += StrFormat("(%.9g,%.9g)", q[i].x, q[i].y);
+  }
+  lit += "]";
+  auto result = engine_->Execute(
+      StrFormat("SELECT * FROM taxis WHERE DTW(taxis, %s) <= 0.02", lit.c_str()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->rows.size(), 1u);
+}
+
+TEST_F(SqlEngineTest, KnnQueryReturnsOrderedRows) {
+  ASSERT_TRUE(engine_->BindTrajectory("q", data_[3]).ok());
+  auto result =
+      engine_->Execute("SELECT * FROM taxis ORDER BY DTW(taxis, @q) LIMIT 4");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->columns,
+            (std::vector<std::string>{"trajectory_id", "distance"}));
+  // First hit is the query itself at distance 0.
+  EXPECT_EQ(result->rows[0][0], std::to_string(data_[3].id()));
+  double prev = -1;
+  for (const auto& row : result->rows) {
+    const double d = std::stod(row[1]);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST_F(SqlEngineTest, SelfJoin) {
+  auto result = engine_->Execute(
+      "SELECT * FROM taxis TRA-JOIN taxis ON DTW(taxis, taxis) <= 0.005");
+  ASSERT_TRUE(result.ok());
+  // At minimum every trajectory pairs with itself.
+  EXPECT_GE(result->rows.size(), data_.size());
+  EXPECT_EQ(result->columns.size(), 2u);
+}
+
+TEST_F(SqlEngineTest, ErrorsSurfaceCleanly) {
+  EXPECT_EQ(engine_->Execute("SELECT * FROM nope WHERE DTW(nope, @q) <= 1")
+                .status()
+                .code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(engine_->Execute("SELECT * FROM taxis WHERE DTW(taxis, @nq) <= 1")
+                .status()
+                .code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(
+      engine_->Execute("SELECT * FROM taxis WHERE HAUSDORFF(taxis, @q) <= 1")
+          .status()
+          .code(),
+      Status::Code::kInvalidArgument);
+}
+
+TEST_F(SqlEngineTest, ResultToStringTruncates) {
+  SqlResult r;
+  r.columns = {"a"};
+  for (int i = 0; i < 30; ++i) r.rows.push_back({std::to_string(i)});
+  const std::string s = r.ToString(5);
+  EXPECT_NE(s.find("(30 rows total)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,63 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dita {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad tau");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad tau");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad tau");
+}
+
+TEST(StatusTest, AllErrorConstructors) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 5;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Propagates() {
+  DITA_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  Status s = Propagates();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInternal);
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,99 @@
+#include "index/str_tile.h"
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dita {
+namespace {
+
+std::vector<uint32_t> Iota(size_t n) {
+  std::vector<uint32_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(StrTileTest, EmptyAndDegenerateInputs) {
+  auto key = [](uint32_t) { return Point{0, 0}; };
+  EXPECT_TRUE(StrTile({}, key, 4).empty());
+  EXPECT_TRUE(StrTile(Iota(5), key, 0).empty());
+  auto one = StrTile(Iota(5), key, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].size(), 5u);
+}
+
+TEST(StrTileTest, EveryItemAssignedExactlyOnce) {
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back(Point{rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  auto key = [&](uint32_t i) { return pts[i]; };
+  for (size_t groups : {2u, 3u, 7u, 16u, 100u}) {
+    auto tiles = StrTile(Iota(pts.size()), key, groups);
+    std::set<uint32_t> seen;
+    for (const auto& tile : tiles) {
+      for (uint32_t i : tile) EXPECT_TRUE(seen.insert(i).second);
+    }
+    EXPECT_EQ(seen.size(), pts.size()) << "groups=" << groups;
+  }
+}
+
+TEST(StrTileTest, GroupsAreBalanced) {
+  Rng rng(6);
+  std::vector<Point> pts;
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back(Point{rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  auto key = [&](uint32_t i) { return pts[i]; };
+  auto tiles = StrTile(Iota(pts.size()), key, 16);
+  size_t max_size = 0, min_size = pts.size();
+  for (const auto& tile : tiles) {
+    max_size = std::max(max_size, tile.size());
+    min_size = std::min(min_size, tile.size());
+  }
+  EXPECT_LE(max_size, 3 * (pts.size() / tiles.size()));
+  EXPECT_GE(min_size, 1u);
+}
+
+TEST(StrTileTest, BalancedUnderDuplicatePoints) {
+  // Identical keys (fully degenerate): STR must still split by count.
+  auto key = [](uint32_t) { return Point{0.5, 0.5}; };
+  auto tiles = StrTile(Iota(256), key, 16);
+  EXPECT_GE(tiles.size(), 8u);
+  for (const auto& tile : tiles) EXPECT_LE(tile.size(), 64u);
+}
+
+TEST(StrTileTest, SpatialCoherence) {
+  // Points on a line: consecutive x-ranges must land in distinct groups and
+  // each group must cover a contiguous range.
+  std::vector<Point> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back(Point{double(i), 0});
+  auto key = [&](uint32_t i) { return pts[i]; };
+  auto tiles = StrTile(Iota(pts.size()), key, 4);
+  for (const auto& tile : tiles) {
+    uint32_t lo = *std::min_element(tile.begin(), tile.end());
+    uint32_t hi = *std::max_element(tile.begin(), tile.end());
+    EXPECT_EQ(hi - lo + 1, tile.size()) << "group not contiguous in x";
+  }
+}
+
+TEST(StrTileTest, AtMostRequestedGroupsPlusSlack) {
+  Rng rng(7);
+  std::vector<Point> pts;
+  for (int i = 0; i < 333; ++i) {
+    pts.push_back(Point{rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  auto key = [&](uint32_t i) { return pts[i]; };
+  for (size_t groups : {2u, 5u, 9u, 32u}) {
+    auto tiles = StrTile(Iota(pts.size()), key, groups);
+    // STR's slab rounding can add about one extra group per slab.
+    EXPECT_LE(tiles.size(), groups + static_cast<size_t>(std::sqrt(groups)) + 2);
+  }
+}
+
+}  // namespace
+}  // namespace dita

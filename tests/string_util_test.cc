@@ -1,0 +1,44 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dita {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f s=%s", 3, 1.5, "hi"), "x=3 y=1.50 s=hi");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrSplitTest, SplitsKeepingEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(StrJoinTest, Joins) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StrTrimTest, TrimsWhitespace) {
+  EXPECT_EQ(StrTrim("  hi \t\n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("no-trim"), "no-trim");
+}
+
+TEST(StrToUpperTest, UppercasesAscii) {
+  EXPECT_EQ(StrToUpper("TrA-Join"), "TRA-JOIN");
+}
+
+TEST(HumanBytesTest, PicksUnits) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+}  // namespace
+}  // namespace dita

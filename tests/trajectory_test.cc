@@ -1,0 +1,43 @@
+#include "geom/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace dita {
+namespace {
+
+TEST(TrajectoryTest, BasicAccessors) {
+  Trajectory t(7, {{1, 1}, {2, 2}, {3, 1}});
+  EXPECT_EQ(t.id(), 7);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.front(), (Point{1, 1}));
+  EXPECT_EQ(t.back(), (Point{3, 1}));
+  EXPECT_EQ(t[1], (Point{2, 2}));
+}
+
+TEST(TrajectoryTest, ComputeMBR) {
+  Trajectory t(0, {{1, 5}, {-2, 3}, {4, -1}});
+  MBR m = t.ComputeMBR();
+  EXPECT_EQ(m.lo(), (Point{-2, -1}));
+  EXPECT_EQ(m.hi(), (Point{4, 5}));
+}
+
+TEST(TrajectoryTest, EmptyTrajectoryMBR) {
+  Trajectory t;
+  EXPECT_TRUE(t.ComputeMBR().empty());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TrajectoryTest, ByteSizeScalesWithPoints) {
+  Trajectory a(0, {{0, 0}});
+  Trajectory b(0, {{0, 0}, {1, 1}});
+  EXPECT_EQ(b.ByteSize() - a.ByteSize(), sizeof(Point));
+}
+
+TEST(TrajectoryTest, DebugStringMentionsIdAndPoints) {
+  Trajectory t(3, {{1, 2}});
+  EXPECT_EQ(t.DebugString(), "T3[(1,2)]");
+}
+
+}  // namespace
+}  // namespace dita

@@ -1,0 +1,120 @@
+#include "core/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+std::unique_ptr<Verifier> MakeVerifier(DistanceType type, bool mbr = true,
+                                       bool cell = true) {
+  DitaConfig config;
+  config.enable_mbr_verification = mbr;
+  config.enable_cell_verification = cell;
+  auto dist = *MakeDistance(type, config.distance_params);
+  return std::make_unique<Verifier>(dist, config);
+}
+
+Trajectory RandomTrajectory(Rng& rng, size_t max_len = 20) {
+  const size_t len = static_cast<size_t>(rng.UniformInt(2, int64_t(max_len)));
+  Trajectory t;
+  Point pos{rng.Uniform(0, 5), rng.Uniform(0, 5)};
+  for (size_t i = 0; i < len; ++i) {
+    pos.x += rng.Gaussian(0, 0.3);
+    pos.y += rng.Gaussian(0, 0.3);
+    t.mutable_points().push_back(pos);
+  }
+  return t;
+}
+
+TEST(VerifierTest, AcceptsIdenticalAtZeroThreshold) {
+  auto verifier = MakeVerifier(DistanceType::kDTW);
+  Trajectory t(0, {{1, 1}, {2, 2}, {3, 3}});
+  auto pre = VerifyPrecomp::For(t, 0.5);
+  VerifyStats stats;
+  EXPECT_TRUE(verifier->Verify(t, pre, t, pre, 0.0, &stats));
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.dp_computed, 1u);
+}
+
+TEST(VerifierTest, MbrFilterPrunesDistantPairs) {
+  auto verifier = MakeVerifier(DistanceType::kDTW);
+  Trajectory a(0, {{0, 0}, {1, 1}});
+  Trajectory b(1, {{100, 100}, {101, 101}});
+  auto pa = VerifyPrecomp::For(a, 0.5);
+  auto pb = VerifyPrecomp::For(b, 0.5);
+  VerifyStats stats;
+  EXPECT_FALSE(verifier->Verify(a, pa, b, pb, 1.0, &stats));
+  EXPECT_EQ(stats.pruned_by_mbr, 1u);
+  EXPECT_EQ(stats.dp_computed, 0u);  // never reached the DP
+}
+
+TEST(VerifierTest, CellFilterFiresOnOverlappingButDissimilar) {
+  // Same endpoints and same MBR footprint, but the mass travels along the
+  // bottom edge vs the left edge: MBR coverage passes, the cell bound
+  // prunes (Example 5.7's mechanism).
+  auto verifier = MakeVerifier(DistanceType::kDTW);
+  Trajectory a(0, {{0, 0}, {2, 0}, {4, 0}, {6, 0}, {8, 0}, {10, 0}, {10, 10}});
+  Trajectory b(1, {{0, 0}, {0, 2}, {0, 4}, {0, 6}, {0, 8}, {0, 10}, {10, 10}});
+  auto pa = VerifyPrecomp::For(a, 0.2);
+  auto pb = VerifyPrecomp::For(b, 0.2);
+  VerifyStats stats;
+  EXPECT_FALSE(verifier->Verify(a, pa, b, pb, 3.0, &stats));
+  EXPECT_EQ(stats.pruned_by_mbr, 0u);
+  EXPECT_GE(stats.pruned_by_cell, 1u);
+}
+
+/// Soundness sweep: with and without the optional filters, Verify agrees
+/// with the exact distance for every function on random pairs.
+class VerifierProperty
+    : public ::testing::TestWithParam<std::tuple<DistanceType, bool, bool>> {};
+
+TEST_P(VerifierProperty, NeverWrong) {
+  const auto [type, mbr, cell] = GetParam();
+  auto verifier = MakeVerifier(type, mbr, cell);
+  DistanceParams params;
+  auto dist = *MakeDistance(type, params);
+  Rng rng(31 + static_cast<uint64_t>(type));
+  for (int iter = 0; iter < 120; ++iter) {
+    Trajectory a = RandomTrajectory(rng);
+    Trajectory b = RandomTrajectory(rng);
+    auto pa = VerifyPrecomp::For(a, 0.4);
+    auto pb = VerifyPrecomp::For(b, 0.4);
+    const double d = dist->Compute(a, b);
+    for (double factor : {0.5, 2.0}) {
+      const double tau = d * factor;
+      EXPECT_EQ(verifier->Verify(a, pa, b, pb, tau, nullptr), d <= tau)
+          << dist->name() << " mbr=" << mbr << " cell=" << cell;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VerifierProperty,
+    ::testing::Combine(::testing::Values(DistanceType::kDTW,
+                                         DistanceType::kFrechet,
+                                         DistanceType::kEDR,
+                                         DistanceType::kLCSS,
+                                         DistanceType::kERP),
+                       ::testing::Bool(), ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(DistanceTypeName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_mbr" : "_nombr") +
+             (std::get<2>(info.param) ? "_cell" : "_nocell");
+    });
+
+TEST(VerifierTest, StatsMergeAccumulates) {
+  VerifyStats a{10, 2, 3, 5, 4};
+  VerifyStats b{1, 1, 0, 0, 0};
+  a.Merge(b);
+  EXPECT_EQ(a.pairs, 11u);
+  EXPECT_EQ(a.pruned_by_mbr, 3u);
+  EXPECT_EQ(a.pruned_by_cell, 3u);
+  EXPECT_EQ(a.dp_computed, 5u);
+  EXPECT_EQ(a.accepted, 4u);
+}
+
+}  // namespace
+}  // namespace dita
