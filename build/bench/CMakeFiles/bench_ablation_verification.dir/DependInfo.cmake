@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_verification.cpp" "bench/CMakeFiles/bench_ablation_verification.dir/bench_ablation_verification.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_verification.dir/bench_ablation_verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dita_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dita_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dita_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dita_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dita_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/dita_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dita_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dita_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dita_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_search_beijing.dir/bench_fig07_search_beijing.cpp.o"
+  "CMakeFiles/bench_fig07_search_beijing.dir/bench_fig07_search_beijing.cpp.o.d"
+  "bench_fig07_search_beijing"
+  "bench_fig07_search_beijing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_search_beijing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

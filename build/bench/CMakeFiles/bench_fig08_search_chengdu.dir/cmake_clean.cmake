@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_search_chengdu.dir/bench_fig08_search_chengdu.cpp.o"
+  "CMakeFiles/bench_fig08_search_chengdu.dir/bench_fig08_search_chengdu.cpp.o.d"
+  "bench_fig08_search_chengdu"
+  "bench_fig08_search_chengdu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_search_chengdu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

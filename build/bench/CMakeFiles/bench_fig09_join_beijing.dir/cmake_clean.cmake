@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_join_beijing.dir/bench_fig09_join_beijing.cpp.o"
+  "CMakeFiles/bench_fig09_join_beijing.dir/bench_fig09_join_beijing.cpp.o.d"
+  "bench_fig09_join_beijing"
+  "bench_fig09_join_beijing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_join_beijing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_join_chengdu.dir/bench_fig10_join_chengdu.cpp.o"
+  "CMakeFiles/bench_fig10_join_chengdu.dir/bench_fig10_join_chengdu.cpp.o.d"
+  "bench_fig10_join_chengdu"
+  "bench_fig10_join_chengdu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_join_chengdu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_osm.dir/bench_fig11_osm.cpp.o"
+  "CMakeFiles/bench_fig11_osm.dir/bench_fig11_osm.cpp.o.d"
+  "bench_fig11_osm"
+  "bench_fig11_osm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_osm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pivots.dir/bench_fig12_pivots.cpp.o"
+  "CMakeFiles/bench_fig12_pivots.dir/bench_fig12_pivots.cpp.o.d"
+  "bench_fig12_pivots"
+  "bench_fig12_pivots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pivots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

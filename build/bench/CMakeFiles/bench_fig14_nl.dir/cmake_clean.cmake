@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_nl.dir/bench_fig14_nl.cpp.o"
+  "CMakeFiles/bench_fig14_nl.dir/bench_fig14_nl.cpp.o.d"
+  "bench_fig14_nl"
+  "bench_fig14_nl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_nl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_distances.dir/bench_fig15_distances.cpp.o"
+  "CMakeFiles/bench_fig15_distances.dir/bench_fig15_distances.cpp.o.d"
+  "bench_fig15_distances"
+  "bench_fig15_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_centralized.dir/bench_fig17_centralized.cpp.o"
+  "CMakeFiles/bench_fig17_centralized.dir/bench_fig17_centralized.cpp.o.d"
+  "bench_fig17_centralized"
+  "bench_fig17_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_distance.dir/bench_micro_distance.cpp.o"
+  "CMakeFiles/bench_micro_distance.dir/bench_micro_distance.cpp.o.d"
+  "bench_micro_distance"
+  "bench_micro_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_partitions.dir/bench_table4_partitions.cpp.o"
+  "CMakeFiles/bench_table4_partitions.dir/bench_table4_partitions.cpp.o.d"
+  "bench_table4_partitions"
+  "bench_table4_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

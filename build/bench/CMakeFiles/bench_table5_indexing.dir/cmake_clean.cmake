@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_indexing.dir/bench_table5_indexing.cpp.o"
+  "CMakeFiles/bench_table5_indexing.dir/bench_table5_indexing.cpp.o.d"
+  "bench_table5_indexing"
+  "bench_table5_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_centralized_indexing.dir/bench_table7_centralized_indexing.cpp.o"
+  "CMakeFiles/bench_table7_centralized_indexing.dir/bench_table7_centralized_indexing.cpp.o.d"
+  "bench_table7_centralized_indexing"
+  "bench_table7_centralized_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_centralized_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

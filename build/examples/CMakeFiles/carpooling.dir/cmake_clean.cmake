@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpooling.dir/carpooling.cpp.o"
+  "CMakeFiles/carpooling.dir/carpooling.cpp.o.d"
+  "carpooling"
+  "carpooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_shell.dir/dita_shell.cpp.o"
+  "CMakeFiles/dita_shell.dir/dita_shell.cpp.o.d"
+  "dita_shell"
+  "dita_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_tool.dir/dita_tool.cpp.o"
+  "CMakeFiles/dita_tool.dir/dita_tool.cpp.o.d"
+  "dita_tool"
+  "dita_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

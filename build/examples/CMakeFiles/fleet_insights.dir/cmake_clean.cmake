@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_insights.dir/fleet_insights.cpp.o"
+  "CMakeFiles/fleet_insights.dir/fleet_insights.cpp.o.d"
+  "fleet_insights"
+  "fleet_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

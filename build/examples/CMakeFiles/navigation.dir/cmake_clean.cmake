@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation.dir/navigation.cpp.o"
+  "CMakeFiles/navigation.dir/navigation.cpp.o.d"
+  "navigation"
+  "navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

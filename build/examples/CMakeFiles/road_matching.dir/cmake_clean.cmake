@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_matching.dir/road_matching.cpp.o"
+  "CMakeFiles/road_matching.dir/road_matching.cpp.o.d"
+  "road_matching"
+  "road_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_analytics.dir/sql_analytics.cpp.o"
+  "CMakeFiles/sql_analytics.dir/sql_analytics.cpp.o.d"
+  "sql_analytics"
+  "sql_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_analytics.dir/clustering.cc.o"
+  "CMakeFiles/dita_analytics.dir/clustering.cc.o.d"
+  "CMakeFiles/dita_analytics.dir/frequent_routes.cc.o"
+  "CMakeFiles/dita_analytics.dir/frequent_routes.cc.o.d"
+  "CMakeFiles/dita_analytics.dir/outliers.cc.o"
+  "CMakeFiles/dita_analytics.dir/outliers.cc.o.d"
+  "CMakeFiles/dita_analytics.dir/similarity_graph.cc.o"
+  "CMakeFiles/dita_analytics.dir/similarity_graph.cc.o.d"
+  "libdita_analytics.a"
+  "libdita_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

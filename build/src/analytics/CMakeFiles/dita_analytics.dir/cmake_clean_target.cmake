@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdita_analytics.a"
+)

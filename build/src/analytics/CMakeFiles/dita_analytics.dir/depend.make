@@ -1,0 +1,2 @@
+# Empty dependencies file for dita_analytics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_baselines.dir/centralized_dita.cc.o"
+  "CMakeFiles/dita_baselines.dir/centralized_dita.cc.o.d"
+  "CMakeFiles/dita_baselines.dir/dft.cc.o"
+  "CMakeFiles/dita_baselines.dir/dft.cc.o.d"
+  "CMakeFiles/dita_baselines.dir/mbe.cc.o"
+  "CMakeFiles/dita_baselines.dir/mbe.cc.o.d"
+  "CMakeFiles/dita_baselines.dir/naive.cc.o"
+  "CMakeFiles/dita_baselines.dir/naive.cc.o.d"
+  "CMakeFiles/dita_baselines.dir/simba.cc.o"
+  "CMakeFiles/dita_baselines.dir/simba.cc.o.d"
+  "CMakeFiles/dita_baselines.dir/vptree.cc.o"
+  "CMakeFiles/dita_baselines.dir/vptree.cc.o.d"
+  "libdita_baselines.a"
+  "libdita_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_cluster.dir/cluster.cc.o"
+  "CMakeFiles/dita_cluster.dir/cluster.cc.o.d"
+  "libdita_cluster.a"
+  "libdita_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_core.dir/engine.cc.o"
+  "CMakeFiles/dita_core.dir/engine.cc.o.d"
+  "CMakeFiles/dita_core.dir/global_index.cc.o"
+  "CMakeFiles/dita_core.dir/global_index.cc.o.d"
+  "CMakeFiles/dita_core.dir/join_planner.cc.o"
+  "CMakeFiles/dita_core.dir/join_planner.cc.o.d"
+  "CMakeFiles/dita_core.dir/partitioner.cc.o"
+  "CMakeFiles/dita_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/dita_core.dir/verifier.cc.o"
+  "CMakeFiles/dita_core.dir/verifier.cc.o.d"
+  "libdita_core.a"
+  "libdita_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

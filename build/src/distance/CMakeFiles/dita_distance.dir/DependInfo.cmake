@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distance/distance.cc" "src/distance/CMakeFiles/dita_distance.dir/distance.cc.o" "gcc" "src/distance/CMakeFiles/dita_distance.dir/distance.cc.o.d"
+  "/root/repo/src/distance/dtw.cc" "src/distance/CMakeFiles/dita_distance.dir/dtw.cc.o" "gcc" "src/distance/CMakeFiles/dita_distance.dir/dtw.cc.o.d"
+  "/root/repo/src/distance/edr.cc" "src/distance/CMakeFiles/dita_distance.dir/edr.cc.o" "gcc" "src/distance/CMakeFiles/dita_distance.dir/edr.cc.o.d"
+  "/root/repo/src/distance/erp.cc" "src/distance/CMakeFiles/dita_distance.dir/erp.cc.o" "gcc" "src/distance/CMakeFiles/dita_distance.dir/erp.cc.o.d"
+  "/root/repo/src/distance/frechet.cc" "src/distance/CMakeFiles/dita_distance.dir/frechet.cc.o" "gcc" "src/distance/CMakeFiles/dita_distance.dir/frechet.cc.o.d"
+  "/root/repo/src/distance/lcss.cc" "src/distance/CMakeFiles/dita_distance.dir/lcss.cc.o" "gcc" "src/distance/CMakeFiles/dita_distance.dir/lcss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/dita_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dita_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_distance.dir/distance.cc.o"
+  "CMakeFiles/dita_distance.dir/distance.cc.o.d"
+  "CMakeFiles/dita_distance.dir/dtw.cc.o"
+  "CMakeFiles/dita_distance.dir/dtw.cc.o.d"
+  "CMakeFiles/dita_distance.dir/edr.cc.o"
+  "CMakeFiles/dita_distance.dir/edr.cc.o.d"
+  "CMakeFiles/dita_distance.dir/erp.cc.o"
+  "CMakeFiles/dita_distance.dir/erp.cc.o.d"
+  "CMakeFiles/dita_distance.dir/frechet.cc.o"
+  "CMakeFiles/dita_distance.dir/frechet.cc.o.d"
+  "CMakeFiles/dita_distance.dir/lcss.cc.o"
+  "CMakeFiles/dita_distance.dir/lcss.cc.o.d"
+  "libdita_distance.a"
+  "libdita_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

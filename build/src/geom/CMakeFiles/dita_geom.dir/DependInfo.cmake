@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/mbr.cc" "src/geom/CMakeFiles/dita_geom.dir/mbr.cc.o" "gcc" "src/geom/CMakeFiles/dita_geom.dir/mbr.cc.o.d"
+  "/root/repo/src/geom/simplify.cc" "src/geom/CMakeFiles/dita_geom.dir/simplify.cc.o" "gcc" "src/geom/CMakeFiles/dita_geom.dir/simplify.cc.o.d"
+  "/root/repo/src/geom/trajectory.cc" "src/geom/CMakeFiles/dita_geom.dir/trajectory.cc.o" "gcc" "src/geom/CMakeFiles/dita_geom.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dita_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

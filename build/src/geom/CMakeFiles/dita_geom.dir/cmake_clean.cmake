@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_geom.dir/mbr.cc.o"
+  "CMakeFiles/dita_geom.dir/mbr.cc.o.d"
+  "CMakeFiles/dita_geom.dir/simplify.cc.o"
+  "CMakeFiles/dita_geom.dir/simplify.cc.o.d"
+  "CMakeFiles/dita_geom.dir/trajectory.cc.o"
+  "CMakeFiles/dita_geom.dir/trajectory.cc.o.d"
+  "libdita_geom.a"
+  "libdita_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/cell.cc" "src/index/CMakeFiles/dita_index.dir/cell.cc.o" "gcc" "src/index/CMakeFiles/dita_index.dir/cell.cc.o.d"
+  "/root/repo/src/index/pivot.cc" "src/index/CMakeFiles/dita_index.dir/pivot.cc.o" "gcc" "src/index/CMakeFiles/dita_index.dir/pivot.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/index/CMakeFiles/dita_index.dir/rtree.cc.o" "gcc" "src/index/CMakeFiles/dita_index.dir/rtree.cc.o.d"
+  "/root/repo/src/index/str_tile.cc" "src/index/CMakeFiles/dita_index.dir/str_tile.cc.o" "gcc" "src/index/CMakeFiles/dita_index.dir/str_tile.cc.o.d"
+  "/root/repo/src/index/trie_index.cc" "src/index/CMakeFiles/dita_index.dir/trie_index.cc.o" "gcc" "src/index/CMakeFiles/dita_index.dir/trie_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/dita_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/dita_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dita_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_index.dir/cell.cc.o"
+  "CMakeFiles/dita_index.dir/cell.cc.o.d"
+  "CMakeFiles/dita_index.dir/pivot.cc.o"
+  "CMakeFiles/dita_index.dir/pivot.cc.o.d"
+  "CMakeFiles/dita_index.dir/rtree.cc.o"
+  "CMakeFiles/dita_index.dir/rtree.cc.o.d"
+  "CMakeFiles/dita_index.dir/str_tile.cc.o"
+  "CMakeFiles/dita_index.dir/str_tile.cc.o.d"
+  "CMakeFiles/dita_index.dir/trie_index.cc.o"
+  "CMakeFiles/dita_index.dir/trie_index.cc.o.d"
+  "libdita_index.a"
+  "libdita_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/map_matching.cc" "src/roadnet/CMakeFiles/dita_roadnet.dir/map_matching.cc.o" "gcc" "src/roadnet/CMakeFiles/dita_roadnet.dir/map_matching.cc.o.d"
+  "/root/repo/src/roadnet/network_trips.cc" "src/roadnet/CMakeFiles/dita_roadnet.dir/network_trips.cc.o" "gcc" "src/roadnet/CMakeFiles/dita_roadnet.dir/network_trips.cc.o.d"
+  "/root/repo/src/roadnet/road_network.cc" "src/roadnet/CMakeFiles/dita_roadnet.dir/road_network.cc.o" "gcc" "src/roadnet/CMakeFiles/dita_roadnet.dir/road_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/dita_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dita_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dita_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dita_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/dita_distance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

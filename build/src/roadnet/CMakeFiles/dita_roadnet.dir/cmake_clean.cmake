@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_roadnet.dir/map_matching.cc.o"
+  "CMakeFiles/dita_roadnet.dir/map_matching.cc.o.d"
+  "CMakeFiles/dita_roadnet.dir/network_trips.cc.o"
+  "CMakeFiles/dita_roadnet.dir/network_trips.cc.o.d"
+  "CMakeFiles/dita_roadnet.dir/road_network.cc.o"
+  "CMakeFiles/dita_roadnet.dir/road_network.cc.o.d"
+  "libdita_roadnet.a"
+  "libdita_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_sql.dir/dataframe.cc.o"
+  "CMakeFiles/dita_sql.dir/dataframe.cc.o.d"
+  "CMakeFiles/dita_sql.dir/engine.cc.o"
+  "CMakeFiles/dita_sql.dir/engine.cc.o.d"
+  "CMakeFiles/dita_sql.dir/lexer.cc.o"
+  "CMakeFiles/dita_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/dita_sql.dir/parser.cc.o"
+  "CMakeFiles/dita_sql.dir/parser.cc.o.d"
+  "libdita_sql.a"
+  "libdita_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_util.dir/logging.cc.o"
+  "CMakeFiles/dita_util.dir/logging.cc.o.d"
+  "CMakeFiles/dita_util.dir/status.cc.o"
+  "CMakeFiles/dita_util.dir/status.cc.o.d"
+  "CMakeFiles/dita_util.dir/string_util.cc.o"
+  "CMakeFiles/dita_util.dir/string_util.cc.o.d"
+  "CMakeFiles/dita_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dita_util.dir/thread_pool.cc.o.d"
+  "libdita_util.a"
+  "libdita_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/binary_io.cc" "src/workload/CMakeFiles/dita_workload.dir/binary_io.cc.o" "gcc" "src/workload/CMakeFiles/dita_workload.dir/binary_io.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/dita_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/dita_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/dita_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/dita_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/loaders.cc" "src/workload/CMakeFiles/dita_workload.dir/loaders.cc.o" "gcc" "src/workload/CMakeFiles/dita_workload.dir/loaders.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/dita_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dita_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dita_workload.dir/binary_io.cc.o"
+  "CMakeFiles/dita_workload.dir/binary_io.cc.o.d"
+  "CMakeFiles/dita_workload.dir/dataset.cc.o"
+  "CMakeFiles/dita_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/dita_workload.dir/generator.cc.o"
+  "CMakeFiles/dita_workload.dir/generator.cc.o.d"
+  "CMakeFiles/dita_workload.dir/loaders.cc.o"
+  "CMakeFiles/dita_workload.dir/loaders.cc.o.d"
+  "libdita_workload.a"
+  "libdita_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dita_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_io_test.dir/binary_io_test.cc.o"
+  "CMakeFiles/binary_io_test.dir/binary_io_test.cc.o.d"
+  "binary_io_test"
+  "binary_io_test.pdb"
+  "binary_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_property_test.dir/distance_property_test.cc.o"
+  "CMakeFiles/distance_property_test.dir/distance_property_test.cc.o.d"
+  "distance_property_test"
+  "distance_property_test.pdb"
+  "distance_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

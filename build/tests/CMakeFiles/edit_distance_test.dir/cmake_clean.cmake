@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_distance_test.dir/edit_distance_test.cc.o"
+  "CMakeFiles/edit_distance_test.dir/edit_distance_test.cc.o.d"
+  "edit_distance_test"
+  "edit_distance_test.pdb"
+  "edit_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

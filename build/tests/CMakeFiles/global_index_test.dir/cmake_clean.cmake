@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_index_test.dir/global_index_test.cc.o"
+  "CMakeFiles/global_index_test.dir/global_index_test.cc.o.d"
+  "global_index_test"
+  "global_index_test.pdb"
+  "global_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loaders_test.dir/loaders_test.cc.o"
+  "CMakeFiles/loaders_test.dir/loaders_test.cc.o.d"
+  "loaders_test"
+  "loaders_test.pdb"
+  "loaders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loaders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

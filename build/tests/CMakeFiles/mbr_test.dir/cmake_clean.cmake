@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_test.dir/mbr_test.cc.o"
+  "CMakeFiles/mbr_test.dir/mbr_test.cc.o.d"
+  "mbr_test"
+  "mbr_test.pdb"
+  "mbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/str_tile_test.dir/str_tile_test.cc.o"
+  "CMakeFiles/str_tile_test.dir/str_tile_test.cc.o.d"
+  "str_tile_test"
+  "str_tile_test.pdb"
+  "str_tile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/str_tile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_index_test.dir/trie_index_test.cc.o"
+  "CMakeFiles/trie_index_test.dir/trie_index_test.cc.o.d"
+  "trie_index_test"
+  "trie_index_test.pdb"
+  "trie_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
