@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Local CI: configure, build, and run the full test suite — once plain and
+# once under ASan+UBSan (DITA_SANITIZE=address). Run from the repo root:
+#
+#   ./ci.sh            # both passes
+#   ./ci.sh plain      # plain pass only
+#   ./ci.sh sanitize   # sanitizer pass only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+mode="${1:-all}"
+
+run_pass() {
+  local dir="$1"; shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== ctest ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+case "${mode}" in
+  plain)    run_pass build ;;
+  sanitize) run_pass build-asan -DDITA_SANITIZE=address ;;
+  all)      run_pass build
+            run_pass build-asan -DDITA_SANITIZE=address ;;
+  *) echo "usage: $0 [plain|sanitize|all]" >&2; exit 2 ;;
+esac
+
+echo "ci: all passes green"

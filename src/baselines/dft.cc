@@ -64,6 +64,7 @@ Status DftEngine::BuildIndex(const Dataset& data) {
                          part.trajectories.push_back(t);
                        }
                        part.segments.Build(std::move(entries));
+                       return Status::OK();
                      }});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
@@ -87,7 +88,8 @@ Result<std::vector<TrajectoryId>> DftEngine::Search(
   for (size_t p = 0; p < partitions_.size(); ++p) {
     const Partition* part = &partitions_[p];
     std::vector<uint32_t>* out = &partition_candidates[p];
-    filter_tasks.push_back({cluster_->WorkerOf(p), [&, part, out] {
+    filter_tasks.push_back({cluster_->WorkerOf(p),
+                            [&, part, out] {
                               std::vector<uint32_t> hits;
                               part->segments.SearchWithinDistance(q.front(), tau,
                                                                   &hits);
@@ -96,7 +98,9 @@ Result<std::vector<TrajectoryId>> DftEngine::Search(
                                          hits.end());
                               std::lock_guard<std::mutex> lock(mu);
                               *out = std::move(hits);
-                            }});
+                              return Status::OK();
+                            },
+                            part->bytes});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(filter_tasks)));
 
@@ -125,7 +129,8 @@ Result<std::vector<TrajectoryId>> DftEngine::Search(
     if (partition_candidates[p].empty()) continue;
     const Partition* part = &partitions_[p];
     const std::vector<uint32_t>* cands = &partition_candidates[p];
-    verify_tasks.push_back({cluster_->WorkerOf(p), [&, part, cands] {
+    verify_tasks.push_back({cluster_->WorkerOf(p),
+                            [&, part, cands] {
                               std::vector<TrajectoryId> local;
                               for (uint32_t pos : *cands) {
                                 const Trajectory& t = part->trajectories[pos];
@@ -136,7 +141,9 @@ Result<std::vector<TrajectoryId>> DftEngine::Search(
                               std::lock_guard<std::mutex> lock(mu);
                               results.insert(results.end(), local.begin(),
                                              local.end());
-                            }});
+                              return Status::OK();
+                            },
+                            part->bytes});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(verify_tasks)));
 

@@ -43,7 +43,8 @@ Result<std::vector<TrajectoryId>> NaiveEngine::Search(
   std::vector<Cluster::Task> tasks;
   for (size_t p = 0; p < partitions_.size(); ++p) {
     const std::vector<Trajectory>* part = &partitions_[p];
-    tasks.push_back({cluster_->WorkerOf(p), [&, part] {
+    tasks.push_back({cluster_->WorkerOf(p),
+                     [&, part] {
                        std::vector<TrajectoryId> local;
                        for (const Trajectory& t : *part) {
                          if (distance_->WithinThreshold(t, q, tau)) {
@@ -53,7 +54,9 @@ Result<std::vector<TrajectoryId>> NaiveEngine::Search(
                        std::lock_guard<std::mutex> lock(mu);
                        results.insert(results.end(), local.begin(), local.end());
                        scanned += part->size();
-                     }});
+                       return Status::OK();
+                     },
+                     partition_bytes_[p]});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
 
@@ -104,7 +107,8 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> NaiveEngine::SelfJoin
       std::lock_guard<std::mutex> lock(mu);
       results.insert(results.end(), local.begin(), local.end());
       pairs += local_pairs;
-    }});
+      return Status::OK();
+    }, partition_bytes_[dst]});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
 

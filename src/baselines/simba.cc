@@ -62,6 +62,7 @@ Status SimbaEngine::BuildIndex(const Dataset& data) {
                          part.trajectories.push_back(t);
                        }
                        part.first_points.Build(std::move(entries));
+                       return Status::OK();
                      }});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
@@ -94,7 +95,8 @@ Result<std::vector<TrajectoryId>> SimbaEngine::Search(
   std::vector<Cluster::Task> tasks;
   for (uint32_t p : relevant) {
     const Partition* part = &partitions_[p];
-    tasks.push_back({cluster_->WorkerOf(p), [&, part] {
+    tasks.push_back({cluster_->WorkerOf(p),
+                     [&, part] {
                        std::vector<uint32_t> cands;
                        part->first_points.SearchWithinDistance(q.front(), tau,
                                                                &cands);
@@ -108,7 +110,9 @@ Result<std::vector<TrajectoryId>> SimbaEngine::Search(
                        std::lock_guard<std::mutex> lock(mu);
                        candidates += cands.size();
                        results.insert(results.end(), local.begin(), local.end());
-                     }});
+                       return Status::OK();
+                     },
+                     part->bytes});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
 
@@ -153,7 +157,8 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> SimbaEngine::SelfJoin
   for (const auto& edge : edges) {
     const Partition* src = &partitions_[edge.first];
     const Partition* dst = &partitions_[edge.second];
-    tasks.push_back({cluster_->WorkerOf(edge.second), [&, src, dst] {
+    tasks.push_back({cluster_->WorkerOf(edge.second),
+                     [&, src, dst] {
       std::vector<std::pair<TrajectoryId, TrajectoryId>> local;
       size_t local_pairs = 0;
       for (const Trajectory& a : src->trajectories) {
@@ -170,7 +175,9 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> SimbaEngine::SelfJoin
       std::lock_guard<std::mutex> lock(mu);
       results.insert(results.end(), local.begin(), local.end());
       candidate_pairs += local_pairs;
-    }});
+      return Status::OK();
+                     },
+                     dst->bytes});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/timer.h"
@@ -12,50 +13,258 @@ namespace dita {
 Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   DITA_CHECK(config_.num_workers > 0);
   DITA_CHECK(config_.bandwidth_bytes_per_sec > 0);
+  DITA_CHECK(config_.max_task_attempts > 0);
   stats_.resize(config_.num_workers);
 }
 
-Status Cluster::RunStage(std::vector<Task> tasks) {
+void Cluster::InjectFaults(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = std::make_unique<FaultInjector>(plan);
+}
+
+void Cluster::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_.reset();
+}
+
+Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
+                             std::vector<TaskRun>* runs) {
+  runs->resize(tasks->size());
+  const size_t threads =
+      config_.execution_threads == 0 ? 1 : config_.execution_threads;
+  if (threads == 1) {
+    // Fast path: run inline, no pool overhead.
+    Status first_error;
+    for (size_t i = 0; i < tasks->size(); ++i) {
+      CpuTimer timer;
+      try {
+        (*runs)[i].status = (*tasks)[i].fn();
+      } catch (const std::exception& e) {
+        if (first_error.ok()) {
+          first_error = Status::Internal(std::string("task threw: ") + e.what());
+        }
+      } catch (...) {
+        if (first_error.ok()) first_error = Status::Internal("task threw");
+      }
+      (*runs)[i].seconds = timer.Seconds();
+    }
+    return first_error;
+  }
+  ThreadPool pool(threads);
+  for (size_t i = 0; i < tasks->size(); ++i) {
+    Task* t = &(*tasks)[i];
+    TaskRun* run = &(*runs)[i];
+    pool.Submit([t, run] {
+      CpuTimer timer;
+      run->status = t->fn();
+      run->seconds = timer.Seconds();
+    });
+  }
+  // A throwing task surfaces here (ThreadPool captures it) instead of
+  // terminating the worker thread.
+  try {
+    pool.Wait();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("task threw");
+  }
+  return Status::OK();
+}
+
+size_t Cluster::LeastLoadedLiveLocked(size_t exclude) const {
+  size_t best = config_.num_workers;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (size_t w = 0; w < config_.num_workers; ++w) {
+    if (!stats_[w].alive || w == exclude) continue;
+    const double load = stats_[w].TotalSeconds();
+    if (load < best_load) {
+      best_load = load;
+      best = w;
+    }
+  }
+  return best;
+}
+
+void Cluster::RecordTransferLocked(size_t from, size_t to, uint64_t bytes) {
+  if (from == to) return;  // local, in-memory
+  stats_[from].bytes_sent += bytes;
+  stats_[from].network_seconds +=
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+}
+
+size_t Cluster::RecoverTaskLocked(size_t from, uint64_t input_bytes) {
+  const size_t to = LeastLoadedLiveLocked(config_.num_workers);
+  if (to == config_.num_workers) return to;  // nobody left
+  ++fault_stats_.tasks_reassigned;
+  if (input_bytes > 0) {
+    // Lineage re-materialization: the partition's bytes ship to the new
+    // owner from a surviving peer (the dead worker's copy is gone).
+    size_t src = config_.num_workers;
+    for (size_t w = 0; w < config_.num_workers; ++w) {
+      if (stats_[w].alive && w != to) {
+        src = w;
+        break;
+      }
+    }
+    if (src != config_.num_workers) {
+      RecordTransferLocked(src, to, input_bytes);
+    }
+    fault_stats_.recovery_bytes += input_bytes;
+  }
+  (void)from;
+  return to;
+}
+
+Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
   for (const Task& t : tasks) {
     if (t.worker >= config_.num_workers) {
       return Status::InvalidArgument("task bound to nonexistent worker");
     }
     if (!t.fn) return Status::InvalidArgument("task without a function");
   }
-  const size_t threads =
-      config_.execution_threads == 0 ? 1 : config_.execution_threads;
-  if (threads == 1) {
-    // Fast path: run inline, no pool overhead.
-    for (Task& t : tasks) {
-      CpuTimer timer;
-      t.fn();
-      const double secs = timer.Seconds();
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_[t.worker].compute_seconds += secs;
+
+  // Pass 1: every task function runs exactly once, for real. Retries,
+  // recoveries, and speculative backups below recompute *deterministically
+  // identical* results (Spark lineage semantics), so re-running the closure
+  // is unnecessary — and would duplicate its side effects.
+  std::vector<TaskRun> runs;
+  const Status exec_status = ExecuteTasks(&tasks, &runs);
+
+  // Pass 2: deterministic virtual-time accounting, including fault
+  // handling. Single-threaded under the lock; injection decisions depend
+  // only on (seed, stage, task index, attempt), never on scheduling.
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t stage = stages_run_++;
+
+  std::vector<double> start_totals(config_.num_workers);
+  for (size_t w = 0; w < config_.num_workers; ++w) {
+    start_totals[w] = stats_[w].TotalSeconds();
+  }
+
+  // Permanent worker crash: fires as the stage starts, so this stage's
+  // tasks on the victim are lost mid-flight and recovered on survivors.
+  size_t crashed_this_stage = config_.num_workers;
+  if (injector_ != nullptr) {
+    for (size_t w = 0; w < config_.num_workers; ++w) {
+      if (!stats_[w].alive || !injector_->CrashesWorkerAt(stage, w)) continue;
+      size_t live = 0;
+      for (const WorkerStats& s : stats_) live += s.alive ? 1 : 0;
+      if (live <= 1) break;  // never kill the last worker
+      stats_[w].alive = false;
+      ++fault_stats_.worker_crashes;
+      crashed_this_stage = w;
     }
-    return Status::OK();
   }
-  ThreadPool pool(threads);
-  for (Task& t : tasks) {
-    pool.Submit([this, &t] {
-      CpuTimer timer;
-      t.fn();
-      const double secs = timer.Seconds();
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_[t.worker].compute_seconds += secs;
-    });
+
+  Status app_error = exec_status;
+  std::vector<size_t> owners(tasks.size());
+  std::vector<double> runtimes(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (app_error.ok() && !runs[i].status.ok()) app_error = runs[i].status;
+    size_t w = tasks[i].worker;
+
+    if (!stats_[w].alive) {
+      if (w == crashed_this_stage && injector_ != nullptr) {
+        // In-flight work lost with the worker: a deterministic fraction of
+        // the task had completed when the crash hit.
+        stats_[w].compute_seconds +=
+            injector_->LostWorkFraction(stage, i, 0) * runs[i].seconds;
+      }
+      const size_t recovered = RecoverTaskLocked(w, tasks[i].input_bytes);
+      if (recovered == config_.num_workers) {
+        return Status::Unavailable("no live worker to recover task in stage " +
+                                   options.name);
+      }
+      fault_stats_.recovery_seconds += runs[i].seconds;
+      w = recovered;
+    }
+
+    // Transient attempt failures: charge the wasted partial attempt plus a
+    // capped exponential backoff wait, then retry on the same worker. The
+    // fault is transient, so the final permitted attempt always completes.
+    uint64_t attempt = 1;
+    if (injector_ != nullptr) {
+      while (attempt < config_.max_task_attempts &&
+             injector_->TransientFailure(stage, i, attempt)) {
+        ++fault_stats_.transient_failures;
+        ++fault_stats_.retries;
+        ++stats_[w].task_retries;
+        stats_[w].compute_seconds +=
+            injector_->LostWorkFraction(stage, i, attempt) * runs[i].seconds;
+        const double backoff =
+            std::min(config_.retry_backoff_cap_seconds,
+                     config_.retry_backoff_seconds *
+                         std::pow(2.0, static_cast<double>(attempt - 1)));
+        stats_[w].backoff_seconds += backoff;
+        fault_stats_.backoff_seconds += backoff;
+        ++attempt;
+      }
+    }
+    stats_[w].task_attempts += attempt;
+    fault_stats_.task_attempts += attempt;
+
+    double runtime = runs[i].seconds;
+    if (injector_ != nullptr && injector_->IsStraggler(stage, i)) {
+      runtime *= injector_->plan().straggler_multiplier;
+    }
+    owners[i] = w;
+    runtimes[i] = runtime;
   }
-  pool.Wait();
+
+  // Speculative execution: tasks far beyond the stage median get a backup
+  // on the least-loaded live worker; both attempts stop when the first one
+  // finishes, so each side is charged the winner's runtime.
+  std::vector<bool> speculated(tasks.size(), false);
+  if (config_.speculation_multiplier > 0.0 && tasks.size() >= 2) {
+    std::vector<double> sorted = runtimes;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    if (median > 0.0) {
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        if (runtimes[i] <= config_.speculation_multiplier * median) continue;
+        const size_t backup = LeastLoadedLiveLocked(owners[i]);
+        if (backup == config_.num_workers) continue;
+        speculated[i] = true;
+        ++fault_stats_.speculative_launches;
+        ++stats_[backup].task_attempts;
+        ++fault_stats_.task_attempts;
+        RecordTransferLocked(owners[i], backup, tasks[i].input_bytes);
+        // The backup runs on a healthy node at the task's measured speed.
+        const double backup_runtime = runs[i].seconds;
+        if (backup_runtime < runtimes[i]) ++fault_stats_.speculative_wins;
+        const double winner = std::min(runtimes[i], backup_runtime);
+        stats_[owners[i]].compute_seconds += winner;
+        stats_[backup].compute_seconds += winner;
+      }
+    }
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (!speculated[i]) stats_[owners[i]].compute_seconds += runtimes[i];
+  }
+
+  if (!app_error.ok()) return app_error;
+
+  if (options.deadline_seconds > 0.0) {
+    double stage_makespan = 0.0;
+    for (size_t w = 0; w < config_.num_workers; ++w) {
+      stage_makespan =
+          std::max(stage_makespan, stats_[w].TotalSeconds() - start_totals[w]);
+    }
+    if (stage_makespan > options.deadline_seconds) {
+      ++fault_stats_.deadline_misses;
+      return Status::DeadlineExceeded(
+          "stage " + (options.name.empty() ? "<unnamed>" : options.name) +
+          " missed its deadline");
+    }
+  }
   return Status::OK();
 }
 
 void Cluster::RecordTransfer(size_t from, size_t to, uint64_t bytes) {
   DITA_CHECK(from < config_.num_workers && to < config_.num_workers);
-  if (from == to) return;  // local, in-memory
   std::lock_guard<std::mutex> lock(mu_);
-  stats_[from].bytes_sent += bytes;
-  stats_[from].network_seconds +=
-      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  RecordTransferLocked(from, to, bytes);
 }
 
 void Cluster::RecordDriverCompute(double seconds) {
@@ -101,12 +310,30 @@ uint64_t Cluster::total_bytes_sent() const {
   return total;
 }
 
+FaultStats Cluster::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_stats_;
+}
+
+uint64_t Cluster::stages_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_run_;
+}
+
+size_t Cluster::num_live_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (const WorkerStats& w : stats_) live += w.alive ? 1 : 0;
+  return live;
+}
+
 Cluster::CostSnapshot Cluster::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   CostSnapshot snap;
   snap.worker_totals.reserve(stats_.size());
   for (const WorkerStats& w : stats_) snap.worker_totals.push_back(w.TotalSeconds());
   snap.driver_seconds = driver_seconds_;
+  snap.faults = fault_stats_;
   return snap;
 }
 
@@ -134,10 +361,31 @@ double Cluster::LoadRatioSince(const CostSnapshot& snap) const {
   return worst / best;
 }
 
+FaultStats Cluster::FaultsSince(const CostSnapshot& snap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultStats d;
+  const FaultStats& a = fault_stats_;
+  const FaultStats& b = snap.faults;
+  d.task_attempts = a.task_attempts - b.task_attempts;
+  d.transient_failures = a.transient_failures - b.transient_failures;
+  d.retries = a.retries - b.retries;
+  d.worker_crashes = a.worker_crashes - b.worker_crashes;
+  d.tasks_reassigned = a.tasks_reassigned - b.tasks_reassigned;
+  d.recovery_bytes = a.recovery_bytes - b.recovery_bytes;
+  d.recovery_seconds = a.recovery_seconds - b.recovery_seconds;
+  d.backoff_seconds = a.backoff_seconds - b.backoff_seconds;
+  d.speculative_launches = a.speculative_launches - b.speculative_launches;
+  d.speculative_wins = a.speculative_wins - b.speculative_wins;
+  d.deadline_misses = a.deadline_misses - b.deadline_misses;
+  return d;
+}
+
 void Cluster::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   for (WorkerStats& w : stats_) w = WorkerStats{};
   driver_seconds_ = 0.0;
+  fault_stats_ = FaultStats{};
+  stages_run_ = 0;
 }
 
 }  // namespace dita

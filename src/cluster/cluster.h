@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "cluster/fault_injector.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -19,8 +22,46 @@ struct WorkerStats {
   uint64_t bytes_sent = 0;
   /// Simulated transmission time (bytes_sent / bandwidth).
   double network_seconds = 0.0;
+  /// Virtual seconds this worker sat in retry backoff waits.
+  double backoff_seconds = 0.0;
+  /// Task attempts executed here (first tries + retries + speculative
+  /// backups).
+  uint64_t task_attempts = 0;
+  /// Attempts beyond the first for a task charged to this worker.
+  uint64_t task_retries = 0;
+  /// False once the worker has been crashed by fault injection.
+  bool alive = true;
 
-  double TotalSeconds() const { return compute_seconds + network_seconds; }
+  double TotalSeconds() const {
+    return compute_seconds + network_seconds + backoff_seconds;
+  }
+};
+
+/// Aggregate fault-handling counters for a cluster (or, as a delta, for one
+/// operation on a shared cluster). All costs here are *also* charged into
+/// the per-worker virtual totals; this is the observability summary.
+struct FaultStats {
+  /// Task attempts across all stages (>= number of tasks run).
+  uint64_t task_attempts = 0;
+  /// Injected transient attempt failures.
+  uint64_t transient_failures = 0;
+  /// Retries performed after transient failures.
+  uint64_t retries = 0;
+  /// Workers permanently lost to injected crashes.
+  uint64_t worker_crashes = 0;
+  /// Tasks moved off a dead worker onto a survivor.
+  uint64_t tasks_reassigned = 0;
+  /// Bytes re-shipped to rebuild lost partitions on survivors.
+  uint64_t recovery_bytes = 0;
+  /// CPU seconds of lineage-style recomputation charged to survivors.
+  double recovery_seconds = 0.0;
+  /// Virtual seconds spent in retry backoff waits.
+  double backoff_seconds = 0.0;
+  /// Speculative backup tasks launched / backups that beat the original.
+  uint64_t speculative_launches = 0;
+  uint64_t speculative_wins = 0;
+  /// Stages that exceeded their deadline.
+  uint64_t deadline_misses = 0;
 };
 
 /// Configuration of the simulated cluster.
@@ -35,6 +76,30 @@ struct ClusterConfig {
   /// Real execution threads used to run tasks; accounting is independent of
   /// this. 0 means one thread (the host here is single-core anyway).
   size_t execution_threads = 0;
+
+  /// Fault-handling policy (mirrors Spark's spark.task.maxFailures and
+  /// speculation knobs). A task attempt that fails transiently is retried
+  /// up to `max_task_attempts` total attempts, waiting an exponentially
+  /// growing backoff (charged as virtual time) between attempts.
+  size_t max_task_attempts = 4;
+  double retry_backoff_seconds = 0.05;
+  double retry_backoff_cap_seconds = 1.0;
+  /// Speculative execution: when a task's virtual runtime exceeds
+  /// `speculation_multiplier` x the stage median, a backup attempt is
+  /// launched on the least-loaded live worker and the first finisher wins.
+  /// 0 disables speculation.
+  double speculation_multiplier = 0.0;
+};
+
+/// Per-stage execution options.
+struct StageOptions {
+  /// Stage label used in error messages.
+  std::string name;
+  /// Virtual-time budget for the stage: if the slowest worker's virtual
+  /// time charged by this stage exceeds the deadline, RunStage returns
+  /// Status::DeadlineExceeded (results may be partially recorded). 0 means
+  /// no deadline.
+  double deadline_seconds = 0.0;
 };
 
 /// A deterministic in-process substitute for the paper's Spark cluster.
@@ -46,12 +111,26 @@ struct ClusterConfig {
 ///     time = driver_seconds + max_w (compute_w + network_w)
 /// which preserves scale-up / scale-out / load-balance behaviour without
 /// real parallel hardware.
+///
+/// Fault tolerance mirrors Spark's: an installed FaultInjector (see
+/// InjectFaults) deterministically fails task attempts, crashes workers, and
+/// slows stragglers. Each task's *function runs exactly once* — like a
+/// deterministic Spark lineage recomputation, a retried or recovered task
+/// recomputes the identical result — and all failure handling (wasted
+/// attempts, backoff waits, recovery re-shipping, speculative backups) is
+/// charged in virtual time. Query and join answers are therefore invariant
+/// under any injected fault schedule; only the cost model output changes.
 class Cluster {
  public:
   /// A unit of work bound to a worker, mirroring a Spark partition task.
   struct Task {
     size_t worker = 0;
-    std::function<void()> fn;
+    /// The task body. Runs exactly once; a non-OK return fails the stage
+    /// (application errors are not retried — they are deterministic).
+    std::function<Status()> fn;
+    /// Bytes that must be re-shipped to a survivor if this task's worker is
+    /// lost (the owning partition's data, i.e. its lineage materialization).
+    uint64_t input_bytes = 0;
   };
 
   explicit Cluster(const ClusterConfig& config);
@@ -64,10 +143,25 @@ class Cluster {
     return partition_id % config_.num_workers;
   }
 
+  /// Installs a deterministic fault schedule; replaces any previous one.
+  void InjectFaults(const FaultPlan& plan);
+  /// Removes the fault schedule (dead workers stay dead; see ResetStats).
+  void ClearFaults();
+
   /// Executes all tasks (possibly concurrently), charging each task's CPU
   /// time to its worker. Returns after every task completes. Tasks must not
   /// touch shared mutable state without their own synchronization.
-  Status RunStage(std::vector<Task> tasks);
+  ///
+  /// With faults injected, failed attempts are retried with capped
+  /// exponential backoff, tasks on crashed workers are recovered on
+  /// survivors (recomputation time plus `input_bytes` re-shipped), and
+  /// stragglers may be speculatively duplicated. If every worker a stage
+  /// needs is dead, returns Status::Unavailable; if the stage blows its
+  /// StageOptions deadline, returns Status::DeadlineExceeded.
+  Status RunStage(std::vector<Task> tasks, const StageOptions& options);
+  Status RunStage(std::vector<Task> tasks) {
+    return RunStage(std::move(tasks), StageOptions{});
+  }
 
   /// Charges `bytes` of traffic from `from` to `to`. Same-worker transfers
   /// are free (in-memory). Thread-safe.
@@ -96,12 +190,23 @@ class Cluster {
   uint64_t total_bytes_sent() const;
   const std::vector<WorkerStats>& worker_stats() const { return stats_; }
 
+  /// Fault-handling counters accumulated since construction / ResetStats.
+  FaultStats fault_stats() const;
+
+  /// Number of stages executed so far; the next RunStage call will be stage
+  /// `stages_run()` in FaultPlan coordinates.
+  uint64_t stages_run() const;
+
+  /// Workers still alive (not crashed by fault injection).
+  size_t num_live_workers() const;
+
   /// Point-in-time copy of per-worker virtual totals, for measuring the
   /// incremental cost of one operation (a query, a join) on a shared
   /// cluster.
   struct CostSnapshot {
     std::vector<double> worker_totals;
     double driver_seconds = 0.0;
+    FaultStats faults;
   };
   CostSnapshot Snapshot() const;
 
@@ -113,13 +218,43 @@ class Cluster {
   /// since `snap`.
   double LoadRatioSince(const CostSnapshot& snap) const;
 
-  /// Clears all accumulated accounting (stats only, not configuration).
+  /// Fault counters accumulated since `snap` (element-wise difference).
+  FaultStats FaultsSince(const CostSnapshot& snap) const;
+
+  /// Clears all accumulated accounting (stats only, not configuration) and
+  /// resurrects crashed workers; the stage counter restarts at 0.
   void ResetStats();
 
  private:
+  /// Per-task result of the single real execution pass.
+  struct TaskRun {
+    double seconds = 0.0;
+    Status status;
+  };
+
+  /// Runs every task function exactly once (inline or on the pool),
+  /// recording measured CPU seconds and returned status.
+  Status ExecuteTasks(std::vector<Task>* tasks, std::vector<TaskRun>* runs);
+
+  /// Least-loaded live worker (ties broken by lowest id), excluding
+  /// `exclude` (pass num_workers to exclude nobody). Returns num_workers if
+  /// no live worker qualifies. Caller holds mu_.
+  size_t LeastLoadedLiveLocked(size_t exclude) const;
+
+  /// Moves a task off dead worker `from`: picks a survivor, charges the
+  /// lineage re-shipping of `input_bytes` from a live peer, and bumps the
+  /// recovery counters. Returns the new owner. Caller holds mu_.
+  size_t RecoverTaskLocked(size_t from, uint64_t input_bytes);
+
+  /// Charges a cross-worker transfer. Caller holds mu_.
+  void RecordTransferLocked(size_t from, size_t to, uint64_t bytes);
+
   ClusterConfig config_;
   std::vector<WorkerStats> stats_;
   double driver_seconds_ = 0.0;
+  FaultStats fault_stats_;
+  uint64_t stages_run_ = 0;
+  std::unique_ptr<FaultInjector> injector_;
   mutable std::mutex mu_;
 };
 

@@ -1,0 +1,52 @@
+#include "cluster/fault_injector.h"
+
+namespace dita {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double FaultInjector::UnitHash(uint64_t stage, uint64_t task, uint64_t attempt,
+                               uint64_t salt) const {
+  uint64_t h = Mix64(plan_.seed ^ Mix64(salt));
+  h = Mix64(h ^ Mix64(stage + 1));
+  h = Mix64(h ^ Mix64(task + 1));
+  h = Mix64(h ^ Mix64(attempt + 1));
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::TransientFailure(uint64_t stage, uint64_t task,
+                                     uint64_t attempt) const {
+  if (plan_.transient_failure_prob <= 0.0) return false;
+  return UnitHash(stage, task, attempt, 0x7261696c) <  // "rail"
+         plan_.transient_failure_prob;
+}
+
+bool FaultInjector::IsStraggler(uint64_t stage, uint64_t task) const {
+  if (plan_.straggler_prob <= 0.0) return false;
+  return UnitHash(stage, task, 0, 0x736c6f77) < plan_.straggler_prob;  // "slow"
+}
+
+bool FaultInjector::CrashesWorkerAt(uint64_t stage, uint64_t worker) const {
+  return plan_.crash_worker >= 0 && plan_.crash_at_stage >= 0 &&
+         worker == static_cast<uint64_t>(plan_.crash_worker) &&
+         stage == static_cast<uint64_t>(plan_.crash_at_stage);
+}
+
+double FaultInjector::LostWorkFraction(uint64_t stage, uint64_t task,
+                                       uint64_t attempt) const {
+  // Never exactly 0: a failed attempt always wasted *some* work.
+  const double u = UnitHash(stage, task, attempt, 0x6c6f7374);  // "lost"
+  return u == 0.0 ? 1.0 : u;
+}
+
+}  // namespace dita

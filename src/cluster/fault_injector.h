@@ -1,0 +1,75 @@
+#ifndef DITA_CLUSTER_FAULT_INJECTOR_H_
+#define DITA_CLUSTER_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+namespace dita {
+
+/// Declarative description of the faults to inject into a cluster run.
+/// Everything is derived from `seed` and stage/task coordinates, never from
+/// wall-clock time or thread scheduling, so a fault schedule is perfectly
+/// reproducible: the same plan against the same stage sequence injects the
+/// same faults.
+struct FaultPlan {
+  /// Seed of the per-decision hash. Two plans with different seeds produce
+  /// independent fault schedules.
+  uint64_t seed = 42;
+
+  /// Probability that one task *attempt* fails transiently (a lost executor
+  /// heartbeat, a fetch failure). Failed attempts are retried by the cluster
+  /// up to ClusterConfig::max_task_attempts.
+  double transient_failure_prob = 0.0;
+
+  /// Permanent crash of worker `crash_worker` when stage counter
+  /// `crash_at_stage` starts (-1 disables). The worker is blacklisted; its
+  /// tasks and partitions are recovered on survivors.
+  int64_t crash_worker = -1;
+  int64_t crash_at_stage = -1;
+
+  /// Probability that a task runs on a degraded ("straggler") node, and the
+  /// virtual-time slowdown it suffers there. Speculative execution exists to
+  /// cut these off the critical path.
+  double straggler_prob = 0.0;
+  double straggler_multiplier = 4.0;
+
+  bool any_faults() const {
+    return transient_failure_prob > 0.0 || crash_worker >= 0 ||
+           straggler_prob > 0.0;
+  }
+};
+
+/// Deterministic fault oracle: pure functions of (seed, stage, task,
+/// attempt). The cluster consults it during virtual-time accounting; the
+/// injector itself never mutates state, so concurrent queries are safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Does attempt `attempt` (1-based) of task `task` in stage `stage` fail
+  /// transiently?
+  bool TransientFailure(uint64_t stage, uint64_t task, uint64_t attempt) const;
+
+  /// Does task `task` of stage `stage` land on a degraded node?
+  bool IsStraggler(uint64_t stage, uint64_t task) const;
+
+  /// Does worker `worker` crash permanently when stage `stage` starts?
+  bool CrashesWorkerAt(uint64_t stage, uint64_t worker) const;
+
+  /// Fraction of a task's compute that had completed (and is lost) when its
+  /// attempt failed or its worker died mid-flight. Deterministic in (0, 1].
+  double LostWorkFraction(uint64_t stage, uint64_t task,
+                          uint64_t attempt) const;
+
+ private:
+  /// Uniform double in [0, 1) from the given coordinates.
+  double UnitHash(uint64_t stage, uint64_t task, uint64_t attempt,
+                  uint64_t salt) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_CLUSTER_FAULT_INJECTOR_H_

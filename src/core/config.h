@@ -36,6 +36,11 @@ struct DitaConfig {
   /// cost distribution are divided (replicated) for load balancing (§6.3).
   double division_quantile = 0.98;
 
+  /// Virtual-time budget per cluster stage (search probes, join ship/probe,
+  /// index build). A stage whose slowest worker exceeds it surfaces
+  /// Status::DeadlineExceeded instead of an open-ended wait. 0 disables.
+  double stage_deadline_seconds = 0.0;
+
   /// Ablation toggles (defaults on; Fig. 13/16 turn some off).
   /// Replaces first/last STR partitioning with random placement (the
   /// Appendix B partitioning-scheme ablation, Fig. 13). Global pruning

@@ -53,6 +53,9 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
     partition.home_worker = cluster_->WorkerOf(p);
     std::vector<Trajectory>* source = &(*parts)[p];
     GlobalIndex::PartitionSummary* summary = &summaries[p];
+    // Build-stage tasks carry no recovery bytes: the source data is
+    // driver-resident, so a lost build recomputes from lineage for free
+    // (only the recomputation CPU is charged).
     tasks.push_back(
         {partition.home_worker, [this, &partition, source, summary] {
            for (const Trajectory& t : *source) {
@@ -67,9 +70,10 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
              partition.precomp.push_back(
                  VerifyPrecomp::For(t, config_.cell_size));
            }
+           return Status::OK();
          }});
   }
-  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
+  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks), StageOpts("build")));
 
   // Driver builds the global index over the partition summaries.
   CpuTimer driver_timer;
@@ -183,7 +187,8 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
   tasks.reserve(relevant.size());
   for (uint32_t pid : relevant) {
     const Partition* part = &partitions_[pid];
-    tasks.push_back({part->home_worker, [&, part] {
+    tasks.push_back({part->home_worker,
+                     [&, part] {
                        std::vector<TrajectoryId> local;
                        VerifyStats local_stats;
                        const size_t cands =
@@ -192,9 +197,11 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
                        results.insert(results.end(), local.begin(), local.end());
                        total_candidates += cands;
                        vstats.Merge(local_stats);
-                     }});
+                       return Status::OK();
+                     },
+                     part->data_bytes});
   }
-  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
+  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks), StageOpts("search")));
 
   if (stats != nullptr) {
     stats->makespan_seconds = cluster_->MakespanSince(snap);
@@ -202,6 +209,7 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
     stats->candidates = total_candidates;
     stats->verify = vstats;
     stats->results = results.size();
+    stats->faults = cluster_->FaultsSince(snap);
   }
   std::sort(results.begin(), results.end());
   return results;
@@ -251,7 +259,8 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
     std::vector<Cluster::Task> tasks;
     for (uint32_t pid : relevant) {
       const Partition* part = &partitions_[pid];
-      tasks.push_back({part->home_worker, [&, part] {
+      tasks.push_back({part->home_worker,
+                       [&, part] {
         TrieIndex::SearchSpec spec = MakeSpec(q, tau);
         std::vector<uint32_t> candidates;
         part->trie.CollectCandidates(spec, &candidates);
@@ -266,10 +275,13 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
         std::lock_guard<std::mutex> lock(mu);
         total_candidates += candidates.size();
         scored.insert(scored.end(), local.begin(), local.end());
-      }});
+        return Status::OK();
+                       },
+                       part->data_bytes});
     }
     probed += relevant.size();
-    DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks)));
+    DITA_RETURN_IF_ERROR(
+        cluster_->RunStage(std::move(tasks), StageOpts("knn-search")));
     if (scored.size() >= k) break;
     tau *= 2.0;
   }
@@ -285,6 +297,7 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
     stats->partitions_probed = probed;
     stats->candidates = total_candidates;
     stats->results = scored.size();
+    stats->faults = cluster_->FaultsSince(snap);
   }
   return scored;
 }

@@ -38,6 +38,8 @@ class DitaEngine {
     size_t candidates = 0;
     VerifyStats verify;
     size_t results = 0;
+    /// Fault handling this query triggered (retries, recoveries, backups).
+    FaultStats faults;
   };
 
   /// Per-join observability (Figs. 9-11, 16).
@@ -49,6 +51,8 @@ class DitaEngine {
     size_t divided_partitions = 0;
     size_t candidate_pairs = 0;
     size_t result_pairs = 0;
+    /// Fault handling this join triggered (retries, recoveries, backups).
+    FaultStats faults;
   };
 
   DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& config);
@@ -115,6 +119,11 @@ class DitaEngine {
   };
 
   TrieIndex::SearchSpec MakeSpec(const Trajectory& q, double tau) const;
+
+  /// Stage options carrying the engine's configured deadline.
+  StageOptions StageOpts(std::string name) const {
+    return StageOptions{std::move(name), config_.stage_deadline_seconds};
+  }
 
   /// Per-trajectory global relevance test against a partition summary —
   /// the "has candidates in Qj" check of §6.2's trans estimation.

@@ -245,6 +245,7 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinPlanner::Run(
     stats->graph_edges = edges_.size();
     stats->divided_partitions = divided_partitions_;
     stats->result_pairs = result.value().size();
+    stats->faults = cluster_.FaultsSince(snap);
   }
   return result;
 }
@@ -283,7 +284,12 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
   std::vector<Cluster::Task> ship_tasks;
   ship_tasks.reserve(plans.size());
   for (EdgePlan& plan : plans) {
-    ship_tasks.push_back({plan.src_worker, [this, &plan] {
+    const Edge& pe = *plan.edge;
+    const DitaEngine& plan_src = pe.left_to_right ? left_ : right_;
+    const uint32_t src_part = pe.left_to_right ? pe.left_part : pe.right_part;
+    const uint64_t src_bytes = plan_src.partitions_[src_part].data_bytes;
+    ship_tasks.push_back({plan.src_worker,
+                          [this, &plan] {
       const Edge& e = *plan.edge;
       const DitaEngine& src_side = e.left_to_right ? left_ : right_;
       const DitaEngine& dst_side = e.left_to_right ? right_ : left_;
@@ -300,9 +306,12 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
         }
       }
       cluster_.RecordTransfer(plan.src_worker, plan.dst_worker, bytes);
-    }});
+      return Status::OK();
+                          },
+                          src_bytes});
   }
-  DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(ship_tasks)));
+  DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(ship_tasks),
+                                         left_.StageOpts("join-ship")));
 
   // Stage 2: target-side local joins.
   std::mutex mu;
@@ -311,8 +320,12 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
   std::vector<Cluster::Task> probe_tasks;
   probe_tasks.reserve(plans.size());
   for (EdgePlan& plan : plans) {
-    probe_tasks.push_back({plan.dst_worker, [this, &plan, &mu, &results,
-                                             &candidate_pairs] {
+    const Edge& pe = *plan.edge;
+    const DitaEngine& plan_dst = pe.left_to_right ? right_ : left_;
+    const uint32_t dst_part = pe.left_to_right ? pe.right_part : pe.left_part;
+    const uint64_t dst_bytes = plan_dst.partitions_[dst_part].data_bytes;
+    probe_tasks.push_back({plan.dst_worker,
+                           [this, &plan, &mu, &results, &candidate_pairs] {
       const Edge& e = *plan.edge;
       const DitaEngine& src_side = e.left_to_right ? left_ : right_;
       const DitaEngine& dst_side = e.left_to_right ? right_ : left_;
@@ -345,9 +358,12 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
       std::lock_guard<std::mutex> lock(mu);
       results.insert(results.end(), local.begin(), local.end());
       candidate_pairs += local_candidates;
-    }});
+      return Status::OK();
+                           },
+                           dst_bytes});
   }
-  DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(probe_tasks)));
+  DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(probe_tasks),
+                                         left_.StageOpts("join-probe")));
 
   if (stats != nullptr) stats->candidate_pairs = candidate_pairs;
   std::sort(results.begin(), results.end());

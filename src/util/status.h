@@ -19,6 +19,8 @@ class Status {
     kIOError,
     kNotSupported,
     kInternal,
+    kDeadlineExceeded,
+    kUnavailable,
   };
 
   Status() = default;
@@ -38,6 +40,14 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  /// A stage or operation exceeded its (virtual-time) deadline.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// A worker or resource is (permanently or transiently) gone.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace dita {
@@ -34,6 +36,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (pending_exception_) {
+    std::exception_ptr e = std::exchange(pending_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -47,9 +54,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // A throwing task must not escape the worker thread (std::terminate) or
+    // leak its in_flight_ slot (Wait() would hang). Capture the first
+    // exception for Wait() to rethrow.
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (thrown && !pending_exception_) pending_exception_ = thrown;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -25,7 +26,9 @@ class ThreadPool {
   /// Enqueues a task for execution by some pool thread.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished running.
+  /// Blocks until every submitted task has finished running. If any task
+  /// threw, the first captured exception is rethrown here (and cleared, so
+  /// the pool stays usable); the remaining tasks still ran to completion.
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
@@ -40,6 +43,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception thrown by a task since the last Wait(), if any.
+  std::exception_ptr pending_exception_;
 };
 
 }  // namespace dita

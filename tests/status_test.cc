@@ -25,6 +25,23 @@ TEST(StatusTest, AllErrorConstructors) {
   EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
   EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
   EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), Status::Code::kUnavailable);
+}
+
+TEST(StatusTest, EveryCodeRenders) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::InvalidArgument("m").ToString(), "InvalidArgument: m");
+  EXPECT_EQ(Status::NotFound("m").ToString(), "NotFound: m");
+  EXPECT_EQ(Status::IOError("m").ToString(), "IOError: m");
+  EXPECT_EQ(Status::NotSupported("m").ToString(), "NotSupported: m");
+  EXPECT_EQ(Status::Internal("m").ToString(), "Internal: m");
+  EXPECT_EQ(Status::DeadlineExceeded("m").ToString(), "DeadlineExceeded: m");
+  EXPECT_EQ(Status::Unavailable("m").ToString(), "Unavailable: m");
+  // Empty messages render the bare code name.
+  EXPECT_EQ(Status::DeadlineExceeded("").ToString(), "DeadlineExceeded");
+  EXPECT_EQ(Status::Unavailable("").ToString(), "Unavailable");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -57,6 +74,21 @@ TEST(StatusTest, ReturnIfErrorMacro) {
   Status s = Propagates();
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), Status::Code::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesNewCodes) {
+  auto propagate = [](Status in) {
+    return [in]() -> Status {
+      DITA_RETURN_IF_ERROR(in);
+      return Status::InvalidArgument("not reached");
+    }();
+  };
+  Status deadline = propagate(Status::DeadlineExceeded("stage too slow"));
+  EXPECT_EQ(deadline.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(deadline.message(), "stage too slow");
+  Status unavailable = propagate(Status::Unavailable("worker 3 lost"));
+  EXPECT_EQ(unavailable.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(unavailable.message(), "worker 3 lost");
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -42,6 +43,35 @@ TEST(ThreadPoolTest, TasksCanSubmitResultsConcurrently) {
   }
   pool.Wait();
   for (int i = 0; i < 64; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsCapturedAndRethrownFromWait) {
+  // Regression: a throwing task used to escape WorkerLoop (std::terminate)
+  // and leak its in_flight_ slot, hanging every later Wait().
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The non-throwing tasks all ran despite the failure.
+  EXPECT_EQ(counter.load(), 10);
+  // The exception was cleared and the pool remains fully usable.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsRethrown) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Later exceptions were dropped; a second Wait() is clean.
+  pool.Wait();
+  SUCCEED();
 }
 
 }  // namespace
