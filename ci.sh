@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Local CI: configure, build, and run the full test suite — once plain and
-# once under ASan+UBSan (DITA_SANITIZE=address). Run from the repo root:
+# Local CI: configure, build, and run the full test suite — once plain, once
+# under ASan+UBSan (DITA_SANITIZE=address), and once with the host-tuned
+# distance/index kernels (DITA_NATIVE=ON) under the sanitizers, filtered to
+# the kernel-equivalence tests so -march=native cannot silently change
+# distance results. Run from the repo root:
 #
-#   ./ci.sh            # both passes
+#   ./ci.sh            # all passes
 #   ./ci.sh plain      # plain pass only
 #   ./ci.sh sanitize   # sanitizer pass only
+#   ./ci.sh native     # host-tuned kernels + sanitizers, kernel tests only
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,20 +17,35 @@ mode="${1:-all}"
 
 run_pass() {
   local dir="$1"; shift
+  local filter=""
+  if [[ "${1:-}" == --filter=* ]]; then filter="${1#--filter=}"; shift; fi
   echo "=== configure ${dir} ($*) ==="
   cmake -B "${dir}" -S . "$@"
   echo "=== build ${dir} ==="
   cmake --build "${dir}" -j "${jobs}"
   echo "=== ctest ${dir} ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  if [[ -n "${filter}" ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" -R "${filter}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  fi
 }
+
+# The native pass proves the tuned kernels are still bit-compatible: the
+# oracle/threshold/verifier/engine tests all compare against untuned code or
+# naive reference DPs compiled without -march=native.
+native_filter='Oracle|ThresholdEdge|DpScratch|Dtw|Frechet|Edr|Lcss|Erp|Distance|Verif|EngineSearch'
 
 case "${mode}" in
   plain)    run_pass build ;;
   sanitize) run_pass build-asan -DDITA_SANITIZE=address ;;
+  native)   run_pass build-native "--filter=${native_filter}" \
+                     -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
   all)      run_pass build
-            run_pass build-asan -DDITA_SANITIZE=address ;;
-  *) echo "usage: $0 [plain|sanitize|all]" >&2; exit 2 ;;
+            run_pass build-asan -DDITA_SANITIZE=address
+            run_pass build-native "--filter=${native_filter}" \
+                     -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
+  *) echo "usage: $0 [plain|sanitize|native|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: all passes green"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "distance/dp_scratch.h"
 #include "util/timer.h"
 
 namespace dita {
@@ -41,19 +42,22 @@ Result<std::vector<TrajectoryId>> CentralizedDita::Search(
     spec.erp_gap = &config_.distance_params.erp_gap;
   }
 
-  std::vector<uint32_t> candidates;
+  DpScratch& scratch = DpScratch::ThreadLocal();
+  std::vector<uint32_t>& candidates = scratch.Candidates();
+  candidates.clear();
   trie_.CollectCandidates(spec, &candidates);
   const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
 
   SearchStats local;
   local.candidates = candidates.size();
+  std::vector<uint32_t>& accepted = scratch.Accepted();
+  accepted.clear();
+  const Verifier::Batch batch{&precomp_, &candidates, &qp, tau};
+  verifier_->VerifyBatch(batch, /*pool=*/nullptr, /*min_parallel=*/0,
+                         &accepted, &local.verify);
   std::vector<TrajectoryId> out;
-  for (uint32_t pos : candidates) {
-    const Trajectory& t = trie_.trajectory(pos);
-    if (verifier_->Verify(t, precomp_[pos], q, qp, tau, &local.verify)) {
-      out.push_back(t.id());
-    }
-  }
+  out.reserve(accepted.size());
+  for (uint32_t pos : accepted) out.push_back(trie_.trajectory(pos).id());
   if (stats != nullptr) *stats = local;
   std::sort(out.begin(), out.end());
   return out;
@@ -61,9 +65,7 @@ Result<std::vector<TrajectoryId>> CentralizedDita::Search(
 
 size_t CentralizedDita::ByteSize() const {
   size_t bytes = trie_.ByteSize();
-  for (const VerifyPrecomp& vp : precomp_) {
-    bytes += sizeof(MBR) + vp.cells.cells.size() * sizeof(CellSummary::Cell);
-  }
+  for (const VerifyPrecomp& vp : precomp_) bytes += vp.ByteSize();
   return bytes;
 }
 

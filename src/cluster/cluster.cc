@@ -10,6 +10,18 @@
 
 namespace dita {
 
+namespace {
+// Per-thread ledger of helper-thread CPU charged to the task currently
+// running on this thread (Cluster::ChargeCurrentTask). ExecuteTasks zeroes
+// it before each task body and folds it into the task's measured seconds
+// after, so retries/speculation/deadlines all see the inflated runtime.
+thread_local double t_task_offloaded_seconds = 0.0;
+}  // namespace
+
+void Cluster::ChargeCurrentTask(double seconds) {
+  if (seconds > 0.0) t_task_offloaded_seconds += seconds;
+}
+
 Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   DITA_CHECK(config_.num_workers > 0);
   DITA_CHECK(config_.bandwidth_bytes_per_sec > 0);
@@ -37,6 +49,7 @@ Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
     Status first_error;
     for (size_t i = 0; i < tasks->size(); ++i) {
       CpuTimer timer;
+      t_task_offloaded_seconds = 0.0;
       try {
         (*runs)[i].status = (*tasks)[i].fn();
       } catch (const std::exception& e) {
@@ -46,7 +59,7 @@ Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
       } catch (...) {
         if (first_error.ok()) first_error = Status::Internal("task threw");
       }
-      (*runs)[i].seconds = timer.Seconds();
+      (*runs)[i].seconds = timer.Seconds() + t_task_offloaded_seconds;
     }
     return first_error;
   }
@@ -56,8 +69,9 @@ Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
     TaskRun* run = &(*runs)[i];
     pool.Submit([t, run] {
       CpuTimer timer;
+      t_task_offloaded_seconds = 0.0;
       run->status = t->fn();
-      run->seconds = timer.Seconds();
+      run->seconds = timer.Seconds() + t_task_offloaded_seconds;
     });
   }
   // A throwing task surfaces here (ThreadPool captures it) instead of

@@ -163,6 +163,15 @@ class Cluster {
     return RunStage(std::move(tasks), StageOptions{});
   }
 
+  /// Adds CPU seconds to the cluster task currently executing on this
+  /// thread. Task bodies that offload work to helper threads (e.g. batched
+  /// verification chunked over an engine-local pool) must call this with the
+  /// helpers' measured CPU time: task runtimes are measured with a
+  /// per-thread clock, so offloaded work would otherwise escape the
+  /// virtual-time ledger and deflate simulated makespans. No-op when no task
+  /// is executing on the calling thread.
+  static void ChargeCurrentTask(double seconds);
+
   /// Charges `bytes` of traffic from `from` to `to`. Same-worker transfers
   /// are free (in-memory). Thread-safe.
   void RecordTransfer(size_t from, size_t to, uint64_t bytes);

@@ -36,6 +36,17 @@ struct DitaConfig {
   /// cost distribution are divided (replicated) for load balancing (§6.3).
   double division_quantile = 0.98;
 
+  /// Intra-task parallel verification (§5.3.3): number of engine-local
+  /// threads used to chunk a partition's surviving DP work inside one
+  /// cluster task. 0 verifies serially on the task thread. Chunk CPU is
+  /// charged back to the owning task's virtual time, so simulated makespans
+  /// are unchanged — only wall-clock latency improves.
+  size_t verify_threads = 0;
+
+  /// Minimum number of filter survivors before VerifyBatch fans out to the
+  /// verify pool; below this the submit/latch overhead outweighs the DP.
+  size_t verify_parallel_min = 32;
+
   /// Virtual-time budget per cluster stage (search probes, join ship/probe,
   /// index build). A stage whose slowest worker exceeds it surfaces
   /// Status::DeadlineExceeded instead of an open-ended wait. 0 disables.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <unordered_map>
 
 #include "core/join_planner.h"
+#include "distance/dp_scratch.h"
 #include "core/partitioner.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -17,6 +19,9 @@ DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& confi
   DITA_CHECK(dist.ok());
   distance_ = *dist;
   verifier_ = std::make_unique<Verifier>(distance_, config_);
+  if (config_.verify_threads > 0) {
+    verify_pool_ = std::make_unique<ThreadPool>(config_.verify_threads);
+  }
 }
 
 Status DitaEngine::BuildIndex(const Dataset& data) {
@@ -88,8 +93,7 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
   for (const Partition& p : partitions_) {
     index_stats_.local_index_bytes += p.trie.ByteSize();
     for (const VerifyPrecomp& vp : p.precomp) {
-      index_stats_.local_index_bytes +=
-          vp.cells.cells.size() * sizeof(CellSummary::Cell) + sizeof(MBR);
+      index_stats_.local_index_bytes += vp.ByteSize();
     }
   }
   indexed_ = true;
@@ -146,13 +150,21 @@ size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
                                std::vector<TrajectoryId>* results,
                                VerifyStats* vstats) const {
   TrieIndex::SearchSpec spec = MakeSpec(q, tau);
-  std::vector<uint32_t> candidates;
+  DpScratch& scratch = DpScratch::ThreadLocal();
+  std::vector<uint32_t>& candidates = scratch.Candidates();
+  candidates.clear();
   p.trie.CollectCandidates(spec, &candidates);
-  for (uint32_t pos : candidates) {
-    const Trajectory& t = p.trie.trajectory(pos);
-    if (verifier_->Verify(t, p.precomp[pos], q, qp, tau, vstats)) {
-      results->push_back(t.id());
-    }
+  std::vector<uint32_t>& accepted = scratch.Accepted();
+  accepted.clear();
+  const Verifier::Batch batch{&p.precomp, &candidates, &qp, tau};
+  const Verifier::BatchResult r = verifier_->VerifyBatch(
+      batch, verify_pool_.get(), config_.verify_parallel_min, &accepted,
+      vstats);
+  // DP chunks ran on pool threads; charge their CPU to this cluster task so
+  // the virtual-time ledger matches a serial verification.
+  if (r.offloaded_seconds > 0.0) Cluster::ChargeCurrentTask(r.offloaded_seconds);
+  for (const uint32_t pos : accepted) {
+    results->push_back(p.trie.trajectory(pos).id());
   }
   return candidates.size();
 }
@@ -243,6 +255,12 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
   // trajectory outside radius tau can belong to the kNN set, because every
   // result within tau beats it).
   std::vector<std::pair<TrajectoryId, double>> scored;
+  // Per-partition memo of exact distances: expansion rounds re-collect most
+  // of the previous round's candidates (the radius only grows), and exact
+  // DP scores are the expensive part, so they are computed once per
+  // (partition, position) across all rounds. Each partition appears in at
+  // most one task per round, so its map needs no locking.
+  std::vector<std::unordered_map<uint32_t, double>> memo(partitions_.size());
   size_t total_candidates = 0;
   size_t probed = 0;
   for (int round = 0; round < 64; ++round) {
@@ -259,18 +277,28 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
     std::vector<Cluster::Task> tasks;
     for (uint32_t pid : relevant) {
       const Partition* part = &partitions_[pid];
+      std::unordered_map<uint32_t, double>* part_memo = &memo[pid];
       tasks.push_back({part->home_worker,
-                       [&, part] {
+                       [&, part, part_memo] {
         TrieIndex::SearchSpec spec = MakeSpec(q, tau);
-        std::vector<uint32_t> candidates;
+        DpScratch& scratch = DpScratch::ThreadLocal();
+        std::vector<uint32_t>& candidates = scratch.Candidates();
+        candidates.clear();
         part->trie.CollectCandidates(spec, &candidates);
+        const TrajView qv = scratch.ExtractB(q);
         std::vector<std::pair<TrajectoryId, double>> local;
         for (uint32_t pos : candidates) {
-          const Trajectory& t = part->trie.trajectory(pos);
           // Exact distance needed for ranking; WithinThreshold's boolean
-          // answer is not enough here.
-          const double d = distance_->Compute(t, q);
-          if (d <= tau) local.emplace_back(t.id(), d);
+          // answer is not enough here. Memoized across expansion rounds.
+          double d;
+          const auto it = part_memo->find(pos);
+          if (it != part_memo->end()) {
+            d = it->second;
+          } else {
+            d = distance_->Compute(part->precomp[pos].soa.view(), qv, &scratch);
+            part_memo->emplace(pos, d);
+          }
+          if (d <= tau) local.emplace_back(part->trie.trajectory(pos).id(), d);
         }
         std::lock_guard<std::mutex> lock(mu);
         total_candidates += candidates.size();

@@ -11,6 +11,7 @@
 #include "core/verifier.h"
 #include "distance/distance.h"
 #include "index/trie_index.h"
+#include "util/thread_pool.h"
 #include "workload/dataset.h"
 
 namespace dita {
@@ -143,6 +144,9 @@ class DitaEngine {
   DitaConfig config_;
   std::shared_ptr<TrajectoryDistance> distance_;
   std::unique_ptr<Verifier> verifier_;
+  /// Engine-local pool for intra-task parallel verification (see
+  /// DitaConfig::verify_threads); null when verification is serial.
+  std::unique_ptr<ThreadPool> verify_pool_;
   GlobalIndex global_;
   std::vector<Partition> partitions_;
   IndexStats index_stats_;

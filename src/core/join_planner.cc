@@ -4,6 +4,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "distance/dp_scratch.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -336,25 +337,33 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
 
       std::vector<std::pair<TrajectoryId, TrajectoryId>> local;
       size_t local_candidates = 0;
+      DpScratch& scratch = DpScratch::ThreadLocal();
+      double offloaded = 0.0;
       for (uint32_t pos : plan.shipped) {
         const Trajectory& q = sp.trie.trajectory(pos);
         const VerifyPrecomp& qp = sp.precomp[pos];
         TrieIndex::SearchSpec spec = dst_side.MakeSpec(q, tau_);
-        std::vector<uint32_t> cands;
+        std::vector<uint32_t>& cands = scratch.Candidates();
+        cands.clear();
         dp.trie.CollectCandidates(spec, &cands);
         local_candidates += cands.size();
-        for (uint32_t cpos : cands) {
+        std::vector<uint32_t>& accepted = scratch.Accepted();
+        accepted.clear();
+        const Verifier::Batch batch{&dp.precomp, &cands, &qp, tau_};
+        const Verifier::BatchResult r = dst_side.verifier_->VerifyBatch(
+            batch, dst_side.verify_pool_.get(),
+            dst_side.config_.verify_parallel_min, &accepted, nullptr);
+        offloaded += r.offloaded_seconds;
+        for (uint32_t cpos : accepted) {
           const Trajectory& t = dp.trie.trajectory(cpos);
-          if (dst_side.verifier_->Verify(t, dp.precomp[cpos], q, qp, tau_,
-                                         nullptr)) {
-            if (e.left_to_right) {
-              local.emplace_back(q.id(), t.id());
-            } else {
-              local.emplace_back(t.id(), q.id());
-            }
+          if (e.left_to_right) {
+            local.emplace_back(q.id(), t.id());
+          } else {
+            local.emplace_back(t.id(), q.id());
           }
         }
       }
+      if (offloaded > 0.0) Cluster::ChargeCurrentTask(offloaded);
       std::lock_guard<std::mutex> lock(mu);
       results.insert(results.end(), local.begin(), local.end());
       candidate_pairs += local_candidates;

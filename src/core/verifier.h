@@ -1,24 +1,39 @@
 #ifndef DITA_CORE_VERIFIER_H_
 #define DITA_CORE_VERIFIER_H_
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/config.h"
 #include "distance/distance.h"
+#include "geom/soa.h"
 #include "geom/trajectory.h"
 #include "index/cell.h"
+#include "util/thread_pool.h"
 
 namespace dita {
 
 /// Per-trajectory data precomputed at index-build time so verification can
 /// run its cheap filters without touching the raw points (§5.3.3:
 /// "Computing MBRs and cells is pre-processed during creating the index").
+/// The SoA copy of the coordinates feeds the DP kernels directly, keeping
+/// their inner loops on contiguous lanes.
 struct VerifyPrecomp {
   MBR mbr;
   CellSummary cells;
+  SoaTrajectory soa;
 
   static VerifyPrecomp For(const Trajectory& t, double cell_size) {
-    return VerifyPrecomp{t.ComputeMBR(), CompressToCells(t, cell_size)};
+    return VerifyPrecomp{t.ComputeMBR(), CompressToCells(t, cell_size),
+                         SoaTrajectory(t)};
+  }
+
+  /// Heap bytes this precomp holds beyond the indexed trajectory itself;
+  /// accumulated into IndexStats::local_index_bytes.
+  size_t ByteSize() const {
+    return sizeof(MBR) + cells.cells.size() * sizeof(CellSummary::Cell) +
+           soa.ByteSize();
   }
 };
 
@@ -43,12 +58,32 @@ struct VerifyStats {
 /// The verification pipeline of §5.3.3, ordered cheapest first:
 ///  (1) MBR coverage filtering via extended MBRs (Lemma 5.4);
 ///  (2) cell-compression lower bound (Lemma 5.6);
-///  (3) double-direction threshold-aware dynamic program.
+///  (3) threshold-aware dynamic program on SoA kernels.
 /// Steps (1)-(2) only apply to distances whose semantics support them (DTW,
 /// Frechet — every point must align within tau); edit distances go straight
 /// to their thresholded DP, which embeds the length filter.
 class Verifier {
  public:
+  /// One partition's worth of verification work against a single query:
+  /// `candidates` indexes into `precomp` (positions within the partition).
+  struct Batch {
+    const std::vector<VerifyPrecomp>* precomp = nullptr;
+    const std::vector<uint32_t>* candidates = nullptr;
+    const VerifyPrecomp* query = nullptr;
+    double tau = 0.0;
+  };
+
+  struct BatchResult {
+    /// Candidates accepted by this batch.
+    size_t accepted = 0;
+    /// DP chunks dispatched to the pool (0 when the batch ran serially).
+    size_t pool_chunks = 0;
+    /// CPU seconds burned on pool threads. The caller must charge these to
+    /// its cluster task (Cluster::ChargeCurrentTask) so the virtual-time
+    /// ledger sees the same total work as a serial run.
+    double offloaded_seconds = 0.0;
+  };
+
   Verifier(std::shared_ptr<TrajectoryDistance> distance, const DitaConfig& config)
       : distance_(std::move(distance)),
         mbr_enabled_(config.enable_mbr_verification),
@@ -58,9 +93,24 @@ class Verifier {
   bool Verify(const Trajectory& t, const VerifyPrecomp& tp, const Trajectory& q,
               const VerifyPrecomp& qp, double tau, VerifyStats* stats) const;
 
+  /// Verifies a whole candidate list: a tight first pass runs the MBR/cell
+  /// filters, then the surviving DP work either runs serially on the calling
+  /// thread or — when `pool` is non-null and at least `min_parallel`
+  /// survivors remain — is chunked across the pool. Accepted positions are
+  /// appended to `accepted` in candidate order regardless of the execution
+  /// mode, so results are deterministic. Stats accumulation matches a loop
+  /// of Verify() calls exactly.
+  BatchResult VerifyBatch(const Batch& batch, ThreadPool* pool,
+                          size_t min_parallel, std::vector<uint32_t>* accepted,
+                          VerifyStats* stats) const;
+
   const TrajectoryDistance& distance() const { return *distance_; }
 
  private:
+  /// Filter steps (1)-(2) only; updates the prune counters.
+  bool PassesFilters(const VerifyPrecomp& tp, const VerifyPrecomp& qp,
+                     double tau, VerifyStats* stats) const;
+
   std::shared_ptr<TrajectoryDistance> distance_;
   bool mbr_enabled_;
   bool cell_enabled_;

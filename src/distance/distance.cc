@@ -9,10 +9,27 @@
 
 namespace dita {
 
+double TrajectoryDistance::Compute(const Trajectory& t,
+                                   const Trajectory& q) const {
+  DpScratch& scratch = DpScratch::ThreadLocal();
+  const TrajView tv = scratch.ExtractA(t);
+  const TrajView qv = scratch.ExtractB(q);
+  return Compute(tv, qv, &scratch);
+}
+
 bool TrajectoryDistance::WithinThreshold(const Trajectory& t,
                                          const Trajectory& q,
                                          double tau) const {
-  return Compute(t, q) <= tau;
+  DpScratch& scratch = DpScratch::ThreadLocal();
+  const TrajView tv = scratch.ExtractA(t);
+  const TrajView qv = scratch.ExtractB(q);
+  return WithinThreshold(tv, qv, tau, &scratch);
+}
+
+bool TrajectoryDistance::WithinThreshold(const TrajView& t, const TrajView& q,
+                                         double tau,
+                                         DpScratch* scratch) const {
+  return Compute(t, q, scratch) <= tau;
 }
 
 Result<std::shared_ptr<TrajectoryDistance>> MakeDistance(

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "distance/dp_scratch.h"
+#include "geom/soa.h"
 #include "geom/trajectory.h"
 #include "util/status.h"
 
@@ -49,14 +51,25 @@ class TrajectoryDistance {
   /// Matching epsilon used by kEditCount distances; 0 otherwise.
   virtual double matching_epsilon() const { return 0.0; }
 
-  /// Exact distance via the full dynamic program.
-  virtual double Compute(const Trajectory& t, const Trajectory& q) const = 0;
+  /// Exact distance via the full dynamic program. Extracts both
+  /// trajectories into this thread's SoA scratch lanes and runs the view
+  /// kernel; allocation-free once the scratch has warmed up.
+  double Compute(const Trajectory& t, const Trajectory& q) const;
 
   /// Threshold-aware test: returns true iff Compute(t, q) <= tau, but may
   /// abandon the dynamic program early once the result provably exceeds tau.
   /// Implementations must be exact (never prune a true answer).
-  virtual bool WithinThreshold(const Trajectory& t, const Trajectory& q,
-                               double tau) const;
+  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
+                       double tau) const;
+
+  /// Kernel entry points over flat SoA coordinate views. Hot paths (batch
+  /// verification, kNN scoring) hold precomputed SoaTrajectory views and
+  /// call these directly; `scratch` supplies the DP rows and is typically
+  /// DpScratch::ThreadLocal().
+  virtual double Compute(const TrajView& t, const TrajView& q,
+                         DpScratch* scratch) const = 0;
+  virtual bool WithinThreshold(const TrajView& t, const TrajView& q,
+                               double tau, DpScratch* scratch) const;
 };
 
 /// Creates a distance instance. Returns InvalidArgument for unknown types.

@@ -1,0 +1,10 @@
+#include "distance/dp_scratch.h"
+
+namespace dita {
+
+DpScratch& DpScratch::ThreadLocal() {
+  thread_local DpScratch scratch;
+  return scratch;
+}
+
+}  // namespace dita

@@ -1,129 +1,24 @@
 #include "distance/dtw.h"
 
-#include <algorithm>
-#include <limits>
-#include <vector>
-
-#include "util/logging.h"
+#include "distance/kernels.h"
 
 namespace dita {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-}  // namespace
-
-double Dtw::Compute(const Trajectory& t, const Trajectory& q) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const size_t m = a.size();
-  const size_t n = b.size();
-  if (m == 0 || n == 0) return m == n ? 0.0 : kInf;
-
-  // Rolling single-row DP: row[j] = DTW(T^i, Q^j).
-  std::vector<double> row(n);
-  row[0] = PointDistance(a[0], b[0]);
-  for (size_t j = 1; j < n; ++j) row[j] = row[j - 1] + PointDistance(a[0], b[j]);
-  for (size_t i = 1; i < m; ++i) {
-    double diag = row[0];  // DTW(T^{i-1}, Q^1)
-    row[0] += PointDistance(a[i], b[0]);
-    for (size_t j = 1; j < n; ++j) {
-      const double up = row[j];  // DTW(T^{i-1}, Q^{j})
-      row[j] = PointDistance(a[i], b[j]) + std::min({diag, up, row[j - 1]});
-      diag = up;
-    }
-  }
-  return row[n - 1];
+double Dtw::Compute(const TrajView& t, const TrajView& q,
+                    DpScratch* scratch) const {
+  return kernels::DtwCompute(t, q, *scratch);
 }
 
-bool Dtw::WithinThreshold(const Trajectory& t, const Trajectory& q,
-                          double tau) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const size_t m = a.size();
-  const size_t n = b.size();
-  if (m == 0 || n == 0) return m == n && 0.0 <= tau;
-
-  // Double-direction anchor bound: every warping path includes dist(t1, q1)
-  // and dist(tm, qn) (Definition 2.2), so their sum already lower-bounds DTW
-  // unless the trajectories are single points.
-  const double anchors = PointDistance(a[0], b[0]) +
-                         PointDistance(a[m - 1], b[n - 1]);
-  if (m > 1 || n > 1) {
-    if (anchors > tau) return false;
-  } else if (PointDistance(a[0], b[0]) > tau) {
-    return false;
-  }
-  if (m == 1 || n == 1) return Compute(t, q) <= tau;
-
-  // Forward DP over rows [0, split]; backward DP over rows [split+1, m-1].
-  // Any warping path crosses from row `split` to row `split+1` by a step
-  // (split, j) -> (split+1, j') with j' in {j, j+1}, so
-  //   DTW = min_j min(F[j] + B[j], F[j] + B[j+1]).
-  const size_t split = (m - 1) / 2;
-
-  std::vector<double> fwd(n);
-  fwd[0] = PointDistance(a[0], b[0]);
-  for (size_t j = 1; j < n; ++j) fwd[j] = fwd[j - 1] + PointDistance(a[0], b[j]);
-  for (size_t i = 1; i <= split; ++i) {
-    double diag = fwd[0];
-    fwd[0] += PointDistance(a[i], b[0]);
-    double row_min = fwd[0];
-    for (size_t j = 1; j < n; ++j) {
-      const double up = fwd[j];
-      fwd[j] = PointDistance(a[i], b[j]) + std::min({diag, up, fwd[j - 1]});
-      diag = up;
-      row_min = std::min(row_min, fwd[j]);
-    }
-    // Every remaining path still has to pay dist(tm, qn); fold it into the
-    // abandon test to tighten the bound.
-    if (row_min + PointDistance(a[m - 1], b[n - 1]) > tau) return false;
-  }
-
-  // Backward DP: bwd[j] = min cost of a path from (i, j) to (m-1, n-1).
-  std::vector<double> bwd(n);
-  bwd[n - 1] = PointDistance(a[m - 1], b[n - 1]);
-  for (size_t jj = n - 1; jj-- > 0;) {
-    bwd[jj] = bwd[jj + 1] + PointDistance(a[m - 1], b[jj]);
-  }
-  for (size_t i = m - 1; i-- > split + 1;) {
-    double diag = bwd[n - 1];  // value at (i+1, j+1) before overwrite
-    bwd[n - 1] += PointDistance(a[i], b[n - 1]);
-    double row_min = bwd[n - 1];
-    for (size_t jj = n - 1; jj-- > 0;) {
-      const double down = bwd[jj];  // (i+1, j)
-      bwd[jj] = PointDistance(a[i], b[jj]) + std::min({diag, down, bwd[jj + 1]});
-      diag = down;
-      row_min = std::min(row_min, bwd[jj]);
-    }
-    if (row_min + PointDistance(a[0], b[0]) > tau) return false;
-  }
-
-  double best = kInf;
-  for (size_t j = 0; j < n; ++j) {
-    best = std::min(best, fwd[j] + bwd[j]);
-    if (j + 1 < n) best = std::min(best, fwd[j] + bwd[j + 1]);
-  }
-  return best <= tau;
+bool Dtw::WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                          DpScratch* scratch) const {
+  return kernels::DtwWithin(t, q, tau, *scratch);
 }
 
 double Dtw::AccumulatedMinDistance(const Trajectory& t, const Trajectory& q) {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const size_t m = a.size();
-  const size_t n = b.size();
-  if (m == 0 || n == 0) return m == n ? 0.0 : kInf;
-  double amd = PointDistance(a[0], b[0]) + PointDistance(a[m - 1], b[n - 1]);
-  if (m == 1 && n == 1) return PointDistance(a[0], b[0]);
-  for (size_t i = 1; i + 1 < m; ++i) {
-    double min_d = kInf;
-    for (size_t j = 0; j < n; ++j) {
-      min_d = std::min(min_d, PointDistance(a[i], b[j]));
-    }
-    amd += min_d;
-  }
-  return amd;
+  DpScratch& scratch = DpScratch::ThreadLocal();
+  const TrajView tv = scratch.ExtractA(t);
+  const TrajView qv = scratch.ExtractB(q);
+  return kernels::DtwAmd(tv, qv);
 }
 
 }  // namespace dita

@@ -6,20 +6,24 @@
 namespace dita {
 
 /// Dynamic Time Warping (Definition 2.2), the paper's default distance.
-/// WithinThreshold runs the double-direction, early-abandoning dynamic
-/// program of §5.3.3: forward DP over the first half of T, backward DP over
-/// the second half, then an exact join across the split row; each direction
-/// abandons as soon as its frontier minimum exceeds tau.
+/// WithinThreshold runs a threshold-aware dynamic program (§5.3.3): the
+/// double-direction anchor bound rejects cheaply, then a single forward pass
+/// keeps only the per-row window of columns that can still lie on a path of
+/// cost <= tau (every continuation must pay the last anchor distance).
 class Dtw : public TrajectoryDistance {
  public:
+  using TrajectoryDistance::Compute;
+  using TrajectoryDistance::WithinThreshold;
+
   DistanceType type() const override { return DistanceType::kDTW; }
   std::string name() const override { return "DTW"; }
   bool is_metric() const override { return false; }
   PruneMode prune_mode() const override { return PruneMode::kAccumulate; }
 
-  double Compute(const Trajectory& t, const Trajectory& q) const override;
-  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
-                       double tau) const override;
+  double Compute(const TrajView& t, const TrajView& q,
+                 DpScratch* scratch) const override;
+  bool WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                       DpScratch* scratch) const override;
 
   /// Accumulated minimum distance AMD (Lemma 4.1): an O(mn) lower bound on
   /// DTW. Exposed for tests and ablations.

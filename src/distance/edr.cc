@@ -1,73 +1,17 @@
 #include "distance/edr.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdlib>
-#include <limits>
-#include <vector>
+#include "distance/kernels.h"
 
 namespace dita {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}  // namespace
-
-double Edr::Compute(const Trajectory& t, const Trajectory& q) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const size_t m = a.size();
-  const size_t n = b.size();
-  if (m == 0) return static_cast<double>(n);
-  if (n == 0) return static_cast<double>(m);
-
-  // row[j] = EDR(prefix of T, first j points of Q).
-  std::vector<double> row(n + 1);
-  for (size_t j = 0; j <= n; ++j) row[j] = static_cast<double>(j);
-  for (size_t i = 1; i <= m; ++i) {
-    double diag = row[0];
-    row[0] = static_cast<double>(i);
-    for (size_t j = 1; j <= n; ++j) {
-      const double up = row[j];
-      const double subcost =
-          PointDistance(a[i - 1], b[j - 1]) <= epsilon_ ? 0.0 : 1.0;
-      row[j] = std::min({diag + subcost, up + 1.0, row[j - 1] + 1.0});
-      diag = up;
-    }
-  }
-  return row[n];
+double Edr::Compute(const TrajView& t, const TrajView& q,
+                    DpScratch* scratch) const {
+  return kernels::EdrCompute(t, q, epsilon_, *scratch);
 }
 
-bool Edr::WithinThreshold(const Trajectory& t, const Trajectory& q,
-                          double tau) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const long m = static_cast<long>(a.size());
-  const long n = static_cast<long>(b.size());
-  if (std::abs(m - n) > tau) return false;  // length filter (Appendix A)
-  if (m == 0 || n == 0) return true;        // |m - n| <= tau already
-
-  // Banded DP: a cell (i, j) with |i - j| > band needs more than tau
-  // insert/delete operations, so it cannot be on a path of cost <= tau.
-  const long band = static_cast<long>(std::floor(tau));
-  std::vector<double> row(static_cast<size_t>(n) + 1, kInf);
-  std::vector<double> prev(static_cast<size_t>(n) + 1, kInf);
-  for (long j = 0; j <= std::min(n, band); ++j) prev[j] = static_cast<double>(j);
-  for (long i = 1; i <= m; ++i) {
-    std::fill(row.begin(), row.end(), kInf);
-    const long j_lo = std::max(1L, i - band);
-    const long j_hi = std::min(n, i + band);
-    if (i <= band) row[0] = static_cast<double>(i);
-    double row_min = row[0];
-    for (long j = j_lo; j <= j_hi; ++j) {
-      const double subcost =
-          PointDistance(a[i - 1], b[j - 1]) <= epsilon_ ? 0.0 : 1.0;
-      row[j] = std::min({prev[j - 1] + subcost, prev[j] + 1.0, row[j - 1] + 1.0});
-      row_min = std::min(row_min, row[j]);
-    }
-    if (row_min > tau) return false;
-    std::swap(row, prev);
-  }
-  return prev[n] <= tau;
+bool Edr::WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                          DpScratch* scratch) const {
+  return kernels::EdrWithin(t, q, epsilon_, tau, *scratch);
 }
 
 }  // namespace dita

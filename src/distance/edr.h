@@ -12,18 +12,22 @@ class Edr : public TrajectoryDistance {
  public:
   explicit Edr(double epsilon) : epsilon_(epsilon) {}
 
+  using TrajectoryDistance::Compute;
+  using TrajectoryDistance::WithinThreshold;
+
   DistanceType type() const override { return DistanceType::kEDR; }
   std::string name() const override { return "EDR"; }
   bool is_metric() const override { return false; }
   PruneMode prune_mode() const override { return PruneMode::kEditCount; }
   double matching_epsilon() const override { return epsilon_; }
 
-  double Compute(const Trajectory& t, const Trajectory& q) const override;
+  double Compute(const TrajView& t, const TrajView& q,
+                 DpScratch* scratch) const override;
 
   /// Applies the length filter |m - n| > tau (Appendix A) and a banded DP of
   /// half-width tau — any path leaving the band costs more than tau edits.
-  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
-                       double tau) const override;
+  bool WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                       DpScratch* scratch) const override;
 
  private:
   double epsilon_;

@@ -1,57 +1,17 @@
 #include "distance/erp.h"
 
-#include <algorithm>
-#include <limits>
-#include <vector>
+#include "distance/kernels.h"
 
 namespace dita {
 
-double Erp::Compute(const Trajectory& t, const Trajectory& q) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const size_t m = a.size();
-  const size_t n = b.size();
-
-  std::vector<double> prev(n + 1, 0.0);
-  for (size_t j = 1; j <= n; ++j) prev[j] = prev[j - 1] + PointDistance(b[j - 1], gap_);
-  std::vector<double> row(n + 1, 0.0);
-  for (size_t i = 1; i <= m; ++i) {
-    row[0] = prev[0] + PointDistance(a[i - 1], gap_);
-    for (size_t j = 1; j <= n; ++j) {
-      row[j] = std::min({prev[j - 1] + PointDistance(a[i - 1], b[j - 1]),
-                         prev[j] + PointDistance(a[i - 1], gap_),
-                         row[j - 1] + PointDistance(b[j - 1], gap_)});
-    }
-    std::swap(row, prev);
-  }
-  return prev[n];
+double Erp::Compute(const TrajView& t, const TrajView& q,
+                    DpScratch* scratch) const {
+  return kernels::ErpCompute(t, q, gap_, *scratch);
 }
 
-bool Erp::WithinThreshold(const Trajectory& t, const Trajectory& q,
-                          double tau) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const size_t m = a.size();
-  const size_t n = b.size();
-
-  std::vector<double> prev(n + 1, 0.0);
-  for (size_t j = 1; j <= n; ++j) prev[j] = prev[j - 1] + PointDistance(b[j - 1], gap_);
-  std::vector<double> row(n + 1, 0.0);
-  for (size_t i = 1; i <= m; ++i) {
-    row[0] = prev[0] + PointDistance(a[i - 1], gap_);
-    double row_min = row[0];
-    for (size_t j = 1; j <= n; ++j) {
-      row[j] = std::min({prev[j - 1] + PointDistance(a[i - 1], b[j - 1]),
-                         prev[j] + PointDistance(a[i - 1], gap_),
-                         row[j - 1] + PointDistance(b[j - 1], gap_)});
-      row_min = std::min(row_min, row[j]);
-    }
-    // ERP costs are non-negative, so a frontier entirely above tau can never
-    // come back below it.
-    if (row_min > tau) return false;
-    std::swap(row, prev);
-  }
-  return prev[n] <= tau;
+bool Erp::WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                          DpScratch* scratch) const {
+  return kernels::ErpWithin(t, q, gap_, tau, *scratch);
 }
 
 }  // namespace dita

@@ -13,14 +13,18 @@ class Erp : public TrajectoryDistance {
  public:
   explicit Erp(const Point& gap) : gap_(gap) {}
 
+  using TrajectoryDistance::Compute;
+  using TrajectoryDistance::WithinThreshold;
+
   DistanceType type() const override { return DistanceType::kERP; }
   std::string name() const override { return "ERP"; }
   bool is_metric() const override { return true; }
   PruneMode prune_mode() const override { return PruneMode::kAccumulate; }
 
-  double Compute(const Trajectory& t, const Trajectory& q) const override;
-  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
-                       double tau) const override;
+  double Compute(const TrajView& t, const TrajView& q,
+                 DpScratch* scratch) const override;
+  bool WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                       DpScratch* scratch) const override;
 
  private:
   Point gap_;

@@ -1,74 +1,17 @@
 #include "distance/frechet.h"
 
-#include <algorithm>
-#include <limits>
-#include <vector>
+#include "distance/kernels.h"
 
 namespace dita {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}  // namespace
-
-double Frechet::Compute(const Trajectory& t, const Trajectory& q) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const size_t m = a.size();
-  const size_t n = b.size();
-  if (m == 0 || n == 0) return m == n ? 0.0 : kInf;
-
-  std::vector<double> row(n);
-  row[0] = PointDistance(a[0], b[0]);
-  for (size_t j = 1; j < n; ++j) {
-    row[j] = std::max(row[j - 1], PointDistance(a[0], b[j]));
-  }
-  for (size_t i = 1; i < m; ++i) {
-    double diag = row[0];
-    row[0] = std::max(row[0], PointDistance(a[i], b[0]));
-    for (size_t j = 1; j < n; ++j) {
-      const double up = row[j];
-      row[j] = std::max(PointDistance(a[i], b[j]),
-                        std::min({diag, up, row[j - 1]}));
-      diag = up;
-    }
-  }
-  return row[n - 1];
+double Frechet::Compute(const TrajView& t, const TrajView& q,
+                        DpScratch* scratch) const {
+  return kernels::FrechetCompute(t, q, *scratch);
 }
 
-bool Frechet::WithinThreshold(const Trajectory& t, const Trajectory& q,
-                              double tau) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const size_t m = a.size();
-  const size_t n = b.size();
-  if (m == 0 || n == 0) return m == n && 0.0 <= tau;
-
-  // Both endpoints are always aligned, so either exceeding tau disproves
-  // similarity immediately.
-  if (PointDistance(a[0], b[0]) > tau) return false;
-  if (PointDistance(a[m - 1], b[n - 1]) > tau) return false;
-
-  std::vector<double> row(n);
-  row[0] = PointDistance(a[0], b[0]);
-  for (size_t j = 1; j < n; ++j) {
-    row[j] = std::max(row[j - 1], PointDistance(a[0], b[j]));
-  }
-  for (size_t i = 1; i < m; ++i) {
-    double diag = row[0];
-    row[0] = std::max(row[0], PointDistance(a[i], b[0]));
-    double row_min = row[0];
-    for (size_t j = 1; j < n; ++j) {
-      const double up = row[j];
-      row[j] = std::max(PointDistance(a[i], b[j]),
-                        std::min({diag, up, row[j - 1]}));
-      diag = up;
-      row_min = std::min(row_min, row[j]);
-    }
-    // Every path to (m-1, n-1) extends some cell in this row; if all of them
-    // already exceed tau the distance must exceed tau.
-    if (row_min > tau) return false;
-  }
-  return row[n - 1] <= tau;
+bool Frechet::WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                              DpScratch* scratch) const {
+  return kernels::FrechetWithin(t, q, tau, *scratch);
 }
 
 }  // namespace dita

@@ -10,14 +10,18 @@ namespace dita {
 /// replacing (+, min).
 class Frechet : public TrajectoryDistance {
  public:
+  using TrajectoryDistance::Compute;
+  using TrajectoryDistance::WithinThreshold;
+
   DistanceType type() const override { return DistanceType::kFrechet; }
   std::string name() const override { return "Frechet"; }
   bool is_metric() const override { return true; }
   PruneMode prune_mode() const override { return PruneMode::kMax; }
 
-  double Compute(const Trajectory& t, const Trajectory& q) const override;
-  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
-                       double tau) const override;
+  double Compute(const TrajView& t, const TrajView& q,
+                 DpScratch* scratch) const override;
+  bool WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                       DpScratch* scratch) const override;
 };
 
 }  // namespace dita

@@ -1,92 +1,28 @@
 #include "distance/lcss.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <vector>
+
+#include "distance/kernels.h"
 
 namespace dita {
 
 size_t Lcss::Similarity(const Trajectory& t, const Trajectory& q) const {
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const long m = static_cast<long>(a.size());
-  const long n = static_cast<long>(b.size());
-  if (m == 0 || n == 0) return 0;
-
-  // The index constraint |i - j| <= delta confines matches to a band, so
-  // only band cells need point distances; outside the band the DP value is
-  // constant along each row (no further matches are permitted there), which
-  // we materialize so neighbouring rows can read any column directly.
-  std::vector<size_t> prev(static_cast<size_t>(n) + 1, 0);
-  std::vector<size_t> row(static_cast<size_t>(n) + 1, 0);
-  for (long i = 1; i <= m; ++i) {
-    // Clamp: when i - delta exceeds n the band is empty and row i simply
-    // copies row i-1 (no new matches are permitted).
-    const long lo = std::min(std::max(1L, i - delta_), n + 1);
-    const long hi = std::min(n, i + delta_);
-    // Columns before the band: row i cannot add matches there.
-    for (long j = 0; j < lo; ++j) row[j] = prev[j];
-    for (long j = lo; j <= hi; ++j) {
-      if (PointDistance(a[i - 1], b[j - 1]) <= epsilon_) {
-        row[j] = prev[j - 1] + 1;
-      } else {
-        row[j] = std::max(prev[j], row[j - 1]);
-      }
-    }
-    // Columns after the band: constant continuation of the last band cell.
-    for (long j = hi + 1; j <= n; ++j) row[j] = std::max(row[hi], prev[j]);
-    std::swap(row, prev);
-  }
-  return prev[static_cast<size_t>(n)];
+  DpScratch& scratch = DpScratch::ThreadLocal();
+  const TrajView tv = scratch.ExtractA(t);
+  const TrajView qv = scratch.ExtractB(q);
+  return kernels::LcssSimilarity(tv, qv, epsilon_, delta_, scratch);
 }
 
-double Lcss::Compute(const Trajectory& t, const Trajectory& q) const {
-  const size_t m = t.size();
-  const size_t n = q.size();
-  const size_t shorter = std::min(m, n);
-  return static_cast<double>(shorter - std::min(shorter, Similarity(t, q)));
+double Lcss::Compute(const TrajView& t, const TrajView& q,
+                     DpScratch* scratch) const {
+  const size_t shorter = std::min(t.len, q.len);
+  const size_t sim = kernels::LcssSimilarity(t, q, epsilon_, delta_, *scratch);
+  return static_cast<double>(shorter - std::min(shorter, sim));
 }
 
-bool Lcss::WithinThreshold(const Trajectory& t, const Trajectory& q,
-                           double tau) const {
-  // min(m, n) - lcss <= tau  <=>  lcss >= min(m, n) - tau. Cheap pre-check:
-  // the index constraint caps achievable similarity by min(m, n), so a
-  // negative requirement is trivially met.
-  const double required =
-      static_cast<double>(std::min(t.size(), q.size())) - tau;
-  if (required <= 0) return true;
-
-  // Banded DP with an upper-bound abandon: after row i the similarity can
-  // grow by at most (m - i) more matches.
-  const auto& a = t.points();
-  const auto& b = q.points();
-  const long m = static_cast<long>(a.size());
-  const long n = static_cast<long>(b.size());
-  std::vector<size_t> prev(static_cast<size_t>(n) + 1, 0);
-  std::vector<size_t> row(static_cast<size_t>(n) + 1, 0);
-  for (long i = 1; i <= m; ++i) {
-    const long lo = std::min(std::max(1L, i - delta_), n + 1);
-    const long hi = std::min(n, i + delta_);
-    for (long j = 0; j < lo; ++j) row[j] = prev[j];
-    size_t row_best = row[lo - 1];
-    for (long j = lo; j <= hi; ++j) {
-      if (PointDistance(a[i - 1], b[j - 1]) <= epsilon_) {
-        row[j] = prev[j - 1] + 1;
-      } else {
-        row[j] = std::max(prev[j], row[j - 1]);
-      }
-      row_best = std::max(row_best, row[j]);
-    }
-    for (long j = hi + 1; j <= n; ++j) {
-      row[j] = std::max(row[hi], prev[j]);
-      row_best = std::max(row_best, row[j]);
-    }
-    if (static_cast<double>(row_best + static_cast<size_t>(m - i)) < required) {
-      return false;
-    }
-    std::swap(row, prev);
-  }
-  return static_cast<double>(prev[static_cast<size_t>(n)]) >= required;
+bool Lcss::WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                           DpScratch* scratch) const {
+  return kernels::LcssWithin(t, q, epsilon_, delta_, tau, *scratch);
 }
 
 }  // namespace dita

@@ -15,15 +15,19 @@ class Lcss : public TrajectoryDistance {
  public:
   Lcss(double epsilon, int delta) : epsilon_(epsilon), delta_(delta) {}
 
+  using TrajectoryDistance::Compute;
+  using TrajectoryDistance::WithinThreshold;
+
   DistanceType type() const override { return DistanceType::kLCSS; }
   std::string name() const override { return "LCSS"; }
   bool is_metric() const override { return false; }
   PruneMode prune_mode() const override { return PruneMode::kEditCount; }
   double matching_epsilon() const override { return epsilon_; }
 
-  double Compute(const Trajectory& t, const Trajectory& q) const override;
-  bool WithinThreshold(const Trajectory& t, const Trajectory& q,
-                       double tau) const override;
+  double Compute(const TrajView& t, const TrajView& q,
+                 DpScratch* scratch) const override;
+  bool WithinThreshold(const TrajView& t, const TrajView& q, double tau,
+                       DpScratch* scratch) const override;
 
   /// The raw similarity (number of matched point pairs); exposed for tests.
   size_t Similarity(const Trajectory& t, const Trajectory& q) const;

@@ -1,0 +1,59 @@
+#ifndef DITA_GEOM_SOA_H_
+#define DITA_GEOM_SOA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/trajectory.h"
+
+namespace dita {
+
+/// Non-owning structure-of-arrays view of a trajectory's coordinates. The
+/// distance kernels iterate xs/ys as contiguous lanes, so their row-distance
+/// passes are unit-stride scans the compiler can vectorize instead of
+/// strided gathers over Point structs.
+struct TrajView {
+  const double* xs = nullptr;
+  const double* ys = nullptr;
+  size_t len = 0;
+
+  bool empty() const { return len == 0; }
+};
+
+/// Owning SoA copy of a trajectory's coordinates. Extracted once per indexed
+/// trajectory (into VerifyPrecomp, at index-build time) so verification never
+/// re-walks the Point array; ad-hoc callers extract into DpScratch lanes
+/// instead.
+class SoaTrajectory {
+ public:
+  SoaTrajectory() = default;
+  explicit SoaTrajectory(const Trajectory& t) { Assign(t); }
+
+  void Assign(const Trajectory& t) {
+    const auto& pts = t.points();
+    xs_.resize(pts.size());
+    ys_.resize(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      xs_[i] = pts[i].x;
+      ys_[i] = pts[i].y;
+    }
+  }
+
+  TrajView view() const { return TrajView{xs_.data(), ys_.data(), xs_.size()}; }
+  size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  /// Heap bytes held by the two coordinate lanes; counted into
+  /// IndexStats::local_index_bytes so index-size reporting stays honest.
+  size_t ByteSize() const {
+    return (xs_.capacity() + ys_.capacity()) * sizeof(double);
+  }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_GEOM_SOA_H_

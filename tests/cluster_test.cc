@@ -48,6 +48,29 @@ TEST(ClusterTest, RunsTasksAndChargesWorkers) {
             cluster.worker_stats()[0].compute_seconds);
 }
 
+TEST(ClusterTest, ChargeCurrentTaskInflatesTaskSeconds) {
+  // Task bodies that offload DP work to helper threads report the helpers'
+  // CPU via ChargeCurrentTask; it must be folded into the task's virtual
+  // time on both execution paths (inline and pooled).
+  for (size_t exec_threads : {size_t(0), size_t(2)}) {
+    ClusterConfig cfg;
+    cfg.num_workers = 2;
+    cfg.execution_threads = exec_threads;
+    Cluster cluster(cfg);
+    std::vector<Cluster::Task> tasks;
+    tasks.push_back({0, [] {
+      Cluster::ChargeCurrentTask(0.5);
+      return Status::OK();
+    }});
+    tasks.push_back({1, [] { return Status::OK(); }});
+    ASSERT_TRUE(cluster.RunStage(std::move(tasks)).ok());
+    EXPECT_GE(cluster.worker_stats()[0].compute_seconds, 0.5);
+    EXPECT_LT(cluster.worker_stats()[1].compute_seconds, 0.5);
+  }
+  // Outside any task the charge has no ledger to land in: must be a no-op.
+  Cluster::ChargeCurrentTask(1.0);
+}
+
 TEST(ClusterTest, MakespanIsDriverPlusSlowestWorker) {
   ClusterConfig cfg;
   cfg.num_workers = 3;

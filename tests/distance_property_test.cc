@@ -1,7 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "distance/distance.h"
+#include "distance/dp_scratch.h"
 #include "distance/dtw.h"
+#include "distance/frechet.h"
+#include "distance/lcss.h"
+#include "util/rng.h"
 #include "workload/generator.h"
 
 namespace dita {
@@ -81,6 +89,316 @@ TEST(AmdOnGeneratedData, LowerBoundsHoldEverywhere) {
                 dtw.Compute(ds[i], ds[j]) + 1e-9);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Naive O(m*n) oracles. These are the textbook full-matrix recurrences with
+// no rolling arrays, no banding, no pruning, and no squared-distance
+// shortcuts — deliberately the dumbest possible implementations, so the
+// optimized kernels have an independent ground truth. Every comparison below
+// is exact (EXPECT_EQ on doubles): the kernels are required to be
+// bit-compatible with these recurrences.
+// ---------------------------------------------------------------------------
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double PointDist(const Point& p, const Point& q) {
+  const double dx = p.x - q.x;
+  const double dy = p.y - q.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+using Matrix = std::vector<std::vector<double>>;
+
+double NaiveDtw(const Trajectory& a, const Trajectory& b) {
+  const size_t m = a.size(), n = b.size();
+  if (m == 0 || n == 0) return m == n ? 0.0 : kInf;
+  Matrix d(m + 1, std::vector<double>(n + 1, kInf));
+  d[0][0] = 0.0;
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      d[i][j] = PointDist(a[i - 1], b[j - 1]) +
+                std::min({d[i - 1][j - 1], d[i - 1][j], d[i][j - 1]});
+    }
+  }
+  return d[m][n];
+}
+
+double NaiveFrechet(const Trajectory& a, const Trajectory& b) {
+  const size_t m = a.size(), n = b.size();
+  if (m == 0 || n == 0) return m == n ? 0.0 : kInf;
+  Matrix d(m + 1, std::vector<double>(n + 1, kInf));
+  d[0][0] = 0.0;
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      d[i][j] = std::max(PointDist(a[i - 1], b[j - 1]),
+                         std::min({d[i - 1][j - 1], d[i - 1][j], d[i][j - 1]}));
+    }
+  }
+  return d[m][n];
+}
+
+double NaiveEdr(const Trajectory& a, const Trajectory& b, double eps) {
+  const size_t m = a.size(), n = b.size();
+  Matrix d(m + 1, std::vector<double>(n + 1, 0.0));
+  for (size_t i = 0; i <= m; ++i) d[i][0] = double(i);
+  for (size_t j = 0; j <= n; ++j) d[0][j] = double(j);
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      const double sub = PointDist(a[i - 1], b[j - 1]) <= eps ? 0.0 : 1.0;
+      d[i][j] = std::min(
+          {d[i - 1][j - 1] + sub, d[i - 1][j] + 1.0, d[i][j - 1] + 1.0});
+    }
+  }
+  return d[m][n];
+}
+
+size_t NaiveLcssSimilarity(const Trajectory& a, const Trajectory& b,
+                           double eps, long delta) {
+  const size_t m = a.size(), n = b.size();
+  std::vector<std::vector<size_t>> d(m + 1, std::vector<size_t>(n + 1, 0));
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      const bool in_band = std::labs(long(i) - long(j)) <= delta;
+      if (in_band && PointDist(a[i - 1], b[j - 1]) <= eps) {
+        d[i][j] = d[i - 1][j - 1] + 1;
+      } else {
+        d[i][j] = std::max(d[i - 1][j], d[i][j - 1]);
+      }
+    }
+  }
+  return d[m][n];
+}
+
+double NaiveLcss(const Trajectory& a, const Trajectory& b, double eps,
+                 long delta) {
+  const size_t shorter = std::min(a.size(), b.size());
+  return double(shorter - std::min(shorter, NaiveLcssSimilarity(a, b, eps, delta)));
+}
+
+double NaiveErp(const Trajectory& a, const Trajectory& b, const Point& g) {
+  const size_t m = a.size(), n = b.size();
+  Matrix d(m + 1, std::vector<double>(n + 1, 0.0));
+  for (size_t i = 1; i <= m; ++i) d[i][0] = d[i - 1][0] + PointDist(a[i - 1], g);
+  for (size_t j = 1; j <= n; ++j) d[0][j] = d[0][j - 1] + PointDist(b[j - 1], g);
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      d[i][j] = std::min({d[i - 1][j - 1] + PointDist(a[i - 1], b[j - 1]),
+                          d[i - 1][j] + PointDist(a[i - 1], g),
+                          d[i][j - 1] + PointDist(b[j - 1], g)});
+    }
+  }
+  return d[m][n];
+}
+
+Trajectory RandomWalk(Rng& rng, size_t len, TrajectoryId id) {
+  Trajectory t;
+  t.set_id(id);
+  Point pos{rng.Uniform(0, 2), rng.Uniform(0, 2)};
+  for (size_t i = 0; i < len; ++i) {
+    pos.x += rng.Gaussian(0, 0.15);
+    pos.y += rng.Gaussian(0, 0.15);
+    t.mutable_points().push_back(pos);
+  }
+  return t;
+}
+
+/// Random pairs covering degenerate lengths (1, 2) up to mid-size DP grids.
+std::vector<std::pair<Trajectory, Trajectory>> OraclePairs() {
+  Rng rng(1234);
+  std::vector<std::pair<Trajectory, Trajectory>> pairs;
+  const size_t lens[] = {1, 2, 3, 5, 9, 17, 33};
+  TrajectoryId id = 0;
+  for (size_t la : lens) {
+    for (size_t lb : lens) {
+      Trajectory a = RandomWalk(rng, la, id++);
+      Trajectory b = RandomWalk(rng, lb, id++);
+      pairs.emplace_back(std::move(a), std::move(b));
+    }
+  }
+  for (int k = 0; k < 20; ++k) {
+    const size_t la = size_t(rng.UniformInt(1, 48));
+    const size_t lb = size_t(rng.UniformInt(1, 48));
+    Trajectory a = RandomWalk(rng, la, id++);
+    Trajectory b = RandomWalk(rng, lb, id++);
+    pairs.emplace_back(std::move(a), std::move(b));
+  }
+  return pairs;
+}
+
+class OracleEquivalence : public ::testing::Test {
+ protected:
+  static DistanceParams Params() {
+    DistanceParams p;
+    p.epsilon = 0.15;  // ~ one step of the random walk, so matches do occur
+    p.delta = 3;
+    p.erp_gap = Point{0.5, 0.5};
+    return p;
+  }
+};
+
+TEST_F(OracleEquivalence, DtwIsBitIdenticalToNaive) {
+  auto dist = *MakeDistance(DistanceType::kDTW, Params());
+  for (const auto& [a, b] : OraclePairs()) {
+    EXPECT_EQ(dist->Compute(a, b), NaiveDtw(a, b))
+        << "len " << a.size() << " x " << b.size();
+  }
+}
+
+TEST_F(OracleEquivalence, FrechetIsBitIdenticalToNaive) {
+  auto dist = *MakeDistance(DistanceType::kFrechet, Params());
+  for (const auto& [a, b] : OraclePairs()) {
+    EXPECT_EQ(dist->Compute(a, b), NaiveFrechet(a, b))
+        << "len " << a.size() << " x " << b.size();
+  }
+}
+
+TEST_F(OracleEquivalence, EdrIsBitIdenticalToNaive) {
+  auto dist = *MakeDistance(DistanceType::kEDR, Params());
+  for (const auto& [a, b] : OraclePairs()) {
+    EXPECT_EQ(dist->Compute(a, b), NaiveEdr(a, b, Params().epsilon))
+        << "len " << a.size() << " x " << b.size();
+  }
+}
+
+TEST_F(OracleEquivalence, LcssIsBitIdenticalToNaive) {
+  auto dist = *MakeDistance(DistanceType::kLCSS, Params());
+  Lcss lcss(Params().epsilon, Params().delta);
+  for (const auto& [a, b] : OraclePairs()) {
+    EXPECT_EQ(dist->Compute(a, b),
+              NaiveLcss(a, b, Params().epsilon, Params().delta))
+        << "len " << a.size() << " x " << b.size();
+    EXPECT_EQ(lcss.Similarity(a, b),
+              NaiveLcssSimilarity(a, b, Params().epsilon, Params().delta));
+  }
+}
+
+TEST_F(OracleEquivalence, ErpIsBitIdenticalToNaive) {
+  auto dist = *MakeDistance(DistanceType::kERP, Params());
+  for (const auto& [a, b] : OraclePairs()) {
+    EXPECT_EQ(dist->Compute(a, b), NaiveErp(a, b, Params().erp_gap))
+        << "len " << a.size() << " x " << b.size();
+  }
+}
+
+TEST_F(OracleEquivalence, WithinThresholdMatchesNaiveOracle) {
+  // The threshold kernels prune aggressively (anchor bounds, column windows,
+  // row-min abandons); their boolean answer must still match the naive
+  // distance for thresholds on both sides of it. Exact ties are skipped as
+  // elsewhere: they are sensitive to summation order by construction.
+  const DistanceParams params = Params();
+  for (DistanceType type :
+       {DistanceType::kDTW, DistanceType::kFrechet, DistanceType::kEDR,
+        DistanceType::kLCSS, DistanceType::kERP}) {
+    auto dist = *MakeDistance(type, params);
+    for (const auto& [a, b] : OraclePairs()) {
+      double d;
+      switch (type) {
+        case DistanceType::kDTW: d = NaiveDtw(a, b); break;
+        case DistanceType::kFrechet: d = NaiveFrechet(a, b); break;
+        case DistanceType::kEDR: d = NaiveEdr(a, b, params.epsilon); break;
+        case DistanceType::kLCSS:
+          d = NaiveLcss(a, b, params.epsilon, params.delta);
+          break;
+        default: d = NaiveErp(a, b, params.erp_gap); break;
+      }
+      for (double tau : {0.0, d * 0.5, d - 0.5, d * 0.95, d, d + 0.5,
+                         d * 1.05, d * 2.0 + 0.25}) {
+        if (tau < 0 || std::isinf(d)) continue;
+        if (std::abs(d - tau) <= 1e-9 * (1.0 + d)) continue;  // float tie
+        EXPECT_EQ(dist->WithinThreshold(a, b, tau), d <= tau)
+            << dist->name() << " len " << a.size() << " x " << b.size()
+            << " d=" << d << " tau=" << tau;
+      }
+    }
+  }
+}
+
+TEST(ThresholdEdge, IntegerGridExactBoundaries) {
+  // 3-4-5 grids make every distance, sum, and threshold exactly
+  // representable, so accept/reject at tau == d is deterministic — no
+  // float-tie skip needed here.
+  const Trajectory a(0, {{0, 0}, {3, 4}});
+  const Trajectory b(1, {{0, 0}, {0, 0}});
+  Dtw dtw;
+  EXPECT_EQ(dtw.Compute(a, b), 5.0);
+  EXPECT_TRUE(dtw.WithinThreshold(a, b, 5.0));
+  EXPECT_FALSE(dtw.WithinThreshold(a, b, 4.5));
+  Frechet frechet;
+  EXPECT_EQ(frechet.Compute(a, b), 5.0);
+  EXPECT_TRUE(frechet.WithinThreshold(a, b, 5.0));
+  EXPECT_FALSE(frechet.WithinThreshold(a, b, 4.5));
+
+  // Deeper grid: the optimal warping path must pay 5 then 10.
+  const Trajectory c(2, {{0, 0}, {3, 4}, {6, 8}});
+  const Trajectory z(3, {{0, 0}, {0, 0}, {0, 0}});
+  EXPECT_EQ(dtw.Compute(c, z), 15.0);
+  EXPECT_TRUE(dtw.WithinThreshold(c, z, 15.0));
+  EXPECT_FALSE(dtw.WithinThreshold(c, z, 14.5));
+  EXPECT_EQ(frechet.Compute(c, z), 10.0);
+  EXPECT_TRUE(frechet.WithinThreshold(c, z, 10.0));
+  EXPECT_FALSE(frechet.WithinThreshold(c, z, 9.5));
+
+  // Edit distances at an exact epsilon boundary: dist((0,0),(3,4)) == 5.
+  DistanceParams on;
+  on.epsilon = 5.0;
+  DistanceParams off;
+  off.epsilon = 4.9;
+  const Trajectory p(4, {{0, 0}});
+  const Trajectory q(5, {{3, 4}});
+  auto edr_on = *MakeDistance(DistanceType::kEDR, on);
+  auto edr_off = *MakeDistance(DistanceType::kEDR, off);
+  EXPECT_EQ(edr_on->Compute(p, q), 0.0);
+  EXPECT_EQ(edr_off->Compute(p, q), 1.0);
+  EXPECT_TRUE(edr_on->WithinThreshold(p, q, 0.0));
+  EXPECT_FALSE(edr_off->WithinThreshold(p, q, 0.0));
+  EXPECT_TRUE(edr_off->WithinThreshold(p, q, 1.0));
+  auto lcss_on = *MakeDistance(DistanceType::kLCSS, on);
+  auto lcss_off = *MakeDistance(DistanceType::kLCSS, off);
+  EXPECT_EQ(lcss_on->Compute(p, q), 0.0);
+  EXPECT_EQ(lcss_off->Compute(p, q), 1.0);
+  EXPECT_TRUE(lcss_on->WithinThreshold(p, q, 0.0));
+  EXPECT_FALSE(lcss_off->WithinThreshold(p, q, 0.0));
+}
+
+TEST(DpScratchTest, SteadyStateComputationsAreAllocationFree) {
+  // First pass sizes the thread-local scratch lanes; afterwards the kernels
+  // must run with zero heap growth. reallocations() counts every lane
+  // resize, so a flat count across repeated passes proves the hot verify
+  // path is allocation-free in steady state.
+  DistanceParams params;
+  params.epsilon = 0.15;
+  params.delta = 3;
+  params.erp_gap = Point{0.5, 0.5};
+  std::vector<std::shared_ptr<TrajectoryDistance>> dists;
+  for (DistanceType type :
+       {DistanceType::kDTW, DistanceType::kFrechet, DistanceType::kEDR,
+        DistanceType::kLCSS, DistanceType::kERP}) {
+    dists.push_back(*MakeDistance(type, params));
+  }
+  Rng rng(99);
+  std::vector<std::pair<Trajectory, Trajectory>> pairs;
+  for (int k = 0; k < 8; ++k) {
+    pairs.emplace_back(RandomWalk(rng, 64, 2 * k), RandomWalk(rng, 64, 2 * k + 1));
+  }
+  auto pass = [&] {
+    for (const auto& dist : dists) {
+      for (const auto& [a, b] : pairs) {
+        const double d = dist->Compute(a, b);
+        (void)dist->WithinThreshold(a, b, d * 0.9);
+        (void)dist->WithinThreshold(a, b, d * 1.1);
+      }
+    }
+    for (const auto& [a, b] : pairs) {
+      (void)Dtw::AccumulatedMinDistance(a, b);
+    }
+  };
+  pass();  // warm-up: lanes grow to their high-water marks
+  const size_t before = DpScratch::ThreadLocal().reallocations();
+  pass();
+  pass();
+  EXPECT_EQ(DpScratch::ThreadLocal().reallocations(), before)
+      << "DP kernels allocated on a warm scratch";
 }
 
 }  // namespace

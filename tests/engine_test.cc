@@ -226,6 +226,40 @@ INSTANTIATE_TEST_SUITE_P(AllDistances, EngineKnnProperty,
                            return DistanceTypeName(info.param);
                          });
 
+TEST(DitaEngineTest, ParallelVerificationMatchesSerial) {
+  // verify_threads fans the surviving DP work of each partition across an
+  // engine-local pool; answers must be bit-identical to the serial engine,
+  // and the offloaded CPU must land in the owning worker's virtual time.
+  Dataset ds = CityDataset(300);
+  auto serial_cluster = MakeCluster();
+  DitaEngine serial(serial_cluster, SmallConfig());
+  ASSERT_TRUE(serial.BuildIndex(ds).ok());
+
+  auto parallel_cluster = MakeCluster();
+  DitaConfig parallel_config = SmallConfig();
+  parallel_config.verify_threads = 2;
+  parallel_config.verify_parallel_min = 1;  // force the pool path
+  DitaEngine parallel(parallel_cluster, parallel_config);
+  ASSERT_TRUE(parallel.BuildIndex(ds).ok());
+
+  auto queries = ds.SampleQueries(6, 23);
+  for (const auto& q : queries) {
+    for (double tau : {0.01, 0.05, 0.2}) {
+      auto want = serial.Search(q, tau);
+      auto got = parallel.Search(q, tau);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), want.value()) << "tau=" << tau;
+    }
+  }
+
+  auto want_join = serial.Join(serial, 0.02);
+  auto got_join = parallel.Join(parallel, 0.02);
+  ASSERT_TRUE(want_join.ok());
+  ASSERT_TRUE(got_join.ok());
+  EXPECT_EQ(got_join.value(), want_join.value());
+}
+
 TEST(DitaEngineTest, KnnJoinMatchesBruteForce) {
   auto cluster = MakeCluster();
   DitaConfig config = SmallConfig();

@@ -105,6 +105,117 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<2>(info.param) ? "_cell" : "_nocell");
     });
 
+/// Shared fixture data for the batched-verification tests: one query versus
+/// a population of random candidates, with a tau that accepts some and
+/// rejects others.
+struct BatchFixture {
+  std::vector<Trajectory> trajectories;
+  std::vector<VerifyPrecomp> precomp;
+  std::vector<uint32_t> candidates;
+  Trajectory query;
+  VerifyPrecomp query_precomp;
+  double tau = 0.0;
+
+  static BatchFixture Make(size_t count, uint64_t seed) {
+    Rng rng(seed);
+    BatchFixture f;
+    for (size_t i = 0; i < count; ++i) {
+      f.trajectories.push_back(RandomTrajectory(rng));
+      f.trajectories.back().set_id(TrajectoryId(i));
+      f.precomp.push_back(VerifyPrecomp::For(f.trajectories.back(), 0.4));
+      f.candidates.push_back(uint32_t(i));
+    }
+    f.query = RandomTrajectory(rng);
+    f.query_precomp = VerifyPrecomp::For(f.query, 0.4);
+    f.tau = 2.5;  // accepts a nontrivial fraction of the random walks
+    return f;
+  }
+};
+
+TEST(VerifyBatchTest, MatchesPairwiseVerify) {
+  for (DistanceType type :
+       {DistanceType::kDTW, DistanceType::kFrechet, DistanceType::kEDR,
+        DistanceType::kLCSS, DistanceType::kERP}) {
+    auto verifier = MakeVerifier(type);
+    BatchFixture f = BatchFixture::Make(60, 7 + uint64_t(type));
+
+    VerifyStats pair_stats;
+    std::vector<uint32_t> expected;
+    for (uint32_t pos : f.candidates) {
+      if (verifier->Verify(f.trajectories[pos], f.precomp[pos], f.query,
+                           f.query_precomp, f.tau, &pair_stats)) {
+        expected.push_back(pos);
+      }
+    }
+
+    VerifyStats batch_stats;
+    std::vector<uint32_t> accepted;
+    const Verifier::Batch batch{&f.precomp, &f.candidates, &f.query_precomp,
+                                f.tau};
+    const Verifier::BatchResult r = verifier->VerifyBatch(
+        batch, /*pool=*/nullptr, /*min_parallel=*/0, &accepted, &batch_stats);
+
+    EXPECT_EQ(accepted, expected) << DistanceTypeName(type);
+    EXPECT_EQ(r.accepted, expected.size());
+    EXPECT_EQ(r.pool_chunks, 0u);  // serial without a pool
+    EXPECT_EQ(batch_stats.pairs, pair_stats.pairs);
+    EXPECT_EQ(batch_stats.pruned_by_mbr, pair_stats.pruned_by_mbr);
+    EXPECT_EQ(batch_stats.pruned_by_cell, pair_stats.pruned_by_cell);
+    EXPECT_EQ(batch_stats.dp_computed, pair_stats.dp_computed);
+    EXPECT_EQ(batch_stats.accepted, pair_stats.accepted);
+  }
+}
+
+TEST(VerifyBatchTest, ParallelAgreesWithSerialAndChargesCpu) {
+  auto verifier = MakeVerifier(DistanceType::kDTW);
+  BatchFixture f = BatchFixture::Make(120, 41);
+  f.tau = 50.0;  // generous: every candidate survives the filters, so the
+                 // batch is guaranteed to take the pool path
+
+  std::vector<uint32_t> serial;
+  const Verifier::Batch batch{&f.precomp, &f.candidates, &f.query_precomp,
+                              f.tau};
+  verifier->VerifyBatch(batch, nullptr, 0, &serial, nullptr);
+  ASSERT_FALSE(serial.empty());
+
+  ThreadPool pool(3);
+  std::vector<uint32_t> parallel;
+  const Verifier::BatchResult r =
+      verifier->VerifyBatch(batch, &pool, /*min_parallel=*/1, &parallel,
+                            nullptr);
+  EXPECT_EQ(parallel, serial);  // deterministic order despite the fan-out
+  EXPECT_GT(r.pool_chunks, 0u);
+  EXPECT_GE(r.offloaded_seconds, 0.0);
+}
+
+TEST(VerifyBatchTest, SmallBatchesStaySerial) {
+  auto verifier = MakeVerifier(DistanceType::kDTW);
+  BatchFixture f = BatchFixture::Make(8, 5);
+  ThreadPool pool(3);
+  std::vector<uint32_t> accepted;
+  const Verifier::Batch batch{&f.precomp, &f.candidates, &f.query_precomp,
+                              f.tau};
+  // min_parallel above the candidate count: the pool must not be used.
+  const Verifier::BatchResult r =
+      verifier->VerifyBatch(batch, &pool, /*min_parallel=*/64, &accepted,
+                            nullptr);
+  EXPECT_EQ(r.pool_chunks, 0u);
+  EXPECT_EQ(r.offloaded_seconds, 0.0);
+}
+
+TEST(VerifyBatchTest, AppendsToExistingAcceptedList) {
+  auto verifier = MakeVerifier(DistanceType::kDTW);
+  BatchFixture f = BatchFixture::Make(30, 13);
+  std::vector<uint32_t> accepted = {9999};  // pre-existing entry survives
+  const Verifier::Batch batch{&f.precomp, &f.candidates, &f.query_precomp,
+                              f.tau};
+  const Verifier::BatchResult r =
+      verifier->VerifyBatch(batch, nullptr, 0, &accepted, nullptr);
+  ASSERT_GE(accepted.size(), 1u);
+  EXPECT_EQ(accepted[0], 9999u);
+  EXPECT_EQ(r.accepted, accepted.size() - 1);
+}
+
 TEST(VerifierTest, StatsMergeAccumulates) {
   VerifyStats a{10, 2, 3, 5, 4};
   VerifyStats b{1, 1, 0, 0, 0};
