@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Local CI: configure, build, and run the full test suite — once plain, once
-# under ASan+UBSan (DITA_SANITIZE=address), and once with the host-tuned
-# distance/index kernels (DITA_NATIVE=ON) under the sanitizers, filtered to
-# the kernel-equivalence tests so -march=native cannot silently change
-# distance results. Run from the repo root:
+# under ASan+UBSan (DITA_SANITIZE=address), once under TSan
+# (DITA_SANITIZE=thread) filtered to the tests that actually exercise the
+# thread pool (parallel index builds, tiling sorts, batched verification,
+# cluster stages), and once with the host-tuned distance/index kernels
+# (DITA_NATIVE=ON) under the sanitizers, filtered to the kernel-equivalence
+# tests so -march=native cannot silently change distance results. Run from
+# the repo root:
 #
 #   ./ci.sh            # all passes
 #   ./ci.sh plain      # plain pass only
 #   ./ci.sh sanitize   # sanitizer pass only
+#   ./ci.sh tsan       # thread sanitizer pass, threaded tests only
 #   ./ci.sh native     # host-tuned kernels + sanitizers, kernel tests only
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -36,16 +40,26 @@ run_pass() {
 # naive reference DPs compiled without -march=native.
 native_filter='Oracle|ThresholdEdge|DpScratch|Dtw|Frechet|Edr|Lcss|Erp|Distance|Verif|EngineSearch'
 
+# The TSan pass covers every code path that shares memory across pool
+# threads: the pool itself, parallel index construction and tiling sorts
+# (FlatTrie/FlatStrTile), batched parallel verification, and the cluster
+# runtime's threaded stages.
+tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition'
+
 case "${mode}" in
   plain)    run_pass build ;;
   sanitize) run_pass build-asan -DDITA_SANITIZE=address ;;
+  tsan)     run_pass build-tsan "--filter=${tsan_filter}" \
+                     -DDITA_SANITIZE=thread ;;
   native)   run_pass build-native "--filter=${native_filter}" \
                      -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
   all)      run_pass build
             run_pass build-asan -DDITA_SANITIZE=address
+            run_pass build-tsan "--filter=${tsan_filter}" \
+                     -DDITA_SANITIZE=thread
             run_pass build-native "--filter=${native_filter}" \
                      -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
-  *) echo "usage: $0 [plain|sanitize|native|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|sanitize|tsan|native|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: all passes green"

@@ -1,8 +1,10 @@
 #include "baselines/centralized_dita.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "distance/dp_scratch.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace dita {
@@ -15,12 +17,24 @@ Status CentralizedDita::Build(const Dataset& data, const DitaConfig& config) {
   verifier_ = std::make_unique<Verifier>(distance_, config_);
 
   WallTimer timer;
-  DITA_RETURN_IF_ERROR(trie_.Build(data.trajectories(), config.trie));
-  precomp_.clear();
-  precomp_.reserve(trie_.size());
-  for (const Trajectory& t : trie_.trajectories()) {
-    precomp_.push_back(VerifyPrecomp::For(t, config.cell_size));
+  // No cluster ledger here; the pool's only effect is wall-clock (and the
+  // build is bit-identical to the serial one either way).
+  std::unique_ptr<ThreadPool> pool;
+  if (config.build_threads > 0) {
+    pool = std::make_unique<ThreadPool>(config.build_threads);
   }
+  DITA_RETURN_IF_ERROR(
+      trie_.Build(data.trajectories(), config.trie, pool.get()));
+  precomp_.clear();
+  precomp_.resize(trie_.size());
+  ThreadPool::ParallelFor(
+      pool.get(), trie_.size(), /*min_parallel=*/64,
+      [this, &config](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          precomp_[i] = VerifyPrecomp::For(trie_.trajectories()[i],
+                                           config.cell_size);
+        }
+      });
   build_seconds_ = timer.Seconds();
   return Status::OK();
 }

@@ -47,6 +47,15 @@ struct DitaConfig {
   /// verify pool; below this the submit/latch overhead outweighs the DP.
   size_t verify_parallel_min = 32;
 
+  /// Engine-local threads for index construction: indexing-sequence
+  /// extraction, STR tiling sorts (partitioning and trie levels), and the
+  /// verification precomputation are chunked across this pool. 0 builds
+  /// serially. Parallel builds are bit-identical to serial ones — chunk
+  /// boundaries only partition slot-indexed writes and merge sorted runs —
+  /// and helper CPU is charged back into cluster virtual time the same way
+  /// verify_threads charges DP work.
+  size_t build_threads = 0;
+
   /// Virtual-time budget per cluster stage (search probes, join ship/probe,
   /// index build). A stage whose slowest worker exceeds it surfaces
   /// Status::DeadlineExceeded instead of an open-ended wait. 0 disables.

@@ -22,6 +22,9 @@ DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& confi
   if (config_.verify_threads > 0) {
     verify_pool_ = std::make_unique<ThreadPool>(config_.verify_threads);
   }
+  if (config_.build_threads > 0) {
+    build_pool_ = std::make_unique<ThreadPool>(config_.build_threads);
+  }
 }
 
 Status DitaEngine::BuildIndex(const Dataset& data) {
@@ -40,11 +43,18 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
   }
   WallTimer build_timer;
 
+  // Partitioning runs on the driver; its CPU — including STR sort chunks
+  // offloaded to the build pool — lands in the driver ledger.
+  CpuTimer partition_timer;
+  double partition_offloaded = 0.0;
   auto parts = config_.random_partitioning
                    ? PartitionRandomly(data.trajectories(),
                                        config_.ng * config_.ng)
-                   : PartitionByFirstLast(data.trajectories(), config_.ng);
+                   : PartitionByFirstLast(data.trajectories(), config_.ng,
+                                          build_pool_.get(),
+                                          &partition_offloaded);
   DITA_RETURN_IF_ERROR(parts.status());
+  cluster_->RecordDriverCompute(partition_timer.Seconds() + partition_offloaded);
 
   partitions_.clear();
   partitions_.resize(parts->size());
@@ -69,12 +79,26 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
              partition.data_bytes += t.ByteSize();
            }
            // Inputs were validated above, so Build cannot fail here.
-           DITA_CHECK(partition.trie.Build(std::move(*source), config_.trie).ok());
-           partition.precomp.reserve(partition.trie.size());
-           for (const Trajectory& t : partition.trie.trajectories()) {
-             partition.precomp.push_back(
-                 VerifyPrecomp::For(t, config_.cell_size));
-           }
+           double offloaded = 0.0;
+           DITA_CHECK(partition.trie
+                          .Build(std::move(*source), config_.trie,
+                                 build_pool_.get(), &offloaded)
+                          .ok());
+           // Verification summaries are independent per trajectory:
+           // slot-indexed writes, so the parallel result is identical to
+           // the serial loop.
+           partition.precomp.resize(partition.trie.size());
+           offloaded += ThreadPool::ParallelFor(
+               build_pool_.get(), partition.trie.size(), /*min_parallel=*/64,
+               [this, &partition](size_t lo, size_t hi) {
+                 for (size_t i = lo; i < hi; ++i) {
+                   partition.precomp[i] = VerifyPrecomp::For(
+                       partition.trie.trajectories()[i], config_.cell_size);
+                 }
+               });
+           // Pool-thread CPU is charged to this cluster task so the
+           // virtual-time ledger matches a serial build.
+           if (offloaded > 0.0) Cluster::ChargeCurrentTask(offloaded);
            return Status::OK();
          }});
   }

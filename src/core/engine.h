@@ -147,6 +147,11 @@ class DitaEngine {
   /// Engine-local pool for intra-task parallel verification (see
   /// DitaConfig::verify_threads); null when verification is serial.
   std::unique_ptr<ThreadPool> verify_pool_;
+  /// Engine-local pool for parallel index construction (see
+  /// DitaConfig::build_threads); null when builds are serial. Helper CPU is
+  /// charged back to the owning cluster task / the driver ledger, so
+  /// simulated makespans match a serial build.
+  std::unique_ptr<ThreadPool> build_pool_;
   GlobalIndex global_;
   std::vector<Partition> partitions_;
   IndexStats index_stats_;

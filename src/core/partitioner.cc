@@ -9,7 +9,8 @@
 namespace dita {
 
 Result<std::vector<std::vector<Trajectory>>> PartitionByFirstLast(
-    const std::vector<Trajectory>& trajectories, size_t ng) {
+    const std::vector<Trajectory>& trajectories, size_t ng, ThreadPool* pool,
+    double* offloaded_seconds) {
   if (ng == 0) return Status::InvalidArgument("ng must be positive");
   for (const Trajectory& t : trajectories) {
     if (t.empty()) return Status::InvalidArgument("empty trajectory");
@@ -22,8 +23,10 @@ Result<std::vector<std::vector<Trajectory>>> PartitionByFirstLast(
   auto by_first = [&](uint32_t i) { return trajectories[i].front(); };
   auto by_last = [&](uint32_t i) { return trajectories[i].back(); };
 
-  for (auto& bucket : StrTile(std::move(all), by_first, ng)) {
-    for (auto& sub : StrTile(std::move(bucket), by_last, ng)) {
+  for (auto& bucket :
+       StrTile(std::move(all), by_first, ng, pool, offloaded_seconds)) {
+    for (auto& sub :
+         StrTile(std::move(bucket), by_last, ng, pool, offloaded_seconds)) {
       std::vector<Trajectory> part;
       part.reserve(sub.size());
       for (uint32_t i : sub) part.push_back(trajectories[i]);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "workload/dataset.h"
 
 namespace dita {
@@ -12,8 +13,12 @@ namespace dita {
 /// are grouped into `ng` buckets by first point, then each bucket into `ng`
 /// sub-buckets by last point. Every sub-bucket becomes one partition; all
 /// partitions hold roughly the same number of trajectories even under skew.
+/// When `pool` is non-null the STR tiling sorts are chunked across it
+/// (identical output to serial); helper CPU seconds accumulate into
+/// `*offloaded_seconds` when provided.
 Result<std::vector<std::vector<Trajectory>>> PartitionByFirstLast(
-    const std::vector<Trajectory>& trajectories, size_t ng);
+    const std::vector<Trajectory>& trajectories, size_t ng,
+    ThreadPool* pool = nullptr, double* offloaded_seconds = nullptr);
 
 /// Random partitioning into `num_partitions` equal-size groups — the
 /// baseline scheme of the Appendix B "Partitioning Scheme" ablation

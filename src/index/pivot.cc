@@ -51,46 +51,60 @@ double AngleAt(const Point& a, const Point& b, const Point& c) {
   return std::acos(cosine);
 }
 
-std::vector<double> ComputeWeights(const Trajectory& t, PivotStrategy strategy) {
-  const auto& p = t.points();
-  const size_t m = p.size();
-  // weights[i] corresponds to interior point index i+1.
-  std::vector<double> weights(m >= 2 ? m - 2 : 0, 0.0);
-  for (size_t i = 1; i + 1 < m; ++i) {
-    switch (strategy) {
-      case PivotStrategy::kInflectionPoint:
-        weights[i - 1] = M_PI - AngleAt(p[i - 1], p[i], p[i + 1]);
-        break;
-      case PivotStrategy::kNeighborDistance:
-        weights[i - 1] = PointDistance(p[i - 1], p[i]);
-        break;
-      case PivotStrategy::kFirstLastDistance:
-        weights[i - 1] =
-            std::max(PointDistance(p[i], p[0]), PointDistance(p[i], p[m - 1]));
-        break;
-    }
-  }
-  return weights;
-}
-
 }  // namespace
 
 std::vector<size_t> SelectPivotIndices(const Trajectory& t, size_t k,
                                        PivotStrategy strategy) {
   const size_t m = t.size();
   if (m <= 2 || k == 0) return {};
-  const std::vector<double> weights = ComputeWeights(t, strategy);
+  const auto& p = t.points();
+  const size_t take = std::min(k, m - 2);
 
-  std::vector<size_t> order(weights.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (weights[a] != weights[b]) return weights[a] > weights[b];
-    return a < b;  // tie-break toward the lower index (paper examples)
-  });
-
-  const size_t take = std::min(k, order.size());
-  std::vector<size_t> picked(order.begin(),
-                             order.begin() + static_cast<long>(take));
+  // Online top-`take` selection under (weight desc, interior index asc) —
+  // the same total order as sorting every interior weight, without the O(m)
+  // scratch vectors and O(m log m) comparator indirection (pivot selection
+  // dominates index-build profiles). The buffers persist per thread;
+  // extraction runs once per trajectory inside bulk builds.
+  thread_local std::vector<double> top_w;
+  thread_local std::vector<size_t> top_i;
+  top_w.clear();
+  top_i.clear();
+  auto consider = [&](size_t i, double w) {
+    // Indices arrive ascending, so a candidate tying the current minimum
+    // loses to it (lower index wins, matching the paper examples).
+    if (top_w.size() == take && w <= top_w.back()) return;
+    size_t pos = top_w.size();
+    while (pos > 0 && w > top_w[pos - 1]) --pos;
+    top_w.insert(top_w.begin() + static_cast<long>(pos), w);
+    top_i.insert(top_i.begin() + static_cast<long>(pos), i);
+    if (top_w.size() > take) {
+      top_w.pop_back();
+      top_i.pop_back();
+    }
+  };
+  switch (strategy) {
+    case PivotStrategy::kInflectionPoint:
+      for (size_t i = 1; i + 1 < m; ++i) {
+        consider(i - 1, M_PI - AngleAt(p[i - 1], p[i], p[i + 1]));
+      }
+      break;
+    // The distance strategies rank by squared distance: sqrt is monotone,
+    // so the selected pivots are the same, and exactly-equal distances
+    // (ubiquitous under fixed-step GPS traces) still tie toward the lower
+    // index — the squares are then equal too.
+    case PivotStrategy::kNeighborDistance:
+      for (size_t i = 1; i + 1 < m; ++i) {
+        consider(i - 1, PointDistanceSquared(p[i - 1], p[i]));
+      }
+      break;
+    case PivotStrategy::kFirstLastDistance:
+      for (size_t i = 1; i + 1 < m; ++i) {
+        consider(i - 1, std::max(PointDistanceSquared(p[i], p[0]),
+                                 PointDistanceSquared(p[i], p[m - 1])));
+      }
+      break;
+  }
+  std::vector<size_t> picked(top_i.begin(), top_i.end());
   for (size_t& idx : picked) idx += 1;  // interior offset
   std::sort(picked.begin(), picked.end());
   return picked;

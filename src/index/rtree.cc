@@ -2,116 +2,321 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "index/soa_planes.h"
 #include "util/logging.h"
 
 namespace dita {
 
+namespace {
+
+/// One level's nodes during construction, before they are appended to the
+/// global arrays in packing order.
+struct TempNode {
+  double xlo, ylo, xhi, yhi;
+  uint32_t first = 0;
+  uint32_t count = 0;
+
+  Point Center() const {
+    return Point{(xlo + xhi) / 2, (ylo + yhi) / 2};
+  }
+};
+
+/// STR slice length for packing `count` items into nodes of `fanout`:
+/// sort by center x, cut into ~sqrt(P) vertical slices, sort each slice by
+/// center y, emit runs of `fanout` per node (runs never span slices).
+size_t StrSliceLen(size_t count, size_t fanout) {
+  const size_t num_nodes = (count + fanout - 1) / fanout;
+  const size_t num_slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+  return num_slices == 0 ? count : (count + num_slices - 1) / num_slices;
+}
+
+/// The STR packing permutation over `centers`, tie-broken on the item index
+/// so equal-coordinate items order identically on every platform.
+std::vector<uint32_t> StrOrder(const std::vector<Point>& centers,
+                               size_t fanout) {
+  std::vector<uint32_t> order(centers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (centers[a].x != centers[b].x) return centers[a].x < centers[b].x;
+    return a < b;
+  });
+  const size_t slice_len = StrSliceLen(centers.size(), fanout);
+  for (size_t s = 0; s * slice_len < order.size(); ++s) {
+    const size_t begin = s * slice_len;
+    const size_t end = std::min(order.size(), begin + slice_len);
+    std::sort(order.begin() + static_cast<long>(begin),
+              order.begin() + static_cast<long>(end),
+              [&](uint32_t a, uint32_t b) {
+                if (centers[a].y != centers[b].y) return centers[a].y < centers[b].y;
+                return a < b;
+              });
+  }
+  return order;
+}
+
+}  // namespace
+
 void RTree::Build(std::vector<Entry> entries, size_t fanout) {
   DITA_CHECK(fanout >= 2);
-  entries_ = std::move(entries);
-  nodes_.clear();
-  num_entries_ = entries_.size();
-  if (entries_.empty()) {
-    root_ = 0;
-    nodes_.push_back(Node{});  // empty leaf root
+  num_entries_ = entries.size();
+  exlo_.clear(); eylo_.clear(); exhi_.clear(); eyhi_.clear();
+  evalue_.clear();
+  nxlo_.clear(); nylo_.clear(); nxhi_.clear(); nyhi_.clear();
+  nleaf_.clear(); nfirst_.clear(); ncount_.clear();
+  root_ = 0;
+
+  auto append_node = [this](const TempNode& t, bool leaf) {
+    nxlo_.push_back(t.xlo);
+    nylo_.push_back(t.ylo);
+    nxhi_.push_back(t.xhi);
+    nyhi_.push_back(t.yhi);
+    nleaf_.push_back(leaf ? 1 : 0);
+    nfirst_.push_back(t.first);
+    ncount_.push_back(t.count);
+  };
+
+  if (entries.empty()) {
+    TempNode empty;
+    empty.xlo = empty.ylo = std::numeric_limits<double>::infinity();
+    empty.xhi = empty.yhi = -std::numeric_limits<double>::infinity();
+    append_node(empty, /*leaf=*/true);  // empty leaf root
     return;
   }
 
-  std::vector<uint32_t> level(entries_.size());
-  for (uint32_t i = 0; i < entries_.size(); ++i) level[i] = i;
-  std::vector<uint32_t> parents = PackLevel(level, /*items_are_entries=*/true, fanout);
-  while (parents.size() > 1) {
-    parents = PackLevel(parents, /*items_are_entries=*/false, fanout);
-  }
-  root_ = parents[0];
-}
-
-std::vector<uint32_t> RTree::PackLevel(const std::vector<uint32_t>& items,
-                                       bool items_are_entries, size_t fanout) {
-  // STR: sort by center x, cut into vertical slices of ~sqrt(P) runs, sort
-  // each slice by center y, emit runs of `fanout` items per node.
-  const size_t num_nodes =
-      (items.size() + fanout - 1) / fanout;  // ceil(P / fanout)
-  const size_t num_slices =
-      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_nodes))));
-  const size_t slice_len =
-      num_slices == 0 ? items.size()
-                      : (items.size() + num_slices - 1) / num_slices;
-
-  auto center = [&](uint32_t idx) {
-    const MBR& m = items_are_entries ? entries_[idx].mbr : nodes_[idx].mbr;
-    return m.Center();
-  };
-
-  std::vector<uint32_t> sorted = items;
-  std::sort(sorted.begin(), sorted.end(), [&](uint32_t a, uint32_t b) {
-    return center(a).x < center(b).x;
-  });
-
-  std::vector<uint32_t> out;
-  out.reserve(num_nodes);
-  for (size_t s = 0; s * slice_len < sorted.size(); ++s) {
-    const size_t begin = s * slice_len;
-    const size_t end = std::min(sorted.size(), begin + slice_len);
-    std::sort(sorted.begin() + static_cast<long>(begin),
-              sorted.begin() + static_cast<long>(end),
-              [&](uint32_t a, uint32_t b) { return center(a).y < center(b).y; });
-    for (size_t i = begin; i < end; i += fanout) {
-      Node node;
-      node.is_leaf = items_are_entries;
-      const size_t stop = std::min(end, i + fanout);
-      for (size_t j = i; j < stop; ++j) {
-        node.children.push_back(sorted[j]);
-        node.mbr.Expand(items_are_entries ? entries_[sorted[j]].mbr
-                                          : nodes_[sorted[j]].mbr);
-      }
-      nodes_.push_back(std::move(node));
-      out.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+  // Reorder entries into STR leaf order and strip them into SoA planes, so
+  // every leaf scans a contiguous run of flat arrays.
+  {
+    std::vector<Point> centers;
+    centers.reserve(entries.size());
+    for (const Entry& e : entries) centers.push_back(e.mbr.Center());
+    const std::vector<uint32_t> order = StrOrder(centers, fanout);
+    exlo_.reserve(order.size()); eylo_.reserve(order.size());
+    exhi_.reserve(order.size()); eyhi_.reserve(order.size());
+    evalue_.reserve(order.size());
+    for (uint32_t idx : order) {
+      const Entry& e = entries[idx];
+      exlo_.push_back(e.mbr.lo().x);
+      eylo_.push_back(e.mbr.lo().y);
+      exhi_.push_back(e.mbr.hi().x);
+      eyhi_.push_back(e.mbr.hi().y);
+      evalue_.push_back(e.value);
     }
   }
-  return out;
+
+  // Pack the leaf level: runs of `fanout` reordered entries per leaf,
+  // runs confined to STR slices.
+  std::vector<TempNode> cur;
+  {
+    const size_t n = num_entries_;
+    const size_t slice_len = StrSliceLen(n, fanout);
+    for (size_t s = 0; s * slice_len < n; ++s) {
+      const size_t begin = s * slice_len;
+      const size_t end = std::min(n, begin + slice_len);
+      for (size_t i = begin; i < end; i += fanout) {
+        const size_t stop = std::min(end, i + fanout);
+        TempNode node;
+        node.xlo = node.ylo = std::numeric_limits<double>::infinity();
+        node.xhi = node.yhi = -std::numeric_limits<double>::infinity();
+        node.first = static_cast<uint32_t>(i);
+        node.count = static_cast<uint32_t>(stop - i);
+        for (size_t e = i; e < stop; ++e) {
+          node.xlo = std::min(node.xlo, exlo_[e]);
+          node.ylo = std::min(node.ylo, eylo_[e]);
+          node.xhi = std::max(node.xhi, exhi_[e]);
+          node.yhi = std::max(node.yhi, eyhi_[e]);
+        }
+        cur.push_back(node);
+      }
+    }
+  }
+
+  // Pack upper levels: permute the current level into the next level's STR
+  // order, append it to the global arrays (children become a contiguous id
+  // range), then emit the parents over contiguous runs.
+  bool cur_is_leaf_level = true;
+  while (cur.size() > 1) {
+    std::vector<Point> centers;
+    centers.reserve(cur.size());
+    for (const TempNode& t : cur) centers.push_back(t.Center());
+    const std::vector<uint32_t> order = StrOrder(centers, fanout);
+
+    const uint32_t base = static_cast<uint32_t>(nleaf_.size());
+    std::vector<TempNode> permuted;
+    permuted.reserve(cur.size());
+    for (uint32_t idx : order) permuted.push_back(cur[idx]);
+    for (const TempNode& t : permuted) append_node(t, cur_is_leaf_level);
+
+    std::vector<TempNode> parents;
+    const size_t n = permuted.size();
+    const size_t slice_len = StrSliceLen(n, fanout);
+    for (size_t s = 0; s * slice_len < n; ++s) {
+      const size_t begin = s * slice_len;
+      const size_t end = std::min(n, begin + slice_len);
+      for (size_t i = begin; i < end; i += fanout) {
+        const size_t stop = std::min(end, i + fanout);
+        TempNode node;
+        node.xlo = node.ylo = std::numeric_limits<double>::infinity();
+        node.xhi = node.yhi = -std::numeric_limits<double>::infinity();
+        node.first = base + static_cast<uint32_t>(i);
+        node.count = static_cast<uint32_t>(stop - i);
+        for (size_t c = i; c < stop; ++c) {
+          node.xlo = std::min(node.xlo, permuted[c].xlo);
+          node.ylo = std::min(node.ylo, permuted[c].ylo);
+          node.xhi = std::max(node.xhi, permuted[c].xhi);
+          node.yhi = std::max(node.yhi, permuted[c].yhi);
+        }
+        parents.push_back(node);
+      }
+    }
+    cur = std::move(parents);
+    cur_is_leaf_level = false;
+  }
+
+  append_node(cur[0], cur_is_leaf_level);
+  root_ = static_cast<uint32_t>(nleaf_.size() - 1);
 }
 
 void RTree::SearchWithinDistance(const Point& p, double tau,
                                  std::vector<uint32_t>* out) const {
   if (num_entries_ == 0) return;
-  std::vector<uint32_t> stack = {root_};
+  // The traversal stacks are reused across calls on the same thread; probes
+  // run once per (query, tree) inside hot search/join loops.
+  static thread_local std::vector<uint32_t> stack;
+  static thread_local std::vector<uint32_t> survivors;
+  stack.clear();
+  if (PlaneMinDist(nxlo_[root_], nylo_[root_], nxhi_[root_], nyhi_[root_], p) >
+      tau) {
+    return;
+  }
+  stack.push_back(root_);
   while (!stack.empty()) {
-    const Node& node = nodes_[stack.back()];
+    const uint32_t n = stack.back();
     stack.pop_back();
-    if (node.mbr.MinDist(p) > tau) continue;
-    if (node.is_leaf) {
-      for (uint32_t e : node.children) {
-        if (entries_[e].mbr.MinDist(p) <= tau) out->push_back(entries_[e].value);
+    const uint32_t first = nfirst_[n];
+    const uint32_t stop = first + ncount_[n];
+    if (nleaf_[n]) {
+      // Leaf run: a contiguous scan of the entry-MBR planes.
+      for (uint32_t e = first; e < stop; ++e) {
+        if (PlaneMinDist(exlo_[e], eylo_[e], exhi_[e], eyhi_[e], p) <= tau) {
+          out->push_back(evalue_[e]);
+        }
       }
     } else {
-      for (uint32_t c : node.children) stack.push_back(c);
+      // Children occupy a contiguous id range; push survivors in reverse
+      // so pop order matches the recursive reference's child order.
+      survivors.clear();
+      for (uint32_t c = first; c < stop; ++c) {
+        if (PlaneMinDist(nxlo_[c], nylo_[c], nxhi_[c], nyhi_[c], p) <= tau) {
+          survivors.push_back(c);
+        }
+      }
+      for (size_t i = survivors.size(); i-- > 0;) stack.push_back(survivors[i]);
     }
   }
 }
 
-void RTree::SearchIntersecting(const MBR& range, std::vector<uint32_t>* out) const {
+void RTree::SearchIntersecting(const MBR& range,
+                               std::vector<uint32_t>* out) const {
   if (num_entries_ == 0) return;
-  std::vector<uint32_t> stack = {root_};
+  static thread_local std::vector<uint32_t> stack;
+  static thread_local std::vector<uint32_t> survivors;
+  stack.clear();
+  if (!PlaneIntersects(nxlo_[root_], nylo_[root_], nxhi_[root_], nyhi_[root_],
+                       range)) {
+    return;
+  }
+  stack.push_back(root_);
   while (!stack.empty()) {
-    const Node& node = nodes_[stack.back()];
+    const uint32_t n = stack.back();
     stack.pop_back();
-    if (!node.mbr.Intersects(range)) continue;
-    if (node.is_leaf) {
-      for (uint32_t e : node.children) {
-        if (entries_[e].mbr.Intersects(range)) out->push_back(entries_[e].value);
+    const uint32_t first = nfirst_[n];
+    const uint32_t stop = first + ncount_[n];
+    if (nleaf_[n]) {
+      for (uint32_t e = first; e < stop; ++e) {
+        if (PlaneIntersects(exlo_[e], eylo_[e], exhi_[e], eyhi_[e], range)) {
+          out->push_back(evalue_[e]);
+        }
       }
     } else {
-      for (uint32_t c : node.children) stack.push_back(c);
+      survivors.clear();
+      for (uint32_t c = first; c < stop; ++c) {
+        if (PlaneIntersects(nxlo_[c], nylo_[c], nxhi_[c], nyhi_[c], range)) {
+          survivors.push_back(c);
+        }
+      }
+      for (size_t i = survivors.size(); i-- > 0;) stack.push_back(survivors[i]);
     }
   }
+}
+
+void RTree::SearchNodeReference(uint32_t n, const Point* p, double tau,
+                                const MBR* range,
+                                std::vector<uint32_t>* out) const {
+  if (p != nullptr) {
+    if (PlaneMinDist(nxlo_[n], nylo_[n], nxhi_[n], nyhi_[n], *p) > tau) return;
+  } else {
+    if (!PlaneIntersects(nxlo_[n], nylo_[n], nxhi_[n], nyhi_[n], *range)) return;
+  }
+  const uint32_t first = nfirst_[n];
+  const uint32_t stop = first + ncount_[n];
+  if (nleaf_[n]) {
+    for (uint32_t e = first; e < stop; ++e) {
+      const bool hit =
+          p != nullptr
+              ? PlaneMinDist(exlo_[e], eylo_[e], exhi_[e], eyhi_[e], *p) <= tau
+              : PlaneIntersects(exlo_[e], eylo_[e], exhi_[e], eyhi_[e], *range);
+      if (hit) out->push_back(evalue_[e]);
+    }
+    return;
+  }
+  for (uint32_t c = first; c < stop; ++c) {
+    SearchNodeReference(c, p, tau, range, out);
+  }
+}
+
+void RTree::SearchWithinDistanceReference(const Point& p, double tau,
+                                          std::vector<uint32_t>* out) const {
+  if (num_entries_ == 0) return;
+  SearchNodeReference(root_, &p, tau, /*range=*/nullptr, out);
+}
+
+void RTree::SearchIntersectingReference(const MBR& range,
+                                        std::vector<uint32_t>* out) const {
+  if (num_entries_ == 0) return;
+  SearchNodeReference(root_, /*p=*/nullptr, 0.0, &range, out);
 }
 
 size_t RTree::ByteSize() const {
-  size_t bytes = entries_.size() * sizeof(Entry) + nodes_.size() * sizeof(Node);
-  for (const Node& n : nodes_) bytes += n.children.size() * sizeof(uint32_t);
-  return bytes;
+  return 4 * exlo_.size() * sizeof(double)       // entry MBR planes
+         + evalue_.size() * sizeof(uint32_t)     // entry values
+         + 4 * nxlo_.size() * sizeof(double)     // node MBR planes
+         + nleaf_.size() * sizeof(uint8_t)       // leaf flags
+         + 2 * nfirst_.size() * sizeof(uint32_t);  // spans
+}
+
+uint64_t RTree::StructureDigest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix_bytes = [&h](const void* data, size_t len) {
+    const unsigned char* bp = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= bp[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix = [&](const auto& vec) {
+    const uint64_t n = vec.size();
+    mix_bytes(&n, sizeof(n));
+    if (!vec.empty()) mix_bytes(vec.data(), vec.size() * sizeof(vec[0]));
+  };
+  mix(exlo_); mix(eylo_); mix(exhi_); mix(eyhi_);
+  mix(evalue_);
+  mix(nxlo_); mix(nylo_); mix(nxhi_); mix(nyhi_);
+  mix(nleaf_); mix(nfirst_); mix(ncount_);
+  mix_bytes(&root_, sizeof(root_));
+  return h;
 }
 
 }  // namespace dita

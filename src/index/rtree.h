@@ -13,6 +13,15 @@ namespace dita {
 /// the per-partition first-point MBRs and one over the last-point MBRs.
 ///
 /// Entries are (MBR, opaque uint32 value); the tree is immutable once built.
+///
+/// Storage is flat (DESIGN.md §5c): entries are physically reordered into
+/// STR leaf order so every leaf owns a contiguous run of the entry-MBR SoA
+/// planes (exlo/eylo/exhi/eyhi), and each level's nodes are laid out in the
+/// packing order of the level above so every internal node's children are a
+/// contiguous node-id range. Searches are iterative over a reusable
+/// thread-local stack; the recursive formulations are kept as *Reference
+/// methods, the equivalence oracles for tests. STR sorts tie-break on the
+/// item index, so builds are bit-reproducible across runs and platforms.
 class RTree {
  public:
   struct Entry {
@@ -33,27 +42,41 @@ class RTree {
   /// Appends every entry value whose MBR intersects `range`.
   void SearchIntersecting(const MBR& range, std::vector<uint32_t>* out) const;
 
+  /// Recursive reference traversals over the same flat arrays — oracles for
+  /// the flattened-search equivalence tests; bit-identical output (content
+  /// and order) to the iterative searches.
+  void SearchWithinDistanceReference(const Point& p, double tau,
+                                     std::vector<uint32_t>* out) const;
+  void SearchIntersectingReference(const MBR& range,
+                                   std::vector<uint32_t>* out) const;
+
   size_t size() const { return num_entries_; }
   bool empty() const { return num_entries_ == 0; }
 
-  /// Approximate memory footprint in bytes (for Table 5 / Table 7 rows).
+  /// Exact memory footprint of the flat arrays in bytes (for Table 5 /
+  /// Table 7 rows).
   size_t ByteSize() const;
 
+  /// FNV-1a hash over every flat array; equal digests mean identical
+  /// builds. Used by the determinism tests.
+  uint64_t StructureDigest() const;
+
  private:
-  struct Node {
-    MBR mbr;
-    bool is_leaf = true;
-    /// Children node indices (internal) or entry indices (leaf).
-    std::vector<uint32_t> children;
-  };
+  void SearchNodeReference(uint32_t n, const Point* p, double tau,
+                           const MBR* range, std::vector<uint32_t>* out) const;
 
-  /// Packs `items` (indices into nodes_ or entries_) into parent nodes by
-  /// STR; returns indices of created parents.
-  std::vector<uint32_t> PackLevel(const std::vector<uint32_t>& items,
-                                  bool items_are_entries, size_t fanout);
+  // --- Entry SoA planes, reordered into leaf-run order. ---
+  std::vector<double> exlo_, eylo_, exhi_, eyhi_;
+  std::vector<uint32_t> evalue_;
 
-  std::vector<Entry> entries_;
-  std::vector<Node> nodes_;
+  // --- Node arrays, levels appended bottom-up (root last). ---
+  std::vector<double> nxlo_, nylo_, nxhi_, nyhi_;
+  /// 1 for leaves. Leaf n owns entries [nfirst_[n], nfirst_[n] + ncount_[n])
+  /// of the entry planes; internal n owns child nodes in the same id form.
+  std::vector<uint8_t> nleaf_;
+  std::vector<uint32_t> nfirst_;
+  std::vector<uint32_t> ncount_;
+
   uint32_t root_ = 0;
   size_t num_entries_ = 0;
 };

@@ -1,0 +1,60 @@
+#ifndef DITA_INDEX_SOA_PLANES_H_
+#define DITA_INDEX_SOA_PLANES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/mbr.h"
+#include "geom/point.h"
+
+namespace dita {
+
+/// Distance primitives for rectangles stored as SoA planes (parallel
+/// xlo/ylo/xhi/yhi arrays). Each is the exact expression of the MBR-class
+/// counterpart, so flat traversals and MBR-based reference code agree
+/// bitwise.
+
+/// MBR::MinDist(Point) over plane scalars.
+inline double PlaneMinDist(double xlo, double ylo, double xhi, double yhi,
+                           const Point& p) {
+  const double dx = std::max({xlo - p.x, 0.0, p.x - xhi});
+  const double dy = std::max({ylo - p.y, 0.0, p.y - yhi});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// The radicand of PlaneMinDist — the same expression minus the sqrt.
+/// Because correctly-rounded sqrt is monotone, minimising the radicand over
+/// a scan and taking one sqrt at the end yields the bit-identical result to
+/// minimising PlaneMinDist per element: sqrt(min dsq) == min sqrt(dsq).
+/// Hot scans (query-suffix MinDist, edit-window MinDist) use this to keep
+/// the sqrt off the loop-carried min dependency.
+inline double PlaneMinDistSq(double xlo, double ylo, double xhi, double yhi,
+                             const Point& p) {
+  const double dx = std::max({xlo - p.x, 0.0, p.x - xhi});
+  const double dy = std::max({ylo - p.y, 0.0, p.y - yhi});
+  return dx * dx + dy * dy;
+}
+
+/// MBR::MinDist(MBR) over plane scalars, including the empty-rectangle
+/// convention (infinite distance).
+inline double PlaneMinDistRect(double xlo, double ylo, double xhi, double yhi,
+                               const MBR& other) {
+  if (other.empty()) return std::numeric_limits<double>::infinity();
+  const double dx = std::max({xlo - other.hi().x, 0.0, other.lo().x - xhi});
+  const double dy = std::max({ylo - other.hi().y, 0.0, other.lo().y - yhi});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// MBR::Intersects over plane scalars (borders inclusive; empty rectangles
+/// intersect nothing).
+inline bool PlaneIntersects(double xlo, double ylo, double xhi, double yhi,
+                            const MBR& other) {
+  if (other.empty()) return false;
+  return !(other.lo().x > xhi || other.hi().x < xlo || other.lo().y > yhi ||
+           other.hi().y < ylo);
+}
+
+}  // namespace dita
+
+#endif  // DITA_INDEX_SOA_PLANES_H_

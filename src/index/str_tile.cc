@@ -5,9 +5,78 @@
 
 namespace dita {
 
+namespace {
+
+/// One sort record: the item's key point plus the item itself, kept together
+/// so the sorts touch one contiguous array instead of chasing a callback.
+/// The item doubles as the deterministic tie-breaker.
+struct KeyedItem {
+  double x;
+  double y;
+  uint32_t item;
+};
+
+inline bool LessX(const KeyedItem& a, const KeyedItem& b) {
+  if (a.x != b.x) return a.x < b.x;
+  return a.item < b.item;
+}
+
+inline bool LessY(const KeyedItem& a, const KeyedItem& b) {
+  if (a.y != b.y) return a.y < b.y;
+  return a.item < b.item;
+}
+
+/// Don't bother fanning a sort out below this many records: the submit and
+/// merge overhead exceeds the sort itself.
+constexpr size_t kParallelSortMin = 1 << 14;
+
+/// Sorts [begin, end) by `less`, chunking across `pool` when the range is
+/// large: parallel chunk sorts, then a merge tree (one parallel pass per
+/// doubling). std::sort and std::inplace_merge under a strict total order
+/// produce the unique sorted permutation, so the result is identical to the
+/// serial path.
+template <typename Less>
+void SortRange(KeyedItem* begin, KeyedItem* end, Less less, ThreadPool* pool,
+               double* offloaded_seconds) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (pool == nullptr || pool->num_threads() < 2 || n < kParallelSortMin) {
+    std::sort(begin, end, less);
+    return;
+  }
+  const size_t chunks = std::min<size_t>(pool->num_threads(), (n + 1) / 2);
+  const size_t chunk_len = (n + chunks - 1) / chunks;
+  double off = ThreadPool::ParallelFor(
+      pool, chunks, /*min_parallel=*/2, [&](size_t lo, size_t hi) {
+        for (size_t c = lo; c < hi; ++c) {
+          const size_t b = c * chunk_len;
+          const size_t e = std::min(n, b + chunk_len);
+          if (b < e) std::sort(begin + b, begin + e, less);
+        }
+      });
+  // Merge tree: each pass merges adjacent sorted runs of width `w`.
+  for (size_t w = chunk_len; w < n; w *= 2) {
+    const size_t pairs = (n + 2 * w - 1) / (2 * w);
+    off += ThreadPool::ParallelFor(
+        pool, pairs, /*min_parallel=*/2, [&](size_t lo, size_t hi) {
+          for (size_t p = lo; p < hi; ++p) {
+            const size_t b = p * 2 * w;
+            const size_t m = std::min(n, b + w);
+            const size_t e = std::min(n, b + 2 * w);
+            if (m < e) {
+              std::inplace_merge(begin + b, begin + m, begin + e, less);
+            }
+          }
+        });
+  }
+  if (offloaded_seconds != nullptr) *offloaded_seconds += off;
+}
+
+}  // namespace
+
 std::vector<std::vector<uint32_t>> StrTile(
     std::vector<uint32_t> items,
-    const std::function<Point(uint32_t)>& key_of, size_t num_groups) {
+    const std::function<Point(uint32_t)>& key_of, size_t num_groups,
+    ThreadPool* pool, double* offloaded_seconds) {
   std::vector<std::vector<uint32_t>> groups;
   if (items.empty() || num_groups == 0) return groups;
   if (num_groups == 1) {
@@ -15,27 +84,47 @@ std::vector<std::vector<uint32_t>> StrTile(
     return groups;
   }
 
-  std::sort(items.begin(), items.end(), [&](uint32_t a, uint32_t b) {
-    return key_of(a).x < key_of(b).x;
-  });
+  std::vector<KeyedItem> keyed;
+  keyed.reserve(items.size());
+  for (uint32_t item : items) {
+    const Point p = key_of(item);
+    keyed.push_back(KeyedItem{p.x, p.y, item});
+  }
+
+  SortRange(keyed.data(), keyed.data() + keyed.size(), LessX, pool,
+            offloaded_seconds);
   const size_t num_slabs = std::max<size_t>(
       1,
       static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_groups)))));
   const size_t groups_per_slab = (num_groups + num_slabs - 1) / num_slabs;
-  const size_t slab_len = (items.size() + num_slabs - 1) / num_slabs;
+  const size_t slab_len = (keyed.size() + num_slabs - 1) / num_slabs;
 
-  for (size_t s = 0; s * slab_len < items.size(); ++s) {
+  // Slab y-sorts are independent of one another; fan them out whole (one
+  // task per slab) when the input is large enough to matter.
+  const size_t total_slabs = (keyed.size() + slab_len - 1) / slab_len;
+  ThreadPool* slab_pool =
+      keyed.size() >= kParallelSortMin ? pool : nullptr;
+  const double off = ThreadPool::ParallelFor(
+      slab_pool, total_slabs, /*min_parallel=*/2, [&](size_t lo, size_t hi) {
+        for (size_t s = lo; s < hi; ++s) {
+          const size_t begin = s * slab_len;
+          const size_t end = std::min(keyed.size(), begin + slab_len);
+          std::sort(keyed.data() + begin, keyed.data() + end, LessY);
+        }
+      });
+  if (offloaded_seconds != nullptr) *offloaded_seconds += off;
+
+  for (size_t s = 0; s < total_slabs; ++s) {
     const size_t begin = s * slab_len;
-    const size_t end = std::min(items.size(), begin + slab_len);
-    std::sort(items.begin() + static_cast<long>(begin),
-              items.begin() + static_cast<long>(end),
-              [&](uint32_t a, uint32_t b) { return key_of(a).y < key_of(b).y; });
-    const size_t group_len =
-        std::max<size_t>(1, (end - begin + groups_per_slab - 1) / groups_per_slab);
+    const size_t end = std::min(keyed.size(), begin + slab_len);
+    const size_t group_len = std::max<size_t>(
+        1, (end - begin + groups_per_slab - 1) / groups_per_slab);
     for (size_t g = begin; g < end; g += group_len) {
       const size_t stop = std::min(end, g + group_len);
-      groups.emplace_back(items.begin() + static_cast<long>(g),
-                          items.begin() + static_cast<long>(stop));
+      std::vector<uint32_t> group;
+      group.reserve(stop - g);
+      for (size_t i = g; i < stop; ++i) group.push_back(keyed[i].item);
+      groups.push_back(std::move(group));
     }
   }
   return groups;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geom/point.h"
+#include "util/thread_pool.h"
 
 namespace dita {
 
@@ -14,9 +15,20 @@ namespace dita {
 /// key point's x into ~sqrt(num_groups) slabs, then sorting each slab on y
 /// and cutting it into equal-count runs. Groups are spatially coherent and
 /// balanced even on highly skewed data — the property §4.2.1 relies on.
+///
+/// `key_of` is invoked exactly once per item; the sorts run over a flat
+/// (key, item) array, not through the callback. Equal coordinates tie-break
+/// on the item value, so the grouping is bit-reproducible across runs and
+/// platforms regardless of the std::sort implementation.
+///
+/// When `pool` is non-null, large sorts are chunked across it (sorted
+/// chunks + merge tree; slab sorts fan out independently). The result is
+/// identical to the serial path. Helper-thread CPU seconds are added to
+/// `*offloaded_seconds` when provided, for the cluster virtual-time ledger.
 std::vector<std::vector<uint32_t>> StrTile(
     std::vector<uint32_t> items,
-    const std::function<Point(uint32_t)>& key_of, size_t num_groups);
+    const std::function<Point(uint32_t)>& key_of, size_t num_groups,
+    ThreadPool* pool = nullptr, double* offloaded_seconds = nullptr);
 
 }  // namespace dita
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "index/soa_planes.h"
 #include "index/str_tile.h"
 #include "util/logging.h"
 
@@ -14,7 +16,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 Status TrieIndex::Build(std::vector<Trajectory> trajectories,
-                        const Options& options) {
+                        const Options& options, ThreadPool* pool,
+                        double* offloaded_seconds) {
   if (options.align_fanout < 2 || options.pivot_fanout < 2) {
     return Status::InvalidArgument("trie fanouts must be at least 2");
   }
@@ -26,78 +29,250 @@ Status TrieIndex::Build(std::vector<Trajectory> trajectories,
   }
   options_ = options;
   trajectories_ = std::move(trajectories);
-  sequences_.clear();
-  sequences_.reserve(trajectories_.size());
-  for (const Trajectory& t : trajectories_) {
-    sequences_.push_back(
-        BuildIndexingSequence(t, options_.num_pivots, options_.strategy));
+  double off = 0.0;
+
+  // Indexing-sequence extraction is independent per trajectory; chunk it
+  // across the pool. Every chunk writes only its own slots, so the result
+  // is position-for-position identical to the serial loop.
+  sequences_.assign(trajectories_.size(), IndexingSequence{});
+  off += ThreadPool::ParallelFor(
+      pool, trajectories_.size(), /*min_parallel=*/256,
+      [this](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          sequences_[i] = BuildIndexingSequence(
+              trajectories_[i], options_.num_pivots, options_.strategy);
+        }
+      });
+
+  const int num_levels = static_cast<int>(options_.num_pivots) + 2;
+
+  xlo_.clear(); ylo_.clear(); xhi_.clear(); yhi_.clear();
+  level_.clear();
+  first_child_.clear(); child_count_.clear();
+  items_begin_.clear(); items_end_.clear();
+  src_lo_.clear(); src_hi_.clear();
+  chargeable_.clear();
+  items_.clear();
+
+  auto add_node = [this](int32_t level) -> uint32_t {
+    const uint32_t idx = static_cast<uint32_t>(level_.size());
+    xlo_.push_back(kInf);
+    ylo_.push_back(kInf);
+    xhi_.push_back(-kInf);
+    yhi_.push_back(-kInf);
+    level_.push_back(level);
+    first_child_.push_back(0);
+    child_count_.push_back(0);
+    items_begin_.push_back(0);
+    items_end_.push_back(0);
+    src_lo_.push_back(0);
+    src_hi_.push_back(0);
+    chargeable_.push_back(1);
+    return idx;
+  };
+
+  // BFS construction: the work list is processed FIFO, so each node's
+  // children are appended consecutively — the CSR layout needs only a
+  // (first_child, count) pair per node. Leaf member lists are stashed per
+  // node and laid out into the global items array in DFS order afterwards.
+  struct Pending {
+    uint32_t node;
+    int level;
+    std::vector<uint32_t> members;
+  };
+  std::vector<Pending> queue;
+  std::vector<std::vector<uint32_t>> leaf_members;
+  leaf_members.emplace_back();
+  add_node(/*level=*/-1);  // root
+  {
+    std::vector<uint32_t> all(trajectories_.size());
+    for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+    queue.push_back(Pending{0, -1, std::move(all)});
   }
 
-  nodes_.clear();
-  nodes_.push_back(Node{});  // root, level -1
-  root_ = 0;
-  std::vector<uint32_t> all(trajectories_.size());
-  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
-  BuildNode(root_, std::move(all), /*level=*/-1);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    Pending cur = std::move(queue[head]);
+    const int child_level = cur.level + 1;
+    // Leaf when all indexing levels are consumed or the population is small.
+    if (child_level >= num_levels ||
+        cur.members.size() <= options_.leaf_capacity) {
+      leaf_members[cur.node] = std::move(cur.members);
+      continue;
+    }
+
+    const size_t fanout =
+        child_level < 2 ? options_.align_fanout : options_.pivot_fanout;
+    auto level_point = [&](uint32_t traj_pos) -> Point {
+      return sequences_[traj_pos].points[static_cast<size_t>(child_level)];
+    };
+
+    auto groups =
+        StrTile(std::move(cur.members), level_point, fanout, pool, &off);
+    first_child_[cur.node] = static_cast<uint32_t>(level_.size());
+    child_count_[cur.node] = static_cast<uint32_t>(groups.size());
+    for (auto& group : groups) {
+      const uint32_t child = add_node(child_level);
+      leaf_members.emplace_back();
+      uint32_t lo = std::numeric_limits<uint32_t>::max();
+      uint32_t hi = 0;
+      for (uint32_t pos : group) {
+        const Point p = level_point(pos);
+        xlo_[child] = std::min(xlo_[child], p.x);
+        ylo_[child] = std::min(ylo_[child], p.y);
+        xhi_[child] = std::max(xhi_[child], p.x);
+        yhi_[child] = std::max(yhi_[child], p.y);
+        const uint32_t src = static_cast<uint32_t>(
+            sequences_[pos].source_indices[static_cast<size_t>(child_level)]);
+        lo = std::min(lo, src);
+        hi = std::max(hi, src);
+        if (!sequences_[pos].chargeable[static_cast<size_t>(child_level)]) {
+          chargeable_[child] = 0;
+        }
+      }
+      src_lo_[child] = lo;
+      src_hi_[child] = hi;
+      queue.push_back(Pending{child, child_level, std::move(group)});
+    }
+  }
+
+  // DFS pass assigns every leaf an items span in traversal-emission order,
+  // so the search appends strictly increasing ranges of one flat array.
+  items_.reserve(trajectories_.size());
+  std::vector<uint32_t> stack = {0};
+  while (!stack.empty()) {
+    const uint32_t n = stack.back();
+    stack.pop_back();
+    if (child_count_[n] == 0) {
+      items_begin_[n] = static_cast<uint32_t>(items_.size());
+      items_.insert(items_.end(), leaf_members[n].begin(), leaf_members[n].end());
+      items_end_[n] = static_cast<uint32_t>(items_.size());
+      continue;
+    }
+    for (uint32_t c = first_child_[n] + child_count_[n];
+         c-- > first_child_[n];) {
+      stack.push_back(c);
+    }
+  }
+
+  if (offloaded_seconds != nullptr) *offloaded_seconds += off;
   return Status::OK();
 }
 
-void TrieIndex::BuildNode(uint32_t node_idx, std::vector<uint32_t> members,
-                          int level) {
-  const int num_levels = static_cast<int>(options_.num_pivots) + 2;
-  const int child_level = level + 1;
-  // Leaf when all indexing levels are consumed or the population is small.
-  if (child_level >= num_levels || members.size() <= options_.leaf_capacity) {
-    nodes_[node_idx].items = std::move(members);
-    return;
-  }
-
-  const size_t fanout =
-      child_level < 2 ? options_.align_fanout : options_.pivot_fanout;
-  auto level_point = [&](uint32_t traj_pos) -> Point {
-    return sequences_[traj_pos].points[static_cast<size_t>(child_level)];
-  };
-
-  for (auto& child_members : StrTile(std::move(members), level_point, fanout)) {
-    Node child;
-    child.level = child_level;
-    child.src_lo = std::numeric_limits<size_t>::max();
-    child.src_hi = 0;
-    for (uint32_t pos : child_members) {
-      child.mbr.Expand(level_point(pos));
-      const size_t src =
-          sequences_[pos].source_indices[static_cast<size_t>(child_level)];
-      child.src_lo = std::min(child.src_lo, src);
-      child.src_hi = std::max(child.src_hi, src);
-      if (!sequences_[pos].chargeable[static_cast<size_t>(child_level)]) {
-        child.chargeable = false;
-      }
-    }
-    nodes_.push_back(std::move(child));
-    const uint32_t child_idx = static_cast<uint32_t>(nodes_.size() - 1);
-    nodes_[node_idx].children.push_back(child_idx);
-    BuildNode(child_idx, std::move(child_members), child_level);
-  }
-}
-
 double TrieIndex::SuffixMinDist(const Trajectory& q, size_t suffix_start,
-                                const MBR& mbr, double limit,
+                                uint32_t n, double limit,
                                 size_t* next_suffix_start) const {
   const auto& pts = q.points();
-  double best = kInf;
+  const double xlo = xlo_[n], ylo = ylo_[n], xhi = xhi_[n], yhi = yhi_[n];
+  // The scan minimises squared distances and takes one sqrt at the end —
+  // bit-identical to a per-point sqrt (see PlaneMinDistSq) but off the
+  // loop-carried min. The within-limit test stays exact: the squared
+  // pre-filter over-covers by a few ulps, and the sqrt re-test settles the
+  // boundary cases it admits.
+  double best_sq = kInf;
   size_t first_within = pts.size();
+  const double limit_sq_ub = limit * limit * (1.0 + 1e-14);
   for (size_t j = suffix_start; j < pts.size(); ++j) {
-    const double d = mbr.MinDist(pts[j]);
-    best = std::min(best, d);
-    if (d <= limit && first_within == pts.size()) first_within = j;
-    if (best == 0.0 && first_within != pts.size()) break;  // cannot improve
+    const double dsq = PlaneMinDistSq(xlo, ylo, xhi, yhi, pts[j]);
+    best_sq = std::min(best_sq, dsq);
+    if (first_within == pts.size() && dsq <= limit_sq_ub &&
+        std::sqrt(dsq) <= limit) {
+      first_within = j;
+    }
+    if (best_sq == 0.0 && first_within != pts.size()) break;  // cannot improve
   }
   // Lemma 5.1: query points before the first one within `limit` of this
   // pivot MBR cannot align to this pivot nor to any later one.
   if (next_suffix_start != nullptr) {
     *next_suffix_start = first_within == pts.size() ? suffix_start : first_within;
   }
-  return best;
+  return std::sqrt(best_sq);
+}
+
+bool TrieIndex::TestNode(uint32_t n, const SearchSpec& spec,
+                         const std::vector<MBR>& suffix_mbrs, double* budget,
+                         uint32_t* suffix_start) const {
+  const int32_t level = level_[n];
+  if (level < 0) return true;  // root
+  const Trajectory& q = *spec.query;
+  const double xlo = xlo_[n], ylo = ylo_[n], xhi = xhi_[n], yhi = yhi_[n];
+
+  switch (spec.mode) {
+    case PruneMode::kAccumulate: {
+      // Non-chargeable levels (padded repeats of an earlier source point)
+      // must not contribute to the accumulated bound.
+      if (!chargeable_[n]) return true;
+      if (spec.erp_gap != nullptr) {
+        // ERP: a row may match the gap point; no alignment, no trimming.
+        double dsq = PlaneMinDistSq(xlo, ylo, xhi, yhi, *spec.erp_gap);
+        for (const Point& p : q.points()) {
+          if (dsq == 0.0) break;
+          dsq = std::min(dsq, PlaneMinDistSq(xlo, ylo, xhi, yhi, p));
+        }
+        const double d = std::sqrt(dsq);
+        if (d > *budget) return false;
+        *budget -= d;
+        return true;
+      }
+      double d;
+      if (level == 0) {
+        d = PlaneMinDist(xlo, ylo, xhi, yhi, q.front());
+      } else if (level == 1) {
+        d = PlaneMinDist(xlo, ylo, xhi, yhi, q.back());
+      } else {
+        // O(1) pre-test before the O(n) suffix scan.
+        if (PlaneMinDistRect(xlo, ylo, xhi, yhi, suffix_mbrs[*suffix_start]) >
+            *budget) {
+          return false;
+        }
+        size_t next = *suffix_start;
+        d = SuffixMinDist(q, *suffix_start, n, *budget, &next);
+        *suffix_start = static_cast<uint32_t>(next);
+      }
+      if (d > *budget) return false;
+      *budget -= d;
+      return true;
+    }
+    case PruneMode::kMax: {
+      double d;
+      if (level == 0) {
+        d = PlaneMinDist(xlo, ylo, xhi, yhi, q.front());
+      } else if (level == 1) {
+        d = PlaneMinDist(xlo, ylo, xhi, yhi, q.back());
+      } else {
+        if (PlaneMinDistRect(xlo, ylo, xhi, yhi, suffix_mbrs[*suffix_start]) >
+            *budget) {
+          return false;
+        }
+        size_t next = *suffix_start;
+        const double sd = SuffixMinDist(q, *suffix_start, n, *budget, &next);
+        *suffix_start = static_cast<uint32_t>(next);
+        d = sd;
+      }
+      return d <= *budget;  // budget stays tau for max-style distances
+    }
+    case PruneMode::kEditCount: {
+      // A level whose indexing point cannot match any (eligible) query
+      // point within epsilon forces at least one edit (Appendix A).
+      double dsq = kInf;
+      size_t j_lo = 0;
+      size_t j_hi = q.size();
+      if (level >= 2 && spec.lcss_delta >= 0) {
+        // LCSS index constraint: pivot at source index s may only match
+        // query indices within delta of it.
+        const size_t delta = static_cast<size_t>(spec.lcss_delta);
+        const size_t lo = src_lo_[n];
+        j_lo = lo > delta ? lo - delta : 0;
+        j_hi = std::min(q.size(), static_cast<size_t>(src_hi_[n]) + delta + 1);
+      }
+      for (size_t j = j_lo; j < j_hi; ++j) {
+        dsq = std::min(dsq, PlaneMinDistSq(xlo, ylo, xhi, yhi, q[j]));
+        if (dsq == 0.0) break;
+      }
+      if (std::sqrt(dsq) > spec.epsilon && chargeable_[n]) *budget -= 1.0;
+      return *budget >= 0.0;
+    }
+  }
+  return true;
 }
 
 void TrieIndex::CollectCandidates(const SearchSpec& spec,
@@ -106,10 +281,10 @@ void TrieIndex::CollectCandidates(const SearchSpec& spec,
   if (trajectories_.empty() || spec.query->empty()) return;
   double budget = spec.tau;
   if (spec.mode == PruneMode::kEditCount) budget = std::floor(spec.tau);
-  // suffix_mbrs[j] covers query points [j, n). The buffer is reused across
-  // calls on the same thread: CollectCandidates runs once per (query,
-  // partition) inside hot search/join loops, and the per-call allocation
-  // shows up in verification-dominated profiles.
+  // suffix_mbrs[j] covers query points [j, n). All traversal buffers are
+  // reused across calls on the same thread: CollectCandidates runs once per
+  // (query, partition) inside hot search/join loops, and per-call
+  // allocations show up in filter-dominated profiles.
   const auto& pts = spec.query->points();
   static thread_local std::vector<MBR> suffix_mbrs;
   suffix_mbrs.assign(pts.size() + 1, MBR{});
@@ -117,106 +292,105 @@ void TrieIndex::CollectCandidates(const SearchSpec& spec,
     suffix_mbrs[j] = suffix_mbrs[j + 1];
     suffix_mbrs[j].Expand(pts[j]);
   }
-  SearchNode(root_, spec, suffix_mbrs, budget, /*suffix_start=*/0, out);
-}
 
-void TrieIndex::SearchNode(uint32_t node_idx, const SearchSpec& spec,
-                           const std::vector<MBR>& suffix_mbrs, double budget,
-                           size_t suffix_start,
-                           std::vector<uint32_t>* out) const {
-  const Node& node = nodes_[node_idx];
-  const Trajectory& q = *spec.query;
-
-  if (node.level >= 0) {
-    switch (spec.mode) {
-      case PruneMode::kAccumulate: {
-        // Non-chargeable levels (padded repeats of an earlier source point)
-        // must not contribute to the accumulated bound.
-        if (!node.chargeable) break;
-        if (spec.erp_gap != nullptr) {
-          // ERP: a row may match the gap point; no alignment, no trimming.
-          double d = node.mbr.MinDist(*spec.erp_gap);
-          for (const Point& p : q.points()) {
-            if (d == 0.0) break;
-            d = std::min(d, node.mbr.MinDist(p));
-          }
-          if (d > budget) return;
-          budget -= d;
-          break;
-        }
-        double d;
-        if (node.level == 0) {
-          d = node.mbr.MinDist(q.front());
-        } else if (node.level == 1) {
-          d = node.mbr.MinDist(q.back());
-        } else {
-          // O(1) pre-test before the O(n) suffix scan.
-          if (node.mbr.MinDist(suffix_mbrs[suffix_start]) > budget) return;
-          size_t next = suffix_start;
-          d = SuffixMinDist(q, suffix_start, node.mbr, budget, &next);
-          suffix_start = next;
-        }
-        if (d > budget) return;
-        budget -= d;
-        break;
-      }
-      case PruneMode::kMax: {
-        double d;
-        if (node.level == 0) {
-          d = node.mbr.MinDist(q.front());
-        } else if (node.level == 1) {
-          d = node.mbr.MinDist(q.back());
-        } else {
-          if (node.mbr.MinDist(suffix_mbrs[suffix_start]) > budget) return;
-          size_t next = suffix_start;
-          d = SuffixMinDist(q, suffix_start, node.mbr, budget, &next);
-          suffix_start = next;
-        }
-        if (d > budget) return;  // budget stays tau for max-style distances
-        break;
-      }
-      case PruneMode::kEditCount: {
-        // A level whose indexing point cannot match any (eligible) query
-        // point within epsilon forces at least one edit (Appendix A).
-        double d = kInf;
-        size_t j_lo = 0;
-        size_t j_hi = q.size();
-        if (node.level >= 2 && spec.lcss_delta >= 0) {
-          // LCSS index constraint: pivot at source index s may only match
-          // query indices within delta of it.
-          const size_t delta = static_cast<size_t>(spec.lcss_delta);
-          j_lo = node.src_lo > delta ? node.src_lo - delta : 0;
-          j_hi = std::min(q.size(), node.src_hi + delta + 1);
-        }
-        for (size_t j = j_lo; j < j_hi; ++j) {
-          d = std::min(d, node.mbr.MinDist(q[j]));
-          if (d == 0.0) break;
-        }
-        if (d > spec.epsilon && node.chargeable) budget -= 1.0;
-        if (budget < 0.0) return;
-        break;
+  // Iterative DFS. A frame is a node whose own test passed; popping an
+  // internal node scans its children — a contiguous id range, so the
+  // per-sibling MBR tests walk the SoA planes sequentially — and pushes the
+  // survivors in reverse so emission order matches the recursive reference.
+  static thread_local std::vector<Frame> stack;
+  static thread_local std::vector<Frame> survivors;
+  stack.clear();
+  stack.push_back(Frame{0, 0, budget});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const uint32_t cnt = child_count_[f.node];
+    if (cnt == 0) {
+      out->insert(out->end(), items_.begin() + items_begin_[f.node],
+                  items_.begin() + items_end_[f.node]);
+      continue;
+    }
+    const uint32_t fc = first_child_[f.node];
+    survivors.clear();
+    for (uint32_t c = fc; c < fc + cnt; ++c) {
+      double b = f.budget;
+      uint32_t s = f.suffix_start;
+      if (TestNode(c, spec, suffix_mbrs, &b, &s)) {
+        survivors.push_back(Frame{c, s, b});
       }
     }
+    for (size_t i = survivors.size(); i-- > 0;) stack.push_back(survivors[i]);
   }
+}
 
-  if (node.children.empty()) {
-    out->insert(out->end(), node.items.begin(), node.items.end());
+void TrieIndex::CollectCandidatesReference(const SearchSpec& spec,
+                                           std::vector<uint32_t>* out) const {
+  DITA_CHECK(spec.query != nullptr);
+  if (trajectories_.empty() || spec.query->empty()) return;
+  double budget = spec.tau;
+  if (spec.mode == PruneMode::kEditCount) budget = std::floor(spec.tau);
+  const auto& pts = spec.query->points();
+  std::vector<MBR> suffix_mbrs(pts.size() + 1, MBR{});
+  for (size_t j = pts.size(); j-- > 0;) {
+    suffix_mbrs[j] = suffix_mbrs[j + 1];
+    suffix_mbrs[j].Expand(pts[j]);
+  }
+  SearchNodeReference(0, spec, suffix_mbrs, budget, /*suffix_start=*/0, out);
+}
+
+void TrieIndex::SearchNodeReference(uint32_t n, const SearchSpec& spec,
+                                    const std::vector<MBR>& suffix_mbrs,
+                                    double budget, uint32_t suffix_start,
+                                    std::vector<uint32_t>* out) const {
+  if (!TestNode(n, spec, suffix_mbrs, &budget, &suffix_start)) return;
+  const uint32_t cnt = child_count_[n];
+  if (cnt == 0) {
+    out->insert(out->end(), items_.begin() + items_begin_[n],
+                items_.begin() + items_end_[n]);
     return;
   }
-  for (uint32_t child : node.children) {
-    SearchNode(child, spec, suffix_mbrs, budget, suffix_start, out);
+  for (uint32_t c = first_child_[n]; c < first_child_[n] + cnt; ++c) {
+    SearchNodeReference(c, spec, suffix_mbrs, budget, suffix_start, out);
   }
 }
 
 size_t TrieIndex::ByteSize() const {
-  size_t bytes = nodes_.size() * sizeof(Node);
-  for (const Node& n : nodes_) {
-    bytes += n.children.size() * sizeof(uint32_t) + n.items.size() * sizeof(uint32_t);
-  }
+  const size_t n = level_.size();
+  size_t bytes = 4 * n * sizeof(double)       // xlo/ylo/xhi/yhi planes
+                 + n * sizeof(int32_t)        // level
+                 + 6 * n * sizeof(uint32_t)   // child/items spans, src range
+                 + n * sizeof(uint8_t)        // chargeable mask
+                 + items_.size() * sizeof(uint32_t);
   for (const IndexingSequence& s : sequences_) {
-    bytes += s.points.size() * sizeof(Point) + s.source_indices.size() * sizeof(size_t);
+    bytes += s.points.size() * sizeof(Point) +
+             s.source_indices.size() * sizeof(size_t) +
+             (s.chargeable.size() + 7) / 8;  // packed bitmask
   }
   return bytes;
+}
+
+uint64_t TrieIndex::StructureDigest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix_bytes = [&h](const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix = [&](const auto& vec) {
+    const uint64_t n = vec.size();
+    mix_bytes(&n, sizeof(n));
+    if (!vec.empty()) mix_bytes(vec.data(), vec.size() * sizeof(vec[0]));
+  };
+  mix(xlo_); mix(ylo_); mix(xhi_); mix(yhi_);
+  mix(level_);
+  mix(first_child_); mix(child_count_);
+  mix(items_begin_); mix(items_end_);
+  mix(src_lo_); mix(src_hi_);
+  mix(chargeable_);
+  mix(items_);
+  return h;
 }
 
 }  // namespace dita

@@ -8,6 +8,7 @@
 #include "geom/trajectory.h"
 #include "index/pivot.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace dita {
 
@@ -16,6 +17,15 @@ namespace dita {
 /// index is clustered — trajectories are stored inside it, aligned with the
 /// leaves — so candidates are verified without an extra lookup (a point the
 /// paper stresses against DFT's non-clustered design).
+///
+/// The trie is stored flat (DESIGN.md §5c), not as a pointer graph: nodes
+/// are numbered in BFS order so every node's children occupy a contiguous
+/// id range, per-node MBRs live in SoA planes (xlo/ylo/xhi/yhi arrays that
+/// sibling scans walk sequentially), and leaf members are spans into one
+/// global items array laid out in DFS order. CollectCandidates is an
+/// iterative, allocation-free traversal over these arrays; the recursive
+/// formulation is kept as CollectCandidatesReference, the equivalence
+/// oracle for tests.
 class TrieIndex {
  public:
   struct Options {
@@ -53,59 +63,98 @@ class TrieIndex {
 
   TrieIndex() = default;
 
-  /// Builds the trie over `trajectories`, which the index takes ownership of.
-  Status Build(std::vector<Trajectory> trajectories, const Options& options);
+  /// Builds the trie over `trajectories`, which the index takes ownership
+  /// of. When `pool` is non-null, indexing-sequence extraction and the STR
+  /// tiling sorts are chunked across it; the result is identical to the
+  /// serial build (chunk boundaries only partition slot-indexed writes).
+  /// Helper-thread CPU seconds land in `*offloaded_seconds` when provided,
+  /// so builds running inside a cluster task can charge them back
+  /// (Cluster::ChargeCurrentTask).
+  Status Build(std::vector<Trajectory> trajectories, const Options& options,
+               ThreadPool* pool = nullptr, double* offloaded_seconds = nullptr);
 
   /// Appends the positions (into trajectories()) of every trajectory that
   /// survives the trie filter. Never drops a true answer (Lemmas 4.3 / 5.1).
+  /// Iterative flat traversal; bit-identical output (content and order) to
+  /// CollectCandidatesReference.
   void CollectCandidates(const SearchSpec& spec, std::vector<uint32_t>* out) const;
+
+  /// The recursive reference traversal — the pre-flattening implementation
+  /// ported onto the flat arrays, kept as the oracle for the equivalence
+  /// tests. Not used on hot paths.
+  void CollectCandidatesReference(const SearchSpec& spec,
+                                  std::vector<uint32_t>* out) const;
 
   const std::vector<Trajectory>& trajectories() const { return trajectories_; }
   const Trajectory& trajectory(uint32_t pos) const { return trajectories_[pos]; }
   size_t size() const { return trajectories_.size(); }
 
-  size_t NodeCount() const { return nodes_.size(); }
+  size_t NodeCount() const { return level_.size(); }
   size_t ByteSize() const;
   const Options& options() const { return options_; }
 
+  /// FNV-1a hash over every flat array (structure, MBR planes, spans,
+  /// items). Two tries with equal digests were built identically; the
+  /// parallel-vs-serial determinism tests compare digests.
+  uint64_t StructureDigest() const;
+
  private:
-  struct Node {
-    MBR mbr;
-    /// Level of this node's MBR: 0 = first point, 1 = last point,
-    /// 2 + i = pivot i. The root is level -1 with an empty MBR.
-    int level = -1;
-    /// Source-index range of the grouped indexing points (pivot levels only;
-    /// used by the LCSS delta-window restriction).
-    size_t src_lo = 0;
-    size_t src_hi = 0;
-    /// True iff every member's indexing entry at this level references a
-    /// source point not already used by an earlier level (padding repeats
-    /// points for short trajectories). Accumulate/edit modes only charge
-    /// chargeable levels to preserve the lower-bound property.
-    bool chargeable = true;
-    std::vector<uint32_t> children;  // node indices; empty for leaves
-    std::vector<uint32_t> items;     // trajectory positions; leaves only
+  /// A traversal frame: a node whose own level test already passed, with
+  /// the budget and query-suffix start that survive it (Lemma 5.1).
+  struct Frame {
+    uint32_t node;
+    uint32_t suffix_start;
+    double budget;
   };
 
-  void BuildNode(uint32_t node_idx, std::vector<uint32_t> members, int level);
+  /// Evaluates node `n`'s level test for `spec`. Returns false when the
+  /// subtree is pruned; otherwise updates *budget / *suffix_start with the
+  /// values its children inherit.
+  bool TestNode(uint32_t n, const SearchSpec& spec,
+                const std::vector<MBR>& suffix_mbrs, double* budget,
+                uint32_t* suffix_start) const;
 
-  /// `suffix_mbrs[j]` bounds query points [j, n): MinDist(node MBR, suffix
-  /// MBR) lower-bounds the per-point suffix minimum in O(1), letting most
-  /// pruned pivot nodes skip the O(n) scan entirely.
-  void SearchNode(uint32_t node_idx, const SearchSpec& spec,
-                  const std::vector<MBR>& suffix_mbrs, double budget,
-                  size_t suffix_start, std::vector<uint32_t>* out) const;
+  void SearchNodeReference(uint32_t n, const SearchSpec& spec,
+                           const std::vector<MBR>& suffix_mbrs, double budget,
+                           uint32_t suffix_start,
+                           std::vector<uint32_t>* out) const;
 
-  /// MinDist from the query's suffix [suffix_start, n) to `mbr`; also
-  /// computes the next suffix start per Lemma 5.1 under threshold `limit`.
-  double SuffixMinDist(const Trajectory& q, size_t suffix_start, const MBR& mbr,
+  /// MinDist from the query's suffix [suffix_start, n) to node MBR `n`;
+  /// also computes the next suffix start per Lemma 5.1 under threshold
+  /// `limit`.
+  double SuffixMinDist(const Trajectory& q, size_t suffix_start, uint32_t n,
                        double limit, size_t* next_suffix_start) const;
 
   Options options_;
   std::vector<Trajectory> trajectories_;
   std::vector<IndexingSequence> sequences_;  // parallel to trajectories_
-  std::vector<Node> nodes_;
-  uint32_t root_ = 0;
+
+  // --- Flat node arrays, BFS numbering (children contiguous). ---
+  /// Per-node MBR planes. The root (node 0, level -1) stores an empty
+  /// rectangle (+inf/-inf) but is never distance-tested.
+  std::vector<double> xlo_, ylo_, xhi_, yhi_;
+  /// Level of the node's MBR: 0 = first point, 1 = last point, 2 + i =
+  /// pivot i; the root is -1.
+  std::vector<int32_t> level_;
+  /// Children of node n are nodes [first_child_[n], first_child_[n] +
+  /// child_count_[n]); count 0 marks a leaf.
+  std::vector<uint32_t> first_child_;
+  std::vector<uint32_t> child_count_;
+  /// Leaf members are items_[items_begin_[n] .. items_end_[n]); spans are
+  /// assigned in DFS order so the traversal emits increasing ranges.
+  std::vector<uint32_t> items_begin_;
+  std::vector<uint32_t> items_end_;
+  /// Source-index range of the grouped indexing points (pivot levels only;
+  /// used by the LCSS delta-window restriction).
+  std::vector<uint32_t> src_lo_;
+  std::vector<uint32_t> src_hi_;
+  /// 1 iff every member's indexing entry at this level references a source
+  /// point not already used by an earlier level (padding repeats points for
+  /// short trajectories). Accumulate/edit modes only charge chargeable
+  /// levels to preserve the lower-bound property.
+  std::vector<uint8_t> chargeable_;
+  /// All leaf members, DFS leaf order, member order within a leaf.
+  std::vector<uint32_t> items_;
 };
 
 }  // namespace dita

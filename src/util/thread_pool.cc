@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <ctime>
 #include <utility>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -41,6 +44,60 @@ void ThreadPool::Wait() {
     lock.unlock();
     std::rethrow_exception(e);
   }
+}
+
+double ThreadPool::ParallelFor(ThreadPool* pool, size_t count,
+                               size_t min_parallel,
+                               const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return 0.0;
+  if (pool == nullptr || pool->num_threads() < 2 ||
+      count < std::max<size_t>(min_parallel, 2)) {
+    fn(0, count);
+    return 0.0;
+  }
+
+  const size_t chunk_count = std::min(count, pool->num_threads() * 4);
+  const size_t chunk_len = (count + chunk_count - 1) / chunk_count;
+  std::vector<double> chunk_cpu(chunk_count, 0.0);
+
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+    std::exception_ptr error;
+  } sync;
+  size_t launched = 0;
+  for (size_t c = 0; c < chunk_count && c * chunk_len < count; ++c) ++launched;
+  sync.remaining = launched;
+
+  for (size_t c = 0; c < launched; ++c) {
+    const size_t lo = c * chunk_len;
+    const size_t hi = std::min(count, lo + chunk_len);
+    pool->Submit([&fn, &sync, &chunk_cpu, lo, hi, c] {
+      timespec ts0, ts1;
+      clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts0);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(sync.mu);
+        if (!sync.error) sync.error = std::current_exception();
+      }
+      clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts1);
+      chunk_cpu[c] = static_cast<double>(ts1.tv_sec - ts0.tv_sec) +
+                     static_cast<double>(ts1.tv_nsec - ts0.tv_nsec) * 1e-9;
+      std::lock_guard<std::mutex> lock(sync.mu);
+      if (--sync.remaining == 0) sync.done.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(sync.mu);
+    sync.done.wait(lock, [&sync] { return sync.remaining == 0; });
+  }
+  if (sync.error) std::rethrow_exception(sync.error);
+
+  double offloaded = 0.0;
+  for (size_t c = 0; c < launched; ++c) offloaded += chunk_cpu[c];
+  return offloaded;
 }
 
 void ThreadPool::WorkerLoop() {

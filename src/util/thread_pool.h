@@ -33,6 +33,21 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Runs `fn(lo, hi)` over disjoint chunks covering [0, count), blocking
+  /// until every chunk finishes. Chunk boundaries depend only on `count` and
+  /// the pool width, and each chunk writes only its own slots, so results
+  /// are deterministic. Waits on a private latch rather than Wait(): the
+  /// pool may be shared with other concurrent callers. The first exception
+  /// thrown by a chunk is rethrown after all chunks drain.
+  ///
+  /// Returns the summed CPU seconds measured on the helper threads (0 when
+  /// the call ran inline because `pool` was null, single-threaded, or
+  /// `count < min_parallel`). Callers running inside a cluster task must
+  /// charge that time back (Cluster::ChargeCurrentTask) so offloaded work
+  /// stays in the virtual-time ledger.
+  static double ParallelFor(ThreadPool* pool, size_t count, size_t min_parallel,
+                            const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

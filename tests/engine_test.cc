@@ -101,6 +101,32 @@ TEST(DitaEngineTest, IndexStatsPopulated) {
   EXPECT_GT(stats.build_seconds, 0.0);
 }
 
+TEST(DitaEngineTest, ParallelBuildMatchesSerialBuild) {
+  // build_threads only changes how construction work is chunked; the index,
+  // the simulated cost ledger, and every query answer must be unchanged.
+  Dataset ds = CityDataset(500);
+  DitaConfig serial_cfg = SmallConfig();
+  DitaEngine serial(MakeCluster(), serial_cfg);
+  ASSERT_TRUE(serial.BuildIndex(ds).ok());
+
+  DitaConfig parallel_cfg = SmallConfig();
+  parallel_cfg.build_threads = 3;
+  DitaEngine parallel(MakeCluster(), parallel_cfg);
+  ASSERT_TRUE(parallel.BuildIndex(ds).ok());
+
+  EXPECT_EQ(parallel.index_stats().num_partitions,
+            serial.index_stats().num_partitions);
+  EXPECT_EQ(parallel.index_stats().local_index_bytes,
+            serial.index_stats().local_index_bytes);
+  for (size_t i = 0; i < 8; ++i) {
+    const Trajectory& q = ds[(i * 37) % ds.size()];
+    auto a = serial.Search(q, 0.05);
+    auto b = parallel.Search(q, 0.05);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+}
+
 /// End-to-end correctness: engine search equals brute force for every
 /// distance function.
 class EngineSearchProperty : public ::testing::TestWithParam<DistanceType> {};
