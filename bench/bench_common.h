@@ -7,13 +7,41 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "core/engine.h"
+#include "obs/export.h"
 #include "workload/generator.h"
 
+// Provenance injected by bench/CMakeLists.txt at configure time; the
+// fallbacks keep the header usable from targets that skip the stamping.
+#ifndef DITA_GIT_SHA
+#define DITA_GIT_SHA "unknown"
+#endif
+#ifndef DITA_BUILD_TYPE
+#define DITA_BUILD_TYPE "unspecified"
+#endif
+
 namespace dita::bench {
+
+/// Provenance stamp embedded in every BENCH_*.json file: which commit and
+/// build flavour produced the numbers, and how many hardware threads the
+/// machine had. Emitted as one JSON object (no trailing newline) so callers
+/// can splice it in as `"meta": <this>`.
+inline std::string MetaJson() {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("git_sha");
+  w.String(DITA_GIT_SHA);
+  w.Key("build_type");
+  w.String(DITA_BUILD_TYPE);
+  w.Key("hardware_threads");
+  w.UInt(std::thread::hardware_concurrency());
+  w.EndObject();
+  return w.Take();
+}
 
 /// Common command-line knobs for the experiment harnesses.
 ///

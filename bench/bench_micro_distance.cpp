@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/verifier.h"
 #include "distance/distance.h"
 #include "distance/dtw.h"
@@ -221,6 +222,7 @@ void WriteMicroJson(const char* path) {
       DistanceType::kLCSS, DistanceType::kERP};
 
   std::string json = "{\n";
+  json += "  \"meta\": " + bench::MetaJson() + ",\n";
 
   // --- Compute ns/pair per distance type and length. ---
   json += "  \"compute_ns_per_pair\": {\n";

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/partitioner.h"
 #include "index/rtree.h"
 #include "index/trie_index.h"
@@ -130,6 +131,7 @@ BENCHMARK(BM_TrieBuild)->Arg(1024)->Arg(4096);
 
 void WriteFilterJson(const char* path) {
   std::string json = "{\n";
+  json += "  \"meta\": " + bench::MetaJson() + ",\n";
   char buf[160];
 
   // --- Trie candidate collection, ns/query. ---

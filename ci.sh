@@ -13,6 +13,8 @@
 #   ./ci.sh sanitize   # sanitizer pass only
 #   ./ci.sh tsan       # thread sanitizer pass, threaded tests only
 #   ./ci.sh native     # host-tuned kernels + sanitizers, kernel tests only
+#   ./ci.sh obs        # observability: traced demo + schema check + tsan
+#                      # build with tracing/metrics enabled
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -44,7 +46,13 @@ native_filter='Oracle|ThresholdEdge|DpScratch|Dtw|Frechet|Edr|Lcss|Erp|Distance|
 # threads: the pool itself, parallel index construction and tiling sorts
 # (FlatTrie/FlatStrTile), batched parallel verification, and the cluster
 # runtime's threaded stages.
-tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition'
+tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging'
+
+# The obs pass: exporter schema validation (obs_demo_schema runs the demo
+# with tracing and re-validates its Chrome trace), the obs/logging unit and
+# end-to-end tests, and the same set under TSan so lock-free metric updates
+# and the traced cluster paths are race-checked with observability ON.
+obs_filter='Obs|Funnel|Logging|obs_demo_schema'
 
 case "${mode}" in
   plain)    run_pass build ;;
@@ -53,13 +61,18 @@ case "${mode}" in
                      -DDITA_SANITIZE=thread ;;
   native)   run_pass build-native "--filter=${native_filter}" \
                      -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
+  obs)      run_pass build "--filter=${obs_filter}"
+            ./build/examples/obs_demo --selftest
+            run_pass build-tsan "--filter=${obs_filter}" \
+                     -DDITA_SANITIZE=thread ;;
   all)      run_pass build
+            ./build/examples/obs_demo --selftest
             run_pass build-asan -DDITA_SANITIZE=address
             run_pass build-tsan "--filter=${tsan_filter}" \
                      -DDITA_SANITIZE=thread
             run_pass build-native "--filter=${native_filter}" \
                      -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
-  *) echo "usage: $0 [plain|sanitize|tsan|native|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|sanitize|tsan|native|obs|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: all passes green"

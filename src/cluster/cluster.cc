@@ -39,15 +39,44 @@ void Cluster::ClearFaults() {
   injector_.reset();
 }
 
+obs::Tracer* Cluster::EnableTracing() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tracer_ == nullptr) tracer_ = std::make_unique<obs::Tracer>();
+  return tracer_.get();
+}
+
+obs::MetricsRegistry* Cluster::EnableMetrics() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics_ == nullptr) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    obs::MetricsRegistry* m = metrics_.get();
+    m_stages_run_ = {m, "cluster.stages_run"};
+    m_task_attempts_ = {m, "cluster.task.attempts"};
+    m_stage_retries_ = {m, "cluster.stage.retries"};
+    m_worker_crashes_ = {m, "cluster.worker.crashes"};
+    m_spec_launches_ = {m, "cluster.speculative.launches"};
+    m_bytes_shipped_ = {m, "cluster.bytes_shipped"};
+    m_deadline_misses_ = {m, "cluster.stage.deadline_misses"};
+  }
+  return metrics_.get();
+}
+
 Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
                              std::vector<TaskRun>* runs) {
   runs->resize(tasks->size());
   const size_t threads =
       config_.execution_threads == 0 ? 1 : config_.execution_threads;
+  obs::Tracer* tracer = tracer_.get();
   if (threads == 1) {
     // Fast path: run inline, no pool overhead.
     Status first_error;
     for (size_t i = 0; i < tasks->size(); ++i) {
+      // Nested spans opened by the task body (verification, candidate
+      // collection) land on the owning worker's lane.
+      obs::Tracer::ScopedLane lane(obs::WorkerLane((*tasks)[i].worker));
+      obs::SpanGuard span(tracer, "task");
+      span.Arg("task", i);
+      span.Arg("worker", (*tasks)[i].worker);
       CpuTimer timer;
       t_task_offloaded_seconds = 0.0;
       try {
@@ -67,7 +96,11 @@ Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
   for (size_t i = 0; i < tasks->size(); ++i) {
     Task* t = &(*tasks)[i];
     TaskRun* run = &(*runs)[i];
-    pool.Submit([t, run] {
+    pool.Submit([t, run, tracer, i] {
+      obs::Tracer::ScopedLane lane(obs::WorkerLane(t->worker));
+      obs::SpanGuard span(tracer, "task");
+      span.Arg("task", i);
+      span.Arg("worker", t->worker);
       CpuTimer timer;
       t_task_offloaded_seconds = 0.0;
       run->status = t->fn();
@@ -102,6 +135,7 @@ size_t Cluster::LeastLoadedLiveLocked(size_t exclude) const {
 
 void Cluster::RecordTransferLocked(size_t from, size_t to, uint64_t bytes) {
   if (from == to) return;  // local, in-memory
+  m_bytes_shipped_.Add(bytes);
   stats_[from].bytes_sent += bytes;
   stats_[from].network_seconds +=
       static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
@@ -138,6 +172,14 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
     if (!t.fn) return Status::InvalidArgument("task without a function");
   }
 
+  // The stage span wraps both passes, so task / retry / backup spans nest
+  // inside it by tick containment.
+  obs::SpanGuard stage_span(
+      tracer_.get(),
+      options.name.empty() ? "stage" : "stage:" + options.name);
+  stage_span.Arg("tasks", tasks.size());
+  m_stages_run_.Increment();
+
   // Pass 1: every task function runs exactly once, for real. Retries,
   // recoveries, and speculative backups below recompute *deterministically
   // identical* results (Spark lineage semantics), so re-running the closure
@@ -150,6 +192,7 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
   // only on (seed, stage, task index, attempt), never on scheduling.
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t stage = stages_run_++;
+  stage_span.Arg("stage", stage);
 
   std::vector<double> start_totals(config_.num_workers);
   for (size_t w = 0; w < config_.num_workers; ++w) {
@@ -167,6 +210,10 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
       if (live <= 1) break;  // never kill the last worker
       stats_[w].alive = false;
       ++fault_stats_.worker_crashes;
+      m_worker_crashes_.Increment();
+      if (tracer_ != nullptr) {
+        tracer_->Instant("worker.crash", obs::WorkerLane(w));
+      }
       crashed_this_stage = w;
     }
   }
@@ -204,6 +251,15 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
         ++fault_stats_.transient_failures;
         ++fault_stats_.retries;
         ++stats_[w].task_retries;
+        m_stage_retries_.Increment();
+        if (tracer_ != nullptr) {
+          // One span per retried attempt, on the retrying worker's lane.
+          const uint64_t id =
+              tracer_->BeginSpan("task.retry", obs::WorkerLane(w));
+          tracer_->AddArg(id, "task", i);
+          tracer_->AddArg(id, "attempt", attempt);
+          tracer_->EndSpan(id);
+        }
         stats_[w].compute_seconds +=
             injector_->LostWorkFraction(stage, i, attempt) * runs[i].seconds;
         const double backoff =
@@ -217,6 +273,7 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
     }
     stats_[w].task_attempts += attempt;
     fault_stats_.task_attempts += attempt;
+    m_task_attempts_.Add(attempt);
 
     double runtime = runs[i].seconds;
     if (injector_ != nullptr && injector_->IsStraggler(stage, i)) {
@@ -243,6 +300,15 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
         ++fault_stats_.speculative_launches;
         ++stats_[backup].task_attempts;
         ++fault_stats_.task_attempts;
+        m_spec_launches_.Increment();
+        m_task_attempts_.Add(1);
+        if (tracer_ != nullptr) {
+          const uint64_t id =
+              tracer_->BeginSpan("task.backup", obs::WorkerLane(backup));
+          tracer_->AddArg(id, "task", i);
+          tracer_->AddArg(id, "original_worker", owners[i]);
+          tracer_->EndSpan(id);
+        }
         RecordTransferLocked(owners[i], backup, tasks[i].input_bytes);
         // The backup runs on a healthy node at the task's measured speed.
         const double backup_runtime = runs[i].seconds;
@@ -267,6 +333,7 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
     }
     if (stage_makespan > options.deadline_seconds) {
       ++fault_stats_.deadline_misses;
+      m_deadline_misses_.Increment();
       return Status::DeadlineExceeded(
           "stage " + (options.name.empty() ? "<unnamed>" : options.name) +
           " missed its deadline");
@@ -291,6 +358,7 @@ void Cluster::RecordDriverTransfer(size_t worker, uint64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   const double secs =
       static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  m_bytes_shipped_.Add(bytes);
   stats_[worker].bytes_sent += bytes;
   stats_[worker].network_seconds += secs;
   driver_seconds_ += secs;

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "cluster/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -148,6 +150,20 @@ class Cluster {
   /// Removes the fault schedule (dead workers stay dead; see ResetStats).
   void ClearFaults();
 
+  /// Turns on span tracing (idempotent) and returns the tracer. Stages,
+  /// task attempts, retries, and speculative backups are recorded as spans
+  /// on virtual-time ticks (see obs::Tracer for the determinism contract).
+  /// Must be called before the cluster is used from multiple threads.
+  obs::Tracer* EnableTracing();
+  /// Turns on metrics (idempotent) and returns the registry. Cluster-level
+  /// counters (cluster.stage.retries, cluster.task.attempts, ...) start
+  /// accumulating from this point. Must be called before concurrent use.
+  obs::MetricsRegistry* EnableMetrics();
+  /// Null when tracing / metrics are disabled: every instrumentation site
+  /// then reduces to one null-pointer branch.
+  obs::Tracer* tracer() const { return tracer_.get(); }
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
   /// Executes all tasks (possibly concurrently), charging each task's CPU
   /// time to its worker. Returns after every task completes. Tasks must not
   /// touch shared mutable state without their own synchronization.
@@ -264,6 +280,17 @@ class Cluster {
   FaultStats fault_stats_;
   uint64_t stages_run_ = 0;
   std::unique_ptr<FaultInjector> injector_;
+  /// Observability is opt-in; null means disabled (the default). Set once by
+  /// EnableTracing / EnableMetrics before concurrent use, then read-only.
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::CounterHandle m_stages_run_;
+  obs::CounterHandle m_task_attempts_;
+  obs::CounterHandle m_stage_retries_;
+  obs::CounterHandle m_worker_crashes_;
+  obs::CounterHandle m_spec_launches_;
+  obs::CounterHandle m_bytes_shipped_;
+  obs::CounterHandle m_deadline_misses_;
   mutable std::mutex mu_;
 };
 

@@ -61,6 +61,16 @@ struct DitaConfig {
   /// Status::DeadlineExceeded instead of an open-ended wait. 0 disables.
   double stage_deadline_seconds = 0.0;
 
+  /// Observability (src/obs/): off by default, and when off every
+  /// instrumentation site compiles down to one null-handle branch. Tracing
+  /// records nested spans (query -> stage -> task -> verify) on the
+  /// cluster's deterministic virtual-time ticks; metrics accumulate
+  /// lock-free sharded counters/histograms (filter.trie.*, verify.dp.*,
+  /// cluster.stage.*). Both attach to the engine's cluster, so engines
+  /// sharing a cluster share one tracer and one registry.
+  bool enable_tracing = false;
+  bool enable_metrics = false;
+
   /// Ablation toggles (defaults on; Fig. 13/16 turn some off).
   /// Replaces first/last STR partitioning with random placement (the
   /// Appendix B partitioning-scheme ablation, Fig. 13). Global pruning

@@ -19,6 +19,27 @@ DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& confi
   DITA_CHECK(dist.ok());
   distance_ = *dist;
   verifier_ = std::make_unique<Verifier>(distance_, config_);
+  // Observability attaches to the cluster so engines sharing it share one
+  // tracer / registry; when the toggles are off we still pick up a tracer
+  // another engine already enabled.
+  tracer_ =
+      config_.enable_tracing ? cluster_->EnableTracing() : cluster_->tracer();
+  metrics_ =
+      config_.enable_metrics ? cluster_->EnableMetrics() : cluster_->metrics();
+  m_partitions_relevant_ = {metrics_, "filter.global.partitions_relevant"};
+  m_trie_nodes_visited_ = {metrics_, "filter.trie.nodes_visited"};
+  m_trie_nodes_pruned_ = {metrics_, "filter.trie.nodes_pruned"};
+  m_trie_candidates_ = {metrics_, "filter.trie.candidates"};
+  m_verify_pairs_ = {metrics_, "verify.pairs"};
+  m_verify_pruned_mbr_ = {metrics_, "verify.pruned_mbr"};
+  m_verify_pruned_cell_ = {metrics_, "verify.pruned_cell"};
+  m_verify_dp_computed_ = {metrics_, "verify.dp.computed"};
+  m_verify_dp_cells_ = {metrics_, "verify.dp.cells"};
+  m_verify_accepted_ = {metrics_, "verify.accepted"};
+  h_query_candidates_ = {metrics_, "query.candidates",
+                         obs::PowersOfTwoBounds(24)};
+  h_batch_survivors_ = {metrics_, "verify.batch.survivors",
+                        obs::PowersOfTwoBounds(20)};
   if (config_.verify_threads > 0) {
     verify_pool_ = std::make_unique<ThreadPool>(config_.verify_threads);
   }
@@ -42,6 +63,7 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
     }
   }
   WallTimer build_timer;
+  obs::SpanGuard build_span(tracer_, "index.build");
 
   // Partitioning runs on the driver; its CPU — including STR sort chunks
   // offloaded to the build pool — lands in the driver ledger.
@@ -120,8 +142,26 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
       index_stats_.local_index_bytes += vp.ByteSize();
     }
   }
+  build_span.Arg("partitions", partitions_.size());
+  build_span.Arg("trajectories", data.size());
   indexed_ = true;
   return Status::OK();
+}
+
+void DitaEngine::RecordFilterMetrics(size_t partitions_relevant,
+                                     const TrieIndex::ProbeStats& pstats,
+                                     const VerifyStats& vstats) const {
+  if (metrics_ == nullptr) return;
+  m_partitions_relevant_.Add(partitions_relevant);
+  m_trie_nodes_visited_.Add(pstats.nodes_visited);
+  m_trie_nodes_pruned_.Add(pstats.nodes_pruned);
+  m_trie_candidates_.Add(vstats.pairs);
+  m_verify_pairs_.Add(vstats.pairs);
+  m_verify_pruned_mbr_.Add(vstats.pruned_by_mbr);
+  m_verify_pruned_cell_.Add(vstats.pruned_by_cell);
+  m_verify_dp_computed_.Add(vstats.dp_computed);
+  m_verify_dp_cells_.Add(vstats.dp_cells);
+  m_verify_accepted_.Add(vstats.accepted);
 }
 
 TrieIndex::SearchSpec DitaEngine::MakeSpec(const Trajectory& q, double tau) const {
@@ -172,18 +212,28 @@ bool DitaEngine::TrajectoryRelevantTo(const Trajectory& t,
 size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
                                const VerifyPrecomp& qp, double tau,
                                std::vector<TrajectoryId>* results,
-                               VerifyStats* vstats) const {
+                               VerifyStats* vstats,
+                               TrieIndex::ProbeStats* pstats) const {
   TrieIndex::SearchSpec spec = MakeSpec(q, tau);
   DpScratch& scratch = DpScratch::ThreadLocal();
   std::vector<uint32_t>& candidates = scratch.Candidates();
   candidates.clear();
-  p.trie.CollectCandidates(spec, &candidates);
+  {
+    obs::SpanGuard collect_span(tracer_, "trie.collect");
+    p.trie.CollectCandidates(spec, &candidates, pstats);
+    collect_span.Arg("candidates", candidates.size());
+  }
   std::vector<uint32_t>& accepted = scratch.Accepted();
   accepted.clear();
+  const size_t dp_before = vstats != nullptr ? vstats->dp_computed : 0;
   const Verifier::Batch batch{&p.precomp, &candidates, &qp, tau};
   const Verifier::BatchResult r = verifier_->VerifyBatch(
       batch, verify_pool_.get(), config_.verify_parallel_min, &accepted,
-      vstats);
+      vstats, tracer_);
+  if (vstats != nullptr) {
+    h_batch_survivors_.Observe(
+        static_cast<double>(vstats->dp_computed - dp_before));
+  }
   // DP chunks ran on pool threads; charge their CPU to this cluster task so
   // the virtual-time ledger matches a serial verification.
   if (r.offloaded_seconds > 0.0) Cluster::ChargeCurrentTask(r.offloaded_seconds);
@@ -203,41 +253,68 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
   if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
 
   const Cluster::CostSnapshot snap = cluster_->Snapshot();
+  obs::SpanGuard query_span(tracer_, "query");
 
   // Driver: probe the global index for relevant partitions.
   CpuTimer driver_timer;
   const Point* erp_gap = config_.distance == DistanceType::kERP
                              ? &config_.distance_params.erp_gap
                              : nullptr;
-  std::vector<uint32_t> relevant = global_.RelevantPartitions(
-      q, tau, distance_->prune_mode(), distance_->matching_epsilon(), erp_gap);
+  std::vector<uint32_t> relevant;
+  {
+    obs::SpanGuard probe_span(tracer_, "probe.global");
+    relevant = global_.RelevantPartitions(q, tau, distance_->prune_mode(),
+                                          distance_->matching_epsilon(),
+                                          erp_gap);
+    probe_span.Arg("relevant", relevant.size());
+  }
   const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
   cluster_->RecordDriverCompute(driver_timer.Seconds());
+
+  // Probe-stat collection feeds the funnel (per caller request) and the
+  // filter.trie.* metrics; when neither consumer exists the trie traversal
+  // keeps its stats-free hot path.
+  const bool want_probe_stats = stats != nullptr || metrics_ != nullptr;
+  const size_t trie_levels = config_.trie.num_pivots + 2;
+  TrieIndex::ProbeStats pstats;
+  pstats.Reset(trie_levels);
 
   // Workers: local filter + verify per relevant partition.
   std::mutex mu;
   std::vector<TrajectoryId> results;
   size_t total_candidates = 0;
+  uint64_t relevant_population = 0;
   VerifyStats vstats;
   std::vector<Cluster::Task> tasks;
   tasks.reserve(relevant.size());
   for (uint32_t pid : relevant) {
     const Partition* part = &partitions_[pid];
+    relevant_population += part->trie.size();
     tasks.push_back({part->home_worker,
                      [&, part] {
                        std::vector<TrajectoryId> local;
                        VerifyStats local_stats;
-                       const size_t cands =
-                           LocalSearch(*part, q, qp, tau, &local, &local_stats);
+                       TrieIndex::ProbeStats local_probe;
+                       if (want_probe_stats) local_probe.Reset(trie_levels);
+                       const size_t cands = LocalSearch(
+                           *part, q, qp, tau, &local, &local_stats,
+                           want_probe_stats ? &local_probe : nullptr);
                        std::lock_guard<std::mutex> lock(mu);
                        results.insert(results.end(), local.begin(), local.end());
                        total_candidates += cands;
                        vstats.Merge(local_stats);
+                       if (want_probe_stats) pstats.Merge(local_probe);
                        return Status::OK();
                      },
                      part->data_bytes});
   }
   DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks), StageOpts("search")));
+
+  RecordFilterMetrics(relevant.size(), pstats, vstats);
+  h_query_candidates_.Observe(static_cast<double>(total_candidates));
+  query_span.Arg("partitions_probed", relevant.size());
+  query_span.Arg("candidates", total_candidates);
+  query_span.Arg("results", results.size());
 
   if (stats != nullptr) {
     stats->makespan_seconds = cluster_->MakespanSince(snap);
@@ -246,6 +323,29 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
     stats->verify = vstats;
     stats->results = results.size();
     stats->faults = cluster_->FaultsSince(snap);
+
+    // Filter funnel: survivors after each pruning level. Within the trie,
+    // survivors after level l are the relevant population minus everything
+    // pruned at levels <= l; the remainder after the last level is exactly
+    // the candidate set, and the verify counters carry the funnel to the
+    // accepted results.
+    obs::FilterFunnel funnel;
+    funnel.AddLevel("table", index_stats_.num_trajectories);
+    funnel.AddLevel("global index", relevant_population);
+    uint64_t remaining = relevant_population;
+    for (size_t l = 0; l < trie_levels; ++l) {
+      remaining -= pstats.pruned_members[l];
+      const std::string label =
+          l == 0 ? "trie: first"
+                 : (l == 1 ? "trie: last"
+                           : "trie: pivot " + std::to_string(l - 1));
+      funnel.AddLevel(label, remaining);
+    }
+    funnel.AddLevel("candidates", total_candidates);
+    funnel.AddLevel("mbr coverage", vstats.pairs - vstats.pruned_by_mbr);
+    funnel.AddLevel("cell bound", vstats.dp_computed);
+    funnel.AddLevel("threshold dp", vstats.accepted);
+    stats->funnel = std::move(funnel);
   }
   std::sort(results.begin(), results.end());
   return results;
@@ -264,6 +364,8 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
   }
 
   const Cluster::CostSnapshot snap = cluster_->Snapshot();
+  obs::SpanGuard knn_span(tracer_, "knn.query");
+  knn_span.Arg("k", k);
   const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
 
   // Seed the expansion with a data-derived radius: the spread of the query

@@ -11,6 +11,7 @@
 #include "core/verifier.h"
 #include "distance/distance.h"
 #include "index/trie_index.h"
+#include "obs/funnel.h"
 #include "util/thread_pool.h"
 #include "workload/dataset.h"
 
@@ -41,6 +42,10 @@ class DitaEngine {
     size_t results = 0;
     /// Fault handling this query triggered (retries, recoveries, backups).
     FaultStats faults;
+    /// Survivors at each pruning level, table -> global index -> trie
+    /// levels -> MBR coverage -> cell bound -> threshold DP. Monotonically
+    /// non-increasing; the last level equals `results`.
+    obs::FilterFunnel funnel;
   };
 
   /// Per-join observability (Figs. 9-11, 16).
@@ -52,8 +57,17 @@ class DitaEngine {
     size_t divided_partitions = 0;
     size_t candidate_pairs = 0;
     size_t result_pairs = 0;
+    /// Verification-pipeline counters in pair units (mirrors
+    /// QueryStats::verify; pairs == candidate_pairs, accepted ==
+    /// result_pairs).
+    VerifyStats verify;
     /// Fault handling this join triggered (retries, recoveries, backups).
     FaultStats faults;
+    /// Survivors at each pruning level, in trajectory-pair units: |T| x |Q|
+    /// -> partition graph -> ship relevance -> trie candidates -> MBR ->
+    /// cell -> accepted. Monotonically non-increasing; ends at
+    /// `result_pairs`.
+    obs::FilterFunnel funnel;
   };
 
   DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& config);
@@ -134,11 +148,19 @@ class DitaEngine {
 
   /// Local filter+verify of `q` against partition `p`; appends matching
   /// trajectory ids. Returns the number of candidates that reached
-  /// verification.
+  /// verification. `pstats` (optional) tallies the trie traversal for the
+  /// filter funnel.
   size_t LocalSearch(const Partition& p, const Trajectory& q,
                      const VerifyPrecomp& qp, double tau,
-                     std::vector<TrajectoryId>* results,
-                     VerifyStats* vstats) const;
+                     std::vector<TrajectoryId>* results, VerifyStats* vstats,
+                     TrieIndex::ProbeStats* pstats = nullptr) const;
+
+  /// Folds one operation's aggregated filter/verify counters into the
+  /// metrics registry (no-op when metrics are disabled). Cold path: called
+  /// once per query/join, after the stage completes.
+  void RecordFilterMetrics(size_t partitions_relevant,
+                           const TrieIndex::ProbeStats& pstats,
+                           const VerifyStats& vstats) const;
 
   std::shared_ptr<Cluster> cluster_;
   DitaConfig config_;
@@ -156,6 +178,24 @@ class DitaEngine {
   std::vector<Partition> partitions_;
   IndexStats index_stats_;
   bool indexed_ = false;
+
+  /// Owned by the cluster (shared across engines on it); null when the
+  /// corresponding DitaConfig toggle is off and nobody else enabled it.
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  /// Cached null-safe handles: disabled metrics cost one branch per update.
+  obs::CounterHandle m_partitions_relevant_;
+  obs::CounterHandle m_trie_nodes_visited_;
+  obs::CounterHandle m_trie_nodes_pruned_;
+  obs::CounterHandle m_trie_candidates_;
+  obs::CounterHandle m_verify_pairs_;
+  obs::CounterHandle m_verify_pruned_mbr_;
+  obs::CounterHandle m_verify_pruned_cell_;
+  obs::CounterHandle m_verify_dp_computed_;
+  obs::CounterHandle m_verify_dp_cells_;
+  obs::CounterHandle m_verify_accepted_;
+  obs::HistogramHandle h_query_candidates_;
+  obs::HistogramHandle h_batch_survivors_;
 };
 
 }  // namespace dita

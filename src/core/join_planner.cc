@@ -226,19 +226,27 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinPlanner::Run(
     DitaEngine::JoinStats* stats) {
   const Cluster::CostSnapshot snap = cluster_.Snapshot();
   const uint64_t bytes_before = cluster_.total_bytes_sent();
+  obs::SpanGuard join_span(left_.tracer_, "join");
 
-  CpuTimer planning_timer;
-  BuildGraph();
-  cluster_.RecordDriverCompute(planning_timer.Seconds());
+  {
+    obs::SpanGuard plan_span(left_.tracer_, "join.plan");
+    CpuTimer planning_timer;
+    BuildGraph();
+    cluster_.RecordDriverCompute(planning_timer.Seconds());
 
-  EstimateWeights();
+    EstimateWeights();
 
-  CpuTimer orientation_timer;
-  OrientGreedily();
-  PlanDivisions();
-  cluster_.RecordDriverCompute(orientation_timer.Seconds());
+    CpuTimer orientation_timer;
+    OrientGreedily();
+    PlanDivisions();
+    cluster_.RecordDriverCompute(orientation_timer.Seconds());
+    plan_span.Arg("edges", edges_.size());
+    plan_span.Arg("divided_partitions", divided_partitions_);
+  }
 
   auto result = Execute(stats);
+  join_span.Arg("edges", edges_.size());
+  if (result.ok()) join_span.Arg("result_pairs", result.value().size());
   if (result.ok() && stats != nullptr) {
     stats->makespan_seconds = cluster_.MakespanSince(snap);
     stats->load_ratio = cluster_.LoadRatioSince(snap);
@@ -247,6 +255,30 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinPlanner::Run(
     stats->divided_partitions = divided_partitions_;
     stats->result_pairs = result.value().size();
     stats->faults = cluster_.FaultsSince(snap);
+
+    // Join filter funnel, in trajectory-pair units. Each (T, Q) pair lives
+    // in exactly one partition pair, so the per-edge sums never double
+    // count; the verify counters continue the funnel from the trie
+    // candidates down to the accepted result pairs.
+    const uint64_t all_pairs =
+        static_cast<uint64_t>(left_.index_stats_.num_trajectories) *
+        right_.index_stats_.num_trajectories;
+    uint64_t graph_pairs = 0;
+    for (const Edge& e : edges_) {
+      graph_pairs +=
+          static_cast<uint64_t>(left_.partitions_[e.left_part].trie.size()) *
+          right_.partitions_[e.right_part].trie.size();
+    }
+    obs::FilterFunnel funnel;
+    funnel.AddLevel("all pairs", all_pairs);
+    funnel.AddLevel("partition graph", graph_pairs);
+    funnel.AddLevel("ship relevance", ship_pairs_);
+    funnel.AddLevel("trie candidates", stats->candidate_pairs);
+    funnel.AddLevel("mbr coverage",
+                    stats->verify.pairs - stats->verify.pruned_by_mbr);
+    funnel.AddLevel("cell bound", stats->verify.dp_computed);
+    funnel.AddLevel("threshold dp", stats->verify.accepted);
+    stats->funnel = std::move(funnel);
   }
   return result;
 }
@@ -318,6 +350,19 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
   std::mutex mu;
   std::vector<std::pair<TrajectoryId, TrajectoryId>> results;
   size_t candidate_pairs = 0;
+  VerifyStats vstats;
+  // Verify counters feed JoinStats::verify / the funnel and the verify.*
+  // metrics; when neither consumer exists the verifier keeps its
+  // counter-free hot path (stats pointer stays null, as before).
+  const bool want_verify_stats = stats != nullptr || left_.metrics_ != nullptr;
+  ship_pairs_ = 0;
+  for (const EdgePlan& plan : plans) {
+    const Edge& pe = *plan.edge;
+    const DitaEngine& plan_dst = pe.left_to_right ? right_ : left_;
+    const uint32_t dst_part = pe.left_to_right ? pe.right_part : pe.left_part;
+    ship_pairs_ += static_cast<uint64_t>(plan.shipped.size()) *
+                   plan_dst.partitions_[dst_part].trie.size();
+  }
   std::vector<Cluster::Task> probe_tasks;
   probe_tasks.reserve(plans.size());
   for (EdgePlan& plan : plans) {
@@ -326,7 +371,8 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
     const uint32_t dst_part = pe.left_to_right ? pe.right_part : pe.left_part;
     const uint64_t dst_bytes = plan_dst.partitions_[dst_part].data_bytes;
     probe_tasks.push_back({plan.dst_worker,
-                           [this, &plan, &mu, &results, &candidate_pairs] {
+                           [this, &plan, &mu, &results, &candidate_pairs,
+                            &vstats, want_verify_stats] {
       const Edge& e = *plan.edge;
       const DitaEngine& src_side = e.left_to_right ? left_ : right_;
       const DitaEngine& dst_side = e.left_to_right ? right_ : left_;
@@ -337,6 +383,7 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
 
       std::vector<std::pair<TrajectoryId, TrajectoryId>> local;
       size_t local_candidates = 0;
+      VerifyStats local_vstats;
       DpScratch& scratch = DpScratch::ThreadLocal();
       double offloaded = 0.0;
       for (uint32_t pos : plan.shipped) {
@@ -352,7 +399,8 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
         const Verifier::Batch batch{&dp.precomp, &cands, &qp, tau_};
         const Verifier::BatchResult r = dst_side.verifier_->VerifyBatch(
             batch, dst_side.verify_pool_.get(),
-            dst_side.config_.verify_parallel_min, &accepted, nullptr);
+            dst_side.config_.verify_parallel_min, &accepted,
+            want_verify_stats ? &local_vstats : nullptr, dst_side.tracer_);
         offloaded += r.offloaded_seconds;
         for (uint32_t cpos : accepted) {
           const Trajectory& t = dp.trie.trajectory(cpos);
@@ -367,6 +415,7 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
       std::lock_guard<std::mutex> lock(mu);
       results.insert(results.end(), local.begin(), local.end());
       candidate_pairs += local_candidates;
+      vstats.Merge(local_vstats);
       return Status::OK();
                            },
                            dst_bytes});
@@ -374,7 +423,13 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
   DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(probe_tasks),
                                          left_.StageOpts("join-probe")));
 
-  if (stats != nullptr) stats->candidate_pairs = candidate_pairs;
+  if (stats != nullptr) {
+    stats->candidate_pairs = candidate_pairs;
+    stats->verify = vstats;
+  }
+  // Fold the join's verify counters into the metrics registry (no global
+  // probe or trie-level breakdown on the join path).
+  left_.RecordFilterMetrics(0, TrieIndex::ProbeStats{}, vstats);
   std::sort(results.begin(), results.end());
   return results;
 }

@@ -75,6 +75,10 @@ class JoinPlanner {
   size_t divided_partitions_ = 0;
   /// Measured seconds per verified candidate pair (Delta in §6.2).
   double seconds_per_pair_ = 1e-6;
+  /// Trajectory pairs surviving the ship-relevance filter: per edge,
+  /// |shipped| x |target partition| (funnel level between the partition
+  /// graph and the trie candidates). Filled by Execute.
+  uint64_t ship_pairs_ = 0;
 };
 
 }  // namespace dita

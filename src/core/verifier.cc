@@ -53,7 +53,11 @@ bool Verifier::Verify(const Trajectory&, const VerifyPrecomp& tp,
                       VerifyStats* stats) const {
   if (stats != nullptr) ++stats->pairs;
   if (!PassesFilters(tp, qp, tau, stats)) return false;
-  if (stats != nullptr) ++stats->dp_computed;
+  if (stats != nullptr) {
+    ++stats->dp_computed;
+    stats->dp_cells +=
+        static_cast<uint64_t>(tp.soa.size()) * qp.soa.size();
+  }
   const bool within = distance_->WithinThreshold(
       tp.soa.view(), qp.soa.view(), tau, &DpScratch::ThreadLocal());
   if (within && stats != nullptr) ++stats->accepted;
@@ -64,7 +68,9 @@ Verifier::BatchResult Verifier::VerifyBatch(const Batch& batch,
                                             ThreadPool* pool,
                                             size_t min_parallel,
                                             std::vector<uint32_t>* accepted,
-                                            VerifyStats* stats) const {
+                                            VerifyStats* stats,
+                                            obs::Tracer* tracer) const {
+  obs::SpanGuard span(tracer, "verify");
   BatchResult out;
   const std::vector<VerifyPrecomp>& precomp = *batch.precomp;
   const std::vector<uint32_t>& candidates = *batch.candidates;
@@ -82,7 +88,13 @@ Verifier::BatchResult Verifier::VerifyBatch(const Batch& batch,
   for (const uint32_t pos : candidates) {
     if (PassesFilters(precomp[pos], qp, tau, stats)) survivors.push_back(pos);
   }
-  if (stats != nullptr) stats->dp_computed += survivors.size();
+  if (stats != nullptr) {
+    stats->dp_computed += survivors.size();
+    for (const uint32_t pos : survivors) {
+      stats->dp_cells +=
+          static_cast<uint64_t>(precomp[pos].soa.size()) * qp.soa.size();
+    }
+  }
 
   // Pass 2: thresholded DP on the survivors.
   const TrajView qv = qp.soa.view();
@@ -161,6 +173,9 @@ Verifier::BatchResult Verifier::VerifyBatch(const Batch& batch,
 
   out.accepted = accepted->size() - before;
   if (stats != nullptr) stats->accepted += out.accepted;
+  span.Arg("pairs", candidates.size());
+  span.Arg("survivors", count);
+  span.Arg("accepted", out.accepted);
   return out;
 }
 

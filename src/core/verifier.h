@@ -10,6 +10,7 @@
 #include "geom/soa.h"
 #include "geom/trajectory.h"
 #include "index/cell.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace dita {
@@ -45,12 +46,16 @@ struct VerifyStats {
   size_t pruned_by_cell = 0;
   size_t dp_computed = 0;
   size_t accepted = 0;
+  /// DP matrix cells |T| x |Q| summed over pairs that reached the DP — the
+  /// work the filters failed to prune (feeds the verify.dp.cells metric).
+  uint64_t dp_cells = 0;
 
   void Merge(const VerifyStats& o) {
     pairs += o.pairs;
     pruned_by_mbr += o.pruned_by_mbr;
     pruned_by_cell += o.pruned_by_cell;
     dp_computed += o.dp_computed;
+    dp_cells += o.dp_cells;
     accepted += o.accepted;
   }
 };
@@ -99,10 +104,13 @@ class Verifier {
   /// survivors remain — is chunked across the pool. Accepted positions are
   /// appended to `accepted` in candidate order regardless of the execution
   /// mode, so results are deterministic. Stats accumulation matches a loop
-  /// of Verify() calls exactly.
+  /// of Verify() calls exactly. With `tracer` non-null the batch is wrapped
+  /// in a "verify" span (on the calling thread's lane) carrying the batch's
+  /// pair / survivor / accepted counts.
   BatchResult VerifyBatch(const Batch& batch, ThreadPool* pool,
                           size_t min_parallel, std::vector<uint32_t>* accepted,
-                          VerifyStats* stats) const;
+                          VerifyStats* stats,
+                          obs::Tracer* tracer = nullptr) const;
 
   const TrajectoryDistance& distance() const { return *distance_; }
 

@@ -154,6 +154,23 @@ Status TrieIndex::Build(std::vector<Trajectory> trajectories,
     }
   }
 
+  // Subtree membership counts, for the funnel's per-level pruning tallies.
+  // BFS numbering guarantees every child id exceeds its parent's, so one
+  // reverse sweep folds leaf span lengths up to the root.
+  subtree_count_.assign(level_.size(), 0);
+  for (uint32_t n = static_cast<uint32_t>(level_.size()); n-- > 0;) {
+    if (child_count_[n] == 0) {
+      subtree_count_[n] = items_end_[n] - items_begin_[n];
+    } else {
+      uint32_t total = 0;
+      for (uint32_t c = first_child_[n]; c < first_child_[n] + child_count_[n];
+           ++c) {
+        total += subtree_count_[c];
+      }
+      subtree_count_[n] = total;
+    }
+  }
+
   if (offloaded_seconds != nullptr) *offloaded_seconds += off;
   return Status::OK();
 }
@@ -276,7 +293,8 @@ bool TrieIndex::TestNode(uint32_t n, const SearchSpec& spec,
 }
 
 void TrieIndex::CollectCandidates(const SearchSpec& spec,
-                                  std::vector<uint32_t>* out) const {
+                                  std::vector<uint32_t>* out,
+                                  ProbeStats* stats) const {
   DITA_CHECK(spec.query != nullptr);
   if (trajectories_.empty() || spec.query->empty()) return;
   double budget = spec.tau;
@@ -315,9 +333,16 @@ void TrieIndex::CollectCandidates(const SearchSpec& spec,
     for (uint32_t c = fc; c < fc + cnt; ++c) {
       double b = f.budget;
       uint32_t s = f.suffix_start;
-      if (TestNode(c, spec, suffix_mbrs, &b, &s)) {
-        survivors.push_back(Frame{c, s, b});
+      const bool pass = TestNode(c, spec, suffix_mbrs, &b, &s);
+      if (stats != nullptr) {
+        ++stats->nodes_visited;
+        if (!pass) {
+          ++stats->nodes_pruned;
+          stats->pruned_members[static_cast<size_t>(level_[c])] +=
+              subtree_count_[c];
+        }
       }
+      if (pass) survivors.push_back(Frame{c, s, b});
     }
     for (size_t i = survivors.size(); i-- > 0;) stack.push_back(survivors[i]);
   }

@@ -61,6 +61,33 @@ class TrieIndex {
     const Point* erp_gap = nullptr;
   };
 
+  /// Per-probe traversal counters, filled by CollectCandidates when a
+  /// non-null pointer is passed. `pruned_members[l]` counts trajectories
+  /// eliminated by a failed node test at trie level l (the whole pruned
+  /// subtree's membership), so the filter funnel can report survivors after
+  /// each level: population − Σ_{l' <= l} pruned_members[l'].
+  struct ProbeStats {
+    uint64_t nodes_visited = 0;
+    uint64_t nodes_pruned = 0;
+    std::vector<uint64_t> pruned_members;  // indexed by level, num_levels()
+
+    void Reset(size_t num_levels) {
+      nodes_visited = 0;
+      nodes_pruned = 0;
+      pruned_members.assign(num_levels, 0);
+    }
+    void Merge(const ProbeStats& o) {
+      nodes_visited += o.nodes_visited;
+      nodes_pruned += o.nodes_pruned;
+      if (pruned_members.size() < o.pruned_members.size()) {
+        pruned_members.resize(o.pruned_members.size(), 0);
+      }
+      for (size_t l = 0; l < o.pruned_members.size(); ++l) {
+        pruned_members[l] += o.pruned_members[l];
+      }
+    }
+  };
+
   TrieIndex() = default;
 
   /// Builds the trie over `trajectories`, which the index takes ownership
@@ -76,8 +103,12 @@ class TrieIndex {
   /// Appends the positions (into trajectories()) of every trajectory that
   /// survives the trie filter. Never drops a true answer (Lemmas 4.3 / 5.1).
   /// Iterative flat traversal; bit-identical output (content and order) to
-  /// CollectCandidatesReference.
-  void CollectCandidates(const SearchSpec& spec, std::vector<uint32_t>* out) const;
+  /// CollectCandidatesReference. With `stats` non-null the traversal also
+  /// tallies visited/pruned nodes and pruned subtree membership per level
+  /// (stats are *added* to, call ProbeStats::Reset first); the stats == null
+  /// hot path costs one predictable branch per tested node.
+  void CollectCandidates(const SearchSpec& spec, std::vector<uint32_t>* out,
+                         ProbeStats* stats = nullptr) const;
 
   /// The recursive reference traversal — the pre-flattening implementation
   /// ported onto the flat arrays, kept as the oracle for the equivalence
@@ -92,6 +123,13 @@ class TrieIndex {
   size_t NodeCount() const { return level_.size(); }
   size_t ByteSize() const;
   const Options& options() const { return options_; }
+
+  /// Trie levels: first point, last point, K pivots.
+  size_t num_levels() const { return options_.num_pivots + 2; }
+
+  /// Trajectories stored under node `n` (== the whole population at the
+  /// root). Backs the funnel's pruned-member accounting.
+  uint32_t SubtreeCount(uint32_t n) const { return subtree_count_[n]; }
 
   /// FNV-1a hash over every flat array (structure, MBR planes, spans,
   /// items). Two tries with equal digests were built identically; the
@@ -153,6 +191,9 @@ class TrieIndex {
   /// short trajectories). Accumulate/edit modes only charge chargeable
   /// levels to preserve the lower-bound property.
   std::vector<uint8_t> chargeable_;
+  /// Trajectories stored in the subtree rooted at each node (derived from
+  /// the leaf spans after the DFS pass; excluded from StructureDigest).
+  std::vector<uint32_t> subtree_count_;
   /// All leaf members, DFS leaf order, member order within a leaf.
   std::vector<uint32_t> items_;
 };

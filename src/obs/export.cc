@@ -1,0 +1,426 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace dita::obs {
+
+void JsonWriter::UInt(uint64_t v) {
+  Sep();
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, static_cast<size_t>(end - buf));
+}
+
+void JsonWriter::Int(int64_t v) {
+  Sep();
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, static_cast<size_t>(end - buf));
+}
+
+void JsonWriter::Double(double v) {
+  Sep();
+  char buf[40];
+  // to_chars emits the shortest representation that round-trips, so equal
+  // values serialize identically across runs and platforms with IEEE754.
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, static_cast<size_t>(end - buf));
+}
+
+void JsonWriter::AppendString(std::string_view v) {
+  out_ += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+std::string ToChromeTraceJson(const Tracer& tracer) {
+  const std::vector<Tracer::Event> events = tracer.Events();
+
+  // Distinct lanes, ascending, for the thread_name metadata records.
+  std::vector<int64_t> lanes;
+  for (const auto& e : events) {
+    bool seen = false;
+    for (int64_t l : lanes) seen = seen || l == e.lane;
+    if (!seen) lanes.push_back(e.lane);
+  }
+  std::sort(lanes.begin(), lanes.end());
+
+  std::string out = "{\"traceEvents\": [\n";
+  JsonWriter meta;
+  meta.BeginObject();
+  meta.Key("name");
+  meta.String("process_name");
+  meta.Key("ph");
+  meta.String("M");
+  meta.Key("pid");
+  meta.UInt(0);
+  meta.Key("tid");
+  meta.UInt(0);
+  meta.Key("args");
+  meta.BeginObject();
+  meta.Key("name");
+  meta.String("dita");
+  meta.EndObject();
+  meta.EndObject();
+  out += meta.Take();
+  for (int64_t lane : lanes) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("name");
+    w.String("thread_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.UInt(0);
+    w.Key("tid");
+    w.Int(lane);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    if (lane == kDriverLane) {
+      w.String("driver");
+    } else {
+      w.String("worker " + std::to_string(lane - 1));
+    }
+    w.EndObject();
+    w.EndObject();
+    out += ",\n" + w.Take();
+  }
+
+  for (const auto& e : events) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    const bool instant = e.closed && e.end == e.begin;
+    w.Key("ph");
+    w.String(instant ? "i" : "X");
+    w.Key("pid");
+    w.UInt(0);
+    w.Key("tid");
+    w.Int(e.lane);
+    w.Key("ts");
+    w.UInt(e.begin);
+    if (instant) {
+      w.Key("s");
+      w.String("t");
+    } else {
+      w.Key("dur");
+      w.UInt(e.end - e.begin);
+    }
+    if (!e.args.empty()) {
+      w.Key("args");
+      w.BeginObject();
+      for (const auto& [k, v] : e.args) {
+        w.Key(k);
+        w.UInt(v);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+    out += ",\n" + w.Take();
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string MetricsToJson(const MetricsRegistry::Snapshot& snap) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.counters) {
+    w.Key(name);
+    w.UInt(value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.gauges) {
+    w.Key(name);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : snap.histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("bounds");
+    w.BeginArray();
+    for (double b : h.bounds) w.Double(b);
+    w.EndArray();
+    w.Key("counts");
+    w.BeginArray();
+    for (uint64_t c : h.counts) w.UInt(c);
+    w.EndArray();
+    w.Key("count");
+    w.UInt(h.count);
+    w.Key("sum");
+    w.Double(h.sum);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take() + "\n";
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Hand-rolled tolerant JSON walker for the schema check: no external JSON
+/// dependency is available in the image, and the exporter's output is
+/// regular enough that full JSON generality is unnecessary — but the walker
+/// still parses real strings/numbers/nesting so a malformed document fails
+/// loudly rather than slipping past a substring match.
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(std::string_view s) : s_(s) {}
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void Ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    Ws();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  bool Expect(char c) {
+    Ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Fail("dangling escape");
+      }
+      out->push_back(s_[pos_++]);
+    }
+    if (pos_ >= s_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    Ws();
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    const auto res =
+        std::from_chars(s_.data() + start, s_.data() + pos_, *out);
+    if (res.ec != std::errc()) return Fail("bad number");
+    return true;
+  }
+
+  bool SkipValue() {
+    Ws();
+    if (pos_ >= s_.size()) return Fail("truncated value");
+    const char c = s_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      Ws();
+      if (Peek(close)) {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        if (c == '{') {
+          std::string key;
+          if (!ParseString(&key) || !Expect(':')) return false;
+        }
+        if (!SkipValue()) return false;
+        Ws();
+        if (Peek(',')) {
+          ++pos_;
+          continue;
+        }
+        return Expect(close);
+      }
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    double ignored;
+    return ParseNumber(&ignored);
+  }
+
+  bool ValidateEvent() {
+    if (!Expect('{')) return false;
+    bool has_name = false, has_ph = false, has_pid = false, has_tid = false,
+         has_ts = false, has_dur = false;
+    std::string ph;
+    double dur = 0.0;
+    if (!Peek('}')) {
+      while (true) {
+        std::string key;
+        if (!ParseString(&key) || !Expect(':')) return false;
+        if (key == "name") {
+          std::string name;
+          if (!ParseString(&name)) return false;
+          has_name = true;
+        } else if (key == "ph") {
+          if (!ParseString(&ph)) return false;
+          has_ph = true;
+        } else if (key == "pid" || key == "tid" || key == "ts") {
+          double v;
+          if (!ParseNumber(&v)) return false;
+          (key == "pid" ? has_pid : key == "tid" ? has_tid : has_ts) = true;
+        } else if (key == "dur") {
+          if (!ParseNumber(&dur)) return false;
+          has_dur = true;
+        } else {
+          if (!SkipValue()) return false;
+        }
+        Ws();
+        if (Peek(',')) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Expect('}')) return false;
+    if (!has_name || !has_ph || !has_pid || !has_tid) {
+      return Fail("event missing name/ph/pid/tid");
+    }
+    if (ph != "M" && !has_ts) return Fail("non-metadata event missing ts");
+    if (ph == "X" && (!has_dur || dur < 0.0)) {
+      return Fail("X event missing non-negative dur");
+    }
+    return true;
+  }
+
+  bool Validate() {
+    if (!Expect('{')) return false;
+    bool saw_events = false;
+    while (true) {
+      std::string key;
+      if (!ParseString(&key) || !Expect(':')) return false;
+      if (key == "traceEvents") {
+        saw_events = true;
+        if (!Expect('[')) return false;
+        Ws();
+        if (Peek(']')) {
+          ++pos_;
+        } else {
+          while (true) {
+            if (!ValidateEvent()) return false;
+            Ws();
+            if (Peek(',')) {
+              ++pos_;
+              continue;
+            }
+            if (!Expect(']')) return false;
+            break;
+          }
+        }
+      } else {
+        if (!SkipValue()) return false;
+      }
+      Ws();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (!Expect('}')) return false;
+    if (!saw_events) return Fail("missing traceEvents");
+    return true;
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Status ValidateChromeTraceJson(const std::string& json) {
+  MiniJsonParser parser(json);
+  if (!parser.Validate()) {
+    return Status::InvalidArgument("invalid Chrome trace: " + parser.error());
+  }
+  return Status::OK();
+}
+
+}  // namespace dita::obs

@@ -1,0 +1,94 @@
+#ifndef DITA_OBS_EXPORT_H_
+#define DITA_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace dita::obs {
+
+/// Minimal JSON string builder shared by the exporters and the bench
+/// harness's provenance stamp. Emits objects field by field; callers are
+/// responsible for overall document structure.
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Sep();
+    out_ += '{';
+    first_ = true;
+  }
+  void EndObject() {
+    out_ += '}';
+    first_ = false;
+  }
+  void BeginArray() {
+    Sep();
+    out_ += '[';
+    first_ = true;
+  }
+  void EndArray() {
+    out_ += ']';
+    first_ = false;
+  }
+  void Key(std::string_view key) {
+    Sep();
+    AppendString(key);
+    out_ += ": ";
+    first_ = true;  // the value itself must not emit a separator
+  }
+  void String(std::string_view v) {
+    Sep();
+    AppendString(v);
+  }
+  void UInt(uint64_t v);
+  void Int(int64_t v);
+  /// Shortest round-trip formatting, so equal doubles always serialize to
+  /// identical bytes (required by the trace-determinism guarantee).
+  void Double(double v);
+  void Raw(std::string_view fragment) {
+    Sep();
+    out_ += fragment;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Sep() {
+    if (!first_) out_ += ", ";
+    first_ = false;
+  }
+  void AppendString(std::string_view v);
+
+  std::string out_;
+  bool first_ = true;
+};
+
+/// Serializes the tracer's spans as Chrome trace_event JSON ("X" complete
+/// events plus process/thread metadata), loadable in chrome://tracing and
+/// Perfetto. Timestamps are the tracer's deterministic ticks, exported as
+/// microseconds. Unclosed spans are exported with zero duration.
+std::string ToChromeTraceJson(const Tracer& tracer);
+
+/// Flat JSON of a metrics snapshot: name-ordered counters, gauges, and
+/// histograms.
+std::string MetricsToJson(const MetricsRegistry::Snapshot& snap);
+inline std::string MetricsToJson(const MetricsRegistry& registry) {
+  return MetricsToJson(registry.Snap());
+}
+
+/// Writes `content` to `path`; fails with Status::Internal on I/O errors.
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// Minimal structural validation of a Chrome trace produced by
+/// ToChromeTraceJson: the document parses as {"traceEvents": [...]}, every
+/// event carries name/ph/pid/tid/ts, and every "X" event carries a
+/// non-negative dur. Returns InvalidArgument naming the first violation.
+/// This is the ctest-driven schema check the ci.sh obs pass runs.
+Status ValidateChromeTraceJson(const std::string& json);
+
+}  // namespace dita::obs
+
+#endif  // DITA_OBS_EXPORT_H_

@@ -1,0 +1,59 @@
+#include "obs/funnel.h"
+
+#include <cstdio>
+
+namespace dita::obs {
+
+bool FilterFunnel::MonotonicallyNonIncreasing() const {
+  for (size_t i = 1; i < levels.size(); ++i) {
+    if (levels[i].survivors > levels[i - 1].survivors) return false;
+  }
+  return true;
+}
+
+std::string FilterFunnel::ToTable() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-24s %14s %10s %10s\n", "filter level",
+                "survivors", "of total", "of prev");
+  out += buf;
+  const double total =
+      levels.empty() ? 0.0 : static_cast<double>(levels.front().survivors);
+  uint64_t prev = levels.empty() ? 0 : levels.front().survivors;
+  for (const Level& l : levels) {
+    const double of_total =
+        total > 0.0 ? static_cast<double>(l.survivors) / total : 0.0;
+    const double of_prev =
+        prev > 0 ? static_cast<double>(l.survivors) / static_cast<double>(prev)
+                 : 0.0;
+    std::snprintf(buf, sizeof(buf), "%-24s %14llu %9.2f%% %9.2f%%\n",
+                  l.label.c_str(),
+                  static_cast<unsigned long long>(l.survivors),
+                  100.0 * of_total, 100.0 * of_prev);
+    out += buf;
+    prev = l.survivors;
+  }
+  return out;
+}
+
+std::string FilterFunnel::ToJson() const {
+  std::string out = "[";
+  char buf[64];
+  for (size_t i = 0; i < levels.size(); ++i) {
+    out += "{\"label\": \"";
+    // Labels are internal identifiers (no quotes/backslashes), but escape
+    // defensively so the emitted JSON can never be malformed.
+    for (char c : levels[i].label) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    std::snprintf(buf, sizeof(buf), "\", \"survivors\": %llu}",
+                  static_cast<unsigned long long>(levels[i].survivors));
+    out += buf;
+    if (i + 1 < levels.size()) out += ", ";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dita::obs

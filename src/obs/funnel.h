@@ -1,0 +1,52 @@
+#ifndef DITA_OBS_FUNNEL_H_
+#define DITA_OBS_FUNNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dita::obs {
+
+/// Survivor counts through the paper's pruning pipeline, one level per
+/// filter: global index (§5.2) → trie levels (Lemma 5.1 suffix bound) →
+/// MBR/EMBR coverage (Lemma 5.4) → cell lower bound (Lemma 5.6) → threshold
+/// DP. Each level records how many units (trajectories for a search, pairs
+/// for a join) survive *after* that filter ran, so a well-formed funnel is
+/// monotonically non-increasing and its last level equals the number of
+/// results.
+struct FilterFunnel {
+  struct Level {
+    std::string label;
+    uint64_t survivors = 0;
+
+    friend bool operator==(const Level&, const Level&) = default;
+  };
+
+  std::vector<Level> levels;
+
+  void AddLevel(std::string label, uint64_t survivors) {
+    levels.push_back(Level{std::move(label), survivors});
+  }
+
+  bool empty() const { return levels.empty(); }
+
+  /// True iff every level's survivor count is <= its predecessor's. An
+  /// empty funnel is trivially monotonic.
+  bool MonotonicallyNonIncreasing() const;
+
+  /// Survivors of the last level (the final answer count); 0 when empty.
+  uint64_t FinalSurvivors() const {
+    return levels.empty() ? 0 : levels.back().survivors;
+  }
+
+  /// Human-readable table: one row per level with the survivor count, the
+  /// fraction of the first level still alive, and the per-level selectivity.
+  std::string ToTable() const;
+
+  /// Flat JSON array of {"label": ..., "survivors": ...} objects.
+  std::string ToJson() const;
+};
+
+}  // namespace dita::obs
+
+#endif  // DITA_OBS_FUNNEL_H_

@@ -1,0 +1,172 @@
+#ifndef DITA_OBS_METRICS_H_
+#define DITA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dita::obs {
+
+/// Index of the calling thread into the per-metric shard arrays. Assigned
+/// once per thread, round-robin, so long-lived pool threads spread across
+/// shards instead of hashing onto the same slot.
+uint32_t ThreadShardIndex();
+
+/// Shards per metric. Power of two; increments hit
+/// shards[thread & (kMetricShards - 1)], so threads only contend when more
+/// than kMetricShards of them update one metric at once — and even then the
+/// update is a relaxed atomic add, never a lock.
+inline constexpr uint32_t kMetricShards = 16;
+
+/// Monotonic counter, sharded per thread. Add() is lock-free and
+/// allocation-free: one relaxed fetch_add on a cache-line-private atomic.
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    shards_[ThreadShardIndex() & (kMetricShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all shards. Concurrent increments may or may not be included;
+  /// the value is exact once writers are quiescent.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-write-wins instantaneous value (e.g. live workers, queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram, sharded per thread like Counter. Bucket bounds
+/// are upper bounds; an implicit +inf bucket catches the overflow. Observe()
+/// is lock-free and allocation-free.
+class Histogram {
+ public:
+  /// `bounds` must be sorted ascending; it is fixed for the histogram's
+  /// lifetime (re-registering a name with different bounds keeps the first).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double x) {
+    size_t b = 0;
+    while (b < bounds_.size() && x > bounds_[b]) ++b;
+    Shard& s = shards_[ThreadShardIndex() & (kMetricShards - 1)];
+    s.counts[b].fetch_add(1, std::memory_order_relaxed);
+    // Sum kept as an integer total of quantized values would lose precision;
+    // C++20 atomic<double> fetch_add keeps it exact-ish and lock-free.
+    s.sum.fetch_add(x, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::vector<double> bounds;   // upper bounds; counts has one extra bucket
+    std::vector<uint64_t> counts; // bounds.size() + 1 entries
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot Snap() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+/// Registry of named metrics. Metric *creation* takes a mutex (cold path,
+/// once per name); the returned pointers are stable for the registry's
+/// lifetime, so hot paths cache them and update lock-free. Snapshots are
+/// ordered by name, giving deterministic exports.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Returns the histogram for `name`, creating it with `bounds` on first
+  /// use. Later calls ignore `bounds` (the first registration wins).
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+  Snapshot Snap() const;
+
+  /// Number of distinct metrics registered. Steady-state hot loops must not
+  /// grow this (see ObsTest.SteadyStateIncrementsDoNotAllocate).
+  size_t metric_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Null-safe handles: the disabled path (`registry == nullptr`) costs one
+/// predictable branch per update and touches no memory. Hot kernels hold
+/// these by value.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  CounterHandle(MetricsRegistry* reg, std::string_view name)
+      : c_(reg == nullptr ? nullptr : reg->GetCounter(name)) {}
+  /// const: updating the pointed-to counter doesn't mutate the handle, so
+  /// const engine methods can hold handles by value and still count.
+  void Add(uint64_t n) const {
+    if (c_ != nullptr) c_->Add(n);
+  }
+  void Increment() const { Add(1); }
+  explicit operator bool() const { return c_ != nullptr; }
+
+ private:
+  Counter* c_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  HistogramHandle(MetricsRegistry* reg, std::string_view name,
+                  std::vector<double> bounds)
+      : h_(reg == nullptr ? nullptr
+                          : reg->GetHistogram(name, std::move(bounds))) {}
+  void Observe(double x) const {
+    if (h_ != nullptr) h_->Observe(x);
+  }
+  explicit operator bool() const { return h_ != nullptr; }
+
+ private:
+  Histogram* h_ = nullptr;
+};
+
+/// Power-of-two bucket bounds 1, 2, 4, ... 2^(n-1): the default shape for
+/// count-valued histograms (candidates per query, survivors per batch).
+std::vector<double> PowersOfTwoBounds(size_t n);
+
+}  // namespace dita::obs
+
+#endif  // DITA_OBS_METRICS_H_

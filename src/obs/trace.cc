@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+namespace dita::obs {
+
+namespace {
+thread_local int64_t t_current_lane = kDriverLane;
+}  // namespace
+
+Tracer::ScopedLane::ScopedLane(int64_t lane) : saved_(t_current_lane) {
+  t_current_lane = lane;
+}
+
+Tracer::ScopedLane::~ScopedLane() { t_current_lane = saved_; }
+
+int64_t Tracer::CurrentLane() { return t_current_lane; }
+
+uint64_t Tracer::BeginSpan(std::string name) {
+  return BeginSpan(std::move(name), t_current_lane);
+}
+
+uint64_t Tracer::BeginSpan(std::string name, int64_t lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = events_.size();
+  Event e;
+  e.name = std::move(name);
+  e.lane = lane;
+  e.begin = next_tick_++;
+  e.end = e.begin;
+  events_.push_back(std::move(e));
+  return id;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= events_.size() || events_[id].closed) return;
+  events_[id].end = next_tick_++;
+  events_[id].closed = true;
+}
+
+void Tracer::AddArg(uint64_t id, const char* key, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= events_.size()) return;
+  events_[id].args.emplace_back(key, value);
+}
+
+void Tracer::Instant(std::string name) { Instant(std::move(name), t_current_lane); }
+
+void Tracer::Instant(std::string name, int64_t lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = std::move(name);
+  e.lane = lane;
+  e.begin = next_tick_++;
+  e.end = e.begin;
+  e.closed = true;
+  events_.push_back(std::move(e));
+}
+
+std::vector<Tracer::Event> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_tick_ = 0;
+}
+
+}  // namespace dita::obs

@@ -1,0 +1,118 @@
+#ifndef DITA_OBS_TRACE_H_
+#define DITA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dita::obs {
+
+/// Logical lanes — the "threads" of the exported Chrome trace. Lane 0 is
+/// the driver; worker w gets lane w + 1. Lanes describe where work is
+/// *charged* in the cluster's cost model, not which OS thread ran it.
+inline constexpr int64_t kDriverLane = 0;
+inline int64_t WorkerLane(size_t worker) {
+  return static_cast<int64_t>(worker) + 1;
+}
+
+/// Records nested spans on a deterministic virtual clock.
+///
+/// Timestamps are logical ticks: every span begin/end consumes one tick
+/// from a process-order counter. Under the cluster's serial execution mode
+/// (ClusterConfig::execution_threads == 0, the default) tick assignment
+/// depends only on the sequence of operations — never on measured time —
+/// so two runs with the same seeds and fault plan export byte-identical
+/// traces. Measured seconds live in metrics and stats, deliberately outside
+/// the trace. With real execution threads, spans remain well-formed and
+/// race-free (every mutation is mutex-guarded) but interleaving, and hence
+/// tick order, follows the actual schedule.
+///
+/// Span nesting is by tick containment per lane, matching the Chrome
+/// trace_event model: a span opened while another is open on the same lane
+/// closes before it (RAII SpanGuard enforces this).
+class Tracer {
+ public:
+  /// Opens a span on the current thread's lane (driver unless a ScopedLane
+  /// is active). Returns the span id to close with EndSpan.
+  uint64_t BeginSpan(std::string name);
+  uint64_t BeginSpan(std::string name, int64_t lane);
+  void EndSpan(uint64_t id);
+
+  /// Attaches a deterministic integer argument to an open or closed span.
+  /// Only counts and ids belong here: measured durations would break trace
+  /// reproducibility.
+  void AddArg(uint64_t id, const char* key, uint64_t value);
+
+  /// Zero-duration marker event on the current (or given) lane.
+  void Instant(std::string name);
+  void Instant(std::string name, int64_t lane);
+
+  struct Event {
+    std::string name;
+    int64_t lane = kDriverLane;
+    uint64_t begin = 0;
+    uint64_t end = 0;  // == begin for instants; >= begin once closed
+    bool closed = false;
+    std::vector<std::pair<std::string, uint64_t>> args;
+  };
+
+  /// Snapshot of all events in creation (= begin-tick) order.
+  std::vector<Event> Events() const;
+  size_t span_count() const;
+
+  /// Drops all recorded events and restarts the tick clock.
+  void Clear();
+
+  /// RAII override of the calling thread's lane; the cluster wraps each
+  /// task body in one so nested spans land on the owning worker's lane.
+  /// Null-safe: pass the tracer only to keep call sites uniform.
+  class ScopedLane {
+   public:
+    explicit ScopedLane(int64_t lane);
+    ~ScopedLane();
+    ScopedLane(const ScopedLane&) = delete;
+    ScopedLane& operator=(const ScopedLane&) = delete;
+
+   private:
+    int64_t saved_;
+  };
+
+  /// The calling thread's current lane (driver by default).
+  static int64_t CurrentLane();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  uint64_t next_tick_ = 0;
+};
+
+/// RAII span whose disabled path (`tracer == nullptr`) is a single branch.
+class SpanGuard {
+ public:
+  SpanGuard(Tracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(std::move(name));
+  }
+  SpanGuard(Tracer* tracer, std::string name, int64_t lane) : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(std::move(name), lane);
+  }
+  ~SpanGuard() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Attaches a deterministic integer argument to this span.
+  void Arg(const char* key, uint64_t value) {
+    if (tracer_ != nullptr) tracer_->AddArg(id_, key, value);
+  }
+
+ private:
+  Tracer* tracer_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace dita::obs
+
+#endif  // DITA_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "sql/dataframe.h"
 
+#include <sstream>
+
 #include "util/logging.h"
 
 namespace dita {
@@ -44,7 +46,13 @@ Result<std::vector<TrajectoryId>> DataFrame::SimilaritySearch(
     DitaEngine::QueryStats* stats) {
   auto engine = EngineFor(function);
   DITA_RETURN_IF_ERROR(engine.status());
-  return (*engine)->Search(query, tau, stats);
+  DitaEngine::QueryStats local;
+  auto result = (*engine)->Search(query, tau, stats != nullptr ? stats : &local);
+  if (result.ok()) {
+    state_->last_query_stats = stats != nullptr ? *stats : local;
+    state_->has_last_query = true;
+  }
+  return result;
 }
 
 Result<std::vector<std::pair<TrajectoryId, double>>> DataFrame::KnnSearch(
@@ -61,7 +69,37 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DataFrame::TraJoin(
   DITA_RETURN_IF_ERROR(left.status());
   auto right = other.EngineFor(function);
   DITA_RETURN_IF_ERROR(right.status());
-  return (*left)->Join(**right, tau, stats);
+  DitaEngine::JoinStats local;
+  auto result = (*left)->Join(**right, tau, stats != nullptr ? stats : &local);
+  if (result.ok()) {
+    state_->last_join_stats = stats != nullptr ? *stats : local;
+    state_->has_last_join = true;
+  }
+  return result;
+}
+
+std::string DataFrame::ExplainLastQuery() const {
+  if (!state_->has_last_query) return "";
+  const DitaEngine::QueryStats& s = state_->last_query_stats;
+  std::ostringstream out;
+  out << "== Similarity search ==\n"
+      << s.funnel.ToTable() << "partitions probed: " << s.partitions_probed
+      << ", candidates: " << s.candidates << ", results: " << s.results
+      << ", makespan: " << s.makespan_seconds << "s\n";
+  return out.str();
+}
+
+std::string DataFrame::ExplainLastJoin() const {
+  if (!state_->has_last_join) return "";
+  const DitaEngine::JoinStats& s = state_->last_join_stats;
+  std::ostringstream out;
+  out << "== Trajectory join ==\n"
+      << s.funnel.ToTable() << "graph edges: " << s.graph_edges
+      << ", divided partitions: " << s.divided_partitions
+      << ", bytes shipped: " << s.bytes_shipped
+      << ", result pairs: " << s.result_pairs
+      << ", makespan: " << s.makespan_seconds << "s\n";
+  return out.str();
 }
 
 }  // namespace dita

@@ -59,6 +59,15 @@ class DataFrame {
   Result<std::vector<std::pair<TrajectoryId, double>>> KnnSearch(
       const Trajectory& query, const std::string& function, size_t k);
 
+  /// EXPLAIN for the most recent SimilaritySearch on any copy of this
+  /// DataFrame: filter-funnel table plus a one-line summary. Empty string if
+  /// no search ran yet.
+  std::string ExplainLastQuery() const;
+
+  /// EXPLAIN for the most recent TraJoin where this DataFrame was the left
+  /// side. Empty string if no join ran yet.
+  std::string ExplainLastJoin() const;
+
   size_t size() const { return state_->data.size(); }
   const Dataset& dataset() const { return state_->data; }
 
@@ -70,6 +79,13 @@ class DataFrame {
     DataFrameContext* context = nullptr;
     Dataset data;
     std::map<DistanceType, std::shared_ptr<DitaEngine>> engines;
+    /// Stats of the newest search/join, kept for ExplainLast*(). DataFrame
+    /// calls always collect stats — it is the convenience API, and the
+    /// collection cost is one funnel per operation, not per candidate.
+    DitaEngine::QueryStats last_query_stats;
+    bool has_last_query = false;
+    DitaEngine::JoinStats last_join_stats;
+    bool has_last_join = false;
   };
 
   explicit DataFrame(std::shared_ptr<State> state) : state_(std::move(state)) {}

@@ -1,16 +1,15 @@
 #include "util/logging.h"
 
+#include <cctype>
 #include <mutex>
 
 namespace dita {
-namespace log_internal {
+namespace {
 
-LogLevel& MinLevel() {
-  static LogLevel level = LogLevel::kInfo;
-  return level;
-}
-
-void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+/// Default sink: tagged line to stderr, serialised so concurrent log
+/// statements don't interleave mid-line.
+void StderrSink(LogLevel level, const char* file, int line,
+                const std::string& msg) {
   static std::mutex mu;
   const char* tag = "I";
   switch (level) {
@@ -31,8 +30,59 @@ void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "[%s %s:%d] %s\n", tag, file, line, msg.c_str());
 }
 
+LogSink& CurrentSink() {
+  static LogSink sink = StderrSink;
+  return sink;
+}
+
+LogLevel LevelFromEnv() {
+  const char* spec = std::getenv("DITA_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (spec != nullptr) ParseLogLevel(spec, &level);
+  return level;
+}
+
+}  // namespace
+
+namespace log_internal {
+
+LogLevel& MinLevel() {
+  static LogLevel level = LevelFromEnv();
+  return level;
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  CurrentSink()(level, file, line, msg);
+}
+
 }  // namespace log_internal
 
 void SetLogLevel(LogLevel level) { log_internal::MinLevel() = level; }
+
+bool ParseLogLevel(std::string_view spec, LogLevel* out) {
+  std::string lower;
+  lower.reserve(spec.size());
+  for (char c : spec)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogSink SetLogSink(LogSink sink) {
+  LogSink previous = std::move(CurrentSink());
+  CurrentSink() = sink ? std::move(sink) : LogSink(StderrSink);
+  return previous;
+}
 
 }  // namespace dita

@@ -3,17 +3,27 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace dita {
 
 /// Log severity for the lightweight logging macros below.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Where emitted log records go. The default sink writes
+/// "[<tag> <file>:<line>] <msg>" lines to stderr under a mutex.
+using LogSink =
+    std::function<void(LogLevel, const char* file, int line,
+                       const std::string& msg)>;
+
 namespace log_internal {
 
-/// Process-wide minimum severity; messages below it are dropped.
+/// Process-wide minimum severity. Initialised once from the DITA_LOG_LEVEL
+/// environment variable ("debug"/"info"/"warn"/"error" or 0-3, case
+/// insensitive); defaults to kInfo when unset or unparseable.
 LogLevel& MinLevel();
 
 void Emit(LogLevel level, const char* file, int line, const std::string& msg);
@@ -36,8 +46,19 @@ class LogMessage {
 
 }  // namespace log_internal
 
-/// Sets the process-wide minimum log level (default kInfo).
+/// Sets the process-wide minimum log level (default kInfo, or whatever
+/// DITA_LOG_LEVEL selected at startup).
 void SetLogLevel(LogLevel level);
+
+/// Parses a DITA_LOG_LEVEL-style spec into a level. Accepts the names
+/// "debug"/"info"/"warn"/"error" (any case, "warning" works too) and the
+/// digits 0-3. Returns false and leaves `out` untouched on anything else.
+bool ParseLogLevel(std::string_view spec, LogLevel* out);
+
+/// Replaces the process-wide log sink and returns the previous one. Passing
+/// a null sink restores the default stderr sink. Not thread-safe against
+/// concurrent logging — install sinks during setup (tests, main()).
+LogSink SetLogSink(LogSink sink);
 
 }  // namespace dita
 

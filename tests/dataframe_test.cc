@@ -48,6 +48,30 @@ TEST_F(DataFrameTest, SearchMatchesBruteForce) {
   EXPECT_EQ(*got, expected);
 }
 
+TEST_F(DataFrameTest, ExplainRendersFunnelForLastQueryAndJoin) {
+  DataFrame df = context_->CreateDataFrame(data_).CreateTrieIndex();
+  // Nothing ran yet: both explains are empty.
+  EXPECT_EQ(df.ExplainLastQuery(), "");
+  EXPECT_EQ(df.ExplainLastJoin(), "");
+
+  ASSERT_TRUE(df.SimilaritySearch(data_[7], "dtw", 0.02).ok());
+  const std::string query_plan = df.ExplainLastQuery();
+  EXPECT_NE(query_plan.find("Similarity search"), std::string::npos);
+  EXPECT_NE(query_plan.find("filter level"), std::string::npos);
+  EXPECT_NE(query_plan.find("threshold dp"), std::string::npos);
+  EXPECT_NE(query_plan.find("results:"), std::string::npos);
+
+  ASSERT_TRUE(df.TraJoin(df, "dtw", 0.001).ok());
+  const std::string join_plan = df.ExplainLastJoin();
+  EXPECT_NE(join_plan.find("Trajectory join"), std::string::npos);
+  EXPECT_NE(join_plan.find("all pairs"), std::string::npos);
+  EXPECT_NE(join_plan.find("result pairs:"), std::string::npos);
+
+  // Copies share state: the copy sees the originals' last stats.
+  DataFrame copy = df;
+  EXPECT_EQ(copy.ExplainLastQuery(), query_plan);
+}
+
 TEST_F(DataFrameTest, SelfJoinIncludesDiagonal) {
   DataFrame df = context_->CreateDataFrame(data_);
   auto pairs = df.TraJoin(df, "dtw", 0.001);

@@ -414,6 +414,20 @@ TEST(DitaEngineTest, JoinShipsBytesAndReportsStats) {
   EXPECT_GT(stats.bytes_shipped, 0u);  // cross-worker partition pairs exist
   EXPECT_GE(stats.load_ratio, 1.0);
   EXPECT_GE(stats.candidate_pairs, stats.result_pairs);
+  // The verification-pipeline counters mirror the candidate/result totals
+  // and account for every candidate pair exactly once.
+  EXPECT_EQ(stats.verify.pairs, stats.candidate_pairs);
+  EXPECT_EQ(stats.verify.accepted, stats.result_pairs);
+  EXPECT_GT(stats.verify.dp_computed, 0u);
+  EXPECT_GT(stats.verify.dp_cells, 0u);
+  EXPECT_EQ(stats.verify.pruned_by_mbr + stats.verify.pruned_by_cell +
+                stats.verify.dp_computed,
+            stats.verify.pairs);
+  // The join funnel is monotone and lands exactly on the result pairs.
+  ASSERT_FALSE(stats.funnel.empty());
+  EXPECT_TRUE(stats.funnel.MonotonicallyNonIncreasing())
+      << stats.funnel.ToTable();
+  EXPECT_EQ(stats.funnel.FinalSurvivors(), stats.result_pairs);
 }
 
 TEST(DitaEngineTest, AblationTogglesPreserveCorrectness) {

@@ -1,0 +1,538 @@
+// Tests for the observability subsystem: metrics sharding, tracer
+// determinism, exporter schema, and the end-to-end guarantees the rest of
+// the repo relies on — byte-identical traces across identical runs (even
+// under fault injection) and allocation-free steady-state metric updates.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "obs/export.h"
+#include "obs/funnel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/generator.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: the steady-state test asserts that hot-path metric
+// updates perform zero heap allocations. Counting via replaced global
+// operator new is exact and works under the sanitizers too.
+// ---------------------------------------------------------------------------
+
+// GCC pairs the replaced operator delete's free() against the *default*
+// operator new when inlining system headers; our new/delete both go through
+// malloc/free, so the mismatch warning is a false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dita {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FilterFunnel
+// ---------------------------------------------------------------------------
+
+TEST(FunnelTest, MonotonicityAndFinalSurvivors) {
+  obs::FilterFunnel funnel;
+  EXPECT_TRUE(funnel.MonotonicallyNonIncreasing());
+  EXPECT_EQ(funnel.FinalSurvivors(), 0u);
+
+  funnel.AddLevel("table", 1000);
+  funnel.AddLevel("global index", 400);
+  funnel.AddLevel("trie", 50);
+  funnel.AddLevel("verify", 7);
+  EXPECT_TRUE(funnel.MonotonicallyNonIncreasing());
+  EXPECT_EQ(funnel.FinalSurvivors(), 7u);
+
+  funnel.AddLevel("broken", 8);  // grows: not a funnel any more
+  EXPECT_FALSE(funnel.MonotonicallyNonIncreasing());
+}
+
+TEST(FunnelTest, TableAndJsonRenderAllLevels) {
+  obs::FilterFunnel funnel;
+  funnel.AddLevel("table", 100);
+  funnel.AddLevel("verify", 4);
+  const std::string table = funnel.ToTable();
+  EXPECT_NE(table.find("table"), std::string::npos);
+  EXPECT_NE(table.find("verify"), std::string::npos);
+  EXPECT_NE(table.find("100"), std::string::npos);
+  const std::string json = funnel.ToJson();
+  EXPECT_NE(json.find("\"table\""), std::string::npos);
+  EXPECT_NE(json.find("4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetricsTest, CounterSumsAcrossThreads) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("test.hammer");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsAndConcurrentObserve) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("test.hist", {1.0, 10.0, 100.0});
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 0; i < 1000; ++i) {
+        h->Observe(0.5);    // bucket 0 (<= 1)
+        h->Observe(5.0);    // bucket 1 (<= 10)
+        h->Observe(1e6);    // overflow bucket
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const obs::Histogram::Snapshot snap = h->Snap();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 4000u);
+  EXPECT_EQ(snap.counts[1], 4000u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 4000u);
+  EXPECT_EQ(snap.count, 12000u);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStablePointersAndOrderedSnapshot) {
+  obs::MetricsRegistry registry;
+  obs::Counter* b = registry.GetCounter("b.metric");
+  obs::Counter* a = registry.GetCounter("a.metric");
+  EXPECT_EQ(registry.GetCounter("b.metric"), b);  // same name, same object
+  a->Add(1);
+  b->Add(2);
+  registry.GetGauge("g.metric")->Set(-7);
+  const obs::MetricsRegistry::Snapshot snap = registry.Snap();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.metric");  // name-ordered
+  EXPECT_EQ(snap.counters[1].first, "b.metric");
+  EXPECT_EQ(snap.counters[1].second, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -7);
+  EXPECT_EQ(registry.metric_count(), 3u);  // 2 counters + 1 gauge
+}
+
+TEST(ObsMetricsTest, NullHandlesAreInert) {
+  obs::CounterHandle counter;          // disabled: no registry
+  obs::HistogramHandle histogram;
+  counter.Increment();
+  counter.Add(100);
+  histogram.Observe(3.5);
+  EXPECT_FALSE(counter);
+  EXPECT_FALSE(histogram);
+
+  obs::MetricsRegistry registry;
+  obs::CounterHandle live(&registry, "live.counter");
+  live.Add(5);
+  EXPECT_TRUE(live);
+  EXPECT_EQ(registry.GetCounter("live.counter")->Value(), 5u);
+}
+
+TEST(ObsMetricsTest, SteadyStateIncrementsDoNotAllocate) {
+  obs::MetricsRegistry registry;
+  obs::CounterHandle counter(&registry, "steady.counter");
+  obs::HistogramHandle histogram(&registry, "steady.hist",
+                                 obs::PowersOfTwoBounds(16));
+  // Warm-up: touch every code path once (registration already happened).
+  counter.Add(1);
+  histogram.Observe(3.0);
+  const size_t metrics_before = registry.metric_count();
+
+  const uint64_t allocs_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100000; ++i) {
+    counter.Increment();
+    counter.Add(3);
+    histogram.Observe(static_cast<double>(i & 1023));
+  }
+  const uint64_t allocs_after =
+      g_heap_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(allocs_after, allocs_before)
+      << "hot-path metric updates must not touch the heap";
+  EXPECT_EQ(registry.metric_count(), metrics_before)
+      << "steady-state updates must not register new metrics";
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(ObsTracerTest, SpansNestOnDeterministicTicks) {
+  obs::Tracer tracer;
+  const uint64_t outer = tracer.BeginSpan("outer");
+  const uint64_t inner = tracer.BeginSpan("inner");
+  tracer.AddArg(inner, "items", 42);
+  tracer.EndSpan(inner);
+  tracer.Instant("marker");
+  tracer.EndSpan(outer);
+
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].name, "marker");
+  // Ticks are assigned in process order: outer begins before inner, inner
+  // ends before outer.
+  EXPECT_LT(events[0].begin, events[1].begin);
+  EXPECT_LT(events[1].end, events[0].end);
+  EXPECT_TRUE(events[0].closed);
+  EXPECT_TRUE(events[1].closed);
+  // The instant is a closed zero-length event.
+  EXPECT_EQ(events[2].begin, events[2].end);
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].first, "items");
+  EXPECT_EQ(events[1].args[0].second, 42u);
+}
+
+TEST(ObsTracerTest, ScopedLaneRoutesSpansToWorkerLanes) {
+  obs::Tracer tracer;
+  EXPECT_EQ(obs::Tracer::CurrentLane(), obs::kDriverLane);
+  {
+    obs::Tracer::ScopedLane lane(obs::WorkerLane(3));
+    EXPECT_EQ(obs::Tracer::CurrentLane(), obs::WorkerLane(3));
+    const uint64_t id = tracer.BeginSpan("on-worker");
+    tracer.EndSpan(id);
+  }
+  EXPECT_EQ(obs::Tracer::CurrentLane(), obs::kDriverLane);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].lane, obs::WorkerLane(3));
+}
+
+TEST(ObsTracerTest, ClearRestartsTheTickClock) {
+  obs::Tracer tracer;
+  tracer.EndSpan(tracer.BeginSpan("a"));
+  tracer.Clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  tracer.EndSpan(tracer.BeginSpan("b"));
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].begin, 0u);  // ticks restarted
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(ObsExportTest, ChromeTraceValidatesAndContainsMetadata) {
+  obs::Tracer tracer;
+  const uint64_t id = tracer.BeginSpan("query");
+  {
+    obs::Tracer::ScopedLane lane(obs::WorkerLane(0));
+    obs::SpanGuard task(&tracer, "task");
+    task.Arg("task", 0);
+  }
+  tracer.AddArg(id, "results", 3);
+  tracer.EndSpan(id);
+
+  const std::string json = obs::ToChromeTraceJson(tracer);
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(json).ok())
+      << obs::ValidateChromeTraceJson(json).ToString();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"driver\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\""), std::string::npos);
+}
+
+TEST(ObsExportTest, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::ValidateChromeTraceJson("").ok());
+  EXPECT_FALSE(obs::ValidateChromeTraceJson("{}").ok());
+  EXPECT_FALSE(obs::ValidateChromeTraceJson("{\"traceEvents\": 3}").ok());
+  // An event missing "ph" must be rejected.
+  EXPECT_FALSE(obs::ValidateChromeTraceJson(
+                   "{\"traceEvents\": [{\"name\": \"x\", \"pid\": 0, "
+                   "\"tid\": 0, \"ts\": 0}]}")
+                   .ok());
+  // A minimal well-formed document passes.
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(
+                  "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\", "
+                  "\"pid\": 0, \"tid\": 0, \"ts\": 0, \"dur\": 1}]}")
+                  .ok());
+}
+
+TEST(ObsExportTest, MetricsJsonListsAllSections) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c.one")->Add(11);
+  registry.GetGauge("g.one")->Set(-3);
+  registry.GetHistogram("h.one", {1.0, 2.0})->Observe(1.5);
+  const std::string json = obs::MetricsToJson(registry);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\""), std::string::npos);
+  EXPECT_NE(json.find("11"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("-3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.one\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: engine + cluster under tracing
+// ---------------------------------------------------------------------------
+
+Dataset ObsDataset(size_t n = 300, uint64_t seed = 51) {
+  GeneratorConfig cfg;
+  cfg.cardinality = n;
+  cfg.region = MBR(Point{0, 0}, Point{1, 1});
+  cfg.step = 0.01;
+  cfg.avg_len = 16;
+  cfg.min_len = 4;
+  cfg.max_len = 50;
+  cfg.seed = seed;
+  return GenerateTaxiDataset(cfg);
+}
+
+DitaConfig ObsConfig() {
+  DitaConfig config;
+  config.ng = 3;
+  config.trie.num_pivots = 3;
+  config.trie.align_fanout = 8;
+  config.trie.pivot_fanout = 4;
+  config.trie.leaf_capacity = 4;
+  config.distance = DistanceType::kDTW;
+  config.cell_size = 0.02;
+  config.enable_tracing = true;
+  config.enable_metrics = true;
+  return config;
+}
+
+/// Builds an index and runs a batch of searches under fault injection,
+/// returning the exported Chrome trace. Everything is seeded and search
+/// control flow is fully deterministic (injected faults are pure functions
+/// of (seed, stage, task, attempt); span ticks are logical), so two calls
+/// must produce byte-identical output. Joins are deliberately excluded:
+/// the join planner's edge orientation and division balancing consume
+/// *measured* per-pair verification time (the paper's Delta, §6.2), so a
+/// join's task structure — and therefore its trace — is timing-dependent.
+std::string RunTracedSearchWorkload() {
+  ClusterConfig ccfg;
+  ccfg.num_workers = 4;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.transient_failure_prob = 0.2;
+  plan.crash_worker = 2;
+  plan.crash_at_stage = 1;
+  plan.straggler_prob = 0.3;
+  cluster->InjectFaults(plan);
+
+  DitaEngine engine(cluster, ObsConfig());
+  EXPECT_TRUE(engine.BuildIndex(ObsDataset()).ok());
+
+  const Dataset queries = ObsDataset(5, 99);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    DitaEngine::QueryStats stats;
+    EXPECT_TRUE(engine.Search(queries[i], 0.05, &stats).ok());
+  }
+  return obs::ToChromeTraceJson(*cluster->tracer());
+}
+
+TEST(ObsEndToEndTest, IdenticalRunsExportByteIdenticalTraces) {
+  const std::string first = RunTracedSearchWorkload();
+  const std::string second = RunTracedSearchWorkload();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second)
+      << "trace export must be deterministic across identical runs";
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(first).ok());
+}
+
+TEST(ObsEndToEndTest, JoinTraceIsWellFormedUnderFaults) {
+  ClusterConfig ccfg;
+  ccfg.num_workers = 4;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.transient_failure_prob = 0.2;
+  cluster->InjectFaults(plan);
+  DitaEngine engine(cluster, ObsConfig());
+  ASSERT_TRUE(engine.BuildIndex(ObsDataset()).ok());
+  DitaEngine::JoinStats stats;
+  ASSERT_TRUE(engine.Join(engine, 0.01, &stats).ok());
+  const std::string json = obs::ToChromeTraceJson(*cluster->tracer());
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(json).ok());
+  EXPECT_NE(json.find("\"join\""), std::string::npos);
+  EXPECT_NE(json.find("\"join.plan\""), std::string::npos);
+}
+
+TEST(ObsEndToEndTest, TraceContainsNestedQueryStageTaskVerifySpans) {
+  ClusterConfig ccfg;
+  ccfg.num_workers = 4;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+  DitaEngine engine(cluster, ObsConfig());
+  ASSERT_TRUE(engine.BuildIndex(ObsDataset()).ok());
+  const Dataset queries = ObsDataset(1, 99);
+  ASSERT_TRUE(engine.Search(queries[0], 0.05).ok());
+
+  const auto events = cluster->tracer()->Events();
+  // Index-build stages also emit stage/task spans, so anchor on the query
+  // span and only consider spans nested inside it by tick containment.
+  const obs::Tracer::Event* query = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "query") {
+      query = &e;
+      break;
+    }
+  }
+  ASSERT_NE(query, nullptr);
+  auto inside = [](const obs::Tracer::Event& outer,
+                   const obs::Tracer::Event& e) {
+    return e.begin > outer.begin && e.end < outer.end;
+  };
+  const obs::Tracer::Event* verify = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "verify" && inside(*query, e)) {
+      verify = &e;
+      break;
+    }
+  }
+  ASSERT_NE(verify, nullptr);
+  // The task span owning this verify: same lane, containing ticks.
+  const obs::Tracer::Event* task = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "task" && e.lane == verify->lane && inside(e, *verify)) {
+      task = &e;
+      break;
+    }
+  }
+  ASSERT_NE(task, nullptr);
+  // The stage span containing that task (stages live on the driver lane).
+  const obs::Tracer::Event* stage = nullptr;
+  for (const auto& e : events) {
+    if (e.name.rfind("stage", 0) == 0 && inside(*query, e) &&
+        inside(e, *task)) {
+      stage = &e;
+      break;
+    }
+  }
+  ASSERT_NE(stage, nullptr);
+  // Tick containment: query ⊃ stage ⊃ task ⊃ verify.
+  EXPECT_LT(query->begin, stage->begin);
+  EXPECT_LT(stage->begin, task->begin);
+  EXPECT_LT(task->begin, verify->begin);
+  EXPECT_LE(verify->end, task->end);
+  EXPECT_LE(task->end, stage->end);
+  EXPECT_LE(stage->end, query->end);
+  // Task and verify run on a worker lane, the query on the driver lane.
+  EXPECT_EQ(query->lane, obs::kDriverLane);
+  EXPECT_GT(task->lane, obs::kDriverLane);
+  EXPECT_EQ(verify->lane, task->lane);
+}
+
+TEST(ObsEndToEndTest, SearchFunnelIsMonotoneAndEndsAtResults) {
+  ClusterConfig ccfg;
+  ccfg.num_workers = 4;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+  DitaEngine engine(cluster, ObsConfig());
+  ASSERT_TRUE(engine.BuildIndex(ObsDataset()).ok());
+
+  const Dataset queries = ObsDataset(5, 123);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    DitaEngine::QueryStats stats;
+    auto r = engine.Search(queries[i], 0.05, &stats);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(stats.funnel.empty());
+    EXPECT_TRUE(stats.funnel.MonotonicallyNonIncreasing())
+        << stats.funnel.ToTable();
+    EXPECT_EQ(stats.funnel.FinalSurvivors(), r->size());
+    EXPECT_EQ(stats.funnel.FinalSurvivors(), stats.results);
+    // The funnel starts at the full table.
+    EXPECT_EQ(stats.funnel.levels.front().survivors, engine.index_stats().num_trajectories);
+  }
+}
+
+TEST(ObsEndToEndTest, JoinFunnelIsMonotoneAndEndsAtResultPairs) {
+  ClusterConfig ccfg;
+  ccfg.num_workers = 4;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+  DitaEngine engine(cluster, ObsConfig());
+  ASSERT_TRUE(engine.BuildIndex(ObsDataset()).ok());
+
+  DitaEngine::JoinStats stats;
+  auto r = engine.Join(engine, 0.01, &stats);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(stats.funnel.empty());
+  EXPECT_TRUE(stats.funnel.MonotonicallyNonIncreasing()) << stats.funnel.ToTable();
+  EXPECT_EQ(stats.funnel.FinalSurvivors(), r->size());
+  EXPECT_EQ(stats.funnel.FinalSurvivors(), stats.result_pairs);
+  // Verification counters must be populated and self-consistent.
+  EXPECT_EQ(stats.verify.pairs, stats.candidate_pairs);
+  EXPECT_EQ(stats.verify.accepted, stats.result_pairs);
+}
+
+TEST(ObsEndToEndTest, MetricsMatchQueryStatsCounters) {
+  ClusterConfig ccfg;
+  ccfg.num_workers = 4;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+  DitaEngine engine(cluster, ObsConfig());
+  ASSERT_TRUE(engine.BuildIndex(ObsDataset()).ok());
+
+  obs::MetricsRegistry* registry = cluster->metrics();
+  ASSERT_NE(registry, nullptr);
+  const uint64_t pairs_before = registry->GetCounter("verify.pairs")->Value();
+
+  const Dataset queries = ObsDataset(3, 7);
+  size_t total_candidates = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    DitaEngine::QueryStats stats;
+    ASSERT_TRUE(engine.Search(queries[i], 0.05, &stats).ok());
+    total_candidates += stats.verify.pairs;
+  }
+  EXPECT_EQ(registry->GetCounter("verify.pairs")->Value() - pairs_before,
+            total_candidates);
+  EXPECT_GT(registry->GetCounter("cluster.stages_run")->Value(), 0u);
+}
+
+TEST(ObsEndToEndTest, DisabledObservabilityKeepsClusterHandlesNull) {
+  ClusterConfig ccfg;
+  ccfg.num_workers = 2;
+  auto cluster = std::make_shared<Cluster>(ccfg);
+  DitaConfig config = ObsConfig();
+  config.enable_tracing = false;
+  config.enable_metrics = false;
+  DitaEngine engine(cluster, config);
+  ASSERT_TRUE(engine.BuildIndex(ObsDataset(100)).ok());
+  const Dataset queries = ObsDataset(1, 3);
+  DitaEngine::QueryStats stats;
+  ASSERT_TRUE(engine.Search(queries[0], 0.05, &stats).ok());
+  EXPECT_EQ(cluster->tracer(), nullptr);
+  EXPECT_EQ(cluster->metrics(), nullptr);
+  // Stats-driven observability still works without the subsystem.
+  EXPECT_TRUE(stats.funnel.MonotonicallyNonIncreasing());
+  EXPECT_EQ(stats.funnel.FinalSurvivors(), stats.results);
+}
+
+}  // namespace
+}  // namespace dita
