@@ -15,6 +15,8 @@
 #   ./ci.sh native     # host-tuned kernels + sanitizers, kernel tests only
 #   ./ci.sh obs        # observability: traced demo + schema check + tsan
 #                      # build with tracing/metrics enabled
+#   ./ci.sh chaos      # robustness: seeded chaos/soak + cancellation +
+#                      # admission tests under ASan/UBSan and TSan
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -46,7 +48,15 @@ native_filter='Oracle|ThresholdEdge|DpScratch|Dtw|Frechet|Edr|Lcss|Erp|Distance|
 # threads: the pool itself, parallel index construction and tiling sorts
 # (FlatTrie/FlatStrTile), batched parallel verification, and the cluster
 # runtime's threaded stages.
-tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging'
+tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|Cancellation|AdmissionGate|ChaosSoak'
+
+# The chaos pass: the seeded chaos/soak harness (fault injection + random
+# mid-flight cancellation + tight budgets + the admission gate) plus the
+# cancellation/budget subset-invariant tests, under ASan/UBSan (leaks,
+# lifetime — budgets released on every exit path) and TSan (deadlocks,
+# races on the stop token and gate) across the fixed seed matrix baked into
+# chaos_soak_test.cc.
+chaos_filter='ChaosSoak|Cancellation|AdmissionGate'
 
 # The obs pass: exporter schema validation (obs_demo_schema runs the demo
 # with tracing and re-validates its Chrome trace), the obs/logging unit and
@@ -64,6 +74,10 @@ case "${mode}" in
   obs)      run_pass build "--filter=${obs_filter}"
             ./build/examples/obs_demo --selftest
             run_pass build-tsan "--filter=${obs_filter}" \
+                     -DDITA_SANITIZE=thread ;;
+  chaos)    run_pass build-asan "--filter=${chaos_filter}" \
+                     -DDITA_SANITIZE=address
+            run_pass build-tsan "--filter=${chaos_filter}" \
                      -DDITA_SANITIZE=thread ;;
   all)      run_pass build
             ./build/examples/obs_demo --selftest

@@ -61,7 +61,7 @@ obs::MetricsRegistry* Cluster::EnableMetrics() {
   return metrics_.get();
 }
 
-Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
+Status Cluster::ExecuteTasks(std::vector<Task>* tasks, QueryContext* ctx,
                              std::vector<TaskRun>* runs) {
   runs->resize(tasks->size());
   const size_t threads =
@@ -71,6 +71,13 @@ Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
     // Fast path: run inline, no pool overhead.
     Status first_error;
     for (size_t i = 0; i < tasks->size(); ++i) {
+      if (ctx != nullptr && ctx->stopped()) {
+        // The query stopped before this task started; skip the body. The
+        // accounting pass charges nothing for skipped tasks, so the stop
+        // point also bounds the query's virtual cost.
+        (*runs)[i].skipped = true;
+        continue;
+      }
       // Nested spans opened by the task body (verification, candidate
       // collection) land on the owning worker's lane.
       obs::Tracer::ScopedLane lane(obs::WorkerLane((*tasks)[i].worker));
@@ -96,7 +103,11 @@ Status Cluster::ExecuteTasks(std::vector<Task>* tasks,
   for (size_t i = 0; i < tasks->size(); ++i) {
     Task* t = &(*tasks)[i];
     TaskRun* run = &(*runs)[i];
-    pool.Submit([t, run, tracer, i] {
+    pool.Submit([t, run, tracer, ctx, i] {
+      if (ctx != nullptr && ctx->stopped()) {
+        run->skipped = true;
+        return;
+      }
       obs::Tracer::ScopedLane lane(obs::WorkerLane(t->worker));
       obs::SpanGuard span(tracer, "task");
       span.Arg("task", i);
@@ -164,13 +175,15 @@ size_t Cluster::RecoverTaskLocked(size_t from, uint64_t input_bytes) {
   return to;
 }
 
-Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
+Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options,
+                         std::vector<uint8_t>* kept) {
   for (const Task& t : tasks) {
     if (t.worker >= config_.num_workers) {
       return Status::InvalidArgument("task bound to nonexistent worker");
     }
     if (!t.fn) return Status::InvalidArgument("task without a function");
   }
+  if (kept != nullptr) kept->assign(tasks.size(), 0);
 
   // The stage span wraps both passes, so task / retry / backup spans nest
   // inside it by tick containment.
@@ -185,7 +198,7 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
   // identical* results (Spark lineage semantics), so re-running the closure
   // is unnecessary — and would duplicate its side effects.
   std::vector<TaskRun> runs;
-  const Status exec_status = ExecuteTasks(&tasks, &runs);
+  const Status exec_status = ExecuteTasks(&tasks, options.ctx, &runs);
 
   // Pass 2: deterministic virtual-time accounting, including fault
   // handling. Single-threaded under the lock; injection decisions depend
@@ -224,6 +237,13 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
   for (size_t i = 0; i < tasks.size(); ++i) {
     if (app_error.ok() && !runs[i].status.ok()) app_error = runs[i].status;
     size_t w = tasks[i].worker;
+    if (runs[i].skipped) {
+      // Never executed (query stopped first): no attempts, no retries, no
+      // recovery, no speculation, zero virtual time. kept stays 0.
+      owners[i] = w;
+      runtimes[i] = 0.0;
+      continue;
+    }
 
     if (!stats_[w].alive) {
       if (w == crashed_this_stage && injector_ != nullptr) {
@@ -248,6 +268,9 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
     if (injector_ != nullptr) {
       while (attempt < config_.max_task_attempts &&
              injector_->TransientFailure(stage, i, attempt)) {
+        // Cancellation observed between retries: a stopped query does not
+        // keep burning backoff waits and wasted attempts on virtual time.
+        if (options.ctx != nullptr && options.ctx->stopped()) break;
         ++fault_stats_.transient_failures;
         ++fault_stats_.retries;
         ++stats_[w].task_retries;
@@ -316,14 +339,44 @@ Status Cluster::RunStage(std::vector<Task> tasks, const StageOptions& options) {
         const double winner = std::min(runtimes[i], backup_runtime);
         stats_[owners[i]].compute_seconds += winner;
         stats_[backup].compute_seconds += winner;
+        if (kept != nullptr) {
+          const double done =
+              stats_[owners[i]].TotalSeconds() - start_totals[owners[i]];
+          (*kept)[i] = (options.deadline_seconds <= 0.0 ||
+                        done <= options.deadline_seconds)
+                           ? 1
+                           : 0;
+        }
       }
     }
   }
   for (size_t i = 0; i < tasks.size(); ++i) {
-    if (!speculated[i]) stats_[owners[i]].compute_seconds += runtimes[i];
+    if (speculated[i]) continue;
+    if (runs[i].skipped) continue;
+    stats_[owners[i]].compute_seconds += runtimes[i];
+    if (kept != nullptr) {
+      // Deterministic deadline semantics: a task's output is kept iff its
+      // owner's cumulative stage time when the task finished charging still
+      // fit the deadline. Workers charge in task-index order, so the kept
+      // set is a per-worker prefix — "completed outputs kept, in-flight
+      // dropped" — and is identical on every run.
+      const double done =
+          stats_[owners[i]].TotalSeconds() - start_totals[owners[i]];
+      (*kept)[i] =
+          (options.deadline_seconds <= 0.0 || done <= options.deadline_seconds)
+              ? 1
+              : 0;
+    }
   }
 
   if (!app_error.ok()) return app_error;
+
+  if (options.ctx != nullptr && options.ctx->stopped()) {
+    // The query's own token stopped the stage; its cause (cancel, deadline,
+    // budget) outranks the stage deadline below — the caller decides how to
+    // degrade based on it.
+    return options.ctx->ToStatus();
+  }
 
   if (options.deadline_seconds > 0.0) {
     double stage_makespan = 0.0;

@@ -11,6 +11,7 @@
 #include "cluster/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/query_context.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -102,6 +103,14 @@ struct StageOptions {
   /// Status::DeadlineExceeded (results may be partially recorded). 0 means
   /// no deadline.
   double deadline_seconds = 0.0;
+  /// Optional cooperative stop token for the query this stage belongs to.
+  /// Once it reads stopped, task bodies that have not started yet are
+  /// skipped (their TaskRun is marked skipped, no virtual time charged,
+  /// no retries or speculation), the transient-retry loop stops retrying,
+  /// and RunStage reports the token's status instead of OK. Task bodies
+  /// themselves are expected to observe the same token at their own charge
+  /// points; the stage-level checks only bound the scheduling overhead.
+  QueryContext* ctx = nullptr;
 };
 
 /// A deterministic in-process substitute for the paper's Spark cluster.
@@ -174,9 +183,20 @@ class Cluster {
   /// stragglers may be speculatively duplicated. If every worker a stage
   /// needs is dead, returns Status::Unavailable; if the stage blows its
   /// StageOptions deadline, returns Status::DeadlineExceeded.
-  Status RunStage(std::vector<Task> tasks, const StageOptions& options);
+  /// With `kept` non-null, its i-th element is set to 1 iff task i's output
+  /// is part of the stage's deterministic result state: the task actually
+  /// ran (was not skipped after a cooperative stop) and — when the stage has
+  /// a deadline — its owner's cumulative stage virtual time at the moment
+  /// the task's runtime was charged still fit the deadline. Callers use this
+  /// to keep completed tasks' outputs and drop in-flight ones when a stage
+  /// is cut short; without a deadline or stop every entry is 1.
+  Status RunStage(std::vector<Task> tasks, const StageOptions& options,
+                  std::vector<uint8_t>* kept);
+  Status RunStage(std::vector<Task> tasks, const StageOptions& options) {
+    return RunStage(std::move(tasks), options, nullptr);
+  }
   Status RunStage(std::vector<Task> tasks) {
-    return RunStage(std::move(tasks), StageOptions{});
+    return RunStage(std::move(tasks), StageOptions{}, nullptr);
   }
 
   /// Adds CPU seconds to the cluster task currently executing on this
@@ -255,11 +275,16 @@ class Cluster {
   struct TaskRun {
     double seconds = 0.0;
     Status status;
+    /// True when the task body was skipped because the stage's QueryContext
+    /// had already stopped when the task came up for execution.
+    bool skipped = false;
   };
 
   /// Runs every task function exactly once (inline or on the pool),
-  /// recording measured CPU seconds and returned status.
-  Status ExecuteTasks(std::vector<Task>* tasks, std::vector<TaskRun>* runs);
+  /// recording measured CPU seconds and returned status. Tasks coming up
+  /// after `ctx` (may be null) reads stopped are skipped.
+  Status ExecuteTasks(std::vector<Task>* tasks, QueryContext* ctx,
+                      std::vector<TaskRun>* runs);
 
   /// Least-loaded live worker (ties broken by lowest id), excluding
   /// `exclude` (pass num_workers to exclude nobody). Returns num_workers if

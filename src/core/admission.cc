@@ -1,0 +1,93 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace dita {
+
+void AdmissionGate::Ticket::Release() {
+  if (gate_ != nullptr) {
+    gate_->ReleaseSlot();
+    gate_ = nullptr;
+  }
+}
+
+AdmissionGate::AdmissionGate(const Options& options) : options_(options) {
+  DITA_CHECK(options_.max_inflight >= 1);
+}
+
+Status AdmissionGate::Admit(QueryContext* ctx, Ticket* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < options_.max_inflight && waiting_.empty()) {
+    ++inflight_;
+    high_water_ = std::max(high_water_, inflight_);
+    ++admitted_;
+    *out = Ticket(this);
+    return Status::OK();
+  }
+  if (waiting_.size() >= options_.max_queued) {
+    ++shed_;
+    return Status::Unavailable("admission queue full");
+  }
+  const uint64_t my = next_waiter_++;
+  waiting_.push_back(my);
+  while (true) {
+    if (ctx != nullptr && ctx->stopped()) {
+      // The caller gave up while queued; leave without a slot. Waiters
+      // behind us move up.
+      waiting_.erase(std::find(waiting_.begin(), waiting_.end(), my));
+      cv_.notify_all();
+      return ctx->ToStatus();
+    }
+    if (inflight_ < options_.max_inflight && waiting_.front() == my) {
+      waiting_.pop_front();
+      ++inflight_;
+      high_water_ = std::max(high_water_, inflight_);
+      ++admitted_;
+      cv_.notify_all();
+      *out = Ticket(this);
+      return Status::OK();
+    }
+    // Bounded wait so a queued query notices its context stopping even if no
+    // slot ever frees (e.g. a wall-clock deadline firing mid-queue).
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void AdmissionGate::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DITA_CHECK(inflight_ > 0);
+    --inflight_;
+  }
+  cv_.notify_all();
+}
+
+uint64_t AdmissionGate::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionGate::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+size_t AdmissionGate::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+size_t AdmissionGate::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_.size();
+}
+
+size_t AdmissionGate::inflight_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace dita

@@ -1,0 +1,93 @@
+#ifndef DITA_CORE_ADMISSION_H_
+#define DITA_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "util/query_context.h"
+#include "util/status.h"
+
+namespace dita {
+
+/// Bounded admission gate in front of the engine's query entry points: at
+/// most `max_inflight` queries run concurrently, up to `max_queued` more
+/// wait in FIFO order, and everything beyond that is shed immediately with
+/// Status::Unavailable — overload degrades to fast rejections instead of an
+/// unbounded pile-up. A queued query whose QueryContext stops (cancel or
+/// wall deadline) leaves the queue with the context's status rather than
+/// waiting for a slot it no longer wants.
+class AdmissionGate {
+ public:
+  struct Options {
+    /// Concurrent queries admitted past the gate. Must be >= 1.
+    size_t max_inflight = 1;
+    /// Queries allowed to wait when all slots are taken; 0 sheds on any
+    /// contention.
+    size_t max_queued = 0;
+  };
+
+  /// RAII in-flight slot. Move-only; releasing (destruction) frees the slot
+  /// and wakes the head-of-line waiter. A default-constructed ticket holds
+  /// nothing, so budgets are released on every exit path by construction.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept : gate_(o.gate_) { o.gate_ = nullptr; }
+    Ticket& operator=(Ticket&& o) noexcept {
+      Release();
+      gate_ = o.gate_;
+      o.gate_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool held() const { return gate_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionGate;
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    AdmissionGate* gate_ = nullptr;
+  };
+
+  explicit AdmissionGate(const Options& options);
+
+  /// Blocks until a slot is granted (FIFO among waiters), the queue is full
+  /// (returns Unavailable without waiting), or `ctx` (may be null) stops
+  /// while queued (returns the context's status). On OK, `*out` holds the
+  /// slot.
+  Status Admit(QueryContext* ctx, Ticket* out);
+
+  /// Counters for tests and overload dashboards.
+  uint64_t admitted() const;
+  uint64_t shed() const;
+  size_t inflight() const;
+  /// Queries currently waiting in the FIFO queue.
+  size_t queued() const;
+  /// Maximum concurrent in-flight queries ever observed; the gate's core
+  /// invariant is high_water() <= max_inflight.
+  size_t inflight_high_water() const;
+
+ private:
+  void ReleaseSlot();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t inflight_ = 0;
+  size_t high_water_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t next_waiter_ = 0;
+  /// FIFO of waiter ids; the head is admitted first. A cancelled waiter
+  /// removes its own id.
+  std::deque<uint64_t> waiting_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_CORE_ADMISSION_H_

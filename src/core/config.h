@@ -61,6 +61,14 @@ struct DitaConfig {
   /// Status::DeadlineExceeded instead of an open-ended wait. 0 disables.
   double stage_deadline_seconds = 0.0;
 
+  /// Admission gate: maximum queries (Search / Join / KnnSearch) allowed in
+  /// flight on this engine concurrently. Excess queries wait in FIFO order
+  /// up to `max_queued_queries` deep; beyond that they are shed immediately
+  /// with Status::Unavailable — overload degrades into fast rejections
+  /// rather than unbounded queueing. 0 disables the gate.
+  size_t max_inflight_queries = 0;
+  size_t max_queued_queries = 0;
+
   /// Observability (src/obs/): off by default, and when off every
   /// instrumentation site compiles down to one null-handle branch. Tracing
   /// records nested spans (query -> stage -> task -> verify) on the

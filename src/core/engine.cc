@@ -40,12 +40,45 @@ DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& confi
                          obs::PowersOfTwoBounds(24)};
   h_batch_survivors_ = {metrics_, "verify.batch.survivors",
                         obs::PowersOfTwoBounds(20)};
+  m_query_admitted_ = {metrics_, "query.admitted"};
+  m_query_shed_ = {metrics_, "query.shed"};
+  m_query_degraded_ = {metrics_, "query.degraded"};
   if (config_.verify_threads > 0) {
     verify_pool_ = std::make_unique<ThreadPool>(config_.verify_threads);
   }
   if (config_.build_threads > 0) {
     build_pool_ = std::make_unique<ThreadPool>(config_.build_threads);
   }
+  if (config_.max_inflight_queries > 0) {
+    gate_ = std::make_unique<AdmissionGate>(AdmissionGate::Options{
+        config_.max_inflight_queries, config_.max_queued_queries});
+  }
+}
+
+bool DitaEngine::ShouldDegrade(const QueryContext* ctx, const Status& stage) {
+  if (ctx == nullptr || !ctx->stopped()) return false;
+  switch (stage.code()) {
+    case Status::Code::kOk:
+    case Status::Code::kCancelled:
+    case Status::Code::kDeadlineExceeded:
+    case Status::Code::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status DitaEngine::AdmitQuery(QueryContext* ctx,
+                              AdmissionGate::Ticket* ticket) const {
+  if (gate_ == nullptr) return Status::OK();
+  const Status s = gate_->Admit(ctx, ticket);
+  if (s.ok()) {
+    m_query_admitted_.Increment();
+  } else {
+    m_query_shed_.Increment();
+    if (tracer_ != nullptr) tracer_->Instant("query.shed");
+  }
+  return s;
 }
 
 Status DitaEngine::BuildIndex(const Dataset& data) {
@@ -213,8 +246,10 @@ size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
                                const VerifyPrecomp& qp, double tau,
                                std::vector<TrajectoryId>* results,
                                VerifyStats* vstats,
-                               TrieIndex::ProbeStats* pstats) const {
+                               TrieIndex::ProbeStats* pstats,
+                               QueryContext* ctx) const {
   TrieIndex::SearchSpec spec = MakeSpec(q, tau);
+  spec.ctx = ctx;
   DpScratch& scratch = DpScratch::ThreadLocal();
   std::vector<uint32_t>& candidates = scratch.Candidates();
   candidates.clear();
@@ -226,7 +261,7 @@ size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
   std::vector<uint32_t>& accepted = scratch.Accepted();
   accepted.clear();
   const size_t dp_before = vstats != nullptr ? vstats->dp_computed : 0;
-  const Verifier::Batch batch{&p.precomp, &candidates, &qp, tau};
+  const Verifier::Batch batch{&p.precomp, &candidates, &qp, tau, ctx};
   const Verifier::BatchResult r = verifier_->VerifyBatch(
       batch, verify_pool_.get(), config_.verify_parallel_min, &accepted,
       vstats, tracer_);
@@ -245,12 +280,16 @@ size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
 
 Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
                                                      double tau,
-                                                     QueryStats* stats) const {
+                                                     QueryStats* stats,
+                                                     QueryContext* ctx) const {
   if (!indexed_) return Status::Internal("Search before BuildIndex");
   if (q.size() < 2) {
     return Status::InvalidArgument("query needs at least 2 points");
   }
   if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
+
+  AdmissionGate::Ticket ticket;
+  DITA_RETURN_IF_ERROR(AdmitQuery(ctx, &ticket));
 
   const Cluster::CostSnapshot snap = cluster_->Snapshot();
   obs::SpanGuard query_span(tracer_, "query");
@@ -276,39 +315,77 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
   // keeps its stats-free hot path.
   const bool want_probe_stats = stats != nullptr || metrics_ != nullptr;
   const size_t trie_levels = config_.trie.num_pivots + 2;
-  TrieIndex::ProbeStats pstats;
-  pstats.Reset(trie_levels);
 
-  // Workers: local filter + verify per relevant partition.
-  std::mutex mu;
-  std::vector<TrajectoryId> results;
-  size_t total_candidates = 0;
-  uint64_t relevant_population = 0;
-  VerifyStats vstats;
+  // Workers: local filter + verify per relevant partition. Each task writes
+  // only its own slot, so a query cut short can merge exactly the tasks
+  // that ran to completion — partial results are a well-defined subset, not
+  // a torn merge.
+  struct LocalOut {
+    std::vector<TrajectoryId> ids;
+    size_t candidates = 0;
+    VerifyStats vstats;
+    TrieIndex::ProbeStats pstats;
+    /// Set at the end of the task body; false when the task was cut short
+    /// mid-filter (its partial output must be discarded).
+    bool complete = false;
+  };
+  std::vector<LocalOut> outs(relevant.size());
   std::vector<Cluster::Task> tasks;
   tasks.reserve(relevant.size());
-  for (uint32_t pid : relevant) {
-    const Partition* part = &partitions_[pid];
-    relevant_population += part->trie.size();
+  for (size_t idx = 0; idx < relevant.size(); ++idx) {
+    const Partition* part = &partitions_[relevant[idx]];
+    LocalOut* out = &outs[idx];
     tasks.push_back({part->home_worker,
-                     [&, part] {
-                       std::vector<TrajectoryId> local;
-                       VerifyStats local_stats;
-                       TrieIndex::ProbeStats local_probe;
-                       if (want_probe_stats) local_probe.Reset(trie_levels);
-                       const size_t cands = LocalSearch(
-                           *part, q, qp, tau, &local, &local_stats,
-                           want_probe_stats ? &local_probe : nullptr);
-                       std::lock_guard<std::mutex> lock(mu);
-                       results.insert(results.end(), local.begin(), local.end());
-                       total_candidates += cands;
-                       vstats.Merge(local_stats);
-                       if (want_probe_stats) pstats.Merge(local_probe);
+                     [&, part, out] {
+                       if (want_probe_stats) out->pstats.Reset(trie_levels);
+                       out->candidates = LocalSearch(
+                           *part, q, qp, tau, &out->ids, &out->vstats,
+                           want_probe_stats ? &out->pstats : nullptr, ctx);
+                       // Complete iff the stop (if any) had not fired by the
+                       // time this task finished; conservative under real
+                       // concurrency, exact under serial execution.
+                       out->complete = ctx == nullptr || !ctx->stopped();
                        return Status::OK();
                      },
                      part->data_bytes});
   }
-  DITA_RETURN_IF_ERROR(cluster_->RunStage(std::move(tasks), StageOpts("search")));
+  std::vector<uint8_t> kept;
+  const Status stage =
+      cluster_->RunStage(std::move(tasks), StageOpts("search", ctx), &kept);
+  if (ctx != nullptr) ctx->ObserveVirtualSeconds(cluster_->MakespanSince(snap));
+  const bool degraded = !stage.ok() && ShouldDegrade(ctx, stage);
+  if (!stage.ok() && !degraded) return stage;
+  if (degraded) {
+    m_query_degraded_.Increment();
+    if (tracer_ != nullptr) tracer_->Instant("query.degraded");
+  }
+
+  // Merge the surviving tasks' slots. A complete query merges everything
+  // (kept is all-ones and every slot is complete), so this is the same
+  // result as the pre-slot merge.
+  std::vector<TrajectoryId> results;
+  size_t total_candidates = 0;
+  uint64_t relevant_population = 0;
+  uint64_t merged_population = 0;
+  VerifyStats vstats;
+  TrieIndex::ProbeStats pstats;
+  pstats.Reset(trie_levels);
+  for (size_t idx = 0; idx < relevant.size(); ++idx) {
+    const uint64_t population = partitions_[relevant[idx]].trie.size();
+    relevant_population += population;
+    if (!kept.empty() && !kept[idx]) continue;
+    if (!outs[idx].complete) continue;
+    merged_population += population;
+    results.insert(results.end(), outs[idx].ids.begin(), outs[idx].ids.end());
+    total_candidates += outs[idx].candidates;
+    vstats.Merge(outs[idx].vstats);
+    if (want_probe_stats) pstats.Merge(outs[idx].pstats);
+  }
+  const double completeness =
+      relevant_population == 0
+          ? 1.0
+          : static_cast<double>(merged_population) /
+                static_cast<double>(relevant_population);
 
   RecordFilterMetrics(relevant.size(), pstats, vstats);
   h_query_candidates_.Observe(static_cast<double>(total_candidates));
@@ -323,16 +400,20 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
     stats->verify = vstats;
     stats->results = results.size();
     stats->faults = cluster_->FaultsSince(snap);
+    stats->termination = ctx != nullptr ? ctx->ToStatus() : Status::OK();
+    stats->completeness = completeness;
 
     // Filter funnel: survivors after each pruning level. Within the trie,
     // survivors after level l are the relevant population minus everything
     // pruned at levels <= l; the remainder after the last level is exactly
     // the candidate set, and the verify counters carry the funnel to the
-    // accepted results.
+    // accepted results. Under degradation every level counts only the
+    // merged (completed) partitions, so the funnel still balances: it stays
+    // monotone and ends at the returned result count.
     obs::FilterFunnel funnel;
     funnel.AddLevel("table", index_stats_.num_trajectories);
-    funnel.AddLevel("global index", relevant_population);
-    uint64_t remaining = relevant_population;
+    funnel.AddLevel("global index", merged_population);
+    uint64_t remaining = merged_population;
     for (size_t l = 0; l < trie_levels; ++l) {
       remaining -= pstats.pruned_members[l];
       const std::string label =
@@ -353,7 +434,7 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
 
 Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
     const Trajectory& q, size_t k, double initial_tau,
-    QueryStats* stats) const {
+    QueryStats* stats, QueryContext* ctx) const {
   if (!indexed_) return Status::Internal("KnnSearch before BuildIndex");
   if (q.size() < 2) {
     return Status::InvalidArgument("query needs at least 2 points");
@@ -362,6 +443,9 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
   if (k > index_stats_.num_trajectories) {
     return Status::InvalidArgument("k exceeds the table cardinality");
   }
+
+  AdmissionGate::Ticket ticket;
+  DITA_RETURN_IF_ERROR(AdmitQuery(ctx, &ticket));
 
   const Cluster::CostSnapshot snap = cluster_->Snapshot();
   obs::SpanGuard knn_span(tracer_, "knn.query");
@@ -381,11 +465,19 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
   // trajectory outside radius tau can belong to the kNN set, because every
   // result within tau beats it).
   std::vector<std::pair<TrajectoryId, double>> scored;
+  // Snapshot of `scored` after the most recent *fully completed* round. A
+  // complete round at radius tau enumerated every trajectory within tau, so
+  // its answers — sorted by distance — are a true prefix of the kNN set
+  // even when fewer than k were found. A round cut short mid-flight proves
+  // nothing of the sort, so a stopped query falls back to this snapshot.
+  std::vector<std::pair<TrajectoryId, double>> last_complete;
+  bool stopped_early = false;
   // Per-partition memo of exact distances: expansion rounds re-collect most
   // of the previous round's candidates (the radius only grows), and exact
   // DP scores are the expensive part, so they are computed once per
   // (partition, position) across all rounds. Each partition appears in at
-  // most one task per round, so its map needs no locking.
+  // most one task per round, so its map needs no locking — and memoized
+  // distances from an abandoned round stay valid for the next one.
   std::vector<std::unordered_map<uint32_t, double>> memo(partitions_.size());
   size_t total_candidates = 0;
   size_t probed = 0;
@@ -399,21 +491,30 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
         q, tau, distance_->prune_mode(), distance_->matching_epsilon(), erp_gap);
     cluster_->RecordDriverCompute(driver_timer.Seconds());
 
-    std::mutex mu;
+    struct RoundOut {
+      std::vector<std::pair<TrajectoryId, double>> scored;
+      size_t candidates = 0;
+      bool complete = false;
+    };
+    std::vector<RoundOut> outs(relevant.size());
     std::vector<Cluster::Task> tasks;
-    for (uint32_t pid : relevant) {
+    tasks.reserve(relevant.size());
+    for (size_t idx = 0; idx < relevant.size(); ++idx) {
+      const uint32_t pid = relevant[idx];
       const Partition* part = &partitions_[pid];
       std::unordered_map<uint32_t, double>* part_memo = &memo[pid];
+      RoundOut* out = &outs[idx];
       tasks.push_back({part->home_worker,
-                       [&, part, part_memo] {
+                       [&, part, part_memo, out] {
         TrieIndex::SearchSpec spec = MakeSpec(q, tau);
+        spec.ctx = ctx;
         DpScratch& scratch = DpScratch::ThreadLocal();
         std::vector<uint32_t>& candidates = scratch.Candidates();
         candidates.clear();
         part->trie.CollectCandidates(spec, &candidates);
         const TrajView qv = scratch.ExtractB(q);
-        std::vector<std::pair<TrajectoryId, double>> local;
         for (uint32_t pos : candidates) {
+          if (ctx != nullptr && ctx->stopped()) break;
           // Exact distance needed for ranking; WithinThreshold's boolean
           // answer is not enough here. Memoized across expansion rounds.
           double d;
@@ -424,34 +525,67 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
             d = distance_->Compute(part->precomp[pos].soa.view(), qv, &scratch);
             part_memo->emplace(pos, d);
           }
-          if (d <= tau) local.emplace_back(part->trie.trajectory(pos).id(), d);
+          if (d <= tau) {
+            out->scored.emplace_back(part->trie.trajectory(pos).id(), d);
+          }
         }
-        std::lock_guard<std::mutex> lock(mu);
-        total_candidates += candidates.size();
-        scored.insert(scored.end(), local.begin(), local.end());
+        out->candidates = candidates.size();
+        out->complete = ctx == nullptr || !ctx->stopped();
         return Status::OK();
                        },
                        part->data_bytes});
     }
     probed += relevant.size();
-    DITA_RETURN_IF_ERROR(
-        cluster_->RunStage(std::move(tasks), StageOpts("knn-search")));
-    if (scored.size() >= k) break;
+    std::vector<uint8_t> kept;
+    const Status stage = cluster_->RunStage(
+        std::move(tasks), StageOpts("knn-search", ctx), &kept);
+    if (ctx != nullptr) {
+      ctx->ObserveVirtualSeconds(cluster_->MakespanSince(snap));
+    }
+    if (!stage.ok() && !ShouldDegrade(ctx, stage)) return stage;
+    bool round_complete = stage.ok();
+    for (size_t idx = 0; idx < relevant.size(); ++idx) {
+      if ((!kept.empty() && !kept[idx]) || !outs[idx].complete) {
+        round_complete = false;
+        continue;
+      }
+      total_candidates += outs[idx].candidates;
+      scored.insert(scored.end(), outs[idx].scored.begin(),
+                    outs[idx].scored.end());
+    }
+    // Snapshot before checking for a stop: a stop that fired *after* the
+    // whole round ran (e.g. the virtual deadline observed above) still
+    // leaves a fully enumerated round to fall back on.
+    if (round_complete) last_complete = scored;
+    if (ctx != nullptr && ctx->stopped()) {
+      stopped_early = true;
+      break;
+    }
+    if (round_complete && scored.size() >= k) break;
     tau *= 2.0;
   }
-  if (scored.size() < k) {
+  if (stopped_early) {
+    m_query_degraded_.Increment();
+    if (tracer_ != nullptr) tracer_->Instant("query.degraded");
+    scored = std::move(last_complete);
+  } else if (scored.size() < k) {
     return Status::Internal("kNN expansion failed to find k results");
   }
 
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
-  scored.resize(k);
+  if (scored.size() > k) scored.resize(k);
   if (stats != nullptr) {
     stats->makespan_seconds = cluster_->MakespanSince(snap);
     stats->partitions_probed = probed;
     stats->candidates = total_candidates;
     stats->results = scored.size();
     stats->faults = cluster_->FaultsSince(snap);
+    stats->termination = ctx != nullptr ? ctx->ToStatus() : Status::OK();
+    stats->completeness =
+        stopped_early ? static_cast<double>(scored.size()) /
+                            static_cast<double>(k)
+                      : 1.0;
   }
   return scored;
 }
@@ -495,7 +629,8 @@ Result<std::vector<DitaEngine::KnnJoinRow>> DitaEngine::KnnJoin(
 }
 
 Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DitaEngine::Join(
-    const DitaEngine& right, double tau, JoinStats* stats) const {
+    const DitaEngine& right, double tau, JoinStats* stats,
+    QueryContext* ctx) const {
   if (!indexed_ || !right.indexed_) {
     return Status::Internal("Join before BuildIndex");
   }
@@ -503,7 +638,9 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DitaEngine::Join(
     return Status::InvalidArgument("joined tables must share a cluster");
   }
   if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
-  JoinPlanner planner(*this, right, tau);
+  AdmissionGate::Ticket ticket;
+  DITA_RETURN_IF_ERROR(AdmitQuery(ctx, &ticket));
+  JoinPlanner planner(*this, right, tau, ctx);
   return planner.Run(stats);
 }
 

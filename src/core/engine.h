@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "core/admission.h"
 #include "core/config.h"
 #include "core/global_index.h"
 #include "core/verifier.h"
@@ -46,6 +47,15 @@ class DitaEngine {
     /// levels -> MBR coverage -> cell bound -> threshold DP. Monotonically
     /// non-increasing; the last level equals `results`.
     obs::FilterFunnel funnel;
+    /// How the query ended. OK means it ran to completion; kCancelled /
+    /// kDeadlineExceeded / kResourceExhausted mean the returned results are
+    /// a *partial* answer — a correct subset of the full one — produced by
+    /// graceful degradation under a QueryContext stop.
+    Status termination;
+    /// Fraction of the query's relevant population that was fully searched
+    /// before it stopped; 1.0 for complete queries. (For kNN: fraction of
+    /// the requested k that was found.)
+    double completeness = 1.0;
   };
 
   /// Per-join observability (Figs. 9-11, 16).
@@ -68,6 +78,12 @@ class DitaEngine {
     /// cell -> accepted. Monotonically non-increasing; ends at
     /// `result_pairs`.
     obs::FilterFunnel funnel;
+    /// How the join ended (see QueryStats::termination): non-OK means the
+    /// returned pairs are a correct subset of the full join result.
+    Status termination;
+    /// Fraction of the join's partition-pair edges whose probe completed;
+    /// 1.0 for complete joins.
+    double completeness = 1.0;
   };
 
   DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& config);
@@ -85,14 +101,26 @@ class DitaEngine {
   /// Threshold similarity search (Definition 2.4, §5): all trajectory ids T
   /// with f(T, q) <= tau. Cost is charged to the shared cluster; per-query
   /// latency lands in `stats` if provided.
+  ///
+  /// With `ctx` non-null the query runs under that context's cancellation
+  /// token, deadlines, and resource budgets. A query stopped mid-flight
+  /// degrades gracefully: the call still returns OK with the subset of the
+  /// answer produced by the partitions that completed, and tags
+  /// `stats->termination` / `stats->completeness` accordingly. Errors
+  /// unrelated to the stop (lost workers, invalid input) propagate as
+  /// before.
   Result<std::vector<TrajectoryId>> Search(const Trajectory& q, double tau,
-                                           QueryStats* stats = nullptr) const;
+                                           QueryStats* stats = nullptr,
+                                           QueryContext* ctx = nullptr) const;
 
   /// Threshold similarity join against `right` (Definition 2.5, §6):
   /// returns (left_id, right_id) pairs with f(T, Q) <= tau. `right` may be
   /// this engine itself (self-join). Both engines must share the cluster.
+  /// `ctx` behaves as in Search: a stopped join returns the pairs from the
+  /// edges that completed (a subset of the full join).
   Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> Join(
-      const DitaEngine& right, double tau, JoinStats* stats = nullptr) const;
+      const DitaEngine& right, double tau, JoinStats* stats = nullptr,
+      QueryContext* ctx = nullptr) const;
 
   /// kNN similarity search (the paper's §8 future work): the k trajectories
   /// closest to `q` under the engine's distance, as (id, distance) pairs
@@ -100,10 +128,12 @@ class DitaEngine {
   /// the threshold search machinery: double tau until at least k verified
   /// answers exist, then rank candidates by exact distance. Exact for
   /// kAccumulate/kMax distances; `initial_tau` seeds the expansion (0 picks
-  /// a data-derived default).
+  /// a data-derived default). `ctx` behaves as in Search; a stopped kNN
+  /// query returns the last fully-completed expansion round's answers
+  /// (each one a true member of the kNN set), possibly fewer than k.
   Result<std::vector<std::pair<TrajectoryId, double>>> KnnSearch(
       const Trajectory& q, size_t k, double initial_tau = 0.0,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, QueryContext* ctx = nullptr) const;
 
   /// One kNN-join result row: a left trajectory and one of its k nearest
   /// right trajectories.
@@ -135,10 +165,21 @@ class DitaEngine {
 
   TrieIndex::SearchSpec MakeSpec(const Trajectory& q, double tau) const;
 
-  /// Stage options carrying the engine's configured deadline.
-  StageOptions StageOpts(std::string name) const {
-    return StageOptions{std::move(name), config_.stage_deadline_seconds};
+  /// Stage options carrying the engine's configured deadline and the
+  /// query's stop token (may be null).
+  StageOptions StageOpts(std::string name, QueryContext* ctx = nullptr) const {
+    return StageOptions{std::move(name), config_.stage_deadline_seconds, ctx};
   }
+
+  /// True when a stage status should degrade into a partial OK result:
+  /// the query's own context stopped and the stage failed for that reason
+  /// (or not at all). Unrelated errors (lost workers, internal faults)
+  /// never degrade.
+  static bool ShouldDegrade(const QueryContext* ctx, const Status& stage);
+
+  /// Acquires an admission ticket when the gate is enabled; on shed or
+  /// queue-abandon the returned status is the caller's answer.
+  Status AdmitQuery(QueryContext* ctx, AdmissionGate::Ticket* ticket) const;
 
   /// Per-trajectory global relevance test against a partition summary —
   /// the "has candidates in Qj" check of §6.2's trans estimation.
@@ -153,7 +194,8 @@ class DitaEngine {
   size_t LocalSearch(const Partition& p, const Trajectory& q,
                      const VerifyPrecomp& qp, double tau,
                      std::vector<TrajectoryId>* results, VerifyStats* vstats,
-                     TrieIndex::ProbeStats* pstats = nullptr) const;
+                     TrieIndex::ProbeStats* pstats = nullptr,
+                     QueryContext* ctx = nullptr) const;
 
   /// Folds one operation's aggregated filter/verify counters into the
   /// metrics registry (no-op when metrics are disabled). Cold path: called
@@ -178,6 +220,15 @@ class DitaEngine {
   std::vector<Partition> partitions_;
   IndexStats index_stats_;
   bool indexed_ = false;
+  /// Admission gate (null when DitaConfig::max_inflight_queries == 0).
+  /// Mutable: taking a ticket is bookkeeping, not an engine mutation.
+  mutable std::unique_ptr<AdmissionGate> gate_;
+
+ public:
+  /// Gate counters for tests / dashboards; null when the gate is disabled.
+  const AdmissionGate* admission_gate() const { return gate_.get(); }
+
+ private:
 
   /// Owned by the cluster (shared across engines on it); null when the
   /// corresponding DitaConfig toggle is off and nobody else enabled it.
@@ -196,6 +247,9 @@ class DitaEngine {
   obs::CounterHandle m_verify_accepted_;
   obs::HistogramHandle h_query_candidates_;
   obs::HistogramHandle h_batch_survivors_;
+  obs::CounterHandle m_query_admitted_;
+  obs::CounterHandle m_query_shed_;
+  obs::CounterHandle m_query_degraded_;
 };
 
 }  // namespace dita

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "distance/dp_scratch.h"
 #include "util/logging.h"
@@ -11,8 +10,12 @@
 namespace dita {
 
 JoinPlanner::JoinPlanner(const DitaEngine& left, const DitaEngine& right,
-                         double tau)
-    : left_(left), right_(right), tau_(tau), cluster_(*left.cluster_) {}
+                         double tau, QueryContext* ctx)
+    : left_(left),
+      right_(right),
+      tau_(tau),
+      ctx_(ctx),
+      cluster_(*left.cluster_) {}
 
 size_t JoinPlanner::NodeIndex(bool is_left, uint32_t part) const {
   return is_left ? part : left_.partitions_.size() + part;
@@ -224,7 +227,8 @@ void JoinPlanner::PlanDivisions() {
 
 Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinPlanner::Run(
     DitaEngine::JoinStats* stats) {
-  const Cluster::CostSnapshot snap = cluster_.Snapshot();
+  snap_ = cluster_.Snapshot();
+  const Cluster::CostSnapshot snap = snap_;
   const uint64_t bytes_before = cluster_.total_bytes_sent();
   obs::SpanGuard join_span(left_.tracer_, "join");
 
@@ -247,6 +251,10 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinPlanner::Run(
   auto result = Execute(stats);
   join_span.Arg("edges", edges_.size());
   if (result.ok()) join_span.Arg("result_pairs", result.value().size());
+  if (result.ok() && degraded_) {
+    left_.m_query_degraded_.Increment();
+    if (left_.tracer_ != nullptr) left_.tracer_->Instant("query.degraded");
+  }
   if (result.ok() && stats != nullptr) {
     stats->makespan_seconds = cluster_.MakespanSince(snap);
     stats->load_ratio = cluster_.LoadRatioSince(snap);
@@ -255,6 +263,8 @@ Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinPlanner::Run(
     stats->divided_partitions = divided_partitions_;
     stats->result_pairs = result.value().size();
     stats->faults = cluster_.FaultsSince(snap);
+    stats->termination = ctx_ != nullptr ? ctx_->ToStatus() : Status::OK();
+    stats->completeness = completeness_;
 
     // Join filter funnel, in trajectory-pair units. Each (T, Q) pair lives
     // in exactly one partition pair, so the per-edge sums never double
@@ -292,6 +302,9 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
     size_t src_worker;
     size_t dst_worker;
     std::vector<uint32_t> shipped;  // filled by the ship stage
+    /// Set at the end of the ship task body; an edge whose ship was cut
+    /// short never reaches the probe stage (its shipped list is partial).
+    bool ship_complete = false;
   };
   std::vector<EdgePlan> plans;
   plans.reserve(edges_.size());
@@ -331,48 +344,72 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
       const auto& sp = src_side.partitions_[src];
       const auto& dst_summary = dst_side.global_.summary(dst);
       uint64_t bytes = 0;
+      constexpr uint32_t kCheckStride = 64;
       for (uint32_t pos = 0; pos < sp.trie.size(); ++pos) {
+        if (ctx_ != nullptr && (pos % kCheckStride) == 0 &&
+            ctx_->CheckPoint(kCheckStride)) {
+          return Status::OK();  // ship_complete stays false; edge is dropped
+        }
         const Trajectory& t = sp.trie.trajectory(pos);
         if (dst_side.TrajectoryRelevantTo(t, dst_summary, tau_)) {
           plan.shipped.push_back(pos);
           bytes += t.ByteSize();
         }
       }
-      cluster_.RecordTransfer(plan.src_worker, plan.dst_worker, bytes);
+      plan.ship_complete = ctx_ == nullptr || !ctx_->stopped();
+      // Only complete ships pay for the transfer: an abandoned edge never
+      // sends its trajectories to the target.
+      if (plan.ship_complete) {
+        cluster_.RecordTransfer(plan.src_worker, plan.dst_worker, bytes);
+      }
       return Status::OK();
                           },
                           src_bytes});
   }
-  DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(ship_tasks),
-                                         left_.StageOpts("join-ship")));
+  std::vector<uint8_t> kept_ship;
+  {
+    const Status ship_status = cluster_.RunStage(
+        std::move(ship_tasks), left_.StageOpts("join-ship", ctx_), &kept_ship);
+    if (ctx_ != nullptr) {
+      ctx_->ObserveVirtualSeconds(cluster_.MakespanSince(snap_));
+    }
+    if (!ship_status.ok() && !DitaEngine::ShouldDegrade(ctx_, ship_status)) {
+      return ship_status;
+    }
+  }
 
-  // Stage 2: target-side local joins.
-  std::mutex mu;
-  std::vector<std::pair<TrajectoryId, TrajectoryId>> results;
-  size_t candidate_pairs = 0;
-  VerifyStats vstats;
+  // Stage 2: target-side local joins, over the edges whose ship completed.
+  // Each probe task writes only its own slot so a stopped join merges
+  // exactly the edges that ran to completion.
+  std::vector<size_t> eligible;
+  eligible.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (!kept_ship.empty() && !kept_ship[i]) continue;
+    if (!plans[i].ship_complete) continue;
+    eligible.push_back(i);
+  }
+  struct ProbeOut {
+    std::vector<std::pair<TrajectoryId, TrajectoryId>> pairs;
+    size_t candidates = 0;
+    VerifyStats vstats;
+    bool complete = false;
+  };
+  std::vector<ProbeOut> probe_outs(eligible.size());
   // Verify counters feed JoinStats::verify / the funnel and the verify.*
   // metrics; when neither consumer exists the verifier keeps its
   // counter-free hot path (stats pointer stays null, as before).
   const bool want_verify_stats = stats != nullptr || left_.metrics_ != nullptr;
-  ship_pairs_ = 0;
-  for (const EdgePlan& plan : plans) {
-    const Edge& pe = *plan.edge;
-    const DitaEngine& plan_dst = pe.left_to_right ? right_ : left_;
-    const uint32_t dst_part = pe.left_to_right ? pe.right_part : pe.left_part;
-    ship_pairs_ += static_cast<uint64_t>(plan.shipped.size()) *
-                   plan_dst.partitions_[dst_part].trie.size();
-  }
   std::vector<Cluster::Task> probe_tasks;
-  probe_tasks.reserve(plans.size());
-  for (EdgePlan& plan : plans) {
+  probe_tasks.reserve(eligible.size());
+  for (size_t slot = 0; slot < eligible.size(); ++slot) {
+    EdgePlan& plan = plans[eligible[slot]];
+    ProbeOut* out = &probe_outs[slot];
     const Edge& pe = *plan.edge;
     const DitaEngine& plan_dst = pe.left_to_right ? right_ : left_;
     const uint32_t dst_part = pe.left_to_right ? pe.right_part : pe.left_part;
     const uint64_t dst_bytes = plan_dst.partitions_[dst_part].data_bytes;
     probe_tasks.push_back({plan.dst_worker,
-                           [this, &plan, &mu, &results, &candidate_pairs,
-                            &vstats, want_verify_stats] {
+                           [this, &plan, out, want_verify_stats] {
       const Edge& e = *plan.edge;
       const DitaEngine& src_side = e.left_to_right ? left_ : right_;
       const DitaEngine& dst_side = e.left_to_right ? right_ : left_;
@@ -381,47 +418,80 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
       const auto& sp = src_side.partitions_[src];
       const auto& dp = dst_side.partitions_[dst];
 
-      std::vector<std::pair<TrajectoryId, TrajectoryId>> local;
-      size_t local_candidates = 0;
-      VerifyStats local_vstats;
       DpScratch& scratch = DpScratch::ThreadLocal();
       double offloaded = 0.0;
       for (uint32_t pos : plan.shipped) {
+        if (ctx_ != nullptr && ctx_->stopped()) break;
         const Trajectory& q = sp.trie.trajectory(pos);
         const VerifyPrecomp& qp = sp.precomp[pos];
         TrieIndex::SearchSpec spec = dst_side.MakeSpec(q, tau_);
+        spec.ctx = ctx_;
         std::vector<uint32_t>& cands = scratch.Candidates();
         cands.clear();
         dp.trie.CollectCandidates(spec, &cands);
-        local_candidates += cands.size();
+        out->candidates += cands.size();
         std::vector<uint32_t>& accepted = scratch.Accepted();
         accepted.clear();
-        const Verifier::Batch batch{&dp.precomp, &cands, &qp, tau_};
+        const Verifier::Batch batch{&dp.precomp, &cands, &qp, tau_, ctx_};
         const Verifier::BatchResult r = dst_side.verifier_->VerifyBatch(
             batch, dst_side.verify_pool_.get(),
             dst_side.config_.verify_parallel_min, &accepted,
-            want_verify_stats ? &local_vstats : nullptr, dst_side.tracer_);
+            want_verify_stats ? &out->vstats : nullptr, dst_side.tracer_);
         offloaded += r.offloaded_seconds;
         for (uint32_t cpos : accepted) {
           const Trajectory& t = dp.trie.trajectory(cpos);
           if (e.left_to_right) {
-            local.emplace_back(q.id(), t.id());
+            out->pairs.emplace_back(q.id(), t.id());
           } else {
-            local.emplace_back(t.id(), q.id());
+            out->pairs.emplace_back(t.id(), q.id());
           }
         }
       }
       if (offloaded > 0.0) Cluster::ChargeCurrentTask(offloaded);
-      std::lock_guard<std::mutex> lock(mu);
-      results.insert(results.end(), local.begin(), local.end());
-      candidate_pairs += local_candidates;
-      vstats.Merge(local_vstats);
+      out->complete = ctx_ == nullptr || !ctx_->stopped();
       return Status::OK();
                            },
                            dst_bytes});
   }
-  DITA_RETURN_IF_ERROR(cluster_.RunStage(std::move(probe_tasks),
-                                         left_.StageOpts("join-probe")));
+  std::vector<uint8_t> kept_probe;
+  {
+    const Status probe_status =
+        cluster_.RunStage(std::move(probe_tasks),
+                          left_.StageOpts("join-probe", ctx_), &kept_probe);
+    if (ctx_ != nullptr) {
+      ctx_->ObserveVirtualSeconds(cluster_.MakespanSince(snap_));
+    }
+    if (!probe_status.ok() && !DitaEngine::ShouldDegrade(ctx_, probe_status)) {
+      return probe_status;
+    }
+  }
+
+  // Merge the completed edges. ship_pairs_ counts only merged edges so the
+  // funnel still balances under degradation.
+  std::vector<std::pair<TrajectoryId, TrajectoryId>> results;
+  size_t candidate_pairs = 0;
+  VerifyStats vstats;
+  ship_pairs_ = 0;
+  size_t merged_edges = 0;
+  for (size_t slot = 0; slot < eligible.size(); ++slot) {
+    if (!kept_probe.empty() && !kept_probe[slot]) continue;
+    if (!probe_outs[slot].complete) continue;
+    ++merged_edges;
+    const EdgePlan& plan = plans[eligible[slot]];
+    const Edge& pe = *plan.edge;
+    const DitaEngine& plan_dst = pe.left_to_right ? right_ : left_;
+    const uint32_t dst_part = pe.left_to_right ? pe.right_part : pe.left_part;
+    ship_pairs_ += static_cast<uint64_t>(plan.shipped.size()) *
+                   plan_dst.partitions_[dst_part].trie.size();
+    results.insert(results.end(), probe_outs[slot].pairs.begin(),
+                   probe_outs[slot].pairs.end());
+    candidate_pairs += probe_outs[slot].candidates;
+    vstats.Merge(probe_outs[slot].vstats);
+  }
+  completeness_ = edges_.empty() ? 1.0
+                                 : static_cast<double>(merged_edges) /
+                                       static_cast<double>(edges_.size());
+  degraded_ = ctx_ != nullptr && ctx_->stopped();
 
   if (stats != nullptr) {
     stats->candidate_pairs = candidate_pairs;

@@ -28,7 +28,11 @@ namespace dita {
 ///     those; the target worker probes its trie and verifies.
 class JoinPlanner {
  public:
-  JoinPlanner(const DitaEngine& left, const DitaEngine& right, double tau);
+  /// `ctx` (may be null) is the query's stop token: a join stopped
+  /// mid-flight degrades to the pairs produced by the edges whose ship and
+  /// probe both completed — a correct subset of the full join.
+  JoinPlanner(const DitaEngine& left, const DitaEngine& right, double tau,
+              QueryContext* ctx = nullptr);
 
   Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> Run(
       DitaEngine::JoinStats* stats);
@@ -66,7 +70,11 @@ class JoinPlanner {
   const DitaEngine& left_;
   const DitaEngine& right_;
   const double tau_;
+  QueryContext* const ctx_;
   Cluster& cluster_;
+  /// Cost snapshot taken at Run() entry; Execute feeds the accumulated
+  /// makespan into the context's virtual deadline after each stage.
+  Cluster::CostSnapshot snap_;
 
   std::vector<Edge> edges_;
   /// Worker assignments per node: [0] is the home worker; extra entries are
@@ -77,8 +85,15 @@ class JoinPlanner {
   double seconds_per_pair_ = 1e-6;
   /// Trajectory pairs surviving the ship-relevance filter: per edge,
   /// |shipped| x |target partition| (funnel level between the partition
-  /// graph and the trie candidates). Filled by Execute.
+  /// graph and the trie candidates). Filled by Execute; under degradation
+  /// it counts only the merged (completed) edges so the funnel balances.
   uint64_t ship_pairs_ = 0;
+  /// Fraction of edges whose probe completed and was merged; 1.0 for
+  /// complete joins. Filled by Execute.
+  double completeness_ = 1.0;
+  /// True when a QueryContext stop cut the join short and the result is the
+  /// completed-edge subset. Filled by Execute.
+  bool degraded_ = false;
 };
 
 }  // namespace dita

@@ -76,32 +76,55 @@ Verifier::BatchResult Verifier::VerifyBatch(const Batch& batch,
   const std::vector<uint32_t>& candidates = *batch.candidates;
   const VerifyPrecomp& qp = *batch.query;
   const double tau = batch.tau;
+  QueryContext* const ctx = batch.ctx;
   const size_t before = accepted->size();
   DpScratch& scratch = DpScratch::ThreadLocal();
+  if (ctx != nullptr && ctx->stopped()) return out;
 
   if (stats != nullptr) stats->pairs += candidates.size();
 
   // Pass 1: cheap geometric filters only — a tight scan over the precomp
-  // array that never touches DP state or raw coordinates.
+  // array that never touches DP state or raw coordinates. Checkpointed in
+  // blocks: candidate filter tests are the unit of work charged here.
   std::vector<uint32_t>& survivors = scratch.Survivors();
   survivors.clear();
-  for (const uint32_t pos : candidates) {
+  constexpr size_t kFilterStride = 256;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (ctx != nullptr && (i % kFilterStride) == 0 && i != 0 &&
+        ctx->CheckPoint(kFilterStride)) {
+      return out;
+    }
+    const uint32_t pos = candidates[i];
     if (PassesFilters(precomp[pos], qp, tau, stats)) survivors.push_back(pos);
+  }
+  uint64_t batch_dp_cells = 0;
+  for (const uint32_t pos : survivors) {
+    batch_dp_cells +=
+        static_cast<uint64_t>(precomp[pos].soa.size()) * qp.soa.size();
   }
   if (stats != nullptr) {
     stats->dp_computed += survivors.size();
-    for (const uint32_t pos : survivors) {
-      stats->dp_cells +=
-          static_cast<uint64_t>(precomp[pos].soa.size()) * qp.soa.size();
-    }
+    stats->dp_cells += batch_dp_cells;
   }
+  // The whole batch's DP work is charged up front: exceeding max_dp_cells
+  // skips the DP entirely instead of discovering the overrun halfway in.
+  if (ctx != nullptr && ctx->ChargeDpCells(batch_dp_cells)) return out;
+  if (ctx != nullptr && ctx->CheckScratchBytes(scratch.ByteSize())) return out;
 
-  // Pass 2: thresholded DP on the survivors.
+  // Pass 2: thresholded DP on the survivors. The context rides along in the
+  // scratch so the kernels' row-block polls see it; restored on every exit.
+  struct ScratchCtxGuard {
+    DpScratch* s;
+    ~ScratchCtxGuard() { s->SetQueryContext(nullptr); }
+  };
   const TrajView qv = qp.soa.view();
   const size_t count = survivors.size();
   const size_t min_par = std::max<size_t>(min_parallel, 2);
   if (pool == nullptr || pool->num_threads() < 2 || count < min_par) {
+    scratch.SetQueryContext(ctx);
+    ScratchCtxGuard guard{&scratch};
     for (const uint32_t pos : survivors) {
+      if (ctx != nullptr && ctx->stopped()) break;
       if (distance_->WithinThreshold(precomp[pos].soa.view(), qv, tau,
                                      &scratch)) {
         accepted->push_back(pos);
@@ -134,12 +157,19 @@ Verifier::BatchResult Verifier::VerifyBatch(const Batch& batch,
     for (size_t c = 0; c < launched; ++c) {
       const size_t lo = c * chunk_len;
       const size_t hi = std::min(count, lo + chunk_len);
-      pool->Submit([this, surv, flags, chunk_cpu, lo, hi, c, qv, tau, &precomp,
-                    &sync] {
+      pool->Submit([this, surv, flags, chunk_cpu, lo, hi, c, qv, tau, ctx,
+                    &precomp, &sync] {
         CpuTimer timer;
         try {
           DpScratch& local = DpScratch::ThreadLocal();
+          local.SetQueryContext(ctx);
+          ScratchCtxGuard guard{&local};
           for (size_t k = lo; k < hi; ++k) {
+            if (ctx != nullptr && ctx->stopped()) {
+              // Remaining flags must not read as stale accepts.
+              for (size_t r = k; r < hi; ++r) flags[r] = 0;
+              break;
+            }
             flags[k] = distance_->WithinThreshold(precomp[surv[k]].soa.view(),
                                                   qv, tau, &local)
                            ? 1

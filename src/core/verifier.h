@@ -11,6 +11,7 @@
 #include "geom/trajectory.h"
 #include "index/cell.h"
 #include "obs/trace.h"
+#include "util/query_context.h"
 #include "util/thread_pool.h"
 
 namespace dita {
@@ -76,6 +77,12 @@ class Verifier {
     const std::vector<uint32_t>* candidates = nullptr;
     const VerifyPrecomp* query = nullptr;
     double tau = 0.0;
+    /// Optional cooperative stop token. VerifyBatch checkpoints the filter
+    /// scan, charges surviving DP cells against the budget, caps scratch
+    /// growth, attaches the token to every DP scratch involved (kernels
+    /// poll it per row block), and abandons the batch once stopped. The
+    /// caller must then discard the batch's partial output.
+    QueryContext* ctx = nullptr;
   };
 
   struct BatchResult {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geom/soa.h"
+#include "util/query_context.h"
 
 namespace dita {
 
@@ -53,6 +54,33 @@ class DpScratch {
 
   uint64_t reallocations() const { return reallocations_; }
 
+  /// Cancellation hook for the DP kernels: the Verifier attaches the active
+  /// QueryContext for the duration of a batch (including on pool threads),
+  /// and the threshold kernels poll it every few rows via PollRows. Without
+  /// a context the poll is one null-pointer branch. A kernel observing a
+  /// stop abandons the DP and reports "not within" — safe because the
+  /// stopped task's entire output is dropped by the engine.
+  void SetQueryContext(QueryContext* ctx) { ctx_ = ctx; }
+  QueryContext* query_context() const { return ctx_; }
+  /// Charges `rows` DP rows; true when the query must stop.
+  bool PollRows(uint64_t rows) {
+    return ctx_ != nullptr && ctx_->CheckPoint(rows);
+  }
+
+  /// Heap bytes currently held across all lanes — the basis for the
+  /// ResourceBudget::max_scratch_bytes cap.
+  size_t ByteSize() const {
+    return (row_a_.capacity() + row_b_.capacity() + dist_.capacity() +
+            gap_.capacity() + ax_.capacity() + ay_.capacity() +
+            bx_.capacity() + by_.capacity()) *
+               sizeof(double) +
+           (irow_a_.capacity() + irow_b_.capacity()) * sizeof(size_t) +
+           flags_.capacity() * sizeof(uint8_t) +
+           (candidates_.capacity() + survivors_.capacity() +
+            accepted_.capacity()) *
+               sizeof(uint32_t);
+  }
+
  private:
   template <typename T>
   T* Ensure(std::vector<T>* v, size_t n) {
@@ -81,6 +109,7 @@ class DpScratch {
   std::vector<double> ax_, ay_, bx_, by_;
   std::vector<uint32_t> candidates_, survivors_, accepted_;
   uint64_t reallocations_ = 0;
+  QueryContext* ctx_ = nullptr;
 };
 
 }  // namespace dita

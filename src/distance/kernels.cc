@@ -127,6 +127,9 @@ bool DtwWithin(const TrajView& a, const TrajView& b, double tau, DpScratch& s) {
   if (end < n) row[end] = kInf;  // sentinel for the next row's up/diag reads
 
   for (size_t i = 1; i < m; ++i) {
+    // Cooperative cancellation: a false accept is impossible here (stopped
+    // queries drop this pair's verdict entirely), so bailing mid-DP is safe.
+    if ((i & 31) == 0 && s.PollRows(32)) return false;
     const bool final_row = i + 1 == m;
     RowDistances(a.xs[i], a.ys[i], b, beg, std::min(end + 1, n), dist);
     size_t new_beg = n;
@@ -264,6 +267,7 @@ bool FrechetWithin(const TrajView& a, const TrajView& b, double tau,
   if (end < n) row[end] = kInf;
 
   for (size_t i = 1; i < m; ++i) {
+    if ((i & 31) == 0 && s.PollRows(32)) return false;
     RowDistancesSquared(a.xs[i], a.ys[i], b, beg, std::min(end + 1, n), dist);
     size_t new_beg = n;
     size_t last_live = n;  // n = no live cell seen in this row yet
@@ -352,6 +356,7 @@ bool EdrWithin(const TrajView& a, const TrajView& b, double epsilon,
   }
   for (long j = 0; j <= std::min(n, band); ++j) prev[j] = static_cast<double>(j);
   for (long i = 1; i <= m; ++i) {
+    if ((i & 31) == 0 && s.PollRows(32)) return false;
     const long j_lo = std::max(1L, i - band);
     const long j_hi = std::min(n, i + band);
     // The rolling arrays hold values from two rows ago outside the band;
@@ -438,6 +443,7 @@ bool LcssWithin(const TrajView& a, const TrajView& b, double epsilon,
   for (long j = 0; j <= n; ++j) prev[j] = 0;
   double* dsq = s.Dist(static_cast<size_t>(n));
   for (long i = 1; i <= m; ++i) {
+    if ((i & 31) == 0 && s.PollRows(32)) return false;
     const long lo = std::min(std::max(1L, i - delta), n + 1);
     const long hi = std::min(n, i + delta);
     for (long j = 0; j < lo; ++j) row[j] = prev[j];
@@ -508,6 +514,7 @@ bool ErpWithin(const TrajView& a, const TrajView& b, const Point& gap,
   prev[0] = 0.0;
   for (size_t j = 1; j <= n; ++j) prev[j] = prev[j - 1] + gap_b[j - 1];
   for (size_t i = 1; i <= m; ++i) {
+    if ((i & 31) == 0 && s.PollRows(32)) return false;
     const double dgx = a.xs[i - 1] - gap.x;
     const double dgy = a.ys[i - 1] - gap.y;
     const double gap_a = std::sqrt(dgx * dgx + dgy * dgy);

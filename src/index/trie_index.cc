@@ -319,17 +319,30 @@ void TrieIndex::CollectCandidates(const SearchSpec& spec,
   static thread_local std::vector<Frame> survivors;
   stack.clear();
   stack.push_back(Frame{0, 0, budget});
+  // Stride between QueryContext checkpoints, in node visits. Large enough
+  // that the counter update is invisible next to the MBR tests it meters,
+  // small enough to bound time-to-stop (bench_cancellation measures it).
+  constexpr uint32_t kCheckStride = 256;
+  uint32_t visits_since_check = 0;
   while (!stack.empty()) {
+    if (spec.ctx != nullptr && visits_since_check >= kCheckStride) {
+      if (spec.ctx->CheckPoint(visits_since_check)) return;
+      visits_since_check = 0;
+    }
     const Frame f = stack.back();
     stack.pop_back();
     const uint32_t cnt = child_count_[f.node];
     if (cnt == 0) {
+      const uint32_t span =
+          items_end_[f.node] - items_begin_[f.node];
+      if (spec.ctx != nullptr && spec.ctx->ChargeCandidates(span)) return;
       out->insert(out->end(), items_.begin() + items_begin_[f.node],
                   items_.begin() + items_end_[f.node]);
       continue;
     }
     const uint32_t fc = first_child_[f.node];
     survivors.clear();
+    visits_since_check += cnt;
     for (uint32_t c = fc; c < fc + cnt; ++c) {
       double b = f.budget;
       uint32_t s = f.suffix_start;
@@ -345,6 +358,12 @@ void TrieIndex::CollectCandidates(const SearchSpec& spec,
       if (pass) survivors.push_back(Frame{c, s, b});
     }
     for (size_t i = survivors.size(); i-- > 0;) stack.push_back(survivors[i]);
+  }
+  // Flush the sub-stride remainder so ops accounting is exact per traversal:
+  // without this, a selective query (< kCheckStride visits) charges nothing,
+  // leaving CancelAfterOps triggers unreachable and time-to-stop unmeasured.
+  if (spec.ctx != nullptr && visits_since_check > 0) {
+    spec.ctx->CheckPoint(visits_since_check);
   }
 }
 

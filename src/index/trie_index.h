@@ -7,6 +7,7 @@
 #include "distance/distance.h"
 #include "geom/trajectory.h"
 #include "index/pivot.h"
+#include "util/query_context.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -59,6 +60,12 @@ class TrieIndex {
     /// instead of a query point — and endpoint alignment and suffix
     /// trimming are disabled (gap matches consume no query points).
     const Point* erp_gap = nullptr;
+    /// Optional cooperative stop token. CollectCandidates checkpoints it
+    /// every few hundred node visits and charges emitted candidates against
+    /// its budget; on stop the traversal abandons the remaining subtrees
+    /// (the partial output is discarded by the caller, never mixed into
+    /// results). The reference traversal ignores it — it is the oracle.
+    QueryContext* ctx = nullptr;
   };
 
   /// Per-probe traversal counters, filled by CollectCandidates when a

@@ -1,0 +1,107 @@
+#include "util/query_context.h"
+
+namespace dita {
+
+void QueryContext::SetWallDeadlineSeconds(double seconds) {
+  has_wall_deadline_ = true;
+  wall_deadline_ = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(seconds));
+}
+
+void QueryContext::Stop(StopCause cause) {
+  uint8_t expected = static_cast<uint8_t>(StopCause::kNone);
+  if (stop_cause_.compare_exchange_strong(expected,
+                                          static_cast<uint8_t>(cause),
+                                          std::memory_order_acq_rel)) {
+    // First stop wins; sample the ops counter so time-to-stop (work done
+    // after this point) is measurable.
+    ops_at_stop_.store(ops_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+}
+
+bool QueryContext::CheckPoint(uint64_t ops) {
+  const uint64_t now = ops_.fetch_add(ops, std::memory_order_relaxed) + ops;
+  if (stopped()) return true;
+  const uint64_t trigger = cancel_after_ops_.load(std::memory_order_relaxed);
+  if (trigger != 0 && now >= trigger) {
+    Stop(StopCause::kCancelled);
+    return true;
+  }
+  if (has_wall_deadline_ &&
+      (wall_polls_.fetch_add(1, std::memory_order_relaxed) & 7) == 0 &&
+      std::chrono::steady_clock::now() >= wall_deadline_) {
+    Stop(StopCause::kWallDeadline);
+    return true;
+  }
+  return false;
+}
+
+bool QueryContext::ChargeCandidates(uint64_t n) {
+  const uint64_t total =
+      candidates_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (budget_.max_candidates != 0 && total > budget_.max_candidates) {
+    Stop(StopCause::kCandidateBudget);
+  }
+  return stopped();
+}
+
+bool QueryContext::ChargeDpCells(uint64_t n) {
+  const uint64_t total = dp_cells_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (budget_.max_dp_cells != 0 && total > budget_.max_dp_cells) {
+    Stop(StopCause::kDpCellBudget);
+  }
+  return stopped();
+}
+
+bool QueryContext::CheckScratchBytes(uint64_t bytes) {
+  if (budget_.max_scratch_bytes != 0 && bytes > budget_.max_scratch_bytes) {
+    Stop(StopCause::kScratchBudget);
+  }
+  return stopped();
+}
+
+bool QueryContext::ObserveVirtualSeconds(double elapsed_seconds) {
+  if (virtual_deadline_seconds_ > 0.0 &&
+      elapsed_seconds > virtual_deadline_seconds_) {
+    Stop(StopCause::kVirtualDeadline);
+  }
+  return stopped();
+}
+
+Status QueryContext::ToStatus() const {
+  switch (stop_cause()) {
+    case StopCause::kNone:
+      return Status::OK();
+    case StopCause::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case StopCause::kWallDeadline:
+      return Status::DeadlineExceeded("query wall-clock deadline exceeded");
+    case StopCause::kVirtualDeadline:
+      return Status::DeadlineExceeded("query virtual-time deadline exceeded");
+    case StopCause::kCandidateBudget:
+      return Status::ResourceExhausted("candidate budget exhausted");
+    case StopCause::kDpCellBudget:
+      return Status::ResourceExhausted("dp cell budget exhausted");
+    case StopCause::kScratchBudget:
+      return Status::ResourceExhausted("scratch byte budget exceeded");
+  }
+  return Status::Internal("unknown stop cause");
+}
+
+void QueryContext::Reset() {
+  cancel_after_ops_.store(0, std::memory_order_relaxed);
+  ops_.store(0, std::memory_order_relaxed);
+  candidates_.store(0, std::memory_order_relaxed);
+  dp_cells_.store(0, std::memory_order_relaxed);
+  ops_at_stop_.store(0, std::memory_order_relaxed);
+  wall_polls_.store(0, std::memory_order_relaxed);
+  stop_cause_.store(static_cast<uint8_t>(StopCause::kNone),
+                    std::memory_order_release);
+  has_wall_deadline_ = false;
+  virtual_deadline_seconds_ = 0.0;
+  budget_ = ResourceBudget{};
+}
+
+}  // namespace dita

@@ -1,0 +1,161 @@
+#ifndef DITA_UTIL_QUERY_CONTEXT_H_
+#define DITA_UTIL_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace dita {
+
+/// Per-query resource budget. Every limit is a hard cap on work charged via
+/// QueryContext; 0 means unlimited. Exceeding a budget stops the query
+/// cooperatively — long-running loops observe the stop at their next charge
+/// point and the engine returns whatever subset of the answer was completed.
+struct ResourceBudget {
+  /// Cap on candidates emitted by trie traversals (summed over partitions).
+  uint64_t max_candidates = 0;
+  /// Cap on DP matrix cells admitted to verification (|T| x |Q| per pair).
+  uint64_t max_dp_cells = 0;
+  /// Cap on per-thread DP scratch bytes; checked before DP batches so one
+  /// giant trajectory pair cannot balloon a worker's scratch arena.
+  uint64_t max_scratch_bytes = 0;
+};
+
+/// Cooperative cancellation token + deadline + resource budget for one
+/// query. Allocation-free and thread-safe: one context is shared by the
+/// driver and every worker task of the query, all charge points are relaxed
+/// atomics, and the first stop cause wins and sticks.
+///
+/// Charge points are placed where the engine loops (trie node visits, DP
+/// kernel row blocks, verification candidates, stage boundaries), so a
+/// stopped query unwinds within a bounded amount of extra work — bounded by
+/// the checkpoint strides, measured in bench_cancellation.cpp — rather than
+/// at the next stage boundary.
+class QueryContext {
+ public:
+  /// Why the query stopped. kNone means it is still running (or finished).
+  enum class StopCause : uint8_t {
+    kNone = 0,
+    kCancelled,        // explicit Cancel() / CancelAfterOps trigger
+    kWallDeadline,     // wall-clock deadline passed
+    kVirtualDeadline,  // cost-model virtual time exceeded the deadline
+    kCandidateBudget,
+    kDpCellBudget,
+    kScratchBudget,
+  };
+
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  // --- Configuration. Set before handing the context to a query. ---
+
+  void set_budget(const ResourceBudget& budget) { budget_ = budget; }
+  const ResourceBudget& budget() const { return budget_; }
+
+  /// Wall-clock deadline, `seconds` from now (steady clock). Checked at
+  /// charge points, rate-limited so the hot path stays clock-free.
+  void SetWallDeadlineSeconds(double seconds);
+
+  /// Virtual-time deadline in cost-model seconds; the engine reports the
+  /// query's accumulated makespan at stage boundaries (ObserveVirtualSeconds)
+  /// and the context stops once it exceeds this. Deterministic under the
+  /// simulated clock, unlike the wall deadline. 0 disables.
+  void set_virtual_deadline_seconds(double seconds) {
+    virtual_deadline_seconds_ = seconds;
+  }
+
+  /// Deterministic self-cancel: the context cancels itself at the first
+  /// charge point where cumulative observed ops reach `n`. Tests and
+  /// bench_cancellation use this to place reproducible mid-flight
+  /// cancellations without racing a second thread. 0 disables.
+  void CancelAfterOps(uint64_t n) {
+    cancel_after_ops_.store(n, std::memory_order_relaxed);
+  }
+
+  // --- Control / inspection. ---
+
+  /// Requests a cooperative stop. Thread-safe, idempotent; the first stop
+  /// cause (from any thread) wins.
+  void Cancel() { Stop(StopCause::kCancelled); }
+
+  bool stopped() const {
+    return stop_cause_.load(std::memory_order_acquire) !=
+           static_cast<uint8_t>(StopCause::kNone);
+  }
+  StopCause stop_cause() const {
+    return static_cast<StopCause>(stop_cause_.load(std::memory_order_acquire));
+  }
+
+  /// OK while running; Cancelled / DeadlineExceeded / ResourceExhausted once
+  /// stopped, matching the engine's degraded-result tagging.
+  Status ToStatus() const;
+
+  /// Work units observed so far (trie node visits, DP rows, verification
+  /// candidates — whatever the charge points count).
+  uint64_t ops_observed() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+  /// ops_observed() sampled when the stop was first flagged; the difference
+  /// against the final ops_observed() is the work done after the stop — the
+  /// time-to-stop metric bench_cancellation reports.
+  uint64_t ops_at_stop() const {
+    return ops_at_stop_.load(std::memory_order_relaxed);
+  }
+  uint64_t candidates_charged() const {
+    return candidates_.load(std::memory_order_relaxed);
+  }
+  uint64_t dp_cells_charged() const {
+    return dp_cells_.load(std::memory_order_relaxed);
+  }
+
+  // --- Charge points (hot paths). All return true when the query must
+  // stop; callers unwind, dropping or tagging their partial output. ---
+
+  /// Observes `ops` units of work; evaluates the self-cancel trigger and
+  /// (rate-limited) the wall deadline.
+  bool CheckPoint(uint64_t ops);
+
+  /// Charges `n` emitted candidates against max_candidates.
+  bool ChargeCandidates(uint64_t n);
+
+  /// Charges `n` DP matrix cells against max_dp_cells.
+  bool ChargeDpCells(uint64_t n);
+
+  /// Tests a scratch arena size against max_scratch_bytes (a cap, not a
+  /// cumulative charge: scratch is reused, not consumed).
+  bool CheckScratchBytes(uint64_t bytes);
+
+  /// Driver-side: reports the query's accumulated virtual-time makespan at a
+  /// stage boundary; stops the query once it exceeds the virtual deadline.
+  bool ObserveVirtualSeconds(double elapsed_seconds);
+
+  /// Clears stop state and counters so one context can be reused across
+  /// sequential queries (tests, benches, the soak harness). Not thread-safe;
+  /// never call while a query is in flight.
+  void Reset();
+
+ private:
+  void Stop(StopCause cause);
+
+  ResourceBudget budget_;
+  double virtual_deadline_seconds_ = 0.0;
+  bool has_wall_deadline_ = false;
+  std::chrono::steady_clock::time_point wall_deadline_{};
+
+  std::atomic<uint64_t> cancel_after_ops_{0};
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> candidates_{0};
+  std::atomic<uint64_t> dp_cells_{0};
+  std::atomic<uint64_t> ops_at_stop_{0};
+  /// Rate limiter for wall-clock reads: only every 8th checkpoint touches
+  /// the clock, keeping charge points allocation- and syscall-free.
+  std::atomic<uint64_t> wall_polls_{0};
+  std::atomic<uint8_t> stop_cause_{0};
+};
+
+}  // namespace dita
+
+#endif  // DITA_UTIL_QUERY_CONTEXT_H_

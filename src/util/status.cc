@@ -22,6 +22,10 @@ const char* CodeName(Status::Code code) {
       return "DeadlineExceeded";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,8 @@ class Status {
     kInternal,
     kDeadlineExceeded,
     kUnavailable,
+    kCancelled,
+    kResourceExhausted,
   };
 
   Status() = default;
@@ -48,6 +50,16 @@ class Status {
   /// A worker or resource is (permanently or transiently) gone.
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
+  }
+  /// The caller cancelled the operation mid-flight (QueryContext). Results
+  /// produced before the stop are a valid subset of the full answer.
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  /// A per-query resource budget (candidates, DP cells, scratch bytes) was
+  /// exhausted; like kCancelled, any partial result is a subset.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -399,6 +399,113 @@ TEST(ClusterFaultTest, StageDeadlineSurfacesDeadlineExceeded) {
   EXPECT_TRUE(cluster.RunStage(std::move(tasks2)).ok());
 }
 
+TEST(ClusterDeadlineTest, KeptVectorIsDeterministicPrefixUnderDeadline) {
+  // Pin the deadline output state: tasks whose virtual charge fits inside
+  // StageOptions::deadline_seconds keep their outputs, later ones on the
+  // same worker are dropped — deterministically, via fixed ChargeCurrentTask
+  // charges rather than measured CPU.
+  ClusterConfig cfg;
+  cfg.num_workers = 1;  // one worker => charges accumulate in task order
+  Cluster cluster(cfg);
+  std::vector<Cluster::Task> tasks;
+  for (const double charge : {0.4, 0.4, 10.0, 0.4}) {
+    tasks.push_back({0, [charge] {
+      Cluster::ChargeCurrentTask(charge);
+      return Status::OK();
+    }});
+  }
+  StageOptions opts;
+  opts.name = "probe";
+  opts.deadline_seconds = 1.0;
+  std::vector<uint8_t> kept;
+  Status s = cluster.RunStage(std::move(tasks), opts, &kept);
+  EXPECT_EQ(s.code(), Status::Code::kDeadlineExceeded);
+  ASSERT_EQ(kept.size(), 4u);
+  // 0.4 and 0.8 fit; the 10-second task blows the budget; everything after
+  // it on the worker is already past the deadline too.
+  EXPECT_EQ(kept[0], 1);
+  EXPECT_EQ(kept[1], 1);
+  EXPECT_EQ(kept[2], 0);
+  EXPECT_EQ(kept[3], 0);
+  EXPECT_EQ(cluster.fault_stats().deadline_misses, 1u);
+
+  // Without a deadline every executed task is kept.
+  std::vector<Cluster::Task> tasks2;
+  tasks2.push_back({0, [] { return Status::OK(); }});
+  std::vector<uint8_t> kept2;
+  ASSERT_TRUE(cluster.RunStage(std::move(tasks2), StageOptions{}, &kept2).ok());
+  ASSERT_EQ(kept2.size(), 1u);
+  EXPECT_EQ(kept2[0], 1);
+}
+
+TEST(ClusterCancelTest, StoppedContextSkipsRemainingTasks) {
+  // A context that stops mid-stage: the task that cancels runs, later task
+  // bodies are skipped, kept marks exactly the completed prefix, and the
+  // stage surfaces the context's status.
+  ClusterConfig cfg;
+  cfg.num_workers = 1;
+  Cluster cluster(cfg);
+  QueryContext ctx;
+  int ran = 0;
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [&] {
+    ++ran;
+    return Status::OK();
+  }});
+  tasks.push_back({0, [&] {
+    ++ran;
+    ctx.Cancel();
+    return Status::OK();
+  }});
+  tasks.push_back({0, [&] {
+    ++ran;
+    return Status::OK();
+  }});
+  StageOptions opts;
+  opts.name = "search";
+  opts.ctx = &ctx;
+  std::vector<uint8_t> kept;
+  Status s = cluster.RunStage(std::move(tasks), opts, &kept);
+  EXPECT_EQ(s.code(), Status::Code::kCancelled);
+  EXPECT_EQ(ran, 2);  // third body never executed
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0], 1);
+  EXPECT_EQ(kept[1], 1);  // ran to completion before the skip took effect
+  EXPECT_EQ(kept[2], 0);
+}
+
+TEST(ClusterCancelTest, StoppedContextHaltsTransientRetries) {
+  // Retry accounting stops once the query's context has stopped: no further
+  // backoff or wasted-attempt charges accumulate for a dead query.
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  FaultPlan plan;
+  plan.transient_failure_prob = 1.0;  // every permitted attempt fails
+  std::vector<Cluster::Task> mk;
+
+  Cluster with_cancel(cfg);
+  with_cancel.InjectFaults(plan);
+  QueryContext ctx;
+  ctx.Cancel();
+  std::vector<Cluster::Task> tasks;
+  tasks.push_back({0, [] { return Status::OK(); }});
+  StageOptions opts;
+  opts.ctx = &ctx;
+  (void)with_cancel.RunStage(std::move(tasks), opts);
+  // The task was skipped outright (ctx stopped before the stage), so no
+  // attempts and no backoff were charged at all.
+  EXPECT_EQ(with_cancel.fault_stats().retries, 0u);
+  EXPECT_EQ(with_cancel.fault_stats().backoff_seconds, 0.0);
+
+  Cluster no_cancel(cfg);
+  no_cancel.InjectFaults(plan);
+  std::vector<Cluster::Task> tasks2;
+  tasks2.push_back({0, [] { return Status::OK(); }});
+  ASSERT_TRUE(no_cancel.RunStage(std::move(tasks2)).ok());
+  EXPECT_GT(no_cancel.fault_stats().retries, 0u);
+  EXPECT_GT(no_cancel.fault_stats().backoff_seconds, 0.0);
+}
+
 TEST(ClusterTest, MultiThreadedExecutionAccountsSameTotals) {
   ClusterConfig cfg;
   cfg.num_workers = 4;

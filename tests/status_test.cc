@@ -28,6 +28,9 @@ TEST(StatusTest, AllErrorConstructors) {
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             Status::Code::kDeadlineExceeded);
   EXPECT_EQ(Status::Unavailable("x").code(), Status::Code::kUnavailable);
+  EXPECT_EQ(Status::Cancelled("x").code(), Status::Code::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
 }
 
 TEST(StatusTest, EveryCodeRenders) {
@@ -39,9 +42,13 @@ TEST(StatusTest, EveryCodeRenders) {
   EXPECT_EQ(Status::Internal("m").ToString(), "Internal: m");
   EXPECT_EQ(Status::DeadlineExceeded("m").ToString(), "DeadlineExceeded: m");
   EXPECT_EQ(Status::Unavailable("m").ToString(), "Unavailable: m");
+  EXPECT_EQ(Status::Cancelled("m").ToString(), "Cancelled: m");
+  EXPECT_EQ(Status::ResourceExhausted("m").ToString(), "ResourceExhausted: m");
   // Empty messages render the bare code name.
   EXPECT_EQ(Status::DeadlineExceeded("").ToString(), "DeadlineExceeded");
   EXPECT_EQ(Status::Unavailable("").ToString(), "Unavailable");
+  EXPECT_EQ(Status::Cancelled("").ToString(), "Cancelled");
+  EXPECT_EQ(Status::ResourceExhausted("").ToString(), "ResourceExhausted");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -89,6 +96,23 @@ TEST(StatusTest, ReturnIfErrorPropagatesNewCodes) {
   Status unavailable = propagate(Status::Unavailable("worker 3 lost"));
   EXPECT_EQ(unavailable.code(), Status::Code::kUnavailable);
   EXPECT_EQ(unavailable.message(), "worker 3 lost");
+  Status cancelled = propagate(Status::Cancelled("caller gave up"));
+  EXPECT_EQ(cancelled.code(), Status::Code::kCancelled);
+  EXPECT_EQ(cancelled.message(), "caller gave up");
+  Status exhausted = propagate(Status::ResourceExhausted("dp cell budget"));
+  EXPECT_EQ(exhausted.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(exhausted.message(), "dp cell budget");
+}
+
+TEST(ResultTest, RoundTripsNewCodes) {
+  Result<int> cancelled = Status::Cancelled("stopped");
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), Status::Code::kCancelled);
+  EXPECT_EQ(cancelled.status().message(), "stopped");
+  Result<std::string> exhausted = Status::ResourceExhausted("budget");
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(exhausted.status().message(), "budget");
 }
 
 }  // namespace
