@@ -34,9 +34,9 @@ void Run(const Args& args) {
       const bool mbr_on = (mask & 1) == 0;
       const bool cell_on = (mask & 2) == 0;
       DitaConfig config = DefaultConfig();
-      config.cell_size = panel.cell_size;
-      config.enable_mbr_verification = mbr_on;
-      config.enable_cell_verification = cell_on;
+      config.verify.cell_size = panel.cell_size;
+      config.verify.enable_mbr = mbr_on;
+      config.verify.enable_cell = cell_on;
       auto cluster = MakeCluster(args.workers);
       DitaEngine engine(cluster, config);
       DITA_CHECK(engine.BuildIndex(panel.data).ok());

@@ -89,18 +89,18 @@ inline std::vector<double> PaperTaus() {
 /// enough for the pivot levels of the trie to engage).
 inline DitaConfig DefaultConfig() {
   DitaConfig config;
-  config.ng = 4;
-  config.trie.num_pivots = 4;
-  config.trie.align_fanout = 8;
-  config.trie.pivot_fanout = 4;
-  config.trie.leaf_capacity = 4;
-  config.cell_size = 0.005;
+  config.build.ng = 4;
+  config.build.trie.num_pivots = 4;
+  config.build.trie.align_fanout = 8;
+  config.build.trie.pivot_fanout = 4;
+  config.build.trie.leaf_capacity = 4;
+  config.verify.cell_size = 0.005;
   // bench_ablation_verification shows the quadratic cell bound never pays
   // at these dataset sizes: the double-direction DP rejects negatives in
   // O(rows-to-divergence) already. The engine default keeps the paper's
   // full pipeline; the harness measures the configuration that is actually
   // fastest here.
-  config.enable_cell_verification = false;
+  config.verify.enable_cell = false;
   return config;
 }
 

@@ -24,15 +24,15 @@ void RunPanels(const Args& args) {
   // many cells, and D must grow with trajectory extent for the cell filter
   // to stay cheaper than the early-abandoning DP it guards.
   DitaConfig osm_config = DefaultConfig();
-  osm_config.ng = 6;
-  osm_config.trie.num_pivots = 5;
-  osm_config.trie.align_fanout = 16;
-  osm_config.trie.pivot_fanout = 8;
-  osm_config.trie.leaf_capacity = 16;
-  osm_config.cell_size = 0.02;
+  osm_config.build.ng = 6;
+  osm_config.build.trie.num_pivots = 5;
+  osm_config.build.trie.align_fanout = 16;
+  osm_config.build.trie.pivot_fanout = 8;
+  osm_config.build.trie.leaf_capacity = 16;
+  osm_config.verify.cell_size = 0.02;
   // Long worldwide trajectories have many cells; the quadratic cell bound
   // costs more than the early-abandoning DP it would save here.
-  osm_config.enable_cell_verification = false;
+  osm_config.verify.enable_cell = false;
 
   for (DistanceType distance : {DistanceType::kDTW, DistanceType::kFrechet}) {
     const char* dname = DistanceTypeName(distance);

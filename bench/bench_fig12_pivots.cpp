@@ -42,7 +42,7 @@ void Run(const Args& args) {
          {PivotStrategy::kInflectionPoint, PivotStrategy::kNeighborDistance,
           PivotStrategy::kFirstLastDistance}) {
       DitaConfig config = DefaultConfig();
-      config.trie.strategy = strategy;
+      config.build.trie.strategy = strategy;
       std::vector<double> row;
       for (double tau : taus) {
         row.push_back(JoinSeconds(panel.data, args.workers, tau, config));
@@ -55,7 +55,7 @@ void Run(const Args& args) {
     PrintHeader(StrFormat("pivot size K on %s, join seconds", panel.name), cols);
     for (size_t k : {2u, 3u, 4u, 5u, 6u}) {
       DitaConfig config = DefaultConfig();
-      config.trie.num_pivots = k;
+      config.build.trie.num_pivots = k;
       std::vector<double> row;
       for (double tau : taus) {
         row.push_back(JoinSeconds(panel.data, args.workers, tau, config));

@@ -28,7 +28,7 @@ void Run(const Args& args) {
         StrFormat("partitioning scheme on %s, join seconds", panel.name), cols);
     for (bool random : {false, true}) {
       DitaConfig config = DefaultConfig();
-      config.random_partitioning = random;
+      config.build.random_partitioning = random;
       std::vector<double> row;
       std::vector<double> mb;
       for (double tau : taus) {

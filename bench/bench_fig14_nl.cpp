@@ -29,8 +29,8 @@ void Run(const Args& args) {
     PrintHeader(StrFormat("varying N_L on %s, join seconds", panel.name), cols);
     for (size_t nl : {4u, 8u, 16u, 32u, 64u}) {
       DitaConfig config = DefaultConfig();
-      config.trie.align_fanout = nl;
-      config.trie.pivot_fanout = std::max<size_t>(2, nl / 2);
+      config.build.trie.align_fanout = nl;
+      config.build.trie.pivot_fanout = std::max<size_t>(2, nl / 2);
       std::vector<double> row;
       for (double tau : taus) {
         auto cluster = MakeCluster(args.workers);

@@ -55,7 +55,7 @@ void Run(const Args& args) {
       DitaConfig config = DefaultConfig();
       // More partitions than workers so orientation/division have room to
       // redistribute work (the paper runs 4096 partitions on 256 cores).
-      config.ng = 8;
+      config.build.ng = 8;
       config.enable_graph_orientation = balanced;
       config.enable_division_balancing = balanced;
       const char* name = balanced ? "DITA" : "Naive";

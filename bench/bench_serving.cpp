@@ -1,0 +1,308 @@
+// The serving runtime under sustained load: a seeded open-loop arrival
+// process (exponential inter-arrivals, mixed search/kNN traffic, a bulk
+// self-join riding along at low priority) against a DitaService whose table
+// is mutating the whole time — a writer streams far-region inserts/deletes
+// fast enough to cross the merge threshold repeatedly, so background epoch
+// merges rebuild the base indexes mid-measurement.
+//
+// Reported per run:
+//  * sustained QPS and open-loop p50/p99 wall latency (measured from the
+//    *scheduled* arrival instant, so queue wait and coordinated omission
+//    are charged to the service, not hidden by a slow issuer);
+//  * ingest volume, epoch merges completed, final epoch;
+//  * wrong_answers — every point query's result is compared against a
+//    batch-engine oracle precomputed on the untouched base region (writers
+//    only touch a far-away region, so base answers are version-independent
+//    no matter which snapshot a query pins), and a final self-join is
+//    compared against a fresh batch engine on the settled live set. The
+//    serving runtime's contract is exactness; this must print 0.
+//
+// Emits BENCH_serving.json next to the other BENCH_*.json files.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serving/service.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+Dataset Region(size_t n, uint64_t seed, double lo, double hi) {
+  GeneratorConfig cfg;
+  cfg.cardinality = n;
+  cfg.region = MBR(Point{lo, lo}, Point{hi, hi});
+  cfg.step = 0.01;
+  cfg.avg_len = 24;
+  cfg.min_len = 6;
+  cfg.max_len = 64;
+  cfg.seed = seed;
+  return GenerateTaxiDataset(cfg);
+}
+
+double PercentileMs(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * double(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct RunResult {
+  size_t queries = 0;
+  size_t wrong_answers = 0;
+  double elapsed_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t inserts = 0;
+  size_t deletes = 0;
+  uint64_t merges = 0;
+  uint64_t final_epoch = 0;
+  double join_seconds = 0.0;
+  size_t join_pairs = 0;
+  bool join_matches_oracle = false;
+  uint64_t scheduler_bypasses = 0;
+  uint64_t scheduler_shed = 0;
+};
+
+RunResult Run(const bench::Args& args) {
+  RunResult out;
+  const size_t base_n = static_cast<size_t>(1200 * args.scale);
+  const size_t far_n = static_cast<size_t>(320 * args.scale);
+  const Dataset base = Region(base_n, 42, 0.0, 1.0);
+  const Dataset far = Region(far_n, 43, 10.0, 11.0);
+
+  DitaConfig config = bench::DefaultConfig();
+  config.serving.merge_threshold = 64;  // several epoch merges per run
+  config.serving.scheduler_threads = 2;
+  auto cluster = bench::MakeCluster(args.workers);
+  DitaService service(cluster, config);
+  DITA_CHECK(service.Start(base).ok());
+
+  // Oracle answers on the untouched base region (far-region ingest cannot
+  // change them, whichever snapshot version a query later pins).
+  constexpr size_t kProbes = 24;
+  const double tau = 0.003;
+  const size_t k = 5;
+  std::vector<const Trajectory*> probes;
+  std::vector<std::vector<TrajectoryId>> expect_search(kProbes);
+  std::vector<std::vector<std::pair<TrajectoryId, double>>> expect_knn(kProbes);
+  for (size_t i = 0; i < kProbes; ++i) {
+    probes.push_back(&base[(i * 131) % base.size()]);
+    QueryRequest sr;
+    sr.kind = QueryKind::kSearch;
+    sr.query = *probes[i];
+    sr.tau = tau;
+    auto s = service.Execute(sr);
+    DITA_CHECK(s.ok());
+    expect_search[i] = s->ids;
+    QueryRequest kr;
+    kr.kind = QueryKind::kKnnSearch;
+    kr.query = *probes[i];
+    kr.k = k;
+    auto n = service.Execute(kr);
+    DITA_CHECK(n.ok());
+    expect_knn[i] = n->neighbors;
+  }
+
+  // --- The measured window: writer + open-loop query issuers + one bulk
+  // low-priority self-join sharing the slot pool.
+  using Clock = std::chrono::steady_clock;
+  const double run_seconds = 3.0;
+  const double target_qps = 150.0 * double(std::max<size_t>(args.queries, 1)) / 50.0;
+  const auto t0 = Clock::now();
+
+  std::atomic<size_t> inserts{0}, deletes{0}, wrong{0};
+  std::thread writer([&] {
+    // Spread the far-region stream across the window; every 4th op (after
+    // a warm buffer) retires an older insert so merges see real deletes.
+    const double gap_s = run_seconds / double(far.size());
+    for (size_t i = 0; i < far.size(); ++i) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration<double>(gap_s * double(i)));
+      if (service.Insert(Trajectory(TrajectoryId(50000 + i),
+                                    far[i].points()))
+              .ok()) {
+        ++inserts;
+      }
+      if (i >= 40 && i % 4 == 0 &&
+          service.Delete(TrajectoryId(50000 + i - 40)).ok()) {
+        ++deletes;
+      }
+    }
+  });
+
+  std::thread joiner([&] {
+    QueryRequest req;
+    req.kind = QueryKind::kJoin;
+    req.tau = tau;
+    req.priority = 2;  // bulk analytics: fair-share keeps searches flowing
+    WallTimer timer;
+    auto r = service.Execute(req);
+    out.join_seconds = timer.Seconds();
+    if (r.ok()) out.join_pairs = r->pairs.size();
+  });
+
+  // Open-loop arrivals: one seeded exponential schedule, dealt round-robin
+  // to a fixed issuer pool; each latency is completion minus *scheduled*
+  // arrival.
+  constexpr size_t kIssuers = 6;
+  std::vector<std::vector<double>> arrivals(kIssuers);
+  {
+    std::mt19937_64 rng(20260808);
+    std::exponential_distribution<double> gap(target_qps);
+    double t = 0.0;
+    for (size_t i = 0; t < run_seconds; ++i) {
+      t += gap(rng);
+      arrivals[i % kIssuers].push_back(t);
+    }
+  }
+  std::vector<std::vector<double>> latencies(kIssuers);
+  std::vector<std::thread> issuers;
+  for (size_t w = 0; w < kIssuers; ++w) {
+    issuers.emplace_back([&, w] {
+      std::mt19937_64 rng(7700 + w);
+      for (size_t i = 0; i < arrivals[w].size(); ++i) {
+        const auto due =
+            t0 + std::chrono::duration<double>(arrivals[w][i]);
+        std::this_thread::sleep_until(due);
+        const size_t pi = size_t(rng()) % kProbes;
+        const bool knn = (rng() % 5) == 0;  // 20% kNN, 80% search
+        QueryRequest req;
+        req.query = *probes[pi];
+        req.priority = 0;
+        if (knn) {
+          req.kind = QueryKind::kKnnSearch;
+          req.k = k;
+        } else {
+          req.kind = QueryKind::kSearch;
+          req.tau = tau;
+        }
+        auto r = service.Execute(req);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - due)
+                .count();
+        if (!r.ok()) {
+          ++wrong;
+          continue;
+        }
+        latencies[w].push_back(ms);
+        if (knn ? (r->neighbors != expect_knn[pi])
+                : (r->ids != expect_search[pi])) {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (auto& th : issuers) th.join();
+  writer.join();
+  joiner.join();
+  out.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  // --- Settle and run the join oracle on the final live set.
+  DITA_CHECK(service.ForceMerge().ok());
+  {
+    QueryRequest req;
+    req.kind = QueryKind::kJoin;
+    req.tau = tau;
+    auto served = service.Execute(req);
+    DITA_CHECK(served.ok());
+
+    std::vector<Trajectory> live = base.trajectories();
+    const auto snap = service.Pin();
+    for (const Trajectory& t : *snap->base_data) {
+      if (t.id() >= 50000) live.push_back(t);
+    }
+    DitaEngine batch(cluster, bench::DefaultConfig());
+    DITA_CHECK(batch.BuildIndex(Dataset(live)).ok());
+    auto oracle = batch.Join(batch, tau);
+    DITA_CHECK(oracle.ok());
+    auto a = served->pairs;
+    auto b = *oracle;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    out.join_matches_oracle = (a == b);
+    if (!out.join_matches_oracle) ++wrong;
+  }
+
+  std::vector<double> all_lat;
+  for (const auto& v : latencies) {
+    all_lat.insert(all_lat.end(), v.begin(), v.end());
+  }
+  out.queries = all_lat.size();
+  out.wrong_answers = wrong.load();
+  out.qps = double(out.queries) / out.elapsed_s;
+  out.p50_ms = PercentileMs(all_lat, 0.50);
+  out.p99_ms = PercentileMs(all_lat, 0.99);
+  out.inserts = inserts.load();
+  out.deletes = deletes.load();
+  out.merges = service.merges();
+  out.final_epoch = service.epoch();
+  out.scheduler_bypasses = service.scheduler().bypasses();
+  out.scheduler_shed = service.scheduler().shed();
+  return out;
+}
+
+void WriteJson(const char* path, const bench::Args& args,
+               const RunResult& r) {
+  std::string json = "{\n";
+  json += "  \"meta\": " + bench::MetaJson() + ",\n";
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"workload\": {\"scale\": %.2f, \"workers\": %zu, "
+      "\"run_seconds\": %.2f},\n"
+      "  \"open_loop\": {\"queries\": %zu, \"qps\": %.1f, "
+      "\"p50_ms\": %.3f, \"p99_ms\": %.3f},\n"
+      "  \"ingest\": {\"inserts\": %zu, \"deletes\": %zu, "
+      "\"epoch_merges\": %llu, \"final_epoch\": %llu},\n"
+      "  \"bulk_join\": {\"seconds\": %.3f, \"pairs\": %zu, "
+      "\"matches_batch_oracle\": %s},\n"
+      "  \"scheduler\": {\"bypasses\": %llu, \"shed\": %llu},\n"
+      "  \"wrong_answers\": %zu\n}\n",
+      args.scale, args.workers, r.elapsed_s, r.queries, r.qps, r.p50_ms,
+      r.p99_ms, r.inserts, r.deletes,
+      static_cast<unsigned long long>(r.merges),
+      static_cast<unsigned long long>(r.final_epoch), r.join_seconds,
+      r.join_pairs, r.join_matches_oracle ? "true" : "false",
+      static_cast<unsigned long long>(r.scheduler_bypasses),
+      static_cast<unsigned long long>(r.scheduler_shed), r.wrong_answers);
+  json += buf;
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace dita
+
+int main(int argc, char** argv) {
+  auto args = dita::bench::ParseArgs(argc, argv);
+  std::printf("Serving runtime under open-loop load (scale=%.2f workers=%zu)\n",
+              args.scale, args.workers);
+  const auto r = dita::Run(args);
+  std::printf(
+      "queries=%zu qps=%.1f p50=%.3fms p99=%.3fms | inserts=%zu deletes=%zu "
+      "merges=%llu epoch=%llu | join=%.3fs pairs=%zu oracle=%s | wrong=%zu\n",
+      r.queries, r.qps, r.p50_ms, r.p99_ms, r.inserts, r.deletes,
+      static_cast<unsigned long long>(r.merges),
+      static_cast<unsigned long long>(r.final_epoch), r.join_seconds,
+      r.join_pairs, r.join_matches_oracle ? "yes" : "NO", r.wrong_answers);
+  dita::WriteJson("BENCH_serving.json", args, r);
+  return r.wrong_answers == 0 ? 0 : 1;
+}

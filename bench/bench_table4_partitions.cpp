@@ -27,7 +27,7 @@ void Run(const Args& args) {
                 {"search_ms", "join_s"});
     for (size_t ng : {2u, 4u, 8u, 16u}) {
       DitaConfig config = DefaultConfig();
-      config.ng = ng;
+      config.build.ng = ng;
       auto cluster = MakeCluster(args.workers);
       DitaEngine engine(cluster, config);
       DITA_CHECK(engine.BuildIndex(panel.data).ok());

@@ -17,6 +17,8 @@
 #                      # build with tracing/metrics enabled
 #   ./ci.sh chaos      # robustness: seeded chaos/soak + cancellation +
 #                      # admission tests under ASan/UBSan and TSan
+#   ./ci.sh serving    # serving runtime: scheduler/ingest/oracle tests plus
+#                      # the concurrent snapshot-pinning soak under TSan
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -48,7 +50,7 @@ native_filter='Oracle|ThresholdEdge|DpScratch|Dtw|Frechet|Edr|Lcss|Erp|Distance|
 # threads: the pool itself, parallel index construction and tiling sorts
 # (FlatTrie/FlatStrTile), batched parallel verification, and the cluster
 # runtime's threaded stages.
-tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|Cancellation|AdmissionGate|ChaosSoak'
+tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|Cancellation|AdmissionGate|ChaosSoak|Serving|QueryScheduler|DitaService'
 
 # The chaos pass: the seeded chaos/soak harness (fault injection + random
 # mid-flight cancellation + tight budgets + the admission gate) plus the
@@ -63,6 +65,13 @@ chaos_filter='ChaosSoak|Cancellation|AdmissionGate'
 # end-to-end tests, and the same set under TSan so lock-free metric updates
 # and the traced cluster paths are race-checked with observability ON.
 obs_filter='Obs|Funnel|Logging|obs_demo_schema'
+
+# The serving pass: the unified-API alias tests, scheduler fair-share and
+# cost-admission regressions, the streaming-ingest batch-oracle property,
+# and the concurrent soak (ingest + background epoch merges + sync/async
+# queries racing) — plain first, then under TSan so snapshot pinning, the
+# merge thread, and the executor pool are race-checked.
+serving_filter='Serving|QueryScheduler|AdmissionGateCost|ExecuteAlias|DitaService|DataFrame'
 
 case "${mode}" in
   plain)    run_pass build ;;
@@ -79,6 +88,10 @@ case "${mode}" in
                      -DDITA_SANITIZE=address
             run_pass build-tsan "--filter=${chaos_filter}" \
                      -DDITA_SANITIZE=thread ;;
+  serving)  run_pass build "--filter=${serving_filter}"
+            ./build/examples/serving_demo
+            run_pass build-tsan "--filter=${serving_filter}" \
+                     -DDITA_SANITIZE=thread ;;
   all)      run_pass build
             ./build/examples/obs_demo --selftest
             run_pass build-asan -DDITA_SANITIZE=address
@@ -86,7 +99,7 @@ case "${mode}" in
                      -DDITA_SANITIZE=thread
             run_pass build-native "--filter=${native_filter}" \
                      -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
-  *) echo "usage: $0 [plain|sanitize|tsan|native|obs|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|sanitize|tsan|native|obs|chaos|serving|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: all passes green"

@@ -20,7 +20,7 @@ int main() {
   cluster_config.num_workers = 16;
   auto cluster = std::make_shared<Cluster>(cluster_config);
   DitaConfig config;
-  config.ng = 5;
+  config.build.ng = 5;
   DataFrameContext ctx(cluster, config);
 
   // Rush-hour trips, heavily hub-skewed (airport / station runs) — exactly

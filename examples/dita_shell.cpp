@@ -23,7 +23,7 @@ int main() {
   cluster_config.num_workers = 16;
   auto cluster = std::make_shared<Cluster>(cluster_config);
   DitaConfig config;
-  config.ng = 5;
+  config.build.ng = 5;
   SqlEngine engine(cluster, config);
 
   Dataset beijing = GenerateBeijingLike(0.2, 1);

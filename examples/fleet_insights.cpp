@@ -29,7 +29,7 @@ int main() {
   std::printf("fleet: %zu trips over one day\n", fleet.size());
 
   DitaConfig config;
-  config.ng = 5;
+  config.build.ng = 5;
   DitaEngine engine(cluster, config);
   if (Status st = engine.BuildIndex(fleet); !st.ok()) {
     std::fprintf(stderr, "BuildIndex: %s\n", st.ToString().c_str());

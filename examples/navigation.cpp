@@ -21,8 +21,8 @@ int main() {
   std::printf("history: %zu past trips\n", history.size());
 
   DitaConfig config;
-  config.ng = 6;
-  config.trie.num_pivots = 5;  // Chengdu's longer trips favour K = 5 (§B)
+  config.build.ng = 6;
+  config.build.trie.num_pivots = 5;  // Chengdu's longer trips favour K = 5 (§B)
   DitaEngine engine(cluster, config);
   if (Status st = engine.BuildIndex(history); !st.ok()) {
     std::fprintf(stderr, "BuildIndex: %s\n", st.ToString().c_str());

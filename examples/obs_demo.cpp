@@ -64,8 +64,8 @@ int main(int argc, char** argv) {
   auto cluster = std::make_shared<Cluster>(cluster_config);
 
   DitaConfig config;
-  config.ng = 4;
-  config.trie.num_pivots = 4;
+  config.build.ng = 4;
+  config.build.trie.num_pivots = 4;
   config.enable_tracing = true;
   config.enable_metrics = true;
 

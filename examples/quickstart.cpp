@@ -27,8 +27,8 @@ int main() {
   // 3. Index: STR first/last partitioning + global R-trees + per-partition
   //    pivot tries (CREATE INDEX TrieIndex ON taxis USE TRIE).
   DitaConfig config;
-  config.ng = 6;
-  config.trie.num_pivots = 4;
+  config.build.ng = 6;
+  config.build.trie.num_pivots = 4;
   DitaEngine engine(cluster, config);
   if (Status st = engine.BuildIndex(taxis); !st.ok()) {
     std::fprintf(stderr, "BuildIndex: %s\n", st.ToString().c_str());

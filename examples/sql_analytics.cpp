@@ -31,7 +31,7 @@ int main() {
   cluster_config.num_workers = 16;
   auto cluster = std::make_shared<Cluster>(cluster_config);
   DitaConfig config;
-  config.ng = 5;
+  config.build.ng = 5;
   SqlEngine sql(cluster, config);
 
   // Two city-scale tables: morning and evening taxi trips.

@@ -20,11 +20,11 @@ Status CentralizedDita::Build(const Dataset& data, const DitaConfig& config) {
   // No cluster ledger here; the pool's only effect is wall-clock (and the
   // build is bit-identical to the serial one either way).
   std::unique_ptr<ThreadPool> pool;
-  if (config.build_threads > 0) {
-    pool = std::make_unique<ThreadPool>(config.build_threads);
+  if (config.build.threads > 0) {
+    pool = std::make_unique<ThreadPool>(config.build.threads);
   }
   DITA_RETURN_IF_ERROR(
-      trie_.Build(data.trajectories(), config.trie, pool.get()));
+      trie_.Build(data.trajectories(), config.build.trie, pool.get()));
   precomp_.clear();
   precomp_.resize(trie_.size());
   ThreadPool::ParallelFor(
@@ -32,7 +32,7 @@ Status CentralizedDita::Build(const Dataset& data, const DitaConfig& config) {
       [this, &config](size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i) {
           precomp_[i] = VerifyPrecomp::For(trie_.trajectories()[i],
-                                           config.cell_size);
+                                           config.verify.cell_size);
         }
       });
   build_seconds_ = timer.Seconds();
@@ -60,7 +60,7 @@ Result<std::vector<TrajectoryId>> CentralizedDita::Search(
   std::vector<uint32_t>& candidates = scratch.Candidates();
   candidates.clear();
   trie_.CollectCandidates(spec, &candidates);
-  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
+  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.verify.cell_size);
 
   SearchStats local;
   local.candidates = candidates.size();

@@ -9,7 +9,7 @@ namespace dita {
 
 void AdmissionGate::Ticket::Release() {
   if (gate_ != nullptr) {
-    gate_->ReleaseSlot();
+    gate_->ReleaseSlot(cost_);
     gate_ = nullptr;
   }
 }
@@ -18,13 +18,42 @@ AdmissionGate::AdmissionGate(const Options& options) : options_(options) {
   DITA_CHECK(options_.max_inflight >= 1);
 }
 
-Status AdmissionGate::Admit(QueryContext* ctx, Ticket* out) {
+bool AdmissionGate::CostFitsLocked(uint64_t cost) const {
+  if (options_.max_inflight_cost == 0) return true;
+  // An oversized query is admitted when it runs alone; otherwise nothing
+  // with cost > budget could ever run.
+  if (inflight_ == 0) return true;
+  return inflight_cost_ + cost <= options_.max_inflight_cost;
+}
+
+bool AdmissionGate::CanAdmitLocked(size_t pos) const {
+  if (inflight_ >= options_.max_inflight) return false;
+  if (!CostFitsLocked(waiting_[pos].cost)) return false;
+  for (size_t i = 0; i < pos; ++i) {
+    // Someone ahead could run right now: FIFO order wins, let them.
+    if (CostFitsLocked(waiting_[i].cost)) return false;
+    // Aging: a waiter bypassed too often blocks further jumps, so large
+    // queries cannot be starved by a stream of small ones.
+    if (waiting_[i].bypassed >= options_.max_bypass) return false;
+  }
+  return true;
+}
+
+void AdmissionGate::AdmitLocked(uint64_t cost) {
+  ++inflight_;
+  inflight_cost_ += cost;
+  high_water_ = std::max(high_water_, inflight_);
+  cost_high_water_ = std::max(cost_high_water_, inflight_cost_);
+  ++admitted_;
+}
+
+Status AdmissionGate::Admit(QueryContext* ctx, uint64_t cost, Ticket* out) {
+  if (options_.max_inflight_cost == 0) cost = 0;
   std::unique_lock<std::mutex> lock(mu_);
-  if (inflight_ < options_.max_inflight && waiting_.empty()) {
-    ++inflight_;
-    high_water_ = std::max(high_water_, inflight_);
-    ++admitted_;
-    *out = Ticket(this);
+  if (inflight_ < options_.max_inflight && waiting_.empty() &&
+      CostFitsLocked(cost)) {
+    AdmitLocked(cost);
+    *out = Ticket(this, cost);
     return Status::OK();
   }
   if (waiting_.size() >= options_.max_queued) {
@@ -32,22 +61,30 @@ Status AdmissionGate::Admit(QueryContext* ctx, Ticket* out) {
     return Status::Unavailable("admission queue full");
   }
   const uint64_t my = next_waiter_++;
-  waiting_.push_back(my);
+  waiting_.push_back(Waiter{my, cost, 0});
   while (true) {
     if (ctx != nullptr && ctx->stopped()) {
       // The caller gave up while queued; leave without a slot. Waiters
       // behind us move up.
-      waiting_.erase(std::find(waiting_.begin(), waiting_.end(), my));
+      waiting_.erase(std::find_if(
+          waiting_.begin(), waiting_.end(),
+          [my](const Waiter& w) { return w.id == my; }));
       cv_.notify_all();
       return ctx->ToStatus();
     }
-    if (inflight_ < options_.max_inflight && waiting_.front() == my) {
-      waiting_.pop_front();
-      ++inflight_;
-      high_water_ = std::max(high_water_, inflight_);
-      ++admitted_;
+    const auto it = std::find_if(waiting_.begin(), waiting_.end(),
+                                 [my](const Waiter& w) { return w.id == my; });
+    const size_t pos = static_cast<size_t>(it - waiting_.begin());
+    if (CanAdmitLocked(pos)) {
+      // Every waiter ahead was cost-blocked; this admission jumps them.
+      for (size_t i = 0; i < pos; ++i) {
+        ++waiting_[i].bypassed;
+        ++bypasses_;
+      }
+      waiting_.erase(it);
+      AdmitLocked(cost);
       cv_.notify_all();
-      *out = Ticket(this);
+      *out = Ticket(this, cost);
       return Status::OK();
     }
     // Bounded wait so a queued query notices its context stopping even if no
@@ -56,11 +93,13 @@ Status AdmissionGate::Admit(QueryContext* ctx, Ticket* out) {
   }
 }
 
-void AdmissionGate::ReleaseSlot() {
+void AdmissionGate::ReleaseSlot(uint64_t cost) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     DITA_CHECK(inflight_ > 0);
     --inflight_;
+    DITA_CHECK(inflight_cost_ >= cost);
+    inflight_cost_ -= cost;
   }
   cv_.notify_all();
 }
@@ -80,6 +119,11 @@ size_t AdmissionGate::inflight() const {
   return inflight_;
 }
 
+uint64_t AdmissionGate::inflight_cost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_cost_;
+}
+
 size_t AdmissionGate::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
   return waiting_.size();
@@ -88,6 +132,16 @@ size_t AdmissionGate::queued() const {
 size_t AdmissionGate::inflight_high_water() const {
   std::lock_guard<std::mutex> lock(mu_);
   return high_water_;
+}
+
+uint64_t AdmissionGate::cost_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cost_high_water_;
+}
+
+uint64_t AdmissionGate::bypasses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bypasses_;
 }
 
 }  // namespace dita

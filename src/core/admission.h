@@ -18,6 +18,15 @@ namespace dita {
 /// unbounded pile-up. A queued query whose QueryContext stops (cancel or
 /// wall deadline) leaves the queue with the context's status rather than
 /// waiting for a slot it no longer wants.
+///
+/// With `max_inflight_cost` set, admission additionally keys on each
+/// query's estimated cost (QueryRequest::cost_hint or
+/// DitaEngine::EstimateQueryCost): the total cost of in-flight queries
+/// stays within the budget, and a small query may bypass a larger one
+/// blocked at the head of the queue — up to `max_bypass` times, after which
+/// the large query's turn becomes mandatory. One giant join therefore
+/// consumes budget, not the whole gate: point searches keep flowing past it
+/// while it waits, and it still cannot starve.
 class AdmissionGate {
  public:
   struct Options {
@@ -26,18 +35,30 @@ class AdmissionGate {
     /// Queries allowed to wait when all slots are taken; 0 sheds on any
     /// contention.
     size_t max_queued = 0;
+    /// Total estimated cost units admitted concurrently; 0 disables cost
+    /// accounting (the gate then keys on query count alone). A query whose
+    /// cost alone exceeds the budget is still admitted when it is the only
+    /// one in flight, so oversized queries run serially instead of hanging.
+    uint64_t max_inflight_cost = 0;
+    /// Bound on how often a waiter may be bypassed by smaller queries that
+    /// fit the remaining cost budget; once reached, the gate stops
+    /// admitting around it (starvation bound).
+    size_t max_bypass = 16;
   };
 
   /// RAII in-flight slot. Move-only; releasing (destruction) frees the slot
-  /// and wakes the head-of-line waiter. A default-constructed ticket holds
+  /// and its cost and wakes the waiters. A default-constructed ticket holds
   /// nothing, so budgets are released on every exit path by construction.
   class Ticket {
    public:
     Ticket() = default;
-    Ticket(Ticket&& o) noexcept : gate_(o.gate_) { o.gate_ = nullptr; }
+    Ticket(Ticket&& o) noexcept : gate_(o.gate_), cost_(o.cost_) {
+      o.gate_ = nullptr;
+    }
     Ticket& operator=(Ticket&& o) noexcept {
       Release();
       gate_ = o.gate_;
+      cost_ = o.cost_;
       o.gate_ = nullptr;
       return *this;
     }
@@ -50,42 +71,71 @@ class AdmissionGate {
 
    private:
     friend class AdmissionGate;
-    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    Ticket(AdmissionGate* gate, uint64_t cost) : gate_(gate), cost_(cost) {}
     AdmissionGate* gate_ = nullptr;
+    uint64_t cost_ = 0;
   };
 
   explicit AdmissionGate(const Options& options);
 
-  /// Blocks until a slot is granted (FIFO among waiters), the queue is full
-  /// (returns Unavailable without waiting), or `ctx` (may be null) stops
-  /// while queued (returns the context's status). On OK, `*out` holds the
-  /// slot.
-  Status Admit(QueryContext* ctx, Ticket* out);
+  /// Blocks until a slot (and, with cost accounting on, cost budget) is
+  /// granted, the queue is full (returns Unavailable without waiting), or
+  /// `ctx` (may be null) stops while queued (returns the context's status).
+  /// On OK, `*out` holds the slot. `cost` is the query's estimated cost in
+  /// the same units as Options::max_inflight_cost; it is ignored when cost
+  /// accounting is disabled.
+  Status Admit(QueryContext* ctx, uint64_t cost, Ticket* out);
+  Status Admit(QueryContext* ctx, Ticket* out) { return Admit(ctx, 1, out); }
 
   /// Counters for tests and overload dashboards.
   uint64_t admitted() const;
   uint64_t shed() const;
   size_t inflight() const;
+  /// Estimated cost units currently in flight.
+  uint64_t inflight_cost() const;
   /// Queries currently waiting in the FIFO queue.
   size_t queued() const;
   /// Maximum concurrent in-flight queries ever observed; the gate's core
   /// invariant is high_water() <= max_inflight.
   size_t inflight_high_water() const;
+  /// Maximum concurrent in-flight cost ever observed; stays within
+  /// max_inflight_cost except for a single oversized query running alone.
+  uint64_t cost_high_water() const;
+  /// Times a smaller query was admitted around a larger queued one.
+  uint64_t bypasses() const;
 
  private:
-  void ReleaseSlot();
+  struct Waiter {
+    uint64_t id = 0;
+    uint64_t cost = 0;
+    /// Times smaller queries were admitted around this waiter.
+    size_t bypassed = 0;
+  };
+
+  /// True when `cost` fits the remaining cost budget (or accounting is
+  /// off, or nothing is in flight). Caller holds mu_.
+  bool CostFitsLocked(uint64_t cost) const;
+  /// Admission test for waiter `pos` (index into waiting_): a slot is free,
+  /// its cost fits, and every waiter ahead of it currently does not fit and
+  /// has bypass allowance left. Caller holds mu_.
+  bool CanAdmitLocked(size_t pos) const;
+  void AdmitLocked(uint64_t cost);
+  void ReleaseSlot(uint64_t cost);
 
   const Options options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   size_t inflight_ = 0;
+  uint64_t inflight_cost_ = 0;
   size_t high_water_ = 0;
+  uint64_t cost_high_water_ = 0;
   uint64_t admitted_ = 0;
   uint64_t shed_ = 0;
+  uint64_t bypasses_ = 0;
   uint64_t next_waiter_ = 0;
-  /// FIFO of waiter ids; the head is admitted first. A cancelled waiter
-  /// removes its own id.
-  std::deque<uint64_t> waiting_;
+  /// FIFO of waiters; the head is admitted first unless cost-based bypass
+  /// applies. A cancelled waiter removes its own entry.
+  std::deque<Waiter> waiting_;
 };
 
 }  // namespace dita

@@ -2,31 +2,131 @@
 #define DITA_CORE_CONFIG_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "distance/distance.h"
 #include "index/trie_index.h"
 
 namespace dita {
 
-/// All tuning knobs of a DITA engine instance. Defaults follow the paper's
-/// defaults (Table 3) scaled to this repository's laptop-size datasets.
+/// All tuning knobs of a DITA engine instance, grouped by lifecycle stage:
+/// `build` governs index construction, `verify` the verification pipeline,
+/// and `serving` the long-lived query runtime (admission, scheduling,
+/// streaming ingest). Defaults follow the paper's defaults (Table 3) scaled
+/// to this repository's laptop-size datasets.
 struct DitaConfig {
-  /// N_G: trajectories are grouped into N_G buckets by first point and each
-  /// bucket into N_G sub-buckets by last point, giving up to N_G^2
-  /// partitions (§4.2.1). The paper uses 32-256 at 10M+ trajectories; at
-  /// our scale the equivalent sweet spot is single digits.
-  size_t ng = 8;
+  /// Index-construction knobs (§4).
+  struct BuildOptions {
+    /// N_G: trajectories are grouped into N_G buckets by first point and
+    /// each bucket into N_G sub-buckets by last point, giving up to N_G^2
+    /// partitions (§4.2.1). The paper uses 32-256 at 10M+ trajectories; at
+    /// our scale the equivalent sweet spot is single digits.
+    size_t ng = 8;
 
-  /// Local index parameters: K (pivots), N_L (fanouts), leaf capacity,
-  /// pivot selection strategy.
-  TrieIndex::Options trie;
+    /// Local index parameters: K (pivots), N_L (fanouts), leaf capacity,
+    /// pivot selection strategy.
+    TrieIndex::Options trie;
+
+    /// Engine-local threads for index construction: indexing-sequence
+    /// extraction, STR tiling sorts (partitioning and trie levels), and the
+    /// verification precomputation are chunked across this pool. 0 builds
+    /// serially. Parallel builds are bit-identical to serial ones — chunk
+    /// boundaries only partition slot-indexed writes and merge sorted runs —
+    /// and helper CPU is charged back into cluster virtual time the same way
+    /// verify.threads charges DP work.
+    size_t threads = 0;
+
+    /// Ablation: replaces first/last STR partitioning with random placement
+    /// (the Appendix B partitioning-scheme ablation, Fig. 13). Global
+    /// pruning still works — the per-partition first/last MBRs are simply
+    /// huge, so nearly everything is relevant, reproducing the ablation's
+    /// penalty.
+    bool random_partitioning = false;
+  };
+
+  /// Verification-pipeline knobs (§5.3.3).
+  struct VerifyOptions {
+    /// Cell side D for the cell-compression verification filter (§5.3.3).
+    double cell_size = 0.01;
+
+    /// Intra-task parallel verification: number of engine-local threads
+    /// used to chunk a partition's surviving DP work inside one cluster
+    /// task. 0 verifies serially on the task thread. Chunk CPU is charged
+    /// back to the owning task's virtual time, so simulated makespans are
+    /// unchanged — only wall-clock latency improves.
+    size_t threads = 0;
+
+    /// Minimum number of filter survivors before VerifyBatch fans out to
+    /// the verify pool; below this the submit/latch overhead outweighs the
+    /// DP.
+    size_t parallel_min = 32;
+
+    /// Ablation toggles for the MBR (Lemma 5.4) and cell (Lemma 5.6)
+    /// verification filters (defaults on; the ablation bench turns some
+    /// off).
+    bool enable_mbr = true;
+    bool enable_cell = true;
+  };
+
+  /// Long-lived serving runtime knobs: admission control on the engine's
+  /// query entry points, and — through DitaService — fair-share query
+  /// scheduling, streaming ingest, and background epoch merges.
+  struct ServingOptions {
+    /// Admission gate: maximum queries (Search / Join / KnnSearch) allowed
+    /// in flight concurrently. Excess queries wait in FIFO order up to
+    /// `max_queued_queries` deep; beyond that they are shed immediately
+    /// with Status::Unavailable — overload degrades into fast rejections
+    /// rather than unbounded queueing. 0 disables the gate.
+    size_t max_inflight_queries = 0;
+    size_t max_queued_queries = 0;
+
+    /// Admission cost budget: total estimated cost units (see
+    /// QueryRequest::cost_hint / DitaEngine::EstimateQueryCost) admitted
+    /// concurrently. With a cost budget, one giant join consumes most of
+    /// the budget by itself and cheap point searches keep flowing past it
+    /// (bounded head-of-line bypass); without it the gate keys on query
+    /// count alone. 0 disables cost accounting.
+    uint64_t max_inflight_cost = 0;
+
+    /// Virtual-time budget per cluster stage (search probes, join
+    /// ship/probe, index build). A stage whose slowest worker exceeds it
+    /// surfaces Status::DeadlineExceeded instead of an open-ended wait.
+    /// 0 disables.
+    double stage_deadline_seconds = 0.0;
+
+    /// DitaService scheduler: fair-share worker slots carved across
+    /// concurrent queries (each query holds EstimateQueryCost slots while
+    /// it runs). 0 defaults to the cluster's worker count.
+    size_t scheduler_slots = 0;
+
+    /// Threads executing queries submitted asynchronously via
+    /// DitaService::Submit.
+    size_t scheduler_threads = 2;
+
+    /// How many times a small query may bypass a larger one stuck at the
+    /// head of the scheduler/gate queue before the large query's turn
+    /// becomes mandatory (starvation bound).
+    size_t max_bypass = 16;
+
+    /// Streaming ingest: once a snapshot's delta (inserts + deletes since
+    /// the last base rebuild) reaches this many operations, an epoch merge
+    /// rebuilds the base index with the delta folded in. Deltas below the
+    /// threshold are linearly scanned by queries (exact, funnel-accounted).
+    size_t merge_threshold = 64;
+
+    /// true runs epoch merges inline in the write call that crossed the
+    /// threshold (deterministic; tests and single-threaded harnesses);
+    /// false runs them on DitaService's background merge thread.
+    bool synchronous_merge = false;
+  };
+
+  BuildOptions build;
+  VerifyOptions verify;
+  ServingOptions serving;
 
   /// Similarity function and its parameters.
   DistanceType distance = DistanceType::kDTW;
   DistanceParams distance_params;
-
-  /// Cell side D for the cell-compression verification filter (§5.3.3).
-  double cell_size = 0.01;
 
   /// Sample rate used to estimate the join bi-graph's trans/comp edge
   /// weights (§6.2 "DITA samples T and Q").
@@ -35,39 +135,6 @@ struct DitaConfig {
   /// Partitions whose total cost exceeds this quantile of the per-partition
   /// cost distribution are divided (replicated) for load balancing (§6.3).
   double division_quantile = 0.98;
-
-  /// Intra-task parallel verification (§5.3.3): number of engine-local
-  /// threads used to chunk a partition's surviving DP work inside one
-  /// cluster task. 0 verifies serially on the task thread. Chunk CPU is
-  /// charged back to the owning task's virtual time, so simulated makespans
-  /// are unchanged — only wall-clock latency improves.
-  size_t verify_threads = 0;
-
-  /// Minimum number of filter survivors before VerifyBatch fans out to the
-  /// verify pool; below this the submit/latch overhead outweighs the DP.
-  size_t verify_parallel_min = 32;
-
-  /// Engine-local threads for index construction: indexing-sequence
-  /// extraction, STR tiling sorts (partitioning and trie levels), and the
-  /// verification precomputation are chunked across this pool. 0 builds
-  /// serially. Parallel builds are bit-identical to serial ones — chunk
-  /// boundaries only partition slot-indexed writes and merge sorted runs —
-  /// and helper CPU is charged back into cluster virtual time the same way
-  /// verify_threads charges DP work.
-  size_t build_threads = 0;
-
-  /// Virtual-time budget per cluster stage (search probes, join ship/probe,
-  /// index build). A stage whose slowest worker exceeds it surfaces
-  /// Status::DeadlineExceeded instead of an open-ended wait. 0 disables.
-  double stage_deadline_seconds = 0.0;
-
-  /// Admission gate: maximum queries (Search / Join / KnnSearch) allowed in
-  /// flight on this engine concurrently. Excess queries wait in FIFO order
-  /// up to `max_queued_queries` deep; beyond that they are shed immediately
-  /// with Status::Unavailable — overload degrades into fast rejections
-  /// rather than unbounded queueing. 0 disables the gate.
-  size_t max_inflight_queries = 0;
-  size_t max_queued_queries = 0;
 
   /// Observability (src/obs/): off by default, and when off every
   /// instrumentation site compiles down to one null-handle branch. Tracing
@@ -79,16 +146,9 @@ struct DitaConfig {
   bool enable_tracing = false;
   bool enable_metrics = false;
 
-  /// Ablation toggles (defaults on; Fig. 13/16 turn some off).
-  /// Replaces first/last STR partitioning with random placement (the
-  /// Appendix B partitioning-scheme ablation, Fig. 13). Global pruning
-  /// still works — the per-partition first/last MBRs are simply huge, so
-  /// nearly everything is relevant, reproducing the ablation's penalty.
-  bool random_partitioning = false;
+  /// Join ablation toggles (defaults on; Fig. 16 turns some off).
   bool enable_graph_orientation = true;
   bool enable_division_balancing = true;
-  bool enable_mbr_verification = true;
-  bool enable_cell_verification = true;
 };
 
 }  // namespace dita

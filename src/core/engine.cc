@@ -43,15 +43,16 @@ DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& confi
   m_query_admitted_ = {metrics_, "query.admitted"};
   m_query_shed_ = {metrics_, "query.shed"};
   m_query_degraded_ = {metrics_, "query.degraded"};
-  if (config_.verify_threads > 0) {
-    verify_pool_ = std::make_unique<ThreadPool>(config_.verify_threads);
+  if (config_.verify.threads > 0) {
+    verify_pool_ = std::make_unique<ThreadPool>(config_.verify.threads);
   }
-  if (config_.build_threads > 0) {
-    build_pool_ = std::make_unique<ThreadPool>(config_.build_threads);
+  if (config_.build.threads > 0) {
+    build_pool_ = std::make_unique<ThreadPool>(config_.build.threads);
   }
-  if (config_.max_inflight_queries > 0) {
+  if (config_.serving.max_inflight_queries > 0) {
     gate_ = std::make_unique<AdmissionGate>(AdmissionGate::Options{
-        config_.max_inflight_queries, config_.max_queued_queries});
+        config_.serving.max_inflight_queries, config_.serving.max_queued_queries,
+        config_.serving.max_inflight_cost, config_.serving.max_bypass});
   }
 }
 
@@ -68,10 +69,10 @@ bool DitaEngine::ShouldDegrade(const QueryContext* ctx, const Status& stage) {
   }
 }
 
-Status DitaEngine::AdmitQuery(QueryContext* ctx,
+Status DitaEngine::AdmitQuery(QueryContext* ctx, uint64_t cost,
                               AdmissionGate::Ticket* ticket) const {
   if (gate_ == nullptr) return Status::OK();
-  const Status s = gate_->Admit(ctx, ticket);
+  const Status s = gate_->Admit(ctx, cost, ticket);
   if (s.ok()) {
     m_query_admitted_.Increment();
   } else {
@@ -81,12 +82,166 @@ Status DitaEngine::AdmitQuery(QueryContext* ctx,
   return s;
 }
 
+uint64_t DitaEngine::EstimateQueryCost(const QueryRequest& req) const {
+  if (req.cost_hint > 0) return req.cost_hint;
+  if (!indexed_) return 1;
+  switch (req.kind) {
+    case QueryKind::kSearch:
+    case QueryKind::kKnnSearch: {
+      if (req.query.size() < 2) return 1;
+      // Relevant-partition count is the unit the cluster actually pays per
+      // probe stage; +1 covers the driver work every query does.
+      double tau = req.kind == QueryKind::kSearch ? req.tau : req.initial_tau;
+      if (req.kind == QueryKind::kKnnSearch && tau <= 0.0) {
+        const MBR qmbr = req.query.ComputeMBR();
+        tau = std::max(1e-9, 0.01 * PointDistance(qmbr.lo(), qmbr.hi()));
+      }
+      const Point* erp_gap = config_.distance == DistanceType::kERP
+                                 ? &config_.distance_params.erp_gap
+                                 : nullptr;
+      const std::vector<uint32_t> relevant = global_.RelevantPartitions(
+          req.query, tau, distance_->prune_mode(),
+          distance_->matching_epsilon(), erp_gap);
+      return static_cast<uint64_t>(relevant.size()) + 1;
+    }
+    case QueryKind::kJoin: {
+      // Upper bound of partition-pair probes, clamped so one estimate cannot
+      // dwarf every budget into meaninglessness.
+      const DitaEngine* right =
+          req.join_right != nullptr ? req.join_right : this;
+      const uint64_t left_parts = std::max<uint64_t>(1, partitions_.size());
+      const uint64_t right_parts = std::max<uint64_t>(
+          1, right->indexed_ ? right->partitions_.size() : 1);
+      return std::min<uint64_t>(left_parts * right_parts, uint64_t{1} << 20);
+    }
+  }
+  return 1;
+}
+
+Result<QueryResult> DitaEngine::Execute(const QueryRequest& req) const {
+  QueryResult res;
+  res.kind = req.kind;
+  QueryStats* qstats = req.collect_stats ? &res.search_stats : nullptr;
+  switch (req.kind) {
+    case QueryKind::kSearch: {
+      if (!indexed_) return Status::Internal("Search before BuildIndex");
+      if (req.query.size() < 2) {
+        return Status::InvalidArgument("query needs at least 2 points");
+      }
+      if (req.tau < 0) {
+        return Status::InvalidArgument("threshold must be non-negative");
+      }
+      AdmissionGate::Ticket ticket;
+      DITA_RETURN_IF_ERROR(
+          AdmitQuery(req.ctx, EstimateQueryCost(req), &ticket));
+      auto r = SearchImpl(req.query, req.tau, qstats, req.ctx);
+      DITA_RETURN_IF_ERROR(r.status());
+      res.ids = std::move(*r);
+      return res;
+    }
+    case QueryKind::kKnnSearch: {
+      if (!indexed_) return Status::Internal("KnnSearch before BuildIndex");
+      if (req.query.size() < 2) {
+        return Status::InvalidArgument("query needs at least 2 points");
+      }
+      if (req.k == 0) return res;
+      if (req.k > index_stats_.num_trajectories) {
+        return Status::InvalidArgument("k exceeds the table cardinality");
+      }
+      AdmissionGate::Ticket ticket;
+      DITA_RETURN_IF_ERROR(
+          AdmitQuery(req.ctx, EstimateQueryCost(req), &ticket));
+      auto r =
+          KnnSearchImpl(req.query, req.k, req.initial_tau, qstats, req.ctx);
+      DITA_RETURN_IF_ERROR(r.status());
+      res.neighbors = std::move(*r);
+      return res;
+    }
+    case QueryKind::kJoin: {
+      if (req.join_right_service != nullptr) {
+        return Status::InvalidArgument(
+            "service-level join targets require DitaService::Execute");
+      }
+      const DitaEngine& right =
+          req.join_right != nullptr ? *req.join_right : *this;
+      if (!indexed_ || !right.indexed_) {
+        return Status::Internal("Join before BuildIndex");
+      }
+      if (cluster_.get() != right.cluster_.get()) {
+        return Status::InvalidArgument("joined tables must share a cluster");
+      }
+      if (req.tau < 0) {
+        return Status::InvalidArgument("threshold must be non-negative");
+      }
+      AdmissionGate::Ticket ticket;
+      DITA_RETURN_IF_ERROR(
+          AdmitQuery(req.ctx, EstimateQueryCost(req), &ticket));
+      auto r = JoinImpl(right, req.tau,
+                        req.collect_stats ? &res.join_stats : nullptr, req.ctx);
+      DITA_RETURN_IF_ERROR(r.status());
+      res.pairs = std::move(*r);
+      return res;
+    }
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
+                                                     double tau,
+                                                     QueryStats* stats,
+                                                     QueryContext* ctx) const {
+  QueryRequest req;
+  req.kind = QueryKind::kSearch;
+  req.query = q;
+  req.tau = tau;
+  req.ctx = ctx;
+  req.collect_stats = stats != nullptr;
+  auto r = Execute(req);
+  DITA_RETURN_IF_ERROR(r.status());
+  if (stats != nullptr) *stats = std::move(r->search_stats);
+  return std::move(r->ids);
+}
+
+Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
+    const Trajectory& q, size_t k, double initial_tau, QueryStats* stats,
+    QueryContext* ctx) const {
+  QueryRequest req;
+  req.kind = QueryKind::kKnnSearch;
+  req.query = q;
+  req.k = k;
+  req.initial_tau = initial_tau;
+  req.ctx = ctx;
+  req.collect_stats = stats != nullptr;
+  auto r = Execute(req);
+  DITA_RETURN_IF_ERROR(r.status());
+  if (stats != nullptr) *stats = std::move(r->search_stats);
+  return std::move(r->neighbors);
+}
+
+Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DitaEngine::Join(
+    const DitaEngine& right, double tau, JoinStats* stats,
+    QueryContext* ctx) const {
+  QueryRequest req;
+  req.kind = QueryKind::kJoin;
+  req.join_right = &right;
+  req.tau = tau;
+  req.ctx = ctx;
+  req.collect_stats = stats != nullptr;
+  auto r = Execute(req);
+  DITA_RETURN_IF_ERROR(r.status());
+  if (stats != nullptr) *stats = std::move(r->join_stats);
+  return std::move(r->pairs);
+}
+
 Status DitaEngine::BuildIndex(const Dataset& data) {
-  if (config_.ng == 0) return Status::InvalidArgument("ng must be positive");
-  if (config_.trie.align_fanout < 2 || config_.trie.pivot_fanout < 2) {
+  if (config_.build.ng == 0) {
+    return Status::InvalidArgument("ng must be positive");
+  }
+  if (config_.build.trie.align_fanout < 2 ||
+      config_.build.trie.pivot_fanout < 2) {
     return Status::InvalidArgument("trie fanouts must be at least 2");
   }
-  if (config_.trie.leaf_capacity < 1) {
+  if (config_.build.trie.leaf_capacity < 1) {
     return Status::InvalidArgument("trie leaf capacity must be at least 1");
   }
   for (const Trajectory& t : data.trajectories()) {
@@ -102,10 +257,10 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
   // offloaded to the build pool — lands in the driver ledger.
   CpuTimer partition_timer;
   double partition_offloaded = 0.0;
-  auto parts = config_.random_partitioning
+  auto parts = config_.build.random_partitioning
                    ? PartitionRandomly(data.trajectories(),
-                                       config_.ng * config_.ng)
-                   : PartitionByFirstLast(data.trajectories(), config_.ng,
+                                       config_.build.ng * config_.build.ng)
+                   : PartitionByFirstLast(data.trajectories(), config_.build.ng,
                                           build_pool_.get(),
                                           &partition_offloaded);
   DITA_RETURN_IF_ERROR(parts.status());
@@ -136,7 +291,7 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
            // Inputs were validated above, so Build cannot fail here.
            double offloaded = 0.0;
            DITA_CHECK(partition.trie
-                          .Build(std::move(*source), config_.trie,
+                          .Build(std::move(*source), config_.build.trie,
                                  build_pool_.get(), &offloaded)
                           .ok());
            // Verification summaries are independent per trajectory:
@@ -148,7 +303,8 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
                [this, &partition](size_t lo, size_t hi) {
                  for (size_t i = lo; i < hi; ++i) {
                    partition.precomp[i] = VerifyPrecomp::For(
-                       partition.trie.trajectories()[i], config_.cell_size);
+                       partition.trie.trajectories()[i],
+                       config_.verify.cell_size);
                  }
                });
            // Pool-thread CPU is charged to this cluster task so the
@@ -263,7 +419,7 @@ size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
   const size_t dp_before = vstats != nullptr ? vstats->dp_computed : 0;
   const Verifier::Batch batch{&p.precomp, &candidates, &qp, tau, ctx};
   const Verifier::BatchResult r = verifier_->VerifyBatch(
-      batch, verify_pool_.get(), config_.verify_parallel_min, &accepted,
+      batch, verify_pool_.get(), config_.verify.parallel_min, &accepted,
       vstats, tracer_);
   if (vstats != nullptr) {
     h_batch_survivors_.Observe(
@@ -278,19 +434,9 @@ size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
   return candidates.size();
 }
 
-Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
-                                                     double tau,
-                                                     QueryStats* stats,
-                                                     QueryContext* ctx) const {
-  if (!indexed_) return Status::Internal("Search before BuildIndex");
-  if (q.size() < 2) {
-    return Status::InvalidArgument("query needs at least 2 points");
-  }
-  if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
-
-  AdmissionGate::Ticket ticket;
-  DITA_RETURN_IF_ERROR(AdmitQuery(ctx, &ticket));
-
+Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
+    const Trajectory& q, double tau, QueryStats* stats,
+    QueryContext* ctx) const {
   const Cluster::CostSnapshot snap = cluster_->Snapshot();
   obs::SpanGuard query_span(tracer_, "query");
 
@@ -307,14 +453,14 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
                                           erp_gap);
     probe_span.Arg("relevant", relevant.size());
   }
-  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
+  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.verify.cell_size);
   cluster_->RecordDriverCompute(driver_timer.Seconds());
 
   // Probe-stat collection feeds the funnel (per caller request) and the
   // filter.trie.* metrics; when neither consumer exists the trie traversal
   // keeps its stats-free hot path.
   const bool want_probe_stats = stats != nullptr || metrics_ != nullptr;
-  const size_t trie_levels = config_.trie.num_pivots + 2;
+  const size_t trie_levels = config_.build.trie.num_pivots + 2;
 
   // Workers: local filter + verify per relevant partition. Each task writes
   // only its own slot, so a query cut short can merge exactly the tasks
@@ -432,25 +578,13 @@ Result<std::vector<TrajectoryId>> DitaEngine::Search(const Trajectory& q,
   return results;
 }
 
-Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearch(
+Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearchImpl(
     const Trajectory& q, size_t k, double initial_tau,
     QueryStats* stats, QueryContext* ctx) const {
-  if (!indexed_) return Status::Internal("KnnSearch before BuildIndex");
-  if (q.size() < 2) {
-    return Status::InvalidArgument("query needs at least 2 points");
-  }
-  if (k == 0) return std::vector<std::pair<TrajectoryId, double>>{};
-  if (k > index_stats_.num_trajectories) {
-    return Status::InvalidArgument("k exceeds the table cardinality");
-  }
-
-  AdmissionGate::Ticket ticket;
-  DITA_RETURN_IF_ERROR(AdmitQuery(ctx, &ticket));
-
   const Cluster::CostSnapshot snap = cluster_->Snapshot();
   obs::SpanGuard knn_span(tracer_, "knn.query");
   knn_span.Arg("k", k);
-  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.cell_size);
+  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.verify.cell_size);
 
   // Seed the expansion with a data-derived radius: the spread of the query
   // itself is a reasonable unit of distance for its neighbourhood.
@@ -628,18 +762,9 @@ Result<std::vector<DitaEngine::KnnJoinRow>> DitaEngine::KnnJoin(
   return rows;
 }
 
-Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DitaEngine::Join(
+Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DitaEngine::JoinImpl(
     const DitaEngine& right, double tau, JoinStats* stats,
     QueryContext* ctx) const {
-  if (!indexed_ || !right.indexed_) {
-    return Status::Internal("Join before BuildIndex");
-  }
-  if (cluster_.get() != right.cluster_.get()) {
-    return Status::InvalidArgument("joined tables must share a cluster");
-  }
-  if (tau < 0) return Status::InvalidArgument("threshold must be non-negative");
-  AdmissionGate::Ticket ticket;
-  DITA_RETURN_IF_ERROR(AdmitQuery(ctx, &ticket));
   JoinPlanner planner(*this, right, tau, ctx);
   return planner.Run(stats);
 }

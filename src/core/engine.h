@@ -18,6 +18,151 @@
 
 namespace dita {
 
+class DitaEngine;
+class DitaService;
+
+/// Statistics captured while building the index (Table 5 rows).
+struct IndexStats {
+  double build_seconds = 0.0;
+  size_t num_partitions = 0;
+  size_t num_trajectories = 0;
+  size_t global_index_bytes = 0;
+  size_t local_index_bytes = 0;
+};
+
+/// Per-query observability (Figs. 7-8, 17).
+struct QueryStats {
+  double makespan_seconds = 0.0;
+  size_t partitions_probed = 0;
+  size_t candidates = 0;
+  VerifyStats verify;
+  size_t results = 0;
+  /// Fault handling this query triggered (retries, recoveries, backups).
+  FaultStats faults;
+  /// Survivors at each pruning level, table -> global index -> trie
+  /// levels -> MBR coverage -> cell bound -> threshold DP. Monotonically
+  /// non-increasing; the last level equals `results`.
+  obs::FilterFunnel funnel;
+  /// How the query ended. OK means it ran to completion; kCancelled /
+  /// kDeadlineExceeded / kResourceExhausted mean the returned results are
+  /// a *partial* answer — a correct subset of the full one — produced by
+  /// graceful degradation under a QueryContext stop.
+  Status termination;
+  /// Fraction of the query's relevant population that was fully searched
+  /// before it stopped; 1.0 for complete queries. (For kNN: fraction of
+  /// the requested k that was found.)
+  double completeness = 1.0;
+};
+
+/// Per-join observability (Figs. 9-11, 16).
+struct JoinStats {
+  double makespan_seconds = 0.0;
+  double load_ratio = 1.0;
+  uint64_t bytes_shipped = 0;
+  size_t graph_edges = 0;
+  size_t divided_partitions = 0;
+  size_t candidate_pairs = 0;
+  size_t result_pairs = 0;
+  /// Verification-pipeline counters in pair units (mirrors
+  /// QueryStats::verify; pairs == candidate_pairs, accepted ==
+  /// result_pairs).
+  VerifyStats verify;
+  /// Fault handling this join triggered (retries, recoveries, backups).
+  FaultStats faults;
+  /// Survivors at each pruning level, in trajectory-pair units: |T| x |Q|
+  /// -> partition graph -> ship relevance -> trie candidates -> MBR ->
+  /// cell -> accepted. Monotonically non-increasing; ends at
+  /// `result_pairs`.
+  obs::FilterFunnel funnel;
+  /// How the join ended (see QueryStats::termination): non-OK means the
+  /// returned pairs are a correct subset of the full join result.
+  Status termination;
+  /// Fraction of the join's partition-pair edges whose probe completed;
+  /// 1.0 for complete joins.
+  double completeness = 1.0;
+};
+
+/// The kind of query a QueryRequest carries.
+enum class QueryKind { kSearch, kJoin, kKnnSearch };
+
+/// One query, in the unified request format every layer speaks: the engine
+/// executes it (Execute), DitaService schedules it across concurrent
+/// requests and runs it against an epoch snapshot, and the SQL/DataFrame
+/// layer translates statements into it. The legacy Search / Join /
+/// KnnSearch signatures are thin wrappers that build one of these.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kSearch;
+
+  /// The query trajectory (kSearch / kKnnSearch). Owned, so asynchronous
+  /// executors (DitaService::Submit) need no external lifetime contract.
+  Trajectory query;
+
+  /// Similarity threshold tau (kSearch / kJoin).
+  double tau = 0.0;
+
+  /// Neighbor count (kKnnSearch) and optional expansion seed radius
+  /// (0 picks a data-derived default).
+  size_t k = 0;
+  double initial_tau = 0.0;
+
+  /// kJoin: the right-side table. Exactly one may be set; both null means
+  /// self-join. The service-level pointer lets DitaService join two live
+  /// tables delta-consistently; the engine-level pointer joins two static
+  /// indexes.
+  const DitaEngine* join_right = nullptr;
+  const DitaService* join_right_service = nullptr;
+
+  /// Scheduling class for DitaService's fair-share scheduler: 0 is the
+  /// highest priority; higher values yield smaller shares.
+  int priority = 1;
+
+  /// Estimated cost in admission units for the gate / scheduler; 0 lets
+  /// the engine estimate it from global-index statistics
+  /// (EstimateQueryCost).
+  uint64_t cost_hint = 0;
+
+  /// Optional cooperative cancellation / deadline / budget token; see
+  /// DitaEngine::Search.
+  QueryContext* ctx = nullptr;
+
+  /// When false the engine skips per-query stat/funnel collection and the
+  /// trie keeps its stats-free hot path (the legacy wrappers set this from
+  /// whether the caller passed a stats out-param).
+  bool collect_stats = true;
+};
+
+/// The unified response: exactly one of the payload vectors is populated
+/// (matching `kind`), alongside the corresponding stats block.
+struct QueryResult {
+  QueryKind kind = QueryKind::kSearch;
+
+  /// kSearch: matching trajectory ids, ascending.
+  std::vector<TrajectoryId> ids;
+  /// kJoin: (left_id, right_id) pairs, sorted.
+  std::vector<std::pair<TrajectoryId, TrajectoryId>> pairs;
+  /// kKnnSearch: (id, distance) pairs sorted by distance.
+  std::vector<std::pair<TrajectoryId, double>> neighbors;
+
+  QueryStats search_stats;  // kSearch / kKnnSearch
+  JoinStats join_stats;     // kJoin
+
+  /// Serving-layer accounting, zeroed when the query ran on a bare engine.
+  struct ServingInfo {
+    /// Base-index generation the query's pinned snapshot belonged to.
+    uint64_t epoch = 0;
+    /// Snapshot version (bumped by every ingest op and merge publish).
+    uint64_t version = 0;
+    /// Delta-buffer trajectories linearly scanned / accepted.
+    size_t delta_scanned = 0;
+    size_t delta_matches = 0;
+    /// Base-index answers dropped because their id was deleted.
+    size_t deleted_filtered = 0;
+    /// Funnel over the delta scan: buffer -> MBR -> cell -> threshold DP
+    /// (search only; monotone, ends at delta_matches).
+    obs::FilterFunnel delta_funnel;
+  } serving;
+};
+
 /// The DITA engine: one indexed trajectory table living on a (simulated)
 /// cluster. Mirrors the system of §3-§6: STR first/last partitioning, global
 /// R-tree index on the driver, per-partition trie local indexes co-located
@@ -25,66 +170,11 @@ namespace dita {
 /// distributed join.
 class DitaEngine {
  public:
-  /// Statistics captured while building the index (Table 5 rows).
-  struct IndexStats {
-    double build_seconds = 0.0;
-    size_t num_partitions = 0;
-    size_t num_trajectories = 0;
-    size_t global_index_bytes = 0;
-    size_t local_index_bytes = 0;
-  };
-
-  /// Per-query observability (Figs. 7-8, 17).
-  struct QueryStats {
-    double makespan_seconds = 0.0;
-    size_t partitions_probed = 0;
-    size_t candidates = 0;
-    VerifyStats verify;
-    size_t results = 0;
-    /// Fault handling this query triggered (retries, recoveries, backups).
-    FaultStats faults;
-    /// Survivors at each pruning level, table -> global index -> trie
-    /// levels -> MBR coverage -> cell bound -> threshold DP. Monotonically
-    /// non-increasing; the last level equals `results`.
-    obs::FilterFunnel funnel;
-    /// How the query ended. OK means it ran to completion; kCancelled /
-    /// kDeadlineExceeded / kResourceExhausted mean the returned results are
-    /// a *partial* answer — a correct subset of the full one — produced by
-    /// graceful degradation under a QueryContext stop.
-    Status termination;
-    /// Fraction of the query's relevant population that was fully searched
-    /// before it stopped; 1.0 for complete queries. (For kNN: fraction of
-    /// the requested k that was found.)
-    double completeness = 1.0;
-  };
-
-  /// Per-join observability (Figs. 9-11, 16).
-  struct JoinStats {
-    double makespan_seconds = 0.0;
-    double load_ratio = 1.0;
-    uint64_t bytes_shipped = 0;
-    size_t graph_edges = 0;
-    size_t divided_partitions = 0;
-    size_t candidate_pairs = 0;
-    size_t result_pairs = 0;
-    /// Verification-pipeline counters in pair units (mirrors
-    /// QueryStats::verify; pairs == candidate_pairs, accepted ==
-    /// result_pairs).
-    VerifyStats verify;
-    /// Fault handling this join triggered (retries, recoveries, backups).
-    FaultStats faults;
-    /// Survivors at each pruning level, in trajectory-pair units: |T| x |Q|
-    /// -> partition graph -> ship relevance -> trie candidates -> MBR ->
-    /// cell -> accepted. Monotonically non-increasing; ends at
-    /// `result_pairs`.
-    obs::FilterFunnel funnel;
-    /// How the join ended (see QueryStats::termination): non-OK means the
-    /// returned pairs are a correct subset of the full join result.
-    Status termination;
-    /// Fraction of the join's partition-pair edges whose probe completed;
-    /// 1.0 for complete joins.
-    double completeness = 1.0;
-  };
+  // Legacy nested aliases; the structs now live at namespace scope so the
+  // unified QueryRequest / QueryResult can carry them.
+  using IndexStats = dita::IndexStats;
+  using QueryStats = dita::QueryStats;
+  using JoinStats = dita::JoinStats;
 
   DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& config);
 
@@ -97,6 +187,17 @@ class DitaEngine {
   const IndexStats& index_stats() const { return index_stats_; }
   const DitaConfig& config() const { return config_; }
   const Cluster& cluster() const { return *cluster_; }
+
+  /// The single query entry point: validates, admits (cost-aware when the
+  /// gate has a cost budget), and dispatches on `req.kind`. All public
+  /// query methods below are exact aliases over this.
+  Result<QueryResult> Execute(const QueryRequest& req) const;
+
+  /// Estimated cost of `req` in admission units (relevant-partition probes
+  /// for searches, partition-pair upper bound for joins; always >= 1).
+  /// Drives the admission gate's cost budget and DitaService's fair-share
+  /// slot allocation when QueryRequest::cost_hint is 0.
+  uint64_t EstimateQueryCost(const QueryRequest& req) const;
 
   /// Threshold similarity search (Definition 2.4, §5): all trajectory ids T
   /// with f(T, q) <= tau. Cost is charged to the shared cluster; per-query
@@ -154,6 +255,7 @@ class DitaEngine {
 
  private:
   friend class JoinPlanner;
+  friend class DitaService;
 
   /// One data partition: clustered trie index plus verification precomp.
   struct Partition {
@@ -163,23 +265,37 @@ class DitaEngine {
     size_t data_bytes = 0;
   };
 
+  /// The un-gated query bodies; Execute admits once, then dispatches here.
+  Result<std::vector<TrajectoryId>> SearchImpl(const Trajectory& q, double tau,
+                                               QueryStats* stats,
+                                               QueryContext* ctx) const;
+  Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinImpl(
+      const DitaEngine& right, double tau, JoinStats* stats,
+      QueryContext* ctx) const;
+  Result<std::vector<std::pair<TrajectoryId, double>>> KnnSearchImpl(
+      const Trajectory& q, size_t k, double initial_tau, QueryStats* stats,
+      QueryContext* ctx) const;
+
   TrieIndex::SearchSpec MakeSpec(const Trajectory& q, double tau) const;
 
   /// Stage options carrying the engine's configured deadline and the
   /// query's stop token (may be null).
   StageOptions StageOpts(std::string name, QueryContext* ctx = nullptr) const {
-    return StageOptions{std::move(name), config_.stage_deadline_seconds, ctx};
+    return StageOptions{std::move(name),
+                        config_.serving.stage_deadline_seconds, ctx};
   }
 
   /// True when a stage status should degrade into a partial OK result:
   /// the query's own context stopped and the stage failed for that reason
-  /// (or not at all). Unrelated errors (lost workers, internal faults)
-  /// never degrade.
+  /// (or not at all). Unrelated errors (lost workers, invalid input) never
+  /// degrade.
   static bool ShouldDegrade(const QueryContext* ctx, const Status& stage);
 
   /// Acquires an admission ticket when the gate is enabled; on shed or
-  /// queue-abandon the returned status is the caller's answer.
-  Status AdmitQuery(QueryContext* ctx, AdmissionGate::Ticket* ticket) const;
+  /// queue-abandon the returned status is the caller's answer. `cost` is
+  /// the query's estimated admission cost.
+  Status AdmitQuery(QueryContext* ctx, uint64_t cost,
+                    AdmissionGate::Ticket* ticket) const;
 
   /// Per-trajectory global relevance test against a partition summary —
   /// the "has candidates in Qj" check of §6.2's trans estimation.
@@ -209,18 +325,18 @@ class DitaEngine {
   std::shared_ptr<TrajectoryDistance> distance_;
   std::unique_ptr<Verifier> verifier_;
   /// Engine-local pool for intra-task parallel verification (see
-  /// DitaConfig::verify_threads); null when verification is serial.
+  /// DitaConfig::VerifyOptions::threads); null when verification is serial.
   std::unique_ptr<ThreadPool> verify_pool_;
   /// Engine-local pool for parallel index construction (see
-  /// DitaConfig::build_threads); null when builds are serial. Helper CPU is
-  /// charged back to the owning cluster task / the driver ledger, so
-  /// simulated makespans match a serial build.
+  /// DitaConfig::BuildOptions::threads); null when builds are serial.
+  /// Helper CPU is charged back to the owning cluster task / the driver
+  /// ledger, so simulated makespans match a serial build.
   std::unique_ptr<ThreadPool> build_pool_;
   GlobalIndex global_;
   std::vector<Partition> partitions_;
   IndexStats index_stats_;
   bool indexed_ = false;
-  /// Admission gate (null when DitaConfig::max_inflight_queries == 0).
+  /// Admission gate (null when ServingOptions::max_inflight_queries == 0).
   /// Mutable: taking a ticket is bookkeeping, not an engine mutation.
   mutable std::unique_ptr<AdmissionGate> gate_;
 

@@ -435,7 +435,7 @@ JoinPlanner::Execute(DitaEngine::JoinStats* stats) {
         const Verifier::Batch batch{&dp.precomp, &cands, &qp, tau_, ctx_};
         const Verifier::BatchResult r = dst_side.verifier_->VerifyBatch(
             batch, dst_side.verify_pool_.get(),
-            dst_side.config_.verify_parallel_min, &accepted,
+            dst_side.config_.verify.parallel_min, &accepted,
             want_verify_stats ? &out->vstats : nullptr, dst_side.tracer_);
         offloaded += r.offloaded_seconds;
         for (uint32_t cpos : accepted) {

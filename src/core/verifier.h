@@ -98,8 +98,8 @@ class Verifier {
 
   Verifier(std::shared_ptr<TrajectoryDistance> distance, const DitaConfig& config)
       : distance_(std::move(distance)),
-        mbr_enabled_(config.enable_mbr_verification),
-        cell_enabled_(config.enable_cell_verification) {}
+        mbr_enabled_(config.verify.enable_mbr),
+        cell_enabled_(config.verify.enable_cell) {}
 
   /// Returns true iff distance(t, q) <= tau. Never rejects a true answer.
   bool Verify(const Trajectory& t, const VerifyPrecomp& tp, const Trajectory& q,

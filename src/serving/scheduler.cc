@@ -1,0 +1,45 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dita {
+
+namespace {
+AdmissionGate::Options GateOptions(const QueryScheduler::Options& o) {
+  AdmissionGate::Options g;
+  g.max_inflight = o.max_inflight > 0 ? o.max_inflight : std::max<size_t>(1, o.slots);
+  g.max_queued = o.max_queued;
+  // The slot pool is the gate's cost budget: Admit(cost = slots wanted)
+  // blocks until that many slots are free, and the gate's oversized-query
+  // rule lets a full-pool query run alone instead of deadlocking.
+  g.max_inflight_cost = o.slots;
+  g.max_bypass = o.max_bypass;
+  return g;
+}
+}  // namespace
+
+QueryScheduler::QueryScheduler(const Options& options)
+    : options_(options), gate_(GateOptions(options)) {
+  DITA_CHECK(options_.slots >= 1);
+}
+
+size_t QueryScheduler::SlotsFor(int priority, uint64_t cost) const {
+  const int p = std::clamp(priority, 0, 6);
+  const size_t share = std::max<size_t>(1, options_.slots >> p);
+  return static_cast<size_t>(
+      std::clamp<uint64_t>(cost, 1, static_cast<uint64_t>(share)));
+}
+
+Status QueryScheduler::Acquire(int priority, uint64_t cost, QueryContext* ctx,
+                               Grant* out) {
+  const size_t want = SlotsFor(priority, cost);
+  AdmissionGate::Ticket ticket;
+  DITA_RETURN_IF_ERROR(gate_.Admit(ctx, want, &ticket));
+  out->ticket_ = std::move(ticket);
+  out->slots_ = want;
+  return Status::OK();
+}
+
+}  // namespace dita

@@ -1,0 +1,91 @@
+#ifndef DITA_SERVING_SCHEDULER_H_
+#define DITA_SERVING_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/admission.h"
+#include "util/query_context.h"
+#include "util/status.h"
+
+namespace dita {
+
+/// Fair-share slot scheduler for concurrent queries, layered on the
+/// cost-aware AdmissionGate: the cluster's worker slots form the gate's
+/// cost budget, and every query holds a number of slots proportional to its
+/// estimated cost (capped by its priority class's share) for as long as it
+/// runs. The gate supplies the queueing discipline — FIFO with bounded
+/// head-of-line bypass — so a giant join occupies most of the pool by
+/// itself while cheap point searches keep flowing past it, and after
+/// `max_bypass` bypasses the join's turn becomes mandatory (no starvation
+/// in either direction).
+///
+/// Priority shapes the share, not the order: a priority-p query may hold at
+/// most slots >> min(p, 6) slots (priority 0 can take the whole pool), so
+/// lower-priority work always leaves headroom for latency-sensitive
+/// traffic.
+class QueryScheduler {
+ public:
+  struct Options {
+    /// Total worker slots shared by all running queries; the gate's cost
+    /// budget. Typically Cluster::num_workers().
+    size_t slots = 16;
+    /// Concurrent queries admitted regardless of slot math (the gate's
+    /// count bound). 0 defaults to `slots`.
+    size_t max_inflight = 0;
+    /// Queries allowed to wait; beyond this the scheduler sheds with
+    /// Status::Unavailable.
+    size_t max_queued = 64;
+    /// Starvation bound for head-of-line bypass (see AdmissionGate).
+    size_t max_bypass = 16;
+  };
+
+  /// RAII slot grant: holds `slots()` slots until destroyed / released.
+  class Grant {
+   public:
+    Grant() = default;
+    Grant(Grant&&) = default;
+    Grant& operator=(Grant&&) = default;
+
+    bool held() const { return ticket_.held(); }
+    size_t slots() const { return slots_; }
+    void Release() { ticket_.Release(); }
+
+   private:
+    friend class QueryScheduler;
+    AdmissionGate::Ticket ticket_;
+    size_t slots_ = 0;
+  };
+
+  explicit QueryScheduler(const Options& options);
+
+  /// Blocks until this query's fair-share slot count is granted, sheds with
+  /// Unavailable when the wait queue is full, or returns `ctx`'s status if
+  /// it stops while queued. `cost` is the query's estimated cost
+  /// (DitaEngine::EstimateQueryCost units); `priority` >= 0, lower is more
+  /// important.
+  Status Acquire(int priority, uint64_t cost, QueryContext* ctx, Grant* out);
+
+  /// Slots a (priority, cost) query would hold: cost clamped to
+  /// [1, share(priority)] where share halves per priority level.
+  size_t SlotsFor(int priority, uint64_t cost) const;
+
+  size_t total_slots() const { return options_.slots; }
+  /// Counters, delegated to the underlying gate: slots_in_use() is the
+  /// gate's in-flight cost, slots_high_water() its cost high-water.
+  uint64_t admitted() const { return gate_.admitted(); }
+  uint64_t shed() const { return gate_.shed(); }
+  uint64_t bypasses() const { return gate_.bypasses(); }
+  size_t active() const { return gate_.inflight(); }
+  size_t queued() const { return gate_.queued(); }
+  uint64_t slots_in_use() const { return gate_.inflight_cost(); }
+  uint64_t slots_high_water() const { return gate_.cost_high_water(); }
+
+ private:
+  const Options options_;
+  AdmissionGate gate_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_SERVING_SCHEDULER_H_

@@ -1,0 +1,684 @@
+#include "serving/service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dita {
+
+DitaService::DitaService(std::shared_ptr<Cluster> cluster,
+                         const DitaConfig& config)
+    : cluster_(std::move(cluster)), config_(config), base_config_(config) {
+  DITA_CHECK(cluster_ != nullptr);
+  base_config_.serving.max_inflight_queries = 0;
+  auto dist = MakeDistance(config_.distance, config_.distance_params);
+  DITA_CHECK(dist.ok());
+  distance_ = *dist;
+  verifier_ = std::make_unique<Verifier>(distance_, config_);
+
+  QueryScheduler::Options sopts;
+  sopts.slots = config_.serving.scheduler_slots > 0
+                    ? config_.serving.scheduler_slots
+                    : cluster_->num_workers();
+  sopts.max_inflight = config_.serving.max_inflight_queries;
+  if (config_.serving.max_queued_queries > 0) {
+    sopts.max_queued = config_.serving.max_queued_queries;
+  }
+  sopts.max_bypass = config_.serving.max_bypass;
+  scheduler_ = std::make_unique<QueryScheduler>(sopts);
+
+  tracer_ =
+      config_.enable_tracing ? cluster_->EnableTracing() : cluster_->tracer();
+  metrics_ =
+      config_.enable_metrics ? cluster_->EnableMetrics() : cluster_->metrics();
+  m_inserts_ = {metrics_, "serving.inserts"};
+  m_deletes_ = {metrics_, "serving.deletes"};
+  m_merges_ = {metrics_, "serving.merges"};
+  m_queries_ = {metrics_, "serving.queries"};
+  m_delta_scanned_ = {metrics_, "serving.delta.scanned"};
+}
+
+DitaService::~DitaService() { Stop(); }
+
+Status DitaService::Start(const Dataset& initial) {
+  if (started_) return Status::Internal("DitaService::Start called twice");
+
+  auto snap = std::make_shared<TableSnapshot>();
+  auto ids = std::make_shared<std::unordered_set<TrajectoryId>>();
+  auto data = std::make_shared<std::vector<Trajectory>>(initial.trajectories());
+  for (const Trajectory& t : *data) {
+    if (t.size() < 2) {
+      return Status::InvalidArgument(
+          "DITA requires trajectories with at least 2 points");
+    }
+    if (!ids->insert(t.id()).second) {
+      return Status::InvalidArgument("duplicate trajectory id in initial data");
+    }
+  }
+  if (!data->empty()) {
+    auto base = std::make_shared<DitaEngine>(cluster_, base_config_);
+    DITA_RETURN_IF_ERROR(base->BuildIndex(initial));
+    snap->base = std::move(base);
+  }
+  snap->base_data = std::move(data);
+  snap->base_ids = std::move(ids);
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snap_ = std::move(snap);
+  }
+  started_ = true;
+
+  if (!config_.serving.synchronous_merge) {
+    merge_thread_ = std::thread([this] { MergeLoop(); });
+  }
+  const size_t nexec = std::max<size_t>(1, config_.serving.scheduler_threads);
+  executors_.reserve(nexec);
+  for (size_t i = 0; i < nexec; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+  return Status::OK();
+}
+
+void DitaService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    if (stop_.load()) return;
+    stop_.store(true);
+  }
+  merge_cv_.notify_all();
+  {
+    // Taken and dropped so a worker between its predicate check and its
+    // block still sees the notify.
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+  }
+  jobs_cv_.notify_all();
+  if (merge_thread_.joinable()) merge_thread_.join();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+  // Fail whatever Submit jobs were still queued.
+  std::deque<Job> orphans;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    orphans.swap(jobs_);
+  }
+  for (Job& j : orphans) {
+    j.promise.set_value(Status::Unavailable("service stopped"));
+  }
+}
+
+std::shared_ptr<const TableSnapshot> DitaService::Pin() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return snap_;
+}
+
+uint64_t DitaService::merges() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return merges_;
+}
+
+// ---------------------------------------------------------------- ingest --
+
+Status DitaService::Insert(const Trajectory& t) {
+  if (!started_) return Status::Internal("DitaService used before Start");
+  if (t.size() < 2) {
+    return Status::InvalidArgument(
+        "DITA requires trajectories with at least 2 points");
+  }
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    const std::shared_ptr<const TableSnapshot> cur = Pin();
+    if (cur->IsLive(t.id())) {
+      return Status::InvalidArgument("trajectory id is already live");
+    }
+    auto next = std::make_shared<TableSnapshot>(*cur);
+    next->version = cur->version + 1;
+    next->inserts.push_back(t);
+    if (merging_) op_log_.push_back(Op{true, t, -1});
+    {
+      std::lock_guard<std::mutex> slock(snap_mu_);
+      snap_ = std::move(next);
+    }
+  }
+  m_inserts_.Increment();
+  MaybeScheduleMerge();
+  return Status::OK();
+}
+
+Status DitaService::Delete(TrajectoryId id) {
+  if (!started_) return Status::Internal("DitaService used before Start");
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    const std::shared_ptr<const TableSnapshot> cur = Pin();
+    auto next = std::make_shared<TableSnapshot>(*cur);
+    next->version = cur->version + 1;
+    const auto it = std::find_if(
+        next->inserts.begin(), next->inserts.end(),
+        [id](const Trajectory& t) { return t.id() == id; });
+    if (it != next->inserts.end()) {
+      // A pending insert dies in the buffer; it never reaches `deleted`.
+      next->inserts.erase(it);
+    } else if (cur->InBase(id) && cur->deleted.count(id) == 0) {
+      next->deleted.insert(id);
+    } else {
+      return Status::NotFound("trajectory id is not live");
+    }
+    if (merging_) op_log_.push_back(Op{false, Trajectory(), id});
+    {
+      std::lock_guard<std::mutex> slock(snap_mu_);
+      snap_ = std::move(next);
+    }
+  }
+  m_deletes_.Increment();
+  MaybeScheduleMerge();
+  return Status::OK();
+}
+
+void DitaService::MaybeScheduleMerge() {
+  bool need = false;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    need = !merging_ &&
+           Pin()->delta_ops() >= config_.serving.merge_threshold &&
+           config_.serving.merge_threshold > 0;
+  }
+  if (!need) return;
+  if (config_.serving.synchronous_merge) {
+    // Inline merge: deterministic for tests and single-threaded harnesses.
+    // Failure leaves the delta intact (queries stay exact, just slower), so
+    // dropping the status here loses nothing but the retry.
+    const Status merged = MergeOnce();
+    (void)merged;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    merge_requested_ = true;
+  }
+  merge_cv_.notify_one();
+}
+
+Status DitaService::ForceMerge() {
+  if (!started_) return Status::Internal("DitaService used before Start");
+  return MergeOnce();
+}
+
+Status DitaService::MergeOnce() {
+  std::shared_ptr<const TableSnapshot> src;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (merging_) return Status::OK();  // another merge is already running
+    src = Pin();
+    if (src->delta_ops() == 0) return Status::OK();
+    merging_ = true;
+    op_log_.clear();
+  }
+  obs::SpanGuard merge_span(tracer_, "serving.merge");
+
+  // Rebuild outside the write lock: queries keep answering from the old
+  // snapshot, and concurrent writes keep landing in the *current* snapshot
+  // (visible immediately) while also being recorded in op_log_ for replay.
+  std::vector<Trajectory> new_data;
+  new_data.reserve(src->base_size() + src->inserts.size());
+  for (const Trajectory& t : *src->base_data) {
+    if (src->deleted.count(t.id()) == 0) new_data.push_back(t);
+  }
+  for (const Trajectory& t : src->inserts) new_data.push_back(t);
+
+  std::shared_ptr<DitaEngine> base;
+  if (!new_data.empty()) {
+    base = std::make_shared<DitaEngine>(cluster_, base_config_);
+    const Status built = base->BuildIndex(Dataset(new_data));
+    if (!built.ok()) {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      merging_ = false;
+      op_log_.clear();
+      return built;
+    }
+  }
+
+  auto ids = std::make_shared<std::unordered_set<TrajectoryId>>();
+  ids->reserve(new_data.size());
+  for (const Trajectory& t : new_data) ids->insert(t.id());
+
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    const std::shared_ptr<const TableSnapshot> cur = Pin();
+    auto next = std::make_shared<TableSnapshot>();
+    next->epoch = src->epoch + 1;
+    next->version = cur->version + 1;
+    next->base = std::move(base);
+    next->base_data =
+        std::make_shared<std::vector<Trajectory>>(std::move(new_data));
+    next->base_ids = std::move(ids);
+    // Replay writes that raced the rebuild: they are already visible in
+    // `cur`'s delta, but against the *old* base; re-expressing them against
+    // the new base keeps the live set identical across the publish.
+    for (Op& op : op_log_) {
+      if (op.is_insert) {
+        next->inserts.push_back(std::move(op.insert));
+        continue;
+      }
+      const auto it = std::find_if(
+          next->inserts.begin(), next->inserts.end(),
+          [&op](const Trajectory& t) { return t.id() == op.erase; });
+      if (it != next->inserts.end()) {
+        next->inserts.erase(it);
+      } else if (next->base_ids->count(op.erase) > 0) {
+        next->deleted.insert(op.erase);
+      }
+    }
+    op_log_.clear();
+    merging_ = false;
+    ++merges_;
+    {
+      std::lock_guard<std::mutex> slock(snap_mu_);
+      snap_ = std::move(next);
+    }
+  }
+  m_merges_.Increment();
+  if (tracer_ != nullptr) tracer_->Instant("serving.epoch.published");
+  // Writes that raced the rebuild may already exceed the threshold again.
+  MaybeScheduleMerge();
+  return Status::OK();
+}
+
+void DitaService::MergeLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(merge_mu_);
+      merge_cv_.wait(lock,
+                     [this] { return merge_requested_ || stop_.load(); });
+      if (stop_.load()) return;
+      merge_requested_ = false;
+    }
+    // Background merge failures (e.g. a fault-injected build) are retried
+    // on the next threshold crossing; the delta keeps queries exact
+    // meanwhile.
+    const Status merged = MergeOnce();
+    (void)merged;
+  }
+}
+
+// --------------------------------------------------------------- queries --
+
+uint64_t DitaService::EstimateCost(const TableSnapshot& snap,
+                                   const QueryRequest& req) const {
+  if (req.cost_hint > 0) return req.cost_hint;
+  if (snap.base == nullptr) return 1;
+  if (req.kind == QueryKind::kJoin) {
+    QueryRequest probe = req;
+    probe.join_right_service = nullptr;
+    probe.join_right = nullptr;
+    if (req.join_right_service != nullptr &&
+        req.join_right_service != this) {
+      const std::shared_ptr<const TableSnapshot> rs =
+          req.join_right_service->Pin();
+      if (rs->base != nullptr) probe.join_right = rs->base.get();
+    } else if (req.join_right != nullptr) {
+      probe.join_right = req.join_right;
+    }
+    // A null probe.join_right means self-join against our own base.
+    return snap.base->EstimateQueryCost(probe);
+  }
+  return snap.base->EstimateQueryCost(req);
+}
+
+Result<QueryResult> DitaService::Execute(const QueryRequest& req) const {
+  if (!started_) return Status::Internal("DitaService used before Start");
+  // Cost is estimated against the snapshot current at arrival; the query
+  // itself runs on the snapshot pinned *after* the grant, so it sees every
+  // write that completed before it was scheduled.
+  const uint64_t cost = EstimateCost(*Pin(), req);
+  QueryScheduler::Grant grant;
+  DITA_RETURN_IF_ERROR(scheduler_->Acquire(req.priority, cost, req.ctx, &grant));
+  const std::shared_ptr<const TableSnapshot> snap = Pin();
+
+  obs::SpanGuard span(tracer_, "serving.query");
+  span.Arg("epoch", snap->epoch);
+  m_queries_.Increment();
+
+  Result<QueryResult> res = Status::OK();
+  switch (req.kind) {
+    case QueryKind::kSearch:
+      res = SearchSnapshot(*snap, req);
+      break;
+    case QueryKind::kKnnSearch:
+      res = KnnSnapshot(*snap, req);
+      break;
+    case QueryKind::kJoin: {
+      if (req.join_right_service != nullptr && req.join_right != nullptr) {
+        return Status::InvalidArgument(
+            "set at most one of join_right / join_right_service");
+      }
+      if (req.join_right_service != nullptr &&
+          req.join_right_service != this) {
+        if (req.join_right_service->cluster_.get() != cluster_.get()) {
+          return Status::InvalidArgument("joined tables must share a cluster");
+        }
+        const std::shared_ptr<const TableSnapshot> rsnap =
+            req.join_right_service->Pin();
+        res = JoinSnapshots(*snap, *rsnap, req);
+      } else if (req.join_right != nullptr) {
+        // Bare-engine right side: wrap it as a deltaless snapshot.
+        TableSnapshot rsnap;
+        rsnap.base = std::shared_ptr<const DitaEngine>(
+            std::shared_ptr<const DitaEngine>(), req.join_right);
+        res = JoinSnapshots(*snap, rsnap, req);
+      } else {
+        res = JoinSnapshots(*snap, *snap, req);
+      }
+      break;
+    }
+  }
+  if (!res.ok()) return res;
+  res->serving.epoch = snap->epoch;
+  res->serving.version = snap->version;
+  m_delta_scanned_.Add(res->serving.delta_scanned);
+  if (req.collect_stats) RecordExplain(*res);
+  return res;
+}
+
+std::future<Result<QueryResult>> DitaService::Submit(QueryRequest req) const {
+  Job job;
+  job.req = std::move(req);
+  std::future<Result<QueryResult>> fut = job.promise.get_future();
+  if (stop_.load() || !started_) {
+    job.promise.set_value(Status::Unavailable("service stopped"));
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+  return fut;
+}
+
+void DitaService::ExecutorLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock,
+                    [this] { return !jobs_.empty() || stop_.load(); });
+      if (jobs_.empty()) return;  // stop_ with an empty queue
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job.promise.set_value(Execute(job.req));
+  }
+}
+
+Status DitaService::SearchIdsInto(const TableSnapshot& snap,
+                                  const Trajectory& q, double tau,
+                                  QueryContext* ctx,
+                                  QueryResult::ServingInfo* acct,
+                                  std::vector<TrajectoryId>* out) const {
+  if (snap.base != nullptr) {
+    QueryRequest base_req;
+    base_req.kind = QueryKind::kSearch;
+    base_req.query = q;
+    base_req.tau = tau;
+    base_req.ctx = ctx;
+    base_req.collect_stats = false;
+    auto r = snap.base->Execute(base_req);
+    DITA_RETURN_IF_ERROR(r.status());
+    for (const TrajectoryId id : r->ids) {
+      if (snap.deleted.count(id) > 0) {
+        ++acct->deleted_filtered;
+      } else {
+        out->push_back(id);
+      }
+    }
+  } else {
+    if (q.size() < 2) {
+      return Status::InvalidArgument("query needs at least 2 points");
+    }
+    if (tau < 0) {
+      return Status::InvalidArgument("threshold must be non-negative");
+    }
+  }
+  // Delta scan: exact, because Verifier::Verify is the same accept
+  // predicate the indexed path ends in (sound filters + thresholded DP).
+  const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.verify.cell_size);
+  VerifyStats dstats;
+  for (const Trajectory& t : snap.inserts) {
+    ++acct->delta_scanned;
+    const VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
+    if (verifier_->Verify(t, tp, q, qp, tau, &dstats)) {
+      out->push_back(t.id());
+      ++acct->delta_matches;
+    }
+  }
+  if (!snap.inserts.empty()) {
+    acct->delta_funnel.AddLevel("delta buffer", snap.inserts.size());
+    acct->delta_funnel.AddLevel("mbr coverage",
+                                dstats.pairs - dstats.pruned_by_mbr);
+    acct->delta_funnel.AddLevel("cell bound", dstats.dp_computed);
+    acct->delta_funnel.AddLevel("threshold dp", dstats.accepted);
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> DitaService::SearchSnapshot(const TableSnapshot& snap,
+                                                const QueryRequest& req) const {
+  QueryResult res;
+  res.kind = QueryKind::kSearch;
+  std::vector<TrajectoryId> ids;
+  if (snap.base != nullptr) {
+    QueryRequest base_req = req;
+    base_req.join_right = nullptr;
+    base_req.join_right_service = nullptr;
+    auto r = snap.base->Execute(base_req);
+    DITA_RETURN_IF_ERROR(r.status());
+    res.search_stats = std::move(r->search_stats);
+    for (const TrajectoryId id : r->ids) {
+      if (snap.deleted.count(id) > 0) {
+        ++res.serving.deleted_filtered;
+      } else {
+        ids.push_back(id);
+      }
+    }
+  } else {
+    if (req.query.size() < 2) {
+      return Status::InvalidArgument("query needs at least 2 points");
+    }
+    if (req.tau < 0) {
+      return Status::InvalidArgument("threshold must be non-negative");
+    }
+  }
+  const VerifyPrecomp qp =
+      VerifyPrecomp::For(req.query, config_.verify.cell_size);
+  VerifyStats dstats;
+  for (const Trajectory& t : snap.inserts) {
+    ++res.serving.delta_scanned;
+    const VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
+    if (verifier_->Verify(t, tp, req.query, qp, req.tau, &dstats)) {
+      ids.push_back(t.id());
+      ++res.serving.delta_matches;
+    }
+  }
+  if (!snap.inserts.empty() && req.collect_stats) {
+    res.serving.delta_funnel.AddLevel("delta buffer", snap.inserts.size());
+    res.serving.delta_funnel.AddLevel("mbr coverage",
+                                      dstats.pairs - dstats.pruned_by_mbr);
+    res.serving.delta_funnel.AddLevel("cell bound", dstats.dp_computed);
+    res.serving.delta_funnel.AddLevel("threshold dp", dstats.accepted);
+  }
+  std::sort(ids.begin(), ids.end());
+  res.ids = std::move(ids);
+  if (req.collect_stats) res.search_stats.results = res.ids.size();
+  return res;
+}
+
+Result<QueryResult> DitaService::KnnSnapshot(const TableSnapshot& snap,
+                                             const QueryRequest& req) const {
+  QueryResult res;
+  res.kind = QueryKind::kKnnSearch;
+  if (req.query.size() < 2) {
+    return Status::InvalidArgument("query needs at least 2 points");
+  }
+  if (req.k == 0) return res;
+  if (req.k > snap.live_size()) {
+    return Status::InvalidArgument("k exceeds the table cardinality");
+  }
+  std::vector<std::pair<TrajectoryId, double>> scored;
+  if (snap.base != nullptr) {
+    // Deleted ids may occupy up to |deleted| of the base's top slots, so
+    // over-fetch by that much; the top-k *live* base answers are then
+    // guaranteed to be present.
+    const size_t kbase =
+        std::min(snap.base_size(), req.k + snap.deleted.size());
+    QueryRequest base_req = req;
+    base_req.k = kbase;
+    base_req.join_right = nullptr;
+    base_req.join_right_service = nullptr;
+    auto r = snap.base->Execute(base_req);
+    DITA_RETURN_IF_ERROR(r.status());
+    res.search_stats = std::move(r->search_stats);
+    for (const auto& [id, d] : r->neighbors) {
+      if (snap.deleted.count(id) > 0) {
+        ++res.serving.deleted_filtered;
+      } else {
+        scored.emplace_back(id, d);
+      }
+    }
+  }
+  // Delta trajectories are scored with the same DP kernel the engine uses,
+  // so merged distances are bit-comparable with the base's.
+  for (const Trajectory& t : snap.inserts) {
+    ++res.serving.delta_scanned;
+    scored.emplace_back(t.id(), distance_->Compute(t, req.query));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (scored.size() > req.k) scored.resize(req.k);
+  for (const auto& [id, d] : scored) {
+    (void)d;
+    if (snap.base_ids == nullptr || snap.base_ids->count(id) == 0) {
+      ++res.serving.delta_matches;
+    }
+  }
+  res.neighbors = std::move(scored);
+  if (req.collect_stats) res.search_stats.results = res.neighbors.size();
+  return res;
+}
+
+Result<QueryResult> DitaService::JoinSnapshots(const TableSnapshot& left,
+                                               const TableSnapshot& right,
+                                               const QueryRequest& req) const {
+  QueryResult res;
+  res.kind = QueryKind::kJoin;
+  if (req.tau < 0) {
+    return Status::InvalidArgument("threshold must be non-negative");
+  }
+  std::vector<std::pair<TrajectoryId, TrajectoryId>> pairs;
+
+  // Term 1: base x base through the distributed join, minus pairs whose
+  // endpoint died. (The three terms partition live x live: term 1 covers
+  // live-base x live-base, term 2 the left delta against everything live on
+  // the right, term 3 the live left base against the right delta — disjoint
+  // by construction, so no dedup pass is needed.)
+  if (left.base != nullptr && right.base != nullptr) {
+    QueryRequest base_req = req;
+    base_req.join_right = right.base.get();
+    base_req.join_right_service = nullptr;
+    auto r = left.base->Execute(base_req);
+    DITA_RETURN_IF_ERROR(r.status());
+    res.join_stats = std::move(r->join_stats);
+    for (const auto& [l, rr] : r->pairs) {
+      if (left.deleted.count(l) > 0 || right.deleted.count(rr) > 0) {
+        ++res.serving.deleted_filtered;
+      } else {
+        pairs.emplace_back(l, rr);
+      }
+    }
+  }
+
+  // Term 2: left delta x live right (base and delta of the right snapshot).
+  for (const Trajectory& t : left.inserts) {
+    ++res.serving.delta_scanned;
+    std::vector<TrajectoryId> rids;
+    DITA_RETURN_IF_ERROR(
+        SearchIdsInto(right, t, req.tau, req.ctx, &res.serving, &rids));
+    for (const TrajectoryId rid : rids) {
+      pairs.emplace_back(t.id(), rid);
+      ++res.serving.delta_matches;
+    }
+  }
+
+  // Term 3: live left base x right delta. Distance kernels are symmetric
+  // under argument swap (the batch join already relies on this: edge
+  // orientation decides which side ships), so searching the left base with
+  // a right-delta trajectory tests exactly f(left, right) <= tau.
+  if (left.base != nullptr) {
+    for (const Trajectory& t : right.inserts) {
+      ++res.serving.delta_scanned;
+      QueryRequest probe;
+      probe.kind = QueryKind::kSearch;
+      probe.query = t;
+      probe.tau = req.tau;
+      probe.ctx = req.ctx;
+      probe.collect_stats = false;
+      auto r = left.base->Execute(probe);
+      DITA_RETURN_IF_ERROR(r.status());
+      for (const TrajectoryId lid : r->ids) {
+        if (left.deleted.count(lid) > 0) {
+          ++res.serving.deleted_filtered;
+          continue;
+        }
+        pairs.emplace_back(lid, t.id());
+        ++res.serving.delta_matches;
+      }
+    }
+  }
+
+  std::sort(pairs.begin(), pairs.end());
+  res.pairs = std::move(pairs);
+  if (req.collect_stats) res.join_stats.result_pairs = res.pairs.size();
+  return res;
+}
+
+// ---------------------------------------------------------------- explain --
+
+void DitaService::RecordExplain(const QueryResult& res) const {
+  std::ostringstream out;
+  const char* kind = res.kind == QueryKind::kSearch
+                         ? "similarity search"
+                         : (res.kind == QueryKind::kJoin ? "trajectory join"
+                                                         : "knn search");
+  out << "== Serving query (" << kind << ") ==\n"
+      << "epoch: " << res.serving.epoch << ", version: " << res.serving.version
+      << "\n";
+  const obs::FilterFunnel& base_funnel = res.kind == QueryKind::kJoin
+                                             ? res.join_stats.funnel
+                                             : res.search_stats.funnel;
+  if (!base_funnel.empty()) out << base_funnel.ToTable();
+  out << "delta: scanned " << res.serving.delta_scanned << ", matched "
+      << res.serving.delta_matches << ", deleted filtered "
+      << res.serving.deleted_filtered << "\n";
+  if (!res.serving.delta_funnel.empty()) {
+    out << res.serving.delta_funnel.ToTable();
+  }
+  const size_t results = res.kind == QueryKind::kSearch
+                             ? res.ids.size()
+                             : (res.kind == QueryKind::kJoin
+                                    ? res.pairs.size()
+                                    : res.neighbors.size());
+  out << "results: " << results << "\n";
+  std::lock_guard<std::mutex> lock(explain_mu_);
+  last_explain_ = out.str();
+}
+
+std::string DitaService::ExplainLastQuery() const {
+  std::lock_guard<std::mutex> lock(explain_mu_);
+  return last_explain_;
+}
+
+}  // namespace dita

@@ -1,0 +1,201 @@
+#ifndef DITA_SERVING_SERVICE_H_
+#define DITA_SERVING_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "serving/scheduler.h"
+#include "serving/snapshot.h"
+#include "workload/dataset.h"
+
+namespace dita {
+
+/// The long-lived serving runtime around DitaEngine: where the engine is
+/// build-once / query-once, DitaService multiplexes concurrent
+/// Search/Join/KnnSearch traffic over a *mutating* table.
+///
+///  - **Scheduling**: every query passes the fair-share QueryScheduler
+///    (cost-estimated from global-index stats, priority-shaped slot shares,
+///    bounded head-of-line bypass) before touching the cluster.
+///  - **Streaming ingest**: Insert/Delete land in a delta buffer that
+///    queries scan linearly (exact — the scan uses the same verification
+///    predicate as the index path — and funnel-accounted). Once the delta
+///    reaches ServingOptions::merge_threshold, an epoch merge rebuilds the
+///    base index with the delta folded in, on a background thread (or
+///    inline with synchronous_merge).
+///  - **Snapshot pinning**: queries pin an immutable TableSnapshot for
+///    their whole lifetime, so ingest and merges running concurrently never
+///    tear an in-flight query's view; ExplainLastQuery reports the epoch a
+///    query ran against.
+///
+/// All three query kinds answer bit-identically to a fresh batch DitaEngine
+/// built on the pinned snapshot's live set (the oracle property
+/// serving_test enforces).
+class DitaService {
+ public:
+  DitaService(std::shared_ptr<Cluster> cluster, const DitaConfig& config);
+  ~DitaService();
+
+  DitaService(const DitaService&) = delete;
+  DitaService& operator=(const DitaService&) = delete;
+
+  /// Builds the epoch-0 base index over `initial` (may be empty) and starts
+  /// the background merge + executor threads. Must be called exactly once
+  /// before any other method.
+  Status Start(const Dataset& initial);
+
+  /// Drains and joins the background threads. Idempotent; the destructor
+  /// calls it. Queries submitted after Stop() fail with Unavailable.
+  void Stop();
+
+  /// Synchronous query execution: schedule (blocking for a fair-share slot
+  /// grant), pin the freshest snapshot, run. Thread-safe; any number of
+  /// Execute calls may run concurrently with each other and with ingest.
+  Result<QueryResult> Execute(const QueryRequest& req) const;
+
+  /// Asynchronous execution on the service's executor pool
+  /// (ServingOptions::scheduler_threads). The request is owned by the
+  /// future's job; a non-null req.ctx must outlive the future.
+  std::future<Result<QueryResult>> Submit(QueryRequest req) const;
+
+  /// Streaming ingest. Insert requires >= 2 points and an id that is not
+  /// currently live (re-inserting a deleted id is fine); Delete removes a
+  /// pending insert directly or marks a base id deleted, and returns
+  /// NotFound for ids that are not live. Both publish a new snapshot
+  /// version; in-flight queries keep their pinned view.
+  Status Insert(const Trajectory& t);
+  Status Delete(TrajectoryId id);
+
+  /// Runs an epoch merge now (rebuilding the base with the delta folded
+  /// in), synchronously, regardless of merge_threshold. No-op when the
+  /// delta is empty.
+  Status ForceMerge();
+
+  /// Pins the current snapshot: the returned view is immutable and stays
+  /// valid for as long as the pointer is held, no matter what ingest or
+  /// merges do afterwards.
+  std::shared_ptr<const TableSnapshot> Pin() const;
+
+  uint64_t epoch() const { return Pin()->epoch; }
+  uint64_t version() const { return Pin()->version; }
+  size_t live_size() const { return Pin()->live_size(); }
+  size_t delta_ops() const { return Pin()->delta_ops(); }
+  /// Epoch merges completed since Start().
+  uint64_t merges() const;
+
+  /// EXPLAIN for the most recent query on this service: kind, the epoch /
+  /// version it ran against, the base filter funnel, and the delta-scan
+  /// funnel. Empty string if no query ran yet.
+  std::string ExplainLastQuery() const;
+
+  const QueryScheduler& scheduler() const { return *scheduler_; }
+  const DitaConfig& config() const { return config_; }
+  const std::shared_ptr<Cluster>& cluster() const { return cluster_; }
+
+ private:
+  struct Op {
+    bool is_insert = false;
+    Trajectory insert;
+    TrajectoryId erase = -1;
+  };
+
+  /// Estimated admission cost of `req` against `snap` (cost_hint wins).
+  uint64_t EstimateCost(const TableSnapshot& snap, const QueryRequest& req) const;
+
+  /// Query bodies over pinned snapshots. `collect` mirrors
+  /// QueryRequest::collect_stats.
+  Result<QueryResult> SearchSnapshot(const TableSnapshot& snap,
+                                     const QueryRequest& req) const;
+  Result<QueryResult> KnnSnapshot(const TableSnapshot& snap,
+                                  const QueryRequest& req) const;
+  Result<QueryResult> JoinSnapshots(const TableSnapshot& left,
+                                    const TableSnapshot& right,
+                                    const QueryRequest& req) const;
+
+  /// Search ids of `snap` matching (q, tau) — the building block the join
+  /// delta terms reuse. Appends live matching ids (unsorted) to `out`.
+  Status SearchIdsInto(const TableSnapshot& snap, const Trajectory& q,
+                       double tau, QueryContext* ctx,
+                       QueryResult::ServingInfo* acct,
+                       std::vector<TrajectoryId>* out) const;
+
+  /// One epoch merge: rebuild the base over (base \ deleted) + inserts,
+  /// replay operations that arrived mid-merge, publish epoch+1. Returns
+  /// immediately when the delta is empty or another merge is running.
+  Status MergeOnce();
+  /// Kicks the background thread (or merges inline under
+  /// synchronous_merge) when the delta crossed merge_threshold.
+  void MaybeScheduleMerge();
+
+  void MergeLoop();
+  void ExecutorLoop();
+
+  void RecordExplain(const QueryResult& res) const;
+
+  std::shared_ptr<Cluster> cluster_;
+  DitaConfig config_;
+  /// Config the base engines are built with: identical except the engine
+  /// admission gate is disabled — the service's scheduler owns admission,
+  /// and double-gating would deadlock composed queries (join terms issue
+  /// nested base queries).
+  DitaConfig base_config_;
+  std::shared_ptr<TrajectoryDistance> distance_;
+  std::unique_ptr<Verifier> verifier_;
+  std::unique_ptr<QueryScheduler> scheduler_;
+  bool started_ = false;
+
+  /// Guards the published snapshot pointer (readers Pin() under it).
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const TableSnapshot> snap_;
+
+  /// Serializes writers (Insert / Delete / merge publish) and guards the
+  /// mid-merge op log. Mutable so const counters (merges()) can read under
+  /// it.
+  mutable std::mutex write_mu_;
+  bool merging_ = false;
+  std::vector<Op> op_log_;
+  uint64_t merges_ = 0;
+
+  /// Background merge thread. `stop_` is atomic so the executor pool and
+  /// Submit can read it without taking merge_mu_; setters still hold the
+  /// relevant mutex before notifying, so no wakeup is lost.
+  std::thread merge_thread_;
+  std::mutex merge_mu_;
+  std::condition_variable merge_cv_;
+  bool merge_requested_ = false;
+  std::atomic<bool> stop_{false};
+
+  /// Executor pool for Submit().
+  struct Job {
+    QueryRequest req;
+    std::promise<Result<QueryResult>> promise;
+  };
+  mutable std::mutex jobs_mu_;
+  mutable std::condition_variable jobs_cv_;
+  mutable std::deque<Job> jobs_;
+  std::vector<std::thread> executors_;
+
+  /// ExplainLastQuery state.
+  mutable std::mutex explain_mu_;
+  mutable std::string last_explain_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::CounterHandle m_inserts_;
+  obs::CounterHandle m_deletes_;
+  obs::CounterHandle m_merges_;
+  obs::CounterHandle m_queries_;
+  obs::CounterHandle m_delta_scanned_;
+};
+
+}  // namespace dita
+
+#endif  // DITA_SERVING_SERVICE_H_

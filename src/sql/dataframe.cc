@@ -1,5 +1,6 @@
 #include "sql/dataframe.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.h"
@@ -13,7 +14,7 @@ DataFrame DataFrameContext::CreateDataFrame(Dataset data) {
   return DataFrame(std::move(state));
 }
 
-Result<std::shared_ptr<DitaEngine>> DataFrame::EngineFor(
+Result<std::shared_ptr<DitaService>> DataFrame::ServiceFor(
     const std::string& function) {
   DistanceType type = state_->context->config().distance;
   if (!function.empty()) {
@@ -21,22 +22,31 @@ Result<std::shared_ptr<DitaEngine>> DataFrame::EngineFor(
     DITA_RETURN_IF_ERROR(parsed.status());
     type = *parsed;
   }
-  auto it = state_->engines.find(type);
-  if (it != state_->engines.end()) return it->second;
+  auto it = state_->services.find(type);
+  if (it != state_->services.end()) return it->second;
   DitaConfig config = state_->context->config();
   config.distance = type;
-  auto engine =
-      std::make_shared<DitaEngine>(state_->context->cluster(), config);
-  DITA_RETURN_IF_ERROR(engine->BuildIndex(state_->data));
-  state_->engines[type] = engine;
-  return engine;
+  // DataFrame is the deterministic convenience layer: merges run inline in
+  // the ingest call that crossed the threshold, so a query issued right
+  // after an Insert always sees a settled snapshot.
+  config.serving.synchronous_merge = true;
+  auto service =
+      std::make_shared<DitaService>(state_->context->cluster(), config);
+  DITA_RETURN_IF_ERROR(service->Start(state_->data));
+  state_->services[type] = service;
+  return service;
+}
+
+Result<std::shared_ptr<DitaService>> DataFrame::Service(
+    const std::string& function) {
+  return ServiceFor(function);
 }
 
 DataFrame& DataFrame::CreateTrieIndex(const std::string& function) {
-  auto engine = EngineFor(function);
-  if (!engine.ok()) {
+  auto service = ServiceFor(function);
+  if (!service.ok()) {
     DITA_LOG(kError) << "CreateTrieIndex failed: "
-                     << engine.status().ToString();
+                     << service.status().ToString();
   }
   return *this;
 }
@@ -44,54 +54,109 @@ DataFrame& DataFrame::CreateTrieIndex(const std::string& function) {
 Result<std::vector<TrajectoryId>> DataFrame::SimilaritySearch(
     const Trajectory& query, const std::string& function, double tau,
     DitaEngine::QueryStats* stats) {
-  auto engine = EngineFor(function);
-  DITA_RETURN_IF_ERROR(engine.status());
-  DitaEngine::QueryStats local;
-  auto result = (*engine)->Search(query, tau, stats != nullptr ? stats : &local);
-  if (result.ok()) {
-    state_->last_query_stats = stats != nullptr ? *stats : local;
-    state_->has_last_query = true;
-  }
-  return result;
+  auto service = ServiceFor(function);
+  DITA_RETURN_IF_ERROR(service.status());
+  QueryRequest req;
+  req.kind = QueryKind::kSearch;
+  req.query = query;
+  req.tau = tau;
+  auto result = (*service)->Execute(req);
+  DITA_RETURN_IF_ERROR(result.status());
+  if (stats != nullptr) *stats = result->search_stats;
+  state_->last_query_stats = std::move(result->search_stats);
+  state_->last_query_serving = result->serving;
+  state_->has_last_query = true;
+  return std::move(result->ids);
 }
 
 Result<std::vector<std::pair<TrajectoryId, double>>> DataFrame::KnnSearch(
     const Trajectory& query, const std::string& function, size_t k) {
-  auto engine = EngineFor(function);
-  DITA_RETURN_IF_ERROR(engine.status());
-  return (*engine)->KnnSearch(query, k);
+  auto service = ServiceFor(function);
+  DITA_RETURN_IF_ERROR(service.status());
+  QueryRequest req;
+  req.kind = QueryKind::kKnnSearch;
+  req.query = query;
+  req.k = k;
+  auto result = (*service)->Execute(req);
+  DITA_RETURN_IF_ERROR(result.status());
+  return std::move(result->neighbors);
 }
 
 Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> DataFrame::TraJoin(
     DataFrame& other, const std::string& function, double tau,
     DitaEngine::JoinStats* stats) {
-  auto left = EngineFor(function);
+  auto left = ServiceFor(function);
   DITA_RETURN_IF_ERROR(left.status());
-  auto right = other.EngineFor(function);
+  auto right = other.ServiceFor(function);
   DITA_RETURN_IF_ERROR(right.status());
-  DitaEngine::JoinStats local;
-  auto result = (*left)->Join(**right, tau, stats != nullptr ? stats : &local);
-  if (result.ok()) {
-    state_->last_join_stats = stats != nullptr ? *stats : local;
-    state_->has_last_join = true;
+  QueryRequest req;
+  req.kind = QueryKind::kJoin;
+  req.tau = tau;
+  req.join_right_service = right->get();
+  auto result = (*left)->Execute(req);
+  DITA_RETURN_IF_ERROR(result.status());
+  if (stats != nullptr) *stats = result->join_stats;
+  state_->last_join_stats = std::move(result->join_stats);
+  state_->last_join_serving = result->serving;
+  state_->has_last_join = true;
+  return std::move(result->pairs);
+}
+
+Status DataFrame::Insert(const Trajectory& t) {
+  if (t.size() < 2) {
+    return Status::InvalidArgument(
+        "DITA requires trajectories with at least 2 points");
   }
-  return result;
+  for (const Trajectory& existing : state_->data.trajectories()) {
+    if (existing.id() == t.id()) {
+      return Status::InvalidArgument("trajectory id is already live");
+    }
+  }
+  // Existing services first (they re-validate); the raw dataset — the seed
+  // for services built later — follows only once every service accepted.
+  for (auto& [type, service] : state_->services) {
+    DITA_RETURN_IF_ERROR(service->Insert(t));
+  }
+  state_->data.Add(t);
+  return Status::OK();
+}
+
+Status DataFrame::Delete(TrajectoryId id) {
+  auto& rows = state_->data.mutable_trajectories();
+  const auto it = std::find_if(rows.begin(), rows.end(), [id](const Trajectory& t) {
+    return t.id() == id;
+  });
+  if (it == rows.end()) return Status::NotFound("trajectory id is not live");
+  for (auto& [type, service] : state_->services) {
+    DITA_RETURN_IF_ERROR(service->Delete(id));
+  }
+  rows.erase(it);
+  return Status::OK();
 }
 
 std::string DataFrame::ExplainLastQuery() const {
   if (!state_->has_last_query) return "";
   const DitaEngine::QueryStats& s = state_->last_query_stats;
+  const QueryResult::ServingInfo& serving = state_->last_query_serving;
   std::ostringstream out;
   out << "== Similarity search ==\n"
       << s.funnel.ToTable() << "partitions probed: " << s.partitions_probed
       << ", candidates: " << s.candidates << ", results: " << s.results
       << ", makespan: " << s.makespan_seconds << "s\n";
+  if (serving.epoch > 0 || serving.delta_scanned > 0 ||
+      serving.deleted_filtered > 0) {
+    out << "epoch: " << serving.epoch << ", delta scanned: "
+        << serving.delta_scanned << ", delta matched: "
+        << serving.delta_matches << ", deleted filtered: "
+        << serving.deleted_filtered << "\n";
+  }
   return out.str();
 }
 
 std::string DataFrame::ExplainLastJoin() const {
   if (!state_->has_last_join) return "";
   const DitaEngine::JoinStats& s = state_->last_join_stats;
+  const QueryResult::ServingInfo& serving = state_->last_join_serving;
   std::ostringstream out;
   out << "== Trajectory join ==\n"
       << s.funnel.ToTable() << "graph edges: " << s.graph_edges
@@ -99,6 +164,13 @@ std::string DataFrame::ExplainLastJoin() const {
       << ", bytes shipped: " << s.bytes_shipped
       << ", result pairs: " << s.result_pairs
       << ", makespan: " << s.makespan_seconds << "s\n";
+  if (serving.epoch > 0 || serving.delta_scanned > 0 ||
+      serving.deleted_filtered > 0) {
+    out << "epoch: " << serving.epoch << ", delta scanned: "
+        << serving.delta_scanned << ", delta matched: "
+        << serving.delta_matches << ", deleted filtered: "
+        << serving.deleted_filtered << "\n";
+  }
   return out.str();
 }
 

@@ -9,18 +9,23 @@
 
 #include "cluster/cluster.h"
 #include "core/engine.h"
+#include "serving/service.h"
 #include "workload/dataset.h"
 
 namespace dita {
 
 /// The procedural counterpart of the SQL interface (§3 "DataFrame"): a
 /// trajectory collection with chainable analytics methods, in the spirit of
-/// Spark's DataFrame API.
+/// Spark's DataFrame API. Queries are routed through a long-lived
+/// DitaService per distance function, so a DataFrame is mutable: Insert and
+/// Delete stream into the service's delta buffers and epoch merges fold
+/// them into the indexes in the background of further queries.
 ///
 ///   DataFrameContext ctx(cluster, config);
 ///   DataFrame taxis = ctx.CreateDataFrame(dataset).CreateTrieIndex();
 ///   auto hits  = taxis.SimilaritySearch(q, "dtw", 0.005);
 ///   auto pairs = taxis.TraJoin(taxis, "dtw", 0.005);
+///   taxis.Insert(new_trip);   // visible to the next query
 class DataFrame;
 
 class DataFrameContext {
@@ -40,9 +45,9 @@ class DataFrameContext {
 
 class DataFrame {
  public:
-  /// Eagerly builds the trie index for `function` (default: the context's
-  /// configured distance). Without this call, analytics methods build the
-  /// index lazily on first use.
+  /// Eagerly builds the index (and starts the serving runtime) for
+  /// `function` (default: the context's configured distance). Without this
+  /// call, analytics methods build lazily on first use.
   DataFrame& CreateTrieIndex(const std::string& function = "");
 
   /// All trajectory ids within `tau` of `query` under `function`.
@@ -59,9 +64,15 @@ class DataFrame {
   Result<std::vector<std::pair<TrajectoryId, double>>> KnnSearch(
       const Trajectory& query, const std::string& function, size_t k);
 
+  /// Streaming ingest: the trajectory becomes visible to the next query on
+  /// every distance function's service (and to services built later).
+  Status Insert(const Trajectory& t);
+  Status Delete(TrajectoryId id);
+
   /// EXPLAIN for the most recent SimilaritySearch on any copy of this
-  /// DataFrame: filter-funnel table plus a one-line summary. Empty string if
-  /// no search ran yet.
+  /// DataFrame: filter-funnel table, a one-line summary, and — once the
+  /// DataFrame has mutated — the epoch the query ran against. Empty string
+  /// if no search ran yet.
   std::string ExplainLastQuery() const;
 
   /// EXPLAIN for the most recent TraJoin where this DataFrame was the left
@@ -71,6 +82,10 @@ class DataFrame {
   size_t size() const { return state_->data.size(); }
   const Dataset& dataset() const { return state_->data; }
 
+  /// The serving runtime backing `function` (built on demand); tests and
+  /// dashboards read scheduler / epoch counters from it.
+  Result<std::shared_ptr<DitaService>> Service(const std::string& function = "");
+
  private:
   friend class DataFrameContext;
 
@@ -78,19 +93,21 @@ class DataFrame {
   struct State {
     DataFrameContext* context = nullptr;
     Dataset data;
-    std::map<DistanceType, std::shared_ptr<DitaEngine>> engines;
+    std::map<DistanceType, std::shared_ptr<DitaService>> services;
     /// Stats of the newest search/join, kept for ExplainLast*(). DataFrame
     /// calls always collect stats — it is the convenience API, and the
     /// collection cost is one funnel per operation, not per candidate.
     DitaEngine::QueryStats last_query_stats;
+    QueryResult::ServingInfo last_query_serving;
     bool has_last_query = false;
     DitaEngine::JoinStats last_join_stats;
+    QueryResult::ServingInfo last_join_serving;
     bool has_last_join = false;
   };
 
   explicit DataFrame(std::shared_ptr<State> state) : state_(std::move(state)) {}
 
-  Result<std::shared_ptr<DitaEngine>> EngineFor(const std::string& function);
+  Result<std::shared_ptr<DitaService>> ServiceFor(const std::string& function);
 
   std::shared_ptr<State> state_;
 };

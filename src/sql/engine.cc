@@ -112,16 +112,19 @@ Result<SqlResult> SqlEngine::Execute(const std::string& sql) {
     auto query = ResolveQuery(knn->query);
     DITA_RETURN_IF_ERROR(query.status());
 
-    DitaEngine::QueryStats qstats;
-    auto neighbours = (*engine)->KnnSearch(*query, knn->k, 0.0, &qstats);
-    DITA_RETURN_IF_ERROR(neighbours.status());
+    QueryRequest req;
+    req.kind = QueryKind::kKnnSearch;
+    req.query = std::move(*query);
+    req.k = knn->k;
+    auto res = (*engine)->Execute(req);
+    DITA_RETURN_IF_ERROR(res.status());
     SqlResult result;
     result.columns = {"trajectory_id", "distance"};
-    for (const auto& [id, d] : *neighbours) {
+    for (const auto& [id, d] : res->neighbors) {
       result.rows.push_back(
           {StrFormat("%lld", static_cast<long long>(id)), StrFormat("%g", d)});
     }
-    result.seconds = qstats.makespan_seconds;
+    result.seconds = res->search_stats.makespan_seconds;
     return result;
   }
 
@@ -135,17 +138,19 @@ Result<SqlResult> SqlEngine::Execute(const std::string& sql) {
 
     auto resolved = ResolveQuery(search->query);
     DITA_RETURN_IF_ERROR(resolved.status());
-    const Trajectory& query = *resolved;
 
-    DitaEngine::QueryStats qstats;
-    auto ids = (*engine)->Search(query, search->threshold, &qstats);
-    DITA_RETURN_IF_ERROR(ids.status());
+    QueryRequest req;
+    req.kind = QueryKind::kSearch;
+    req.query = std::move(*resolved);
+    req.tau = search->threshold;
+    auto res = (*engine)->Execute(req);
+    DITA_RETURN_IF_ERROR(res.status());
     SqlResult result;
     result.columns = {"trajectory_id"};
-    for (TrajectoryId id : *ids) {
+    for (TrajectoryId id : res->ids) {
       result.rows.push_back({StrFormat("%lld", static_cast<long long>(id))});
     }
-    result.seconds = qstats.makespan_seconds;
+    result.seconds = res->search_stats.makespan_seconds;
     return result;
   }
 
@@ -161,17 +166,20 @@ Result<SqlResult> SqlEngine::Execute(const std::string& sql) {
   auto right_engine = EngineFor(*right, *type);
   DITA_RETURN_IF_ERROR(right_engine.status());
 
-  DitaEngine::JoinStats jstats;
-  auto pairs = (*left_engine)->Join(**right_engine, join.threshold, &jstats);
-  DITA_RETURN_IF_ERROR(pairs.status());
+  QueryRequest req;
+  req.kind = QueryKind::kJoin;
+  req.join_right = right_engine->get();
+  req.tau = join.threshold;
+  auto res = (*left_engine)->Execute(req);
+  DITA_RETURN_IF_ERROR(res.status());
   SqlResult result;
   result.columns = {StrToUpper(join.left_table) + ".id",
                     StrToUpper(join.right_table) + ".id"};
-  for (const auto& [a, b] : *pairs) {
+  for (const auto& [a, b] : res->pairs) {
     result.rows.push_back({StrFormat("%lld", static_cast<long long>(a)),
                            StrFormat("%lld", static_cast<long long>(b))});
   }
-  result.seconds = jstats.makespan_seconds;
+  result.seconds = res->join_stats.makespan_seconds;
   return result;
 }
 

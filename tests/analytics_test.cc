@@ -80,8 +80,8 @@ class AnalyticsEndToEnd : public ::testing::Test {
     ccfg.num_workers = 4;
     cluster_ = std::make_shared<Cluster>(ccfg);
     DitaConfig config;
-    config.ng = 3;
-    config.trie.leaf_capacity = 4;
+    config.build.ng = 3;
+    config.build.trie.leaf_capacity = 4;
     engine_ = std::make_unique<DitaEngine>(cluster_, config);
 
     GeneratorConfig gcfg;

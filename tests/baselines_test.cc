@@ -130,9 +130,9 @@ TEST(SimbaTest, SelfJoinMatchesDita) {
   ASSERT_TRUE(simba_got.ok());
 
   DitaConfig config;
-  config.ng = 3;
-  config.trie.num_pivots = 3;
-  config.trie.leaf_capacity = 4;
+  config.build.ng = 3;
+  config.build.trie.num_pivots = 3;
+  config.build.trie.leaf_capacity = 4;
   DitaEngine engine(cluster, config);
   ASSERT_TRUE(engine.BuildIndex(ds).ok());
   DitaEngine::JoinStats dita_stats;
@@ -211,8 +211,8 @@ TEST(MbeTest, RejectsBadArgs) {
 TEST(CentralizedDitaTest, MatchesBruteForceAndPrunesMore) {
   Dataset ds = CityDataset(300, 59);
   DitaConfig config;
-  config.trie.num_pivots = 4;
-  config.trie.leaf_capacity = 4;
+  config.build.trie.num_pivots = 4;
+  config.build.trie.leaf_capacity = 4;
   CentralizedDita dita;
   ASSERT_TRUE(dita.Build(ds, config).ok());
   MbeIndex mbe;

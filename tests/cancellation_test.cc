@@ -34,13 +34,13 @@ Dataset CityDataset(size_t n, uint64_t seed) {
 
 DitaConfig SmallConfig() {
   DitaConfig config;
-  config.ng = 3;
-  config.trie.num_pivots = 3;
-  config.trie.align_fanout = 8;
-  config.trie.pivot_fanout = 4;
-  config.trie.leaf_capacity = 4;
+  config.build.ng = 3;
+  config.build.trie.num_pivots = 3;
+  config.build.trie.align_fanout = 8;
+  config.build.trie.pivot_fanout = 4;
+  config.build.trie.leaf_capacity = 4;
   config.distance_params.epsilon = 0.01;
-  config.cell_size = 0.02;
+  config.verify.cell_size = 0.02;
   return config;
 }
 
@@ -377,8 +377,8 @@ TEST(AdmissionGateTest, EngineGateBoundsConcurrentQueries) {
   ccfg.execution_threads = 2;
   auto cluster = std::make_shared<Cluster>(ccfg);
   DitaConfig config = SmallConfig();
-  config.max_inflight_queries = 2;
-  config.max_queued_queries = 2;
+  config.serving.max_inflight_queries = 2;
+  config.serving.max_queued_queries = 2;
   DitaEngine engine(cluster, config);
   ASSERT_TRUE(engine.BuildIndex(ds).ok());
 

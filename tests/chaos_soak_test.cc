@@ -46,13 +46,13 @@ Dataset CityDataset(size_t n, uint64_t seed) {
 
 DitaConfig SmallConfig() {
   DitaConfig config;
-  config.ng = 3;
-  config.trie.num_pivots = 3;
-  config.trie.align_fanout = 8;
-  config.trie.pivot_fanout = 4;
-  config.trie.leaf_capacity = 4;
+  config.build.ng = 3;
+  config.build.trie.num_pivots = 3;
+  config.build.trie.align_fanout = 8;
+  config.build.trie.pivot_fanout = 4;
+  config.build.trie.leaf_capacity = 4;
   config.distance_params.epsilon = 0.01;
-  config.cell_size = 0.02;
+  config.verify.cell_size = 0.02;
   return config;
 }
 
@@ -158,8 +158,8 @@ std::string RunSerialSoak(const Dataset& ds, const Oracles& oracles,
   auto cluster = std::make_shared<Cluster>(ccfg);
   cluster->InjectFaults(ChaosPlan(seed));
   DitaConfig config = SmallConfig();
-  config.max_inflight_queries = 1;  // gate on, but serial never queues
-  config.max_queued_queries = 1;
+  config.serving.max_inflight_queries = 1;  // gate on, but serial never queues
+  config.serving.max_queued_queries = 1;
   DitaEngine engine(cluster, config);
   EXPECT_TRUE(engine.BuildIndex(ds).ok());
 
@@ -267,8 +267,8 @@ TEST(ChaosSoakTest, ConcurrentSoakUnderGateAndRandomCancellation) {
     auto cluster = std::make_shared<Cluster>(ccfg);
     cluster->InjectFaults(ChaosPlan(seed));
     DitaConfig config = SmallConfig();
-    config.max_inflight_queries = 2;
-    config.max_queued_queries = 2;
+    config.serving.max_inflight_queries = 2;
+    config.serving.max_queued_queries = 2;
     DitaEngine engine(cluster, config);
     ASSERT_TRUE(engine.BuildIndex(ds).ok());
 
@@ -337,7 +337,7 @@ TEST(ChaosSoakTest, ConcurrentSoakUnderGateAndRandomCancellation) {
 
     ASSERT_NE(engine.admission_gate(), nullptr);
     EXPECT_LE(engine.admission_gate()->inflight_high_water(),
-              config.max_inflight_queries)
+              config.serving.max_inflight_queries)
         << "seed=" << seed;
     EXPECT_EQ(engine.admission_gate()->inflight(), 0u) << "seed=" << seed;
     EXPECT_EQ(engine.admission_gate()->queued(), 0u) << "seed=" << seed;

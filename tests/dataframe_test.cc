@@ -15,9 +15,9 @@ class DataFrameTest : public ::testing::Test {
     ccfg.num_workers = 4;
     cluster_ = std::make_shared<Cluster>(ccfg);
     DitaConfig config;
-    config.ng = 3;
-    config.trie.num_pivots = 3;
-    config.trie.leaf_capacity = 4;
+    config.build.ng = 3;
+    config.build.trie.num_pivots = 3;
+    config.build.trie.leaf_capacity = 4;
     context_ = std::make_unique<DataFrameContext>(cluster_, config);
 
     GeneratorConfig gcfg;
@@ -125,6 +125,55 @@ TEST_F(DataFrameTest, TwoFrameJoin) {
   auto pairs = left.TraJoin(right, "dtw", 0.05, &stats);
   ASSERT_TRUE(pairs.ok());
   EXPECT_GT(stats.graph_edges, 0u);
+}
+
+TEST_F(DataFrameTest, InsertAndDeleteStreamIntoQueries) {
+  DataFrame df = context_->CreateDataFrame(data_).CreateTrieIndex();
+  const Trajectory& q = data_[7];
+  auto before = df.SimilaritySearch(q, "dtw", 0.02);
+  ASSERT_TRUE(before.ok());
+
+  // A twin of the query trajectory under a fresh id must show up in the
+  // very next search; deleting it hides it again.
+  const Trajectory twin(5001, q.points());
+  ASSERT_TRUE(df.Insert(twin).ok());
+  EXPECT_EQ(df.size(), data_.size() + 1);
+  auto with_twin = df.SimilaritySearch(q, "dtw", 0.02);
+  ASSERT_TRUE(with_twin.ok());
+  EXPECT_TRUE(std::binary_search(with_twin->begin(), with_twin->end(),
+                                 TrajectoryId(5001)));
+  // Once the frame has mutated, EXPLAIN reports the serving epoch line.
+  EXPECT_NE(df.ExplainLastQuery().find("delta scanned"), std::string::npos);
+
+  ASSERT_TRUE(df.Delete(5001).ok());
+  auto after = df.SimilaritySearch(q, "dtw", 0.02);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+
+  // Validation mirrors the service: duplicate live ids and dead deletes
+  // are rejected without touching the frame.
+  EXPECT_FALSE(df.Insert(data_[0]).ok());
+  EXPECT_FALSE(df.Delete(987654).ok());
+  EXPECT_EQ(df.size(), data_.size());
+}
+
+TEST_F(DataFrameTest, IngestReachesEveryDistanceFunctionService) {
+  DataFrame df = context_->CreateDataFrame(data_);
+  ASSERT_TRUE(df.SimilaritySearch(data_[3], "dtw", 0.02).ok());
+  ASSERT_TRUE(df.SimilaritySearch(data_[3], "frechet", 0.02).ok());
+
+  const Trajectory twin(6001, data_[3].points());
+  ASSERT_TRUE(df.Insert(twin).ok());
+  for (const char* fn : {"dtw", "frechet"}) {
+    auto got = df.SimilaritySearch(data_[3], fn, 0.02);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(std::binary_search(got->begin(), got->end(),
+                                   TrajectoryId(6001)))
+        << fn;
+  }
+  // A service created after the insert seeds from the mutated dataset.
+  auto edr = df.KnnSearch(data_[3], "edr", 2);
+  ASSERT_TRUE(edr.ok());
 }
 
 }  // namespace

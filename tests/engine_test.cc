@@ -48,22 +48,22 @@ Dataset CityDataset(size_t n = 400, uint64_t seed = 51) {
 
 DitaConfig SmallConfig(DistanceType type = DistanceType::kDTW) {
   DitaConfig config;
-  config.ng = 3;
-  config.trie.num_pivots = 3;
-  config.trie.align_fanout = 8;
-  config.trie.pivot_fanout = 4;
-  config.trie.leaf_capacity = 4;
+  config.build.ng = 3;
+  config.build.trie.num_pivots = 3;
+  config.build.trie.align_fanout = 8;
+  config.build.trie.pivot_fanout = 4;
+  config.build.trie.leaf_capacity = 4;
   config.distance = type;
   config.distance_params.epsilon = 0.01;
   config.distance_params.delta = 4;
-  config.cell_size = 0.02;
+  config.verify.cell_size = 0.02;
   return config;
 }
 
 TEST(DitaEngineTest, BuildValidatesInput) {
   auto cluster = MakeCluster();
   DitaConfig config = SmallConfig();
-  config.ng = 0;
+  config.build.ng = 0;
   DitaEngine bad(cluster, config);
   EXPECT_FALSE(bad.BuildIndex(CityDataset(20)).ok());
 
@@ -110,7 +110,7 @@ TEST(DitaEngineTest, ParallelBuildMatchesSerialBuild) {
   ASSERT_TRUE(serial.BuildIndex(ds).ok());
 
   DitaConfig parallel_cfg = SmallConfig();
-  parallel_cfg.build_threads = 3;
+  parallel_cfg.build.threads = 3;
   DitaEngine parallel(MakeCluster(), parallel_cfg);
   ASSERT_TRUE(parallel.BuildIndex(ds).ok());
 
@@ -263,8 +263,8 @@ TEST(DitaEngineTest, ParallelVerificationMatchesSerial) {
 
   auto parallel_cluster = MakeCluster();
   DitaConfig parallel_config = SmallConfig();
-  parallel_config.verify_threads = 2;
-  parallel_config.verify_parallel_min = 1;  // force the pool path
+  parallel_config.verify.threads = 2;
+  parallel_config.verify.parallel_min = 1;  // force the pool path
   DitaEngine parallel(parallel_cluster, parallel_config);
   ASSERT_TRUE(parallel.BuildIndex(ds).ok());
 
@@ -438,8 +438,8 @@ TEST(DitaEngineTest, AblationTogglesPreserveCorrectness) {
   for (int mask = 0; mask < 4; ++mask) {
     auto cluster = MakeCluster();
     DitaConfig config = SmallConfig();
-    config.enable_mbr_verification = mask & 1;
-    config.enable_cell_verification = mask & 2;
+    config.verify.enable_mbr = mask & 1;
+    config.verify.enable_cell = mask & 2;
     config.enable_graph_orientation = mask & 1;
     config.enable_division_balancing = mask & 2;
     DitaEngine engine(cluster, config);
@@ -470,7 +470,7 @@ TEST(DitaEngineTest, DivisionBalancingFiresOnSkewAndPreservesResults) {
   auto run = [&](bool division) {
     auto cluster = MakeCluster(8);
     DitaConfig config = SmallConfig();
-    config.ng = 5;
+    config.build.ng = 5;
     config.enable_division_balancing = division;
     DitaEngine engine(cluster, config);
     EXPECT_TRUE(engine.BuildIndex(ds).ok());
@@ -497,7 +497,7 @@ TEST(DitaEngineTest, RandomPartitioningStillCorrect) {
   auto run = [&](bool random) {
     auto cluster = MakeCluster();
     DitaConfig config = SmallConfig();
-    config.random_partitioning = random;
+    config.build.random_partitioning = random;
     DitaEngine engine(cluster, config);
     EXPECT_TRUE(engine.BuildIndex(ds).ok());
     DitaEngine::JoinStats stats;

@@ -28,13 +28,13 @@ Dataset CityDataset(size_t n, uint64_t seed) {
 
 DitaConfig SmallConfig() {
   DitaConfig config;
-  config.ng = 3;
-  config.trie.num_pivots = 3;
-  config.trie.align_fanout = 8;
-  config.trie.pivot_fanout = 4;
-  config.trie.leaf_capacity = 4;
+  config.build.ng = 3;
+  config.build.trie.num_pivots = 3;
+  config.build.trie.align_fanout = 8;
+  config.build.trie.pivot_fanout = 4;
+  config.build.trie.leaf_capacity = 4;
   config.distance_params.epsilon = 0.01;
-  config.cell_size = 0.02;
+  config.verify.cell_size = 0.02;
   return config;
 }
 
@@ -169,7 +169,7 @@ TEST(FaultToleranceTest, StageDeadlineMissSurfacesStatus) {
   const Dataset ds = CityDataset(120, 47);
   auto cluster = MakeCluster();
   DitaConfig config = SmallConfig();
-  config.stage_deadline_seconds = 1.0;  // virtual seconds
+  config.serving.stage_deadline_seconds = 1.0;  // virtual seconds
   DitaEngine engine(cluster, config);
   ASSERT_TRUE(engine.BuildIndex(ds).ok());
 

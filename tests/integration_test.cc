@@ -22,9 +22,9 @@ std::shared_ptr<Cluster> MakeCluster() {
 
 DitaConfig SmallConfig() {
   DitaConfig config;
-  config.ng = 3;
-  config.trie.num_pivots = 3;
-  config.trie.leaf_capacity = 4;
+  config.build.ng = 3;
+  config.build.trie.num_pivots = 3;
+  config.build.trie.leaf_capacity = 4;
   return config;
 }
 

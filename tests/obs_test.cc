@@ -316,13 +316,13 @@ Dataset ObsDataset(size_t n = 300, uint64_t seed = 51) {
 
 DitaConfig ObsConfig() {
   DitaConfig config;
-  config.ng = 3;
-  config.trie.num_pivots = 3;
-  config.trie.align_fanout = 8;
-  config.trie.pivot_fanout = 4;
-  config.trie.leaf_capacity = 4;
+  config.build.ng = 3;
+  config.build.trie.num_pivots = 3;
+  config.build.trie.align_fanout = 8;
+  config.build.trie.pivot_fanout = 4;
+  config.build.trie.leaf_capacity = 4;
   config.distance = DistanceType::kDTW;
-  config.cell_size = 0.02;
+  config.verify.cell_size = 0.02;
   config.enable_tracing = true;
   config.enable_metrics = true;
   return config;

@@ -105,9 +105,9 @@ class SqlEngineTest : public ::testing::Test {
     ccfg.num_workers = 4;
     auto cluster = std::make_shared<Cluster>(ccfg);
     DitaConfig config;
-    config.ng = 3;
-    config.trie.num_pivots = 3;
-    config.trie.leaf_capacity = 4;
+    config.build.ng = 3;
+    config.build.trie.num_pivots = 3;
+    config.build.trie.leaf_capacity = 4;
     engine_ = std::make_unique<SqlEngine>(cluster, config);
 
     GeneratorConfig gcfg;

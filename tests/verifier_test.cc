@@ -11,8 +11,8 @@ namespace {
 std::unique_ptr<Verifier> MakeVerifier(DistanceType type, bool mbr = true,
                                        bool cell = true) {
   DitaConfig config;
-  config.enable_mbr_verification = mbr;
-  config.enable_cell_verification = cell;
+  config.verify.enable_mbr = mbr;
+  config.verify.enable_cell = cell;
   auto dist = *MakeDistance(type, config.distance_params);
   return std::make_unique<Verifier>(dist, config);
 }
