@@ -49,10 +49,18 @@ inline std::string MetaJson() {
 ///                      default size, far below the paper's but same shapes)
 ///   --queries=<int>    queries per measurement point (default 50)
 ///   --workers=<int>    default simulated worker count (default 16)
+///   --quick            smoke mode: shrink measurement windows / loads so the
+///                      bench finishes in seconds (numbers are noisy but the
+///                      JSON schema is complete — ci.sh bench-smoke gates on
+///                      shape, not precision)
+///   --out=<path>       where to write the bench's BENCH_*.json (default:
+///                      the bench's usual name in the working directory)
 struct Args {
   double scale = 1.0;
   size_t queries = 50;
   size_t workers = 16;
+  bool quick = false;
+  std::string out;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -64,6 +72,10 @@ inline Args ParseArgs(int argc, char** argv) {
       args.queries = static_cast<size_t>(std::atoi(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       args.workers = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      args.out = argv[i] + 6;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);

@@ -50,7 +50,13 @@ TrieIndex::Options FilterTrieOptions() {
   return opts;
 }
 
-/// Times `fn` until ~100ms of wall clock has elapsed; returns ns per call.
+/// Measurement window per timed primitive; --quick shrinks it so the JSON
+/// write finishes in well under a second (numbers get noisy, schema stays
+/// complete — ci.sh bench-smoke gates on shape, not precision).
+double g_measure_seconds = 0.1;
+
+/// Times `fn` until ~g_measure_seconds of wall clock has elapsed; returns ns
+/// per call.
 template <typename Fn>
 double NsPerCall(Fn&& fn) {
   fn();  // warm-up (faults in memory, sizes thread-local scratch)
@@ -59,7 +65,7 @@ double NsPerCall(Fn&& fn) {
   do {
     fn();
     ++done;
-  } while (timer.Seconds() < 0.1);
+  } while (timer.Seconds() < g_measure_seconds);
   return timer.Seconds() * 1e9 / static_cast<double>(done);
 }
 
@@ -193,13 +199,60 @@ void WriteFilterJson(const char* path) {
   json += "  },\n";
 
   // --- Trie candidate-collection throughput, queries/sec (headline). ---
+  double single_qps = 0.0;
   {
     const double ns = collect_ns(PruneMode::kAccumulate, 0.01, 0.0);
+    single_qps = 1e9 / ns;
     std::snprintf(buf, sizeof(buf),
-                  "  \"trie_collect_queries_per_sec\": %.0f,\n", 1e9 / ns);
+                  "  \"trie_collect_queries_per_sec\": %.0f,\n", single_qps);
     json += buf;
     std::printf("trie throughput (accumulate, tau=0.01) %12.0f queries/sec\n",
-                1e9 / ns);
+                single_qps);
+  }
+
+  // --- Batched candidate collection (DESIGN.md §5f): the same 64 queries
+  // pushed through CollectCandidatesBatch in groups, sharing one traversal
+  // per group. batch_1 exercises the batch entry point's single-query
+  // delegation; the larger sizes show the shared-traversal gain. Candidate
+  // sets are bit-identical to the single path (batch_filter_test).
+  {
+    std::vector<std::vector<uint32_t>> outs(num_queries);
+    auto batch_qps = [&](size_t batch) {
+      const double ns_per_round = NsPerCall([&] {
+        for (size_t lo = 0; lo < num_queries; lo += batch) {
+          const size_t hi = std::min(lo + batch, num_queries);
+          std::vector<TrieIndex::BatchQuery> bq(hi - lo);
+          for (size_t i = lo; i < hi; ++i) {
+            bq[i - lo].spec.query = queries[i];
+            bq[i - lo].spec.tau = 0.01;
+            bq[i - lo].spec.mode = PruneMode::kAccumulate;
+            outs[i].clear();
+            bq[i - lo].out = &outs[i];
+          }
+          trie.CollectCandidatesBatch(bq.data(), bq.size());
+        }
+        benchmark::DoNotOptimize(outs[0].size());
+      });
+      return 1e9 / (ns_per_round / static_cast<double>(num_queries));
+    };
+    json += "  \"trie_collect_batch_queries_per_sec\": {";
+    const size_t sizes[] = {1, 2, 8, 32, 64};
+    double qps32 = 0.0;
+    for (size_t i = 0; i < 5; ++i) {
+      const double qps = batch_qps(sizes[i]);
+      if (sizes[i] == 32) qps32 = qps;
+      std::snprintf(buf, sizeof(buf), "\"batch_%zu\": %.0f%s", sizes[i], qps,
+                    i + 1 < 5 ? ", " : "");
+      json += buf;
+      std::printf("trie batch=%-3zu (accumulate, tau=0.01) %12.0f queries/sec\n",
+                  sizes[i], qps);
+    }
+    json += "},\n";
+    std::snprintf(buf, sizeof(buf), "  \"speedup_batch_32\": %.2f,\n",
+                  qps32 / single_qps);
+    json += buf;
+    std::printf("batch=32 speedup over single-query path %11.2fx\n",
+                qps32 / single_qps);
   }
 
   // --- Global R-tree probe, ns/query. ---
@@ -319,10 +372,25 @@ void WriteFilterJson(const char* path) {
 
 int main(int argc, char** argv) {
   bool skip_json = false;
+  bool quick = false;
+  const char* out = "BENCH_micro_filter.json";
+  // Strip this binary's flags before handing argv to google-benchmark.
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--skip_json") == 0) skip_json = true;
+    if (std::strcmp(argv[i], "--skip_json") == 0) {
+      skip_json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      argv[kept++] = argv[i];
+    }
   }
-  if (!skip_json) dita::WriteFilterJson("BENCH_micro_filter.json");
+  argc = kept;
+  if (quick) dita::g_measure_seconds = 0.01;
+  if (!skip_json) dita::WriteFilterJson(out);
+  if (quick) return 0;  // smoke mode: JSON only, skip google-benchmark
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -19,6 +19,9 @@
 #                      # admission tests under ASan/UBSan and TSan
 #   ./ci.sh serving    # serving runtime: scheduler/ingest/oracle tests plus
 #                      # the concurrent snapshot-pinning soak under TSan
+#   ./ci.sh bench-smoke # quick-mode micro-filter + serving benches; emitted
+#                      # JSON is schema-checked and tolerance-diffed against
+#                      # the committed BENCH_*.json baselines
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,7 +53,7 @@ native_filter='Oracle|ThresholdEdge|DpScratch|Dtw|Frechet|Edr|Lcss|Erp|Distance|
 # threads: the pool itself, parallel index construction and tiling sorts
 # (FlatTrie/FlatStrTile), batched parallel verification, and the cluster
 # runtime's threaded stages.
-tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|Cancellation|AdmissionGate|ChaosSoak|Serving|QueryScheduler|DitaService'
+tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|Cancellation|AdmissionGate|ChaosSoak|Serving|QueryScheduler|DitaService|BatchFilter|BatchExecute'
 
 # The chaos pass: the seeded chaos/soak harness (fault injection + random
 # mid-flight cancellation + tight budgets + the admission gate) plus the
@@ -71,7 +74,7 @@ obs_filter='Obs|Funnel|Logging|obs_demo_schema'
 # and the concurrent soak (ingest + background epoch merges + sync/async
 # queries racing) — plain first, then under TSan so snapshot pinning, the
 # merge thread, and the executor pool are race-checked.
-serving_filter='Serving|QueryScheduler|AdmissionGateCost|ExecuteAlias|DitaService|DataFrame'
+serving_filter='Serving|QueryScheduler|AdmissionGateCost|ExecuteAlias|DitaService|DataFrame|BatchExecute'
 
 case "${mode}" in
   plain)    run_pass build ;;
@@ -92,6 +95,23 @@ case "${mode}" in
             ./build/examples/serving_demo
             run_pass build-tsan "--filter=${serving_filter}" \
                      -DDITA_SANITIZE=thread ;;
+  # The bench-smoke pass runs the two benches whose JSON the repo commits
+  # (micro-filter: the batched-traversal speedup sweep; serving: the
+  # open-loop runtime + Submit-coalescing A/B) in --quick mode, then
+  # validates structure and tolerance-diffs throughput vs the committed
+  # baselines. Quick mode shrinks measurement windows ~10x, so the gate is
+  # loose (see tools/check_bench_json.py) — it catches emitter bit-rot and
+  # collapse-sized regressions, not percent-level drift.
+  bench-smoke)
+            run_pass build
+            ./build/bench/bench_micro_filter --quick \
+                --out=build/smoke_micro_filter.json
+            ./build/bench/bench_serving --quick \
+                --out=build/smoke_serving.json
+            python3 tools/check_bench_json.py micro_filter \
+                build/smoke_micro_filter.json --baseline BENCH_micro_filter.json
+            python3 tools/check_bench_json.py serving \
+                build/smoke_serving.json --baseline BENCH_serving.json ;;
   all)      run_pass build
             ./build/examples/obs_demo --selftest
             run_pass build-asan -DDITA_SANITIZE=address
@@ -99,7 +119,7 @@ case "${mode}" in
                      -DDITA_SANITIZE=thread
             run_pass build-native "--filter=${native_filter}" \
                      -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
-  *) echo "usage: $0 [plain|sanitize|tsan|native|obs|chaos|serving|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|sanitize|tsan|native|obs|chaos|serving|bench-smoke|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: all passes green"

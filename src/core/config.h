@@ -118,6 +118,19 @@ struct DitaConfig {
     /// threshold (deterministic; tests and single-threaded harnesses);
     /// false runs them on DitaService's background merge thread.
     bool synchronous_merge = false;
+
+    /// Micro-batching of Submit()ed queries (DESIGN.md §5f): an executor
+    /// draining the queue coalesces up to this many *compatible* queued
+    /// requests (threshold searches with no join target — same metric and
+    /// snapshot by construction) into one DitaService::ExecuteBatch call,
+    /// sharing the trie traversal and verify sweeps. 1 disables coalescing.
+    /// Answers are bit-identical either way.
+    size_t max_batch_size = 1;
+
+    /// With coalescing enabled, how long an executor may linger for more
+    /// compatible work after picking up the first request of a batch. 0
+    /// coalesces only what is already queued (no added latency).
+    double batch_window_seconds = 0.0;
   };
 
   BuildOptions build;

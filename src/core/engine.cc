@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <map>
 #include <mutex>
 #include <unordered_map>
 
@@ -462,25 +463,13 @@ Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
   const bool want_probe_stats = stats != nullptr || metrics_ != nullptr;
   const size_t trie_levels = config_.build.trie.num_pivots + 2;
 
-  // Workers: local filter + verify per relevant partition. Each task writes
-  // only its own slot, so a query cut short can merge exactly the tasks
-  // that ran to completion — partial results are a well-defined subset, not
-  // a torn merge.
-  struct LocalOut {
-    std::vector<TrajectoryId> ids;
-    size_t candidates = 0;
-    VerifyStats vstats;
-    TrieIndex::ProbeStats pstats;
-    /// Set at the end of the task body; false when the task was cut short
-    /// mid-filter (its partial output must be discarded).
-    bool complete = false;
-  };
-  std::vector<LocalOut> outs(relevant.size());
+  // Workers: local filter + verify per relevant partition.
+  std::vector<SearchLocalOut> outs(relevant.size());
   std::vector<Cluster::Task> tasks;
   tasks.reserve(relevant.size());
   for (size_t idx = 0; idx < relevant.size(); ++idx) {
     const Partition* part = &partitions_[relevant[idx]];
-    LocalOut* out = &outs[idx];
+    SearchLocalOut* out = &outs[idx];
     tasks.push_back({part->home_worker,
                      [&, part, out] {
                        if (want_probe_stats) out->pstats.Reset(trie_levels);
@@ -509,6 +498,28 @@ Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
   // Merge the surviving tasks' slots. A complete query merges everything
   // (kept is all-ones and every slot is complete), so this is the same
   // result as the pre-slot merge.
+  std::vector<const SearchLocalOut*> slots(relevant.size(), nullptr);
+  for (size_t idx = 0; idx < relevant.size(); ++idx) {
+    if ((kept.empty() || kept[idx]) && outs[idx].complete) {
+      slots[idx] = &outs[idx];
+    }
+  }
+  size_t total_candidates = 0;
+  std::vector<TrajectoryId> results =
+      MergeSearch(relevant, slots, stats, ctx, snap, &total_candidates);
+  query_span.Arg("partitions_probed", relevant.size());
+  query_span.Arg("candidates", total_candidates);
+  query_span.Arg("results", results.size());
+  return results;
+}
+
+std::vector<TrajectoryId> DitaEngine::MergeSearch(
+    const std::vector<uint32_t>& relevant,
+    const std::vector<const SearchLocalOut*>& slots, QueryStats* stats,
+    QueryContext* ctx, const Cluster::CostSnapshot& snap,
+    size_t* total_candidates_out) const {
+  const bool want_probe_stats = stats != nullptr || metrics_ != nullptr;
+  const size_t trie_levels = config_.build.trie.num_pivots + 2;
   std::vector<TrajectoryId> results;
   size_t total_candidates = 0;
   uint64_t relevant_population = 0;
@@ -519,13 +530,13 @@ Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
   for (size_t idx = 0; idx < relevant.size(); ++idx) {
     const uint64_t population = partitions_[relevant[idx]].trie.size();
     relevant_population += population;
-    if (!kept.empty() && !kept[idx]) continue;
-    if (!outs[idx].complete) continue;
+    const SearchLocalOut* out = slots[idx];
+    if (out == nullptr) continue;
     merged_population += population;
-    results.insert(results.end(), outs[idx].ids.begin(), outs[idx].ids.end());
-    total_candidates += outs[idx].candidates;
-    vstats.Merge(outs[idx].vstats);
-    if (want_probe_stats) pstats.Merge(outs[idx].pstats);
+    results.insert(results.end(), out->ids.begin(), out->ids.end());
+    total_candidates += out->candidates;
+    vstats.Merge(out->vstats);
+    if (want_probe_stats) pstats.Merge(out->pstats);
   }
   const double completeness =
       relevant_population == 0
@@ -535,9 +546,6 @@ Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
 
   RecordFilterMetrics(relevant.size(), pstats, vstats);
   h_query_candidates_.Observe(static_cast<double>(total_candidates));
-  query_span.Arg("partitions_probed", relevant.size());
-  query_span.Arg("candidates", total_candidates);
-  query_span.Arg("results", results.size());
 
   if (stats != nullptr) {
     stats->makespan_seconds = cluster_->MakespanSince(snap);
@@ -575,7 +583,227 @@ Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
     stats->funnel = std::move(funnel);
   }
   std::sort(results.begin(), results.end());
+  if (total_candidates_out != nullptr) *total_candidates_out = total_candidates;
   return results;
+}
+
+std::vector<Result<QueryResult>> DitaEngine::ExecuteBatch(
+    std::span<const QueryRequest> reqs) const {
+  std::vector<Result<QueryResult>> out;
+  out.reserve(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    out.push_back(Result<QueryResult>(Status::Internal("batch slot not filled")));
+  }
+  // Only valid threshold searches batch; everything else — joins, kNN, and
+  // searches that would fail validation — takes the standalone path so its
+  // behavior (including its error) is exactly Execute's.
+  std::vector<size_t> batched;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const QueryRequest& req = reqs[i];
+    const bool batchable = req.kind == QueryKind::kSearch && indexed_ &&
+                           req.query.size() >= 2 && req.tau >= 0;
+    if (batchable) {
+      batched.push_back(i);
+    } else {
+      out[i] = Execute(req);
+    }
+  }
+  if (batched.empty()) return out;
+  if (batched.size() == 1) {
+    out[batched[0]] = Execute(reqs[batched[0]]);
+    return out;
+  }
+  // One admission ticket covers the whole batch at the members' summed
+  // cost, so the gate's inflight-cost budget sees the same load as the
+  // standalone calls would have presented.
+  uint64_t cost = 0;
+  for (const size_t i : batched) cost += EstimateQueryCost(reqs[i]);
+  AdmissionGate::Ticket ticket;
+  const Status admitted = AdmitQuery(nullptr, cost, &ticket);
+  if (!admitted.ok()) {
+    for (const size_t i : batched) out[i] = admitted;
+    return out;
+  }
+  SearchBatchImpl(reqs, batched, &out);
+  return out;
+}
+
+void DitaEngine::SearchBatchImpl(std::span<const QueryRequest> reqs,
+                                 const std::vector<size_t>& members,
+                                 std::vector<Result<QueryResult>>* results) const {
+  const Cluster::CostSnapshot snap = cluster_->Snapshot();
+  obs::SpanGuard batch_span(tracer_, "query.batch");
+  batch_span.Arg("queries", members.size());
+  const size_t n = members.size();
+  const size_t trie_levels = config_.build.trie.num_pivots + 2;
+  const Point* erp_gap = config_.distance == DistanceType::kERP
+                             ? &config_.distance_params.erp_gap
+                             : nullptr;
+
+  // Driver: per member, relevant partitions + verification precomp (the
+  // same work the standalone path performs, once per member).
+  CpuTimer driver_timer;
+  std::vector<std::vector<uint32_t>> relevant(n);
+  std::vector<VerifyPrecomp> qps;
+  qps.reserve(n);
+  for (size_t m = 0; m < n; ++m) {
+    const QueryRequest& req = reqs[members[m]];
+    relevant[m] = global_.RelevantPartitions(req.query, req.tau,
+                                             distance_->prune_mode(),
+                                             distance_->matching_epsilon(),
+                                             erp_gap);
+    qps.push_back(VerifyPrecomp::For(req.query, config_.verify.cell_size));
+  }
+  cluster_->RecordDriverCompute(driver_timer.Seconds());
+
+  // Group members by relevant partition: each involved partition is probed
+  // by ONE task running the shared trie traversal and the multi-query
+  // verify pass for its member subset — this is where the batch saves work
+  // over n standalone stages. Slots stay per (partition, member), so each
+  // member's merge/degradation logic is untouched.
+  struct PartWork {
+    uint32_t pid = 0;
+    std::vector<uint32_t> members;     // ordinals into `members`, ascending
+    std::vector<SearchLocalOut> outs;  // parallel to members
+  };
+  std::map<uint32_t, std::vector<uint32_t>> by_part;
+  for (size_t m = 0; m < n; ++m) {
+    for (const uint32_t pid : relevant[m]) {
+      by_part[pid].push_back(static_cast<uint32_t>(m));
+    }
+  }
+  std::vector<PartWork> work;
+  work.reserve(by_part.size());
+  std::unordered_map<uint32_t, uint32_t> work_of;
+  for (auto& [pid, ms] : by_part) {
+    work_of[pid] = static_cast<uint32_t>(work.size());
+    PartWork pw;
+    pw.pid = pid;
+    pw.members = std::move(ms);
+    pw.outs.resize(pw.members.size());
+    work.push_back(std::move(pw));
+  }
+  // slot_of[m][idx] locates member m's slot for relevant[m][idx].
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> slot_of(n);
+  for (size_t m = 0; m < n; ++m) {
+    slot_of[m].reserve(relevant[m].size());
+    for (const uint32_t pid : relevant[m]) {
+      const uint32_t w = work_of[pid];
+      const auto& wm = work[w].members;
+      const uint32_t j = static_cast<uint32_t>(
+          std::lower_bound(wm.begin(), wm.end(), static_cast<uint32_t>(m)) -
+          wm.begin());
+      slot_of[m].push_back({w, j});
+    }
+  }
+
+  std::vector<Cluster::Task> tasks;
+  tasks.reserve(work.size());
+  for (PartWork& pw : work) {
+    const Partition* part = &partitions_[pw.pid];
+    PartWork* w = &pw;
+    tasks.push_back(
+        {part->home_worker,
+         [this, part, w, reqs, &members, &qps, trie_levels] {
+           const size_t cnt = w->members.size();
+           std::vector<std::vector<uint32_t>> cand(cnt);
+           std::vector<std::vector<uint32_t>> acc(cnt);
+           std::vector<TrieIndex::BatchQuery> bq(cnt);
+           for (size_t j = 0; j < cnt; ++j) {
+             const QueryRequest& req = reqs[members[w->members[j]]];
+             SearchLocalOut* slot = &w->outs[j];
+             TrieIndex::SearchSpec spec = MakeSpec(req.query, req.tau);
+             spec.ctx = req.ctx;
+             bq[j].spec = spec;
+             bq[j].out = &cand[j];
+             if (req.collect_stats || metrics_ != nullptr) {
+               slot->pstats.Reset(trie_levels);
+               bq[j].stats = &slot->pstats;
+             }
+           }
+           {
+             obs::SpanGuard collect_span(tracer_, "trie.collect");
+             part->trie.CollectCandidatesBatch(bq.data(), cnt);
+             size_t total = 0;
+             for (const auto& c : cand) total += c.size();
+             collect_span.Arg("queries", cnt);
+             collect_span.Arg("candidates", total);
+           }
+           std::vector<Verifier::MultiQuery> mq(cnt);
+           for (size_t j = 0; j < cnt; ++j) {
+             const QueryRequest& req = reqs[members[w->members[j]]];
+             mq[j] = Verifier::MultiQuery{&cand[j], &qps[w->members[j]],
+                                          req.tau,  req.ctx,
+                                          &acc[j],  &w->outs[j].vstats};
+           }
+           const Verifier::BatchResult r = verifier_->VerifyMulti(
+               part->precomp, mq.data(), cnt, verify_pool_.get(),
+               config_.verify.parallel_min, tracer_);
+           if (r.offloaded_seconds > 0.0) {
+             Cluster::ChargeCurrentTask(r.offloaded_seconds);
+           }
+           for (size_t j = 0; j < cnt; ++j) {
+             const QueryRequest& req = reqs[members[w->members[j]]];
+             SearchLocalOut* slot = &w->outs[j];
+             slot->candidates = cand[j].size();
+             for (const uint32_t pos : acc[j]) {
+               slot->ids.push_back(part->trie.trajectory(pos).id());
+             }
+             h_batch_survivors_.Observe(
+                 static_cast<double>(slot->vstats.dp_computed));
+             slot->complete = req.ctx == nullptr || !req.ctx->stopped();
+           }
+           return Status::OK();
+         },
+         part->data_bytes});
+  }
+
+  // The stage itself carries no member context: one member's stop must not
+  // abort the shared traversal for the rest (the traversal drops the
+  // stopped member from its alive sets instead). Infrastructure failures
+  // still fail the stage — and with it every member, exactly as each
+  // standalone call would have failed.
+  std::vector<uint8_t> kept;
+  const Status stage =
+      cluster_->RunStage(std::move(tasks), StageOpts("search.batch"), &kept);
+  for (size_t m = 0; m < n; ++m) {
+    QueryContext* const ctx = reqs[members[m]].ctx;
+    if (ctx != nullptr) {
+      ctx->ObserveVirtualSeconds(cluster_->MakespanSince(snap));
+    }
+  }
+  if (!stage.ok()) {
+    for (size_t m = 0; m < n; ++m) (*results)[members[m]] = stage;
+    return;
+  }
+
+  size_t batch_results = 0;
+  for (size_t m = 0; m < n; ++m) {
+    const QueryRequest& req = reqs[members[m]];
+    std::vector<const SearchLocalOut*> slots(relevant[m].size(), nullptr);
+    bool dropped = false;
+    for (size_t idx = 0; idx < relevant[m].size(); ++idx) {
+      const auto [w, j] = slot_of[m][idx];
+      if ((!kept.empty() && !kept[w]) || !work[w].outs[j].complete) {
+        dropped = true;
+        continue;
+      }
+      slots[idx] = &work[w].outs[j];
+    }
+    if (dropped) {
+      m_query_degraded_.Increment();
+      if (tracer_ != nullptr) tracer_->Instant("query.degraded");
+    }
+    QueryResult res;
+    res.kind = QueryKind::kSearch;
+    QueryStats* qstats = req.collect_stats ? &res.search_stats : nullptr;
+    size_t total_candidates = 0;
+    res.ids = MergeSearch(relevant[m], slots, qstats, req.ctx, snap,
+                          &total_candidates);
+    batch_results += res.ids.size();
+    (*results)[members[m]] = std::move(res);
+  }
+  batch_span.Arg("results", batch_results);
 }
 
 Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearchImpl(

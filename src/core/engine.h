@@ -2,6 +2,7 @@
 #define DITA_CORE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -193,6 +194,25 @@ class DitaEngine {
   /// query methods below are exact aliases over this.
   Result<QueryResult> Execute(const QueryRequest& req) const;
 
+  /// Executes a group of requests, running compatible threshold searches as
+  /// one batched pass through the filter pipeline (DESIGN.md §5f): each
+  /// relevant partition is probed once per batch with
+  /// TrieIndex::CollectCandidatesBatch + Verifier::VerifyMulti instead of
+  /// once per query. Results are positional (results[i] answers reqs[i])
+  /// and per query bit-identical to Execute — including funnel, verify, and
+  /// trie counters; only makespan-style timings reflect the shared stage.
+  /// Non-search requests (and searches that fail validation) fall back to
+  /// individual Execute calls. The batch is admitted as one ticket whose
+  /// cost is the members' summed estimate. A member whose QueryContext
+  /// stops mid-batch degrades alone, exactly as it would standalone; the
+  /// other members' answers are unaffected.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      std::span<const QueryRequest> reqs) const;
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<QueryRequest>& reqs) const {
+    return ExecuteBatch(std::span<const QueryRequest>(reqs));
+  }
+
   /// Estimated cost of `req` in admission units (relevant-partition probes
   /// for searches, partition-pair upper bound for joins; always >= 1).
   /// Drives the admission gate's cost budget and DitaService's fair-share
@@ -265,10 +285,43 @@ class DitaEngine {
     size_t data_bytes = 0;
   };
 
+  /// One (partition, query) slot of a search stage. Each task writes only
+  /// its own slots, so a query cut short can merge exactly the slots that
+  /// ran to completion — partial results are a well-defined subset, not a
+  /// torn merge.
+  struct SearchLocalOut {
+    std::vector<TrajectoryId> ids;
+    size_t candidates = 0;
+    VerifyStats vstats;
+    TrieIndex::ProbeStats pstats;
+    /// Set at the end of the task body; false when the task was cut short
+    /// mid-filter (its partial output must be discarded).
+    bool complete = false;
+  };
+
+  /// Merges one query's surviving per-partition slots (`slots` parallel to
+  /// `relevant`; null entries were dropped or incomplete), folds the
+  /// aggregated counters into the metrics registry, fills `stats`
+  /// (termination, completeness, filter funnel) when requested, and returns
+  /// the sorted result ids. Shared verbatim by the single-query and batched
+  /// search paths so their per-query accounting cannot drift apart.
+  std::vector<TrajectoryId> MergeSearch(
+      const std::vector<uint32_t>& relevant,
+      const std::vector<const SearchLocalOut*>& slots, QueryStats* stats,
+      QueryContext* ctx, const Cluster::CostSnapshot& snap,
+      size_t* total_candidates_out) const;
+
   /// The un-gated query bodies; Execute admits once, then dispatches here.
   Result<std::vector<TrajectoryId>> SearchImpl(const Trajectory& q, double tau,
                                                QueryStats* stats,
                                                QueryContext* ctx) const;
+
+  /// The batched search body: `members` indexes the kSearch requests of
+  /// `reqs` that passed validation; answers land in the matching positions
+  /// of `out`.
+  void SearchBatchImpl(std::span<const QueryRequest> reqs,
+                       const std::vector<size_t>& members,
+                       std::vector<Result<QueryResult>>* out) const;
   Result<std::vector<std::pair<TrajectoryId, TrajectoryId>>> JoinImpl(
       const DitaEngine& right, double tau, JoinStats* stats,
       QueryContext* ctx) const;

@@ -96,6 +96,21 @@ class Verifier {
     double offloaded_seconds = 0.0;
   };
 
+  /// One member of a multi-query verification pass: this query's candidate
+  /// list (positions into the shared partition precomp array) and its own
+  /// tau / stop token / output sinks. The accepted positions land in
+  /// `accepted` in candidate-list order, exactly as a standalone
+  /// VerifyBatch call would emit them, and `stats` receives the standalone
+  /// counters.
+  struct MultiQuery {
+    const std::vector<uint32_t>* candidates = nullptr;
+    const VerifyPrecomp* query = nullptr;
+    double tau = 0.0;
+    QueryContext* ctx = nullptr;
+    std::vector<uint32_t>* accepted = nullptr;
+    VerifyStats* stats = nullptr;
+  };
+
   Verifier(std::shared_ptr<TrajectoryDistance> distance, const DitaConfig& config)
       : distance_(std::move(distance)),
         mbr_enabled_(config.verify.enable_mbr),
@@ -117,6 +132,24 @@ class Verifier {
   BatchResult VerifyBatch(const Batch& batch, ThreadPool* pool,
                           size_t min_parallel, std::vector<uint32_t>* accepted,
                           VerifyStats* stats,
+                          obs::Tracer* tracer = nullptr) const;
+
+  /// Verifies several queries' candidate lists against one partition in a
+  /// single pass (DESIGN.md §5f). Per member the filter scan, accounting,
+  /// and context charges are identical to a standalone VerifyBatch call;
+  /// the surviving DP work of all members is then merged and swept
+  /// candidate-major — one candidate trajectory's SoA lanes are scored
+  /// against every interested query back to back while they are hot —
+  /// either serially or chunked across `pool` (`min_parallel` applies to
+  /// the merged survivor count). Per-member outputs are deterministic and
+  /// bit-identical to the standalone path; a member whose context stops
+  /// mid-sweep only loses its own remaining DP work (its partial output
+  /// must be discarded by the caller, as everywhere else). The summed
+  /// BatchResult's offloaded_seconds must be charged to the caller's
+  /// cluster task as usual.
+  BatchResult VerifyMulti(const std::vector<VerifyPrecomp>& precomp,
+                          MultiQuery* queries, size_t count, ThreadPool* pool,
+                          size_t min_parallel,
                           obs::Tracer* tracer = nullptr) const;
 
   const TrajectoryDistance& distance() const { return *distance_; }

@@ -96,4 +96,11 @@ std::vector<double> PowersOfTwoBounds(size_t n) {
   return bounds;
 }
 
+std::vector<double> LinearBounds(double start, double step, size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  for (size_t i = 0; i < n; ++i) bounds.push_back(start + step * i);
+  return bounds;
+}
+
 }  // namespace dita::obs

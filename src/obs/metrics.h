@@ -167,6 +167,11 @@ class HistogramHandle {
 /// count-valued histograms (candidates per query, survivors per batch).
 std::vector<double> PowersOfTwoBounds(size_t n);
 
+/// Evenly spaced bounds start, start+step, ... — for histograms over small
+/// bounded ranges (e.g. coalesced batch sizes) where power-of-two buckets
+/// would lump everything interesting into one or two cells.
+std::vector<double> LinearBounds(double start, double step, size_t n);
+
 }  // namespace dita::obs
 
 #endif  // DITA_OBS_METRICS_H_

@@ -1,6 +1,7 @@
 #include "serving/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
@@ -40,6 +41,9 @@ DitaService::DitaService(std::shared_ptr<Cluster> cluster,
   m_merges_ = {metrics_, "serving.merges"};
   m_queries_ = {metrics_, "serving.queries"};
   m_delta_scanned_ = {metrics_, "serving.delta.scanned"};
+  m_coalesced_queries_ = {metrics_, "serving.batch.coalesced"};
+  h_batch_size_ = {metrics_, "serving.batch.size",
+                   obs::LinearBounds(1.0, 1.0, 33)};
 }
 
 DitaService::~DitaService() { Stop(); }
@@ -401,18 +405,210 @@ std::future<Result<QueryResult>> DitaService::Submit(QueryRequest req) const {
 }
 
 void DitaService::ExecutorLoop() {
+  const size_t max_batch = std::max<size_t>(1, config_.serving.max_batch_size);
   while (true) {
-    Job job;
+    std::vector<Job> batch;
     {
       std::unique_lock<std::mutex> lock(jobs_mu_);
       jobs_cv_.wait(lock,
                     [this] { return !jobs_.empty() || stop_.load(); });
       if (jobs_.empty()) return;  // stop_ with an empty queue
-      job = std::move(jobs_.front());
+      batch.push_back(std::move(jobs_.front()));
       jobs_.pop_front();
+      if (max_batch > 1 && Coalescible(batch.front().req)) {
+        // Coalesce the FIFO *prefix* of compatible queued requests —
+        // stopping at the first incompatible one preserves submission
+        // order across the batch boundary.
+        while (batch.size() < max_batch && !jobs_.empty() &&
+               Coalescible(jobs_.front().req)) {
+          batch.push_back(std::move(jobs_.front()));
+          jobs_.pop_front();
+        }
+        if (batch.size() < max_batch && jobs_.empty() && !stop_.load() &&
+            config_.serving.batch_window_seconds > 0.0) {
+          // Linger briefly for more compatible work; an incompatible
+          // arrival or the window expiring closes the batch.
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      config_.serving.batch_window_seconds));
+          while (batch.size() < max_batch && !stop_.load()) {
+            const bool woke = jobs_cv_.wait_until(
+                lock, deadline,
+                [this] { return !jobs_.empty() || stop_.load(); });
+            if (!woke || stop_.load()) break;  // window expired or stopping
+            if (jobs_.empty() || !Coalescible(jobs_.front().req)) break;
+            batch.push_back(std::move(jobs_.front()));
+            jobs_.pop_front();
+          }
+        }
+      }
     }
-    job.promise.set_value(Execute(job.req));
+    if (batch.size() == 1) {
+      batch.front().promise.set_value(Execute(batch.front().req));
+      continue;
+    }
+    coalesced_batches_.fetch_add(1);
+    coalesced_queries_.fetch_add(batch.size());
+    m_coalesced_queries_.Add(batch.size());
+    h_batch_size_.Observe(static_cast<double>(batch.size()));
+    std::vector<QueryRequest> reqs;
+    reqs.reserve(batch.size());
+    for (Job& j : batch) reqs.push_back(std::move(j.req));
+    std::vector<Result<QueryResult>> results = ExecuteBatch(reqs);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
   }
+}
+
+std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
+    const std::vector<QueryRequest>& reqs) const {
+  std::vector<Result<QueryResult>> out;
+  out.reserve(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    out.push_back(
+        Result<QueryResult>(Status::Internal("batch slot not filled")));
+  }
+  if (reqs.empty()) return out;
+  if (!started_) {
+    for (auto& r : out) r = Status::Internal("DitaService used before Start");
+    return out;
+  }
+  // Joins and kNN take the standalone path with their own grants; only
+  // threshold searches share the batch machinery.
+  std::vector<size_t> members;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (Coalescible(reqs[i])) {
+      members.push_back(i);
+    } else {
+      out[i] = Execute(reqs[i]);
+    }
+  }
+  if (members.empty()) return out;
+  if (members.size() == 1) {
+    out[members[0]] = Execute(reqs[members[0]]);
+    return out;
+  }
+  const size_t n = members.size();
+
+  // One fair-share grant covers the whole batch: the members' summed cost
+  // at the most urgent member's priority, so the scheduler sees the same
+  // load the standalone calls would have presented.
+  uint64_t cost = 0;
+  int priority = reqs[members[0]].priority;
+  {
+    const std::shared_ptr<const TableSnapshot> cur = Pin();
+    for (const size_t i : members) {
+      cost += EstimateCost(*cur, reqs[i]);
+      priority = std::min(priority, reqs[i].priority);
+    }
+  }
+  QueryScheduler::Grant grant;
+  const Status adm = scheduler_->Acquire(priority, cost, nullptr, &grant);
+  if (!adm.ok()) {
+    for (const size_t i : members) out[i] = adm;
+    return out;
+  }
+  const std::shared_ptr<const TableSnapshot> snap = Pin();
+
+  obs::SpanGuard span(tracer_, "serving.query.batch");
+  span.Arg("epoch", snap->epoch);
+  span.Arg("queries", n);
+  m_queries_.Add(n);
+
+  std::vector<QueryResult> res(n);
+  std::vector<std::vector<TrajectoryId>> ids(n);
+  std::vector<uint8_t> live(n, 1);
+  if (snap->base != nullptr) {
+    std::vector<QueryRequest> base_reqs;
+    base_reqs.reserve(n);
+    for (const size_t i : members) {
+      QueryRequest br = reqs[i];
+      br.join_right = nullptr;
+      br.join_right_service = nullptr;
+      base_reqs.push_back(std::move(br));
+    }
+    std::vector<Result<QueryResult>> base_res =
+        snap->base->ExecuteBatch(base_reqs);
+    for (size_t m = 0; m < n; ++m) {
+      if (!base_res[m].ok()) {
+        out[members[m]] = base_res[m].status();
+        live[m] = 0;
+        continue;
+      }
+      res[m].search_stats = std::move(base_res[m]->search_stats);
+      for (const TrajectoryId id : base_res[m]->ids) {
+        if (snap->deleted.count(id) > 0) {
+          ++res[m].serving.deleted_filtered;
+        } else {
+          ids[m].push_back(id);
+        }
+      }
+    }
+  } else {
+    for (size_t m = 0; m < n; ++m) {
+      const QueryRequest& req = reqs[members[m]];
+      if (req.query.size() < 2) {
+        out[members[m]] = Status::InvalidArgument(
+            "query needs at least 2 points");
+        live[m] = 0;
+      } else if (req.tau < 0) {
+        out[members[m]] =
+            Status::InvalidArgument("threshold must be non-negative");
+        live[m] = 0;
+      }
+    }
+  }
+
+  // Delta scan: each insert's VerifyPrecomp is computed ONCE and scored
+  // against every live member — the serving-side share of the batch. Per
+  // member, the scan order, counters, and funnel are exactly the standalone
+  // SearchSnapshot delta pass.
+  std::vector<VerifyPrecomp> qps;
+  qps.reserve(n);
+  std::vector<VerifyStats> dstats(n);
+  for (const size_t i : members) {
+    qps.push_back(VerifyPrecomp::For(reqs[i].query, config_.verify.cell_size));
+  }
+  for (const Trajectory& t : snap->inserts) {
+    const VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
+    for (size_t m = 0; m < n; ++m) {
+      if (!live[m]) continue;
+      const QueryRequest& req = reqs[members[m]];
+      ++res[m].serving.delta_scanned;
+      if (verifier_->Verify(t, tp, req.query, qps[m], req.tau, &dstats[m])) {
+        ids[m].push_back(t.id());
+        ++res[m].serving.delta_matches;
+      }
+    }
+  }
+
+  for (size_t m = 0; m < n; ++m) {
+    if (!live[m]) continue;
+    const QueryRequest& req = reqs[members[m]];
+    res[m].kind = QueryKind::kSearch;
+    if (!snap->inserts.empty() && req.collect_stats) {
+      res[m].serving.delta_funnel.AddLevel("delta buffer",
+                                           snap->inserts.size());
+      res[m].serving.delta_funnel.AddLevel(
+          "mbr coverage", dstats[m].pairs - dstats[m].pruned_by_mbr);
+      res[m].serving.delta_funnel.AddLevel("cell bound",
+                                           dstats[m].dp_computed);
+      res[m].serving.delta_funnel.AddLevel("threshold dp",
+                                           dstats[m].accepted);
+    }
+    std::sort(ids[m].begin(), ids[m].end());
+    res[m].ids = std::move(ids[m]);
+    if (req.collect_stats) res[m].search_stats.results = res[m].ids.size();
+    res[m].serving.epoch = snap->epoch;
+    res[m].serving.version = snap->version;
+    m_delta_scanned_.Add(res[m].serving.delta_scanned);
+    if (req.collect_stats) RecordExplain(res[m]);
+    out[members[m]] = std::move(res[m]);
+  }
+  return out;
 }
 
 Status DitaService::SearchIdsInto(const TableSnapshot& snap,

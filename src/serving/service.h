@@ -63,8 +63,30 @@ class DitaService {
 
   /// Asynchronous execution on the service's executor pool
   /// (ServingOptions::scheduler_threads). The request is owned by the
-  /// future's job; a non-null req.ctx must outlive the future.
+  /// future's job; a non-null req.ctx must outlive the future. With
+  /// ServingOptions::max_batch_size > 1, an executor draining the queue
+  /// coalesces a FIFO prefix of compatible requests (threshold searches
+  /// without join targets) into one ExecuteBatch call — answers are
+  /// bit-identical to sequential Execute calls on the same snapshot.
   std::future<Result<QueryResult>> Submit(QueryRequest req) const;
+
+  /// Executes several requests as one scheduled unit: ONE fair-share grant
+  /// (summed cost, most-urgent member priority), ONE pinned snapshot, the
+  /// base engine's batched search (shared trie traversal + multi-query
+  /// verify), and ONE delta pass whose per-insert VerifyPrecomp is computed
+  /// once and scored against every member. Results are positional and
+  /// per-member bit-identical to Execute against the same snapshot,
+  /// including stats, serving info, and per-member error statuses.
+  /// Requests that cannot coalesce (joins, kNN) fall back to standalone
+  /// Execute calls with their own grants. A member whose ctx stops loses
+  /// only its own answer.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<QueryRequest>& reqs) const;
+
+  /// Coalescing counters: batches executed through the coalesced Submit
+  /// path since Start(), and the total queries those batches contained.
+  uint64_t coalesced_batches() const { return coalesced_batches_.load(); }
+  uint64_t coalesced_queries() const { return coalesced_queries_.load(); }
 
   /// Streaming ingest. Insert requires >= 2 points and an id that is not
   /// currently live (re-inserting a deleted id is fine); Delete removes a
@@ -109,6 +131,14 @@ class DitaService {
 
   /// Estimated admission cost of `req` against `snap` (cost_hint wins).
   uint64_t EstimateCost(const TableSnapshot& snap, const QueryRequest& req) const;
+
+  /// True when `req` may join a coalesced batch: a threshold search with no
+  /// join target (all such requests share metric and snapshot by
+  /// construction, so one traversal can serve them all).
+  static bool Coalescible(const QueryRequest& req) {
+    return req.kind == QueryKind::kSearch && req.join_right == nullptr &&
+           req.join_right_service == nullptr;
+  }
 
   /// Query bodies over pinned snapshots. `collect` mirrors
   /// QueryRequest::collect_stats.
@@ -194,6 +224,10 @@ class DitaService {
   obs::CounterHandle m_merges_;
   obs::CounterHandle m_queries_;
   obs::CounterHandle m_delta_scanned_;
+  obs::CounterHandle m_coalesced_queries_;
+  obs::HistogramHandle h_batch_size_;
+  mutable std::atomic<uint64_t> coalesced_batches_{0};
+  mutable std::atomic<uint64_t> coalesced_queries_{0};
 };
 
 }  // namespace dita

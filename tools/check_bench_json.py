@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json emitted by the bench binaries.
+
+Two layers, both stdlib-only so CI needs nothing installed:
+
+1. Schema: the JSON must contain every required key path for its kind with
+   the right primitive type. A bench binary that bit-rots its emitter (or a
+   hand-edited baseline) fails fast here.
+
+2. Tolerance-gated diff vs a committed baseline (optional): throughput-like
+   metrics may not regress below ``1 - tolerance`` of the baseline value,
+   and correctness counters (wrong_answers) must be exactly zero. The
+   default tolerance is deliberately loose — the smoke pass runs the
+   benches in --quick mode on whatever loaded machine CI gives us, so only
+   collapse-sized regressions (half the baseline throughput) should gate.
+
+Usage:
+  check_bench_json.py micro_filter <json> [--baseline <json>] [--tolerance F]
+  check_bench_json.py serving     <json> [--baseline <json>] [--tolerance F]
+"""
+
+import argparse
+import json
+import sys
+
+NUM = (int, float)
+
+# Required key paths per kind: (path, type). Paths are dotted.
+SCHEMAS = {
+    "micro_filter": [
+        ("meta.build_type", str),
+        ("meta.hardware_threads", NUM),
+        ("trie_collect_ns_per_query.accumulate.tau_tight", NUM),
+        ("trie_collect_ns_per_query.accumulate.tau_mid", NUM),
+        ("trie_collect_ns_per_query.accumulate.tau_wide", NUM),
+        ("trie_collect_ns_per_query.max.tau_mid", NUM),
+        ("trie_collect_ns_per_query.edit.budget4", NUM),
+        ("trie_collect_queries_per_sec", NUM),
+        ("trie_collect_batch_queries_per_sec.batch_1", NUM),
+        ("trie_collect_batch_queries_per_sec.batch_2", NUM),
+        ("trie_collect_batch_queries_per_sec.batch_8", NUM),
+        ("trie_collect_batch_queries_per_sec.batch_32", NUM),
+        ("trie_collect_batch_queries_per_sec.batch_64", NUM),
+        ("speedup_batch_32", NUM),
+        ("rtree_probe_ns_per_query.within", NUM),
+        ("rtree_probe_ns_per_query.intersect", NUM),
+        ("index_build.trie_build_ms_4096", NUM),
+        ("index_build.trie_build_traj_per_sec", NUM),
+        ("index_build.partition_ms_16384", NUM),
+    ],
+    "serving": [
+        ("meta.build_type", str),
+        ("workload.scale", NUM),
+        ("workload.workers", NUM),
+        ("workload.run_seconds", NUM),
+        ("open_loop.queries", NUM),
+        ("open_loop.qps", NUM),
+        ("open_loop.p50_ms", NUM),
+        ("open_loop.p99_ms", NUM),
+        ("ingest.inserts", NUM),
+        ("ingest.deletes", NUM),
+        ("ingest.epoch_merges", NUM),
+        ("bulk_join.pairs", NUM),
+        ("bulk_join.matches_batch_oracle", bool),
+        ("batching.off_qps", NUM),
+        ("batching.on_qps", NUM),
+        ("batching.gain", NUM),
+        ("batching.batches", NUM),
+        ("batching.avg_batch", NUM),
+        ("batching.wrong_answers", NUM),
+        ("wrong_answers", NUM),
+    ],
+}
+
+# Higher-is-better metrics gated against the baseline. Latency-style
+# numbers are skipped: quick mode shrinks windows, which legitimately
+# shifts tail latencies.
+THROUGHPUT_KEYS = {
+    "micro_filter": [
+        "trie_collect_queries_per_sec",
+        "trie_collect_batch_queries_per_sec.batch_32",
+        "speedup_batch_32",
+    ],
+    "serving": [],  # open-loop qps is arrival-rate-capped, not a capacity
+}
+
+# Counters that must be exactly zero in the candidate.
+ZERO_KEYS = {
+    "micro_filter": [],
+    "serving": ["wrong_answers", "batching.wrong_answers"],
+}
+
+
+def lookup(doc, path):
+    cur = doc
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def check_schema(kind, doc):
+    errors = []
+    for path, typ in SCHEMAS[kind]:
+        val = lookup(doc, path)
+        if val is None:
+            errors.append(f"missing key: {path}")
+        elif not isinstance(val, typ) or (typ is NUM and isinstance(val, bool)):
+            errors.append(f"wrong type for {path}: {type(val).__name__}")
+    return errors
+
+
+def check_baseline(kind, doc, base, tolerance):
+    errors = []
+    for path in THROUGHPUT_KEYS[kind]:
+        cur, ref = lookup(doc, path), lookup(base, path)
+        if cur is None or ref is None or not isinstance(ref, NUM) or ref <= 0:
+            continue  # baseline predates the metric; schema already gates doc
+        floor = ref * (1.0 - tolerance)
+        if cur < floor:
+            errors.append(
+                f"{path} regressed: {cur:.1f} < {floor:.1f} "
+                f"(baseline {ref:.1f}, tolerance {tolerance:.0%})"
+            )
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("kind", choices=sorted(SCHEMAS))
+    ap.add_argument("json_path")
+    ap.add_argument("--baseline")
+    ap.add_argument("--tolerance", type=float, default=0.5)
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        doc = json.load(f)
+
+    errors = check_schema(args.kind, doc)
+    for path in ZERO_KEYS[args.kind]:
+        val = lookup(doc, path)
+        if val not in (0, None):
+            errors.append(f"{path} must be 0, got {val}")
+    if args.baseline:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        errors.extend(check_baseline(args.kind, doc, base, args.tolerance))
+
+    if errors:
+        for e in errors:
+            print(f"check_bench_json[{args.kind}]: {e}", file=sys.stderr)
+        return 1
+    print(f"check_bench_json[{args.kind}]: {args.json_path} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
