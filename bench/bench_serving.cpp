@@ -162,6 +162,99 @@ BatchingResult RunBatching(const bench::Args& args) {
   return out;
 }
 
+/// Answer-cache A/B (DESIGN.md §5g): the same skewed repeating read
+/// workload — 80% of traffic on 4 hot probes, the rest on a 12-probe warm
+/// set — against two otherwise-identical services, one with the answer
+/// cache off (the default) and one holding 256 entries. A far-region
+/// insert lands every burst, so the on-mode run pays an epoch publish and
+/// a full cache invalidation per burst and still has to win. Every answer
+/// is compared against ground truth captured before the window (far-region
+/// writes cannot change base-region answers), so the gain is for
+/// bit-identical results.
+struct CacheResult {
+  double off_qps = 0.0;
+  double on_qps = 0.0;
+  double gain = 0.0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  size_t wrong_answers = 0;
+};
+
+CacheResult RunCache(const bench::Args& args) {
+  CacheResult out;
+  const size_t base_n = static_cast<size_t>(1200 * args.scale);
+  const Dataset base = Region(base_n, 53, 0.0, 1.0);
+  const Dataset far = Region(256, 54, 10.0, 11.0);
+  const double tau = 0.003;
+  const double window_s = args.quick ? 0.3 : 1.5;
+  constexpr size_t kProbes = 16;
+  constexpr size_t kBurst = 256;
+
+  auto run_mode = [&](size_t cache_entries, uint64_t* hits, uint64_t* misses,
+                      uint64_t* invalidations, size_t* wrong) -> double {
+    DitaConfig config = bench::DefaultConfig();
+    config.serving.scheduler_threads = 2;
+    config.serving.answer_cache_entries = cache_entries;
+    auto cluster = bench::MakeCluster(args.workers);
+    DitaService service(cluster, config);
+    DITA_CHECK(service.Start(base).ok());
+
+    std::vector<const Trajectory*> probes;
+    std::vector<std::vector<TrajectoryId>> expect(kProbes);
+    for (size_t i = 0; i < kProbes; ++i) {
+      probes.push_back(&base[(i * 211) % base.size()]);
+      QueryRequest req;
+      req.kind = QueryKind::kSearch;
+      req.query = *probes[i];
+      req.tau = tau;
+      auto r = service.Execute(req);
+      DITA_CHECK(r.ok());
+      expect[i] = r->ids;
+    }
+
+    size_t done = 0;
+    size_t writes = 0;
+    std::mt19937_64 rng(5678);
+    WallTimer timer;
+    while (timer.Seconds() < window_s) {
+      // One far-region insert per burst: the epoch bump invalidates the
+      // whole cache mid-stream without changing any base-region answer.
+      if (writes < far.size()) {
+        DITA_CHECK(service
+                       .Insert(Trajectory(TrajectoryId(70000 + writes),
+                                          far[writes].points()))
+                       .ok());
+        ++writes;
+      }
+      for (size_t i = 0; i < kBurst; ++i) {
+        const size_t pi = (rng() % 10) < 8 ? rng() % 4 : 4 + rng() % 12;
+        QueryRequest req;
+        req.kind = QueryKind::kSearch;
+        req.query = *probes[pi];
+        req.tau = tau;
+        auto r = service.Execute(req);
+        ++done;
+        if (!r.ok() || r->ids != expect[pi]) ++*wrong;
+      }
+    }
+    const double qps = double(done) / timer.Seconds();
+    *hits = service.cache_hits();
+    *misses = service.cache_misses();
+    *invalidations = service.cache_invalidations();
+    service.Stop();
+    return qps;
+  };
+
+  uint64_t off_hits = 0, off_misses = 0, off_inval = 0;
+  out.off_qps =
+      run_mode(0, &off_hits, &off_misses, &off_inval, &out.wrong_answers);
+  out.on_qps = run_mode(256, &out.hits, &out.misses, &out.invalidations,
+                        &out.wrong_answers);
+  out.gain = out.off_qps > 0.0 ? out.on_qps / out.off_qps : 0.0;
+  return out;
+}
+
 RunResult Run(const bench::Args& args) {
   RunResult out;
   const size_t base_n = static_cast<size_t>(1200 * args.scale);
@@ -342,7 +435,7 @@ RunResult Run(const bench::Args& args) {
 }
 
 void WriteJson(const char* path, const bench::Args& args, const RunResult& r,
-               const BatchingResult& b) {
+               const BatchingResult& b, const CacheResult& c) {
   std::string json = "{\n";
   json += "  \"meta\": " + bench::MetaJson() + ",\n";
   char buf[1536];
@@ -360,6 +453,9 @@ void WriteJson(const char* path, const bench::Args& args, const RunResult& r,
       "  \"batching\": {\"off_qps\": %.1f, \"on_qps\": %.1f, "
       "\"gain\": %.2f, \"batches\": %llu, \"avg_batch\": %.2f, "
       "\"wrong_answers\": %zu},\n"
+      "  \"cache\": {\"off_qps\": %.1f, \"on_qps\": %.1f, \"gain\": %.2f, "
+      "\"hits\": %llu, \"misses\": %llu, \"invalidations\": %llu, "
+      "\"wrong_answers\": %zu},\n"
       "  \"wrong_answers\": %zu\n}\n",
       args.scale, args.workers, r.elapsed_s, r.queries, r.qps, r.p50_ms,
       r.p99_ms, r.inserts, r.deletes,
@@ -369,7 +465,11 @@ void WriteJson(const char* path, const bench::Args& args, const RunResult& r,
       static_cast<unsigned long long>(r.scheduler_bypasses),
       static_cast<unsigned long long>(r.scheduler_shed), b.off_qps, b.on_qps,
       b.gain, static_cast<unsigned long long>(b.batches), b.avg_batch,
-      b.wrong_answers, r.wrong_answers);
+      b.wrong_answers, c.off_qps, c.on_qps, c.gain,
+      static_cast<unsigned long long>(c.hits),
+      static_cast<unsigned long long>(c.misses),
+      static_cast<unsigned long long>(c.invalidations), c.wrong_answers,
+      r.wrong_answers);
   json += buf;
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -403,7 +503,14 @@ int main(int argc, char** argv) {
       b.off_qps, b.on_qps, b.gain,
       static_cast<unsigned long long>(b.batches), b.avg_batch,
       b.wrong_answers);
+  const auto c = dita::RunCache(args);
+  std::printf(
+      "cache:    off=%.1f qps on=%.1f qps gain=%.2fx | hits=%llu misses=%llu "
+      "invalidations=%llu wrong=%zu\n",
+      c.off_qps, c.on_qps, c.gain, static_cast<unsigned long long>(c.hits),
+      static_cast<unsigned long long>(c.misses),
+      static_cast<unsigned long long>(c.invalidations), c.wrong_answers);
   dita::WriteJson(args.out.empty() ? "BENCH_serving.json" : args.out.c_str(),
-                  args, r, b);
-  return r.wrong_answers + b.wrong_answers == 0 ? 0 : 1;
+                  args, r, b, c);
+  return r.wrong_answers + b.wrong_answers + c.wrong_answers == 0 ? 0 : 1;
 }

@@ -53,7 +53,7 @@ native_filter='Oracle|ThresholdEdge|DpScratch|Dtw|Frechet|Edr|Lcss|Erp|Distance|
 # threads: the pool itself, parallel index construction and tiling sorts
 # (FlatTrie/FlatStrTile), batched parallel verification, and the cluster
 # runtime's threaded stages.
-tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|Cancellation|AdmissionGate|ChaosSoak|Serving|QueryScheduler|DitaService|BatchFilter|BatchExecute'
+tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|Cancellation|AdmissionGate|ChaosSoak|Serving|QueryScheduler|DitaService|BatchFilter|BatchExecute|Sketch|AnswerCache'
 
 # The chaos pass: the seeded chaos/soak harness (fault injection + random
 # mid-flight cancellation + tight budgets + the admission gate) plus the
@@ -71,10 +71,11 @@ obs_filter='Obs|Funnel|Logging|obs_demo_schema'
 
 # The serving pass: the unified-API alias tests, scheduler fair-share and
 # cost-admission regressions, the streaming-ingest batch-oracle property,
-# and the concurrent soak (ingest + background epoch merges + sync/async
-# queries racing) — plain first, then under TSan so snapshot pinning, the
-# merge thread, and the executor pool are race-checked.
-serving_filter='Serving|QueryScheduler|AdmissionGateCost|ExecuteAlias|DitaService|DataFrame|BatchExecute'
+# the answer-cache staleness/LRU suite, and the concurrent soak (ingest +
+# background epoch merges + sync/async queries racing) — plain first, then
+# under TSan so snapshot pinning, the merge thread, and the executor pool
+# are race-checked.
+serving_filter='Serving|QueryScheduler|AdmissionGateCost|ExecuteAlias|DitaService|DataFrame|BatchExecute|AnswerCache|Sketch'
 
 case "${mode}" in
   plain)    run_pass build ;;

@@ -66,6 +66,14 @@ struct DitaConfig {
     /// off).
     bool enable_mbr = true;
     bool enable_cell = true;
+
+    /// Level-0 sketch prefilter (DESIGN.md §5g): per-trajectory grid-cell
+    /// bitset signatures, tested (a) per partition aggregate in front of
+    /// the trie traversal and (b) per candidate in front of the MBR/cell
+    /// filters. Exact — the dilated-signature test is a necessary
+    /// condition for DTW/Frechet matches; edit distances bypass it, like
+    /// the other geometric filters.
+    bool enable_sketch = true;
   };
 
   /// Long-lived serving runtime knobs: admission control on the engine's
@@ -131,6 +139,14 @@ struct DitaConfig {
     /// compatible work after picking up the first request of a batch. 0
     /// coalesces only what is already queued (no added latency).
     double batch_window_seconds = 0.0;
+
+    /// DitaService answer cache (DESIGN.md §5g): LRU entries keyed by the
+    /// canonicalized query (content digest + minhash sketch, tau, metric,
+    /// kind, k), serving repeat queries without touching the scheduler or
+    /// the index. Entries are version-tagged and the whole cache is
+    /// invalidated on every snapshot publish (insert / delete / epoch
+    /// merge), so a hit can never return a stale answer. 0 disables.
+    size_t answer_cache_entries = 0;
   };
 
   BuildOptions build;

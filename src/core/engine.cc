@@ -1,8 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "core/join_planner.h"
@@ -28,6 +30,8 @@ DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& confi
   metrics_ =
       config_.enable_metrics ? cluster_->EnableMetrics() : cluster_->metrics();
   m_partitions_relevant_ = {metrics_, "filter.global.partitions_relevant"};
+  m_sketch_partitions_pruned_ = {metrics_, "filter.sketch.partitions_pruned"};
+  m_sketch_candidates_pruned_ = {metrics_, "filter.sketch.candidates_pruned"};
   m_trie_nodes_visited_ = {metrics_, "filter.trie.nodes_visited"};
   m_trie_nodes_pruned_ = {metrics_, "filter.trie.nodes_pruned"};
   m_trie_candidates_ = {metrics_, "filter.trie.candidates"};
@@ -55,6 +59,43 @@ DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& confi
         config_.serving.max_inflight_queries, config_.serving.max_queued_queries,
         config_.serving.max_inflight_cost, config_.serving.max_bypass});
   }
+}
+
+DitaEngine::~DitaEngine() { ReleaseThreadScratch(); }
+
+void DitaEngine::ReleaseThreadScratch() {
+  // Broadcast one release task per pool thread. Each task parks on a busy
+  // barrier until all of them are running — the pool is FIFO with exactly
+  // num_threads() workers, so this guarantees every task landed on a
+  // distinct thread — then frees that thread's grow-once arenas.
+  const auto broadcast = [](ThreadPool* pool) {
+    if (pool == nullptr || pool->num_threads() == 0) return;
+    const size_t n = pool->num_threads();
+    std::atomic<size_t> arrived{0};
+    for (size_t i = 0; i < n; ++i) {
+      pool->Submit([&arrived, n] {
+        arrived.fetch_add(1, std::memory_order_acq_rel);
+        while (arrived.load(std::memory_order_acquire) < n) {
+          std::this_thread::yield();
+        }
+        TrieIndex::Scratch::ThreadLocal().Release();
+      });
+    }
+    pool->Wait();
+  };
+  broadcast(build_pool_.get());
+  broadcast(verify_pool_.get());
+  TrieIndex::Scratch::ThreadLocal().Release();
+}
+
+bool DitaEngine::SketchActive() const {
+  if (!config_.verify.enable_sketch || !sig_grid_.valid()) return false;
+  return config_.distance == DistanceType::kDTW ||
+         config_.distance == DistanceType::kFrechet;
+}
+
+SigBits DitaEngine::DilatedQuerySig(const Trajectory& q, double tau) const {
+  return Dilate(BuildSignature(q, sig_grid_).bits, sig_grid_, tau);
 }
 
 bool DitaEngine::ShouldDegrade(const QueryContext* ctx, const Status& stage) {
@@ -265,6 +306,17 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
                                           build_pool_.get(),
                                           &partition_offloaded);
   DITA_RETURN_IF_ERROR(parts.status());
+
+  // Level-0 sketch frame (DESIGN.md §5g): one fixed grid over the whole
+  // table's data MBR, shared by every partition so signatures stay
+  // comparable across them (and across delta inserts later).
+  MBR data_mbr;
+  for (const auto& part : *parts) {
+    for (const Trajectory& t : part) {
+      for (const Point& pt : t.points()) data_mbr.Expand(pt);
+    }
+  }
+  sig_grid_ = data_mbr.empty() ? SigGrid{} : SigGrid::For(data_mbr);
   cluster_->RecordDriverCompute(partition_timer.Seconds() + partition_offloaded);
 
   partitions_.clear();
@@ -305,9 +357,15 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
                  for (size_t i = lo; i < hi; ++i) {
                    partition.precomp[i] = VerifyPrecomp::For(
                        partition.trie.trajectories()[i],
-                       config_.verify.cell_size);
+                       config_.verify.cell_size, &sig_grid_);
                  }
                });
+           // Aggregate sketch over the members (OR of bits, component-wise
+           // minhash minima) — the partition-level prune the search paths
+           // test before probing the trie.
+           for (const VerifyPrecomp& vp : partition.precomp) {
+             AggregateSignature(vp.sig, &partition.sketch_agg);
+           }
            // Pool-thread CPU is charged to this cluster task so the
            // virtual-time ledger matches a serial build.
            if (offloaded > 0.0) Cluster::ChargeCurrentTask(offloaded);
@@ -331,6 +389,9 @@ Status DitaEngine::BuildIndex(const Dataset& data) {
     for (const VerifyPrecomp& vp : p.precomp) {
       index_stats_.local_index_bytes += vp.ByteSize();
     }
+    // Signatures are inline (fixed-width) — one per trajectory plus the
+    // partition aggregate.
+    index_stats_.sketch_bytes += (p.precomp.size() + 1) * sizeof(TrajSignature);
   }
   build_span.Arg("partitions", partitions_.size());
   build_span.Arg("trajectories", data.size());
@@ -343,6 +404,7 @@ void DitaEngine::RecordFilterMetrics(size_t partitions_relevant,
                                      const VerifyStats& vstats) const {
   if (metrics_ == nullptr) return;
   m_partitions_relevant_.Add(partitions_relevant);
+  m_sketch_candidates_pruned_.Add(vstats.pruned_by_sketch);
   m_trie_nodes_visited_.Add(pstats.nodes_visited);
   m_trie_nodes_pruned_.Add(pstats.nodes_pruned);
   m_trie_candidates_.Add(vstats.pairs);
@@ -404,7 +466,8 @@ size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
                                std::vector<TrajectoryId>* results,
                                VerifyStats* vstats,
                                TrieIndex::ProbeStats* pstats,
-                               QueryContext* ctx) const {
+                               QueryContext* ctx,
+                               const SigBits* dilated) const {
   TrieIndex::SearchSpec spec = MakeSpec(q, tau);
   spec.ctx = ctx;
   DpScratch& scratch = DpScratch::ThreadLocal();
@@ -418,7 +481,7 @@ size_t DitaEngine::LocalSearch(const Partition& p, const Trajectory& q,
   std::vector<uint32_t>& accepted = scratch.Accepted();
   accepted.clear();
   const size_t dp_before = vstats != nullptr ? vstats->dp_computed : 0;
-  const Verifier::Batch batch{&p.precomp, &candidates, &qp, tau, ctx};
+  const Verifier::Batch batch{&p.precomp, &candidates, &qp, tau, dilated, ctx};
   const Verifier::BatchResult r = verifier_->VerifyBatch(
       batch, verify_pool_.get(), config_.verify.parallel_min, &accepted,
       vstats, tracer_);
@@ -455,6 +518,33 @@ Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
     probe_span.Arg("relevant", relevant.size());
   }
   const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.verify.cell_size);
+
+  // Level-0 sketch tier (DESIGN.md §5g): dilate the query's signature by
+  // tau once, then drop relevant partitions whose aggregate bits miss the
+  // dilated set — no member of such a partition can pass the per-candidate
+  // subset test, let alone match. Pruned partitions were proven empty of
+  // answers, so they count as fully searched for completeness.
+  const bool sketch = SketchActive();
+  SigBits dilated;
+  uint64_t sketch_pruned_population = 0;
+  if (sketch) {
+    dilated = DilatedQuerySig(q, tau);
+    size_t pruned_parts = 0;
+    std::vector<uint32_t> probed;
+    probed.reserve(relevant.size());
+    for (const uint32_t pid : relevant) {
+      const Partition& part = partitions_[pid];
+      if (!part.sketch_agg.bits.Empty() &&
+          !part.sketch_agg.bits.Intersects(dilated)) {
+        sketch_pruned_population += part.trie.size();
+        ++pruned_parts;
+      } else {
+        probed.push_back(pid);
+      }
+    }
+    relevant.swap(probed);
+    if (pruned_parts > 0) m_sketch_partitions_pruned_.Add(pruned_parts);
+  }
   cluster_->RecordDriverCompute(driver_timer.Seconds());
 
   // Probe-stat collection feeds the funnel (per caller request) and the
@@ -475,7 +565,8 @@ Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
                        if (want_probe_stats) out->pstats.Reset(trie_levels);
                        out->candidates = LocalSearch(
                            *part, q, qp, tau, &out->ids, &out->vstats,
-                           want_probe_stats ? &out->pstats : nullptr, ctx);
+                           want_probe_stats ? &out->pstats : nullptr, ctx,
+                           sketch ? &dilated : nullptr);
                        // Complete iff the stop (if any) had not fired by the
                        // time this task finished; conservative under real
                        // concurrency, exact under serial execution.
@@ -506,7 +597,8 @@ Result<std::vector<TrajectoryId>> DitaEngine::SearchImpl(
   }
   size_t total_candidates = 0;
   std::vector<TrajectoryId> results =
-      MergeSearch(relevant, slots, stats, ctx, snap, &total_candidates);
+      MergeSearch(relevant, slots, stats, ctx, snap, &total_candidates,
+                  sketch_pruned_population);
   query_span.Arg("partitions_probed", relevant.size());
   query_span.Arg("candidates", total_candidates);
   query_span.Arg("results", results.size());
@@ -517,13 +609,16 @@ std::vector<TrajectoryId> DitaEngine::MergeSearch(
     const std::vector<uint32_t>& relevant,
     const std::vector<const SearchLocalOut*>& slots, QueryStats* stats,
     QueryContext* ctx, const Cluster::CostSnapshot& snap,
-    size_t* total_candidates_out) const {
+    size_t* total_candidates_out, uint64_t sketch_pruned_population) const {
   const bool want_probe_stats = stats != nullptr || metrics_ != nullptr;
   const size_t trie_levels = config_.build.trie.num_pivots + 2;
   std::vector<TrajectoryId> results;
   size_t total_candidates = 0;
-  uint64_t relevant_population = 0;
-  uint64_t merged_population = 0;
+  // Sketch-pruned partitions were proven to hold no answers, so they count
+  // as merged (fully searched) for completeness and enter the funnel at the
+  // "global index" level before the "sketch partitions" level removes them.
+  uint64_t relevant_population = sketch_pruned_population;
+  uint64_t merged_population = sketch_pruned_population;
   VerifyStats vstats;
   TrieIndex::ProbeStats pstats;
   pstats.Reset(trie_levels);
@@ -567,7 +662,8 @@ std::vector<TrajectoryId> DitaEngine::MergeSearch(
     obs::FilterFunnel funnel;
     funnel.AddLevel("table", index_stats_.num_trajectories);
     funnel.AddLevel("global index", merged_population);
-    uint64_t remaining = merged_population;
+    uint64_t remaining = merged_population - sketch_pruned_population;
+    funnel.AddLevel("sketch partitions", remaining);
     for (size_t l = 0; l < trie_levels; ++l) {
       remaining -= pstats.pruned_members[l];
       const std::string label =
@@ -577,7 +673,10 @@ std::vector<TrajectoryId> DitaEngine::MergeSearch(
       funnel.AddLevel(label, remaining);
     }
     funnel.AddLevel("candidates", total_candidates);
-    funnel.AddLevel("mbr coverage", vstats.pairs - vstats.pruned_by_mbr);
+    funnel.AddLevel("sketch signature",
+                    vstats.pairs - vstats.pruned_by_sketch);
+    funnel.AddLevel("mbr coverage", vstats.pairs - vstats.pruned_by_sketch -
+                                        vstats.pruned_by_mbr);
     funnel.AddLevel("cell bound", vstats.dp_computed);
     funnel.AddLevel("threshold dp", vstats.accepted);
     stats->funnel = std::move(funnel);
@@ -654,6 +753,36 @@ void DitaEngine::SearchBatchImpl(std::span<const QueryRequest> reqs,
                                              erp_gap);
     qps.push_back(VerifyPrecomp::For(req.query, config_.verify.cell_size));
   }
+
+  // Level-0 sketch tier, per member (see SearchImpl). The dilated
+  // signatures live in the driver thread's grow-once scratch arena — the
+  // traversal tasks only read them — so a steady batch stream allocates
+  // nothing here.
+  const bool sketch = SketchActive();
+  std::vector<SigBits>& dsigs = TrieIndex::Scratch::ThreadLocal().DilatedSigs();
+  std::vector<uint64_t> sketch_pruned_pop(n, 0);
+  if (sketch) {
+    if (dsigs.size() < n) dsigs.resize(n);
+    size_t pruned_parts = 0;
+    for (size_t m = 0; m < n; ++m) {
+      const QueryRequest& req = reqs[members[m]];
+      dsigs[m] = DilatedQuerySig(req.query, req.tau);
+      std::vector<uint32_t> probed;
+      probed.reserve(relevant[m].size());
+      for (const uint32_t pid : relevant[m]) {
+        const Partition& part = partitions_[pid];
+        if (!part.sketch_agg.bits.Empty() &&
+            !part.sketch_agg.bits.Intersects(dsigs[m])) {
+          sketch_pruned_pop[m] += part.trie.size();
+          ++pruned_parts;
+        } else {
+          probed.push_back(pid);
+        }
+      }
+      relevant[m].swap(probed);
+    }
+    if (pruned_parts > 0) m_sketch_partitions_pruned_.Add(pruned_parts);
+  }
   cluster_->RecordDriverCompute(driver_timer.Seconds());
 
   // Group members by relevant partition: each involved partition is probed
@@ -704,7 +833,7 @@ void DitaEngine::SearchBatchImpl(std::span<const QueryRequest> reqs,
     PartWork* w = &pw;
     tasks.push_back(
         {part->home_worker,
-         [this, part, w, reqs, &members, &qps, trie_levels] {
+         [this, part, w, reqs, &members, &qps, trie_levels, sketch, &dsigs] {
            const size_t cnt = w->members.size();
            std::vector<std::vector<uint32_t>> cand(cnt);
            std::vector<std::vector<uint32_t>> acc(cnt);
@@ -732,9 +861,10 @@ void DitaEngine::SearchBatchImpl(std::span<const QueryRequest> reqs,
            std::vector<Verifier::MultiQuery> mq(cnt);
            for (size_t j = 0; j < cnt; ++j) {
              const QueryRequest& req = reqs[members[w->members[j]]];
-             mq[j] = Verifier::MultiQuery{&cand[j], &qps[w->members[j]],
-                                          req.tau,  req.ctx,
-                                          &acc[j],  &w->outs[j].vstats};
+             mq[j] = Verifier::MultiQuery{
+                 &cand[j], &qps[w->members[j]], req.tau,
+                 sketch ? &dsigs[w->members[j]] : nullptr,
+                 req.ctx,  &acc[j],             &w->outs[j].vstats};
            }
            const Verifier::BatchResult r = verifier_->VerifyMulti(
                part->precomp, mq.data(), cnt, verify_pool_.get(),
@@ -799,7 +929,7 @@ void DitaEngine::SearchBatchImpl(std::span<const QueryRequest> reqs,
     QueryStats* qstats = req.collect_stats ? &res.search_stats : nullptr;
     size_t total_candidates = 0;
     res.ids = MergeSearch(relevant[m], slots, qstats, req.ctx, snap,
-                          &total_candidates);
+                          &total_candidates, sketch_pruned_pop[m]);
     batch_results += res.ids.size();
     (*results)[members[m]] = std::move(res);
   }
@@ -843,6 +973,7 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearchImpl(
   std::vector<std::unordered_map<uint32_t, double>> memo(partitions_.size());
   size_t total_candidates = 0;
   size_t probed = 0;
+  const bool sketch = SketchActive();
   for (int round = 0; round < 64; ++round) {
     scored.clear();
     const Point* erp_gap = config_.distance == DistanceType::kERP
@@ -851,6 +982,28 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearchImpl(
     CpuTimer driver_timer;
     std::vector<uint32_t> relevant = global_.RelevantPartitions(
         q, tau, distance_->prune_mode(), distance_->matching_epsilon(), erp_gap);
+    // Sketch tier, re-dilated each round (the dilation radius is the
+    // round's tau). Partition prune as in SearchImpl; per candidate the
+    // subset test skips the exact-distance computation — a skipped
+    // candidate provably has distance > tau, so it cannot enter `scored`.
+    SigBits dilated;
+    if (sketch) {
+      dilated = DilatedQuerySig(q, tau);
+      size_t pruned_parts = 0;
+      std::vector<uint32_t> kept_parts;
+      kept_parts.reserve(relevant.size());
+      for (const uint32_t pid : relevant) {
+        const Partition& part = partitions_[pid];
+        if (!part.sketch_agg.bits.Empty() &&
+            !part.sketch_agg.bits.Intersects(dilated)) {
+          ++pruned_parts;
+        } else {
+          kept_parts.push_back(pid);
+        }
+      }
+      relevant.swap(kept_parts);
+      if (pruned_parts > 0) m_sketch_partitions_pruned_.Add(pruned_parts);
+    }
     cluster_->RecordDriverCompute(driver_timer.Seconds());
 
     struct RoundOut {
@@ -877,6 +1030,10 @@ Result<std::vector<std::pair<TrajectoryId, double>>> DitaEngine::KnnSearchImpl(
         const TrajView qv = scratch.ExtractB(q);
         for (uint32_t pos : candidates) {
           if (ctx != nullptr && ctx->stopped()) break;
+          if (sketch && !part->precomp[pos].sig.bits.Empty() &&
+              !part->precomp[pos].sig.bits.SubsetOf(dilated)) {
+            continue;
+          }
           // Exact distance needed for ranking; WithinThreshold's boolean
           // answer is not enough here. Memoized across expansion rounds.
           double d;

@@ -11,13 +11,25 @@
 namespace dita {
 
 bool Verifier::PassesFilters(const VerifyPrecomp& tp, const VerifyPrecomp& qp,
-                             double tau, VerifyStats* stats) const {
+                             double tau, VerifyStats* stats,
+                             const SigBits* dilated) const {
   const PruneMode mode = distance_->prune_mode();
   // DTW and Frechet align every point of T within tau of some point of Q,
   // which is what the MBR/cell bounds encode. Edit distances may delete
   // points and ERP may match the gap point, so neither bound applies there.
   const bool geometric = distance_->type() == DistanceType::kDTW ||
                          distance_->type() == DistanceType::kFrechet;
+
+  if (geometric && sketch_enabled_ && dilated != nullptr &&
+      !tp.sig.bits.Empty()) {
+    // Level 0 (DESIGN.md §5g): every point of a matching T lies within tau
+    // of some query point, so every occupied cell of T lies in the query's
+    // tau-dilated cell set. Four AND-NOTs — cheaper than any other filter.
+    if (!tp.sig.bits.SubsetOf(*dilated)) {
+      if (stats != nullptr) ++stats->pruned_by_sketch;
+      return false;
+    }
+  }
 
   if (geometric && mbr_enabled_) {
     // Lemma 5.4: if similar, EMBR_{T,tau} covers MBR_Q and vice versa. Both
@@ -32,13 +44,13 @@ bool Verifier::PassesFilters(const VerifyPrecomp& tp, const VerifyPrecomp& qp,
 
   if (geometric && cell_enabled_) {
     const bool is_max = mode == PruneMode::kMax;
-    const double lb_tq = is_max ? CellLowerBoundFrechet(tp.cells, qp.cells)
+    const double lb_tq = is_max ? CellLowerBoundFrechet(tp.cells, qp.cells, tau)
                                 : CellLowerBoundDtw(tp.cells, qp.cells, tau);
     if (lb_tq > tau) {
       if (stats != nullptr) ++stats->pruned_by_cell;
       return false;
     }
-    const double lb_qt = is_max ? CellLowerBoundFrechet(qp.cells, tp.cells)
+    const double lb_qt = is_max ? CellLowerBoundFrechet(qp.cells, tp.cells, tau)
                                 : CellLowerBoundDtw(qp.cells, tp.cells, tau);
     if (lb_qt > tau) {
       if (stats != nullptr) ++stats->pruned_by_cell;
@@ -50,9 +62,9 @@ bool Verifier::PassesFilters(const VerifyPrecomp& tp, const VerifyPrecomp& qp,
 
 bool Verifier::Verify(const Trajectory&, const VerifyPrecomp& tp,
                       const Trajectory&, const VerifyPrecomp& qp, double tau,
-                      VerifyStats* stats) const {
+                      VerifyStats* stats, const SigBits* dilated) const {
   if (stats != nullptr) ++stats->pairs;
-  if (!PassesFilters(tp, qp, tau, stats)) return false;
+  if (!PassesFilters(tp, qp, tau, stats, dilated)) return false;
   if (stats != nullptr) {
     ++stats->dp_computed;
     stats->dp_cells +=
@@ -95,7 +107,9 @@ Verifier::BatchResult Verifier::VerifyBatch(const Batch& batch,
       return out;
     }
     const uint32_t pos = candidates[i];
-    if (PassesFilters(precomp[pos], qp, tau, stats)) survivors.push_back(pos);
+    if (PassesFilters(precomp[pos], qp, tau, stats, batch.dilated)) {
+      survivors.push_back(pos);
+    }
   }
   uint64_t batch_dp_cells = 0;
   for (const uint32_t pos : survivors) {
@@ -221,6 +235,7 @@ Verifier::BatchResult Verifier::VerifyMulti(
     b.candidates = queries[0].candidates;
     b.query = queries[0].query;
     b.tau = queries[0].tau;
+    b.dilated = queries[0].dilated;
     b.ctx = queries[0].ctx;
     return VerifyBatch(b, pool, min_parallel, queries[0].accepted,
                        queries[0].stats, tracer);
@@ -254,7 +269,7 @@ Verifier::BatchResult Verifier::VerifyMulti(
         break;
       }
       const uint32_t pos = candidates[i];
-      if (PassesFilters(precomp[pos], *q.query, q.tau, q.stats)) {
+      if (PassesFilters(precomp[pos], *q.query, q.tau, q.stats, q.dilated)) {
         survivors.push_back(pos);
       }
     }

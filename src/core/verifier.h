@@ -10,6 +10,7 @@
 #include "geom/soa.h"
 #include "geom/trajectory.h"
 #include "index/cell.h"
+#include "index/signature.h"
 #include "obs/trace.h"
 #include "util/query_context.h"
 #include "util/thread_pool.h"
@@ -25,14 +26,22 @@ struct VerifyPrecomp {
   MBR mbr;
   CellSummary cells;
   SoaTrajectory soa;
+  /// Level-0 sketch (DESIGN.md §5g): grid-cell bitset + minhash shingles in
+  /// the owning engine's SigGrid frame. Zero (empty bits) when the precomp
+  /// was built without a grid; the sketch filter then never engages.
+  TrajSignature sig;
 
-  static VerifyPrecomp For(const Trajectory& t, double cell_size) {
-    return VerifyPrecomp{t.ComputeMBR(), CompressToCells(t, cell_size),
-                         SoaTrajectory(t)};
+  static VerifyPrecomp For(const Trajectory& t, double cell_size,
+                           const SigGrid* grid = nullptr) {
+    VerifyPrecomp p{t.ComputeMBR(), CompressToCells(t, cell_size),
+                    SoaTrajectory(t), TrajSignature{}};
+    if (grid != nullptr && grid->valid()) p.sig = BuildSignature(t, *grid);
+    return p;
   }
 
   /// Heap bytes this precomp holds beyond the indexed trajectory itself;
-  /// accumulated into IndexStats::local_index_bytes.
+  /// accumulated into IndexStats::local_index_bytes (the inline signature
+  /// is separately accounted in IndexStats::sketch_bytes).
   size_t ByteSize() const {
     return sizeof(MBR) + cells.cells.size() * sizeof(CellSummary::Cell) +
            soa.ByteSize();
@@ -43,6 +52,7 @@ struct VerifyPrecomp {
 /// candidate counts and the verification ablation.
 struct VerifyStats {
   size_t pairs = 0;
+  size_t pruned_by_sketch = 0;
   size_t pruned_by_mbr = 0;
   size_t pruned_by_cell = 0;
   size_t dp_computed = 0;
@@ -53,6 +63,7 @@ struct VerifyStats {
 
   void Merge(const VerifyStats& o) {
     pairs += o.pairs;
+    pruned_by_sketch += o.pruned_by_sketch;
     pruned_by_mbr += o.pruned_by_mbr;
     pruned_by_cell += o.pruned_by_cell;
     dp_computed += o.dp_computed;
@@ -77,6 +88,9 @@ class Verifier {
     const std::vector<uint32_t>* candidates = nullptr;
     const VerifyPrecomp* query = nullptr;
     double tau = 0.0;
+    /// Tau-dilated query signature (engine frame); null disables the
+    /// per-candidate sketch test for this batch. Only set for DTW/Frechet.
+    const SigBits* dilated = nullptr;
     /// Optional cooperative stop token. VerifyBatch checkpoints the filter
     /// scan, charges surviving DP cells against the budget, caps scratch
     /// growth, attaches the token to every DP scratch involved (kernels
@@ -106,6 +120,9 @@ class Verifier {
     const std::vector<uint32_t>* candidates = nullptr;
     const VerifyPrecomp* query = nullptr;
     double tau = 0.0;
+    /// Tau-dilated query signature; null disables the sketch test for this
+    /// member (see Batch::dilated).
+    const SigBits* dilated = nullptr;
     QueryContext* ctx = nullptr;
     std::vector<uint32_t>* accepted = nullptr;
     VerifyStats* stats = nullptr;
@@ -114,11 +131,14 @@ class Verifier {
   Verifier(std::shared_ptr<TrajectoryDistance> distance, const DitaConfig& config)
       : distance_(std::move(distance)),
         mbr_enabled_(config.verify.enable_mbr),
-        cell_enabled_(config.verify.enable_cell) {}
+        cell_enabled_(config.verify.enable_cell),
+        sketch_enabled_(config.verify.enable_sketch) {}
 
   /// Returns true iff distance(t, q) <= tau. Never rejects a true answer.
+  /// `dilated` (optional) enables the level-0 sketch test against tp.sig.
   bool Verify(const Trajectory& t, const VerifyPrecomp& tp, const Trajectory& q,
-              const VerifyPrecomp& qp, double tau, VerifyStats* stats) const;
+              const VerifyPrecomp& qp, double tau, VerifyStats* stats,
+              const SigBits* dilated = nullptr) const;
 
   /// Verifies a whole candidate list: a tight first pass runs the MBR/cell
   /// filters, then the surviving DP work either runs serially on the calling
@@ -155,13 +175,16 @@ class Verifier {
   const TrajectoryDistance& distance() const { return *distance_; }
 
  private:
-  /// Filter steps (1)-(2) only; updates the prune counters.
+  /// Filter steps (0)-(2) only; updates the prune counters. Step (0) is the
+  /// sketch subset test, active when `dilated` is non-null.
   bool PassesFilters(const VerifyPrecomp& tp, const VerifyPrecomp& qp,
-                     double tau, VerifyStats* stats) const;
+                     double tau, VerifyStats* stats,
+                     const SigBits* dilated) const;
 
   std::shared_ptr<TrajectoryDistance> distance_;
   bool mbr_enabled_;
   bool cell_enabled_;
+  bool sketch_enabled_;
 };
 
 }  // namespace dita

@@ -35,11 +35,53 @@ double CellDistance(const CellSummary::Cell& a, double side_a,
 
 namespace {
 
-double MinDistToCells(const CellSummary::Cell& c, double side,
-                      const CellSummary& other) {
+/// Bounding box of the other summary's cell centers — the per-query
+/// invariant hoisted out of the per-cell scan. Any cell's min distance to
+/// the summary is at least its (reach-deflated) distance to this box.
+struct CenterBox {
+  double xlo = 0.0, xhi = 0.0, ylo = 0.0, yhi = 0.0;
+  bool empty = true;
+};
+
+CenterBox BoxOf(const CellSummary& q) {
+  CenterBox b;
+  for (const auto& o : q.cells) {
+    if (b.empty) {
+      b = {o.center.x, o.center.x, o.center.y, o.center.y, false};
+    } else {
+      b.xlo = std::min(b.xlo, o.center.x);
+      b.xhi = std::max(b.xhi, o.center.x);
+      b.ylo = std::min(b.ylo, o.center.y);
+      b.yhi = std::max(b.yhi, o.center.y);
+    }
+  }
+  return b;
+}
+
+/// Squared lower bound on MinDistSqToCells: every center of `q` lies inside
+/// `box`, so |c.x - o.x| >= dist(c.x, [xlo, xhi]) for every o, and the
+/// per-axis reach deflation carries through.
+double BoxLowerBoundSq(const CellSummary::Cell& c, double reach,
+                       const CenterBox& box) {
+  const double gx =
+      std::max(0.0, std::max(box.xlo - c.center.x, c.center.x - box.xhi));
+  const double gy =
+      std::max(0.0, std::max(box.ylo - c.center.y, c.center.y - box.yhi));
+  const double dx = std::max(0.0, gx - reach);
+  const double dy = std::max(0.0, gy - reach);
+  return dx * dx + dy * dy;
+}
+
+/// Min squared cell distance from `c` to `other`'s cells. Works entirely in
+/// squared space: sqrt is monotone and correctly rounded, so one sqrt of
+/// the final minimum is bit-identical to the old per-pair-sqrt scan.
+double MinDistSqToCells(const CellSummary::Cell& c, double reach,
+                        const CellSummary& other) {
   double best = std::numeric_limits<double>::infinity();
   for (const auto& o : other.cells) {
-    best = std::min(best, CellDistance(c, side, o, other.side));
+    const double dx = std::max(0.0, std::abs(c.center.x - o.center.x) - reach);
+    const double dy = std::max(0.0, std::abs(c.center.y - o.center.y) - reach);
+    best = std::min(best, dx * dx + dy * dy);
     if (best == 0.0) break;
   }
   return best;
@@ -49,20 +91,42 @@ double MinDistToCells(const CellSummary::Cell& c, double side,
 
 double CellLowerBoundDtw(const CellSummary& t, const CellSummary& q,
                          double abandon_above) {
+  const double reach = t.side / 2.0 + q.side / 2.0;
+  const CenterBox box = BoxOf(q);
   double sum = 0.0;
   for (const auto& c : t.cells) {
-    sum += MinDistToCells(c, t.side, q) * c.count;
+    if (!box.empty) {
+      // Dilated-rect pre-test: if even the box bound pushes the partial sum
+      // past the abandon threshold, the exact scan can only return more.
+      // The early return is still a valid lower bound (remaining cells
+      // contribute >= 0), and the prune decision matches the exact scan:
+      // both sides exceed `abandon_above`.
+      const double quick = sum + std::sqrt(BoxLowerBoundSq(c, reach, box)) *
+                                     static_cast<double>(c.count);
+      if (quick > abandon_above) return quick;
+    }
+    sum += std::sqrt(MinDistSqToCells(c, reach, q)) *
+           static_cast<double>(c.count);
     if (sum > abandon_above) return sum;
   }
   return sum;
 }
 
-double CellLowerBoundFrechet(const CellSummary& t, const CellSummary& q) {
-  double worst = 0.0;
+double CellLowerBoundFrechet(const CellSummary& t, const CellSummary& q,
+                             double abandon_above) {
+  const double reach = t.side / 2.0 + q.side / 2.0;
+  const CenterBox box = BoxOf(q);
+  const double abandon2 = abandon_above * abandon_above;
+  double worst2 = 0.0;
   for (const auto& c : t.cells) {
-    worst = std::max(worst, MinDistToCells(c, t.side, q));
+    if (!box.empty) {
+      const double lb2 = BoxLowerBoundSq(c, reach, box);
+      if (lb2 > abandon2) return std::sqrt(std::max(worst2, lb2));
+    }
+    worst2 = std::max(worst2, MinDistSqToCells(c, reach, q));
+    if (worst2 > abandon2) return std::sqrt(worst2);
   }
-  return worst;
+  return std::sqrt(worst2);
 }
 
 }  // namespace dita

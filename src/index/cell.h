@@ -46,8 +46,13 @@ double CellLowerBoundDtw(const CellSummary& t, const CellSummary& q,
 
 /// Frechet analogue: the max over T's cells of the min distance to Q's cells
 /// lower-bounds Frechet(T, Q) (every point of T must align within the
-/// threshold to some point of Q).
-double CellLowerBoundFrechet(const CellSummary& t, const CellSummary& q);
+/// threshold to some point of Q). When `abandon_above` is finite the scan
+/// stops as soon as the running max (or the hoisted box pre-test) exceeds
+/// it; the returned value is still a valid lower bound and the caller's
+/// `> abandon_above` decision is unchanged.
+double CellLowerBoundFrechet(const CellSummary& t, const CellSummary& q,
+                             double abandon_above =
+                                 std::numeric_limits<double>::infinity());
 
 }  // namespace dita
 

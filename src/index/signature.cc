@@ -1,0 +1,177 @@
+#include "index/signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace dita {
+namespace {
+
+/// Splitmix64 — the shingle hash behind the minhash minima.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Spreads a row mask `w` cells left and right (saturating at the grid
+/// edge): the horizontal part of the dilation kernel.
+uint16_t SpreadRow(uint16_t m, int w) {
+  uint32_t v = m;
+  for (int k = 0; k < w; ++k) v |= (v << 1) | (v >> 1);
+  return static_cast<uint16_t>(v);
+}
+
+/// Guard band absorbing floating-point rounding in the quantization and
+/// gap arithmetic: relative in tau and the cell sides, so it is negligible
+/// against any real cell geometry but dominates ulp-level error. Same trick
+/// as the kernels' SqThreshold guard (DESIGN.md §5a).
+double GuardPad(const SigGrid& g, double tau) {
+  return 1e-9 * (1.0 + tau + g.sx + g.sy);
+}
+
+}  // namespace
+
+SigGrid SigGrid::For(const MBR& region) {
+  SigGrid g;
+  g.region = region;
+  double w = region.hi().x - region.lo().x;
+  double h = region.hi().y - region.lo().y;
+  if (!(w > 0.0)) w = 1e-9;
+  if (!(h > 0.0)) h = 1e-9;
+  g.region = MBR(region.lo(), Point{region.lo().x + w, region.lo().y + h});
+  g.sx = w / kSigDim;
+  g.sy = h / kSigDim;
+  return g;
+}
+
+int SigGrid::CellX(double x) const {
+  const double f = std::floor((x - region.lo().x) / sx);
+  if (!(f > 0.0)) return 0;  // clamp (also catches NaN)
+  return std::min(kSigDim - 1, static_cast<int>(f));
+}
+
+int SigGrid::CellY(double y) const {
+  const double f = std::floor((y - region.lo().y) / sy);
+  if (!(f > 0.0)) return 0;
+  return std::min(kSigDim - 1, static_cast<int>(f));
+}
+
+MBR SigGrid::CellRect(int ix, int iy) const {
+  const Point lo{region.lo().x + ix * sx, region.lo().y + iy * sy};
+  return MBR(lo, Point{lo.x + sx, lo.y + sy});
+}
+
+int SigBits::PopCount() const {
+  int n = 0;
+  for (uint64_t word : w) n += std::popcount(word);
+  return n;
+}
+
+TrajSignature BuildSignature(const Trajectory& t, const SigGrid& g) {
+  TrajSignature sig;
+  sig.minhash.fill(std::numeric_limits<uint64_t>::max());
+  if (!g.valid()) return sig;
+  int prev_cell = -1;
+  for (const Point& p : t.points()) {
+    const int ix = g.CellX(p.x);
+    const int iy = g.CellY(p.y);
+    sig.bits.Set(ix, iy);
+    const int cell = iy * kSigDim + ix;
+    if (cell == prev_cell) continue;  // dedup consecutive duplicates
+    // Shingle = (previous cell, cell) transition; the first cell shingles
+    // against a sentinel so single-cell trajectories still hash.
+    const uint64_t shingle =
+        (static_cast<uint64_t>(prev_cell + 1) << 32) |
+        static_cast<uint64_t>(cell);
+    for (int i = 0; i < kSigMinhash; ++i) {
+      const uint64_t h = Mix64(shingle ^ (0xa0761d6478bd642full * (i + 1)));
+      sig.minhash[static_cast<size_t>(i)] =
+          std::min(sig.minhash[static_cast<size_t>(i)], h);
+    }
+    prev_cell = cell;
+  }
+  return sig;
+}
+
+void AggregateSignature(const TrajSignature& member, TrajSignature* agg) {
+  agg->bits.Or(member.bits);
+  for (int i = 0; i < kSigMinhash; ++i) {
+    agg->minhash[static_cast<size_t>(i)] =
+        std::min(agg->minhash[static_cast<size_t>(i)],
+                 member.minhash[static_cast<size_t>(i)]);
+  }
+}
+
+SigBits Dilate(const SigBits& q, const SigGrid& g, double tau) {
+  SigBits out;
+  if (!g.valid() || q.Empty()) return out;
+  const double pad = GuardPad(g, tau);
+  const double tau2 = (tau + pad) * (tau + pad);
+  // Row gap |j - j'| = d contributes gapy = max(d - 1, 0) * sy; within the
+  // remaining budget the column gap allows |i - i'| up to dimax(d). The
+  // bound is computed by direct evaluation of the inclusion criterion, so
+  // there is no rounding direction to argue about beyond the guard band.
+  for (int d = 0; d < kSigDim; ++d) {
+    const double gapy = d <= 1 ? 0.0 : (d - 1) * g.sy;
+    if (gapy * gapy > tau2) break;
+    const double rem2 = tau2 - gapy * gapy;
+    int dimax = 0;
+    for (int di = 1; di < kSigDim; ++di) {
+      const double gapx = (di - 1) * g.sx;
+      if (gapx * gapx <= rem2) dimax = di;
+    }
+    for (int j = 0; j < kSigDim; ++j) {
+      const uint16_t m = q.Row(j);
+      if (m == 0) continue;
+      const uint16_t s = SpreadRow(m, dimax);
+      if (d == 0) {
+        out.OrRow(j, s);
+      } else {
+        if (j + d < kSigDim) out.OrRow(j + d, s);
+        if (j - d >= 0) out.OrRow(j - d, s);
+      }
+    }
+  }
+  return out;
+}
+
+SigBits DilateAcross(const SigBits& src, const SigGrid& src_grid,
+                     const SigGrid& dst, double tau) {
+  SigBits out;
+  if (!src_grid.valid() || !dst.valid() || src.Empty()) return out;
+  const double pad = GuardPad(dst, tau) + GuardPad(src_grid, 0.0);
+  const double reach = tau + pad;
+  for (int j = 0; j < kSigDim; ++j) {
+    const uint16_t m = src.Row(j);
+    if (m == 0) continue;
+    for (int i = 0; i < kSigDim; ++i) {
+      if ((m & (uint16_t{1} << i)) == 0) continue;
+      const MBR rect = src_grid.CellRect(i, j);
+      // Index window of dst cells whose rectangle could be within reach.
+      const int xlo = dst.CellX(rect.lo().x - reach);
+      const int xhi = dst.CellX(rect.hi().x + reach);
+      const int ylo = dst.CellY(rect.lo().y - reach);
+      const int yhi = dst.CellY(rect.hi().y + reach);
+      for (int jy = ylo; jy <= yhi; ++jy) {
+        for (int jx = xlo; jx <= xhi; ++jx) {
+          if (dst.CellRect(jx, jy).MinDist(rect) <= reach) out.Set(jx, jy);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double MinhashResemblance(const std::array<uint64_t, kSigMinhash>& a,
+                          const std::array<uint64_t, kSigMinhash>& b) {
+  int agree = 0;
+  for (int i = 0; i < kSigMinhash; ++i) {
+    if (a[static_cast<size_t>(i)] == b[static_cast<size_t>(i)]) ++agree;
+  }
+  return static_cast<double>(agree) / kSigMinhash;
+}
+
+}  // namespace dita

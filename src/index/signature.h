@@ -1,0 +1,131 @@
+#ifndef DITA_INDEX_SIGNATURE_H_
+#define DITA_INDEX_SIGNATURE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/mbr.h"
+#include "geom/trajectory.h"
+
+namespace dita {
+
+/// Level-0 sketch prefilter (ROADMAP item 3, DESIGN.md §5g): every indexed
+/// trajectory carries a fixed-width bitset over the cells of a coarse grid
+/// laid over the table's data region. The prune test is a *necessary*
+/// condition — a query's bit set is dilated by tau (every cell within
+/// rect-min-distance tau of some query cell) and a candidate whose bits are
+/// not a subset of the dilated set provably cannot be within tau — so the
+/// tier never drops a true answer. Minhash shingles ride along for join
+/// cost estimation and answer-cache keys; they are never used to prune.
+
+inline constexpr int kSigDim = 16;          // grid is kSigDim x kSigDim
+inline constexpr int kSigWords = 4;         // 256 bits = 4 x uint64
+inline constexpr int kSigMinhash = 8;       // shingle minima per signature
+
+/// The quantization frame: a fixed world rectangle split into kSigDim x
+/// kSigDim cells. Points outside the rectangle clamp onto its boundary
+/// cells; clamping is the orthogonal projection onto a convex set, which is
+/// 1-Lipschitz, so pairwise distances only shrink and every bound derived
+/// from clamped points stays a valid lower bound (DESIGN.md §5g).
+struct SigGrid {
+  MBR region;
+  double sx = 0.0;  // cell side along x
+  double sy = 0.0;  // cell side along y
+
+  /// Frame covering `region`; degenerate (zero-area) regions get a minimal
+  /// positive extent so the grid stays well-defined.
+  static SigGrid For(const MBR& region);
+
+  bool valid() const { return sx > 0.0 && sy > 0.0; }
+
+  int CellX(double x) const;
+  int CellY(double y) const;
+
+  /// World rectangle of cell (ix, iy).
+  MBR CellRect(int ix, int iy) const;
+};
+
+/// 256-bit cell-occupancy set. Bit (iy * kSigDim + ix) is cell (ix, iy).
+struct SigBits {
+  std::array<uint64_t, kSigWords> w{};
+
+  void Set(int ix, int iy) {
+    const int bit = iy * kSigDim + ix;
+    w[static_cast<size_t>(bit >> 6)] |= uint64_t{1} << (bit & 63);
+  }
+  bool Empty() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  /// this ⊆ o — the per-candidate prune test against a dilated query set.
+  bool SubsetOf(const SigBits& o) const {
+    return ((w[0] & ~o.w[0]) | (w[1] & ~o.w[1]) | (w[2] & ~o.w[2]) |
+            (w[3] & ~o.w[3])) == 0;
+  }
+  /// this ∩ o ≠ ∅ — the partition-aggregate / join-pair prune test.
+  bool Intersects(const SigBits& o) const {
+    return ((w[0] & o.w[0]) | (w[1] & o.w[1]) | (w[2] & o.w[2]) |
+            (w[3] & o.w[3])) != 0;
+  }
+  void Or(const SigBits& o) {
+    for (int i = 0; i < kSigWords; ++i) w[i] |= o.w[i];
+  }
+  int PopCount() const;
+
+  uint16_t Row(int iy) const {
+    return static_cast<uint16_t>(w[static_cast<size_t>(iy >> 2)] >>
+                                 ((iy & 3) * kSigDim));
+  }
+  void OrRow(int iy, uint16_t m) {
+    w[static_cast<size_t>(iy >> 2)] |= uint64_t{m} << ((iy & 3) * kSigDim);
+  }
+
+  friend bool operator==(const SigBits&, const SigBits&) = default;
+};
+
+/// Identity element of component-wise minhash aggregation (the minhash of
+/// an empty shingle set): every component at max, so min-folding members in
+/// starts from a neutral value.
+inline constexpr std::array<uint64_t, kSigMinhash> kEmptyMinhash = [] {
+  std::array<uint64_t, kSigMinhash> a{};
+  for (auto& v : a) v = ~uint64_t{0};
+  return a;
+}();
+
+/// Per-trajectory sketch: the cell bitset (pruning) plus minhash shingle
+/// minima (cost estimation / cache canonicalization only, never pruning).
+struct TrajSignature {
+  SigBits bits;
+  std::array<uint64_t, kSigMinhash> minhash = kEmptyMinhash;
+};
+
+/// Quantizes `t` onto `g`: sets the cell bit of every (clamped) point and
+/// minhashes the deduplicated cell-transition shingles.
+TrajSignature BuildSignature(const Trajectory& t, const SigGrid& g);
+
+/// Element-wise aggregate over members of a partition: bits are OR-ed,
+/// minhash minima are taken component-wise (the aggregate minhash of the
+/// union of the members' shingle sets).
+void AggregateSignature(const TrajSignature& member, TrajSignature* agg);
+
+/// Dilates `q` by `tau` in `g`'s own frame: the result contains every cell
+/// whose rectangle is within rect-min-distance tau (plus a relative guard
+/// band absorbing quantization rounding) of some set cell's rectangle. A
+/// trajectory within tau of the query under DTW/Frechet has every point
+/// within tau of some query point, hence every cell inside this set.
+SigBits Dilate(const SigBits& q, const SigGrid& g, double tau);
+
+/// Cross-frame dilation for joins: marks every `dst`-frame cell whose
+/// rectangle is within tau of some set cell of `src` interpreted in
+/// `src_grid`'s frame. Lets one side of a join test its locally-framed
+/// aggregate signatures against the other side's without reprojecting any
+/// trajectory data — signatures ship, trajectories don't.
+SigBits DilateAcross(const SigBits& src, const SigGrid& src_grid,
+                     const SigGrid& dst, double tau);
+
+/// Estimated Jaccard resemblance of two shingle sets from their minhash
+/// minima (fraction of agreeing components). Cost-model input only.
+double MinhashResemblance(const std::array<uint64_t, kSigMinhash>& a,
+                          const std::array<uint64_t, kSigMinhash>& b);
+
+}  // namespace dita
+
+#endif  // DITA_INDEX_SIGNATURE_H_

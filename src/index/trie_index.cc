@@ -43,7 +43,7 @@ size_t TrieIndex::Scratch::ByteSize() const {
          VecBytes(bsurvivors) + VecBytes(states) + VecBytes(tmp_states) +
          VecBytes(frame_states) + VecBytes(mbr_off) + VecBytes(order) +
          VecBytes(visits) + VecBytes(qx) + VecBytes(qy) + VecBytes(refs) +
-         VecBytes(keys) + VecBytes(cdist);
+         VecBytes(keys) + VecBytes(cdist) + VecBytes(dsigs);
 }
 
 void TrieIndex::Scratch::Release() {
@@ -65,6 +65,7 @@ void TrieIndex::Scratch::Release() {
   FreeVec(refs);
   FreeVec(keys);
   FreeVec(cdist);
+  FreeVec(dsigs);
 }
 
 Status TrieIndex::Build(std::vector<Trajectory> trajectories,

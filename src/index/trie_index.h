@@ -7,6 +7,7 @@
 #include "distance/distance.h"
 #include "geom/trajectory.h"
 #include "index/pivot.h"
+#include "index/signature.h"
 #include "util/query_context.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -164,6 +165,12 @@ class TrieIndex {
     /// re-grows them from scratch.
     void Release();
 
+    /// Grow-once arena of per-member dilated query signatures, used by the
+    /// engine's batched search to avoid a per-batch allocation (DESIGN.md
+    /// §5g). Counted by ByteSize and freed by Release like the traversal
+    /// buffers.
+    std::vector<SigBits>& DilatedSigs() { return dsigs; }
+
    private:
     friend class TrieIndex;
 
@@ -192,6 +199,7 @@ class TrieIndex {
     std::vector<MemberRef> refs;
     std::vector<uint64_t> keys;  // Morton sort keys (index in the low bits)
     std::vector<double> cdist;   // per-sibling distances, one frame at a time
+    std::vector<SigBits> dsigs;  // per-member dilated sketches (engine batch)
   };
 
   /// One member of a batched traversal. All members of one

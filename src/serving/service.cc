@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
@@ -10,6 +11,113 @@
 #include "util/timer.h"
 
 namespace dita {
+
+// ----------------------------------------------------------- answer cache --
+
+namespace {
+
+// splitmix64 fold step; seeds the two key lanes differently so the 128-bit
+// digest has no cheap collisions across lanes.
+uint64_t MixFold(uint64_t h, uint64_t v) {
+  h += 0x9e3779b97f4a7c15ull + v;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t b = 0;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+}  // namespace
+
+AnswerCache::Key AnswerCache::KeyFor(const QueryRequest& req) {
+  Key k{0x2545f4914f6cdd1dull, 0x6a09e667f3bcc909ull};
+  const auto fold = [&k](uint64_t v) {
+    k.h1 = MixFold(k.h1, v);
+    k.h2 = MixFold(k.h2, k.h1 ^ v);
+  };
+  fold(static_cast<uint64_t>(req.kind));
+  fold(DoubleBits(req.tau));
+  fold(req.k);
+  fold(DoubleBits(req.initial_tau));
+  fold(req.collect_stats ? 1 : 0);
+  fold(req.query.size());
+  for (const Point& p : req.query.points()) {
+    fold(DoubleBits(p.x));
+    fold(DoubleBits(p.y));
+  }
+  return k;
+}
+
+void AnswerCache::Configure(size_t capacity, obs::MetricsRegistry* metrics) {
+  capacity_ = capacity;
+  if (capacity_ == 0) return;
+  m_hits_ = {metrics, "serving.cache.hits"};
+  m_misses_ = {metrics, "serving.cache.misses"};
+  m_evictions_ = {metrics, "serving.cache.evictions"};
+  m_invalidations_ = {metrics, "serving.cache.invalidations"};
+}
+
+bool AnswerCache::Lookup(const Key& key, uint64_t version, QueryResult* out) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1);
+    m_misses_.Increment();
+    return false;
+  }
+  if (it->second->version != version) {
+    // A Store that raced a publish: provably dead (versions only grow), so
+    // reclaim the slot now rather than waiting for LRU pressure.
+    lru_.erase(it->second);
+    index_.erase(it);
+    misses_.fetch_add(1);
+    m_misses_.Increment();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->result;
+  hits_.fetch_add(1);
+  m_hits_.Increment();
+  return true;
+}
+
+void AnswerCache::Store(const Key& key, uint64_t version,
+                        const QueryResult& res) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->version = version;
+    it->second->result = res;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, version, res});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1);
+    m_evictions_.Increment();
+  }
+}
+
+void AnswerCache::InvalidateAll() {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  invalidations_.fetch_add(1);
+  m_invalidations_.Increment();
+}
 
 DitaService::DitaService(std::shared_ptr<Cluster> cluster,
                          const DitaConfig& config)
@@ -44,6 +152,7 @@ DitaService::DitaService(std::shared_ptr<Cluster> cluster,
   m_coalesced_queries_ = {metrics_, "serving.batch.coalesced"};
   h_batch_size_ = {metrics_, "serving.batch.size",
                    obs::LinearBounds(1.0, 1.0, 33)};
+  answer_cache_.Configure(config_.serving.answer_cache_entries, metrics_);
 }
 
 DitaService::~DitaService() { Stop(); }
@@ -143,12 +252,20 @@ Status DitaService::Insert(const Trajectory& t) {
     auto next = std::make_shared<TableSnapshot>(*cur);
     next->version = cur->version + 1;
     next->inserts.push_back(t);
+    // Quantize the delta sketch once, here, in the epoch base's frame; the
+    // delta scan of every future query reuses it (all-zero when the base
+    // has no sketch tier, which also disables the scan-side test).
+    next->insert_sigs.emplace_back();
+    if (cur->base != nullptr && cur->base->SketchActive()) {
+      next->insert_sigs.back() = BuildSignature(t, cur->base->sig_grid());
+    }
     if (merging_) op_log_.push_back(Op{true, t, -1});
     {
       std::lock_guard<std::mutex> slock(snap_mu_);
       snap_ = std::move(next);
     }
   }
+  answer_cache_.InvalidateAll();
   m_inserts_.Increment();
   MaybeScheduleMerge();
   return Status::OK();
@@ -166,6 +283,8 @@ Status DitaService::Delete(TrajectoryId id) {
         [id](const Trajectory& t) { return t.id() == id; });
     if (it != next->inserts.end()) {
       // A pending insert dies in the buffer; it never reaches `deleted`.
+      next->insert_sigs.erase(next->insert_sigs.begin() +
+                              (it - next->inserts.begin()));
       next->inserts.erase(it);
     } else if (cur->InBase(id) && cur->deleted.count(id) == 0) {
       next->deleted.insert(id);
@@ -178,6 +297,7 @@ Status DitaService::Delete(TrajectoryId id) {
       snap_ = std::move(next);
     }
   }
+  answer_cache_.InvalidateAll();
   m_deletes_.Increment();
   MaybeScheduleMerge();
   return Status::OK();
@@ -265,6 +385,13 @@ Status DitaService::MergeOnce() {
     // the new base keeps the live set identical across the publish.
     for (Op& op : op_log_) {
       if (op.is_insert) {
+        // The replayed insert belongs to the *new* epoch's delta, so its
+        // sketch must be quantized in the new base's frame.
+        next->insert_sigs.emplace_back();
+        if (next->base != nullptr && next->base->SketchActive()) {
+          next->insert_sigs.back() =
+              BuildSignature(op.insert, next->base->sig_grid());
+        }
         next->inserts.push_back(std::move(op.insert));
         continue;
       }
@@ -272,6 +399,8 @@ Status DitaService::MergeOnce() {
           next->inserts.begin(), next->inserts.end(),
           [&op](const Trajectory& t) { return t.id() == op.erase; });
       if (it != next->inserts.end()) {
+        next->insert_sigs.erase(next->insert_sigs.begin() +
+                                (it - next->inserts.begin()));
         next->inserts.erase(it);
       } else if (next->base_ids->count(op.erase) > 0) {
         next->deleted.insert(op.erase);
@@ -285,6 +414,7 @@ Status DitaService::MergeOnce() {
       snap_ = std::move(next);
     }
   }
+  answer_cache_.InvalidateAll();
   m_merges_.Increment();
   if (tracer_ != nullptr) tracer_->Instant("serving.epoch.published");
   // Writes that raced the rebuild may already exceed the threshold again.
@@ -335,6 +465,25 @@ uint64_t DitaService::EstimateCost(const TableSnapshot& snap,
 
 Result<QueryResult> DitaService::Execute(const QueryRequest& req) const {
   if (!started_) return Status::Internal("DitaService used before Start");
+  // Answer cache (DESIGN.md §5g): a hit returns the stored result without
+  // an admission grant — the point of the tier is that repeated reads skip
+  // the scheduler and the engine entirely. Joins are never cached (their
+  // answer depends on a second table's state), nor are context-carrying
+  // requests (a deadline/budget can degrade the answer).
+  AnswerCache::Key ckey;
+  const bool cacheable =
+      answer_cache_.enabled() && req.ctx == nullptr &&
+      req.kind != QueryKind::kJoin && req.join_right == nullptr &&
+      req.join_right_service == nullptr;
+  if (cacheable) {
+    ckey = AnswerCache::KeyFor(req);
+    QueryResult hit;
+    if (answer_cache_.Lookup(ckey, Pin()->version, &hit)) {
+      m_queries_.Increment();
+      if (req.collect_stats) RecordExplain(hit);
+      return hit;
+    }
+  }
   // Cost is estimated against the snapshot current at arrival; the query
   // itself runs on the snapshot pinned *after* the grant, so it sees every
   // write that completed before it was scheduled.
@@ -385,6 +534,13 @@ Result<QueryResult> DitaService::Execute(const QueryRequest& req) const {
   res->serving.version = snap->version;
   m_delta_scanned_.Add(res->serving.delta_scanned);
   if (req.collect_stats) RecordExplain(*res);
+  // Only complete answers are cacheable; a hit is indistinguishable from a
+  // recompute only when the stored result is the full one. The version tag
+  // makes a Store racing a publish harmless (Lookup rejects it).
+  if (cacheable && res->search_stats.termination.ok() &&
+      res->search_stats.completeness >= 1.0) {
+    answer_cache_.Store(ckey, snap->version, *res);
+  }
   return res;
 }
 
@@ -477,14 +633,28 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
     return out;
   }
   // Joins and kNN take the standalone path with their own grants; only
-  // threshold searches share the batch machinery.
+  // threshold searches share the batch machinery. Cache hits peel off
+  // before admission, exactly as in Execute — each hit is individually
+  // consistent with the version it was stored against.
   std::vector<size_t> members;
+  const bool cache_on = answer_cache_.enabled();
+  const uint64_t look_version = cache_on ? Pin()->version : 0;
   for (size_t i = 0; i < reqs.size(); ++i) {
-    if (Coalescible(reqs[i])) {
-      members.push_back(i);
-    } else {
+    if (!Coalescible(reqs[i])) {
       out[i] = Execute(reqs[i]);
+      continue;
     }
+    if (cache_on && reqs[i].ctx == nullptr) {
+      QueryResult hit;
+      if (answer_cache_.Lookup(AnswerCache::KeyFor(reqs[i]), look_version,
+                               &hit)) {
+        m_queries_.Increment();
+        if (reqs[i].collect_stats) RecordExplain(hit);
+        out[i] = std::move(hit);
+        continue;
+      }
+    }
+    members.push_back(i);
   }
   if (members.empty()) return out;
   if (members.size() == 1) {
@@ -572,13 +742,30 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
   for (const size_t i : members) {
     qps.push_back(VerifyPrecomp::For(reqs[i].query, config_.verify.cell_size));
   }
-  for (const Trajectory& t : snap->inserts) {
-    const VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
+  // Level-0 sketch over the delta (DESIGN.md §5g): the stored insert
+  // signatures are in the base's frame, so each member's dilated query set
+  // is built there too; the per-insert subset test then mirrors the
+  // indexed path's exactly.
+  const bool sketch = snap->base != nullptr && snap->base->SketchActive() &&
+                      !snap->inserts.empty();
+  std::vector<SigBits> dsig(sketch ? n : 0);
+  if (sketch) {
+    for (size_t m = 0; m < n; ++m) {
+      if (!live[m]) continue;
+      const QueryRequest& req = reqs[members[m]];
+      dsig[m] = snap->base->DilatedQuerySig(req.query, req.tau);
+    }
+  }
+  for (size_t d = 0; d < snap->inserts.size(); ++d) {
+    const Trajectory& t = snap->inserts[d];
+    VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
+    if (sketch) tp.sig = snap->insert_sigs[d];
     for (size_t m = 0; m < n; ++m) {
       if (!live[m]) continue;
       const QueryRequest& req = reqs[members[m]];
       ++res[m].serving.delta_scanned;
-      if (verifier_->Verify(t, tp, req.query, qps[m], req.tau, &dstats[m])) {
+      if (verifier_->Verify(t, tp, req.query, qps[m], req.tau, &dstats[m],
+                            sketch ? &dsig[m] : nullptr)) {
         ids[m].push_back(t.id());
         ++res[m].serving.delta_matches;
       }
@@ -593,7 +780,10 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
       res[m].serving.delta_funnel.AddLevel("delta buffer",
                                            snap->inserts.size());
       res[m].serving.delta_funnel.AddLevel(
-          "mbr coverage", dstats[m].pairs - dstats[m].pruned_by_mbr);
+          "sketch signature", dstats[m].pairs - dstats[m].pruned_by_sketch);
+      res[m].serving.delta_funnel.AddLevel(
+          "mbr coverage", dstats[m].pairs - dstats[m].pruned_by_sketch -
+                              dstats[m].pruned_by_mbr);
       res[m].serving.delta_funnel.AddLevel("cell bound",
                                            dstats[m].dp_computed);
       res[m].serving.delta_funnel.AddLevel("threshold dp",
@@ -606,6 +796,11 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
     res[m].serving.version = snap->version;
     m_delta_scanned_.Add(res[m].serving.delta_scanned);
     if (req.collect_stats) RecordExplain(res[m]);
+    if (cache_on && req.ctx == nullptr &&
+        res[m].search_stats.termination.ok() &&
+        res[m].search_stats.completeness >= 1.0) {
+      answer_cache_.Store(AnswerCache::KeyFor(req), snap->version, res[m]);
+    }
     out[members[m]] = std::move(res[m]);
   }
   return out;
@@ -642,20 +837,32 @@ Status DitaService::SearchIdsInto(const TableSnapshot& snap,
   }
   // Delta scan: exact, because Verifier::Verify is the same accept
   // predicate the indexed path ends in (sound filters + thresholded DP).
+  // The level-0 sketch test reuses the signatures Insert quantized in the
+  // base's frame against the query's dilated set in that same frame.
   const VerifyPrecomp qp = VerifyPrecomp::For(q, config_.verify.cell_size);
+  const bool sketch = snap.base != nullptr && snap.base->SketchActive() &&
+                      !snap.inserts.empty();
+  SigBits dilated;
+  if (sketch) dilated = snap.base->DilatedQuerySig(q, tau);
   VerifyStats dstats;
-  for (const Trajectory& t : snap.inserts) {
+  for (size_t d = 0; d < snap.inserts.size(); ++d) {
+    const Trajectory& t = snap.inserts[d];
     ++acct->delta_scanned;
-    const VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
-    if (verifier_->Verify(t, tp, q, qp, tau, &dstats)) {
+    VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
+    if (sketch) tp.sig = snap.insert_sigs[d];
+    if (verifier_->Verify(t, tp, q, qp, tau, &dstats,
+                          sketch ? &dilated : nullptr)) {
       out->push_back(t.id());
       ++acct->delta_matches;
     }
   }
   if (!snap.inserts.empty()) {
     acct->delta_funnel.AddLevel("delta buffer", snap.inserts.size());
-    acct->delta_funnel.AddLevel("mbr coverage",
-                                dstats.pairs - dstats.pruned_by_mbr);
+    acct->delta_funnel.AddLevel("sketch signature",
+                                dstats.pairs - dstats.pruned_by_sketch);
+    acct->delta_funnel.AddLevel(
+        "mbr coverage",
+        dstats.pairs - dstats.pruned_by_sketch - dstats.pruned_by_mbr);
     acct->delta_funnel.AddLevel("cell bound", dstats.dp_computed);
     acct->delta_funnel.AddLevel("threshold dp", dstats.accepted);
   }
@@ -691,19 +898,29 @@ Result<QueryResult> DitaService::SearchSnapshot(const TableSnapshot& snap,
   }
   const VerifyPrecomp qp =
       VerifyPrecomp::For(req.query, config_.verify.cell_size);
+  const bool sketch = snap.base != nullptr && snap.base->SketchActive() &&
+                      !snap.inserts.empty();
+  SigBits dilated;
+  if (sketch) dilated = snap.base->DilatedQuerySig(req.query, req.tau);
   VerifyStats dstats;
-  for (const Trajectory& t : snap.inserts) {
+  for (size_t d = 0; d < snap.inserts.size(); ++d) {
+    const Trajectory& t = snap.inserts[d];
     ++res.serving.delta_scanned;
-    const VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
-    if (verifier_->Verify(t, tp, req.query, qp, req.tau, &dstats)) {
+    VerifyPrecomp tp = VerifyPrecomp::For(t, config_.verify.cell_size);
+    if (sketch) tp.sig = snap.insert_sigs[d];
+    if (verifier_->Verify(t, tp, req.query, qp, req.tau, &dstats,
+                          sketch ? &dilated : nullptr)) {
       ids.push_back(t.id());
       ++res.serving.delta_matches;
     }
   }
   if (!snap.inserts.empty() && req.collect_stats) {
     res.serving.delta_funnel.AddLevel("delta buffer", snap.inserts.size());
-    res.serving.delta_funnel.AddLevel("mbr coverage",
-                                      dstats.pairs - dstats.pruned_by_mbr);
+    res.serving.delta_funnel.AddLevel("sketch signature",
+                                      dstats.pairs - dstats.pruned_by_sketch);
+    res.serving.delta_funnel.AddLevel(
+        "mbr coverage",
+        dstats.pairs - dstats.pruned_by_sketch - dstats.pruned_by_mbr);
     res.serving.delta_funnel.AddLevel("cell bound", dstats.dp_computed);
     res.serving.delta_funnel.AddLevel("threshold dp", dstats.accepted);
   }

@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
@@ -17,6 +19,88 @@
 #include "workload/dataset.h"
 
 namespace dita {
+
+/// Version-tagged LRU cache for the serving read path (DESIGN.md §5g).
+/// Keys are a 128-bit content digest of the request — query points, the tau
+/// / k / initial_tau bit patterns, the query kind, and the stats flag — so
+/// a hit is byte-for-byte the answer the engine would recompute. (The
+/// digest is a conservative refinement of the minhash sketch key: sketch
+/// canonicalization would alias distinct queries and force re-verification
+/// on hit; the exact digest keeps hits sound with zero extra work.)
+///
+/// Staleness is impossible by two independent guards:
+///  1. every publish (Insert / Delete / merge) calls InvalidateAll;
+///  2. a hit additionally requires the entry's tagged snapshot version to
+///     equal the looking query's current version — so a Store racing a
+///     publish can never be served afterwards (versions bump on every
+///     publish, and equal versions imply identical live sets).
+///
+/// Capacity 0 (the ServingOptions::answer_cache_entries default) disables
+/// the cache entirely; every method is then a counter-free no-op.
+class AnswerCache {
+ public:
+  struct Key {
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  /// Content digest of everything that determines `req`'s answer on a
+  /// fixed snapshot. The metric is per-service (all requests share it), so
+  /// it is not part of the key.
+  static Key KeyFor(const QueryRequest& req);
+
+  /// Sets capacity and registers the serving.cache.* counters. Called once
+  /// from the service constructor, before any traffic.
+  void Configure(size_t capacity, obs::MetricsRegistry* metrics);
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// On hit (key present AND entry tagged with `version`) copies the stored
+  /// result into `out`, refreshes LRU order, and returns true. A version
+  /// mismatch — an entry stored by a query that raced a publish — is erased
+  /// and counted as a miss.
+  bool Lookup(const Key& key, uint64_t version, QueryResult* out);
+
+  /// Inserts (or refreshes) `res` under `key`, tagged with the snapshot
+  /// version it was computed against, evicting the LRU tail past capacity.
+  void Store(const Key& key, uint64_t version, const QueryResult& res);
+
+  /// Drops every entry. Called by the write path after each publish.
+  void InvalidateAll();
+
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+  uint64_t evictions() const { return evictions_.load(); }
+  uint64_t invalidations() const { return invalidations_.load(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct Entry {
+    Key key;
+    uint64_t version = 0;
+    QueryResult result;
+  };
+
+  size_t capacity_ = 0;
+  std::mutex mu_;
+  /// LRU order, most recent first; map values point into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  obs::CounterHandle m_hits_;
+  obs::CounterHandle m_misses_;
+  obs::CounterHandle m_evictions_;
+  obs::CounterHandle m_invalidations_;
+};
 
 /// The long-lived serving runtime around DitaEngine: where the engine is
 /// build-once / query-once, DitaService multiplexes concurrent
@@ -87,6 +171,13 @@ class DitaService {
   /// path since Start(), and the total queries those batches contained.
   uint64_t coalesced_batches() const { return coalesced_batches_.load(); }
   uint64_t coalesced_queries() const { return coalesced_queries_.load(); }
+
+  /// Answer-cache counters (all zero while
+  /// ServingOptions::answer_cache_entries is 0, the default).
+  uint64_t cache_hits() const { return answer_cache_.hits(); }
+  uint64_t cache_misses() const { return answer_cache_.misses(); }
+  uint64_t cache_evictions() const { return answer_cache_.evictions(); }
+  uint64_t cache_invalidations() const { return answer_cache_.invalidations(); }
 
   /// Streaming ingest. Insert requires >= 2 points and an id that is not
   /// currently live (re-inserting a deleted id is fine); Delete removes a
@@ -216,6 +307,9 @@ class DitaService {
   /// ExplainLastQuery state.
   mutable std::mutex explain_mu_;
   mutable std::string last_explain_;
+
+  /// Mutable because the read path (const Execute) looks up and stores.
+  mutable AnswerCache answer_cache_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

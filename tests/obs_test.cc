@@ -333,9 +333,10 @@ DitaConfig ObsConfig() {
 /// control flow is fully deterministic (injected faults are pure functions
 /// of (seed, stage, task, attempt); span ticks are logical), so two calls
 /// must produce byte-identical output. Joins are deliberately excluded:
-/// the join planner's edge orientation and division balancing consume
-/// *measured* per-pair verification time (the paper's Delta, §6.2), so a
-/// join's task structure — and therefore its trace — is timing-dependent.
+/// this plan has straggler_prob > 0, and speculative backups trigger on
+/// *measured* straggler runtimes, so a join's task structure — and
+/// therefore its trace — could differ between runs. (The planner's Delta,
+/// §6.2, is itself deterministic: sampled DP work x a fixed per-cell cost.)
 std::string RunTracedSearchWorkload() {
   ClusterConfig ccfg;
   ccfg.num_workers = 4;

@@ -899,5 +899,183 @@ TEST(ServingSoakTest, ConcurrentIngestMergesAndQueriesStayExact) {
   service.Stop();
 }
 
+// ------------------------------------------------------------------------
+// Answer cache: version-tagged LRU over the serving read path. The
+// load-bearing invariant: a hit after ANY publish (Insert / Delete /
+// merge) is impossible, so cached answers are always what a recompute
+// would return.
+// ------------------------------------------------------------------------
+
+class AnswerCacheTest : public ::testing::Test {
+ protected:
+  void StartService(size_t cache_entries, size_t n = 150) {
+    ds_ = CityDataset(n, 311);
+    DitaConfig config = SmallConfig();
+    config.serving.synchronous_merge = true;
+    config.serving.merge_threshold = 1000;  // no merges unless forced
+    config.serving.answer_cache_entries = cache_entries;
+    service_ = std::make_unique<DitaService>(MakeCluster(), config);
+    ASSERT_TRUE(service_->Start(ds_).ok());
+  }
+
+  QueryRequest SearchReq(const Trajectory& q, double tau = 0.05) const {
+    QueryRequest req;
+    req.kind = QueryKind::kSearch;
+    req.query = q;
+    req.tau = tau;
+    return req;
+  }
+
+  Dataset ds_;
+  std::unique_ptr<DitaService> service_;
+};
+
+TEST_F(AnswerCacheTest, DisabledByDefaultCountsNothing) {
+  StartService(0);
+  const QueryRequest req = SearchReq(ds_[3]);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service_->Execute(req).ok());
+  }
+  EXPECT_EQ(service_->cache_hits(), 0u);
+  EXPECT_EQ(service_->cache_misses(), 0u);
+  EXPECT_EQ(service_->cache_evictions(), 0u);
+  EXPECT_EQ(service_->cache_invalidations(), 0u);
+}
+
+TEST_F(AnswerCacheTest, RepeatHitsAndAnswersAreIdentical) {
+  StartService(16);
+  const QueryRequest req = SearchReq(ds_[7]);
+  auto first = service_->Execute(req);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(service_->cache_hits(), 0u);
+  EXPECT_EQ(service_->cache_misses(), 1u);
+  auto second = service_->Execute(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(service_->cache_hits(), 1u);
+  EXPECT_EQ(second->ids, first->ids);
+  EXPECT_EQ(second->serving.version, first->serving.version);
+  // A different tau is a different key.
+  auto other = service_->Execute(SearchReq(ds_[7], 0.08));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(service_->cache_hits(), 1u);
+  EXPECT_EQ(service_->cache_misses(), 2u);
+}
+
+TEST_F(AnswerCacheTest, HitAfterInsertIsImpossible) {
+  StartService(16);
+  // Use a live trajectory as its own query so the insert of a clone is
+  // guaranteed to change the answer — a stale hit would be observable.
+  const Trajectory& q = ds_[11];
+  const QueryRequest req = SearchReq(q);
+  auto before = service_->Execute(req);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(service_->Execute(req).ok());
+  EXPECT_EQ(service_->cache_hits(), 1u);
+
+  ASSERT_TRUE(service_->Insert(WithId(q, 900001)).ok());
+  EXPECT_GE(service_->cache_invalidations(), 1u);
+  auto after = service_->Execute(req);
+  ASSERT_TRUE(after.ok());
+  // No hit was served, and the answer reflects the write.
+  EXPECT_EQ(service_->cache_hits(), 1u);
+  EXPECT_NE(after->ids, before->ids);
+  EXPECT_TRUE(std::find(after->ids.begin(), after->ids.end(), 900001) !=
+              after->ids.end());
+}
+
+TEST_F(AnswerCacheTest, HitAfterDeleteOrMergeIsImpossible) {
+  StartService(16);
+  const Trajectory& q = ds_[13];
+  const QueryRequest req = SearchReq(q);
+  auto before = service_->Execute(req);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->ids.empty());  // q matches itself at least
+
+  // Delete the query's own id: the cached answer must die with it.
+  const uint64_t inval0 = service_->cache_invalidations();
+  ASSERT_TRUE(service_->Delete(q.id()).ok());
+  EXPECT_GT(service_->cache_invalidations(), inval0);
+  auto after_delete = service_->Execute(req);
+  ASSERT_TRUE(after_delete.ok());
+  EXPECT_EQ(service_->cache_hits(), 0u);
+  EXPECT_TRUE(std::find(after_delete->ids.begin(), after_delete->ids.end(),
+                        q.id()) == after_delete->ids.end());
+
+  // A forced merge publishes a new epoch: again no hit may survive.
+  const uint64_t inval1 = service_->cache_invalidations();
+  ASSERT_TRUE(service_->ForceMerge().ok());
+  EXPECT_GT(service_->cache_invalidations(), inval1);
+  auto after_merge = service_->Execute(req);
+  ASSERT_TRUE(after_merge.ok());
+  EXPECT_EQ(service_->cache_hits(), 0u);
+  EXPECT_EQ(after_merge->ids, after_delete->ids);
+}
+
+TEST_F(AnswerCacheTest, LruEvictsLeastRecentlyUsed) {
+  StartService(2);
+  const QueryRequest a = SearchReq(ds_[1]);
+  const QueryRequest b = SearchReq(ds_[2]);
+  const QueryRequest c = SearchReq(ds_[3]);
+  ASSERT_TRUE(service_->Execute(a).ok());
+  ASSERT_TRUE(service_->Execute(b).ok());
+  ASSERT_TRUE(service_->Execute(c).ok());  // evicts a
+  EXPECT_EQ(service_->cache_evictions(), 1u);
+  ASSERT_TRUE(service_->Execute(b).ok());  // still resident
+  EXPECT_EQ(service_->cache_hits(), 1u);
+  ASSERT_TRUE(service_->Execute(a).ok());  // miss: was evicted; evicts c
+  EXPECT_EQ(service_->cache_hits(), 1u);
+  EXPECT_EQ(service_->cache_evictions(), 2u);
+}
+
+TEST_F(AnswerCacheTest, KnnResultsAreCached) {
+  StartService(16);
+  QueryRequest req;
+  req.kind = QueryKind::kKnnSearch;
+  req.query = ds_[5];
+  req.k = 4;
+  auto first = service_->Execute(req);
+  ASSERT_TRUE(first.ok());
+  auto second = service_->Execute(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(service_->cache_hits(), 1u);
+  EXPECT_EQ(second->neighbors, first->neighbors);
+  // Ingest invalidates kNN entries too.
+  ASSERT_TRUE(service_->Insert(WithId(ds_[5], 900002)).ok());
+  auto third = service_->Execute(req);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(service_->cache_hits(), 1u);
+  EXPECT_NE(third->neighbors, first->neighbors);
+}
+
+TEST_F(AnswerCacheTest, BatchPathServesAndFillsTheCache) {
+  StartService(16);
+  const QueryRequest req = SearchReq(ds_[9]);
+  // First batch: both members carry the same key; neither hits (the lookup
+  // precedes the shared computation) but the result is stored.
+  auto first = service_->ExecuteBatch({req, req});
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_TRUE(first[0].ok());
+  ASSERT_TRUE(first[1].ok());
+  EXPECT_EQ(service_->cache_hits(), 0u);
+  // Second batch: both members hit, answers identical to the computed run.
+  auto second = service_->ExecuteBatch({req, req});
+  ASSERT_TRUE(second[0].ok());
+  ASSERT_TRUE(second[1].ok());
+  EXPECT_EQ(service_->cache_hits(), 2u);
+  EXPECT_EQ(second[0]->ids, first[0]->ids);
+  EXPECT_EQ(second[1]->ids, first[1]->ids);
+}
+
+TEST_F(AnswerCacheTest, ContextCarryingRequestsBypassTheCache) {
+  StartService(16);
+  QueryContext ctx;
+  QueryRequest req = SearchReq(ds_[15]);
+  req.ctx = &ctx;
+  ASSERT_TRUE(service_->Execute(req).ok());
+  ASSERT_TRUE(service_->Execute(req).ok());
+  EXPECT_EQ(service_->cache_hits(), 0u);
+  EXPECT_EQ(service_->cache_misses(), 0u);
+}
+
 }  // namespace
 }  // namespace dita

@@ -1,0 +1,386 @@
+#include "index/signature.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "distance/distance.h"
+#include "index/trie_index.h"
+#include "workload/generator.h"
+
+namespace dita {
+namespace {
+
+std::shared_ptr<Cluster> MakeCluster(size_t workers = 4) {
+  ClusterConfig cfg;
+  cfg.num_workers = workers;
+  return std::make_shared<Cluster>(cfg);
+}
+
+Dataset CityDataset(size_t n = 300, uint64_t seed = 91) {
+  GeneratorConfig cfg;
+  cfg.cardinality = n;
+  cfg.region = MBR(Point{0, 0}, Point{1, 1});
+  cfg.step = 0.01;
+  cfg.avg_len = 16;
+  cfg.min_len = 4;
+  cfg.max_len = 40;
+  cfg.seed = seed;
+  return GenerateTaxiDataset(cfg);
+}
+
+DitaConfig SmallConfig(DistanceType type = DistanceType::kDTW) {
+  DitaConfig config;
+  config.build.ng = 3;
+  config.build.trie.num_pivots = 3;
+  config.build.trie.align_fanout = 8;
+  config.build.trie.pivot_fanout = 4;
+  config.build.trie.leaf_capacity = 4;
+  config.distance = type;
+  config.distance_params.epsilon = 0.01;
+  config.distance_params.delta = 4;
+  config.verify.cell_size = 0.02;
+  return config;
+}
+
+Trajectory RandomTrajectory(std::mt19937_64* rng, TrajectoryId id,
+                            const MBR& region, size_t min_len = 3,
+                            size_t max_len = 20) {
+  std::uniform_int_distribution<size_t> len(min_len, max_len);
+  std::uniform_real_distribution<double> ux(region.lo().x, region.hi().x);
+  std::uniform_real_distribution<double> uy(region.lo().y, region.hi().y);
+  std::vector<Point> pts(len(*rng));
+  for (Point& p : pts) p = Point{ux(*rng), uy(*rng)};
+  return Trajectory(id, std::move(pts));
+}
+
+// ------------------------------------------------------------ grid units --
+
+TEST(SigGridTest, QuantizationClampsOutOfRegionPoints) {
+  const SigGrid g = SigGrid::For(MBR(Point{0, 0}, Point{1, 1}));
+  ASSERT_TRUE(g.valid());
+  EXPECT_EQ(g.CellX(-5.0), 0);
+  EXPECT_EQ(g.CellY(-5.0), 0);
+  EXPECT_EQ(g.CellX(7.0), kSigDim - 1);
+  EXPECT_EQ(g.CellY(7.0), kSigDim - 1);
+  // Interior points land in the cell whose rectangle contains them.
+  for (int i = 0; i < kSigDim; ++i) {
+    const double x = (i + 0.5) / kSigDim;
+    EXPECT_EQ(g.CellX(x), i);
+    EXPECT_EQ(g.CellY(x), i);
+    const MBR rect = g.CellRect(i, i);
+    EXPECT_LE(rect.lo().x, x);
+    EXPECT_GE(rect.hi().x, x);
+  }
+}
+
+TEST(SigGridTest, DegenerateRegionStaysValid) {
+  const SigGrid g = SigGrid::For(MBR(Point{3, 3}, Point{3, 3}));
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.CellX(3.0), std::clamp(g.CellX(3.0), 0, kSigDim - 1));
+}
+
+TEST(SigBitsTest, SubsetAndIntersectSemantics) {
+  SigBits a, b;
+  a.Set(1, 2);
+  a.Set(5, 9);
+  b = a;
+  b.Set(12, 14);
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  SigBits c;
+  c.Set(0, 0);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.SubsetOf(a));
+  EXPECT_EQ(a.PopCount(), 2);
+  EXPECT_TRUE(SigBits{}.Empty());
+}
+
+// --------------------------------------------------------- dilate oracle --
+
+// Dilate must contain every cell whose rectangle is within rect-min-distance
+// tau of some set cell's rectangle (the guard band may add more; it must
+// never remove any).
+TEST(DilateTest, CoversBruteForceRectDistanceOracle) {
+  std::mt19937_64 rng(7);
+  const SigGrid g = SigGrid::For(MBR(Point{0, 0}, Point{2, 1}));
+  std::uniform_int_distribution<int> cell(0, kSigDim - 1);
+  std::uniform_real_distribution<double> utau(0.0, 0.6);
+  for (int trial = 0; trial < 50; ++trial) {
+    SigBits q;
+    const int nset = 1 + (trial % 5);
+    for (int i = 0; i < nset; ++i) q.Set(cell(rng), cell(rng));
+    const double tau = utau(rng);
+    const SigBits dilated = Dilate(q, g, tau);
+
+    for (int jy = 0; jy < kSigDim; ++jy) {
+      for (int jx = 0; jx < kSigDim; ++jx) {
+        bool within = false;
+        for (int iy = 0; iy < kSigDim && !within; ++iy) {
+          for (int ix = 0; ix < kSigDim && !within; ++ix) {
+            SigBits probe;
+            probe.Set(ix, iy);
+            if (!probe.Intersects(q)) continue;
+            within = g.CellRect(ix, iy).MinDist(g.CellRect(jx, jy)) <= tau;
+          }
+        }
+        if (within) {
+          SigBits want;
+          want.Set(jx, jy);
+          EXPECT_TRUE(want.SubsetOf(dilated))
+              << "cell (" << jx << "," << jy << ") within tau=" << tau
+              << " but not dilated";
+        }
+      }
+    }
+  }
+}
+
+TEST(DilateTest, SmallTauStaysSparse) {
+  const SigGrid g = SigGrid::For(MBR(Point{0, 0}, Point{1, 1}));
+  SigBits q;
+  q.Set(8, 8);
+  const SigBits dilated = Dilate(q, g, 0.01);
+  // One cell dilated by a sub-cell radius reaches at most its 3x3
+  // neighborhood — the tier retains pruning power at serving taus.
+  EXPECT_LE(dilated.PopCount(), 9);
+  EXPECT_GE(dilated.PopCount(), 1);
+}
+
+TEST(DilateAcrossTest, CoversCrossFrameRectDistanceOracle) {
+  std::mt19937_64 rng(11);
+  const SigGrid src = SigGrid::For(MBR(Point{0, 0}, Point{1, 1}));
+  const SigGrid dst = SigGrid::For(MBR(Point{0.3, -0.2}, Point{1.9, 0.9}));
+  std::uniform_int_distribution<int> cell(0, kSigDim - 1);
+  std::uniform_real_distribution<double> utau(0.0, 0.5);
+  for (int trial = 0; trial < 30; ++trial) {
+    SigBits s;
+    for (int i = 0; i < 3; ++i) s.Set(cell(rng), cell(rng));
+    const double tau = utau(rng);
+    const SigBits proj = DilateAcross(s, src, dst, tau);
+    for (int jy = 0; jy < kSigDim; ++jy) {
+      for (int jx = 0; jx < kSigDim; ++jx) {
+        bool within = false;
+        for (int iy = 0; iy < kSigDim && !within; ++iy) {
+          for (int ix = 0; ix < kSigDim && !within; ++ix) {
+            SigBits probe;
+            probe.Set(ix, iy);
+            if (!probe.Intersects(s)) continue;
+            within =
+                src.CellRect(ix, iy).MinDist(dst.CellRect(jx, jy)) <= tau;
+          }
+        }
+        if (within) {
+          SigBits want;
+          want.Set(jx, jy);
+          EXPECT_TRUE(want.SubsetOf(proj));
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------- necessary-condition oracle --
+
+// The exactness property the whole tier rests on: whenever the true
+// DTW/Frechet distance is within tau, the candidate's signature is a subset
+// of the query's tau-dilated signature — including trajectories that leave
+// the grid region (clamping is 1-Lipschitz, distances only shrink).
+TEST(SketchOracleTest, SubsetIsNecessaryForGeometricMatch) {
+  for (const DistanceType type : {DistanceType::kDTW, DistanceType::kFrechet}) {
+    auto dist = MakeDistance(type, DistanceParams{});
+    ASSERT_TRUE(dist.ok());
+    std::mt19937_64 rng(23 + static_cast<int>(type));
+    const SigGrid g = SigGrid::For(MBR(Point{0, 0}, Point{1, 1}));
+    // Sample region deliberately larger than the grid region to exercise
+    // clamping on both sides.
+    const MBR sample(Point{-0.3, -0.3}, Point{1.3, 1.3});
+    size_t matches = 0;
+    for (int trial = 0; trial < 400; ++trial) {
+      const Trajectory t = RandomTrajectory(&rng, 1, sample);
+      const Trajectory q = RandomTrajectory(&rng, 2, sample);
+      const double d = (*dist)->Compute(t, q);
+      const double tau = d * 1.05 + 1e-12;  // every pair is a tau-match
+      const SigBits dilated = Dilate(BuildSignature(q, g).bits, g, tau);
+      EXPECT_TRUE(BuildSignature(t, g).bits.SubsetOf(dilated))
+          << "type=" << static_cast<int>(type) << " trial=" << trial
+          << " d=" << d;
+      ++matches;
+    }
+    EXPECT_EQ(matches, 400u);
+  }
+}
+
+TEST(SketchOracleTest, MinhashResemblanceBounds) {
+  std::mt19937_64 rng(5);
+  const SigGrid g = SigGrid::For(MBR(Point{0, 0}, Point{1, 1}));
+  const Trajectory a = RandomTrajectory(&rng, 1, g.region);
+  const TrajSignature sa = BuildSignature(a, g);
+  EXPECT_DOUBLE_EQ(MinhashResemblance(sa.minhash, sa.minhash), 1.0);
+  const double r = MinhashResemblance(sa.minhash, kEmptyMinhash);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(SketchOracleTest, AggregateSignatureIsUpperEnvelope) {
+  std::mt19937_64 rng(6);
+  const SigGrid g = SigGrid::For(MBR(Point{0, 0}, Point{1, 1}));
+  TrajSignature agg;
+  std::vector<TrajSignature> members;
+  for (int i = 0; i < 8; ++i) {
+    members.push_back(BuildSignature(RandomTrajectory(&rng, i, g.region), g));
+    AggregateSignature(members.back(), &agg);
+  }
+  for (const TrajSignature& m : members) {
+    EXPECT_TRUE(m.bits.SubsetOf(agg.bits));
+    for (int c = 0; c < kSigMinhash; ++c) {
+      EXPECT_LE(agg.minhash[c], m.minhash[c]);
+    }
+  }
+}
+
+// ------------------------------------------------ engine-level exactness --
+
+// Seeded randomized oracle across all five metrics: results with the sketch
+// tier enabled are identical to results with it disabled (for the edit
+// metrics the tier self-disables; equality exercises the bypass).
+TEST(SketchEngineTest, SearchEqualsSketchOffAcrossMetrics) {
+  const Dataset ds = CityDataset(250, 17);
+  std::mt19937_64 rng(29);
+  for (const DistanceType type :
+       {DistanceType::kDTW, DistanceType::kFrechet, DistanceType::kEDR,
+        DistanceType::kLCSS, DistanceType::kERP}) {
+    DitaConfig on_cfg = SmallConfig(type);
+    DitaConfig off_cfg = SmallConfig(type);
+    off_cfg.verify.enable_sketch = false;
+    DitaEngine on(MakeCluster(), on_cfg);
+    DitaEngine off(MakeCluster(), off_cfg);
+    ASSERT_TRUE(on.BuildIndex(ds).ok());
+    ASSERT_TRUE(off.BuildIndex(ds).ok());
+    for (int i = 0; i < 12; ++i) {
+      const Trajectory q =
+          RandomTrajectory(&rng, 1000 + i, MBR(Point{0, 0}, Point{1, 1}), 4, 20);
+      const double tau = (type == DistanceType::kEDR ||
+                          type == DistanceType::kLCSS)
+                             ? 1.0 + (i % 5)
+                             : 0.05 * (1 + (i % 6));
+      auto want = off.Search(q, tau);
+      auto got = on.Search(q, tau);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, *want) << "metric=" << static_cast<int>(type)
+                             << " tau=" << tau;
+    }
+  }
+}
+
+TEST(SketchEngineTest, KnnEqualsSketchOff) {
+  const Dataset ds = CityDataset(200, 33);
+  DitaConfig off_cfg = SmallConfig();
+  off_cfg.verify.enable_sketch = false;
+  DitaEngine on(MakeCluster(), SmallConfig());
+  DitaEngine off(MakeCluster(), off_cfg);
+  ASSERT_TRUE(on.BuildIndex(ds).ok());
+  ASSERT_TRUE(off.BuildIndex(ds).ok());
+  std::mt19937_64 rng(41);
+  for (int i = 0; i < 8; ++i) {
+    const Trajectory q =
+        RandomTrajectory(&rng, 2000 + i, MBR(Point{0, 0}, Point{1, 1}), 4, 20);
+    auto want = off.KnnSearch(q, 5);
+    auto got = on.KnnSearch(q, 5);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *want);
+  }
+}
+
+TEST(SketchEngineTest, JoinEqualsSketchOff) {
+  const Dataset left_ds = CityDataset(150, 57);
+  const Dataset right_ds = CityDataset(150, 58);
+  DitaConfig off_cfg = SmallConfig();
+  off_cfg.verify.enable_sketch = false;
+  auto on_cluster = MakeCluster();
+  auto off_cluster = MakeCluster();
+  DitaEngine lon(on_cluster, SmallConfig());
+  DitaEngine ron(on_cluster, SmallConfig());
+  DitaEngine loff(off_cluster, off_cfg);
+  DitaEngine roff(off_cluster, off_cfg);
+  ASSERT_TRUE(lon.BuildIndex(left_ds).ok());
+  ASSERT_TRUE(ron.BuildIndex(right_ds).ok());
+  ASSERT_TRUE(loff.BuildIndex(left_ds).ok());
+  ASSERT_TRUE(roff.BuildIndex(right_ds).ok());
+  for (const double tau : {0.05, 0.15, 0.4}) {
+    auto want = loff.Join(roff, tau);
+    auto got = lon.Join(ron, tau);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *want) << "tau=" << tau;
+  }
+}
+
+TEST(SketchEngineTest, BatchEqualsSingleWithSketchOn) {
+  const Dataset ds = CityDataset(200, 61);
+  DitaEngine engine(MakeCluster(), SmallConfig());
+  ASSERT_TRUE(engine.BuildIndex(ds).ok());
+  std::mt19937_64 rng(67);
+  std::vector<QueryRequest> reqs;
+  for (int i = 0; i < 6; ++i) {
+    QueryRequest req;
+    req.kind = QueryKind::kSearch;
+    req.query =
+        RandomTrajectory(&rng, 3000 + i, MBR(Point{0, 0}, Point{1, 1}), 4, 16);
+    req.tau = 0.05 * (1 + i);
+    reqs.push_back(std::move(req));
+  }
+  const auto batched = engine.ExecuteBatch(reqs);
+  ASSERT_EQ(batched.size(), reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    auto single = engine.Execute(reqs[i]);
+    ASSERT_TRUE(single.ok());
+    ASSERT_TRUE(batched[i].ok());
+    EXPECT_EQ(batched[i]->ids, single->ids);
+    EXPECT_EQ(batched[i]->search_stats.funnel.ToTable(),
+              single->search_stats.funnel.ToTable());
+  }
+}
+
+// -------------------------------------------------- accounting & funnels --
+
+TEST(SketchEngineTest, StatsAndFunnelCarrySketchTier) {
+  const Dataset ds = CityDataset(250, 71);
+  DitaEngine engine(MakeCluster(), SmallConfig());
+  ASSERT_TRUE(engine.BuildIndex(ds).ok());
+  EXPECT_GT(engine.index_stats().sketch_bytes, 0u);
+
+  std::mt19937_64 rng(73);
+  const Trajectory q =
+      RandomTrajectory(&rng, 9000, MBR(Point{0, 0}, Point{1, 1}), 4, 16);
+  QueryStats stats;
+  auto res = engine.Search(q, 0.08, &stats);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(stats.funnel.MonotonicallyNonIncreasing());
+  EXPECT_EQ(stats.funnel.FinalSurvivors(), res->size());
+  std::vector<std::string> labels;
+  for (const auto& level : stats.funnel.levels) labels.push_back(level.label);
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "sketch partitions"),
+            labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "sketch signature"),
+            labels.end());
+}
+
+TEST(SketchEngineTest, ScratchDilatedSigsAccountedAndReleased) {
+  TrieIndex::Scratch& scratch = TrieIndex::Scratch::ThreadLocal();
+  scratch.Release();
+  const size_t before = scratch.ByteSize();
+  scratch.DilatedSigs().resize(32);
+  EXPECT_GE(scratch.ByteSize(), before + 32 * sizeof(SigBits));
+  scratch.Release();
+  EXPECT_TRUE(scratch.DilatedSigs().empty());
+}
+
+}  // namespace
+}  // namespace dita

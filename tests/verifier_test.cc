@@ -217,10 +217,16 @@ TEST(VerifyBatchTest, AppendsToExistingAcceptedList) {
 }
 
 TEST(VerifierTest, StatsMergeAccumulates) {
-  VerifyStats a{10, 2, 3, 5, 4};
-  VerifyStats b{1, 1, 0, 0, 0};
+  VerifyStats a{.pairs = 10,
+                .pruned_by_sketch = 1,
+                .pruned_by_mbr = 2,
+                .pruned_by_cell = 3,
+                .dp_computed = 5,
+                .accepted = 4};
+  VerifyStats b{.pairs = 1, .pruned_by_sketch = 1, .pruned_by_mbr = 1};
   a.Merge(b);
   EXPECT_EQ(a.pairs, 11u);
+  EXPECT_EQ(a.pruned_by_sketch, 2u);
   EXPECT_EQ(a.pruned_by_mbr, 3u);
   EXPECT_EQ(a.pruned_by_cell, 3u);
   EXPECT_EQ(a.dp_computed, 5u);

@@ -47,6 +47,18 @@ SCHEMAS = {
         ("index_build.trie_build_ms_4096", NUM),
         ("index_build.trie_build_traj_per_sec", NUM),
         ("index_build.partition_ms_16384", NUM),
+        ("cell_bound.dtw_ns_per_pair.no_abandon", NUM),
+        ("cell_bound.dtw_ns_per_pair.abandon_tau", NUM),
+        ("cell_bound.frechet_ns_per_pair.no_abandon", NUM),
+        ("cell_bound.frechet_ns_per_pair.abandon_tau", NUM),
+        ("cell_bound.dtw_abandon_speedup", NUM),
+        ("cell_bound.frechet_abandon_speedup", NUM),
+        ("sketch.search_qps.off", NUM),
+        ("sketch.search_qps.on", NUM),
+        ("sketch.speedup", NUM),
+        ("sketch.prune_fraction_partitions.tau_mid", NUM),
+        ("sketch.prune_fraction_candidates.tau_mid", NUM),
+        ("sketch.wrong_answers", NUM),
     ],
     "serving": [
         ("meta.build_type", str),
@@ -68,6 +80,13 @@ SCHEMAS = {
         ("batching.batches", NUM),
         ("batching.avg_batch", NUM),
         ("batching.wrong_answers", NUM),
+        ("cache.off_qps", NUM),
+        ("cache.on_qps", NUM),
+        ("cache.gain", NUM),
+        ("cache.hits", NUM),
+        ("cache.misses", NUM),
+        ("cache.invalidations", NUM),
+        ("cache.wrong_answers", NUM),
         ("wrong_answers", NUM),
     ],
 }
@@ -80,14 +99,20 @@ THROUGHPUT_KEYS = {
         "trie_collect_queries_per_sec",
         "trie_collect_batch_queries_per_sec.batch_32",
         "speedup_batch_32",
+        "cell_bound.dtw_abandon_speedup",
+        "cell_bound.frechet_abandon_speedup",
+        "sketch.speedup",
     ],
-    "serving": [],  # open-loop qps is arrival-rate-capped, not a capacity
+    # Open-loop qps is arrival-rate-capped, not a capacity; the cache gain
+    # is a ratio of two closed-loop runs on the same machine, so it gates.
+    "serving": ["cache.gain"],
 }
 
 # Counters that must be exactly zero in the candidate.
 ZERO_KEYS = {
-    "micro_filter": [],
-    "serving": ["wrong_answers", "batching.wrong_answers"],
+    "micro_filter": ["sketch.wrong_answers"],
+    "serving": ["wrong_answers", "batching.wrong_answers",
+                "cache.wrong_answers"],
 }
 
 
