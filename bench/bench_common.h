@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <functional>
 #include <memory>
 #include <string>
@@ -23,13 +24,33 @@
 #ifndef DITA_BUILD_TYPE
 #define DITA_BUILD_TYPE "unspecified"
 #endif
+#ifndef DITA_SANITIZE_STAMP
+#define DITA_SANITIZE_STAMP "none"
+#endif
+#ifndef DITA_NATIVE_STAMP
+#define DITA_NATIVE_STAMP "off"
+#endif
 
 namespace dita::bench {
 
+/// UTC wall-clock "now" in ISO-8601 (e.g. "2026-02-14T09:31:07Z"). The one
+/// deliberately nondeterministic field in a bench JSON — provenance of WHEN
+/// the numbers were taken; schema checks assert presence/shape only.
+inline std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
 /// Provenance stamp embedded in every BENCH_*.json file: which commit and
-/// build flavour produced the numbers, and how many hardware threads the
-/// machine had. Emitted as one JSON object (no trailing newline) so callers
-/// can splice it in as `"meta": <this>`.
+/// build flavour produced the numbers (including sanitizer / -march=native
+/// stamps, so a sanitized run can never be mistaken for a perf baseline),
+/// when, and how many hardware threads the machine had. Emitted as one JSON
+/// object (no trailing newline) so callers can splice it in as
+/// `"meta": <this>`.
 inline std::string MetaJson() {
   obs::JsonWriter w;
   w.BeginObject();
@@ -37,6 +58,12 @@ inline std::string MetaJson() {
   w.String(DITA_GIT_SHA);
   w.Key("build_type");
   w.String(DITA_BUILD_TYPE);
+  w.Key("sanitize");
+  w.String(DITA_SANITIZE_STAMP);
+  w.Key("native");
+  w.String(DITA_NATIVE_STAMP);
+  w.Key("timestamp_utc");
+  w.String(IsoTimestampUtc());
   w.Key("hardware_threads");
   w.UInt(std::thread::hardware_concurrency());
   w.EndObject();

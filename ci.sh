@@ -53,7 +53,7 @@ native_filter='Oracle|ThresholdEdge|DpScratch|Dtw|Frechet|Edr|Lcss|Erp|Distance|
 # threads: the pool itself, parallel index construction and tiling sorts
 # (FlatTrie/FlatStrTile), batched parallel verification, and the cluster
 # runtime's threaded stages.
-tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|Cancellation|AdmissionGate|ChaosSoak|Serving|QueryScheduler|DitaService|BatchFilter|BatchExecute|Sketch|AnswerCache'
+tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Engine|FaultTolerance|Partition|Obs|Logging|FlightRecorder|Cancellation|AdmissionGate|ChaosSoak|Serving|QueryScheduler|DitaService|BatchFilter|BatchExecute|Sketch|AnswerCache'
 
 # The chaos pass: the seeded chaos/soak harness (fault injection + random
 # mid-flight cancellation + tight budgets + the admission gate) plus the
@@ -64,10 +64,13 @@ tsan_filter='ThreadPool|FlatTrie|FlatRTree|FlatStrTile|StrTile|Verif|Cluster|Eng
 chaos_filter='ChaosSoak|Cancellation|AdmissionGate'
 
 # The obs pass: exporter schema validation (obs_demo_schema runs the demo
-# with tracing and re-validates its Chrome trace), the obs/logging unit and
-# end-to-end tests, and the same set under TSan so lock-free metric updates
-# and the traced cluster paths are race-checked with observability ON.
-obs_filter='Obs|Funnel|Logging|obs_demo_schema'
+# with tracing and re-validates its Chrome trace, now including the serving
+# lanes), the obs/logging/flight-recorder unit and end-to-end tests, the
+# serving_demo observability export schema-checked by
+# tools/check_bench_json.py, and the same set under TSan so lock-free
+# metric updates, the seqlock flight recorder, and the traced cluster paths
+# are race-checked with observability ON.
+obs_filter='Obs|Funnel|Logging|FlightRecorder|obs_demo_schema'
 
 # The serving pass: the unified-API alias tests, scheduler fair-share and
 # cost-admission regressions, the streaming-ingest batch-oracle property,
@@ -86,6 +89,11 @@ case "${mode}" in
                      -DDITA_SANITIZE=address -DDITA_NATIVE=ON ;;
   obs)      run_pass build "--filter=${obs_filter}"
             ./build/examples/obs_demo --selftest
+            ./build/examples/serving_demo --obs-export=build/obs_serving
+            python3 tools/check_bench_json.py metrics \
+                build/obs_serving_metrics.json
+            python3 tools/check_bench_json.py flight \
+                build/obs_serving_flight.json
             run_pass build-tsan "--filter=${obs_filter}" \
                      -DDITA_SANITIZE=thread ;;
   chaos)    run_pass build-asan "--filter=${chaos_filter}" \

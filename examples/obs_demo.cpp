@@ -15,11 +15,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "obs/export.h"
+#include "serving/service.h"
 #include "workload/generator.h"
 
 namespace {
@@ -93,8 +96,57 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Serving section: the same cluster (one tracer, one registry) now hosts
+  // a DitaService mid-trace — Submit()ed queries run on the executor lanes,
+  // streaming ingest crosses the merge threshold so an epoch merge lands on
+  // the serving.merge lane, and a repeated query hits the answer cache
+  // (serving.cache lane) — so the exported trace shows the serving plane
+  // alongside the engine's worker lanes.
+  DitaConfig serving_config = config;
+  serving_config.serving.merge_threshold = 8;
+  serving_config.serving.synchronous_merge = true;
+  serving_config.serving.scheduler_threads = 2;
+  serving_config.serving.answer_cache_entries = 16;
+  DitaService service(cluster, serving_config);
+  uint64_t service_cache_hits = 0;
+  uint64_t service_merges = 0;
+  {
+    std::vector<Trajectory> town_trips(taxis.trajectories().begin(),
+                                       taxis.trajectories().begin() + 200);
+    const Dataset town(town_trips);
+    if (Status st = service.Start(town); !st.ok()) {
+      std::fprintf(stderr, "service.Start: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    // Async queries on the executor lanes.
+    QueryRequest sreq;
+    sreq.kind = QueryKind::kSearch;
+    sreq.query = town[3];
+    sreq.tau = 0.003;
+    std::vector<std::future<Result<QueryResult>>> futs;
+    for (int i = 0; i < 4; ++i) futs.push_back(service.Submit(sreq));
+    for (auto& f : futs) {
+      if (!f.get().ok()) return Fail("serving Submit failed");
+    }
+    // Ingest past the merge threshold: an epoch merge inside the trace.
+    for (size_t i = 0; i < 10; ++i) {
+      if (!service.Insert(Trajectory(TrajectoryId(90000 + i),
+                                     town[i].points()))
+               .ok()) {
+        return Fail("serving Insert failed");
+      }
+    }
+    // Post-merge repeat: miss (new version) then hit on the answer cache.
+    if (!service.Execute(sreq).ok() || !service.Execute(sreq).ok()) {
+      return Fail("serving Execute failed");
+    }
+    service_cache_hits = service.cache_hits();
+    service_merges = service.merges();
+  }
+
   const std::string trace = obs::ToChromeTraceJson(*cluster->tracer());
   const std::string metrics = obs::MetricsToJson(*cluster->metrics());
+  const std::string flight = service.DumpFlightRecorder();
 
   if (selftest) {
     // 1. The exported trace must satisfy the Chrome trace_event schema.
@@ -127,8 +179,35 @@ int main(int argc, char** argv) {
         return Fail("metric coverage");
       }
     }
-    std::printf("obs_demo selftest OK (%zu spans, %zu hits, %zu join pairs)\n",
-                cluster->tracer()->span_count(), hits->size(), pairs->size());
+    // 5. The serving plane showed up on its own lanes: executor threads,
+    //    the epoch merge, and an answer-cache hit instant.
+    for (const char* name : {"serving.query", "serving.merge", "serving.exec",
+                             "serving.cache.hit", "serving.epoch.published"}) {
+      if (trace.find(name) == std::string::npos) {
+        std::fprintf(stderr, "missing serving trace marker: %s\n", name);
+        return Fail("serving lane coverage");
+      }
+    }
+    if (service_cache_hits == 0) return Fail("no answer-cache hit recorded");
+    if (service_merges == 0) return Fail("no epoch merge ran mid-trace");
+    // 6. The always-on flight recorder captured the serving requests with
+    //    telescoping phase records.
+    if (service.flight_recorder().total_recorded() == 0) {
+      return Fail("flight recorder empty");
+    }
+    for (const char* key : {"\"requests\"", "\"total_seconds\"",
+                            "\"finalize_seconds\"", "\"cache_hit\": true"}) {
+      if (flight.find(key) == std::string::npos) {
+        std::fprintf(stderr, "missing flight-recorder key: %s\n", key);
+        return Fail("flight recorder dump");
+      }
+    }
+    std::printf(
+        "obs_demo selftest OK (%zu spans, %zu hits, %zu join pairs, "
+        "%llu serving requests)\n",
+        cluster->tracer()->span_count(), hits->size(), pairs->size(),
+        static_cast<unsigned long long>(
+            service.flight_recorder().total_recorded()));
     return 0;
   }
 
@@ -139,6 +218,7 @@ int main(int argc, char** argv) {
               jstats.funnel.ToTable().c_str());
   std::printf("== span table ==\n");
   PrintSpanTable(*cluster->tracer());
+  std::printf("\n== serving rollup ==\n%s", service.ExplainService().c_str());
 
   if (Status st = obs::WriteFile("TRACE_dita.json", trace); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());

@@ -2,22 +2,42 @@
 // ingest while concurrent queries run against epoch-pinned snapshots.
 //
 //   build/examples/serving_demo
+//   build/examples/serving_demo --obs-export=PREFIX
 //
 // The demo starts a service over a synthetic city table, fires a mixed
 // batch of async queries through the unified QueryRequest API, streams
 // inserts/deletes in parallel, forces an epoch merge, and prints the
 // EXPLAIN of the last query so the epoch/delta accounting is visible.
+//
+// With --obs-export=PREFIX the run additionally enables the registry
+// metrics plane, prints the ExplainService() SLO rollup, and writes
+// PREFIX_metrics.json (obs::MetricsToJson) plus PREFIX_flight.json
+// (DitaService::DumpFlightRecorder) — the documents ci.sh's obs pass
+// schema-checks and tools/obs_report.py renders.
 
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "serving/service.h"
 #include "util/logging.h"
 #include "workload/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dita;
+
+  std::string obs_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--obs-export=", 13) == 0) {
+      obs_prefix = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
 
   GeneratorConfig gcfg;
   gcfg.cardinality = 800;
@@ -33,6 +53,8 @@ int main() {
   DitaConfig config;
   config.serving.merge_threshold = 32;  // epoch merge after 32 delta ops
   config.serving.scheduler_threads = 2;
+  config.serving.answer_cache_entries = 64;  // so the export shows hits
+  config.enable_metrics = !obs_prefix.empty();
 
   DitaService service(cluster, config);
   DITA_CHECK(service.Start(city).ok());
@@ -95,6 +117,22 @@ int main() {
   std::printf("scheduler: %llu admitted, %zu slots\n",
               static_cast<unsigned long long>(service.scheduler().admitted()),
               service.scheduler().total_slots());
+
+  if (!obs_prefix.empty()) {
+    // Re-run the search so the answer cache records a hit for the export,
+    // then dump the two observability documents the obs CI pass validates.
+    DITA_CHECK(service.Execute(again).ok());
+    std::printf("\n%s", service.ExplainService().c_str());
+    const std::string metrics_path = obs_prefix + "_metrics.json";
+    const std::string flight_path = obs_prefix + "_flight.json";
+    DITA_CHECK(
+        obs::WriteFile(metrics_path, obs::MetricsToJson(*cluster->metrics()))
+            .ok());
+    DITA_CHECK(
+        obs::WriteFile(flight_path, service.DumpFlightRecorder()).ok());
+    std::printf("wrote %s and %s\n", metrics_path.c_str(),
+                flight_path.c_str());
+  }
   service.Stop();
   return 0;
 }

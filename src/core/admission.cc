@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace dita {
 
@@ -47,17 +48,29 @@ void AdmissionGate::AdmitLocked(uint64_t cost) {
   ++admitted_;
 }
 
-Status AdmissionGate::Admit(QueryContext* ctx, uint64_t cost, Ticket* out) {
+Status AdmissionGate::Admit(QueryContext* ctx, uint64_t cost, Ticket* out,
+                            double* waited_seconds) {
+  // The wait clock starts before the lock: contention on mu_ itself is time
+  // the caller spent queued at the gate, and every exit path below reports
+  // it (granted, shed, and abandoned alike).
+  WallTimer wait_timer;
+  const auto settle_wait = [&](double* acc_locked) {
+    const double waited = wait_timer.Seconds();
+    *acc_locked += waited;
+    if (waited_seconds != nullptr) *waited_seconds = waited;
+  };
   if (options_.max_inflight_cost == 0) cost = 0;
   std::unique_lock<std::mutex> lock(mu_);
   if (inflight_ < options_.max_inflight && waiting_.empty() &&
       CostFitsLocked(cost)) {
     AdmitLocked(cost);
+    settle_wait(&queue_wait_seconds_);
     *out = Ticket(this, cost);
     return Status::OK();
   }
   if (waiting_.size() >= options_.max_queued) {
     ++shed_;
+    settle_wait(&queue_wait_seconds_);
     return Status::Unavailable("admission queue full");
   }
   const uint64_t my = next_waiter_++;
@@ -69,6 +82,8 @@ Status AdmissionGate::Admit(QueryContext* ctx, uint64_t cost, Ticket* out) {
       waiting_.erase(std::find_if(
           waiting_.begin(), waiting_.end(),
           [my](const Waiter& w) { return w.id == my; }));
+      ++abandoned_;
+      settle_wait(&queue_wait_seconds_);
       cv_.notify_all();
       return ctx->ToStatus();
     }
@@ -83,6 +98,7 @@ Status AdmissionGate::Admit(QueryContext* ctx, uint64_t cost, Ticket* out) {
       }
       waiting_.erase(it);
       AdmitLocked(cost);
+      settle_wait(&queue_wait_seconds_);
       cv_.notify_all();
       *out = Ticket(this, cost);
       return Status::OK();
@@ -112,6 +128,16 @@ uint64_t AdmissionGate::admitted() const {
 uint64_t AdmissionGate::shed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shed_;
+}
+
+uint64_t AdmissionGate::abandoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abandoned_;
+}
+
+double AdmissionGate::queue_wait_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_wait_seconds_;
 }
 
 size_t AdmissionGate::inflight() const {

@@ -84,12 +84,23 @@ class AdmissionGate {
   /// On OK, `*out` holds the slot. `cost` is the query's estimated cost in
   /// the same units as Options::max_inflight_cost; it is ignored when cost
   /// accounting is disabled.
-  Status Admit(QueryContext* ctx, uint64_t cost, Ticket* out);
+  ///
+  /// `waited_seconds` (optional) receives the wall-clock time spent inside
+  /// Admit on *every* exit path — grant, shed, and queue abandonment alike —
+  /// so rejected queries can report how long they queued before giving up
+  /// instead of losing that time.
+  Status Admit(QueryContext* ctx, uint64_t cost, Ticket* out,
+               double* waited_seconds = nullptr);
   Status Admit(QueryContext* ctx, Ticket* out) { return Admit(ctx, 1, out); }
 
   /// Counters for tests and overload dashboards.
   uint64_t admitted() const;
   uint64_t shed() const;
+  /// Waiters that left the queue because their QueryContext stopped.
+  uint64_t abandoned() const;
+  /// Total wall-clock seconds spent queued inside Admit, across all exits
+  /// (granted, shed, abandoned).
+  double queue_wait_seconds() const;
   size_t inflight() const;
   /// Estimated cost units currently in flight.
   uint64_t inflight_cost() const;
@@ -131,6 +142,8 @@ class AdmissionGate {
   uint64_t cost_high_water_ = 0;
   uint64_t admitted_ = 0;
   uint64_t shed_ = 0;
+  uint64_t abandoned_ = 0;
+  double queue_wait_seconds_ = 0.0;
   uint64_t bypasses_ = 0;
   uint64_t next_waiter_ = 0;
   /// FIFO of waiters; the head is admitted first unless cost-based bypass

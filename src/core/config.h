@@ -147,6 +147,14 @@ struct DitaConfig {
     /// invalidated on every snapshot publish (insert / delete / epoch
     /// merge), so a hit can never return a stale answer. 0 disables.
     size_t answer_cache_entries = 0;
+
+    /// Always-on flight recorder: DitaService keeps the last N per-request
+    /// lifecycle records (obs::RequestRecord) in a lock-free ring,
+    /// independent of enable_tracing / enable_metrics, so the moments
+    /// before an incident are always exportable
+    /// (DitaService::DumpFlightRecorder). Rounded up to a power of two;
+    /// 0 disables. The default costs ~32 KiB per service.
+    size_t flight_recorder_entries = 256;
   };
 
   BuildOptions build;

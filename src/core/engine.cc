@@ -41,13 +41,17 @@ DitaEngine::DitaEngine(std::shared_ptr<Cluster> cluster, const DitaConfig& confi
   m_verify_dp_computed_ = {metrics_, "verify.dp.computed"};
   m_verify_dp_cells_ = {metrics_, "verify.dp.cells"};
   m_verify_accepted_ = {metrics_, "verify.accepted"};
-  h_query_candidates_ = {metrics_, "query.candidates",
-                         obs::PowersOfTwoBounds(24)};
+  h_query_candidates_ = {metrics_, "query.candidates", obs::CountOptions()};
   h_batch_survivors_ = {metrics_, "verify.batch.survivors",
-                        obs::PowersOfTwoBounds(20)};
+                        obs::CountOptions()};
   m_query_admitted_ = {metrics_, "query.admitted"};
   m_query_shed_ = {metrics_, "query.shed"};
+  m_query_shed_search_ = {metrics_, "query.shed.search"};
+  m_query_shed_join_ = {metrics_, "query.shed.join"};
+  m_query_shed_knn_ = {metrics_, "query.shed.knn"};
   m_query_degraded_ = {metrics_, "query.degraded"};
+  h_admission_wait_ = {metrics_, "query.admission_wait_seconds",
+                       obs::LatencyOptions()};
   if (config_.verify.threads > 0) {
     verify_pool_ = std::make_unique<ThreadPool>(config_.verify.threads);
   }
@@ -111,14 +115,30 @@ bool DitaEngine::ShouldDegrade(const QueryContext* ctx, const Status& stage) {
   }
 }
 
-Status DitaEngine::AdmitQuery(QueryContext* ctx, uint64_t cost,
-                              AdmissionGate::Ticket* ticket) const {
+Status DitaEngine::AdmitQuery(QueryKind kind, QueryContext* ctx, uint64_t cost,
+                              AdmissionGate::Ticket* ticket,
+                              double* waited_seconds) const {
+  if (waited_seconds != nullptr) *waited_seconds = 0.0;
   if (gate_ == nullptr) return Status::OK();
-  const Status s = gate_->Admit(ctx, cost, ticket);
+  double waited = 0.0;
+  const Status s = gate_->Admit(ctx, cost, ticket, &waited);
+  if (waited_seconds != nullptr) *waited_seconds = waited;
+  h_admission_wait_.Observe(waited);
   if (s.ok()) {
     m_query_admitted_.Increment();
   } else {
     m_query_shed_.Increment();
+    switch (kind) {
+      case QueryKind::kSearch:
+        m_query_shed_search_.Increment();
+        break;
+      case QueryKind::kJoin:
+        m_query_shed_join_.Increment();
+        break;
+      case QueryKind::kKnnSearch:
+        m_query_shed_knn_.Increment();
+        break;
+    }
     if (tracer_ != nullptr) tracer_->Instant("query.shed");
   }
   return s;
@@ -174,10 +194,13 @@ Result<QueryResult> DitaEngine::Execute(const QueryRequest& req) const {
         return Status::InvalidArgument("threshold must be non-negative");
       }
       AdmissionGate::Ticket ticket;
-      DITA_RETURN_IF_ERROR(
-          AdmitQuery(req.ctx, EstimateQueryCost(req), &ticket));
+      double admission_wait = 0.0;
+      DITA_RETURN_IF_ERROR(AdmitQuery(req.kind, req.ctx,
+                                      EstimateQueryCost(req), &ticket,
+                                      &admission_wait));
       auto r = SearchImpl(req.query, req.tau, qstats, req.ctx);
       DITA_RETURN_IF_ERROR(r.status());
+      if (qstats != nullptr) qstats->admission_wait_seconds = admission_wait;
       res.ids = std::move(*r);
       return res;
     }
@@ -191,11 +214,14 @@ Result<QueryResult> DitaEngine::Execute(const QueryRequest& req) const {
         return Status::InvalidArgument("k exceeds the table cardinality");
       }
       AdmissionGate::Ticket ticket;
-      DITA_RETURN_IF_ERROR(
-          AdmitQuery(req.ctx, EstimateQueryCost(req), &ticket));
+      double admission_wait = 0.0;
+      DITA_RETURN_IF_ERROR(AdmitQuery(req.kind, req.ctx,
+                                      EstimateQueryCost(req), &ticket,
+                                      &admission_wait));
       auto r =
           KnnSearchImpl(req.query, req.k, req.initial_tau, qstats, req.ctx);
       DITA_RETURN_IF_ERROR(r.status());
+      if (qstats != nullptr) qstats->admission_wait_seconds = admission_wait;
       res.neighbors = std::move(*r);
       return res;
     }
@@ -216,8 +242,8 @@ Result<QueryResult> DitaEngine::Execute(const QueryRequest& req) const {
         return Status::InvalidArgument("threshold must be non-negative");
       }
       AdmissionGate::Ticket ticket;
-      DITA_RETURN_IF_ERROR(
-          AdmitQuery(req.ctx, EstimateQueryCost(req), &ticket));
+      DITA_RETURN_IF_ERROR(AdmitQuery(req.kind, req.ctx,
+                                      EstimateQueryCost(req), &ticket));
       auto r = JoinImpl(right, req.tau,
                         req.collect_stats ? &res.join_stats : nullptr, req.ctx);
       DITA_RETURN_IF_ERROR(r.status());
@@ -718,7 +744,8 @@ std::vector<Result<QueryResult>> DitaEngine::ExecuteBatch(
   uint64_t cost = 0;
   for (const size_t i : batched) cost += EstimateQueryCost(reqs[i]);
   AdmissionGate::Ticket ticket;
-  const Status admitted = AdmitQuery(nullptr, cost, &ticket);
+  const Status admitted =
+      AdmitQuery(QueryKind::kSearch, nullptr, cost, &ticket);
   if (!admitted.ok()) {
     for (const size_t i : batched) out[i] = admitted;
     return out;

@@ -14,6 +14,7 @@
 #include "distance/distance.h"
 #include "index/trie_index.h"
 #include "obs/funnel.h"
+#include "obs/lifecycle.h"
 #include "util/thread_pool.h"
 #include "workload/dataset.h"
 
@@ -56,6 +57,10 @@ struct QueryStats {
   /// before it stopped; 1.0 for complete queries. (For kNN: fraction of
   /// the requested k that was found.)
   double completeness = 1.0;
+  /// Wall-clock seconds spent queued at the engine's admission gate (0 when
+  /// the gate is off). Reported even when the query was shed or abandoned
+  /// its queue slot — see AdmissionGate::Admit.
+  double admission_wait_seconds = 0.0;
 };
 
 /// Per-join observability (Figs. 9-11, 16).
@@ -164,6 +169,11 @@ struct QueryResult {
     /// Funnel over the delta scan: buffer -> MBR -> cell -> threshold DP
     /// (search only; monotone, ends at delta_matches).
     obs::FilterFunnel delta_funnel;
+    /// Timestamped phase breakdown of the request's life inside
+    /// DitaService (queue -> admission -> cache -> pin -> base -> delta ->
+    /// finalize); phases telescope to lifecycle.total_seconds. Zeroed on a
+    /// bare engine.
+    obs::RequestRecord lifecycle;
   } serving;
 };
 
@@ -358,9 +368,12 @@ class DitaEngine {
 
   /// Acquires an admission ticket when the gate is enabled; on shed or
   /// queue-abandon the returned status is the caller's answer. `cost` is
-  /// the query's estimated admission cost.
-  Status AdmitQuery(QueryContext* ctx, uint64_t cost,
-                    AdmissionGate::Ticket* ticket) const;
+  /// the query's estimated admission cost. Sheds are counted both globally
+  /// and per query kind; `waited_seconds` (optional) receives the gate
+  /// queue wait on every exit path, shed included.
+  Status AdmitQuery(QueryKind kind, QueryContext* ctx, uint64_t cost,
+                    AdmissionGate::Ticket* ticket,
+                    double* waited_seconds = nullptr) const;
 
   /// Per-trajectory global relevance test against a partition summary —
   /// the "has candidates in Qj" check of §6.2's trans estimation.
@@ -459,7 +472,13 @@ class DitaEngine {
   obs::HistogramHandle h_batch_survivors_;
   obs::CounterHandle m_query_admitted_;
   obs::CounterHandle m_query_shed_;
+  /// Per-kind shed breakdown (query.shed.{search,join,knn}); the global
+  /// query.shed counter stays the sum.
+  obs::CounterHandle m_query_shed_search_;
+  obs::CounterHandle m_query_shed_join_;
+  obs::CounterHandle m_query_shed_knn_;
   obs::CounterHandle m_query_degraded_;
+  obs::HistogramHandle h_admission_wait_;
 };
 
 }  // namespace dita

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace dita::obs {
@@ -105,6 +106,12 @@ std::string ToChromeTraceJson(const Tracer& tracer) {
     w.Key("name");
     if (lane == kDriverLane) {
       w.String("driver");
+    } else if (lane == kMergeLane) {
+      w.String("serving.merge");
+    } else if (lane == kCacheLane) {
+      w.String("serving.cache");
+    } else if (lane < kCacheLane) {
+      w.String("serving.exec " + std::to_string(-3 - lane));
     } else {
       w.String("worker " + std::to_string(lane - 1));
     }
@@ -169,21 +176,45 @@ std::string MetricsToJson(const MetricsRegistry::Snapshot& snap) {
   w.EndObject();
   w.Key("histograms");
   w.BeginObject();
+  // Finite stand-in for the overflow bucket's +inf upper bound: JSON has no
+  // inf literal, and the overflow bucket's lower boundary is `max` anyway.
+  const auto finite = [](double x, double fallback) {
+    return std::isfinite(x) ? x : fallback;
+  };
   for (const auto& [name, h] : snap.histograms) {
     w.Key(name);
     w.BeginObject();
-    w.Key("bounds");
-    w.BeginArray();
-    for (double b : h.bounds) w.Double(b);
-    w.EndArray();
-    w.Key("counts");
-    w.BeginArray();
-    for (uint64_t c : h.counts) w.UInt(c);
-    w.EndArray();
     w.Key("count");
     w.UInt(h.count);
     w.Key("sum");
     w.Double(h.sum);
+    w.Key("min");
+    w.Double(h.options.min);
+    w.Key("max");
+    w.Double(h.options.max);
+    w.Key("sub_bucket_bits");
+    w.Int(h.options.sub_bucket_bits);
+    // Sparse bucket listing: only non-empty buckets, as [upper_bound,
+    // count] pairs. Exact boundaries, so a consumer can merge documents
+    // from identically-shaped histograms bucket-by-bucket.
+    w.Key("buckets");
+    w.BeginArray();
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      w.BeginArray();
+      w.Double(finite(h.BucketUpperBound(i), h.options.max));
+      w.UInt(h.counts[i]);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("p50");
+    w.Double(finite(h.QuantileUpperBound(0.50), h.options.max));
+    w.Key("p95");
+    w.Double(finite(h.QuantileUpperBound(0.95), h.options.max));
+    w.Key("p99");
+    w.Double(finite(h.QuantileUpperBound(0.99), h.options.max));
+    w.Key("p999");
+    w.Double(finite(h.QuantileUpperBound(0.999), h.options.max));
     w.EndObject();
   }
   w.EndObject();

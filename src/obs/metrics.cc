@@ -1,5 +1,9 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 namespace dita::obs {
 
 uint32_t ThreadShardIndex() {
@@ -8,11 +12,40 @@ uint32_t ThreadShardIndex() {
   return idx;
 }
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
-  const size_t buckets = bounds_.size() + 1;
+namespace {
+
+// Raw log-linear bucket number of a positive double at the given shift:
+// exponent bits concatenated with the top sub_bucket_bits of the mantissa.
+uint64_t RawBucket(double v, int shift) {
+  return std::bit_cast<uint64_t>(v) >> shift;
+}
+
+double BoundaryOf(uint64_t raw, int shift) {
+  return std::bit_cast<double>(raw << shift);
+}
+
+}  // namespace
+
+Histogram::Histogram(Options opts) : opts_(opts) {
+  opts_.sub_bucket_bits = std::clamp(opts_.sub_bucket_bits, 0, 8);
+  if (!(opts_.min > 0.0) || !std::isfinite(opts_.min)) opts_.min = 1e-9;
+  if (!(opts_.max > opts_.min) || !std::isfinite(opts_.max)) {
+    opts_.max = opts_.min * 2.0;
+  }
+  shift_ = 52 - opts_.sub_bucket_bits;
+  raw_min_ = RawBucket(opts_.min, shift_);
+  raw_max_ = RawBucket(opts_.max, shift_);
+  if (raw_max_ <= raw_min_) raw_max_ = raw_min_ + 1;
+  // Normalize min/max to their exact bucket boundaries so two histograms
+  // constructed from equal Options snapshot identical shapes.
+  opts_.min = BoundaryOf(raw_min_, shift_);
+  opts_.max = BoundaryOf(raw_max_, shift_);
+  // Bucket 0 = underflow, 1..raw_max-raw_min = log-linear core, last =
+  // overflow (values >= max's bucket boundary).
+  bucket_count_ = static_cast<size_t>(raw_max_ - raw_min_) + 2;
   for (Shard& s : shards_) {
-    s.counts = std::make_unique<std::atomic<uint64_t>[]>(buckets);
-    for (size_t b = 0; b < buckets; ++b) {
+    s.counts = std::make_unique<std::atomic<uint64_t>[]>(bucket_count_);
+    for (size_t b = 0; b < bucket_count_; ++b) {
       s.counts[b].store(0, std::memory_order_relaxed);
     }
   }
@@ -20,16 +53,78 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 
 Histogram::Snapshot Histogram::Snap() const {
   Snapshot snap;
-  snap.bounds = bounds_;
-  snap.counts.assign(bounds_.size() + 1, 0);
+  snap.options = opts_;
+  snap.counts.assign(bucket_count_, 0);
   for (const Shard& s : shards_) {
-    for (size_t b = 0; b < snap.counts.size(); ++b) {
+    for (size_t b = 0; b < bucket_count_; ++b) {
       snap.counts[b] += s.counts[b].load(std::memory_order_relaxed);
     }
     snap.sum += s.sum.load(std::memory_order_relaxed);
   }
   for (uint64_t c : snap.counts) snap.count += c;
   return snap;
+}
+
+double Histogram::Snapshot::BucketLowerBound(size_t i) const {
+  if (i == 0) return 0.0;
+  const int shift = 52 - std::clamp(options.sub_bucket_bits, 0, 8);
+  const uint64_t raw_min = RawBucket(options.min, shift);
+  const uint64_t raw_max = RawBucket(options.max, shift);
+  const uint64_t raw = std::min(raw_min + (i - 1), raw_max);
+  return BoundaryOf(raw, shift);
+}
+
+double Histogram::Snapshot::BucketUpperBound(size_t i) const {
+  if (!counts.empty() && i + 1 >= counts.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketLowerBound(i + 1);
+}
+
+double Histogram::Snapshot::QuantileLowerBound(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based, matching the sorted-sample
+  // definition v[ceil(q*n)] (clamped to at least the first sample).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketLowerBound(i);
+  }
+  return BucketLowerBound(counts.empty() ? 0 : counts.size() - 1);
+}
+
+double Histogram::Snapshot::QuantileUpperBound(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+bool Histogram::Snapshot::MergeFrom(const Snapshot& other) {
+  if (!(options == other.options) || counts.size() != other.counts.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+  return true;
+}
+
+Histogram::Options LatencyOptions() {
+  return Histogram::Options{1e-7, 1e4, 4};
+}
+
+Histogram::Options CountOptions() {
+  return Histogram::Options{1.0, 1073741824.0, 2};
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
@@ -51,13 +146,12 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
-                                         std::vector<double> bounds) {
+                                         Histogram::Options opts) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
-             .emplace(std::string(name),
-                      std::make_unique<Histogram>(std::move(bounds)))
+             .emplace(std::string(name), std::make_unique<Histogram>(opts))
              .first;
   }
   return it->second.get();
@@ -83,24 +177,6 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
 size_t MetricsRegistry::metric_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
-}
-
-std::vector<double> PowersOfTwoBounds(size_t n) {
-  std::vector<double> bounds;
-  bounds.reserve(n);
-  double b = 1.0;
-  for (size_t i = 0; i < n; ++i) {
-    bounds.push_back(b);
-    b *= 2.0;
-  }
-  return bounds;
-}
-
-std::vector<double> LinearBounds(double start, double step, size_t n) {
-  std::vector<double> bounds;
-  bounds.reserve(n);
-  for (size_t i = 0; i < n; ++i) bounds.push_back(start + step * i);
-  return bounds;
 }
 
 }  // namespace dita::obs

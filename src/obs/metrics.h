@@ -2,6 +2,7 @@
 #define DITA_OBS_METRICS_H_
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -59,43 +60,116 @@ class Gauge {
   std::atomic<int64_t> v_{0};
 };
 
-/// Fixed-bucket histogram, sharded per thread like Counter. Bucket bounds
-/// are upper bounds; an implicit +inf bucket catches the overflow. Observe()
-/// is lock-free and allocation-free.
+/// Log-bucketed mergeable histogram (the HdrHistogram idiom).
+///
+/// Buckets are log-linear: each power of two between `min` and `max` is
+/// split into 2^sub_bucket_bits equal sub-buckets, so the relative width of
+/// any bucket is at most 2^-sub_bucket_bits and a quantile read off the
+/// bucket boundaries is within that relative error of the true sample
+/// quantile — with *exact* lower/upper bounds, not an interpolated guess.
+///
+/// The bucket index is computed from the IEEE-754 bit pattern: for a
+/// positive double, `bits >> (52 - k)` concatenates the exponent with the
+/// top k mantissa bits, which is exactly the log-linear bucket number, and
+/// every bucket boundary is reconstructible bit-exactly by shifting back.
+/// No loops, no branches on magnitude, no floating-point log.
+///
+/// Observe() is lock-free and allocation-free: per-thread shards (like
+/// Counter) with one relaxed fetch_add each on the bucket and the sum.
+/// Snapshots from histograms with identical Options merge losslessly
+/// (bucket-wise add), which is what makes per-shard / per-process series
+/// aggregatable without precision loss.
 class Histogram {
  public:
-  /// `bounds` must be sorted ascending; it is fixed for the histogram's
-  /// lifetime (re-registering a name with different bounds keeps the first).
-  explicit Histogram(std::vector<double> bounds);
+  struct Options {
+    /// Lowest trackable value. Values below `min` (and <= 0, and NaN) land
+    /// in the dedicated underflow bucket 0. Rounded down to a bucket
+    /// boundary at construction.
+    double min = 1e-9;
+    /// Values >= `max` (rounded down to a bucket boundary) land in the
+    /// dedicated overflow bucket.
+    double max = 1e9;
+    /// Sub-buckets per power of two = 2^sub_bucket_bits. Bounds quantile
+    /// relative error: 4 -> 6.25%, 2 -> 25%. Clamped to [0, 8].
+    int sub_bucket_bits = 3;
+
+    bool operator==(const Options& o) const {
+      return min == o.min && max == o.max &&
+             sub_bucket_bits == o.sub_bucket_bits;
+    }
+  };
+
+  // A default *argument* cannot construct Options here — its default member
+  // initializers are not parsed until the end of Histogram (GCC enforces
+  // this; PR c++/88165) — but a delegating body can: inline bodies are
+  // parsed in complete-class context, after the initializers.
+  Histogram() : Histogram(Options()) {}
+  explicit Histogram(Options opts);
 
   void Observe(double x) {
-    size_t b = 0;
-    while (b < bounds_.size() && x > bounds_[b]) ++b;
     Shard& s = shards_[ThreadShardIndex() & (kMetricShards - 1)];
-    s.counts[b].fetch_add(1, std::memory_order_relaxed);
+    s.counts[BucketIndex(x)].fetch_add(1, std::memory_order_relaxed);
     // Sum kept as an integer total of quantized values would lose precision;
     // C++20 atomic<double> fetch_add keeps it exact-ish and lock-free.
     s.sum.fetch_add(x, std::memory_order_relaxed);
   }
 
+  /// Bucket index for a value: 0 = underflow, bucket_count()-1 = overflow.
+  size_t BucketIndex(double x) const {
+    if (!(x > 0.0)) return 0;  // also catches NaN
+    const uint64_t raw = std::bit_cast<uint64_t>(x) >> shift_;
+    if (raw < raw_min_) return 0;
+    if (raw >= raw_max_) return bucket_count_ - 1;
+    return static_cast<size_t>(raw - raw_min_) + 1;
+  }
+
   struct Snapshot {
-    std::vector<double> bounds;   // upper bounds; counts has one extra bucket
-    std::vector<uint64_t> counts; // bounds.size() + 1 entries
+    Options options;
+    std::vector<uint64_t> counts;  // dense, bucket_count entries
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// Exact bucket boundaries. Bucket i covers [lower, upper); bucket 0's
+    /// lower bound is 0 and the overflow bucket's upper bound is +inf.
+    double BucketLowerBound(size_t i) const;
+    double BucketUpperBound(size_t i) const;
+
+    /// The true q-quantile of the observed samples lies in
+    /// [QuantileLowerBound(q), QuantileUpperBound(q)] — the exact
+    /// boundaries of the bucket holding the rank-ceil(q*count) sample.
+    /// Returns 0 when the histogram is empty.
+    double QuantileLowerBound(double q) const;
+    double QuantileUpperBound(double q) const;
+
+    /// Bucket-wise merge. Requires identical Options; returns false (and
+    /// leaves *this untouched) on a shape mismatch.
+    bool MergeFrom(const Snapshot& other);
   };
   Snapshot Snap() const;
 
-  const std::vector<double>& bounds() const { return bounds_; }
+  const Options& options() const { return opts_; }
+  size_t bucket_count() const { return bucket_count_; }
 
  private:
   struct Shard {
     std::unique_ptr<std::atomic<uint64_t>[]> counts;
     std::atomic<double> sum{0.0};
   };
-  std::vector<double> bounds_;
+  Options opts_;          // normalized: min/max rounded to bucket boundaries
+  int shift_ = 49;        // 52 - sub_bucket_bits
+  uint64_t raw_min_ = 0;  // bit_cast(min) >> shift_
+  uint64_t raw_max_ = 0;  // bit_cast(max) >> shift_
+  size_t bucket_count_ = 0;
   Shard shards_[kMetricShards];
 };
+
+/// Bucketing shape for latency-in-seconds series: 100ns .. 10^4 s at 6.25%
+/// bounds error. All latency histograms share it so snapshots merge.
+Histogram::Options LatencyOptions();
+
+/// Bucketing shape for count-valued series (candidates per query, batch
+/// sizes, queue depths): 1 .. 2^30 at 25% bounds error.
+Histogram::Options CountOptions();
 
 /// Registry of named metrics. Metric *creation* takes a mutex (cold path,
 /// once per name); the returned pointers are stable for the registry's
@@ -105,9 +179,10 @@ class MetricsRegistry {
  public:
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
-  /// Returns the histogram for `name`, creating it with `bounds` on first
-  /// use. Later calls ignore `bounds` (the first registration wins).
-  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+  /// Returns the histogram for `name`, creating it with `opts` on first
+  /// use. Later calls ignore `opts` (the first registration wins).
+  Histogram* GetHistogram(std::string_view name,
+                          Histogram::Options opts = Histogram::Options());
 
   struct Snapshot {
     std::vector<std::pair<std::string, uint64_t>> counters;
@@ -147,13 +222,29 @@ class CounterHandle {
   Counter* c_ = nullptr;
 };
 
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  GaugeHandle(MetricsRegistry* reg, std::string_view name)
+      : g_(reg == nullptr ? nullptr : reg->GetGauge(name)) {}
+  void Set(int64_t v) const {
+    if (g_ != nullptr) g_->Set(v);
+  }
+  void Add(int64_t d) const {
+    if (g_ != nullptr) g_->Add(d);
+  }
+  explicit operator bool() const { return g_ != nullptr; }
+
+ private:
+  Gauge* g_ = nullptr;
+};
+
 class HistogramHandle {
  public:
   HistogramHandle() = default;
   HistogramHandle(MetricsRegistry* reg, std::string_view name,
-                  std::vector<double> bounds)
-      : h_(reg == nullptr ? nullptr
-                          : reg->GetHistogram(name, std::move(bounds))) {}
+                  Histogram::Options opts = Histogram::Options())
+      : h_(reg == nullptr ? nullptr : reg->GetHistogram(name, opts)) {}
   void Observe(double x) const {
     if (h_ != nullptr) h_->Observe(x);
   }
@@ -162,15 +253,6 @@ class HistogramHandle {
  private:
   Histogram* h_ = nullptr;
 };
-
-/// Power-of-two bucket bounds 1, 2, 4, ... 2^(n-1): the default shape for
-/// count-valued histograms (candidates per query, survivors per batch).
-std::vector<double> PowersOfTwoBounds(size_t n);
-
-/// Evenly spaced bounds start, start+step, ... — for histograms over small
-/// bounded ranges (e.g. coalesced batch sizes) where power-of-two buckets
-/// would lump everything interesting into one or two cells.
-std::vector<double> LinearBounds(double start, double step, size_t n);
 
 }  // namespace dita::obs
 

@@ -17,6 +17,15 @@ inline int64_t WorkerLane(size_t worker) {
   return static_cast<int64_t>(worker) + 1;
 }
 
+/// Serving-plane lanes sit at negative ids so they can never collide with
+/// worker lanes: the background epoch-merge thread, the answer cache, and
+/// the DitaService executor pool (one lane per executor thread).
+inline constexpr int64_t kMergeLane = -1;
+inline constexpr int64_t kCacheLane = -2;
+inline int64_t ServingExecutorLane(size_t executor) {
+  return -3 - static_cast<int64_t>(executor);
+}
+
 /// Records nested spans on a deterministic virtual clock.
 ///
 /// Timestamps are logical ticks: every span begin/end consumes one tick

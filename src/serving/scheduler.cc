@@ -33,10 +33,10 @@ size_t QueryScheduler::SlotsFor(int priority, uint64_t cost) const {
 }
 
 Status QueryScheduler::Acquire(int priority, uint64_t cost, QueryContext* ctx,
-                               Grant* out) {
+                               Grant* out, double* waited_seconds) {
   const size_t want = SlotsFor(priority, cost);
   AdmissionGate::Ticket ticket;
-  DITA_RETURN_IF_ERROR(gate_.Admit(ctx, want, &ticket));
+  DITA_RETURN_IF_ERROR(gate_.Admit(ctx, want, &ticket, waited_seconds));
   out->ticket_ = std::move(ticket);
   out->slots_ = want;
   return Status::OK();

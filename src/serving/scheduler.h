@@ -63,8 +63,10 @@ class QueryScheduler {
   /// Unavailable when the wait queue is full, or returns `ctx`'s status if
   /// it stops while queued. `cost` is the query's estimated cost
   /// (DitaEngine::EstimateQueryCost units); `priority` >= 0, lower is more
-  /// important.
-  Status Acquire(int priority, uint64_t cost, QueryContext* ctx, Grant* out);
+  /// important. `waited_seconds` (optional) receives the wall-clock queue
+  /// wait on every exit path, including sheds and abandonments.
+  Status Acquire(int priority, uint64_t cost, QueryContext* ctx, Grant* out,
+                 double* waited_seconds = nullptr);
 
   /// Slots a (priority, cost) query would hold: cost clamped to
   /// [1, share(priority)] where share halves per priority level.
@@ -80,6 +82,8 @@ class QueryScheduler {
   size_t queued() const { return gate_.queued(); }
   uint64_t slots_in_use() const { return gate_.inflight_cost(); }
   uint64_t slots_high_water() const { return gate_.cost_high_water(); }
+  uint64_t abandoned() const { return gate_.abandoned(); }
+  double queue_wait_seconds() const { return gate_.queue_wait_seconds(); }
 
  private:
   const Options options_;

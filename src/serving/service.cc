@@ -1,12 +1,15 @@
 #include "serving/service.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <limits>
 #include <cstring>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
 
+#include "obs/export.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -32,6 +35,27 @@ uint64_t DoubleBits(double d) {
   uint64_t b = 0;
   std::memcpy(&b, &d, sizeof(b));
   return b;
+}
+
+// Approximate resident bytes of a snapshot's unmerged delta: insert points
+// plus the deleted-id set. Feeds the serving.delta.bytes gauge.
+uint64_t DeltaBytes(const TableSnapshot& snap) {
+  uint64_t bytes = 0;
+  for (const Trajectory& t : snap.inserts) bytes += t.size() * sizeof(Point);
+  bytes += snap.deleted.size() * sizeof(TrajectoryId);
+  return bytes;
+}
+
+const char* KindName(uint8_t kind) {
+  switch (static_cast<QueryKind>(kind)) {
+    case QueryKind::kSearch:
+      return "search";
+    case QueryKind::kJoin:
+      return "join";
+    case QueryKind::kKnnSearch:
+      return "knn";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -121,7 +145,10 @@ void AnswerCache::InvalidateAll() {
 
 DitaService::DitaService(std::shared_ptr<Cluster> cluster,
                          const DitaConfig& config)
-    : cluster_(std::move(cluster)), config_(config), base_config_(config) {
+    : cluster_(std::move(cluster)),
+      config_(config),
+      base_config_(config),
+      flight_recorder_(config.serving.flight_recorder_entries) {
   DITA_CHECK(cluster_ != nullptr);
   base_config_.serving.max_inflight_queries = 0;
   auto dist = MakeDistance(config_.distance, config_.distance_params);
@@ -150,8 +177,20 @@ DitaService::DitaService(std::shared_ptr<Cluster> cluster,
   m_queries_ = {metrics_, "serving.queries"};
   m_delta_scanned_ = {metrics_, "serving.delta.scanned"};
   m_coalesced_queries_ = {metrics_, "serving.batch.coalesced"};
-  h_batch_size_ = {metrics_, "serving.batch.size",
-                   obs::LinearBounds(1.0, 1.0, 33)};
+  h_batch_size_ = {metrics_, "serving.batch.size", obs::CountOptions()};
+  h_latency_search_ = {metrics_, "serving.latency.search_seconds",
+                       obs::LatencyOptions()};
+  h_latency_join_ = {metrics_, "serving.latency.join_seconds",
+                     obs::LatencyOptions()};
+  h_latency_knn_ = {metrics_, "serving.latency.knn_seconds",
+                    obs::LatencyOptions()};
+  h_queue_wait_ = {metrics_, "serving.queue_wait_seconds",
+                   obs::LatencyOptions()};
+  g_inflight_cost_ = {metrics_, "serving.inflight_cost"};
+  g_queue_depth_ = {metrics_, "serving.queue.depth"};
+  g_pinned_snapshots_ = {metrics_, "serving.pinned_snapshots"};
+  g_delta_bytes_ = {metrics_, "serving.delta.bytes"};
+  g_merge_backlog_ = {metrics_, "serving.merge.backlog"};
   answer_cache_.Configure(config_.serving.answer_cache_entries, metrics_);
 }
 
@@ -191,7 +230,7 @@ Status DitaService::Start(const Dataset& initial) {
   const size_t nexec = std::max<size_t>(1, config_.serving.scheduler_threads);
   executors_.reserve(nexec);
   for (size_t i = 0; i < nexec; ++i) {
-    executors_.emplace_back([this] { ExecutorLoop(); });
+    executors_.emplace_back([this, i] { ExecutorLoop(i); });
   }
   return Status::OK();
 }
@@ -267,6 +306,12 @@ Status DitaService::Insert(const Trajectory& t) {
   }
   answer_cache_.InvalidateAll();
   m_inserts_.Increment();
+  inserts_count_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::shared_ptr<const TableSnapshot> now_snap = Pin();
+    g_delta_bytes_.Set(static_cast<int64_t>(DeltaBytes(*now_snap)));
+    g_merge_backlog_.Set(static_cast<int64_t>(now_snap->delta_ops()));
+  }
   MaybeScheduleMerge();
   return Status::OK();
 }
@@ -299,6 +344,12 @@ Status DitaService::Delete(TrajectoryId id) {
   }
   answer_cache_.InvalidateAll();
   m_deletes_.Increment();
+  deletes_count_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::shared_ptr<const TableSnapshot> now_snap = Pin();
+    g_delta_bytes_.Set(static_cast<int64_t>(DeltaBytes(*now_snap)));
+    g_merge_backlog_.Set(static_cast<int64_t>(now_snap->delta_ops()));
+  }
   MaybeScheduleMerge();
   return Status::OK();
 }
@@ -342,6 +393,22 @@ Status DitaService::MergeOnce() {
     merging_ = true;
     op_log_.clear();
   }
+  // Merge-busy window: queries bracket MergeBusyAt() readings around their
+  // run to compute merge_overlap_seconds.
+  const double merge_start = NowSeconds();
+  merge_started_bits_.store(std::bit_cast<uint64_t>(merge_start),
+                            std::memory_order_release);
+  const auto close_busy_window = [&] {
+    const double busy = std::bit_cast<double>(
+        merge_busy_bits_.load(std::memory_order_relaxed));
+    merge_busy_bits_.store(
+        std::bit_cast<uint64_t>(busy + (NowSeconds() - merge_start)),
+        std::memory_order_relaxed);
+    merge_started_bits_.store(kMergeIdleBits, std::memory_order_release);
+  };
+  // The merge body runs on its own trace lane regardless of which thread
+  // drives it (background loop, ForceMerge caller, or a synchronous write).
+  obs::Tracer::ScopedLane merge_lane(obs::kMergeLane);
   obs::SpanGuard merge_span(tracer_, "serving.merge");
 
   // Rebuild outside the write lock: queries keep answering from the old
@@ -362,6 +429,7 @@ Status DitaService::MergeOnce() {
       std::lock_guard<std::mutex> lock(write_mu_);
       merging_ = false;
       op_log_.clear();
+      close_busy_window();
       return built;
     }
   }
@@ -414,9 +482,15 @@ Status DitaService::MergeOnce() {
       snap_ = std::move(next);
     }
   }
+  close_busy_window();
   answer_cache_.InvalidateAll();
   m_merges_.Increment();
   if (tracer_ != nullptr) tracer_->Instant("serving.epoch.published");
+  {
+    const std::shared_ptr<const TableSnapshot> now_snap = Pin();
+    g_delta_bytes_.Set(static_cast<int64_t>(DeltaBytes(*now_snap)));
+    g_merge_backlog_.Set(static_cast<int64_t>(now_snap->delta_ops()));
+  }
   // Writes that raced the rebuild may already exceed the threshold again.
   MaybeScheduleMerge();
   return Status::OK();
@@ -437,6 +511,87 @@ void DitaService::MergeLoop() {
     const Status merged = MergeOnce();
     (void)merged;
   }
+}
+
+double DitaService::MergeBusyAt(double now) const {
+  const double busy =
+      std::bit_cast<double>(merge_busy_bits_.load(std::memory_order_relaxed));
+  const uint64_t started = merge_started_bits_.load(std::memory_order_acquire);
+  if (started == kMergeIdleBits) return busy;
+  const double since = now - std::bit_cast<double>(started);
+  return busy + (since > 0.0 ? since : 0.0);
+}
+
+void DitaService::FinishRequest(obs::RequestRecord* rec, double end_seconds,
+                                Result<QueryResult>* res) const {
+  rec->total_seconds = end_seconds - rec->arrival_seconds;
+  // finalize is defined as the remainder, so the telescoping invariant
+  // (PhaseSum == total up to one rounding step) holds on every path —
+  // including sheds and errors, where later phases never ran.
+  const double accounted = rec->queue_seconds + rec->admission_seconds +
+                           rec->cache_seconds + rec->pin_seconds +
+                           rec->base_seconds + rec->delta_seconds;
+  rec->finalize_seconds = rec->total_seconds - accounted;
+  // On entry merge_overlap_seconds holds MergeBusyAt(arrival); the second
+  // reading turns the stash into the overlap with background merge work.
+  double overlap = MergeBusyAt(end_seconds) - rec->merge_overlap_seconds;
+  rec->merge_overlap_seconds =
+      std::clamp(overlap, 0.0, rec->total_seconds);
+
+  const Status& st = res->status();
+  rec->status_code = static_cast<uint8_t>(st.code());
+  if (res->ok()) {
+    const QueryResult& qr = **res;
+    rec->epoch = qr.serving.epoch;
+    rec->version = qr.serving.version;
+    const size_t produced = qr.kind == QueryKind::kSearch
+                                ? qr.ids.size()
+                                : (qr.kind == QueryKind::kJoin
+                                       ? qr.pairs.size()
+                                       : qr.neighbors.size());
+    rec->results = static_cast<uint32_t>(
+        std::min<size_t>(produced, std::numeric_limits<uint32_t>::max()));
+    const Status& term = qr.kind == QueryKind::kJoin
+                             ? qr.join_stats.termination
+                             : qr.search_stats.termination;
+    const double completeness = qr.kind == QueryKind::kJoin
+                                    ? qr.join_stats.completeness
+                                    : qr.search_stats.completeness;
+    if (!term.ok() || completeness < 1.0) {
+      rec->flags |= obs::RequestRecord::kDegraded;
+      degraded_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (st.code() == Status::Code::kUnavailable ||
+             st.code() == Status::Code::kResourceExhausted) {
+    rec->flags |= obs::RequestRecord::kShed;
+    shed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    errors_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Always-on rollup (feeds Stats() / the SLO report even with
+  // enable_metrics off) plus the registry mirrors. Latency histograms cover
+  // every terminal outcome, sheds included — their wait-then-reject time is
+  // part of what callers experienced.
+  queue_wait_hist_.Observe(rec->queue_seconds);
+  admission_wait_hist_.Observe(rec->admission_seconds);
+  h_queue_wait_.Observe(rec->queue_seconds);
+  switch (static_cast<QueryKind>(rec->kind)) {
+    case QueryKind::kSearch:
+      lat_search_.Observe(rec->total_seconds);
+      h_latency_search_.Observe(rec->total_seconds);
+      break;
+    case QueryKind::kJoin:
+      lat_join_.Observe(rec->total_seconds);
+      h_latency_join_.Observe(rec->total_seconds);
+      break;
+    case QueryKind::kKnnSearch:
+      lat_knn_.Observe(rec->total_seconds);
+      h_latency_knn_.Observe(rec->total_seconds);
+      break;
+  }
+  flight_recorder_.Record(*rec);
+  if (res->ok()) (*res)->serving.lifecycle = *rec;
 }
 
 // --------------------------------------------------------------- queries --
@@ -464,7 +619,23 @@ uint64_t DitaService::EstimateCost(const TableSnapshot& snap,
 }
 
 Result<QueryResult> DitaService::Execute(const QueryRequest& req) const {
+  return ExecuteInternal(req, NowSeconds(), 0);
+}
+
+Result<QueryResult> DitaService::ExecuteInternal(const QueryRequest& req,
+                                                 double arrival_seconds,
+                                                 uint8_t extra_flags) const {
   if (!started_) return Status::Internal("DitaService used before Start");
+  obs::RequestRecord rec;
+  rec.request_id = request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rec.kind = static_cast<uint8_t>(req.kind);
+  rec.flags = extra_flags;
+  rec.arrival_seconds = arrival_seconds;
+  // Stash MergeBusyAt(arrival); FinishRequest turns it into the overlap.
+  rec.merge_overlap_seconds = MergeBusyAt(arrival_seconds);
+  double last = NowSeconds();
+  rec.queue_seconds = last - arrival_seconds;
+
   // Answer cache (DESIGN.md §5g): a hit returns the stored result without
   // an admission grant — the point of the tier is that repeated reads skip
   // the scheduler and the engine entirely. Joins are never cached (their
@@ -478,10 +649,21 @@ Result<QueryResult> DitaService::Execute(const QueryRequest& req) const {
   if (cacheable) {
     ckey = AnswerCache::KeyFor(req);
     QueryResult hit;
-    if (answer_cache_.Lookup(ckey, Pin()->version, &hit)) {
+    const bool got = answer_cache_.Lookup(ckey, Pin()->version, &hit);
+    const double now = NowSeconds();
+    rec.cache_seconds = now - last;
+    last = now;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(got ? "serving.cache.hit" : "serving.cache.miss",
+                       obs::kCacheLane);
+    }
+    if (got) {
       m_queries_.Increment();
       if (req.collect_stats) RecordExplain(hit);
-      return hit;
+      rec.flags |= obs::RequestRecord::kCacheHit;
+      Result<QueryResult> res(std::move(hit));
+      FinishRequest(&rec, NowSeconds(), &res);
+      return res;
     }
   }
   // Cost is estimated against the snapshot current at arrival; the query
@@ -489,47 +671,87 @@ Result<QueryResult> DitaService::Execute(const QueryRequest& req) const {
   // write that completed before it was scheduled.
   const uint64_t cost = EstimateCost(*Pin(), req);
   QueryScheduler::Grant grant;
-  DITA_RETURN_IF_ERROR(scheduler_->Acquire(req.priority, cost, req.ctx, &grant));
+  const Status admitted =
+      scheduler_->Acquire(req.priority, cost, req.ctx, &grant);
+  {
+    const double now = NowSeconds();
+    rec.admission_seconds = now - last;
+    last = now;
+  }
+  g_inflight_cost_.Set(static_cast<int64_t>(scheduler_->slots_in_use()));
+  if (!admitted.ok()) {
+    if (req.ctx != nullptr) {
+      rec.stop_cause = static_cast<uint8_t>(req.ctx->stop_cause());
+    }
+    Result<QueryResult> res = admitted;
+    FinishRequest(&rec, NowSeconds(), &res);
+    return res;
+  }
   const std::shared_ptr<const TableSnapshot> snap = Pin();
+  g_pinned_snapshots_.Set(
+      pinned_queries_.fetch_add(1, std::memory_order_relaxed) + 1);
 
   obs::SpanGuard span(tracer_, "serving.query");
   span.Arg("epoch", snap->epoch);
   m_queries_.Increment();
+  {
+    const double now = NowSeconds();
+    rec.pin_seconds = now - last;
+    last = now;
+  }
 
+  PhaseSplit split;
   Result<QueryResult> res = Status::OK();
   switch (req.kind) {
     case QueryKind::kSearch:
-      res = SearchSnapshot(*snap, req);
+      res = SearchSnapshot(*snap, req, &split);
       break;
     case QueryKind::kKnnSearch:
-      res = KnnSnapshot(*snap, req);
+      res = KnnSnapshot(*snap, req, &split);
       break;
     case QueryKind::kJoin: {
       if (req.join_right_service != nullptr && req.join_right != nullptr) {
-        return Status::InvalidArgument(
+        res = Status::InvalidArgument(
             "set at most one of join_right / join_right_service");
-      }
-      if (req.join_right_service != nullptr &&
-          req.join_right_service != this) {
+      } else if (req.join_right_service != nullptr &&
+                 req.join_right_service != this) {
         if (req.join_right_service->cluster_.get() != cluster_.get()) {
-          return Status::InvalidArgument("joined tables must share a cluster");
+          res = Status::InvalidArgument("joined tables must share a cluster");
+        } else {
+          const std::shared_ptr<const TableSnapshot> rsnap =
+              req.join_right_service->Pin();
+          res = JoinSnapshots(*snap, *rsnap, req, &split);
         }
-        const std::shared_ptr<const TableSnapshot> rsnap =
-            req.join_right_service->Pin();
-        res = JoinSnapshots(*snap, *rsnap, req);
       } else if (req.join_right != nullptr) {
         // Bare-engine right side: wrap it as a deltaless snapshot.
         TableSnapshot rsnap;
         rsnap.base = std::shared_ptr<const DitaEngine>(
             std::shared_ptr<const DitaEngine>(), req.join_right);
-        res = JoinSnapshots(*snap, rsnap, req);
+        res = JoinSnapshots(*snap, rsnap, req, &split);
       } else {
-        res = JoinSnapshots(*snap, *snap, req);
+        res = JoinSnapshots(*snap, *snap, req, &split);
       }
       break;
     }
   }
-  if (!res.ok()) return res;
+  g_pinned_snapshots_.Set(
+      pinned_queries_.fetch_sub(1, std::memory_order_relaxed) - 1);
+  // Attribute the body: the split stamps separate base-index work from the
+  // delta scan; an unstamped boundary (error exits) folds into base.
+  const double body_end = NowSeconds();
+  const double base_done =
+      split.base_done_seconds > 0.0 ? split.base_done_seconds : body_end;
+  const double delta_done =
+      split.delta_done_seconds > 0.0 ? split.delta_done_seconds : body_end;
+  rec.base_seconds = base_done - last;
+  rec.delta_seconds = delta_done - base_done;
+  if (req.ctx != nullptr) {
+    rec.stop_cause = static_cast<uint8_t>(req.ctx->stop_cause());
+  }
+  if (!res.ok()) {
+    FinishRequest(&rec, NowSeconds(), &res);
+    return res;
+  }
   res->serving.epoch = snap->epoch;
   res->serving.version = snap->version;
   m_delta_scanned_.Add(res->serving.delta_scanned);
@@ -541,12 +763,14 @@ Result<QueryResult> DitaService::Execute(const QueryRequest& req) const {
       res->search_stats.completeness >= 1.0) {
     answer_cache_.Store(ckey, snap->version, *res);
   }
+  FinishRequest(&rec, NowSeconds(), &res);
   return res;
 }
 
 std::future<Result<QueryResult>> DitaService::Submit(QueryRequest req) const {
   Job job;
   job.req = std::move(req);
+  job.enqueue_seconds = NowSeconds();
   std::future<Result<QueryResult>> fut = job.promise.get_future();
   if (stop_.load() || !started_) {
     job.promise.set_value(Status::Unavailable("service stopped"));
@@ -555,12 +779,16 @@ std::future<Result<QueryResult>> DitaService::Submit(QueryRequest req) const {
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     jobs_.push_back(std::move(job));
+    g_queue_depth_.Set(static_cast<int64_t>(jobs_.size()));
   }
   jobs_cv_.notify_one();
   return fut;
 }
 
-void DitaService::ExecutorLoop() {
+void DitaService::ExecutorLoop(size_t executor_index) {
+  // Every span / instant this thread emits lands on its own serving lane
+  // ("serving.exec N" in the exported trace).
+  obs::Tracer::ScopedLane lane(obs::ServingExecutorLane(executor_index));
   const size_t max_batch = std::max<size_t>(1, config_.serving.max_batch_size);
   while (true) {
     std::vector<Job> batch;
@@ -600,9 +828,12 @@ void DitaService::ExecutorLoop() {
           }
         }
       }
+      g_queue_depth_.Set(static_cast<int64_t>(jobs_.size()));
     }
     if (batch.size() == 1) {
-      batch.front().promise.set_value(Execute(batch.front().req));
+      Job& j = batch.front();
+      j.promise.set_value(ExecuteInternal(j.req, j.enqueue_seconds,
+                                          obs::RequestRecord::kAsync));
       continue;
     }
     coalesced_batches_.fetch_add(1);
@@ -610,9 +841,15 @@ void DitaService::ExecutorLoop() {
     m_coalesced_queries_.Add(batch.size());
     h_batch_size_.Observe(static_cast<double>(batch.size()));
     std::vector<QueryRequest> reqs;
+    std::vector<double> arrivals;
     reqs.reserve(batch.size());
-    for (Job& j : batch) reqs.push_back(std::move(j.req));
-    std::vector<Result<QueryResult>> results = ExecuteBatch(reqs);
+    arrivals.reserve(batch.size());
+    for (Job& j : batch) {
+      reqs.push_back(std::move(j.req));
+      arrivals.push_back(j.enqueue_seconds);
+    }
+    std::vector<Result<QueryResult>> results =
+        ExecuteBatchInternal(reqs, arrivals, obs::RequestRecord::kAsync);
     for (size_t i = 0; i < batch.size(); ++i) {
       batch[i].promise.set_value(std::move(results[i]));
     }
@@ -621,6 +858,16 @@ void DitaService::ExecutorLoop() {
 
 std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
     const std::vector<QueryRequest>& reqs) const {
+  return ExecuteBatchInternal(reqs, {}, 0);
+}
+
+std::vector<Result<QueryResult>> DitaService::ExecuteBatchInternal(
+    const std::vector<QueryRequest>& reqs, const std::vector<double>& arrivals,
+    uint8_t extra_flags) const {
+  const double t_pickup = NowSeconds();
+  const auto arrival_of = [&](size_t i) {
+    return i < arrivals.size() ? arrivals[i] : t_pickup;
+  };
   std::vector<Result<QueryResult>> out;
   out.reserve(reqs.size());
   for (size_t i = 0; i < reqs.size(); ++i) {
@@ -641,16 +888,32 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
   const uint64_t look_version = cache_on ? Pin()->version : 0;
   for (size_t i = 0; i < reqs.size(); ++i) {
     if (!Coalescible(reqs[i])) {
-      out[i] = Execute(reqs[i]);
+      out[i] = ExecuteInternal(reqs[i], arrival_of(i), extra_flags);
       continue;
     }
     if (cache_on && reqs[i].ctx == nullptr) {
       QueryResult hit;
-      if (answer_cache_.Lookup(AnswerCache::KeyFor(reqs[i]), look_version,
-                               &hit)) {
+      const bool got = answer_cache_.Lookup(AnswerCache::KeyFor(reqs[i]),
+                                            look_version, &hit);
+      if (tracer_ != nullptr) {
+        tracer_->Instant(got ? "serving.cache.hit" : "serving.cache.miss",
+                         obs::kCacheLane);
+      }
+      if (got) {
+        obs::RequestRecord rec;
+        rec.request_id =
+            request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+        rec.kind = static_cast<uint8_t>(reqs[i].kind);
+        rec.flags = extra_flags | obs::RequestRecord::kCacheHit;
+        rec.arrival_seconds = arrival_of(i);
+        rec.merge_overlap_seconds = MergeBusyAt(rec.arrival_seconds);
+        rec.queue_seconds = t_pickup - rec.arrival_seconds;
+        rec.cache_seconds = NowSeconds() - t_pickup;
         m_queries_.Increment();
         if (reqs[i].collect_stats) RecordExplain(hit);
-        out[i] = std::move(hit);
+        Result<QueryResult> r(std::move(hit));
+        FinishRequest(&rec, NowSeconds(), &r);
+        out[i] = std::move(r);
         continue;
       }
     }
@@ -658,10 +921,12 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
   }
   if (members.empty()) return out;
   if (members.size() == 1) {
-    out[members[0]] = Execute(reqs[members[0]]);
+    out[members[0]] =
+        ExecuteInternal(reqs[members[0]], arrival_of(members[0]), extra_flags);
     return out;
   }
   const size_t n = members.size();
+  const double t_cache = NowSeconds();
 
   // One fair-share grant covers the whole batch: the members' summed cost
   // at the most urgent member's priority, so the scheduler sees the same
@@ -677,16 +942,43 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
   }
   QueryScheduler::Grant grant;
   const Status adm = scheduler_->Acquire(priority, cost, nullptr, &grant);
+  const double t_admit = NowSeconds();
+  g_inflight_cost_.Set(static_cast<int64_t>(scheduler_->slots_in_use()));
+  // Seeds a member's lifecycle record with the batch's shared boundaries:
+  // per-member queue, then one cache / admission window for the whole batch.
+  const auto member_record = [&](size_t i) {
+    obs::RequestRecord rec;
+    rec.request_id = request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    rec.kind = static_cast<uint8_t>(reqs[i].kind);
+    rec.flags = extra_flags | obs::RequestRecord::kCoalesced;
+    rec.arrival_seconds = arrival_of(i);
+    rec.merge_overlap_seconds = MergeBusyAt(rec.arrival_seconds);
+    rec.queue_seconds = t_pickup - rec.arrival_seconds;
+    rec.cache_seconds = t_cache - t_pickup;
+    rec.admission_seconds = t_admit - t_cache;
+    if (reqs[i].ctx != nullptr) {
+      rec.stop_cause = static_cast<uint8_t>(reqs[i].ctx->stop_cause());
+    }
+    return rec;
+  };
   if (!adm.ok()) {
-    for (const size_t i : members) out[i] = adm;
+    for (const size_t i : members) {
+      obs::RequestRecord rec = member_record(i);
+      Result<QueryResult> r = adm;
+      FinishRequest(&rec, NowSeconds(), &r);
+      out[i] = std::move(r);
+    }
     return out;
   }
   const std::shared_ptr<const TableSnapshot> snap = Pin();
+  g_pinned_snapshots_.Set(
+      pinned_queries_.fetch_add(1, std::memory_order_relaxed) + 1);
 
   obs::SpanGuard span(tracer_, "serving.query.batch");
   span.Arg("epoch", snap->epoch);
   span.Arg("queries", n);
   m_queries_.Add(n);
+  const double t_pin = NowSeconds();
 
   std::vector<QueryResult> res(n);
   std::vector<std::vector<TrajectoryId>> ids(n);
@@ -731,6 +1023,7 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
       }
     }
   }
+  const double t_base = NowSeconds();
 
   // Delta scan: each insert's VerifyPrecomp is computed ONCE and scored
   // against every live member — the serving-side share of the batch. Per
@@ -771,9 +1064,18 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
       }
     }
   }
+  const double t_delta = NowSeconds();
 
   for (size_t m = 0; m < n; ++m) {
-    if (!live[m]) continue;
+    obs::RequestRecord rec = member_record(members[m]);
+    rec.pin_seconds = t_pin - t_admit;
+    rec.base_seconds = t_base - t_pin;
+    rec.delta_seconds = t_delta - t_base;
+    if (!live[m]) {
+      // out[members[m]] already holds this member's error status.
+      FinishRequest(&rec, NowSeconds(), &out[members[m]]);
+      continue;
+    }
     const QueryRequest& req = reqs[members[m]];
     res[m].kind = QueryKind::kSearch;
     if (!snap->inserts.empty() && req.collect_stats) {
@@ -801,8 +1103,12 @@ std::vector<Result<QueryResult>> DitaService::ExecuteBatch(
         res[m].search_stats.completeness >= 1.0) {
       answer_cache_.Store(AnswerCache::KeyFor(req), snap->version, res[m]);
     }
-    out[members[m]] = std::move(res[m]);
+    Result<QueryResult> r(std::move(res[m]));
+    FinishRequest(&rec, NowSeconds(), &r);
+    out[members[m]] = std::move(r);
   }
+  g_pinned_snapshots_.Set(
+      pinned_queries_.fetch_sub(1, std::memory_order_relaxed) - 1);
   return out;
 }
 
@@ -870,7 +1176,8 @@ Status DitaService::SearchIdsInto(const TableSnapshot& snap,
 }
 
 Result<QueryResult> DitaService::SearchSnapshot(const TableSnapshot& snap,
-                                                const QueryRequest& req) const {
+                                                const QueryRequest& req,
+                                                PhaseSplit* split) const {
   QueryResult res;
   res.kind = QueryKind::kSearch;
   std::vector<TrajectoryId> ids;
@@ -896,6 +1203,7 @@ Result<QueryResult> DitaService::SearchSnapshot(const TableSnapshot& snap,
       return Status::InvalidArgument("threshold must be non-negative");
     }
   }
+  if (split != nullptr) split->base_done_seconds = NowSeconds();
   const VerifyPrecomp qp =
       VerifyPrecomp::For(req.query, config_.verify.cell_size);
   const bool sketch = snap.base != nullptr && snap.base->SketchActive() &&
@@ -914,6 +1222,7 @@ Result<QueryResult> DitaService::SearchSnapshot(const TableSnapshot& snap,
       ++res.serving.delta_matches;
     }
   }
+  if (split != nullptr) split->delta_done_seconds = NowSeconds();
   if (!snap.inserts.empty() && req.collect_stats) {
     res.serving.delta_funnel.AddLevel("delta buffer", snap.inserts.size());
     res.serving.delta_funnel.AddLevel("sketch signature",
@@ -931,7 +1240,8 @@ Result<QueryResult> DitaService::SearchSnapshot(const TableSnapshot& snap,
 }
 
 Result<QueryResult> DitaService::KnnSnapshot(const TableSnapshot& snap,
-                                             const QueryRequest& req) const {
+                                             const QueryRequest& req,
+                                             PhaseSplit* split) const {
   QueryResult res;
   res.kind = QueryKind::kKnnSearch;
   if (req.query.size() < 2) {
@@ -963,12 +1273,14 @@ Result<QueryResult> DitaService::KnnSnapshot(const TableSnapshot& snap,
       }
     }
   }
+  if (split != nullptr) split->base_done_seconds = NowSeconds();
   // Delta trajectories are scored with the same DP kernel the engine uses,
   // so merged distances are bit-comparable with the base's.
   for (const Trajectory& t : snap.inserts) {
     ++res.serving.delta_scanned;
     scored.emplace_back(t.id(), distance_->Compute(t, req.query));
   }
+  if (split != nullptr) split->delta_done_seconds = NowSeconds();
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
   if (scored.size() > req.k) scored.resize(req.k);
@@ -985,7 +1297,8 @@ Result<QueryResult> DitaService::KnnSnapshot(const TableSnapshot& snap,
 
 Result<QueryResult> DitaService::JoinSnapshots(const TableSnapshot& left,
                                                const TableSnapshot& right,
-                                               const QueryRequest& req) const {
+                                               const QueryRequest& req,
+                                               PhaseSplit* split) const {
   QueryResult res;
   res.kind = QueryKind::kJoin;
   if (req.tau < 0) {
@@ -1013,6 +1326,7 @@ Result<QueryResult> DitaService::JoinSnapshots(const TableSnapshot& left,
       }
     }
   }
+  if (split != nullptr) split->base_done_seconds = NowSeconds();
 
   // Term 2: left delta x live right (base and delta of the right snapshot).
   for (const Trajectory& t : left.inserts) {
@@ -1051,6 +1365,7 @@ Result<QueryResult> DitaService::JoinSnapshots(const TableSnapshot& left,
       }
     }
   }
+  if (split != nullptr) split->delta_done_seconds = NowSeconds();
 
   std::sort(pairs.begin(), pairs.end());
   res.pairs = std::move(pairs);
@@ -1092,6 +1407,195 @@ void DitaService::RecordExplain(const QueryResult& res) const {
 std::string DitaService::ExplainLastQuery() const {
   std::lock_guard<std::mutex> lock(explain_mu_);
   return last_explain_;
+}
+
+// ---------------------------------------------------------- observability --
+
+DitaService::ServiceStats DitaService::Stats() const {
+  ServiceStats s;
+  s.uptime_seconds = NowSeconds();
+  s.latency_search = lat_search_.Snap();
+  s.latency_join = lat_join_.Snap();
+  s.latency_knn = lat_knn_.Snap();
+  s.queue_wait = queue_wait_hist_.Snap();
+  s.admission_wait = admission_wait_hist_.Snap();
+  s.queries_search = s.latency_search.count;
+  s.queries_join = s.latency_join.count;
+  s.queries_knn = s.latency_knn.count;
+  s.queries = s.queries_search + s.queries_join + s.queries_knn;
+  s.shed = shed_count_.load(std::memory_order_relaxed);
+  s.degraded = degraded_count_.load(std::memory_order_relaxed);
+  s.errors = errors_count_.load(std::memory_order_relaxed);
+  s.cache_hits = answer_cache_.hits();
+  s.cache_misses = answer_cache_.misses();
+  s.inserts = inserts_count_.load(std::memory_order_relaxed);
+  s.deletes = deletes_count_.load(std::memory_order_relaxed);
+  s.merges = merges();
+  s.merge_busy_seconds = MergeBusyAt(NowSeconds());
+  s.coalesced_batches = coalesced_batches_.load();
+  s.coalesced_queries = coalesced_queries_.load();
+  s.recorded = flight_recorder_.total_recorded();
+  return s;
+}
+
+std::string DitaService::ExplainService() const {
+  const ServiceStats s = Stats();
+  std::ostringstream out;
+  out << "== DitaService ==\n"
+      << "uptime: " << s.uptime_seconds << " s, queries: " << s.queries
+      << " (search " << s.queries_search << ", join " << s.queries_join
+      << ", knn " << s.queries_knn << ")\n"
+      << "shed: " << s.shed << ", degraded: " << s.degraded
+      << ", errors: " << s.errors << "\n"
+      << "cache: " << s.cache_hits << " hits / " << s.cache_misses
+      << " misses\n"
+      << "ingest: " << s.inserts << " inserts, " << s.deletes << " deletes, "
+      << s.merges << " merges (" << s.merge_busy_seconds << " s busy)\n"
+      << "coalescing: " << s.coalesced_queries << " queries in "
+      << s.coalesced_batches << " batches\n"
+      << "flight recorder: " << s.recorded << " recorded, capacity "
+      << flight_recorder_.capacity() << "\n";
+  const auto row = [&out](const char* name,
+                          const obs::Histogram::Snapshot& h) {
+    out << name << ": n=" << h.count;
+    if (h.count > 0) {
+      out << " p50<=" << h.QuantileUpperBound(0.5) << " p95<="
+          << h.QuantileUpperBound(0.95) << " p99<="
+          << h.QuantileUpperBound(0.99) << " p999<="
+          << h.QuantileUpperBound(0.999) << " (s)";
+    }
+    out << "\n";
+  };
+  row("latency.search", s.latency_search);
+  row("latency.join", s.latency_join);
+  row("latency.knn", s.latency_knn);
+  row("queue_wait", s.queue_wait);
+  row("admission_wait", s.admission_wait);
+  return out.str();
+}
+
+std::string DitaService::DumpFlightRecorder() const {
+  const ServiceStats s = Stats();
+  const std::vector<obs::RequestRecord> records = flight_recorder_.Snapshot();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("service");
+  w.BeginObject();
+  w.Key("uptime_seconds");
+  w.Double(s.uptime_seconds);
+  w.Key("queries");
+  w.UInt(s.queries);
+  w.Key("queries_search");
+  w.UInt(s.queries_search);
+  w.Key("queries_join");
+  w.UInt(s.queries_join);
+  w.Key("queries_knn");
+  w.UInt(s.queries_knn);
+  w.Key("shed");
+  w.UInt(s.shed);
+  w.Key("degraded");
+  w.UInt(s.degraded);
+  w.Key("errors");
+  w.UInt(s.errors);
+  w.Key("cache_hits");
+  w.UInt(s.cache_hits);
+  w.Key("cache_misses");
+  w.UInt(s.cache_misses);
+  w.Key("inserts");
+  w.UInt(s.inserts);
+  w.Key("deletes");
+  w.UInt(s.deletes);
+  w.Key("merges");
+  w.UInt(s.merges);
+  w.Key("merge_busy_seconds");
+  w.Double(s.merge_busy_seconds);
+  w.Key("coalesced_batches");
+  w.UInt(s.coalesced_batches);
+  w.Key("coalesced_queries");
+  w.UInt(s.coalesced_queries);
+  w.Key("recorded");
+  w.UInt(s.recorded);
+  w.Key("capacity");
+  w.UInt(flight_recorder_.capacity());
+  w.Key("latency");
+  w.BeginObject();
+  const auto hist = [&w](const char* name,
+                         const obs::Histogram::Snapshot& h) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.UInt(h.count);
+    w.Key("p50");
+    w.Double(h.QuantileUpperBound(0.5));
+    w.Key("p95");
+    w.Double(h.QuantileUpperBound(0.95));
+    w.Key("p99");
+    w.Double(h.QuantileUpperBound(0.99));
+    w.Key("p999");
+    w.Double(h.QuantileUpperBound(0.999));
+    w.EndObject();
+  };
+  hist("search", s.latency_search);
+  hist("join", s.latency_join);
+  hist("knn", s.latency_knn);
+  hist("queue_wait", s.queue_wait);
+  hist("admission_wait", s.admission_wait);
+  w.EndObject();
+  w.EndObject();
+  w.Key("requests");
+  w.BeginArray();
+  for (const obs::RequestRecord& r : records) {
+    w.BeginObject();
+    w.Key("id");
+    w.UInt(r.request_id);
+    w.Key("kind");
+    w.String(KindName(r.kind));
+    w.Key("status_code");
+    w.UInt(r.status_code);
+    w.Key("stop_cause");
+    w.String(QueryContext::StopCauseName(
+        static_cast<QueryContext::StopCause>(r.stop_cause)));
+    w.Key("cache_hit");
+    w.Raw(r.cache_hit() ? "true" : "false");
+    w.Key("coalesced");
+    w.Raw(r.coalesced() ? "true" : "false");
+    w.Key("degraded");
+    w.Raw(r.degraded() ? "true" : "false");
+    w.Key("shed");
+    w.Raw(r.shed() ? "true" : "false");
+    w.Key("async");
+    w.Raw((r.flags & obs::RequestRecord::kAsync) != 0 ? "true" : "false");
+    w.Key("results");
+    w.UInt(r.results);
+    w.Key("epoch");
+    w.UInt(r.epoch);
+    w.Key("version");
+    w.UInt(r.version);
+    w.Key("arrival_seconds");
+    w.Double(r.arrival_seconds);
+    w.Key("queue_seconds");
+    w.Double(r.queue_seconds);
+    w.Key("admission_seconds");
+    w.Double(r.admission_seconds);
+    w.Key("cache_seconds");
+    w.Double(r.cache_seconds);
+    w.Key("pin_seconds");
+    w.Double(r.pin_seconds);
+    w.Key("base_seconds");
+    w.Double(r.base_seconds);
+    w.Key("delta_seconds");
+    w.Double(r.delta_seconds);
+    w.Key("finalize_seconds");
+    w.Double(r.finalize_seconds);
+    w.Key("total_seconds");
+    w.Double(r.total_seconds);
+    w.Key("merge_overlap_seconds");
+    w.Double(r.merge_overlap_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace dita

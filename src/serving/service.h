@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/lifecycle.h"
 #include "serving/scheduler.h"
 #include "serving/snapshot.h"
+#include "util/timer.h"
 #include "workload/dataset.h"
 
 namespace dita {
@@ -209,6 +211,49 @@ class DitaService {
   /// funnel. Empty string if no query ran yet.
   std::string ExplainLastQuery() const;
 
+  /// Service-level rollup, fed by always-on instrumentation (independent of
+  /// enable_metrics): per-kind log-bucketed latency histograms, queue /
+  /// admission wait histograms, and the shed / degraded / cache counters an
+  /// SLO report needs.
+  struct ServiceStats {
+    double uptime_seconds = 0.0;
+    uint64_t queries = 0;  // completed requests, cache hits included
+    uint64_t queries_search = 0;
+    uint64_t queries_join = 0;
+    uint64_t queries_knn = 0;
+    uint64_t shed = 0;      // rejected at admission
+    uint64_t degraded = 0;  // partial answers (stop/budget)
+    uint64_t errors = 0;    // non-OK, non-shed completions
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
+    uint64_t merges = 0;
+    double merge_busy_seconds = 0.0;
+    uint64_t coalesced_batches = 0;
+    uint64_t coalesced_queries = 0;
+    uint64_t recorded = 0;  // flight-recorder tickets ever written
+    obs::Histogram::Snapshot latency_search;
+    obs::Histogram::Snapshot latency_join;
+    obs::Histogram::Snapshot latency_knn;
+    obs::Histogram::Snapshot queue_wait;
+    obs::Histogram::Snapshot admission_wait;
+  };
+  ServiceStats Stats() const;
+
+  /// Human-readable ServiceStats: per-kind p50/p95/p99/p999 bounds,
+  /// shed/degraded/cache rates, ingest and merge counters.
+  std::string ExplainService() const;
+
+  /// JSON export of the service rollup plus the flight recorder's last N
+  /// request records ({"service": {...}, "requests": [...]}), the input
+  /// tools/obs_report.py renders.
+  std::string DumpFlightRecorder() const;
+
+  const obs::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+
   const QueryScheduler& scheduler() const { return *scheduler_; }
   const DitaConfig& config() const { return config_; }
   const std::shared_ptr<Cluster>& cluster() const { return cluster_; }
@@ -231,15 +276,59 @@ class DitaService {
            req.join_right_service == nullptr;
   }
 
+  /// Intra-query phase boundaries on the service clock, stamped by the
+  /// snapshot query bodies so the lifecycle record can split base-index work
+  /// from the delta scan. Both default to "not stamped" (0) — callers fall
+  /// back to attributing the whole body to the base phase.
+  struct PhaseSplit {
+    double base_done_seconds = 0.0;   ///< after the base-index pass
+    double delta_done_seconds = 0.0;  ///< after the delta scan
+  };
+
   /// Query bodies over pinned snapshots. `collect` mirrors
   /// QueryRequest::collect_stats.
   Result<QueryResult> SearchSnapshot(const TableSnapshot& snap,
-                                     const QueryRequest& req) const;
+                                     const QueryRequest& req,
+                                     PhaseSplit* split = nullptr) const;
   Result<QueryResult> KnnSnapshot(const TableSnapshot& snap,
-                                  const QueryRequest& req) const;
+                                  const QueryRequest& req,
+                                  PhaseSplit* split = nullptr) const;
   Result<QueryResult> JoinSnapshots(const TableSnapshot& left,
                                     const TableSnapshot& right,
-                                    const QueryRequest& req) const;
+                                    const QueryRequest& req,
+                                    PhaseSplit* split = nullptr) const;
+
+  /// Seconds since service construction on the service's steady clock — the
+  /// timebase of every RequestRecord boundary.
+  double NowSeconds() const { return service_clock_.Seconds(); }
+
+  /// Cumulative merge-thread busy seconds as of `now` (counting the
+  /// in-progress merge, if any). Two readings bracketing a request give its
+  /// merge_overlap_seconds.
+  double MergeBusyAt(double now) const;
+
+  /// Execute body with an explicit arrival stamp and extra lifecycle flags:
+  /// Execute passes NowSeconds() and 0; the executor pool passes the Submit
+  /// enqueue time plus RequestRecord::kAsync.
+  Result<QueryResult> ExecuteInternal(const QueryRequest& req,
+                                      double arrival_seconds,
+                                      uint8_t extra_flags) const;
+
+  /// ExecuteBatch body with per-member arrival stamps (empty = "arriving
+  /// now") and extra lifecycle flags; members served by the shared batch
+  /// machinery additionally get RequestRecord::kCoalesced.
+  std::vector<Result<QueryResult>> ExecuteBatchInternal(
+      const std::vector<QueryRequest>& reqs,
+      const std::vector<double>& arrivals, uint8_t extra_flags) const;
+
+  /// Terminal accounting shared by every completion path (normal, cache
+  /// hit, shed, error): derives total from `end_seconds`, turns the stashed
+  /// merge-busy-at-arrival value into merge_overlap_seconds, observes the
+  /// always-on histograms, bumps outcome counters, appends to the flight
+  /// recorder, and mirrors the record onto res->serving.lifecycle when ok.
+  /// On entry rec->merge_overlap_seconds must hold MergeBusyAt(arrival).
+  void FinishRequest(obs::RequestRecord* rec, double end_seconds,
+                     Result<QueryResult>* res) const;
 
   /// Search ids of `snap` matching (q, tau) — the building block the join
   /// delta terms reuse. Appends live matching ids (unsorted) to `out`.
@@ -257,7 +346,7 @@ class DitaService {
   void MaybeScheduleMerge();
 
   void MergeLoop();
-  void ExecutorLoop();
+  void ExecutorLoop(size_t executor_index);
 
   void RecordExplain(const QueryResult& res) const;
 
@@ -298,6 +387,9 @@ class DitaService {
   struct Job {
     QueryRequest req;
     std::promise<Result<QueryResult>> promise;
+    /// Service-clock stamp of Submit(): the request's lifecycle arrival, so
+    /// queue_seconds covers executor queueing too.
+    double enqueue_seconds = 0.0;
   };
   mutable std::mutex jobs_mu_;
   mutable std::condition_variable jobs_cv_;
@@ -320,8 +412,43 @@ class DitaService {
   obs::CounterHandle m_delta_scanned_;
   obs::CounterHandle m_coalesced_queries_;
   obs::HistogramHandle h_batch_size_;
+  obs::HistogramHandle h_latency_search_;
+  obs::HistogramHandle h_latency_join_;
+  obs::HistogramHandle h_latency_knn_;
+  obs::HistogramHandle h_queue_wait_;
+  obs::GaugeHandle g_inflight_cost_;
+  obs::GaugeHandle g_queue_depth_;
+  obs::GaugeHandle g_pinned_snapshots_;
+  obs::GaugeHandle g_delta_bytes_;
+  obs::GaugeHandle g_merge_backlog_;
   mutable std::atomic<uint64_t> coalesced_batches_{0};
   mutable std::atomic<uint64_t> coalesced_queries_{0};
+
+  /// Always-on serving observability (independent of enable_metrics /
+  /// enable_tracing): the flight recorder, per-kind latency + wait
+  /// histograms, and outcome counters behind Stats() / ExplainService() /
+  /// DumpFlightRecorder(). Mutable because the read path is const.
+  WallTimer service_clock_;
+  mutable obs::FlightRecorder flight_recorder_;
+  mutable obs::Histogram lat_search_{obs::LatencyOptions()};
+  mutable obs::Histogram lat_join_{obs::LatencyOptions()};
+  mutable obs::Histogram lat_knn_{obs::LatencyOptions()};
+  mutable obs::Histogram queue_wait_hist_{obs::LatencyOptions()};
+  mutable obs::Histogram admission_wait_hist_{obs::LatencyOptions()};
+  mutable std::atomic<uint64_t> request_seq_{0};
+  mutable std::atomic<uint64_t> shed_count_{0};
+  mutable std::atomic<uint64_t> degraded_count_{0};
+  mutable std::atomic<uint64_t> errors_count_{0};
+  std::atomic<uint64_t> inserts_count_{0};
+  std::atomic<uint64_t> deletes_count_{0};
+  mutable std::atomic<int64_t> pinned_queries_{0};
+
+  /// Merge-overlap timebase, lock-free for readers: cumulative busy seconds
+  /// of finished merges, and the start stamp of the in-progress merge
+  /// (kMergeIdleBits when none), both stored as bit_cast double words.
+  static constexpr uint64_t kMergeIdleBits = ~uint64_t{0};
+  mutable std::atomic<uint64_t> merge_busy_bits_{0};
+  std::atomic<uint64_t> merge_started_bits_{kMergeIdleBits};
 };
 
 }  // namespace dita

@@ -46,6 +46,28 @@ class QueryContext {
     kScratchBudget,
   };
 
+  /// Stable lower_snake_case name for a stop cause — the flight recorder
+  /// and SLO reports key shed/degraded breakdowns on these strings.
+  static const char* StopCauseName(StopCause cause) {
+    switch (cause) {
+      case StopCause::kNone:
+        return "none";
+      case StopCause::kCancelled:
+        return "cancelled";
+      case StopCause::kWallDeadline:
+        return "wall_deadline";
+      case StopCause::kVirtualDeadline:
+        return "virtual_deadline";
+      case StopCause::kCandidateBudget:
+        return "candidate_budget";
+      case StopCause::kDpCellBudget:
+        return "dp_cell_budget";
+      case StopCause::kScratchBudget:
+        return "scratch_budget";
+    }
+    return "unknown";
+  }
+
   QueryContext() = default;
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;

@@ -3,9 +3,13 @@
 // the repo relies on — byte-identical traces across identical runs (even
 // under fault injection) and allocation-free steady-state metric updates.
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <new>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,26 +108,130 @@ TEST(ObsMetricsTest, CounterSumsAcrossThreads) {
 
 TEST(ObsMetricsTest, HistogramBucketsAndConcurrentObserve) {
   obs::MetricsRegistry registry;
-  obs::Histogram* h = registry.GetHistogram("test.hist", {1.0, 10.0, 100.0});
+  obs::Histogram* h =
+      registry.GetHistogram("test.hist", obs::Histogram::Options{1.0, 64.0, 1});
   constexpr int kThreads = 4;
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([h] {
       for (int i = 0; i < 1000; ++i) {
-        h->Observe(0.5);    // bucket 0 (<= 1)
-        h->Observe(5.0);    // bucket 1 (<= 10)
-        h->Observe(1e6);    // overflow bucket
+        h->Observe(0.5);  // underflow: bucket 0
+        h->Observe(5.0);  // a regular bucket
+        h->Observe(1e6);  // overflow: last bucket
       }
     });
   }
   for (auto& th : threads) th.join();
   const obs::Histogram::Snapshot snap = h->Snap();
-  ASSERT_EQ(snap.counts.size(), 4u);
-  EXPECT_EQ(snap.counts[0], 4000u);
-  EXPECT_EQ(snap.counts[1], 4000u);
-  EXPECT_EQ(snap.counts[2], 0u);
-  EXPECT_EQ(snap.counts[3], 4000u);
+  ASSERT_EQ(snap.counts.size(), h->bucket_count());
+  EXPECT_EQ(snap.counts.front(), 4000u);
+  EXPECT_EQ(snap.counts.back(), 4000u);
+  EXPECT_EQ(snap.counts[h->BucketIndex(5.0)], 4000u);
   EXPECT_EQ(snap.count, 12000u);
+  // 5.0's bucket must bracket 5.0 exactly.
+  EXPECT_LE(snap.BucketLowerBound(h->BucketIndex(5.0)), 5.0);
+  EXPECT_GT(snap.BucketUpperBound(h->BucketIndex(5.0)), 5.0);
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundaryEdges) {
+  const obs::Histogram h(obs::Histogram::Options{1.0, 1024.0, 3});
+  const obs::Histogram::Snapshot snap = h.Snap();
+  const size_t n = h.bucket_count();
+  // Degenerate inputs all land in the underflow bucket.
+  EXPECT_EQ(h.BucketIndex(0.0), 0u);
+  EXPECT_EQ(h.BucketIndex(-3.0), 0u);
+  EXPECT_EQ(h.BucketIndex(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(h.BucketIndex(std::nextafter(1.0, 0.0)), 0u);
+  // min itself is the first regular bucket's lower bound; max opens the
+  // overflow bucket; +inf is overflow too.
+  EXPECT_EQ(h.BucketIndex(1.0), 1u);
+  EXPECT_EQ(h.BucketIndex(1024.0), n - 1);
+  EXPECT_EQ(h.BucketIndex(std::nextafter(1024.0, 0.0)), n - 2);
+  EXPECT_EQ(h.BucketIndex(std::numeric_limits<double>::infinity()), n - 1);
+  // Every regular bucket: bounds are exact — a value AT the lower bound
+  // belongs to the bucket, the value just below it to the previous one, and
+  // the value just below the upper bound still to the bucket. Relative
+  // width is at most 2^-sub_bucket_bits.
+  for (size_t i = 1; i + 1 < n; ++i) {
+    const double lo = snap.BucketLowerBound(i);
+    const double hi = snap.BucketUpperBound(i);
+    ASSERT_LT(lo, hi);
+    EXPECT_EQ(h.BucketIndex(lo), i);
+    EXPECT_EQ(h.BucketIndex(std::nextafter(lo, 0.0)), i - 1);
+    EXPECT_EQ(h.BucketIndex(std::nextafter(hi, 0.0)), i);
+    EXPECT_LE((hi - lo) / lo, 1.0 / 8 + 1e-12);
+  }
+  // Buckets tile [min, max) with no gaps.
+  for (size_t i = 1; i + 2 < n; ++i) {
+    EXPECT_EQ(snap.BucketUpperBound(i), snap.BucketLowerBound(i + 1));
+  }
+  EXPECT_EQ(snap.BucketLowerBound(0), 0.0);
+  EXPECT_EQ(snap.BucketUpperBound(n - 1),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ObsMetricsTest, HistogramQuantileBoundsMatchSortedOracle) {
+  // Randomized oracle: the exact sorted-sample quantile must lie inside
+  // [QuantileLowerBound(q), QuantileUpperBound(q)] for every q.
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> log_value(-6.0, 3.0);
+  obs::Histogram h(obs::LatencyOptions());
+  std::vector<double> samples;
+  constexpr size_t kSamples = 5000;
+  samples.reserve(kSamples);
+  for (size_t i = 0; i < kSamples; ++i) {
+    const double v = std::pow(10.0, log_value(rng));
+    samples.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const obs::Histogram::Snapshot snap = h.Snap();
+  ASSERT_EQ(snap.count, kSamples);
+  for (const double q :
+       {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(q * static_cast<double>(kSamples))));
+    const double oracle = samples[rank - 1];
+    const double lo = snap.QuantileLowerBound(q);
+    const double hi = snap.QuantileUpperBound(q);
+    EXPECT_LE(lo, oracle) << "q=" << q;
+    EXPECT_GE(hi, oracle) << "q=" << q;
+    // LatencyOptions: 2^4 sub-buckets -> bounds within 6.25% relative error
+    // (for in-range values).
+    EXPECT_LE((hi - lo) / lo, 1.0 / 16 + 1e-12) << "q=" << q;
+  }
+}
+
+TEST(ObsMetricsTest, HistogramSnapshotsMergeExactly) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> log_value(-5.0, 2.0);
+  obs::Histogram all(obs::LatencyOptions());
+  obs::Histogram part_a(obs::LatencyOptions());
+  obs::Histogram part_b(obs::LatencyOptions());
+  for (int i = 0; i < 4000; ++i) {
+    const double v = std::pow(10.0, log_value(rng));
+    all.Observe(v);
+    (i % 2 == 0 ? part_a : part_b).Observe(v);
+  }
+  obs::Histogram::Snapshot merged = part_a.Snap();
+  ASSERT_TRUE(merged.MergeFrom(part_b.Snap()));
+  const obs::Histogram::Snapshot expect = all.Snap();
+  // Merging shards is lossless: bucket-wise identical to one histogram that
+  // saw every sample, so quantile bounds agree exactly too.
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_EQ(merged.counts, expect.counts);
+  // Bucket counts merge exactly; the sum is a float accumulation whose
+  // rounding depends on addition order, so compare it to relative epsilon.
+  EXPECT_NEAR(merged.sum, expect.sum, 1e-9 * expect.sum);
+  for (const double q : {0.5, 0.95, 0.99, 0.999}) {
+    EXPECT_EQ(merged.QuantileUpperBound(q), expect.QuantileUpperBound(q));
+    EXPECT_EQ(merged.QuantileLowerBound(q), expect.QuantileLowerBound(q));
+  }
+  // Shape mismatches refuse to merge rather than corrupt.
+  obs::Histogram other(obs::CountOptions());
+  obs::Histogram::Snapshot incompatible = other.Snap();
+  EXPECT_FALSE(incompatible.MergeFrom(expect));
+  EXPECT_FALSE(merged.MergeFrom(incompatible));
 }
 
 TEST(ObsMetricsTest, RegistryReturnsStablePointersAndOrderedSnapshot) {
@@ -164,7 +272,7 @@ TEST(ObsMetricsTest, SteadyStateIncrementsDoNotAllocate) {
   obs::MetricsRegistry registry;
   obs::CounterHandle counter(&registry, "steady.counter");
   obs::HistogramHandle histogram(&registry, "steady.hist",
-                                 obs::PowersOfTwoBounds(16));
+                                 obs::CountOptions());
   // Warm-up: touch every code path once (registration already happened).
   counter.Add(1);
   histogram.Observe(3.0);

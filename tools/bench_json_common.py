@@ -1,0 +1,122 @@
+"""Shared helpers for the stdlib-only bench/obs JSON tooling.
+
+Used by check_bench_json.py (CI schema gate) and obs_report.py (SLO
+report renderer). Kept dependency-free on purpose: CI and operators run
+these with whatever python3 the box has.
+"""
+
+import json
+
+# Numeric JSON values. bool is an int subclass in Python, so type checks
+# that use NUM must reject bools explicitly (is_num below does).
+NUM = (int, float)
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def lookup(doc, path):
+    """Resolve a dotted key path; None when any hop is missing."""
+    cur = doc
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def is_num(val):
+    return isinstance(val, NUM) and not isinstance(val, bool)
+
+
+def type_ok(val, typ):
+    if typ is NUM:
+        return is_num(val)
+    return isinstance(val, typ)
+
+
+def check_schema(schema, doc, prefix=""):
+    """Check (dotted_path, type) pairs against doc; returns error strings."""
+    errors = []
+    for path, typ in schema:
+        val = lookup(doc, path)
+        shown = f"{prefix}{path}"
+        if val is None:
+            errors.append(f"missing key: {shown}")
+        elif not type_ok(val, typ):
+            errors.append(f"wrong type for {shown}: {type(val).__name__}")
+    return errors
+
+
+def check_record_list(doc, path, fields, max_errors=10):
+    """`path` must hold a list of objects each carrying `fields`.
+
+    fields is a list of (key, type) pairs checked on every record;
+    reporting stops after max_errors so a systematically-broken emitter
+    doesn't flood CI logs.
+    """
+    records = lookup(doc, path)
+    if not isinstance(records, list):
+        return [f"missing or non-list: {path}"]
+    errors = []
+    for i, rec in enumerate(records):
+        if len(errors) >= max_errors:
+            errors.append(f"{path}: further errors suppressed")
+            break
+        if not isinstance(rec, dict):
+            errors.append(f"{path}[{i}]: not an object")
+            continue
+        for key, typ in fields:
+            if key not in rec:
+                errors.append(f"{path}[{i}]: missing {key}")
+            elif not type_ok(rec[key], typ):
+                errors.append(
+                    f"{path}[{i}].{key}: wrong type "
+                    f"{type(rec[key]).__name__}"
+                )
+    return errors
+
+
+# The telescoping phases of a flight-recorder request record, in lifecycle
+# order. Their sum equals total_seconds up to floating-point rounding
+# (finalize is defined as the remainder in DitaService::FinishRequest).
+PHASE_KEYS = [
+    "queue_seconds",
+    "admission_seconds",
+    "cache_seconds",
+    "pin_seconds",
+    "base_seconds",
+    "delta_seconds",
+    "finalize_seconds",
+]
+
+
+def phase_sum(record):
+    return sum(record.get(k, 0.0) for k in PHASE_KEYS)
+
+
+def check_phase_telescoping(doc, path="requests", rel_tol=1e-6,
+                            abs_tol=1e-9, max_errors=10):
+    """Every request's phase breakdown must telescope to its total."""
+    records = lookup(doc, path)
+    if not isinstance(records, list):
+        return [f"missing or non-list: {path}"]
+    errors = []
+    for i, rec in enumerate(records):
+        if len(errors) >= max_errors:
+            errors.append(f"{path}: further errors suppressed")
+            break
+        if not isinstance(rec, dict):
+            continue
+        total = rec.get("total_seconds")
+        if not is_num(total):
+            continue
+        s = phase_sum(rec)
+        if abs(s - total) > abs_tol + rel_tol * abs(total):
+            errors.append(
+                f"{path}[{i}]: phases sum to {s:.9f} != "
+                f"total {total:.9f}"
+            )
+    return errors

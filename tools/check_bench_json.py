@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json emitted by the bench binaries.
+"""Validate BENCH_*.json and serving-observability JSON exports.
 
-Two layers, both stdlib-only so CI needs nothing installed:
+Two layers, both stdlib-only so CI needs nothing installed (shared
+helpers live in bench_json_common.py, which obs_report.py reuses):
 
 1. Schema: the JSON must contain every required key path for its kind with
    the right primitive type. A bench binary that bit-rots its emitter (or a
-   hand-edited baseline) fails fast here.
+   hand-edited baseline) fails fast here. The ``flight`` kind additionally
+   checks every request record's phase breakdown telescopes to its total
+   latency, and ``metrics`` checks the serving metric families are present.
 
 2. Tolerance-gated diff vs a committed baseline (optional): throughput-like
    metrics may not regress below ``1 - tolerance`` of the baseline value,
@@ -17,13 +20,25 @@ Two layers, both stdlib-only so CI needs nothing installed:
 Usage:
   check_bench_json.py micro_filter <json> [--baseline <json>] [--tolerance F]
   check_bench_json.py serving     <json> [--baseline <json>] [--tolerance F]
+  check_bench_json.py flight      <json>     # DumpFlightRecorder() export
+  check_bench_json.py metrics     <json>     # MetricsToJson() export
 """
 
 import argparse
-import json
 import sys
 
-NUM = (int, float)
+from bench_json_common import (
+    NUM,
+    check_phase_telescoping,
+    check_record_list,
+    check_schema,
+    load_json,
+    lookup,
+)
+
+# Quantile bounds every latency rollup carries.
+_QUANTS = ["count", "p50", "p95", "p99", "p999"]
+
 
 # Required key paths per kind: (path, type). Paths are dotted.
 SCHEMAS = {
@@ -62,6 +77,9 @@ SCHEMAS = {
     ],
     "serving": [
         ("meta.build_type", str),
+        ("meta.sanitize", str),
+        ("meta.native", str),
+        ("meta.timestamp_utc", str),
         ("workload.scale", NUM),
         ("workload.workers", NUM),
         ("workload.run_seconds", NUM),
@@ -87,9 +105,88 @@ SCHEMAS = {
         ("cache.misses", NUM),
         ("cache.invalidations", NUM),
         ("cache.wrong_answers", NUM),
+        ("service.shed", NUM),
+        ("service.degraded", NUM),
+        ("service.recorded", NUM),
+        ("obs_overhead.off_qps", NUM),
+        ("obs_overhead.on_qps", NUM),
+        ("obs_overhead.overhead_pct", NUM),
+        ("obs_overhead.wrong_answers", NUM),
         ("wrong_answers", NUM),
+    ]
+    + [
+        (f"latency_hist.{kind}.{q}" + ("" if q == "count" else "_ms"), NUM)
+        for kind in ("search", "knn", "join", "queue_wait")
+        for q in _QUANTS
+    ],
+    # DitaService::DumpFlightRecorder(): service rollup + request ring.
+    "flight": [
+        ("service.uptime_seconds", NUM),
+        ("service.queries", NUM),
+        ("service.queries_search", NUM),
+        ("service.queries_join", NUM),
+        ("service.queries_knn", NUM),
+        ("service.shed", NUM),
+        ("service.degraded", NUM),
+        ("service.errors", NUM),
+        ("service.cache_hits", NUM),
+        ("service.cache_misses", NUM),
+        ("service.inserts", NUM),
+        ("service.deletes", NUM),
+        ("service.merges", NUM),
+        ("service.merge_busy_seconds", NUM),
+        ("service.coalesced_batches", NUM),
+        ("service.coalesced_queries", NUM),
+        ("service.recorded", NUM),
+        ("service.capacity", NUM),
+    ]
+    + [
+        (f"service.latency.{kind}.{q}", NUM)
+        for kind in ("search", "join", "knn", "queue_wait", "admission_wait")
+        for q in _QUANTS
     ],
 }
+
+# Fields every flight-recorder request record must carry.
+FLIGHT_RECORD_FIELDS = [
+    ("id", NUM),
+    ("kind", str),
+    ("status_code", NUM),
+    ("stop_cause", str),
+    ("cache_hit", bool),
+    ("coalesced", bool),
+    ("degraded", bool),
+    ("shed", bool),
+    ("async", bool),
+    ("results", NUM),
+    ("epoch", NUM),
+    ("version", NUM),
+    ("arrival_seconds", NUM),
+    ("queue_seconds", NUM),
+    ("admission_seconds", NUM),
+    ("cache_seconds", NUM),
+    ("pin_seconds", NUM),
+    ("base_seconds", NUM),
+    ("delta_seconds", NUM),
+    ("finalize_seconds", NUM),
+    ("total_seconds", NUM),
+    ("merge_overlap_seconds", NUM),
+]
+
+# Metric families a serving workload with metrics enabled must register
+# (names contain dots, so they are checked by direct membership, not by
+# dotted-path lookup).
+METRICS_REQUIRED_HISTOGRAMS = [
+    "serving.latency.search_seconds",
+    "serving.queue_wait_seconds",
+]
+METRICS_REQUIRED_GAUGES = [
+    "serving.queue.depth",
+    "serving.pinned_snapshots",
+    "serving.delta.bytes",
+    "serving.merge.backlog",
+]
+METRICS_REQUIRED_COUNTERS = ["serving.queries"]
 
 # Higher-is-better metrics gated against the baseline. Latency-style
 # numbers are skipped: quick mode shrinks windows, which legitimately
@@ -106,33 +203,42 @@ THROUGHPUT_KEYS = {
     # Open-loop qps is arrival-rate-capped, not a capacity; the cache gain
     # is a ratio of two closed-loop runs on the same machine, so it gates.
     "serving": ["cache.gain"],
+    "flight": [],
+    "metrics": [],
 }
 
 # Counters that must be exactly zero in the candidate.
 ZERO_KEYS = {
     "micro_filter": ["sketch.wrong_answers"],
     "serving": ["wrong_answers", "batching.wrong_answers",
-                "cache.wrong_answers"],
+                "cache.wrong_answers", "obs_overhead.wrong_answers"],
+    "flight": [],
+    "metrics": [],
 }
 
 
-def lookup(doc, path):
-    cur = doc
-    for part in path.split("."):
-        if not isinstance(cur, dict) or part not in cur:
-            return None
-        cur = cur[part]
-    return cur
-
-
-def check_schema(kind, doc):
+def check_metrics_export(doc):
     errors = []
-    for path, typ in SCHEMAS[kind]:
-        val = lookup(doc, path)
-        if val is None:
-            errors.append(f"missing key: {path}")
-        elif not isinstance(val, typ) or (typ is NUM and isinstance(val, bool)):
-            errors.append(f"wrong type for {path}: {type(val).__name__}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            errors.append(f"missing or non-object section: {section}")
+    if errors:
+        return errors
+    for name in METRICS_REQUIRED_COUNTERS:
+        if name not in doc["counters"]:
+            errors.append(f"missing counter: {name}")
+    for name in METRICS_REQUIRED_GAUGES:
+        if name not in doc["gauges"]:
+            errors.append(f"missing gauge: {name}")
+    for name in METRICS_REQUIRED_HISTOGRAMS:
+        hist = doc["histograms"].get(name)
+        if not isinstance(hist, dict):
+            errors.append(f"missing histogram: {name}")
+            continue
+        for key in ("count", "sum", "sub_bucket_bits", "buckets",
+                    "p50", "p95", "p99", "p999"):
+            if key not in hist:
+                errors.append(f"histogram {name}: missing {key}")
     return errors
 
 
@@ -153,23 +259,29 @@ def check_baseline(kind, doc, base, tolerance):
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("kind", choices=sorted(SCHEMAS))
+    ap.add_argument("kind",
+                    choices=sorted(set(SCHEMAS) | {"metrics"}))
     ap.add_argument("json_path")
     ap.add_argument("--baseline")
     ap.add_argument("--tolerance", type=float, default=0.5)
     args = ap.parse_args()
 
-    with open(args.json_path) as f:
-        doc = json.load(f)
+    doc = load_json(args.json_path)
 
-    errors = check_schema(args.kind, doc)
+    if args.kind == "metrics":
+        errors = check_metrics_export(doc)
+    else:
+        errors = check_schema(SCHEMAS[args.kind], doc)
+    if args.kind == "flight":
+        errors.extend(
+            check_record_list(doc, "requests", FLIGHT_RECORD_FIELDS))
+        errors.extend(check_phase_telescoping(doc, "requests"))
     for path in ZERO_KEYS[args.kind]:
         val = lookup(doc, path)
         if val not in (0, None):
             errors.append(f"{path} must be 0, got {val}")
     if args.baseline:
-        with open(args.baseline) as f:
-            base = json.load(f)
+        base = load_json(args.baseline)
         errors.extend(check_baseline(args.kind, doc, base, args.tolerance))
 
     if errors:
